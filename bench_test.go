@@ -1,0 +1,563 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section (run the cmd/benchtables binary for the
+// fully rendered output), plus kernel micro-benchmarks and the ablation
+// benches called out in DESIGN.md §5.
+//
+// Experiment benches use reduced-but-representative configurations so a
+// default `go test -bench=.` sweep completes in minutes; key shape ratios
+// (who wins, by what factor) are attached to the benchmark output via
+// b.ReportMetric.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/multigpu"
+	"repro/internal/multigrid"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// --- Experiment benches: one per table/figure ---------------------------
+
+func BenchmarkTable1MatrixProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1Properties("fv1", 60, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5NonDeterminism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5NonDeterminism(experiments.NonDetConfig{
+			Matrix: "Trefethen_2000", Runs: 8, Iters: 30, CheckpointStep: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			peak := 0.0
+			for _, v := range res.RelVariation {
+				if v > peak {
+					peak = v
+				}
+			}
+			b.ReportMetric(peak, "peak-rel-variation")
+		}
+	}
+}
+
+func BenchmarkFig6Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6Convergence("Trefethen_2000", 120, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig7Convergence("fv1", 150, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gs, a5 := series[0].Y, series[1].Y
+			tol := gs[len(gs)-1] * 1.0000001
+			gsIt := experiments.IterationsToReach(gs, tol)
+			a5It := experiments.IterationsToReach(a5, tol)
+			if a5It > 0 {
+				b.ReportMetric(float64(gsIt)/float64(a5It), "async5-vs-gs-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4LocalIterOverhead(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4LocalIterOverhead(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.AsyncIterTime(9801, 87025, 9)/m.AsyncIterTime(9801, 87025, 1)-1, "async9-overhead-frac")
+}
+
+func BenchmarkFig8AvgIterTime(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8AvgIterTime(m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5AvgIterTimings(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5AvgIterTimings(m, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.GaussSeidelIterTime(9604, 85264)/m.AsyncIterTime(9604, 85264, 5), "fv1-gs-vs-async5-ratio")
+}
+
+func BenchmarkFig9ResidualVsTime(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig9ResidualVsTime(m, "fv1", 200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var tJ, tA5 float64
+			for _, s := range series {
+				switch s.Name {
+				case "Jacobi":
+					tJ = experiments.TimeToResidual(s, 1e-6)
+				case "async-(5)":
+					tA5 = experiments.TimeToResidual(s, 1e-6)
+				}
+			}
+			if tA5 > 0 {
+				b.ReportMetric(tJ/tA5, "jacobi-vs-async5-time-ratio")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10FaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10Fault(experiments.FaultConfig{
+			Matrix: "Trefethen_2000", Iters: 60, Seed: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6RecoveryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6RecoveryOverhead([]experiments.FaultConfig{
+			{Matrix: "Trefethen_2000", Iters: 90, Seed: 3},
+		}, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11MultiGPU(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	topo := multigpu.Supermicro()
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.Fig11MultiGPU(m, topo, experiments.Fig11Config{
+			Matrix: "Trefethen_2000", RelTolerance: 1e-10, BlockSize: 128,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var amc1, amc2 float64
+			for _, bar := range bars {
+				if bar.Group == "AMC" && bar.Label == "1 GPU" {
+					amc1 = bar.Value
+				}
+				if bar.Group == "AMC" && bar.Label == "2 GPUs" {
+					amc2 = bar.Value
+				}
+			}
+			if amc2 > 0 {
+				b.ReportMetric(amc1/amc2, "amc-2gpu-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkScaledJacobiRescue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.ScaledJacobiRescue(150, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel micro-benchmarks --------------------------------------------
+
+func benchMatrix(b *testing.B, name string) (*sparse.CSR, []float64) {
+	b.Helper()
+	tm, err := experiments.Matrix(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tm.A, experiments.OnesRHS(tm.A)
+}
+
+func BenchmarkSpMVfv1(b *testing.B) {
+	a, x := benchMatrix(b, "fv1")
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+	b.SetBytes(int64(a.NNZ() * 12))
+}
+
+func BenchmarkSpMVTrefethen2000(b *testing.B) {
+	a, x := benchMatrix(b, "Trefethen_2000")
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+	b.SetBytes(int64(a.NNZ() * 12))
+}
+
+func BenchmarkJacobiSweep(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Jacobi(a, rhs, solver.Options{MaxIterations: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussSeidelSweep(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.GaussSeidel(a, rhs, solver.Options{MaxIterations: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGIteration(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.CG(a, rhs, solver.Options{MaxIterations: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsyncGlobalIteration(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(a, rhs, core.Options{
+			BlockSize: 448, LocalIters: 5, MaxGlobalIters: 1, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGoroutineEngineIteration(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(a, rhs, core.Options{
+			BlockSize: 448, LocalIters: 5, MaxGlobalIters: 1,
+			Engine: core.EngineGoroutine, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFreeRunningSolve(b *testing.B) {
+	a := Poisson2D(32, 32)
+	rhs := OnesRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveFreeRunning(a, rhs, core.FreeRunningOptions{
+			BlockSize: 128, LocalIters: 3, MaxBlockUpdates: 10_000_000, Tolerance: 1e-8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ------------------------------------
+
+func BenchmarkAblationLocalIters(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	for _, k := range []int{1, 2, 5, 9} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(a, rhs, core.Options{
+					BlockSize: 448, LocalIters: k, MaxGlobalIters: 2000,
+					Tolerance: 1e-8, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.GlobalIterations
+			}
+			b.ReportMetric(float64(iters), "global-iters-to-1e-8")
+		})
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	for _, bs := range []int{64, 128, 448, 1024} {
+		b.Run(benchName("bs", bs), func(b *testing.B) {
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(a, rhs, core.Options{
+					BlockSize: bs, LocalIters: 5, MaxGlobalIters: 2000,
+					Tolerance: 1e-8, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.GlobalIterations
+			}
+			b.ReportMetric(float64(iters), "global-iters-to-1e-8")
+		})
+	}
+}
+
+func BenchmarkAblationSchedulerRecurrence(b *testing.B) {
+	a, rhs := benchMatrix(b, "Trefethen_2000")
+	for _, rec := range []float64{0.01, 0.5, 0.99} {
+		b.Run(benchName("rec", int(rec*100)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(a, rhs, core.Options{
+					BlockSize: 128, LocalIters: 5, MaxGlobalIters: 50,
+					Recurrence: rec, Seed: int64(i + 1),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationStaleness(b *testing.B) {
+	a, rhs := benchMatrix(b, "Trefethen_2000")
+	for _, sp := range []float64{0.001, 0.5, 0.999} {
+		b.Run(benchName("stale", int(sp*1000)), func(b *testing.B) {
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(a, rhs, core.Options{
+					BlockSize: 128, LocalIters: 5, MaxGlobalIters: 500,
+					Tolerance: 1e-8, StaleProb: sp, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.GlobalIterations
+			}
+			b.ReportMetric(float64(iters), "global-iters-to-1e-8")
+		})
+	}
+}
+
+func BenchmarkVecmathDot(b *testing.B) {
+	x := vecmath.Ones(1 << 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vecmath.Dot(x, x)
+	}
+	b.SetBytes(int64(16 << 15))
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}
+
+// --- Extension benches ----------------------------------------------------
+
+func BenchmarkGMRESSolve(b *testing.B) {
+	a, rhs := benchMatrix(b, "Trefethen_2000")
+	// The Trefethen system is badly scaled (prime diagonal up to 17389),
+	// so plain restarted GMRES crawls; Jacobi preconditioning is the
+	// realistic configuration.
+	prec, err := solver.NewJacobiPreconditioner(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tol := 1e-9 * vecmath.Nrm2(rhs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.GMRES(a, rhs, 30, prec, solver.Options{MaxIterations: 500, Tolerance: tol})
+		if err != nil || !res.Converged {
+			b.Fatalf("gmres: err=%v residual=%g", err, res.Residual)
+		}
+	}
+}
+
+func BenchmarkAsyncPreconditionedGMRES(b *testing.B) {
+	a, rhs := benchMatrix(b, "fv1")
+	prec, err := core.NewAsyncPreconditioner(a, 448, 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		res, err := solver.GMRES(a, rhs, 30, prec, solver.Options{MaxIterations: 500, Tolerance: 1e-8 * vecmath.Nrm2(rhs)})
+		if err != nil || !res.Converged {
+			b.Fatalf("gmres: err=%v residual=%g", err, res.Residual)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "gmres-iterations")
+}
+
+func BenchmarkMultigridVCycle(b *testing.B) {
+	mg, err := multigrid.New(multigrid.Options{Width: 63, Height: 63})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := OnesRHS(Poisson2D(63, 63))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mg.Solve(rhs, 1e-9, 60)
+		if err != nil || !res.Converged {
+			b.Fatal("v-cycle failed")
+		}
+	}
+}
+
+func BenchmarkMultigridAsyncSmoother(b *testing.B) {
+	rhs := OnesRHS(Poisson2D(63, 63))
+	b.ResetTimer()
+	cycles := 0
+	for i := 0; i < b.N; i++ {
+		mg, err := multigrid.New(multigrid.Options{
+			Width: 63, Height: 63,
+			Smoother: &multigrid.AsyncSmoother{BlockSize: 64, LocalIters: 2, GlobalIters: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mg.Solve(rhs, 1e-9, 100)
+		if err != nil || !res.Converged {
+			b.Fatal("async-smoothed v-cycle failed")
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "v-cycles")
+}
+
+func BenchmarkRCMReordering(b *testing.B) {
+	a, _ := benchMatrix(b, "Chem97ZtZ")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.RCM(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilentErrorDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, flagged, err := experiments.SilentErrorDetection("fv1", 25, 60, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if flagged == 0 {
+			b.Fatal("detector missed")
+		}
+	}
+}
+
+func BenchmarkSpMVELLfv1(b *testing.B) {
+	a, x := benchMatrix(b, "fv1")
+	e, err := sparse.ToELL(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MulVec(y, x)
+	}
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ReportMetric(e.PaddingRatio(), "padding-ratio")
+}
+
+func BenchmarkExascaleArgument(b *testing.B) {
+	m := gpusim.CalibratedModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExascaleArgument(m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSolve(b *testing.B) {
+	a, rhs := benchMatrix(b, "Trefethen_2000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Solve(a, rhs, cluster.Options{
+			Nodes: 8, LocalIters: 3, MaxDelay: 4, MaxTicks: 2000,
+			Tolerance: 1e-8, Seed: int64(i),
+		})
+		if err != nil || !res.Converged {
+			b.Fatalf("cluster: %v", err)
+		}
+	}
+}
+
+func BenchmarkClusterDelaySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClusterDelaySweep("Trefethen_2000", 8, []int{1, 8, 32}, 1e-8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuneAsync(b *testing.B) {
+	a, rhs := benchMatrix(b, "Trefethen_2000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Tune(a, rhs, core.TuneConfig{
+			BlockSizes: []int{128, 448}, LocalIters: []int{1, 5}, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactLocalSolve(b *testing.B) {
+	a := Poisson2D(40, 40)
+	rhs := OnesRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(a, rhs, core.Options{
+			BlockSize: 100, ExactLocal: true, MaxGlobalIters: 2000,
+			Tolerance: 1e-9, Seed: 1,
+		})
+		if err != nil || !res.Converged {
+			b.Fatal("exact local failed")
+		}
+	}
+}
+
+func BenchmarkChebyshevJacobi(b *testing.B) {
+	a := Poisson2D(40, 40)
+	rhs := OnesRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.ChebyshevJacobi(a, rhs, 0.005, 2.0,
+			solver.Options{MaxIterations: 5000, Tolerance: 1e-9})
+		if err != nil || !res.Converged {
+			b.Fatal("chebyshev failed")
+		}
+	}
+}

@@ -1,0 +1,462 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text tables and ASCII
+// charts. This is the reproduction's one-stop harness: run it with no
+// arguments for the full sweep, or select experiments with -only.
+//
+// Usage:
+//
+//	benchtables [-quick] [-runs n] [-only list]
+//
+// -quick shrinks the expensive studies (fewer repeated runs, the fv3
+// 25000-iteration panel capped) so the sweep finishes in well under a
+// minute; -only takes a comma-separated subset of:
+// table1,fig5,fig6,fig7,table4,fig8,table5,fig9,fig10,table6,fig11,
+// scaled,ablation,reorder,silent,mgrid,precond,exascale,cluster,tune,align.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/multigpu"
+	"repro/internal/plot"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes for a fast sweep")
+	runs := flag.Int("runs", 0, "runs for the non-determinism study (default 100, paper 1000)")
+	only := flag.String("only", "", "comma-separated experiment subset")
+	seed := flag.Int64("seed", 1, "base seed")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
+	flag.Parse()
+
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(sel) == 0 || sel[name] }
+
+	if err := run(*quick, *runs, *seed, want, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, runs int, seed int64, want func(string) bool, jsonPath string) error {
+	out := os.Stdout
+	model := gpusim.CalibratedModel()
+	results := map[string]any{}
+	record := func(name string, v any) { results[name] = v }
+	defer func() {
+		if jsonPath == "" {
+			return
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: json:", err)
+			return
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: json:", err)
+		}
+	}()
+	if runs == 0 {
+		runs = 100
+		if quick {
+			runs = 20
+		}
+	}
+	section := func(title string) {
+		fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+
+	if want("table1") {
+		section("Table 1 — test matrix properties")
+		lanczos := 200
+		if quick {
+			lanczos = 80
+		}
+		tab, err := experiments.Table1(quick, lanczos, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("table1", tab)
+	}
+
+	if want("fig5") {
+		section("Figure 5 / Tables 2–3 — non-determinism of async-(5), block size 128")
+		cfgs := []experiments.NonDetConfig{
+			{Matrix: "fv1", Runs: runs, Iters: 150, CheckpointStep: 10, BaseSeed: seed},
+			{Matrix: "Trefethen_2000", Runs: runs, Iters: 50, CheckpointStep: 5, BaseSeed: seed},
+		}
+		if quick {
+			cfgs[0].Iters, cfgs[0].CheckpointStep = 60, 10
+		}
+		for _, cfg := range cfgs {
+			res, err := experiments.Fig5NonDeterminism(cfg)
+			if err != nil {
+				return err
+			}
+			vt := res.VariationTable()
+			if err := vt.Render(out); err != nil {
+				return err
+			}
+			record("fig5_"+cfg.Matrix, vt)
+			avg, _, relVar := res.Series()
+			if err := plot.Lines(out, plot.Config{
+				Title: fmt.Sprintf("Figure 5: average convergence, %s", cfg.Matrix),
+				LogY:  true, XLabel: "# global iterations", YLabel: "relative residual",
+			}, avg); err != nil {
+				return err
+			}
+			if err := plot.Lines(out, plot.Config{
+				Title:  fmt.Sprintf("Figure 5: relative variation, %s", cfg.Matrix),
+				XLabel: "# global iterations", YLabel: "(max-min)/avg",
+			}, relVar); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig6") {
+		section("Figure 6 — convergence: Gauss-Seidel vs Jacobi vs async-(1)")
+		for _, m := range []string{"Chem97ZtZ", "fv1", "fv2", "fv3", "s1rmt3m1", "Trefethen_2000"} {
+			iters := experiments.Fig6Iters(m)
+			if quick {
+				if m == "fv3" {
+					iters = 2000
+				}
+				if m == "fv2" {
+					continue // duplicates fv1
+				}
+			}
+			series, err := experiments.Fig6Convergence(m, iters, seed)
+			if err != nil {
+				return err
+			}
+			if err := plot.Lines(out, plot.Config{
+				Title: fmt.Sprintf("Figure 6: %s", m), LogY: true,
+				XLabel: "# iters", YLabel: "residual",
+			}, series...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig7") {
+		section("Figure 7 — convergence: Gauss-Seidel vs async-(5)")
+		for _, m := range []string{"Chem97ZtZ", "fv1", "fv2", "fv3", "s1rmt3m1", "Trefethen_2000"} {
+			iters := experiments.Fig6Iters(m)
+			if quick {
+				if m == "fv3" {
+					iters = 2000
+				}
+				if m == "fv2" {
+					continue
+				}
+			}
+			series, err := experiments.Fig7Convergence(m, iters, seed)
+			if err != nil {
+				return err
+			}
+			if err := plot.Lines(out, plot.Config{
+				Title: fmt.Sprintf("Figure 7: %s", m), LogY: true,
+				XLabel: "# iters", YLabel: "residual",
+			}, series...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("table4") {
+		section("Table 4 — cost of local iterations (fv3, modeled)")
+		tab, err := experiments.Table4LocalIterOverhead(model)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("table4", tab)
+	}
+
+	if want("fig8") {
+		section("Figure 8 — average iteration time vs total iterations (fv3, modeled)")
+		series, err := experiments.Fig8AvgIterTime(model, nil)
+		if err != nil {
+			return err
+		}
+		if err := plot.Lines(out, plot.Config{
+			Title:  "Figure 8: average time per iteration, fv3",
+			XLabel: "total number of iterations", YLabel: "avg time per iteration [s]",
+		}, series...); err != nil {
+			return err
+		}
+	}
+
+	if want("table5") {
+		section("Table 5 — average iteration timings (modeled)")
+		tab, err := experiments.Table5AvgIterTimings(model, quick)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("table5", tab)
+	}
+
+	if want("fig9") {
+		section("Figure 9 — relative residual vs solver runtime (modeled time)")
+		for _, m := range []string{"Chem97ZtZ", "fv1", "fv3", "Trefethen_2000"} {
+			iters := 300
+			if m == "fv3" {
+				iters = 4000
+				if quick {
+					iters = 1500
+				}
+			}
+			series, err := experiments.Fig9ResidualVsTime(model, m, iters, seed)
+			if err != nil {
+				return err
+			}
+			if err := plot.Lines(out, plot.Config{
+				Title: fmt.Sprintf("Figure 9: %s", m), LogY: true,
+				XLabel: "time [s]", YLabel: "relative residual",
+			}, series...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig10") {
+		section("Figure 10 — convergence under hardware failure (async-(5))")
+		for _, m := range []string{"fv1", "Trefethen_2000"} {
+			iters := 100
+			if m == "Trefethen_2000" {
+				iters = 60
+			}
+			outcomes, err := experiments.Fig10Fault(experiments.FaultConfig{
+				Matrix: m, Iters: iters, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := plot.Lines(out, plot.Config{
+				Title: fmt.Sprintf("Figure 10: %s (25%% cores fail at iter 10)", m), LogY: true,
+				XLabel: "# global iters", YLabel: "relative residual",
+			}, experiments.FaultSeries(outcomes)...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("table6") {
+		section("Table 6 — additional iterations to recover (async-(5))")
+		tab, err := experiments.Table6RecoveryOverhead([]experiments.FaultConfig{
+			{Matrix: "fv1", Iters: 150, Seed: seed},
+			{Matrix: "Trefethen_2000", Iters: 90, Seed: seed},
+		}, 1e-10)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("table6", tab)
+	}
+
+	if want("fig11") {
+		section("Figure 11 — multi-GPU time-to-convergence (Trefethen_20000, modeled)")
+		cfg := experiments.Fig11Config{}
+		if quick {
+			cfg.Matrix = "Trefethen_2000"
+			cfg.BlockSize = 128
+		}
+		bars, err := experiments.Fig11MultiGPU(model, multigpu.Supermicro(), cfg)
+		if err != nil {
+			return err
+		}
+		if err := plot.Bars(out, "time to convergence [s]", 50, bars); err != nil {
+			return err
+		}
+		record("fig11", bars)
+	}
+
+	if want("scaled") {
+		section("Extension — τ-scaled Jacobi rescues s1rmt3m1 (paper §4.2)")
+		series, tau, err := experiments.ScaledJacobiRescue(400, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "tau = %.6f\n", tau)
+		if err := plot.Lines(out, plot.Config{
+			Title: "scaled Jacobi on s1rmt3m1", LogY: true,
+			XLabel: "# iters", YLabel: "relative residual",
+		}, series...); err != nil {
+			return err
+		}
+		aseries, atau, err := experiments.ScaledAsyncRescue(300, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "async variant: tau = %.6f\n", atau)
+		if err := plot.Lines(out, plot.Config{
+			Title: "ω=τ block-asynchronous iteration on s1rmt3m1", LogY: true,
+			XLabel: "# global iters", YLabel: "relative residual",
+		}, aseries...); err != nil {
+			return err
+		}
+	}
+
+	if want("reorder") {
+		section("Extension — RCM reordering restores local-iteration gains (paper §4.3)")
+		tab, err := experiments.ReorderingRescue(1e-8, 2000, 128, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if want("silent") {
+		section("Extension — silent-error detection from convergence delay (paper §4.5)")
+		series, injectAt, flagged, err := experiments.SilentErrorDetection("fv1", 25, 60, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bit flip injected after global iteration %d; detector flagged at iteration %d\n",
+			injectAt, flagged)
+		if err := plot.Lines(out, plot.Config{
+			Title: "async-(5) on fv1 with a silent bit flip", LogY: true,
+			XLabel: "# global iters", YLabel: "relative residual",
+		}, series); err != nil {
+			return err
+		}
+	}
+
+	if want("mgrid") {
+		section("Extension — async-(k) as a multigrid smoother (paper §5)")
+		grid := 63
+		if quick {
+			grid = 31
+		}
+		tab, err := experiments.MultigridSmootherComparison(grid, 1e-8)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if want("exascale") {
+		section("Extension — checkpoint/restart vs asynchronous recovery (paper §4.5)")
+		tab, err := experiments.ExascaleArgument(model, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("exascale", tab)
+	}
+
+	if want("align") {
+		section("Extension — subdomain alignment on an anisotropic operator (paper §5)")
+		tab, err := experiments.BlockAlignmentAblation(40, 0.01, 1e-8, 20000, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("align", tab)
+	}
+
+	if want("tune") {
+		section("Extension — empirically tuned parameters (paper §3.2/§5)")
+		names := []string{"Chem97ZtZ", "fv1", "Trefethen_2000", "s1rmt3m1"}
+		tab, err := experiments.TunedParameters(names, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("tune", tab)
+	}
+
+	if want("cluster") {
+		section("Extension — distributed bounded-delay asynchronous iteration (conclusions)")
+		tab, err := experiments.ClusterDelaySweep("Trefethen_2000", 8, []int{1, 2, 4, 8, 16, 32}, 1e-8, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		record("cluster", tab)
+	}
+
+	if want("precond") {
+		section("Extension — async-(k) as a GMRES preconditioner (paper §5)")
+		tab, err := experiments.AsyncPreconditionedGMRES("fv1", 1e-9, 500, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if want("ablation") {
+		section("Ablations — block size and local sweeps (async-(5) on fv1)")
+		bs, err := experiments.BlockSizeAblation("fv1", []int{32, 128, 448, 1024, 4096}, 1e-8, 600, seed)
+		if err != nil {
+			return err
+		}
+		if err := bs.Render(out); err != nil {
+			return err
+		}
+		ks, err := experiments.LocalItersAblation("fv1", []int{1, 2, 3, 5, 7, 9}, 1e-8, 2000, 448, seed)
+		if err != nil {
+			return err
+		}
+		if err := ks.Render(out); err != nil {
+			return err
+		}
+		// Engine cross-check: the goroutine engine reaches the same answer.
+		tm, err := experiments.Matrix("Trefethen_2000")
+		if err != nil {
+			return err
+		}
+		b := experiments.OnesRHS(tm.A)
+		res, err := core.Solve(tm.A, b, core.Options{
+			BlockSize: 448, LocalIters: 5, MaxGlobalIters: 300,
+			Tolerance: 1e-10, Engine: core.EngineGoroutine,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "goroutine engine on Trefethen_2000: converged=%v iters=%d residual=%.3e\n",
+			res.Converged, res.GlobalIterations, res.Residual)
+	}
+
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestRunQuickSubset exercises the harness plumbing on the cheapest
+// sections. The full sweep is covered by the checked-in
+// benchtables_output.txt run.
+func TestRunQuickSubset(t *testing.T) {
+	want := func(name string) bool {
+		switch name {
+		case "table4", "fig8", "table5", "precond",
+			"fig10", "table6", "fig11", "silent", "exascale", "cluster", "mgrid":
+			return true
+		}
+		return false
+	}
+	if err := run(true, 5, 1, want, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaledAndReorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow section")
+	}
+	want := func(name string) bool { return name == "reorder" }
+	if err := run(true, 5, 1, want, ""); err != nil {
+		t.Fatal(err)
+	}
+}

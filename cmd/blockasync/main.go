@@ -1,0 +1,163 @@
+// Command blockasync solves a linear system with the block-asynchronous
+// relaxation method or one of the paper's baselines, printing convergence
+// progress and (for GPU methods) the modeled hardware time.
+//
+// Usage:
+//
+//	blockasync [-matrix name | -mm file.mtx] [-method m] [flags]
+//
+// Methods: async (default), jacobi, scaled-jacobi, gauss-seidel, sor, cg,
+// freerun. The right-hand side is b = A·1 (exact solution: ones), the
+// paper's convention.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	var (
+		matrix  = flag.String("matrix", "Trefethen_2000", "generated test matrix name")
+		mmfile  = flag.String("mm", "", "read the system matrix from a Matrix Market file instead")
+		method  = flag.String("method", "async", "solver: async | jacobi | scaled-jacobi | gauss-seidel | sor | cg | freerun")
+		block   = flag.Int("block", 448, "block (subdomain) size for async methods")
+		local   = flag.Int("local", 5, "local Jacobi sweeps per block (k in async-(k))")
+		iters   = flag.Int("iters", 1000, "maximum (global) iterations")
+		tol     = flag.Float64("tol", 1e-10, "absolute l2 residual tolerance")
+		omega   = flag.Float64("omega", 1.5, "SOR relaxation factor")
+		seed    = flag.Int64("seed", 1, "chaos seed for the async engines")
+		gor     = flag.Bool("goroutines", false, "use the truly asynchronous goroutine engine")
+		history = flag.Bool("history", false, "print the residual after every iteration")
+	)
+	flag.Parse()
+
+	if err := run(*matrix, *mmfile, *method, *block, *local, *iters, *tol, *omega, *seed, *gor, *history); err != nil {
+		fmt.Fprintln(os.Stderr, "blockasync:", err)
+		os.Exit(1)
+	}
+}
+
+func run(matrix, mmfile, method string, block, local, iters int,
+	tol, omega float64, seed int64, gor, history bool) error {
+
+	var a *sparse.CSR
+	name := matrix
+	if mmfile != "" {
+		f, err := os.Open(mmfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if a, err = sparse.ReadMatrixMarket(f); err != nil {
+			return err
+		}
+		name = mmfile
+	} else {
+		tm, err := experiments.Matrix(matrix)
+		if err != nil {
+			return err
+		}
+		a = tm.A
+	}
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	fmt.Printf("system: %s  n=%d  nnz=%d  method=%s\n", name, a.Rows, a.NNZ(), method)
+
+	printHistory := func(h []float64) {
+		if !history {
+			return
+		}
+		for i, r := range h {
+			fmt.Printf("  iter %4d  residual %.6e\n", i+1, r)
+		}
+	}
+	model := gpusim.CalibratedModel()
+
+	switch method {
+	case "async":
+		opt := core.Options{
+			BlockSize: block, LocalIters: local, MaxGlobalIters: iters,
+			Tolerance: tol, RecordHistory: history, Seed: seed,
+		}
+		if gor {
+			opt.Engine = core.EngineGoroutine
+		}
+		res, err := core.Solve(a, b, opt)
+		if err != nil && !errors.Is(err, core.ErrDiverged) {
+			return err
+		}
+		printHistory(res.History)
+		modelT := model.AsyncIterTime(a.Rows, a.NNZ(), local) * float64(res.GlobalIterations)
+		report(res.Converged, res.GlobalIterations, res.Residual, err)
+		fmt.Printf("modeled GPU time: %.4f s (%d blocks, engine %s)\n", modelT, res.NumBlocks, opt.Engine)
+
+	case "freerun":
+		res, err := core.SolveFreeRunning(a, b, core.FreeRunningOptions{
+			BlockSize: block, LocalIters: local,
+			MaxBlockUpdates: int64(iters) * int64((a.Rows+block-1)/block),
+			Tolerance:       tol,
+		})
+		if err != nil && !errors.Is(err, core.ErrDiverged) {
+			return err
+		}
+		report(res.Converged, int(res.EquivalentGlobalIters), res.Residual, err)
+		fmt.Printf("block updates: %d\n", res.BlockUpdates)
+
+	case "jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi":
+		opt := solver.Options{MaxIterations: iters, Tolerance: tol, RecordHistory: history}
+		var res solver.Result
+		var err error
+		switch method {
+		case "jacobi":
+			res, err = solver.Jacobi(a, b, opt)
+		case "gauss-seidel":
+			res, err = solver.GaussSeidel(a, b, opt)
+		case "sor":
+			res, err = solver.SOR(a, b, omega, opt)
+		case "cg":
+			res, err = solver.CG(a, b, opt)
+		case "scaled-jacobi":
+			tau, terr := spectral.TauScaling(a, 200, seed)
+			if terr != nil {
+				return terr
+			}
+			fmt.Printf("tau = %.6f\n", tau)
+			res, err = solver.ScaledJacobi(a, b, tau, opt)
+		}
+		if err != nil && !errors.Is(err, solver.ErrDiverged) {
+			return err
+		}
+		printHistory(res.History)
+		report(res.Converged, res.Iterations, res.Residual, err)
+		if method == "gauss-seidel" {
+			fmt.Printf("modeled CPU time: %.4f s\n",
+				model.GaussSeidelIterTime(a.Rows, a.NNZ())*float64(res.Iterations))
+		}
+
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	return nil
+}
+
+func report(converged bool, iters int, residual float64, err error) {
+	switch {
+	case converged:
+		fmt.Printf("converged in %d iterations, residual %.6e\n", iters, residual)
+	case err != nil:
+		fmt.Printf("DIVERGED after %d iterations (%v)\n", iters, err)
+	default:
+		fmt.Printf("not converged after %d iterations, residual %.6e\n", iters, residual)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAsync(t *testing.T) {
+	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.5, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, m := range []string{"jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi", "freerun"} {
+		if err := run("Trefethen_2000", "", m, 128, 2, 200, 1e-6, 1.2, 1, false, false); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	if err := run("Trefethen_2000", "", "nope", 128, 1, 1, 1e-6, 1.5, 1, false, false); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestRunMatrixMarketInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	content := "%%MatrixMarket matrix coordinate real symmetric\n3 3 5\n1 1 4.0\n2 2 4.0\n3 3 4.0\n2 1 -1.0\n3 2 -1.0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "async", 2, 2, 200, 1e-10, 1.5, 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", filepath.Join(dir, "missing.mtx"), "async", 2, 2, 10, 1e-10, 1.5, 1, false, false); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestRunGoroutineEngine(t *testing.T) {
+	if err := run("Trefethen_2000", "", "async", 256, 3, 100, 1e-8, 1.5, 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+}

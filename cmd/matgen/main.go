@@ -1,0 +1,116 @@
+// Command matgen writes the generated test systems to disk so they can be
+// used outside this repository: Matrix Market files for the matrices
+// (optionally RCM-reordered), the b = A·1 right-hand sides, and PGM
+// sparsity images (the file analog of Figure 1).
+//
+// Usage:
+//
+//	matgen -out DIR [-matrix name] [-rcm] [-pgm] [-short]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	matrix := flag.String("matrix", "", "single matrix name (default: all)")
+	rcm := flag.Bool("rcm", false, "also write the RCM-reordered variant")
+	pgm := flag.Bool("pgm", false, "also write a PGM sparsity image")
+	short := flag.Bool("short", false, "skip Trefethen_20000")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "matgen: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*out, *matrix, *rcm, *pgm, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "matgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir, matrix string, rcm, pgm, short bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	names := mats.Names
+	if matrix != "" {
+		names = []string{matrix}
+	}
+	for _, name := range names {
+		if short && name == "Trefethen_20000" {
+			continue
+		}
+		tm, err := experiments.Matrix(name)
+		if err != nil {
+			return err
+		}
+		if err := writeSystem(outDir, name, tm.A, pgm); err != nil {
+			return err
+		}
+		if rcm {
+			perm, err := sparse.RCM(tm.A)
+			if err != nil {
+				return err
+			}
+			p, err := sparse.PermuteSym(tm.A, perm)
+			if err != nil {
+				return err
+			}
+			if err := writeSystem(outDir, name+"_rcm", p, pgm); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s (n=%d, nnz=%d)\n", name, tm.A.Rows, tm.A.NNZ())
+	}
+	return nil
+}
+
+// writeSystem writes NAME.mtx, NAME_rhs.mtx and optionally NAME.pgm.
+func writeSystem(dir, name string, a *sparse.CSR, pgm bool) error {
+	mf, err := os.Create(filepath.Join(dir, name+".mtx"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := sparse.WriteMatrixMarket(mf, a); err != nil {
+		return err
+	}
+
+	// Right-hand side b = A·1 as an n×1 coordinate matrix.
+	b := experiments.OnesRHS(a)
+	rhs := sparse.NewCOO(a.Rows, 1)
+	for i, v := range b {
+		if v != 0 {
+			rhs.Add(i, 0, v)
+		}
+	}
+	rf, err := os.Create(filepath.Join(dir, name+"_rhs.mtx"))
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	if err := sparse.WriteMatrixMarket(rf, rhs.ToCSR()); err != nil {
+		return err
+	}
+
+	if pgm {
+		pf, err := os.Create(filepath.Join(dir, name+".pgm"))
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := sparse.SpyPGM(pf, a, 256, 256); err != nil {
+			return err
+		}
+	}
+	return nil
+}

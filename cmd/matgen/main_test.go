@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestRunWritesReadableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "Trefethen_2000", true, true, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"Trefethen_2000.mtx", "Trefethen_2000_rhs.mtx", "Trefethen_2000.pgm",
+		"Trefethen_2000_rcm.mtx", "Trefethen_2000_rcm_rhs.mtx", "Trefethen_2000_rcm.pgm",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+	// Round trip: read the matrix back and check basic identity.
+	mf, err := os.Open(filepath.Join(dir, "Trefethen_2000.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	a, err := sparse.ReadMatrixMarket(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 2000 || a.NNZ() != 41906 {
+		t.Errorf("round trip: n=%d nnz=%d", a.Rows, a.NNZ())
+	}
+}
+
+func TestRunUnknownMatrix(t *testing.T) {
+	if err := run(t.TempDir(), "bogus", false, false, false); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,75 @@
+// Command matinfo regenerates the paper's Table 1 (dimensions, condition
+// numbers and iteration-matrix spectral radii of the test systems) and, on
+// request, the sparsity plots of Figure 1.
+//
+// Usage:
+//
+//	matinfo [-short] [-spy] [-lanczos n] [-matrix name]
+//
+// With -matrix, only that system is reported; -spy adds an ASCII sparsity
+// plot; -short skips Trefethen_20000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sparse"
+)
+
+func main() {
+	short := flag.Bool("short", false, "skip Trefethen_20000")
+	spy := flag.Bool("spy", false, "print ASCII sparsity plots (Figure 1)")
+	lanczos := flag.Int("lanczos", 200, "Lanczos steps for eigenvalue estimation")
+	matrix := flag.String("matrix", "", "report a single matrix instead of the full table")
+	seed := flag.Int64("seed", 1, "seed for randomized estimators")
+	flag.Parse()
+
+	if err := run(*short, *spy, *lanczos, *matrix, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "matinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(short, spy bool, lanczos int, matrix string, seed int64) error {
+	if matrix != "" {
+		p, err := experiments.Table1Properties(matrix, lanczos, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%s)\n  n=%d nnz=%d\n  cond(A)=%.3e cond(D^-1 A)=%.4g\n  rho(M)=%.4f rho(|M|)=%.4f\n",
+			p.Name, p.Description, p.N, p.NNZ, p.CondA, p.CondDA, p.RhoM, p.RhoAbsM)
+		if spy {
+			return spyOne(matrix)
+		}
+		return nil
+	}
+
+	tab, err := experiments.Table1(short, lanczos, seed)
+	if err != nil {
+		return err
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	if spy {
+		names := []string{"Chem97ZtZ", "fv1", "s1rmt3m1", "Trefethen_2000"}
+		for _, n := range names {
+			fmt.Printf("\nFigure 1: sparsity of %s\n", n)
+			if err := spyOne(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func spyOne(name string) error {
+	tm, err := experiments.Matrix(name)
+	if err != nil {
+		return err
+	}
+	return sparse.Spy(os.Stdout, tm.A, 64, 32)
+}

@@ -1,0 +1,71 @@
+// Cluster: the distributed-memory extension from the paper's conclusion
+// ("block-asynchronous relaxation methods for GPU-accelerated clusters").
+// Nodes own row blocks and exchange boundary values over links with
+// bounded delays — the Chazan–Miranker shift bound realized as network
+// latency. The demo shows graceful degradation with latency and survival
+// of a node failure.
+//
+// Run with:
+//
+//	go run ./examples/cluster [-nodes 8] [-matrix Trefethen_2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	matrix := flag.String("matrix", "Trefethen_2000", "test system")
+	flag.Parse()
+
+	tm, err := repro.GenerateMatrixErr(*matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := tm.A
+	b := repro.OnesRHS(a)
+	fmt.Printf("system %s (n=%d) on %d nodes, async-(3) per tick\n\n", tm.Name, a.Rows, *nodes)
+
+	fmt.Println("link-delay sweep (ticks to relative residual 1e-8):")
+	for _, d := range []int{1, 4, 16, 64} {
+		res, err := repro.SolveCluster(a, b, repro.ClusterOptions{
+			Nodes: *nodes, LocalIters: 3, MaxDelay: d, MaxTicks: 50000,
+			Tolerance: 1e-8 * norm(b), Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  max delay %3d ticks: converged=%v in %d ticks (max observed staleness %d)\n",
+			d, res.Converged, res.Ticks, res.MaxShift)
+	}
+
+	fmt.Println("\nnode 3 dies at tick 10 (no recovery):")
+	res, err := repro.SolveCluster(a, b, repro.ClusterOptions{
+		Nodes: *nodes, LocalIters: 3, MaxDelay: 4, MaxTicks: 60,
+		RecordHistory: true, Seed: 1,
+		DeadNodes: map[int]int{3: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b0 := norm(b)
+	for tick := 9; tick < len(res.History); tick += 10 {
+		fmt.Printf("  tick %3d: relative residual %.2e\n", tick+1, res.History[tick]/b0)
+	}
+	fmt.Println("\nThe surviving nodes keep iterating; the residual stalls at the dead")
+	fmt.Println("node's last contribution instead of the whole job crashing.")
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

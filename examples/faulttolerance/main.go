@@ -1,0 +1,79 @@
+// Faulttolerance: the paper's §4.5 Exascale resilience scenario. A quarter
+// of the computing cores die mid-solve; the block-asynchronous iteration
+// keeps running on the survivors and, once the operating system reassigns
+// the dead blocks, converges to the same solution with only a modest delay
+// — no checkpointing involved.
+//
+// Run with:
+//
+//	go run ./examples/faulttolerance [-matrix fv1] [-fraction 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	matrix := flag.String("matrix", "fv1", "test system")
+	fraction := flag.Float64("fraction", 0.25, "fraction of cores that fail")
+	failAt := flag.Int("failat", 10, "global iteration at which the failure happens")
+	iters := flag.Int("iters", 100, "global iterations")
+	flag.Parse()
+
+	tm, err := repro.GenerateMatrixErr(*matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := tm.A
+	b := repro.OnesRHS(a)
+	const blockSize = 128
+	numBlocks := (a.Rows + blockSize - 1) / blockSize
+	fmt.Printf("system %s: n=%d, %d blocks; %d%% of cores fail at iteration %d\n\n",
+		tm.Name, a.Rows, numBlocks, int(100**fraction), *failAt)
+
+	run := func(label string, recovery int) []float64 {
+		opt := repro.AsyncOptions{
+			BlockSize:      blockSize,
+			LocalIters:     5,
+			MaxGlobalIters: *iters,
+			RecordHistory:  true,
+			Seed:           1,
+		}
+		if recovery != 0 {
+			inj, err := repro.NewFaultInjector(numBlocks, *fraction, *failAt, recovery, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.SkipBlock = inj.SkipBlock
+		}
+		res, err := repro.SolveAsync(a, b, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		return res.History
+	}
+
+	clean := run("no failure", 0)
+	rec10 := run("recovery-(10)", 10)
+	rec30 := run("recovery-(30)", 30)
+	none := run("no recovery", -1)
+
+	fmt.Println("relative residual (log10) at selected iterations:")
+	fmt.Printf("%-6s %12s %14s %14s %14s\n", "iter", "no failure", "recovery-(10)", "recovery-(30)", "no recovery")
+	b0 := clean[0]
+	for it := 9; it < *iters; it += 10 {
+		fmt.Printf("%-6d %12.2e %14.2e %14.2e %14.2e\n",
+			it+1, clean[it]/b0, rec10[it]/b0, rec30[it]/b0, none[it]/b0)
+	}
+
+	last := *iters - 1
+	fmt.Printf("\nfinal: clean %.2e | recovery-(10) %.2e | recovery-(30) %.2e | no recovery %.2e\n",
+		clean[last], rec10[last], rec30[last], none[last])
+	fmt.Println("\nThe recovering runs regain full convergence — the method needs no")
+	fmt.Println("checkpointing. Without recovery, the residual stalls: the components of")
+	fmt.Println("the dead blocks are never updated again.")
+}

@@ -1,0 +1,77 @@
+// Freerunning: the barrier-free extension engine. Workers sweep their
+// blocks with no global synchronization of any kind — the purest software
+// realization of Chazan–Miranker chaotic relaxation — while a monitor
+// watches the residual. Compares against the per-iteration engines on the
+// same problem.
+//
+// Run with:
+//
+//	go run ./examples/freerunning [-grid 40] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	grid := flag.Int("grid", 40, "Poisson grid side")
+	workers := flag.Int("workers", 8, "free-running workers")
+	tol := flag.Float64("tol", 1e-9, "absolute residual tolerance")
+	flag.Parse()
+
+	a := repro.Poisson2D(*grid, *grid)
+	b := repro.OnesRHS(a)
+	fmt.Printf("2-D Poisson %dx%d (n=%d), tolerance %.0e\n\n", *grid, *grid, a.Rows, *tol)
+
+	// Reference: the per-global-iteration engine (barrier per sweep).
+	start := time.Now()
+	sync, err := repro.SolveAsync(a, b, repro.AsyncOptions{
+		BlockSize:      100,
+		LocalIters:     3,
+		MaxGlobalIters: 100000,
+		Tolerance:      *tol,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-iteration engine: %d global iterations, residual %.2e (%v wall)\n",
+		sync.GlobalIterations, sync.Residual, time.Since(start).Round(time.Millisecond))
+
+	// Free-running: no barrier at all. Fairness comes from each worker
+	// round-robining its own blocks; progress tracking from a monitor.
+	start = time.Now()
+	free, err := repro.SolveFreeRunning(a, b, repro.FreeRunningOptions{
+		BlockSize:       100,
+		LocalIters:      3,
+		MaxBlockUpdates: 10_000_000,
+		Tolerance:       *tol,
+		Workers:         *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("free-running engine:  %.1f equivalent global iterations (%d block updates), residual %.2e (%v wall)\n",
+		free.EquivalentGlobalIters, free.BlockUpdates, free.Residual, time.Since(start).Round(time.Millisecond))
+
+	if !sync.Converged || !free.Converged {
+		log.Fatal("a solver failed to converge")
+	}
+
+	var maxDiff float64
+	for i := range free.X {
+		if d := free.X[i] - sync.X[i]; d > maxDiff {
+			maxDiff = d
+		} else if -d > maxDiff {
+			maxDiff = -d
+		}
+	}
+	fmt.Printf("\nmax |x_free - x_sync| = %.2e — same fixed point, no synchronization needed.\n", maxDiff)
+	fmt.Println("This is the property the paper's Exascale argument rests on: the")
+	fmt.Println("asynchronous iteration tolerates arbitrary update orders and delays.")
+}

@@ -1,0 +1,90 @@
+// Multigpu: the paper's §4.6 scaling study. Runs the block-asynchronous
+// iteration on the modeled 4-GPU Supermicro node under the three
+// communication strategies (asynchronous multicopy, GPU-direct transfer,
+// GPU-direct kernel access) and prints the time-to-convergence bar chart
+// of Figure 11.
+//
+// Run with:
+//
+//	go run ./examples/multigpu [-matrix Trefethen_20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	matrix := flag.String("matrix", "Trefethen_20000", "test system")
+	relTol := flag.Float64("reltol", 1e-12, "relative residual target")
+	flag.Parse()
+
+	tm, err := repro.GenerateMatrixErr(*matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := tm.A
+	b := repro.OnesRHS(a)
+	model := repro.CalibratedModel()
+	topo := repro.Supermicro()
+	fmt.Printf("system %s: n=%d, nnz=%d; topology: %d GPUs, %d per socket\n\n",
+		tm.Name, a.Rows, a.NNZ(), topo.MaxGPUs, topo.GPUsPerSocket)
+
+	opt := repro.AsyncOptions{
+		BlockSize:      448,
+		LocalIters:     5,
+		MaxGlobalIters: 10000,
+		Tolerance:      *relTol * norm(b),
+		Seed:           1,
+	}
+
+	var best float64
+	type row struct {
+		label string
+		secs  float64
+		na    bool
+	}
+	var rows []row
+	for _, strat := range []repro.Strategy{repro.AMC, repro.DC, repro.DK} {
+		for g := 1; g <= topo.MaxGPUs; g++ {
+			res, err := repro.SolveMultiGPU(a, b, opt, model, topo, strat, g)
+			label := fmt.Sprintf("%-3s %d GPU(s)", strat, g)
+			if err != nil {
+				rows = append(rows, row{label: label, na: true})
+				continue
+			}
+			if !res.Converged {
+				log.Fatalf("%s: did not converge", label)
+			}
+			rows = append(rows, row{label: label, secs: res.ModeledSeconds})
+			if best == 0 || res.ModeledSeconds > best {
+				best = res.ModeledSeconds
+			}
+		}
+	}
+
+	fmt.Println("time to convergence (initialization overhead excluded):")
+	for _, r := range rows {
+		if r.na {
+			fmt.Printf("%s | n/a (CUDA 4.0 GPU-direct only reaches devices on one IOH)\n", r.label)
+			continue
+		}
+		bar := strings.Repeat("=", int(r.secs/best*48))
+		fmt.Printf("%s |%s %.3f s\n", r.label, bar, r.secs)
+	}
+	fmt.Println("\nAMC nearly halves the time with a second GPU (independent PCIe links);")
+	fmt.Println("a third GPU crosses the QPI socket bridge and loses most of the gain.")
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,76 @@
+// Silenterrors: the closing observation of the paper's §4.5 — asynchronous
+// methods can *detect* silent errors: "a convergence delay ... indicates
+// that a silent error has occurred." A bit flip is injected into the
+// iterate mid-solve; the anomaly monitor flags it from the residual
+// history alone, and the chaotic iteration then heals itself without any
+// rollback.
+//
+// Run with:
+//
+//	go run ./examples/silenterrors [-matrix fv1] [-inject 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	matrix := flag.String("matrix", "fv1", "test system")
+	inject := flag.Int("inject", 25, "global iteration at which the bit flip happens")
+	iters := flag.Int("iters", 60, "global iterations")
+	flag.Parse()
+
+	tm, err := repro.GenerateMatrixErr(*matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := tm.A
+	b := repro.OnesRHS(a)
+	fmt.Printf("system %s (n=%d); silent bit flip after global iteration %d\n\n",
+		tm.Name, a.Rows, *inject)
+
+	sc, err := repro.NewSilentCorruptor([]int{*inject}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.SolveAsync(a, b, repro.AsyncOptions{
+		BlockSize:      128,
+		LocalIters:     5,
+		MaxGlobalIters: *iters,
+		RecordHistory:  true,
+		Seed:           1,
+		AfterIteration: sc.Corrupt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det := repro.NewAnomalyDetector(5, 10)
+	b0 := norm(b)
+	fmt.Println("iter   rel residual   monitor")
+	for i, r := range res.History {
+		flag := ""
+		if det.Observe(r) {
+			flag = "  <-- ANOMALY: silent error suspected"
+		}
+		if (i+1)%5 == 0 || flag != "" {
+			fmt.Printf("%4d   %.3e%s\n", i+1, r/b0, flag)
+		}
+	}
+	fmt.Printf("\ncorrupted components: %v\n", sc.Injected[*inject])
+	fmt.Println("No rollback was performed — the asynchronous iteration absorbed the")
+	fmt.Println("corruption and re-converged on its own (the §4.5 resilience argument).")
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

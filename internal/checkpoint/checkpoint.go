@@ -1,0 +1,214 @@
+// Package checkpoint implements the classical fault-tolerance strategy the
+// paper argues will break down at Exascale (§4.5): periodic checkpointing
+// with rollback restart for *synchronous* iterative solvers.
+//
+// "For most synchronized iterative solvers hardware failure is crucial,
+// resulting in the breakdown of the algorithm. … algorithms will no longer
+// be able to rely on checkpointing to cope with faults in the Exascale
+// era. This stems from the fact, that the time for checkpointing and
+// restarting will exceed the mean time of failure of the full system."
+//
+// The package provides a simulated-time harness: a synchronous sweep-based
+// solver runs under a failure process with a given mean time between
+// failures (MTBF); every failure forces a rollback to the last checkpoint
+// plus a restart penalty. The asynchronous comparison (no checkpoints, no
+// rollback — dead blocks are simply reassigned) is modeled alongside, so
+// experiments.ExascaleArgument can sweep the MTBF and reproduce the
+// paper's qualitative crossover: beyond some failure rate the
+// checkpointed synchronous solver stops making progress while the
+// asynchronous method still converges.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes the checkpointed synchronous execution.
+type Config struct {
+	// IterTime is the simulated time per solver iteration (seconds).
+	IterTime float64
+	// CheckpointTime is the cost of writing one checkpoint; taken every
+	// Interval iterations.
+	CheckpointTime float64
+	Interval       int
+	// RestartTime is the cost of detecting a failure, restoring the last
+	// checkpoint and restarting.
+	RestartTime float64
+	// MTBF is the mean time between failures of the whole system; failures
+	// arrive as a Poisson process (exponential gaps).
+	MTBF float64
+	// IterationsNeeded is how many successful consecutive iterations the
+	// solve requires. A failure destroys progress back to the last
+	// checkpoint.
+	IterationsNeeded int
+	// TimeBudget bounds the simulation; ErrBudgetExceeded is returned if
+	// the solve does not finish in this much simulated time.
+	TimeBudget float64
+	Seed       int64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.IterTime <= 0:
+		return fmt.Errorf("checkpoint: IterTime must be positive, have %g", c.IterTime)
+	case c.Interval <= 0:
+		return fmt.Errorf("checkpoint: Interval must be positive, have %d", c.Interval)
+	case c.MTBF <= 0:
+		return fmt.Errorf("checkpoint: MTBF must be positive, have %g", c.MTBF)
+	case c.IterationsNeeded <= 0:
+		return fmt.Errorf("checkpoint: IterationsNeeded must be positive, have %d", c.IterationsNeeded)
+	case c.TimeBudget <= 0:
+		return fmt.Errorf("checkpoint: TimeBudget must be positive, have %g", c.TimeBudget)
+	case c.CheckpointTime < 0 || c.RestartTime < 0:
+		return fmt.Errorf("checkpoint: negative overhead times")
+	}
+	return nil
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Finished bool
+	// TotalTime is the simulated wall time used (= TimeBudget if not
+	// finished).
+	TotalTime float64
+	// UsefulTime is time spent on iterations that survived to the end.
+	UsefulTime float64
+	// Failures, Checkpoints and RolledBackIters count the events.
+	Failures        int
+	Checkpoints     int
+	RolledBackIters int
+}
+
+// Efficiency returns UsefulTime/TotalTime (0 if no time passed).
+func (r Result) Efficiency() float64 {
+	if r.TotalTime == 0 {
+		return 0
+	}
+	return r.UsefulTime / r.TotalTime
+}
+
+// ErrBudgetExceeded reports a run that did not finish within TimeBudget.
+var ErrBudgetExceeded = errors.New("checkpoint: time budget exceeded before completion")
+
+// RunSynchronous simulates the checkpoint/rollback execution of a
+// synchronous solver under the failure process.
+func RunSynchronous(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextFailure := expGap(rng, cfg.MTBF)
+
+	var res Result
+	now := 0.0
+	done := 0         // iterations completed and checkpointed or in progress
+	checkpointed := 0 // iterations safely persisted
+	sinceCkpt := 0
+
+	for done < cfg.IterationsNeeded {
+		if now >= cfg.TimeBudget {
+			res.TotalTime = cfg.TimeBudget
+			return res, ErrBudgetExceeded
+		}
+		stepEnd := now + cfg.IterTime
+		if nextFailure < stepEnd {
+			// Failure mid-iteration: roll back to the last checkpoint.
+			res.Failures++
+			res.RolledBackIters += done - checkpointed
+			done = checkpointed
+			sinceCkpt = 0
+			now = nextFailure + cfg.RestartTime
+			nextFailure = now + expGap(rng, cfg.MTBF)
+			continue
+		}
+		now = stepEnd
+		done++
+		sinceCkpt++
+		if sinceCkpt == cfg.Interval && done < cfg.IterationsNeeded {
+			// Write a checkpoint; a failure during the write loses the
+			// un-checkpointed window.
+			ckptEnd := now + cfg.CheckpointTime
+			if nextFailure < ckptEnd {
+				res.Failures++
+				res.RolledBackIters += done - checkpointed
+				done = checkpointed
+				sinceCkpt = 0
+				now = nextFailure + cfg.RestartTime
+				nextFailure = now + expGap(rng, cfg.MTBF)
+				continue
+			}
+			now = ckptEnd
+			checkpointed = done
+			sinceCkpt = 0
+			res.Checkpoints++
+		}
+	}
+	res.Finished = true
+	res.TotalTime = now
+	res.UsefulTime = float64(cfg.IterationsNeeded) * cfg.IterTime
+	return res, nil
+}
+
+// RunAsynchronous simulates the asynchronous execution under the same
+// failure process: no checkpoints and no rollback — each failure only
+// costs the recovery (reassignment) delay, during which convergence
+// continues on the surviving components at reduced efficiency.
+//
+// recoveryTime is the reassignment delay per failure; degraded is the
+// progress fraction contributed during an outage (e.g. 0.5: the surviving
+// 75 % of cores still move the iteration forward at half effectiveness —
+// paper Figure 10 shows convergence merely slowing during the outage).
+func RunAsynchronous(cfg Config, recoveryTime, degraded float64) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if degraded < 0 || degraded > 1 {
+		return Result{}, fmt.Errorf("checkpoint: degraded fraction %g outside [0,1]", degraded)
+	}
+	if recoveryTime < 0 {
+		return Result{}, fmt.Errorf("checkpoint: negative recovery time")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextFailure := expGap(rng, cfg.MTBF)
+
+	var res Result
+	now := 0.0
+	progress := 0.0 // fractional iterations completed
+	target := float64(cfg.IterationsNeeded)
+
+	for progress < target {
+		if now >= cfg.TimeBudget {
+			res.TotalTime = cfg.TimeBudget
+			return res, ErrBudgetExceeded
+		}
+		if nextFailure <= now {
+			// Outage: convergence continues at the degraded rate while the
+			// system reassigns the dead blocks; no progress is lost.
+			res.Failures++
+			progress += degraded * recoveryTime / cfg.IterTime
+			now = math.Max(now, nextFailure) + recoveryTime
+			nextFailure = now + expGap(rng, cfg.MTBF)
+			continue
+		}
+		// Advance to the next failure or to completion, whichever first.
+		need := (target - progress) * cfg.IterTime
+		if now+need <= nextFailure {
+			now += need
+			progress = target
+			break
+		}
+		progress += (nextFailure - now) / cfg.IterTime
+		now = nextFailure
+	}
+	res.Finished = progress >= target
+	res.TotalTime = now
+	res.UsefulTime = target * cfg.IterTime
+	return res, nil
+}
+
+func expGap(rng *rand.Rand, mtbf float64) float64 {
+	return rng.ExpFloat64() * mtbf
+}

@@ -1,0 +1,162 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseCfg() Config {
+	return Config{
+		IterTime:         0.01,
+		CheckpointTime:   0.05,
+		Interval:         10,
+		RestartTime:      0.2,
+		MTBF:             1e9, // effectively failure-free
+		IterationsNeeded: 100,
+		TimeBudget:       1e6,
+		Seed:             1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.IterTime = 0 },
+		func(c *Config) { c.Interval = 0 },
+		func(c *Config) { c.MTBF = 0 },
+		func(c *Config) { c.IterationsNeeded = 0 },
+		func(c *Config) { c.TimeBudget = 0 },
+		func(c *Config) { c.CheckpointTime = -1 },
+	}
+	for i, mut := range bad {
+		cfg := baseCfg()
+		mut(&cfg)
+		if _, err := RunSynchronous(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := RunAsynchronous(baseCfg(), -1, 0.5); err == nil {
+		t.Error("expected negative-recovery error")
+	}
+	if _, err := RunAsynchronous(baseCfg(), 1, 2); err == nil {
+		t.Error("expected degraded-range error")
+	}
+}
+
+func TestFailureFreeRun(t *testing.T) {
+	cfg := baseCfg()
+	res, err := RunSynchronous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.Failures != 0 {
+		t.Fatalf("clean run: %+v", res)
+	}
+	// 100 iterations à 0.01 + 9 checkpoints à 0.05 (none after the last
+	// iteration).
+	want := 100*0.01 + 9*0.05
+	if math.Abs(res.TotalTime-want) > 1e-9 {
+		t.Errorf("TotalTime = %g, want %g", res.TotalTime, want)
+	}
+	if res.Checkpoints != 9 {
+		t.Errorf("Checkpoints = %d, want 9", res.Checkpoints)
+	}
+	if e := res.Efficiency(); e <= 0.6 || e > 1 {
+		t.Errorf("efficiency = %g", e)
+	}
+}
+
+func TestFailuresForceRollback(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MTBF = 0.3 // several failures during the run
+	res, err := RunSynchronous(cfg)
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("expected failures at MTBF 0.3")
+	}
+	if res.Finished && res.RolledBackIters == 0 {
+		t.Error("failures should cause rollbacks")
+	}
+}
+
+func TestSynchronousStallsAtHighFailureRate(t *testing.T) {
+	// The paper's Exascale argument: once the MTBF drops below the
+	// checkpoint-restart cycle cost, the application "gets stuck in a
+	// state of constantly being restarted".
+	cfg := baseCfg()
+	cfg.MTBF = 0.03 // far below one checkpoint interval's work + restart cost
+	cfg.TimeBudget = 50
+	_, err := RunSynchronous(cfg)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestAsynchronousSurvivesHighFailureRate(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MTBF = 0.05
+	cfg.TimeBudget = 50
+	res, err := RunAsynchronous(cfg, 0.02, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatalf("asynchronous run should finish: %+v", res)
+	}
+	if res.Failures == 0 {
+		t.Error("expected failures during the run")
+	}
+}
+
+func TestAsynchronousFasterUnderFailures(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MTBF = 0.5
+	s, serr := RunSynchronous(cfg)
+	a, aerr := RunAsynchronous(cfg, 0.02, 0.5)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if serr == nil && s.Finished && a.Finished && s.TotalTime <= a.TotalTime {
+		t.Errorf("async (%g) should beat checkpointed sync (%g) at MTBF 0.5", a.TotalTime, s.TotalTime)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MTBF = 0.4
+	r1, e1 := RunSynchronous(cfg)
+	r2, e2 := RunSynchronous(cfg)
+	if (e1 == nil) != (e2 == nil) || r1.TotalTime != r2.TotalTime || r1.Failures != r2.Failures {
+		t.Error("same seed must reproduce the run")
+	}
+}
+
+// Property: with failures, total time ≥ useful time, and the asynchronous
+// run never loses progress (UsefulTime equals the full work when finished).
+func TestPropertyTimeAccounting(t *testing.T) {
+	f := func(seed int64, mtbfScale uint8) bool {
+		cfg := baseCfg()
+		cfg.Seed = seed
+		cfg.MTBF = 0.05 + float64(mtbfScale)/64
+		cfg.TimeBudget = 1000
+		s, serr := RunSynchronous(cfg)
+		if serr == nil {
+			if !s.Finished || s.TotalTime < s.UsefulTime-1e-9 {
+				return false
+			}
+		}
+		a, aerr := RunAsynchronous(cfg, 0.05, 0.5)
+		if aerr == nil && a.Finished {
+			if a.TotalTime < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

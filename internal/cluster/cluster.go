@@ -1,0 +1,250 @@
+// Package cluster models the block-asynchronous iteration on a
+// distributed-memory system — the setting of the paper's conclusion ("We
+// developed block-asynchronous relaxation methods for GPU-accelerated
+// clusters"). Each node owns a contiguous block of rows and iterates
+// locally; off-node components arrive as messages over links with bounded,
+// possibly heterogeneous delays. Staleness is therefore explicit: a node
+// computing at tick t sees neighbour values from tick t − delay(link) — the
+// Chazan–Miranker shift function s(k, i) realized as network latency, with
+// the bounded-shift condition (2) holding by construction.
+//
+// The engine advances in simulated ticks. On every tick each node performs
+// one async-(k) update of its block against its current (stale) view of
+// the off-node components and publishes its boundary values; a message
+// published at tick t on a link with delay d becomes visible at tick t+d.
+// Nodes may also drop out (fault injection) without stopping the others —
+// the cluster-level version of the paper's §4.5 experiment.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// Options configures a cluster solve.
+type Options struct {
+	// Nodes is the number of cluster nodes (each owns ≈ n/Nodes rows).
+	// Required > 0.
+	Nodes int
+	// LocalIters is k in async-(k) applied inside each node per tick.
+	LocalIters int
+	// MaxDelay is the largest link delay in ticks (≥ 1: even the fastest
+	// message is visible one tick later). Each directed link gets a fixed
+	// delay drawn uniformly from [1, MaxDelay], seeded.
+	MaxDelay int
+	// MaxTicks bounds the simulation. Required > 0.
+	MaxTicks int
+	// Tolerance is the absolute global residual target; 0 runs MaxTicks.
+	Tolerance float64
+	// RecordHistory stores the global residual after every tick.
+	RecordHistory bool
+	Seed          int64
+	// DeadNodes, if non-nil, maps node index → tick at which it stops
+	// updating (its last published values keep circulating). Negative tick
+	// entries are ignored.
+	DeadNodes map[int]int
+	// NodeSpeeds, if non-nil, models heterogeneous hardware — the paper's
+	// AMC motivation ("the distinct GPUs processing with different
+	// speed"): node i performs an update only every NodeSpeeds[i] ticks
+	// (1 = full speed). Length must equal the realized node count; entries
+	// must be ≥ 1. Slow nodes inject extra staleness but, being updated
+	// infinitely often, never break Chazan–Miranker convergence.
+	NodeSpeeds []int
+}
+
+func (o Options) validate(a *sparse.CSR, b []float64) error {
+	switch {
+	case a.Rows != a.Cols:
+		return fmt.Errorf("cluster: matrix must be square, have %dx%d", a.Rows, a.Cols)
+	case len(b) != a.Rows:
+		return fmt.Errorf("cluster: rhs length %d does not match dimension %d", len(b), a.Rows)
+	case o.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, have %d", o.Nodes)
+	case o.Nodes > a.Rows:
+		return fmt.Errorf("cluster: more nodes (%d) than rows (%d)", o.Nodes, a.Rows)
+	case o.LocalIters <= 0:
+		return fmt.Errorf("cluster: LocalIters must be positive, have %d", o.LocalIters)
+	case o.MaxDelay < 1:
+		return fmt.Errorf("cluster: MaxDelay must be ≥ 1, have %d", o.MaxDelay)
+	case o.MaxTicks <= 0:
+		return fmt.Errorf("cluster: MaxTicks must be positive, have %d", o.MaxTicks)
+	}
+	for i, sp := range o.NodeSpeeds {
+		if sp < 1 {
+			return fmt.Errorf("cluster: NodeSpeeds[%d] = %d must be ≥ 1", i, sp)
+		}
+	}
+	return nil
+}
+
+// Result reports a cluster solve.
+type Result struct {
+	X         []float64
+	Ticks     int
+	Residual  float64
+	Converged bool
+	History   []float64
+	// Delays echoes the realized link-delay matrix: Delays[from][to].
+	Delays [][]int
+	// MaxShift is the largest staleness (in ticks) any node observed —
+	// max link delay among links actually used, the realized s̄.
+	MaxShift int
+}
+
+// ErrDiverged is reported when the residual leaves the finite range.
+var ErrDiverged = errors.New("cluster: iteration diverged (non-finite residual)")
+
+// Solve runs the distributed bounded-delay asynchronous iteration.
+func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
+	if err := opt.validate(a, b); err != nil {
+		return Result{}, err
+	}
+	sp, err := sparse.NewSplitting(a)
+	if err != nil {
+		return Result{}, err
+	}
+	n := a.Rows
+	blockSize := (n + opt.Nodes - 1) / opt.Nodes
+	part := sparse.NewBlockPartition(n, blockSize)
+	nodes := part.NumBlocks()
+
+	if opt.NodeSpeeds != nil && len(opt.NodeSpeeds) != nodes {
+		return Result{}, fmt.Errorf("cluster: NodeSpeeds length %d, want %d nodes", len(opt.NodeSpeeds), nodes)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	delays := make([][]int, nodes)
+	maxShift := 0
+	for i := range delays {
+		delays[i] = make([]int, nodes)
+		for j := range delays[i] {
+			if i == j {
+				continue
+			}
+			delays[i][j] = 1 + rng.Intn(opt.MaxDelay)
+			if delays[i][j] > maxShift {
+				maxShift = delays[i][j]
+			}
+		}
+	}
+
+	// published[t%W][i] is node i's block values as of tick t; W is the
+	// history window needed to serve the largest delay.
+	window := opt.MaxDelay + 1
+	published := make([][][]float64, window)
+	x := make([]float64, n) // current local values per owner node
+	for w := 0; w < window; w++ {
+		published[w] = make([][]float64, nodes)
+		for i := 0; i < nodes; i++ {
+			lo, hi := part.Bounds(i)
+			published[w][i] = make([]float64, hi-lo)
+		}
+	}
+
+	// view assembles, for a reader node, the full vector as it appears
+	// through the link delays at the given tick.
+	view := make([]float64, n)
+	assembleView := func(reader, tick int) []float64 {
+		for src := 0; src < nodes; src++ {
+			lo, hi := part.Bounds(src)
+			if src == reader {
+				copy(view[lo:hi], x[lo:hi])
+				continue
+			}
+			// A value published at tick t over a link with delay d is
+			// visible from tick t+d on: the freshest visible is t = tick−d.
+			from := tick - delays[src][reader]
+			if from < 0 {
+				from = 0
+			}
+			copy(view[lo:hi], published[from%window][src])
+		}
+		return view
+	}
+
+	res := Result{Delays: delays, MaxShift: maxShift}
+	scratchNew := make([]float64, blockSize)
+	for tick := 1; tick <= opt.MaxTicks; tick++ {
+		for node := 0; node < nodes; node++ {
+			if deadAt, ok := opt.DeadNodes[node]; ok && deadAt >= 0 && tick >= deadAt {
+				continue // node down: last published values keep circulating
+			}
+			if opt.NodeSpeeds != nil && tick%opt.NodeSpeeds[node] != 0 {
+				continue // slow hardware: this node skips the tick
+			}
+			v := assembleView(node, tick)
+			lo, hi := part.Bounds(node)
+			// k local Jacobi sweeps with the off-node view frozen.
+			local := x[lo:hi]
+			for sweep := 0; sweep < opt.LocalIters; sweep++ {
+				xn := scratchNew[:hi-lo]
+				for i := lo; i < hi; i++ {
+					acc := b[i]
+					for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+						j := a.ColIdx[p]
+						switch {
+						case j == i:
+						case j >= lo && j < hi:
+							acc -= a.Val[p] * local[j-lo]
+						default:
+							acc -= a.Val[p] * v[j]
+						}
+					}
+					xn[i-lo] = acc * sp.InvDiag[i]
+				}
+				copy(local, xn)
+			}
+		}
+		// Publish this tick's values.
+		for node := 0; node < nodes; node++ {
+			lo, hi := part.Bounds(node)
+			copy(published[tick%window][node], x[lo:hi])
+		}
+		res.Ticks = tick
+		if opt.RecordHistory || opt.Tolerance > 0 {
+			r := solver.Residual(a, b, x)
+			res.Residual = r
+			if opt.RecordHistory {
+				res.History = append(res.History, r)
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				res.X = append([]float64(nil), x...)
+				return res, fmt.Errorf("%w after %d ticks", ErrDiverged, tick)
+			}
+			if opt.Tolerance > 0 && r <= opt.Tolerance {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.X = append([]float64(nil), x...)
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		res.Residual = solver.Residual(a, b, res.X)
+	}
+	return res, nil
+}
+
+// DelaySweep measures how the convergence rate degrades with the link
+// delay bound: for each delay it returns the ticks needed to reach tol
+// (0 = not reached). The theory predicts graceful degradation — bounded
+// staleness slows but never breaks convergence while ρ(|B|) < 1.
+func DelaySweep(a *sparse.CSR, b []float64, base Options, delays []int, tol float64) ([]int, error) {
+	out := make([]int, len(delays))
+	for i, d := range delays {
+		opt := base
+		opt.MaxDelay = d
+		opt.Tolerance = tol
+		res, err := Solve(a, b, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: delay %d: %w", d, err)
+		}
+		if res.Converged {
+			out[i] = res.Ticks
+		}
+	}
+	return out, nil
+}

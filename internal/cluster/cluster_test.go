@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+func onesRHS(a *sparse.CSR) []float64 {
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+func TestValidation(t *testing.T) {
+	a := mats.Poisson2D(6, 6)
+	b := onesRHS(a)
+	bad := []Options{
+		{Nodes: 0, LocalIters: 1, MaxDelay: 1, MaxTicks: 1},
+		{Nodes: 100, LocalIters: 1, MaxDelay: 1, MaxTicks: 1},
+		{Nodes: 2, LocalIters: 0, MaxDelay: 1, MaxTicks: 1},
+		{Nodes: 2, LocalIters: 1, MaxDelay: 0, MaxTicks: 1},
+		{Nodes: 2, LocalIters: 1, MaxDelay: 1, MaxTicks: 0},
+	}
+	for i, o := range bad {
+		if _, err := Solve(a, b, o); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Solve(a, b[:3], Options{Nodes: 2, LocalIters: 1, MaxDelay: 1, MaxTicks: 1}); err == nil {
+		t.Error("expected rhs length error")
+	}
+}
+
+func TestClusterSolvesPoisson(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		Nodes: 8, LocalIters: 3, MaxDelay: 3, MaxTicks: 5000,
+		Tolerance: 1e-9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g after %d ticks", res.Residual, res.Ticks)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+	if res.MaxShift < 1 || res.MaxShift > 3 {
+		t.Errorf("MaxShift = %d, want in [1,3]", res.MaxShift)
+	}
+}
+
+func TestDelayOneMatchesBlockJacobi(t *testing.T) {
+	// MaxDelay = 1: every node sees the previous tick's values — exactly a
+	// synchronous block-Jacobi(k) iteration, deterministic regardless of
+	// seed.
+	a := mats.Poisson2D(12, 12)
+	b := onesRHS(a)
+	opt := Options{Nodes: 4, LocalIters: 2, MaxDelay: 1, MaxTicks: 50, RecordHistory: true}
+	r1, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Seed = 99
+	r2, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.History {
+		if r1.History[i] != r2.History[i] {
+			t.Fatalf("delay-1 runs must be seed-independent (tick %d: %g vs %g)",
+				i, r1.History[i], r2.History[i])
+		}
+	}
+}
+
+func TestLargerDelaysConvergeSlower(t *testing.T) {
+	a := mats.FV(25, 25, 1.368)
+	b := onesRHS(a)
+	base := Options{Nodes: 8, LocalIters: 3, MaxTicks: 5000, Seed: 3}
+	ticks, err := DelaySweep(a, b, base, []int{1, 4, 16}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range ticks {
+		if tk == 0 {
+			t.Fatalf("delay case %d never converged (bounded staleness must not break convergence)", i)
+		}
+	}
+	if !(ticks[0] <= ticks[1] && ticks[1] <= ticks[2]) {
+		t.Errorf("ticks-to-convergence should grow with delay: %v", ticks)
+	}
+	// Graceful, not catastrophic: delay 16 costs at most ~16x delay 1.
+	if ticks[2] > 20*ticks[0] {
+		t.Errorf("degradation too steep: %v", ticks)
+	}
+}
+
+func TestDeadNodeStallsResidual(t *testing.T) {
+	a := mats.Trefethen(400)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		Nodes: 8, LocalIters: 3, MaxDelay: 2, MaxTicks: 80,
+		RecordHistory: true, Seed: 2,
+		DeadNodes: map[int]int{3: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	last := h[len(h)-1]
+	if !(last > 1e-3*h[9]) {
+		t.Errorf("dead node should stall the residual near the failure level: %g -> %g", h[9], last)
+	}
+	// The clean run converges much deeper.
+	clean, err := Solve(a, b, Options{
+		Nodes: 8, LocalIters: 3, MaxDelay: 2, MaxTicks: 80,
+		RecordHistory: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(clean.History[len(clean.History)-1] < last*1e-3) {
+		t.Errorf("clean run (%g) should converge far below the failed run (%g)",
+			clean.History[len(clean.History)-1], last)
+	}
+}
+
+func TestClusterDiverges(t *testing.T) {
+	a := mats.S1RMT3M1(200)
+	b := onesRHS(a)
+	_, err := Solve(a, b, Options{
+		Nodes: 4, LocalIters: 2, MaxDelay: 2, MaxTicks: 500,
+		Tolerance: 1e-10, Seed: 1,
+	})
+	if err == nil || !errors.Is(err, ErrDiverged) {
+		t.Fatalf("expected ErrDiverged on ρ(B)>1 system, got %v", err)
+	}
+}
+
+func TestClusterMatchesSequentialFixedPoint(t *testing.T) {
+	// Whatever the delays, the converged answer is the system's solution.
+	a := mats.DiagDominant(90, 2, 1.5)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		Nodes: 6, LocalIters: 2, MaxDelay: 5, MaxTicks: 5000,
+		Tolerance: 1e-10, Seed: 7,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("cluster solve failed: %v", err)
+	}
+	gs, err := solver.GaussSeidel(a, b, solver.Options{MaxIterations: 5000, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-gs.X[i]) > 1e-6 {
+			t.Fatalf("fixed points differ at %d: %g vs %g", i, res.X[i], gs.X[i])
+		}
+	}
+}
+
+// Property: convergence holds for random node counts, delays and local
+// iteration counts on diagonally dominant systems (Chazan–Miranker with
+// bounded shift).
+func TestPropertyClusterConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed int64, nodes8, delay8, k8 uint8) bool {
+		a := mats.DiagDominant(64, 2, 1.6)
+		b := onesRHS(a)
+		res, err := Solve(a, b, Options{
+			Nodes:      int(nodes8%8) + 1,
+			LocalIters: int(k8%4) + 1,
+			MaxDelay:   int(delay8%10) + 1,
+			MaxTicks:   8000,
+			Tolerance:  1e-9,
+			Seed:       seed,
+		})
+		if err != nil || !res.Converged {
+			return false
+		}
+		for _, v := range res.X {
+			if math.Abs(v-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousNodeSpeeds(t *testing.T) {
+	a := mats.FV(25, 25, 1.368)
+	b := onesRHS(a)
+	base := Options{Nodes: 5, LocalIters: 3, MaxDelay: 2, MaxTicks: 10000, Tolerance: 1e-8, Seed: 4}
+
+	uniform, err := Solve(a, b, base)
+	if err != nil || !uniform.Converged {
+		t.Fatalf("uniform cluster failed: %v", err)
+	}
+
+	hetero := base
+	hetero.NodeSpeeds = []int{1, 1, 1, 1, 4} // one node at quarter speed
+	res, err := Solve(a, b, hetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("heterogeneous cluster must still converge: %g after %d ticks", res.Residual, res.Ticks)
+	}
+	if res.Ticks < uniform.Ticks {
+		t.Errorf("a slow node cannot speed things up: %d vs %d ticks", res.Ticks, uniform.Ticks)
+	}
+	// Graceful: bounded by ~speed factor of the slowest node.
+	if res.Ticks > 6*uniform.Ticks {
+		t.Errorf("degradation too steep: %d vs %d ticks", res.Ticks, uniform.Ticks)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestNodeSpeedsValidation(t *testing.T) {
+	a := mats.Poisson2D(6, 6)
+	b := onesRHS(a)
+	if _, err := Solve(a, b, Options{
+		Nodes: 2, LocalIters: 1, MaxDelay: 1, MaxTicks: 10, NodeSpeeds: []int{1, 0},
+	}); err == nil {
+		t.Error("expected error for speed 0")
+	}
+	if _, err := Solve(a, b, Options{
+		Nodes: 2, LocalIters: 1, MaxDelay: 1, MaxTicks: 10, NodeSpeeds: []int{1},
+	}); err == nil {
+		t.Error("expected error for wrong NodeSpeeds length")
+	}
+}

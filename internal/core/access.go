@@ -1,0 +1,25 @@
+package core
+
+// VectorAccess grants element-wise read/write access to the solver's
+// iterate, independent of the engine's storage (plain slice for the
+// simulated engine, per-component atomics for the goroutine engine). It is
+// the parameter type of Options.AfterIteration.
+type VectorAccess interface {
+	Len() int
+	Get(i int) float64
+	Set(i int, v float64)
+}
+
+// sliceAccess adapts a []float64.
+type sliceAccess []float64
+
+func (s sliceAccess) Len() int             { return len(s) }
+func (s sliceAccess) Get(i int) float64    { return s[i] }
+func (s sliceAccess) Set(i int, v float64) { s[i] = v }
+
+// atomicAccess adapts an *AtomicVector.
+type atomicAccess struct{ v *AtomicVector }
+
+func (a atomicAccess) Len() int             { return a.v.Len() }
+func (a atomicAccess) Get(i int) float64    { return a.v.Load(i) }
+func (a atomicAccess) Set(i int, v float64) { a.v.Store(i, v) }

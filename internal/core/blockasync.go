@@ -1,0 +1,235 @@
+// Package blockasync implements the paper's primary contribution: the
+// block-asynchronous relaxation method async-(k) for GPUs (Algorithm 1,
+// Eq. 4).
+//
+// The linear system is decomposed into contiguous blocks of rows
+// ("subdomains"); each block corresponds to one GPU thread block. Blocks
+// iterate asynchronously with respect to each other — they read whatever
+// values of the off-block components happen to be in global memory — while
+// inside a block k synchronous Jacobi-like sweeps are performed with the
+// off-block contribution frozen. One *global iteration* sweeps every block
+// exactly once (in chaotic order), so every component is updated k times
+// per global iteration.
+//
+// Three execution engines are provided:
+//
+//   - EngineSimulated: a deterministic, seeded reproduction of the GPU's
+//     chaotic block scheduling (gpusim.Scheduler). Blocks execute
+//     sequentially in scheduler order against the live iterate, giving the
+//     "block Gauss-Seidel flavor" the paper notes; a configurable fraction
+//     of blocks instead reads the snapshot from the start of the global
+//     iteration, modeling overlapping execution. Fully reproducible; can
+//     record a Chazan–Miranker update/shift trace.
+//
+//   - EngineGoroutine: real asynchrony. Blocks are dispatched to a pool of
+//     workers (default 14, the Fermi C2070's multiprocessor count) and
+//     read/write the shared iterate through per-component atomics with no
+//     further synchronization. Interleavings — and therefore results —
+//     genuinely vary between runs, like the paper's 1000-run study (§4.1).
+//
+//   - EngineFreeRunning: an extension with no global barrier at all; see
+//     SolveFreeRunning.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind int
+
+const (
+	// EngineSimulated executes blocks deterministically in a seeded
+	// chaotic order (reproducible).
+	EngineSimulated EngineKind = iota
+	// EngineGoroutine executes blocks concurrently on a worker pool with
+	// relaxed-consistency shared memory (non-deterministic).
+	EngineGoroutine
+)
+
+// String implements fmt.Stringer.
+func (e EngineKind) String() string {
+	switch e {
+	case EngineSimulated:
+		return "simulated"
+	case EngineGoroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(e))
+	}
+}
+
+// Options configures a block-asynchronous solve.
+type Options struct {
+	// BlockSize is the subdomain size in rows. The paper uses 448 for
+	// production runs and 128 for the non-determinism study. Required > 0.
+	BlockSize int
+	// LocalIters is k in async-(k): Jacobi sweeps per block per global
+	// iteration, with off-block values frozen. Required > 0 (paper default 5).
+	LocalIters int
+	// ExactLocal replaces the k local Jacobi sweeps with an *exact* dense
+	// solve of each subdomain system (the k→∞ limit of the trade-off in
+	// §4.3: classical block Jacobi under the chaotic schedule). LocalIters
+	// and Omega are ignored when set.
+	ExactLocal bool
+	// Omega damps (ω<1) or over-relaxes (ω>1) every local update:
+	// x_i ← (1−ω)x_i + ω·(Jacobi update). Zero selects 1 (the paper's
+	// plain scheme). With ω = τ = 2/(λ₁+λ_n) the block-asynchronous
+	// iteration converges on SPD systems with ρ(B) > 1, extending the
+	// paper's §4.2 scaled-Jacobi remark to the asynchronous method.
+	Omega float64
+	// MaxGlobalIters bounds the number of global iterations. Required > 0.
+	MaxGlobalIters int
+	// Tolerance is the absolute l2 residual target; 0 disables the
+	// stopping test (run exactly MaxGlobalIters, as the paper's
+	// per-iteration figures do).
+	Tolerance float64
+	// RecordHistory stores ‖b−Ax‖₂ after every global iteration.
+	RecordHistory bool
+	// InitialGuess seeds x if non-nil (not modified); zero vector otherwise.
+	InitialGuess []float64
+
+	// Engine selects the execution engine (default EngineSimulated).
+	Engine EngineKind
+	// Seed drives the chaotic scheduler. Runs with equal seeds are
+	// identical under EngineSimulated; under EngineGoroutine the seed only
+	// shapes dispatch order, not the race outcomes.
+	Seed int64
+	// Recurrence in [0,1] is the scheduler's pattern persistence (§4.1
+	// observes GPU scheduling follows a recurring pattern). Default 0.8.
+	Recurrence float64
+	// StaleProb in [0,1] applies to EngineSimulated and adds chaos beyond
+	// the wave model: with this probability a block reads the snapshot
+	// from the start of the whole global iteration rather than of its
+	// dispatch wave (a maximally late dispatch). Default 0 — staleness
+	// then derives purely from the scheduling order, as on the hardware.
+	StaleProb float64
+	// Workers is the worker-pool size for EngineGoroutine; default 14
+	// (Fermi C2070 multiprocessors).
+	Workers int
+
+	// SkipBlock, if non-nil, is consulted before each block execution;
+	// returning true skips the block for that global iteration. Package
+	// fault uses this hook to inject core failures (§4.5).
+	SkipBlock func(iter, block int) bool
+	// RecordTrace (EngineSimulated only) collects the Chazan–Miranker
+	// update/shift statistics into Result.Trace.
+	RecordTrace bool
+	// AfterIteration, if non-nil, runs after each global iteration's
+	// barrier with read/write access to the iterate. Package fault uses
+	// this hook to inject *silent* errors (§4.5: undetected corruption);
+	// monitoring code can use it to snoop on convergence.
+	AfterIteration func(iter int, x VectorAccess)
+}
+
+// withDefaults fills zero-value optional fields.
+func (o Options) withDefaults() Options {
+	if o.Omega == 0 {
+		o.Omega = 1
+	}
+	if o.Recurrence == 0 {
+		o.Recurrence = 0.8
+	}
+	if o.Workers == 0 {
+		o.Workers = 14
+	}
+	return o
+}
+
+func (o Options) validate(a *sparse.CSR, b []float64) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	}
+	if o.BlockSize <= 0 {
+		return fmt.Errorf("core: BlockSize must be positive, have %d", o.BlockSize)
+	}
+	if o.LocalIters <= 0 && !o.ExactLocal {
+		return fmt.Errorf("core: LocalIters must be positive, have %d", o.LocalIters)
+	}
+	if o.MaxGlobalIters <= 0 {
+		return fmt.Errorf("core: MaxGlobalIters must be positive, have %d", o.MaxGlobalIters)
+	}
+	if o.InitialGuess != nil && len(o.InitialGuess) != a.Rows {
+		return fmt.Errorf("core: initial guess length %d does not match dimension %d", len(o.InitialGuess), a.Rows)
+	}
+	if o.Recurrence < 0 || o.Recurrence > 1 {
+		return fmt.Errorf("core: Recurrence %g outside [0,1]", o.Recurrence)
+	}
+	if o.StaleProb < 0 || o.StaleProb > 1 {
+		return fmt.Errorf("core: StaleProb %g outside [0,1]", o.StaleProb)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be nonnegative, have %d", o.Workers)
+	}
+	if o.Omega < 0 || o.Omega >= 2 {
+		return fmt.Errorf("core: Omega must lie in (0,2), have %g", o.Omega)
+	}
+	return nil
+}
+
+// Result reports a block-asynchronous solve.
+type Result struct {
+	X                []float64
+	GlobalIterations int
+	Residual         float64 // final ‖b−Ax‖₂
+	Converged        bool
+	History          []float64 // per-global-iteration residuals if requested
+	Trace            *Trace    // Chazan–Miranker statistics if requested
+	NumBlocks        int
+}
+
+// ErrDiverged is reported (wrapped) when the residual becomes non-finite —
+// the expected outcome on systems with ρ(|B|) > 1 such as s1rmt3m1.
+var ErrDiverged = errors.New("core: iteration diverged (non-finite residual)")
+
+// Solve runs async-(k) block-asynchronous relaxation on Ax = b.
+func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(a, b); err != nil {
+		return Result{}, err
+	}
+	sp, err := sparse.NewSplitting(a)
+	if err != nil {
+		return Result{}, err
+	}
+	part := sparse.NewBlockPartition(a.Rows, opt.BlockSize)
+	views := buildBlockViews(a, part)
+	switch opt.Engine {
+	case EngineSimulated:
+		return solveSimulated(a, sp, b, part, views, opt)
+	case EngineGoroutine:
+		return solveGoroutine(a, sp, b, part, views, opt)
+	default:
+		return Result{}, fmt.Errorf("core: unknown engine %v", opt.Engine)
+	}
+}
+
+// checkResidual updates res with the current residual; it returns stop=true
+// when the tolerance is met or the iteration has left the finite range.
+func checkResidual(a *sparse.CSR, b, x []float64, opt Options, res *Result, iter int) (bool, error) {
+	res.GlobalIterations = iter
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		return false, nil
+	}
+	r := solver.Residual(a, b, x)
+	res.Residual = r
+	if opt.RecordHistory {
+		res.History = append(res.History, r)
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return true, fmt.Errorf("%w after %d global iterations", ErrDiverged, iter)
+	}
+	if opt.Tolerance > 0 && r <= opt.Tolerance {
+		res.Converged = true
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+func onesRHS(a *sparse.CSR) []float64 {
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+func defaultOpts() Options {
+	return Options{
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 800,
+		Tolerance:      1e-10,
+		Seed:           1,
+	}
+}
+
+func checkSolvesOnes(t *testing.T, label string, x []float64, tol float64) {
+	t.Helper()
+	for i, v := range x {
+		if math.Abs(v-1) > tol {
+			t.Fatalf("%s: x[%d] = %g, want 1 (±%g)", label, i, v, tol)
+		}
+	}
+}
+
+func TestSimulatedSolvesPoisson(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	res, err := Solve(a, b, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g after %d iterations", res.Residual, res.GlobalIterations)
+	}
+	checkSolvesOnes(t, "simulated", res.X, 1e-8)
+}
+
+func TestGoroutineSolvesPoisson(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.Engine = EngineGoroutine
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g after %d iterations", res.Residual, res.GlobalIterations)
+	}
+	checkSolvesOnes(t, "goroutine", res.X, 1e-8)
+}
+
+func TestSimulatedDeterministicPerSeed(t *testing.T) {
+	a := mats.Poisson2D(15, 15)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.MaxGlobalIters = 30
+	opt.Tolerance = 0
+	opt.RecordHistory = true
+	// More blocks than the wave width, so the scheduling order influences
+	// which blocks share a dispatch wave (otherwise every block reads the
+	// same snapshot and all seeds coincide).
+	opt.BlockSize = 16
+	opt.Workers = 4
+	r1, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.History {
+		if r1.History[i] != r2.History[i] {
+			t.Fatalf("same seed produced different residual at iteration %d: %g vs %g",
+				i, r1.History[i], r2.History[i])
+		}
+	}
+	opt.Seed = 99
+	r3, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.History {
+		if r1.History[i] != r3.History[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical histories (chaos not seeded?)")
+	}
+}
+
+func TestAsyncConvergesOnAllConvergentPaperMatrices(t *testing.T) {
+	// Paper Figures 6/7: every system except s1rmt3m1 converges.
+	for _, name := range []string{"Chem97ZtZ", "fv1", "Trefethen_2000"} {
+		a := mats.MustGenerate(name).A
+		b := onesRHS(a)
+		opt := defaultOpts()
+		opt.BlockSize = 448 // the paper's production block size
+		opt.MaxGlobalIters = 400
+		opt.Tolerance = 1e-8 * vecmath.Nrm2(b)
+		res, err := Solve(a, b, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Errorf("%s: not converged after %d iterations (residual %g)",
+				name, res.GlobalIterations, res.Residual)
+		}
+	}
+}
+
+func TestAsyncDivergesOnS1RMT3M1(t *testing.T) {
+	// Paper Figure 7e: ρ(B) ≈ 2.65 > 1 — block-asynchronous iteration is
+	// not suitable for this system.
+	a := mats.S1RMT3M1(400)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.Tolerance = 0
+	opt.MaxGlobalIters = 200
+	opt.RecordHistory = true
+	res, err := Solve(a, b, opt)
+	if err == nil {
+		last := res.History[len(res.History)-1]
+		if last < res.History[0] {
+			t.Errorf("expected divergence, residual went %g -> %g", res.History[0], last)
+		}
+	} else if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestAsync5ConvergesFasterPerIterationThanAsync1(t *testing.T) {
+	// Paper §4.3: extra local iterations accelerate convergence per global
+	// iteration when the off-block mass is small (fv-type systems).
+	a := mats.FV(40, 40, 1.368)
+	b := onesRHS(a)
+	run := func(k int) int {
+		opt := defaultOpts()
+		opt.LocalIters = k
+		opt.BlockSize = 160 // 4 grid lines per block: strong in-block coupling
+		opt.MaxGlobalIters = 2000
+		opt.Tolerance = 1e-8
+		res, err := Solve(a, b, opt)
+		if err != nil || !res.Converged {
+			t.Fatalf("async-(%d) failed: %v %+v", k, err, res.Converged)
+		}
+		return res.GlobalIterations
+	}
+	i1, i5 := run(1), run(5)
+	if i5 >= i1 {
+		t.Errorf("async-(5) took %d global iterations, async-(1) %d; local sweeps must help", i5, i1)
+	}
+	ratio := float64(i1) / float64(i5)
+	if ratio < 1.5 {
+		t.Errorf("improvement factor %.2f, paper observes up to ~4 on fv systems", ratio)
+	}
+}
+
+func TestChem97LocalItersUseless(t *testing.T) {
+	// Paper §4.3: Chem97ZtZ's local blocks are diagonal, so local
+	// iterations cannot help — async-(5) behaves like async-(1).
+	a := mats.Chem97ZtZ(600)
+	b := onesRHS(a)
+	run := func(k int) int {
+		opt := defaultOpts()
+		opt.LocalIters = k
+		opt.BlockSize = 128
+		opt.MaxGlobalIters = 2000
+		opt.Tolerance = 1e-8
+		res, err := Solve(a, b, opt)
+		if err != nil || !res.Converged {
+			t.Fatalf("async-(%d) failed: %v", k, err)
+		}
+		return res.GlobalIterations
+	}
+	i1, i5 := run(1), run(5)
+	// Identical within a couple of iterations (chaos may shift one).
+	if d := i1 - i5; d < -3 || d > 3 {
+		t.Errorf("async-(1) %d vs async-(5) %d iterations; should be nearly equal on diagonal local blocks", i1, i5)
+	}
+}
+
+func TestAsyncBeatsGaussSeidelPerIterationOnFV(t *testing.T) {
+	// Paper Figure 7b/7c/7d: async-(5) converges roughly twice as fast as
+	// Gauss-Seidel per (global) iteration on the fv systems.
+	a := mats.FV(40, 40, 1.368)
+	b := onesRHS(a)
+	tol := 1e-8
+	gs, err := solver.GaussSeidel(a, b, solver.Options{MaxIterations: 2000, Tolerance: tol})
+	if err != nil || !gs.Converged {
+		t.Fatalf("GS failed: %v", err)
+	}
+	opt := defaultOpts()
+	opt.BlockSize = 160
+	opt.MaxGlobalIters = 2000
+	opt.Tolerance = tol
+	res, err := Solve(a, b, opt)
+	if err != nil || !res.Converged {
+		t.Fatalf("async-(5) failed: %v", err)
+	}
+	if res.GlobalIterations >= gs.Iterations {
+		t.Errorf("async-(5) %d global iterations vs GS %d; paper shows ≈2× fewer",
+			res.GlobalIterations, gs.Iterations)
+	}
+}
+
+func TestGoroutineRunsVary(t *testing.T) {
+	// Paper §4.1: asynchronous runs are non-deterministic. With real
+	// concurrency the interleavings — and final residuals — vary between
+	// runs. (In principle two runs could tie; 10 identical runs would mean
+	// the engine is not actually asynchronous.)
+	a := mats.Trefethen(600)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.Engine = EngineGoroutine
+	opt.BlockSize = 32
+	opt.MaxGlobalIters = 12
+	opt.Tolerance = 0
+	opt.RecordHistory = true
+	first, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for trial := 0; trial < 9 && !varied; trial++ {
+		r, err := Solve(a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r.History {
+			if r.History[i] != first.History[i] {
+				varied = true
+				break
+			}
+		}
+	}
+	if !varied {
+		t.Skip("all goroutine runs identical on this machine (single-core?); skipping")
+	}
+}
+
+func TestTraceValidatesChazanMiranker(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.RecordTrace = true
+	opt.MaxGlobalIters = 25
+	opt.Tolerance = 0
+	opt.StaleProb = 0.5
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	// Condition (1): every block updated every iteration.
+	if err := res.Trace.Validate(1); err != nil {
+		t.Errorf("Chazan–Miranker validation failed: %v", err)
+	}
+	for b, c := range res.Trace.UpdatesPerBlock {
+		if c != 25 {
+			t.Errorf("block %d updated %d times, want 25", b, c)
+		}
+	}
+	// Condition (2): without faults the shift never exceeds one global
+	// iteration in the simulated engine.
+	if res.Trace.MaxShift > 1 {
+		t.Errorf("MaxShift = %d, want ≤1 without faults", res.Trace.MaxShift)
+	}
+	if res.Trace.TotalReads == 0 {
+		t.Error("trace recorded no reads")
+	}
+	if f := res.Trace.StaleFraction(); f <= 0 || f >= 1 {
+		t.Errorf("stale fraction %g, want in (0,1) for StaleProb=0.5", f)
+	}
+}
+
+func TestTraceDetectsUnfairness(t *testing.T) {
+	tr := &Trace{UpdatesPerBlock: []int{10, 3}, GlobalIterations: 10, MaxShift: 1}
+	if err := tr.Validate(-1); err == nil {
+		t.Error("expected fairness violation")
+	}
+	tr2 := &Trace{UpdatesPerBlock: []int{10, 10}, GlobalIterations: 10, MaxShift: 7}
+	if err := tr2.Validate(3); err == nil {
+		t.Error("expected shift-bound violation")
+	}
+	if err := tr2.Validate(-1); err != nil {
+		t.Errorf("unbounded validation should pass: %v", err)
+	}
+	empty := &Trace{}
+	if err := empty.Validate(-1); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}
+
+func TestSkipBlockHook(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.MaxGlobalIters = 40
+	opt.Tolerance = 0
+	opt.RecordTrace = true
+	dead := 2
+	opt.SkipBlock = func(iter, block int) bool { return block == dead }
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.UpdatesPerBlock[dead] != 0 {
+		t.Errorf("dead block updated %d times", res.Trace.UpdatesPerBlock[dead])
+	}
+	if res.Trace.SkippedUpdates != 40 {
+		t.Errorf("SkippedUpdates = %d, want 40", res.Trace.SkippedUpdates)
+	}
+	// The dead block's components retain the initial guess (zero), so the
+	// residual cannot reach the no-failure level (paper Figure 10, "no
+	// recovery" curve).
+	lo, hi := sparse.NewBlockPartition(a.Rows, opt.BlockSize).Bounds(dead)
+	for i := lo; i < hi; i++ {
+		if res.X[i] != 0 {
+			t.Errorf("dead block component %d changed to %g", i, res.X[i])
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	a := mats.Poisson2D(4, 4)
+	b := onesRHS(a)
+	bad := []Options{
+		{BlockSize: 0, LocalIters: 1, MaxGlobalIters: 1},
+		{BlockSize: 4, LocalIters: 0, MaxGlobalIters: 1},
+		{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 0},
+		{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1, Recurrence: 2},
+		{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1, StaleProb: -0.5},
+		{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1, Workers: -1},
+		{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1, InitialGuess: make([]float64, 3)},
+	}
+	for i, o := range bad {
+		if _, err := Solve(a, b, o); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Solve(a, b[:3], Options{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1}); err == nil {
+		t.Error("expected rhs length error")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if EngineSimulated.String() != "simulated" || EngineGoroutine.String() != "goroutine" {
+		t.Error("EngineKind.String broken")
+	}
+	if EngineKind(42).String() == "" {
+		t.Error("unknown engine must stringify")
+	}
+}
+
+func TestBlockSizeLargerThanMatrix(t *testing.T) {
+	// One block covering the whole system: async-(k) degenerates to k
+	// synchronous Jacobi sweeps per global iteration.
+	a := mats.Poisson2D(8, 8)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.BlockSize = 10_000
+	opt.LocalIters = 1
+	opt.MaxGlobalIters = 200
+	opt.Tolerance = 0
+	opt.RecordHistory = true
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := solver.Jacobi(a, b, solver.Options{MaxIterations: 200, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.History {
+		if math.Abs(res.History[i]-j.History[i]) > 1e-9*(1+j.History[i]) {
+			t.Fatalf("single-block async-(1) differs from Jacobi at iteration %d: %g vs %g",
+				i, res.History[i], j.History[i])
+		}
+	}
+}
+
+func TestInitialGuessNotMutated(t *testing.T) {
+	a := mats.Poisson2D(8, 8)
+	b := onesRHS(a)
+	guess := vecmath.Ones(a.Rows)
+	opt := defaultOpts()
+	opt.InitialGuess = guess
+	opt.MaxGlobalIters = 3
+	opt.Tolerance = 1e-12
+	if _, err := Solve(a, b, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range guess {
+		if v != 1 {
+			t.Fatal("initial guess mutated")
+		}
+	}
+}
+
+func TestFreeRunningSolves(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	res, err := SolveFreeRunning(a, b, FreeRunningOptions{
+		BlockSize:       50,
+		LocalIters:      3,
+		MaxBlockUpdates: 1_000_000,
+		Tolerance:       1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("free-running not converged: residual %g after %d updates", res.Residual, res.BlockUpdates)
+	}
+	checkSolvesOnes(t, "freerun", res.X, 1e-6)
+	if res.EquivalentGlobalIters <= 0 {
+		t.Error("EquivalentGlobalIters not computed")
+	}
+}
+
+func TestFreeRunningBudgetExhaustion(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	res, err := SolveFreeRunning(a, b, FreeRunningOptions{
+		BlockSize:       50,
+		LocalIters:      1,
+		MaxBlockUpdates: 8, // one sweep's worth: cannot converge
+		Tolerance:       1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("cannot converge within 8 block updates")
+	}
+	if res.BlockUpdates > 8 {
+		t.Errorf("budget exceeded: %d updates", res.BlockUpdates)
+	}
+}
+
+func TestFreeRunningValidation(t *testing.T) {
+	a := mats.Poisson2D(4, 4)
+	b := onesRHS(a)
+	bad := []FreeRunningOptions{
+		{BlockSize: 0, LocalIters: 1, MaxBlockUpdates: 1, Tolerance: 1},
+		{BlockSize: 4, LocalIters: 1, MaxBlockUpdates: 0, Tolerance: 1},
+		{BlockSize: 4, LocalIters: 1, MaxBlockUpdates: 1, Tolerance: 0},
+		{BlockSize: 4, LocalIters: 1, MaxBlockUpdates: 1, Tolerance: 1, InitialGuess: make([]float64, 2)},
+	}
+	for i, o := range bad {
+		if _, err := SolveFreeRunning(a, b, o); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAtomicVector(t *testing.T) {
+	v := NewAtomicVector([]float64{1, 2, 3})
+	if v.Len() != 3 || v.Load(1) != 2 {
+		t.Fatal("basic load broken")
+	}
+	v.Store(1, -7.5)
+	if v.Load(1) != -7.5 {
+		t.Fatal("store broken")
+	}
+	s := v.Snapshot()
+	if s[0] != 1 || s[1] != -7.5 || s[2] != 3 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	dst := make([]float64, 3)
+	v.CopyInto(dst)
+	if dst[1] != -7.5 {
+		t.Fatal("CopyInto broken")
+	}
+	v.SetAll([]float64{9, 9, 9})
+	if v.Load(2) != 9 {
+		t.Fatal("SetAll broken")
+	}
+}
+
+func TestAtomicVectorPanics(t *testing.T) {
+	v := NewAtomicVector(make([]float64, 2))
+	for _, f := range []func(){
+		func() { v.CopyInto(make([]float64, 3)) },
+		func() { v.SetAll(make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for diagonally dominant systems, both engines converge to the
+// true solution for arbitrary block sizes and local iteration counts.
+func TestPropertyAsyncConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed int64, bs8, k8 uint8, gor bool) bool {
+		n := 60
+		a := mats.DiagDominant(n, 2, 1.6)
+		b := onesRHS(a)
+		opt := Options{
+			BlockSize:      int(bs8%40) + 3,
+			LocalIters:     int(k8%6) + 1,
+			MaxGlobalIters: 3000,
+			Tolerance:      1e-9,
+			Seed:           seed,
+		}
+		if gor {
+			opt.Engine = EngineGoroutine
+		}
+		res, err := Solve(a, b, opt)
+		if err != nil || !res.Converged {
+			return false
+		}
+		for _, v := range res.X {
+			if math.Abs(v-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOmegaValidation(t *testing.T) {
+	a := mats.Poisson2D(4, 4)
+	b := onesRHS(a)
+	for _, w := range []float64{-0.5, 2.0, 2.5} {
+		opt := defaultOpts()
+		opt.Omega = w
+		if _, err := Solve(a, b, opt); err == nil {
+			t.Errorf("Omega=%g accepted", w)
+		}
+	}
+}
+
+func TestScaledAsyncRescuesS1RMT3M1(t *testing.T) {
+	// The paper's §4.2 τ-scaling remark, applied to the *asynchronous*
+	// method: with ω = τ = 2/(λ1+λn) of D⁻¹A, block-asynchronous iteration
+	// converges on the SPD system whose plain iteration matrix has
+	// ρ(B) ≈ 2.66 > 1 (and on which async-(k) otherwise diverges).
+	a := mats.S1RMT3M1(400)
+	b := onesRHS(a)
+
+	plain := defaultOpts()
+	plain.Tolerance = 0
+	plain.MaxGlobalIters = 100
+	plain.RecordHistory = true
+	pres, perr := Solve(a, b, plain)
+	if perr == nil {
+		last := pres.History[len(pres.History)-1]
+		if last < pres.History[0] {
+			t.Fatal("plain async unexpectedly converged on s1rmt3m1")
+		}
+	}
+
+	scaled := plain
+	scaled.Omega = 0.546 // ≈ 2/(256/70), the analytic τ for the 8th-difference stencil
+	scaled.MaxGlobalIters = 400
+	sres, err := Solve(a, b, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := sres.History[0], sres.History[len(sres.History)-1]
+	if !(last < first*1e-2) {
+		t.Errorf("τ-scaled async should converge: residual %g -> %g", first, last)
+	}
+}
+
+func TestOmegaDampedMatchesScaledJacobiSingleBlock(t *testing.T) {
+	// One block + one local sweep + ω reduces exactly to the damped Jacobi
+	// iteration of the solver package.
+	a := mats.Poisson2D(8, 8)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.BlockSize = 10_000
+	opt.LocalIters = 1
+	opt.Omega = 0.7
+	opt.MaxGlobalIters = 60
+	opt.Tolerance = 0
+	opt.RecordHistory = true
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := solver.ScaledJacobi(a, b, 0.7, solver.Options{MaxIterations: 60, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.History {
+		if math.Abs(res.History[i]-sj.History[i]) > 1e-9*(1+sj.History[i]) {
+			t.Fatalf("iteration %d: async/ω %g vs scaled Jacobi %g", i, res.History[i], sj.History[i])
+		}
+	}
+}
+
+func TestTraceShiftHistogram(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.RecordTrace = true
+	opt.MaxGlobalIters = 20
+	opt.Tolerance = 0
+	res, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if len(tr.ShiftCounts) == 0 {
+		t.Fatal("no shift histogram recorded")
+	}
+	var sum int64
+	for s, c := range tr.ShiftCounts {
+		if s < 0 || s > tr.MaxShift {
+			t.Errorf("histogram shift %d outside [0, MaxShift=%d]", s, tr.MaxShift)
+		}
+		sum += c
+	}
+	if sum != tr.TotalReads {
+		t.Errorf("histogram mass %d != TotalReads %d", sum, tr.TotalReads)
+	}
+	mean := tr.MeanShift()
+	if mean <= 0 || mean > float64(tr.MaxShift) {
+		t.Errorf("MeanShift = %g outside (0, %d]", mean, tr.MaxShift)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mats"
+)
+
+func TestCheckConvergenceDominant(t *testing.T) {
+	r, err := CheckConvergence(mats.FV(20, 20, 1.368), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.StrictlyDiagonallyDominant || !r.JacobiConverges || !r.AsyncGuaranteed {
+		t.Errorf("fv analog should satisfy everything: %+v", r)
+	}
+	if r.SuggestedTau != 0 {
+		t.Errorf("no τ needed when ρ(B) < 1, got %g", r.SuggestedTau)
+	}
+	if !strings.Contains(r.String(), "guaranteed") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestCheckConvergenceDivergent(t *testing.T) {
+	r, err := CheckConvergence(mats.S1RMT3M1(300), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JacobiConverges || r.AsyncGuaranteed {
+		t.Errorf("s1rmt3m1 must fail both conditions: %+v", r)
+	}
+	if math.Abs(r.RhoB-2.657) > 0.05 {
+		t.Errorf("ρ(B) = %g, want ≈2.657", r.RhoB)
+	}
+	if !(r.SuggestedTau > 0 && r.SuggestedTau < 1) {
+		t.Errorf("expected a τ suggestion, got %g", r.SuggestedTau)
+	}
+	if !strings.Contains(r.String(), "tau=") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestCheckConvergenceTrefethen(t *testing.T) {
+	// Trefethen is NOT strictly diagonally dominant (early rows) yet both
+	// spectral conditions hold — the case where the spectral test is
+	// strictly more informative than the dominance test.
+	r, err := CheckConvergence(mats.Trefethen(500), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StrictlyDiagonallyDominant {
+		t.Error("Trefethen's first rows are not dominant")
+	}
+	if !r.JacobiConverges || !r.AsyncGuaranteed {
+		t.Errorf("Trefethen should satisfy both spectral conditions: %+v", r)
+	}
+}
+
+func TestCheckConvergenceValidation(t *testing.T) {
+	c := mats.Poisson2D(3, 3)
+	_ = c
+	rect := &matCSR{Rows: 2, Cols: 3, RowPtr: []int{0, 0, 0}}
+	if _, err := CheckConvergence(rect, 10, 1); err == nil {
+		t.Error("expected error for rectangular input")
+	}
+}

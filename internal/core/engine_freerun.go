@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// FreeRunningOptions configures SolveFreeRunning, the fully asynchronous
+// extension engine: there is no global barrier of any kind. Each worker
+// owns a fixed set of blocks and sweeps them in a loop until a monitor
+// observes convergence or the update budget is exhausted. This is the
+// purest software realization of chaotic relaxation — the update function
+// u(·) is whatever the Go scheduler produces — and demonstrates the
+// paper's Exascale argument: progress continues regardless of relative
+// worker speeds.
+type FreeRunningOptions struct {
+	BlockSize  int
+	LocalIters int
+	// MaxBlockUpdates bounds the total number of block kernel executions
+	// across all workers. Required > 0.
+	MaxBlockUpdates int64
+	// Tolerance is the absolute l2 residual target checked by the monitor.
+	// Required > 0 (a free-running solve needs a stopping rule).
+	Tolerance float64
+	// Workers defaults to 14 (Fermi multiprocessor count).
+	Workers int
+	// CheckEvery is the number of block updates between monitor residual
+	// checks; default max(numBlocks, 64).
+	CheckEvery   int64
+	InitialGuess []float64
+}
+
+// FreeRunningResult reports a free-running solve.
+type FreeRunningResult struct {
+	X            []float64
+	BlockUpdates int64 // total kernel executions performed
+	Residual     float64
+	Converged    bool
+	// EquivalentGlobalIters is BlockUpdates divided by the block count —
+	// the comparable unit to Result.GlobalIterations.
+	EquivalentGlobalIters float64
+}
+
+// SolveFreeRunning runs the barrier-free asynchronous iteration.
+func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
+	if a.Rows != a.Cols {
+		return FreeRunningResult{}, fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return FreeRunningResult{}, fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	}
+	if opt.BlockSize <= 0 || opt.LocalIters <= 0 {
+		return FreeRunningResult{}, fmt.Errorf("core: BlockSize and LocalIters must be positive, have %d, %d",
+			opt.BlockSize, opt.LocalIters)
+	}
+	if opt.MaxBlockUpdates <= 0 {
+		return FreeRunningResult{}, fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", opt.MaxBlockUpdates)
+	}
+	if opt.Tolerance <= 0 {
+		return FreeRunningResult{}, fmt.Errorf("core: free-running solve requires a positive Tolerance")
+	}
+	if opt.InitialGuess != nil && len(opt.InitialGuess) != a.Rows {
+		return FreeRunningResult{}, fmt.Errorf("core: initial guess length %d does not match dimension %d",
+			len(opt.InitialGuess), a.Rows)
+	}
+	sp, err := sparse.NewSplitting(a)
+	if err != nil {
+		return FreeRunningResult{}, err
+	}
+	part := sparse.NewBlockPartition(a.Rows, opt.BlockSize)
+	views := buildBlockViews(a, part)
+	nb := part.NumBlocks()
+
+	workers := opt.Workers
+	if workers == 0 {
+		workers = 14
+	}
+	if workers > nb {
+		workers = nb
+	}
+	checkEvery := opt.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = int64(nb)
+		if checkEvery < 64 {
+			checkEvery = 64
+		}
+	}
+
+	n := a.Rows
+	start := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(start, opt.InitialGuess)
+	}
+	x := NewAtomicVector(start)
+
+	maxBlock := 0
+	for bi := 0; bi < nb; bi++ {
+		if s := part.Size(bi); s > maxBlock {
+			maxBlock = s
+		}
+	}
+
+	var (
+		updates int64 // atomic: total block updates
+		stop    int32 // atomic: 1 once the monitor called the race
+		wg      sync.WaitGroup
+	)
+
+	// Workers: worker w owns blocks w, w+workers, w+2·workers, ... and
+	// sweeps them round-robin, satisfying fairness (condition 1) while the
+	// relative progress of different workers is left to the Go scheduler.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scr := newKernelScratch(maxBlock)
+			for atomic.LoadInt32(&stop) == 0 {
+				progressed := false
+				for bi := w; bi < nb; bi += workers {
+					if atomic.LoadInt32(&stop) != 0 {
+						return
+					}
+					if atomic.AddInt64(&updates, 1) > opt.MaxBlockUpdates {
+						atomic.AddInt64(&updates, -1)
+						atomic.StoreInt32(&stop, 1)
+						return
+					}
+					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, 1, x, x, x, scr)
+					progressed = true
+					// Yield between block sweeps. On hosts with fewer
+					// cores than workers, a tight loop would otherwise
+					// re-sweep its own blocks thousands of times per
+					// scheduling quantum while neighbours are parked —
+					// wasted work that starves the Chazan–Miranker
+					// fairness condition and stalls convergence.
+					runtime.Gosched()
+				}
+				if !progressed {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Monitor: polls the residual every checkEvery block updates.
+	monitorDone := make(chan FreeRunningResult, 1)
+	go func() {
+		r := make([]float64, n)
+		xs := make([]float64, n)
+		lastChecked := int64(0)
+		for {
+			if atomic.LoadInt32(&stop) != 0 {
+				break
+			}
+			u := atomic.LoadInt64(&updates)
+			if u-lastChecked < checkEvery {
+				runtime.Gosched()
+				continue
+			}
+			lastChecked = u
+			x.CopyInto(xs)
+			a.MulVec(r, xs)
+			vecmath.Sub(r, b, r)
+			nrm := vecmath.Nrm2(r)
+			if nrm <= opt.Tolerance || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+				atomic.StoreInt32(&stop, 1)
+				break
+			}
+		}
+		monitorDone <- FreeRunningResult{}
+	}()
+
+	wg.Wait()
+	atomic.StoreInt32(&stop, 1)
+	<-monitorDone
+
+	xs := x.Snapshot()
+	res := FreeRunningResult{
+		X:            xs,
+		BlockUpdates: atomic.LoadInt64(&updates),
+	}
+	res.EquivalentGlobalIters = float64(res.BlockUpdates) / float64(nb)
+	res.Residual = residual(a, b, xs)
+	if math.IsNaN(res.Residual) || math.IsInf(res.Residual, 0) {
+		return res, fmt.Errorf("%w after %d block updates", ErrDiverged, res.BlockUpdates)
+	}
+	res.Converged = res.Residual <= opt.Tolerance
+	return res, nil
+}

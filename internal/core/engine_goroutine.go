@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+// solveGoroutine runs the truly asynchronous engine: every global iteration
+// dispatches all blocks (in a seeded chaotic order) to a pool of workers —
+// one per simulated multiprocessor — that read and write the shared iterate
+// through per-component atomics with no further coordination. Concurrent
+// blocks observe each other's partial progress nondeterministically,
+// reproducing the chaotic interleavings of CUDA stream execution; only the
+// end of the global iteration is a barrier, so the iteration count and the
+// residual history remain well defined (the paper's measurement unit).
+func solveGoroutine(a *sparse.CSR, sp *sparse.Splitting, b []float64,
+	part sparse.BlockPartition, views []blockView, opt Options) (Result, error) {
+
+	n := a.Rows
+	start := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(start, opt.InitialGuess)
+	}
+	x := NewAtomicVector(start)
+	sched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
+	nb := part.NumBlocks()
+	res := Result{NumBlocks: nb}
+
+	omega := opt.Omega
+	var factors *blockFactors
+	if opt.ExactLocal {
+		var err error
+		if factors, err = buildBlockFactors(a, part, views); err != nil {
+			return Result{}, err
+		}
+	}
+	workers := opt.Workers
+	if workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	maxBlock := 0
+	for bi := 0; bi < nb; bi++ {
+		if s := part.Size(bi); s > maxBlock {
+			maxBlock = s
+		}
+	}
+	// Persistent worker pool fed one global iteration at a time.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var poolWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			scr := newKernelScratch(maxBlock)
+			for bi := range work {
+				if factors != nil {
+					// A singular block would have failed at factorization;
+					// Solve only errors on dimension mismatch, which the
+					// construction rules out.
+					_ = runBlockExact(a, b, views[bi], factors.lu[bi], x, x, scr)
+				} else {
+					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, omega, x, x, x, scr)
+				}
+				wg.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(work)
+		poolWG.Wait()
+	}()
+
+	xHost := make([]float64, n)
+	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
+		order := sched.Order(nb)
+		for _, bi := range order {
+			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
+				continue
+			}
+			wg.Add(1)
+			work <- bi
+		}
+		wg.Wait() // end-of-global-iteration barrier
+
+		if opt.AfterIteration != nil {
+			opt.AfterIteration(iter, atomicAccess{x})
+		}
+		x.CopyInto(xHost)
+		stop, err := checkResidual(a, b, xHost, opt, &res, iter)
+		if err != nil {
+			res.X = xHost
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	x.CopyInto(xHost)
+	res.X = xHost
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		res.Residual = residual(a, b, xHost)
+	}
+	return res, nil
+}

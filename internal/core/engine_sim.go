@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// freshProb is the probability that an off-block read observes the current
+// sweep's value of a component instead of the previous sweep's. On the
+// modeled hardware most blocks of a kernel are resident concurrently, so
+// same-sweep values are the exception; the value is calibrated so the
+// run-to-run convergence variation matches the paper's §4.1 measurements
+// (Trefethen_2000 ≈ 10–20% near convergence, fv1 a few percent at most).
+const freshProb = 0.2
+
+// solveSimulated runs the deterministic engine: blocks execute sequentially
+// in the chaotic order produced by the seeded gpusim.Scheduler, and their
+// off-block reads model the memory visibility of a GPU kernel sweep:
+//
+//   - most reads observe the previous sweep's value (the blocks of a
+//     kernel are dispatched nearly simultaneously, so same-sweep values
+//     are rarely visible);
+//   - each component read independently races with its writer: with
+//     probability freshProb the reader observes the current sweep's value
+//     if the source block has already executed (the "block Gauss-Seidel
+//     flavor" of paper §3.3). The per-component granularity matters: the
+//     coin noise averages out within a block, so the surviving run-to-run
+//     variation is driven by the *scheduling order* — which recurs across
+//     iterations (gpusim.Scheduler) — and scales with the off-block
+//     coupling mass, reproducing the paper's §4.1 contrast between fv1
+//     and Trefethen_2000;
+//   - StaleProb > 0 adds extra chaos: with that probability a block reads
+//     the iteration-start snapshot outright (a maximally late dispatch).
+//
+// Everything is driven by opt.Seed, so runs are exactly reproducible.
+func solveSimulated(a *sparse.CSR, sp *sparse.Splitting, b []float64,
+	part sparse.BlockPartition, views []blockView, opt Options) (Result, error) {
+
+	n := a.Rows
+	x := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(x, opt.InitialGuess)
+	}
+	iterSnap := make([]float64, n) // snapshot at global-iteration start
+	sched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
+	raceRNG := rand.New(rand.NewSource(opt.Seed ^ 0x5DEECE66D))
+	nb := part.NumBlocks()
+
+	res := Result{NumBlocks: nb}
+	var trace *Trace
+	if opt.RecordTrace {
+		trace = &Trace{UpdatesPerBlock: make([]int, nb), ShiftCounts: make(map[int]int64)}
+		res.Trace = trace
+	}
+	// blockVersion[q] = index of the global iteration whose sweep last
+	// wrote block q (0 = initial values). Used for shift accounting.
+	blockVersion := make([]int, nb)
+
+	maxBlock := 0
+	for bi := 0; bi < nb; bi++ {
+		if s := part.Size(bi); s > maxBlock {
+			maxBlock = s
+		}
+	}
+	scr := newKernelScratch(maxBlock)
+	mix := &mixReader{rng: raceRNG}
+
+	var factors *blockFactors
+	if opt.ExactLocal {
+		var err error
+		if factors, err = buildBlockFactors(a, part, views); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
+		vecmath.Copy(iterSnap, x)
+		order := sched.Order(nb)
+		stale := sched.StaleMask(nb, opt.StaleProb)
+		for _, bi := range order {
+			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
+				if trace != nil {
+					trace.SkippedUpdates++
+				}
+				continue
+			}
+			var offRead valueReader
+			if stale[bi] {
+				offRead = sliceReader(iterSnap)
+			} else {
+				mix.live, mix.snap = x, iterSnap
+				offRead = mix
+			}
+			if trace != nil {
+				offRead = &countingReader{inner: offRead, trace: trace, stale: stale[bi],
+					iter: iter, blockVersion: blockVersion, part: part}
+			}
+			if factors != nil {
+				if err := runBlockExact(a, b, views[bi], factors.lu[bi], offRead, sliceWriter(x), scr); err != nil {
+					res.X = x
+					return res, err
+				}
+			} else {
+				runBlockKernel(a, sp, b, views[bi], opt.LocalIters, opt.Omega, offRead, offRead, sliceWriter(x), scr)
+			}
+			blockVersion[bi] = iter
+			if trace != nil {
+				trace.UpdatesPerBlock[bi]++
+			}
+		}
+		if trace != nil {
+			trace.GlobalIterations = iter
+		}
+		if opt.AfterIteration != nil {
+			opt.AfterIteration(iter, sliceAccess(x))
+		}
+		stop, err := checkResidual(a, b, x, opt, &res, iter)
+		if err != nil {
+			res.X = x
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	res.X = x
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		res.Residual = residual(a, b, x)
+	}
+	return res, nil
+}
+
+// mixReader yields, per component, the current sweep's value (live) with
+// probability freshProb and the previous sweep's value (snap) otherwise.
+// In the sequential emulation the live vector holds a source block's new
+// value only if that block has already executed this iteration, so early
+// positions in the schedule naturally see less fresh data — the mechanism
+// through which the (recurring) schedule shapes each run's trajectory.
+type mixReader struct {
+	live, snap []float64
+	rng        *rand.Rand
+}
+
+func (m *mixReader) Load(j int) float64 {
+	if m.rng.Float64() < freshProb {
+		return m.live[j]
+	}
+	return m.snap[j]
+}
+
+// countingReader wraps a valueReader to record Chazan–Miranker shift
+// statistics: for every off-block read it computes how many global
+// iterations stale the observed value is.
+type countingReader struct {
+	inner        valueReader
+	trace        *Trace
+	stale        bool // read from the global-iteration-start snapshot
+	iter         int
+	blockVersion []int
+	part         sparse.BlockPartition
+}
+
+func (c *countingReader) Load(j int) float64 {
+	c.trace.TotalReads++
+	src := c.part.BlockOf(j)
+	ver := c.blockVersion[src]
+	if c.stale {
+		// Iteration-start snapshot: the value predates every write of this
+		// iteration even if the source block has since been updated.
+		if ver >= c.iter {
+			ver = c.iter - 1
+		}
+		c.trace.StaleReads++
+	}
+	// Mixed reads may also predate a same-iteration write of the source
+	// block; that is at most one global iteration of staleness, which the
+	// blockVersion bookkeeping already bounds. Shift: a value written
+	// during this iteration has shift 0; the previous sweep's value has
+	// shift 1; the initial vector read at iteration k has shift k ≤ k,
+	// satisfying the initial-step condition s(k,i) ≤ k.
+	shift := c.iter - ver
+	if shift > c.trace.MaxShift {
+		c.trace.MaxShift = shift
+	}
+	if c.trace.ShiftCounts != nil {
+		c.trace.ShiftCounts[shift]++
+	}
+	return c.inner.Load(j)
+}
+
+func residual(a *sparse.CSR, b, x []float64) float64 {
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	vecmath.Sub(r, b, r)
+	return vecmath.Nrm2(r)
+}

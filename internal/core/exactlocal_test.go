@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mats"
+)
+
+func TestExactLocalSingleBlockIsDirectSolve(t *testing.T) {
+	// One block covering the whole system: the "iteration" is a direct
+	// solve — converged after the first global iteration.
+	a := mats.Poisson2D(10, 10)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		BlockSize: 1 << 20, ExactLocal: true, MaxGlobalIters: 3,
+		Tolerance: 1e-10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.GlobalIterations != 1 {
+		t.Fatalf("direct solve should converge in 1 iteration: %+v", res.GlobalIterations)
+	}
+	checkSolvesOnes(t, "exact-local", res.X, 1e-8)
+}
+
+func TestExactLocalBeatsAnyFiniteK(t *testing.T) {
+	// Block Jacobi with exact local solves converges in no more global
+	// iterations than async-(k) for any finite k (same partition, same
+	// schedule).
+	a := mats.FV(30, 30, 1.368)
+	b := onesRHS(a)
+	run := func(exact bool, k int) int {
+		opt := Options{
+			BlockSize: 150, MaxGlobalIters: 2000, Tolerance: 1e-9,
+			Seed: 1, StaleProb: 1, // deterministic block-Jacobi schedule
+		}
+		if exact {
+			opt.ExactLocal = true
+		} else {
+			opt.LocalIters = k
+		}
+		res, err := Solve(a, b, opt)
+		if err != nil || !res.Converged {
+			t.Fatalf("solve failed (exact=%v k=%d): %v", exact, k, err)
+		}
+		return res.GlobalIterations
+	}
+	exact := run(true, 0)
+	for _, k := range []int{1, 5, 9} {
+		if finite := run(false, k); finite < exact {
+			t.Errorf("async-(%d) (%d iters) beat exact local solves (%d iters)", k, finite, exact)
+		}
+	}
+}
+
+func TestExactLocalDiminishingReturns(t *testing.T) {
+	// The paper's "critical point, where adding more local iterations does
+	// not improve the overall performance": async-(k) approaches the
+	// exact-local iteration count as k grows.
+	a := mats.FV(30, 30, 1.368)
+	b := onesRHS(a)
+	opt := Options{
+		BlockSize: 150, MaxGlobalIters: 2000, Tolerance: 1e-9,
+		Seed: 1, StaleProb: 1, ExactLocal: true,
+	}
+	res, err := Solve(a, b, opt)
+	if err != nil || !res.Converged {
+		t.Fatal(err)
+	}
+	exact := res.GlobalIterations
+
+	opt.ExactLocal = false
+	opt.LocalIters = 25
+	deep, err := Solve(a, b, opt)
+	if err != nil || !deep.Converged {
+		t.Fatal(err)
+	}
+	if d := deep.GlobalIterations - exact; d < 0 || d > 3 {
+		t.Errorf("async-(25) (%d) should be within 3 iterations of exact local (%d)",
+			deep.GlobalIterations, exact)
+	}
+}
+
+func TestExactLocalGoroutineEngine(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		BlockSize: 64, ExactLocal: true, MaxGlobalIters: 500,
+		Tolerance: 1e-9, Engine: EngineGoroutine, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("goroutine exact-local failed: %g", res.Residual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestExactLocalValidation(t *testing.T) {
+	a := mats.Poisson2D(4, 4)
+	b := onesRHS(a)
+	// ExactLocal permits LocalIters = 0.
+	if _, err := Solve(a, b, Options{BlockSize: 4, ExactLocal: true, MaxGlobalIters: 5, Tolerance: 1e-8}); err != nil {
+		t.Fatalf("ExactLocal with LocalIters=0 should be valid: %v", err)
+	}
+}

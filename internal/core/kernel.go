@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// blockView caches, for every row of one block, the split of its CSR entry
+// range into the in-block segment [inLo, inHi) and the off-block remainder.
+// Column indices are sorted within rows, so the in-block entries form one
+// contiguous segment.
+type blockView struct {
+	lo, hi int // row range [lo, hi)
+	// inLo[r], inHi[r] bound the in-block entries of row lo+r in ColIdx/Val.
+	inLo, inHi []int
+	// nnzLocal counts in-block nonzeros, nnzOff the off-block ones.
+	nnzLocal, nnzOff int
+}
+
+// buildBlockViews precomputes the views for every block of the partition.
+func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) []blockView {
+	views := make([]blockView, part.NumBlocks())
+	for bi := range views {
+		lo, hi := part.Bounds(bi)
+		v := blockView{lo: lo, hi: hi, inLo: make([]int, hi-lo), inHi: make([]int, hi-lo)}
+		for i := lo; i < hi; i++ {
+			rs, re := a.RowPtr[i], a.RowPtr[i+1]
+			cols := a.ColIdx[rs:re]
+			s := rs + sort.SearchInts(cols, lo)
+			e := rs + sort.SearchInts(cols, hi)
+			v.inLo[i-lo], v.inHi[i-lo] = s, e
+			v.nnzLocal += e - s
+			v.nnzOff += (re - rs) - (e - s)
+		}
+		views[bi] = v
+	}
+	return views
+}
+
+// valueReader abstracts how a block kernel observes off-block components of
+// the iterate: the simulated engine passes plain slices (live or snapshot),
+// the goroutine engines pass the AtomicVector.
+type valueReader interface {
+	Load(i int) float64
+}
+
+// sliceReader adapts a plain []float64 to valueReader.
+type sliceReader []float64
+
+func (s sliceReader) Load(i int) float64 { return s[i] }
+
+// valueWriter abstracts how the kernel publishes updated block components.
+type valueWriter interface {
+	Store(i int, v float64)
+}
+
+// sliceWriter adapts a plain []float64 to valueWriter.
+type sliceWriter []float64
+
+func (s sliceWriter) Store(i int, v float64) { s[i] = v }
+
+// kernelScratch holds the per-worker buffers of runBlockKernel, sized for
+// the largest block, so repeated kernel invocations do not allocate.
+type kernelScratch struct {
+	s, xloc, xnew []float64
+}
+
+func newKernelScratch(maxBlock int) *kernelScratch {
+	return &kernelScratch{
+		s:    make([]float64, maxBlock),
+		xloc: make([]float64, maxBlock),
+		xnew: make([]float64, maxBlock),
+	}
+}
+
+// runBlockKernel executes one thread block of the paper's Algorithm 1,
+// generalized with the relaxation weight ω:
+//
+//	read x from global memory                 (off-block via offRead,
+//	                                           in-block starting values via locRead)
+//	s_i := b_i − Σ_{j∉J} a_ij x_j             (off-block part, frozen)
+//	repeat k times (synchronous weighted Jacobi on the subdomain):
+//	    x_i := (1−ω)x_i + ω(s_i − Σ_{j∈J, j≠i} a_ij x_j) / a_ii
+//	write the block's x values back           (via write)
+//
+// offRead and locRead may observe a live, concurrently-updated iterate —
+// that is the asynchronous part; the kernel itself is oblivious to it.
+func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v blockView,
+	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) {
+
+	bs := v.hi - v.lo
+	s := scr.s[:bs]
+	xloc := scr.xloc[:bs]
+	xnew := scr.xnew[:bs]
+
+	// Off-block contribution, frozen for the local sweeps.
+	for i := v.lo; i < v.hi; i++ {
+		r := i - v.lo
+		acc := b[i]
+		for p := a.RowPtr[i]; p < v.inLo[r]; p++ {
+			acc -= a.Val[p] * offRead.Load(a.ColIdx[p])
+		}
+		for p := v.inHi[r]; p < a.RowPtr[i+1]; p++ {
+			acc -= a.Val[p] * offRead.Load(a.ColIdx[p])
+		}
+		s[r] = acc
+		xloc[r] = locRead.Load(i)
+	}
+
+	// k synchronous Jacobi sweeps on the subdomain.
+	for sweep := 0; sweep < k; sweep++ {
+		for i := v.lo; i < v.hi; i++ {
+			r := i - v.lo
+			acc := s[r]
+			for p := v.inLo[r]; p < v.inHi[r]; p++ {
+				j := a.ColIdx[p]
+				if j != i {
+					acc -= a.Val[p] * xloc[j-v.lo]
+				}
+			}
+			xnew[r] = (1-omega)*xloc[r] + omega*acc*sp.InvDiag[i]
+		}
+		xloc, xnew = xnew, xloc
+	}
+
+	// Publish the block's components to global memory.
+	for i := v.lo; i < v.hi; i++ {
+		write.Store(i, xloc[i-v.lo])
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// AsyncPreconditioner realizes the paper's §5 outlook of using
+// component-wise relaxation as a *preconditioner*: each application runs a
+// fixed number of block-asynchronous global iterations on Az = r from a
+// zero start. The chaotic schedule is re-seeded identically for every
+// application, so the preconditioner is a fixed linear operator — the
+// property restarted GMRES needs from a stationary M⁻¹.
+//
+// It implements solver.Preconditioner.
+type AsyncPreconditioner struct {
+	a   *sparse.CSR
+	opt Options
+}
+
+// NewAsyncPreconditioner builds the preconditioner. sweeps is the number
+// of global iterations per application (1–3 are typical preconditioner
+// strengths); k is the local iteration count of async-(k).
+func NewAsyncPreconditioner(a *sparse.CSR, blockSize, k, sweeps int, seed int64) (*AsyncPreconditioner, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("core: preconditioner requires square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	opt := Options{
+		BlockSize:      blockSize,
+		LocalIters:     k,
+		MaxGlobalIters: sweeps,
+		Seed:           seed,
+		Engine:         EngineSimulated, // deterministic: fixed operator
+	}
+	// Validate eagerly with a dummy rhs so Apply can't fail on options.
+	if err := opt.withDefaults().validate(a, make([]float64, a.Rows)); err != nil {
+		return nil, err
+	}
+	return &AsyncPreconditioner{a: a, opt: opt}, nil
+}
+
+// Apply computes z ≈ A⁻¹ r via the configured asynchronous sweeps.
+func (p *AsyncPreconditioner) Apply(z, r []float64) error {
+	if len(z) != p.a.Rows || len(r) != p.a.Rows {
+		return fmt.Errorf("core: preconditioner dimension mismatch (%d, %d vs %d)", len(z), len(r), p.a.Rows)
+	}
+	res, err := Solve(p.a, r, p.opt)
+	if err != nil {
+		return err
+	}
+	copy(z, res.X)
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+)
+
+// The two-stage iteration theory checks: with b = 0 the solver's global
+// iteration is exactly the linear error-propagation operator E (x ↦ E·x),
+// so spectral.OperatorRadius can measure ρ(E) — which must govern the
+// measured convergence rate and match closed forms in degenerate cases.
+//
+// StaleProb = 1 makes every block read the iteration-start snapshot, so
+// the operator is schedule-independent (pure block Jacobi) and exactly
+// reproducible; recurrence/seed then do not matter.
+
+// matCSR aliases the matrix type for the helper signature below.
+type matCSR = sparse.CSR
+
+func TestTheorySingleBlockAsync1EqualsJacobi(t *testing.T) {
+	// One block, one local sweep: E = B = I − D⁻¹A, so ρ(E) = ρ(B).
+	a := mats.Poisson2D(12, 12)
+	opt := Options{BlockSize: 1 << 20, LocalIters: 1, MaxGlobalIters: 1, StaleProb: 1, Seed: 1}
+	apply := operatorFor(t, a, opt)
+	r, err := spectral.OperatorRadius(apply, a.Rows, 4000, 1e-9, 2)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	want, err := spectral.JacobiSpectralRadius(a, 3)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	if math.Abs(r.Radius-want) > 1e-4 {
+		t.Errorf("ρ(E) = %.6f, want ρ(B) = %.6f", r.Radius, want)
+	}
+}
+
+func TestTheorySingleBlockAsyncKEqualsJacobiPower(t *testing.T) {
+	// One block, k local sweeps: E = B^k, so ρ(E) = ρ(B)^k.
+	a := mats.Poisson2D(10, 10)
+	k := 4
+	opt := Options{BlockSize: 1 << 20, LocalIters: k, MaxGlobalIters: 1, StaleProb: 1, Seed: 1}
+	apply := operatorFor(t, a, opt)
+	r, err := spectral.OperatorRadius(apply, a.Rows, 4000, 1e-9, 2)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	rho, err := spectral.JacobiSpectralRadius(a, 3)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	want := math.Pow(rho, float64(k))
+	if math.Abs(r.Radius-want) > 1e-4 {
+		t.Errorf("ρ(E) = %.6f, want ρ(B)^%d = %.6f", r.Radius, k, want)
+	}
+}
+
+func TestTheoryBlockOperatorBetweenJacobiBounds(t *testing.T) {
+	// Blocked async-(k) with frozen off-block values: contraction at least
+	// as strong as one Jacobi sweep, at most as strong as k sweeps.
+	a := mats.FV(20, 20, 1.368)
+	k := 5
+	opt := Options{BlockSize: 80, LocalIters: k, MaxGlobalIters: 1, StaleProb: 1, Seed: 1}
+	apply := operatorFor(t, a, opt)
+	r, err := spectral.OperatorRadius(apply, a.Rows, 4000, 1e-9, 2)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	rho, err := spectral.JacobiSpectralRadius(a, 3)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+	if !(r.Radius <= rho+1e-6) {
+		t.Errorf("block operator ρ(E) = %.4f must not exceed the one-sweep Jacobi rate %.4f", r.Radius, rho)
+	}
+	if !(r.Radius >= math.Pow(rho, float64(k))-1e-6) {
+		t.Errorf("block operator ρ(E) = %.4f cannot beat %d full Jacobi sweeps (%.4f)",
+			r.Radius, k, math.Pow(rho, float64(k)))
+	}
+}
+
+func TestTheoryOperatorRadiusPredictsMeasuredRate(t *testing.T) {
+	// The asymptotic convergence rate of the actual solve must match the
+	// probed ρ(E).
+	a := mats.FV(20, 20, 1.368)
+	opt := Options{BlockSize: 80, LocalIters: 5, MaxGlobalIters: 1, StaleProb: 1, Seed: 1}
+	apply := operatorFor(t, a, opt)
+	r, err := spectral.OperatorRadius(apply, a.Rows, 4000, 1e-9, 2)
+	if err != nil {
+		t.Logf("note: %v", err)
+	}
+
+	b := onesRHS(a)
+	solveOpt := opt
+	solveOpt.MaxGlobalIters = 60
+	solveOpt.RecordHistory = true
+	res, err := Solve(a, b, solveOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymptotic rate over the last stretch above the round-off floor.
+	h := res.History
+	lo, hi := 20, 45
+	measured := math.Pow(h[hi]/h[lo], 1/float64(hi-lo))
+	if math.Abs(measured-r.Radius) > 0.05 {
+		t.Errorf("measured rate %.4f vs probed ρ(E) %.4f", measured, r.Radius)
+	}
+}
+
+// operatorFor builds the E-application without the csrAlias indirection.
+func operatorFor(t *testing.T, a *matCSR, opt Options) func(dst, src []float64) {
+	t.Helper()
+	zero := make([]float64, a.Rows)
+	return func(dst, src []float64) {
+		o := opt
+		o.InitialGuess = src
+		res, err := Solve(a, zero, o)
+		if err != nil {
+			t.Fatalf("operator application: %v", err)
+		}
+		copy(dst, res.X)
+	}
+}

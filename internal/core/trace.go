@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+// Trace aggregates the Chazan–Miranker characterization of a simulated
+// asynchronous run: the update function u(·) (which component/block was
+// updated at each step) and the shift function s(·,·) (how stale each read
+// value was, in global iterations).
+//
+// The well-posedness conditions of §2.2 are:
+//
+//	(1) u(·) takes every component index infinitely often — here: every
+//	    block is updated in every global iteration (unless deliberately
+//	    skipped by fault injection);
+//	(2) the shift function is bounded: 0 ≤ s(k,i) ≤ s̄ for some finite s̄,
+//	    and s(k,i) ≤ k initially.
+//
+// Validate checks both from the recorded statistics.
+type Trace struct {
+	// UpdatesPerBlock counts kernel executions per block.
+	UpdatesPerBlock []int
+	// GlobalIterations is the number of completed global iterations.
+	GlobalIterations int
+	// MaxShift is the largest observed read staleness, in global
+	// iterations (0 = the freshest possible value was read).
+	MaxShift int
+	// TotalReads and StaleReads count off-block component reads and how
+	// many of them observed a stale (snapshot) value.
+	TotalReads, StaleReads int64
+	// ShiftCounts histograms the observed shifts: ShiftCounts[s] = number
+	// of reads that saw a value s global iterations old. The empirical
+	// distribution of the Chazan–Miranker shift function.
+	ShiftCounts map[int]int64
+	// SkippedUpdates counts block executions suppressed by SkipBlock.
+	SkippedUpdates int
+}
+
+// Validate checks the Chazan–Miranker conditions against the recorded run.
+// maxShiftBound is the s̄ the caller wants enforced; pass a negative value
+// to accept any finite shift. A run with fault injection (skipped blocks
+// never reassigned) legitimately fails condition (1); Validate reports
+// that.
+func (t *Trace) Validate(maxShiftBound int) error {
+	if t.GlobalIterations == 0 {
+		return fmt.Errorf("core: trace has no completed iterations")
+	}
+	// Condition (1): fairness. Every block must keep being updated; with
+	// per-iteration sweeps this means counts equal GlobalIterations unless
+	// skipped.
+	for b, c := range t.UpdatesPerBlock {
+		if c+t.skipAllowance() < t.GlobalIterations {
+			return fmt.Errorf("core: block %d updated only %d times in %d iterations (condition 1 violated)",
+				b, c, t.GlobalIterations)
+		}
+	}
+	// Condition (2): bounded shift.
+	if t.MaxShift < 0 {
+		return fmt.Errorf("core: negative shift %d recorded", t.MaxShift)
+	}
+	if maxShiftBound >= 0 && t.MaxShift > maxShiftBound {
+		return fmt.Errorf("core: observed shift %d exceeds bound %d (condition 2 violated)",
+			t.MaxShift, maxShiftBound)
+	}
+	return nil
+}
+
+// skipAllowance returns the per-block slack tolerated by the fairness
+// check. Without fault injection it is zero.
+func (t *Trace) skipAllowance() int { return t.SkippedUpdates }
+
+// MeanShift returns the average observed read staleness in global
+// iterations.
+func (t *Trace) MeanShift() float64 {
+	var total, weighted int64
+	for s, c := range t.ShiftCounts {
+		total += c
+		weighted += int64(s) * c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
+}
+
+// StaleFraction returns the fraction of off-block reads that observed a
+// stale value.
+func (t *Trace) StaleFraction() float64 {
+	if t.TotalReads == 0 {
+		return 0
+	}
+	return float64(t.StaleReads) / float64(t.TotalReads)
+}

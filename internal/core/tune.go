@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+// The paper sets its parameters "through empirically based tuning" (§3.2)
+// and names the optimal choice of local iterations, subdomain sizes and
+// scaling parameters an open problem (§5). Tune automates that process:
+// it probes candidate (BlockSize, LocalIters) configurations with short
+// runs, scores each by *modeled time to target residual* — convergence
+// rate × per-iteration hardware cost — and returns the winner.
+
+// TuneConfig bounds the search.
+type TuneConfig struct {
+	// BlockSizes and LocalIters are the candidate grids. Defaults: the
+	// paper's neighbourhood {64, 128, 256, 448, 896} × {1, 2, 3, 5, 8}.
+	BlockSizes []int
+	LocalIters []int
+	// ProbeIters is the length of each probe run (default 25).
+	ProbeIters int
+	// Model prices the configurations (default gpusim.CalibratedModel).
+	Model *gpusim.PerfModel
+	Seed  int64
+}
+
+func (c TuneConfig) withDefaults() TuneConfig {
+	if len(c.BlockSizes) == 0 {
+		c.BlockSizes = []int{64, 128, 256, 448, 896}
+	}
+	if len(c.LocalIters) == 0 {
+		c.LocalIters = []int{1, 2, 3, 5, 8}
+	}
+	if c.ProbeIters <= 0 {
+		c.ProbeIters = 25
+	}
+	if c.Model == nil {
+		m := gpusim.CalibratedModel()
+		c.Model = &m
+	}
+	return c
+}
+
+// TuneResult reports the tuning outcome.
+type TuneResult struct {
+	BlockSize  int
+	LocalIters int
+	// Rate is the measured per-global-iteration residual contraction of
+	// the winning configuration (geometric mean over the probe run).
+	Rate float64
+	// SecondsPerDigit is the modeled wall time to gain one decimal digit
+	// of accuracy — the score minimized.
+	SecondsPerDigit float64
+	// Probed counts configurations evaluated; Skipped counts those that
+	// failed to contract during the probe (e.g. divergent).
+	Probed, Skipped int
+}
+
+// Tune probes the candidate grid on the given system and returns the
+// configuration with the lowest modeled time per digit of residual
+// reduction. It returns an error if no candidate contracts at all (the
+// ρ(|B|) ≥ 1 case — no parameter choice can fix s1rmt3m1).
+func Tune(a *sparse.CSR, b []float64, cfg TuneConfig) (TuneResult, error) {
+	cfg = cfg.withDefaults()
+	best := TuneResult{SecondsPerDigit: math.Inf(1)}
+	n, nnz := a.Rows, a.NNZ()
+	for _, bs := range cfg.BlockSizes {
+		if bs > n {
+			continue // degenerate duplicates of the single-block case
+		}
+		for _, k := range cfg.LocalIters {
+			best.Probed++
+			res, err := Solve(a, b, Options{
+				BlockSize:      bs,
+				LocalIters:     k,
+				MaxGlobalIters: cfg.ProbeIters,
+				RecordHistory:  true,
+				Seed:           cfg.Seed,
+			})
+			if err != nil || len(res.History) < 2 {
+				best.Skipped++
+				continue
+			}
+			h := res.History
+			first, last := h[0], h[len(h)-1]
+			if !(last > 0) || !(first > 0) || last >= first {
+				best.Skipped++
+				continue // not contracting (or already at exact zero)
+			}
+			rate := math.Pow(last/first, 1/float64(len(h)-1))
+			iterTime := cfg.Model.AsyncIterTime(n, nnz, k)
+			// Iterations per decimal digit: ln(10)/(−ln rate).
+			perDigit := iterTime * math.Ln10 / -math.Log(rate)
+			if perDigit < best.SecondsPerDigit {
+				best.BlockSize = bs
+				best.LocalIters = k
+				best.Rate = rate
+				best.SecondsPerDigit = perDigit
+			}
+		}
+	}
+	if math.IsInf(best.SecondsPerDigit, 1) {
+		return best, fmt.Errorf("core: no candidate configuration contracted (ρ(|B|) ≥ 1?)")
+	}
+	return best, nil
+}

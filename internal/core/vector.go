@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicVector is a float64 vector supporting lock-free concurrent
+// component reads and writes. It is the shared iterate of the goroutine
+// engines: blocks running on different workers read and write components
+// without any synchronization beyond per-component atomicity — exactly the
+// relaxed consistency of the chaotic relaxation model (values read are
+// always *some* previously written value, but possibly a stale one).
+type AtomicVector struct {
+	bits []uint64
+}
+
+// NewAtomicVector creates a vector initialized from src.
+func NewAtomicVector(src []float64) *AtomicVector {
+	v := &AtomicVector{bits: make([]uint64, len(src))}
+	for i, x := range src {
+		v.bits[i] = math.Float64bits(x)
+	}
+	return v
+}
+
+// Len returns the vector length.
+func (v *AtomicVector) Len() int { return len(v.bits) }
+
+// Load atomically reads component i.
+func (v *AtomicVector) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+}
+
+// Store atomically writes component i.
+func (v *AtomicVector) Store(i int, x float64) {
+	atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
+}
+
+// Snapshot copies the current contents into a fresh []float64. Component
+// reads are individually atomic; the snapshot as a whole is not a
+// consistent cut (callers that need one must quiesce the writers first).
+func (v *AtomicVector) Snapshot() []float64 {
+	out := make([]float64, len(v.bits))
+	for i := range v.bits {
+		out[i] = v.Load(i)
+	}
+	return out
+}
+
+// CopyInto writes the snapshot into dst, which must have the same length.
+func (v *AtomicVector) CopyInto(dst []float64) {
+	if len(dst) != len(v.bits) {
+		panic("core: CopyInto length mismatch")
+	}
+	for i := range v.bits {
+		dst[i] = v.Load(i)
+	}
+}
+
+// SetAll stores every component of src.
+func (v *AtomicVector) SetAll(src []float64) {
+	if len(src) != len(v.bits) {
+		panic("core: SetAll length mismatch")
+	}
+	for i, x := range src {
+		v.Store(i, x)
+	}
+}

@@ -1,0 +1,148 @@
+// Package dense provides the small dense linear-algebra substrate the
+// block methods need: column-major matrices, LU factorization with partial
+// pivoting, and triangular solves. It exists for the k→∞ limit of the
+// paper's local-iteration trade-off (§4.3): instead of k Jacobi sweeps, a
+// block can solve its subdomain system *exactly* — the classical block
+// Jacobi / additive Schwarz method, implemented in core.SolveExactLocal.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n×m matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // Data[i*Cols+j]
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("dense: NewMatrix(%d,%d): dimensions must be positive", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec computes y = M·x.
+func (m *Matrix) MulVec(y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("dense: MulVec dims: M is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// ErrSingular is returned when factorization meets a (numerically) zero
+// pivot.
+var ErrSingular = errors.New("dense: matrix is singular to working precision")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, stored
+// packed (unit lower triangle below the diagonal, U on and above).
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int // permutation parity (for Det)
+}
+
+// Factor computes the pivoted LU factorization of the square matrix a.
+// The input is not modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: Factor requires square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: append([]float64(nil), a.Data...), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting: largest magnitude in the column at/below diag.
+		p := col
+		max := math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+col]); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w (pivot column %d)", ErrSingular, col)
+		}
+		if p != col {
+			ri, rp := f.lu[col*n:(col+1)*n], f.lu[p*n:(p+1)*n]
+			for j := range ri {
+				ri[j], rp[j] = rp[j], ri[j]
+			}
+			f.piv[col], f.piv[p] = f.piv[p], f.piv[col]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := f.lu[r*n+col] / pivot
+			f.lu[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve computes x with A·x = b into dst (dst and b may alias).
+func (f *LU) Solve(dst, b []float64) error {
+	n := f.n
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("dense: Solve dims: n=%d, len(dst)=%d, len(b)=%d", n, len(dst), len(b))
+	}
+	// Apply permutation: y = P·b.
+	y := make([]float64, n)
+	for i, p := range f.piv {
+		y[i] = b[p]
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu[i*n+j] * y[j]
+		}
+		y[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu[i*n+j] * y[j]
+		}
+		y[i] = (y[i] - s) / f.lu[i*n+i]
+	}
+	copy(dst, y)
+	return nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}

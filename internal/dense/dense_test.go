@@ -1,0 +1,166 @@
+package dense
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	y := make([]float64, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(0, 2, 3)
+	m.MulVec(y, []float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFactorSolveIdentity(t *testing.T) {
+	n := 5
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x := make([]float64, n)
+	if err := f.Solve(x, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("identity solve wrong: %v", x)
+		}
+	}
+	if math.Abs(f.Det()-1) > 1e-15 {
+		t.Errorf("det = %g, want 1", f.Det())
+	}
+}
+
+func TestFactorRequiresPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	if err := f.Solve(x, []float64{3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	// A swaps components: x = (5, 3).
+	if math.Abs(x[0]-5) > 1e-14 || math.Abs(x[1]-3) > 1e-14 {
+		t.Errorf("solve = %v, want [5 3]", x)
+	}
+	if math.Abs(f.Det()+1) > 1e-15 {
+		t.Errorf("det = %g, want -1 (one swap)", f.Det())
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := Factor(m); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	rect := &Matrix{Rows: 2, Cols: 3, Data: make([]float64, 6)}
+	if _, err := Factor(rect); err == nil {
+		t.Error("expected error for rectangular input")
+	}
+}
+
+func TestSolveDims(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(make([]float64, 3), []float64{1, 2}); err == nil {
+		t.Error("expected dims error")
+	}
+}
+
+// Property: for random well-conditioned systems, Solve inverts MulVec.
+func TestPropertyFactorSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+			m.Set(i, i, m.At(i, i)+float64(n)) // diagonal boost: well-conditioned
+		}
+		lu, err := Factor(m)
+		if err != nil {
+			return false
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		m.MulVec(b, xTrue)
+		x := make([]float64, n)
+		if err := lu.Solve(x, b); err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8*(1+math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinant is multiplicative against a known triangular case.
+func TestDetTriangular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 3)
+	m.Set(2, 2, 4)
+	m.Set(0, 1, 5)
+	m.Set(0, 2, 6)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-24) > 1e-12 {
+		t.Errorf("det = %g, want 24", f.Det())
+	}
+}

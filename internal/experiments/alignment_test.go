@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestBlockAlignmentAblation(t *testing.T) {
+	tab, err := BlockAlignmentAblation(40, 0.01, 1e-8, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var across, along float64
+	if _, err := fmtSscan(tab.Rows[0][2], &across); err != nil {
+		t.Fatalf("row %v: %v", tab.Rows[0], err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][2], &along); err != nil {
+		t.Fatalf("row %v: %v", tab.Rows[1], err)
+	}
+	// Aligning the blocks with the strong coupling must win decisively
+	// (line relaxation vs point-Jacobi-like behaviour).
+	if !(along*3 <= across) {
+		t.Errorf("aligned blocks (%g iters) should beat misaligned (%g) by ≥3x", along, across)
+	}
+	if _, err := BlockAlignmentAblation(2, 0.01, 1e-8, 10, 1); err == nil {
+		t.Error("expected grid validation error")
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestClusterDelaySweep(t *testing.T) {
+	tab, err := ClusterDelaySweep("Trefethen_2000", 8, []int{1, 4, 16}, 1e-8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var t1, t16 float64
+	if _, err := fmtSscan(tab.Rows[0][1], &t1); err != nil {
+		t.Fatalf("row %v: %v", tab.Rows[0], err)
+	}
+	if _, err := fmtSscan(tab.Rows[2][1], &t16); err != nil {
+		t.Fatalf("row %v: %v", tab.Rows[2], err)
+	}
+	if !(t1 > 0 && t16 >= t1) {
+		t.Errorf("delay must slow convergence gracefully: %g vs %g ticks", t1, t16)
+	}
+}

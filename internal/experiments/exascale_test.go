@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestExascaleArgument(t *testing.T) {
+	tab, err := ExascaleArgument(gpusim.CalibratedModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// At generous MTBF both finish; at the harshest MTBF the synchronous
+	// solver must fail while the asynchronous one still finishes.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if first[1] != "true" || first[4] != "true" {
+		t.Errorf("both should finish at MTBF=1000 iters: %v", first)
+	}
+	if last[1] != "false" {
+		t.Errorf("checkpointed sync should stall at MTBF=1 iter: %v", last)
+	}
+	if last[4] != "true" {
+		t.Errorf("async should still finish at MTBF=1 iter: %v", last)
+	}
+	// Efficiency of the synchronous solver must degrade monotonically-ish
+	// down the table: compare first vs mid.
+	var effHigh, effMid float64
+	if _, err := fmtSscan(first[3], &effHigh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[3][3], &effMid); err != nil {
+		t.Fatal(err)
+	}
+	if !(effMid < effHigh) {
+		t.Errorf("sync efficiency should degrade with failure rate: %g -> %g", effHigh, effMid)
+	}
+}

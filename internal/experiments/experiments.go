@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment is one function returning structured
+// data (a Table or plot.Series values) that cmd/benchtables renders; the
+// benchmark harness in the repository root wraps the same functions in
+// testing.B benches.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	Table1                — matrix properties
+//	Fig5NonDeterminism    — convergence variation across runs (+ Tables 2, 3)
+//	Fig6Convergence       — GS vs Jacobi vs async-(1), residual per iteration
+//	Fig7Convergence       — GS vs async-(5)
+//	Table4LocalIterOverhead — cost of local sweeps, fv3
+//	Fig8AvgIterTime       — average iteration time vs total iterations, fv3
+//	Table5AvgIterTimings  — average per-iteration times, all matrices
+//	Fig9ResidualVsTime    — residual vs wall time incl. CG
+//	Fig10Fault, Table6RecoveryOverhead — failure and recovery
+//	Fig11MultiGPU         — AMC/DC/DK on 1–4 GPUs
+//	ScaledJacobiRescue    — the §4.2 τ-scaling extension on s1rmt3m1
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// Table is a rendered-ready experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matrix caching: the generators are deterministic, and several experiments
+// share matrices, so generate each one once per process.
+var (
+	matMu    sync.Mutex
+	matCache = map[string]mats.TestMatrix{}
+)
+
+// Matrix returns the named paper matrix, cached.
+func Matrix(name string) (mats.TestMatrix, error) {
+	matMu.Lock()
+	defer matMu.Unlock()
+	if m, ok := matCache[name]; ok {
+		return m, nil
+	}
+	m, err := mats.Generate(name)
+	if err != nil {
+		return mats.TestMatrix{}, err
+	}
+	matCache[name] = m
+	return m, nil
+}
+
+// OnesRHS returns b = A·1, the experiment convention (exact solution = ones;
+// one right-hand side per system, paper §3.1).
+func OnesRHS(a *sparse.CSR) []float64 {
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+// relativize divides a residual history by its starting residual ‖b−Ax₀‖ =
+// ‖b‖ (zero initial guess), producing the paper's "relative residual".
+func relativize(history []float64, b []float64) []float64 {
+	r0 := vecmath.Nrm2(b)
+	if r0 == 0 {
+		r0 = 1
+	}
+	out := make([]float64, len(history))
+	for i, v := range history {
+		out[i] = v / r0
+	}
+	return out
+}
+
+// iota2float builds the x-axis 1..n.
+func iota2float(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+// fmtG renders a float compactly for table cells.
+func fmtG(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// fmtE renders a float in the paper's scientific style.
+func fmtE(v float64) string { return fmt.Sprintf("%.4e", v) }

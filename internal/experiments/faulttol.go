@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// FaultConfig configures the §4.5 fault-tolerance experiment (Figure 10,
+// Table 6). Defaults follow the paper: 25% of the cores fail at global
+// iteration 10; recovery times 10, 20, 30 iterations or none.
+type FaultConfig struct {
+	Matrix    string
+	Iters     int
+	BlockSize int
+	FailAt    int
+	Fraction  float64
+	Recovery  []int // recovery times tr; a negative entry means "no recovery"
+	Seed      int64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 128
+	}
+	if c.FailAt == 0 {
+		c.FailAt = 10
+	}
+	if c.Fraction == 0 {
+		c.Fraction = 0.25
+	}
+	if c.Recovery == nil {
+		c.Recovery = []int{10, 20, 30, -1}
+	}
+	return c
+}
+
+// FaultOutcome is one curve of Figure 10 plus the bookkeeping for Table 6.
+type FaultOutcome struct {
+	Label   string
+	History []float64 // relative residuals, length Iters
+	// IterationsToTol is the first iteration reaching the tolerance used
+	// by Fig10Table6 (0 = never).
+	IterationsToTol int
+}
+
+// Fig10Fault runs the failure scenario: a clean run plus one run per
+// recovery setting. Histories are relative residuals over exactly
+// cfg.Iters global iterations.
+func Fig10Fault(cfg FaultConfig) ([]FaultOutcome, error) {
+	cfg = cfg.withDefaults()
+	tm, err := Matrix(cfg.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	a := tm.A
+	b := OnesRHS(a)
+	nb := (a.Rows + cfg.BlockSize - 1) / cfg.BlockSize
+
+	run := func(label string, inj *fault.Injector) (FaultOutcome, error) {
+		opt := core.Options{
+			BlockSize:      cfg.BlockSize,
+			LocalIters:     5,
+			MaxGlobalIters: cfg.Iters,
+			RecordHistory:  true,
+			Seed:           cfg.Seed,
+		}
+		if inj != nil {
+			opt.SkipBlock = inj.SkipBlock
+		}
+		res, err := core.Solve(a, b, opt)
+		if err != nil {
+			return FaultOutcome{}, fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		return FaultOutcome{
+			Label:   label,
+			History: relativize(stats.PadHistory(res.History, cfg.Iters), b),
+		}, nil
+	}
+
+	outcomes := make([]FaultOutcome, 0, len(cfg.Recovery)+1)
+	clean, err := run("no failure", nil)
+	if err != nil {
+		return nil, err
+	}
+	outcomes = append(outcomes, clean)
+	for _, tr := range cfg.Recovery {
+		label := fmt.Sprintf("recovery-(%d)", tr)
+		if tr < 0 {
+			label = "no recovery"
+		}
+		inj, err := fault.NewInjector(nb, cfg.Fraction, cfg.FailAt, tr, cfg.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		oc, err := run(label, inj)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, oc)
+	}
+	return outcomes, nil
+}
+
+// FaultSeries converts outcomes into Figure 10 plot series.
+func FaultSeries(outcomes []FaultOutcome) []plot.Series {
+	out := make([]plot.Series, len(outcomes))
+	for i, oc := range outcomes {
+		out[i] = plot.Series{Name: oc.Label, X: iota2float(len(oc.History)), Y: oc.History}
+	}
+	return out
+}
+
+// Table6RecoveryOverhead regenerates Table 6: the additional computation
+// (in % of global iterations) each recovering variant needs to reach the
+// same relative residual as the failure-free run's final level.
+func Table6RecoveryOverhead(cfgs []FaultConfig, tol float64) (Table, error) {
+	t := Table{
+		Title:   fmt.Sprintf("Table 6: additional iterations in %% for recovering async-(5) to reach rel. residual %.0e", tol),
+		Columns: []string{"matrix", "recover-(10)", "recover-(20)", "recover-(30)"},
+	}
+	for _, cfg := range cfgs {
+		cfg.Recovery = []int{10, 20, 30}
+		outcomes, err := Fig10Fault(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		base := IterationsToReach(outcomes[0].History, tol)
+		if base == 0 {
+			return Table{}, fmt.Errorf("experiments: clean run on %s never reached %g within %d iterations",
+				cfg.Matrix, tol, cfg.withDefaults().Iters)
+		}
+		row := []string{cfg.Matrix}
+		for _, oc := range outcomes[1:] {
+			it := IterationsToReach(oc.History, tol)
+			if it == 0 {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", 100*float64(it-base)/float64(base)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// NonDetConfig configures the §4.1 non-determinism study (Figure 5,
+// Tables 2 and 3).
+type NonDetConfig struct {
+	Matrix string
+	// Runs is the number of independent solver runs (paper: 1000; harness
+	// default 100 — the statistics concentrate quickly).
+	Runs int
+	// Iters is the number of global iterations per run (paper: 150 for
+	// fv1, 50 for Trefethen_2000).
+	Iters int
+	// CheckpointStep spaces the table rows (paper: 10 for fv1, 5 for
+	// Trefethen_2000).
+	CheckpointStep int
+	// Engine: EngineSimulated varies the seeded chaotic schedule per run
+	// (reproducible); EngineGoroutine uses real interleaving chaos.
+	Engine core.EngineKind
+	// BlockSize defaults to 128, the paper's choice for this study ("a
+	// moderate block size of 128, which allows for a strong influence of
+	// the non-deterministic GPU-internal scheduling").
+	BlockSize int
+	BaseSeed  int64
+}
+
+func (c NonDetConfig) withDefaults() NonDetConfig {
+	if c.BlockSize == 0 {
+		c.BlockSize = 128
+	}
+	if c.CheckpointStep == 0 {
+		c.CheckpointStep = 10
+	}
+	return c
+}
+
+// NonDetResult is the outcome of the study for one matrix.
+type NonDetResult struct {
+	Matrix      string
+	Checkpoints []int
+	Summaries   []stats.Summary
+	// AvgHistory is the run-averaged relative residual per iteration
+	// (Figure 5a/5b).
+	AvgHistory []float64
+	// AbsVariation and RelVariation per iteration (Figures 5c–5f).
+	AbsVariation []float64
+	RelVariation []float64
+}
+
+// Fig5NonDeterminism runs the repeated-solve study. Each run uses a
+// distinct scheduler seed (simulated engine) or the natural race outcome
+// (goroutine engine); relative residuals are aggregated per iteration.
+func Fig5NonDeterminism(cfg NonDetConfig) (NonDetResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Runs <= 0 || cfg.Iters <= 0 {
+		return NonDetResult{}, fmt.Errorf("experiments: Runs and Iters must be positive, have %d, %d", cfg.Runs, cfg.Iters)
+	}
+	tm, err := Matrix(cfg.Matrix)
+	if err != nil {
+		return NonDetResult{}, err
+	}
+	a := tm.A
+	b := OnesRHS(a)
+	rm := stats.NewRunMatrix(cfg.Iters)
+	for run := 0; run < cfg.Runs; run++ {
+		res, err := core.Solve(a, b, core.Options{
+			BlockSize:      cfg.BlockSize,
+			LocalIters:     5, // the paper's async-(5)
+			MaxGlobalIters: cfg.Iters,
+			Tolerance:      0, // run the full iteration budget
+			RecordHistory:  true,
+			Engine:         cfg.Engine,
+			Seed:           cfg.BaseSeed + int64(run),
+		})
+		if err != nil {
+			return NonDetResult{}, fmt.Errorf("experiments: run %d: %w", run, err)
+		}
+		if err := rm.Add(relativize(stats.PadHistory(res.History, cfg.Iters), b)); err != nil {
+			return NonDetResult{}, err
+		}
+	}
+
+	out := NonDetResult{Matrix: cfg.Matrix}
+	for it := cfg.CheckpointStep; it <= cfg.Iters; it += cfg.CheckpointStep {
+		out.Checkpoints = append(out.Checkpoints, it)
+	}
+	if out.Summaries, err = rm.Checkpoints(out.Checkpoints); err != nil {
+		return NonDetResult{}, err
+	}
+	out.AvgHistory = make([]float64, cfg.Iters)
+	out.AbsVariation = make([]float64, cfg.Iters)
+	out.RelVariation = make([]float64, cfg.Iters)
+	for i := 0; i < cfg.Iters; i++ {
+		s, err := rm.AtIteration(i)
+		if err != nil {
+			return NonDetResult{}, err
+		}
+		out.AvgHistory[i] = s.Mean
+		out.AbsVariation[i] = s.AbsVariation
+		out.RelVariation[i] = s.RelVariation
+	}
+	return out, nil
+}
+
+// VariationTable renders the paper's Table 2/3 layout from the study
+// result: per checkpoint, average/max/min residual, absolute and relative
+// variation, variance, standard deviation, standard error.
+func (r NonDetResult) VariationTable() Table {
+	t := Table{
+		Title: fmt.Sprintf("Tables 2/3: variations and statistics of the convergence of %d runs on %s",
+			summaryRuns(r.Summaries), r.Matrix),
+		Columns: []string{"# global iters", "averg. res.", "max. res.", "min. res.",
+			"abs. var.", "rel. var.", "variance", "std. dev.", "std. err."},
+	}
+	for i, cp := range r.Checkpoints {
+		s := r.Summaries[i]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cp),
+			fmtE(s.Mean), fmtE(s.Max), fmtE(s.Min),
+			fmtE(s.AbsVariation), fmtE(s.RelVariation),
+			fmtE(s.Variance), fmtE(s.StdDev), fmtE(s.StdErr),
+		})
+	}
+	return t
+}
+
+// Series returns the Figure 5 curves: average convergence (log y),
+// absolute variation (log y) and relative variation (linear y).
+func (r NonDetResult) Series() (avg, absVar, relVar plot.Series) {
+	x := iota2float(len(r.AvgHistory))
+	avg = plot.Series{Name: "average async-(5)", X: x, Y: r.AvgHistory}
+	absVar = plot.Series{Name: "max-min abs variation", X: x, Y: r.AbsVariation}
+	relVar = plot.Series{Name: "(max-min)/avg rel variation", X: x, Y: r.RelVariation}
+	return avg, absVar, relVar
+}
+
+func summaryRuns(ss []stats.Summary) int {
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[0].N
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpusim"
+	"repro/internal/plot"
+)
+
+// Fig9ResidualVsTime regenerates one panel of Figure 9: the relative
+// residual as a function of (modeled) solver runtime for Gauss-Seidel
+// (CPU), Jacobi (GPU), async-(5) (GPU) and CG (GPU). Convergence histories
+// are computed by the actual solvers; the time axis comes from the
+// calibrated performance model (setup + per-iteration cost).
+//
+// The paper restricts the figure to Chem97ZtZ, fv1, fv3 and
+// Trefethen_2000 (fv2 duplicates fv1; no method suits s1rmt3m1).
+func Fig9ResidualVsTime(m gpusim.PerfModel, matrix string, iters int, seed int64) ([]plot.Series, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("experiments: iters must be positive, have %d", iters)
+	}
+	tm, err := Matrix(matrix)
+	if err != nil {
+		return nil, err
+	}
+	n, nnz := tm.A.Rows, tm.A.NNZ()
+	b := OnesRHS(tm.A)
+
+	gsH, err := runGS(matrix, iters)
+	if err != nil {
+		return nil, err
+	}
+	jH, err := runJacobi(matrix, iters)
+	if err != nil {
+		return nil, err
+	}
+	a5H, err := runAsync(matrix, iters, 5, seed)
+	if err != nil {
+		return nil, err
+	}
+	cgH, err := runCG(matrix, iters)
+	if err != nil {
+		return nil, err
+	}
+
+	timeAxis := func(perIter, setup float64, k int) []float64 {
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = setup + float64(i+1)*perIter
+		}
+		return xs
+	}
+	setup := m.GPUSetupTime(n, nnz)
+	return []plot.Series{
+		{Name: "Gauss-Seidel", X: timeAxis(m.GaussSeidelIterTime(n, nnz), 0, iters), Y: relativize(gsH, b)},
+		{Name: "Jacobi", X: timeAxis(m.JacobiIterTime(n, nnz), setup, iters), Y: relativize(jH, b)},
+		{Name: "async-(5)", X: timeAxis(m.AsyncIterTime(n, nnz, 5), setup, iters), Y: relativize(a5H, b)},
+		{Name: "CG", X: timeAxis(m.CGIterTime(n, nnz), setup, iters), Y: relativize(cgH, b)},
+	}, nil
+}
+
+// TimeToResidual returns the modeled time at which the series first
+// reaches tol, or +Inf if it never does. Series produced by
+// Fig9ResidualVsTime are (time, relative residual) pairs.
+func TimeToResidual(s plot.Series, tol float64) float64 {
+	for i, y := range s.Y {
+		if y <= tol {
+			return s.X[i]
+		}
+	}
+	return math.Inf(1)
+}

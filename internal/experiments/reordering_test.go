@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestReorderingRescueChem97(t *testing.T) {
+	tab, err := ReorderingRescue(1e-8, 2000, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var natBW, rcmBW, nat1, nat5, rcm1, rcm5 float64
+	if _, err := fmtSscan(tab.Rows[0][1], &natBW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][1], &rcmBW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[0][2], &nat1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[0][3], &nat5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][2], &rcm1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][3], &rcm5); err != nil {
+		t.Fatal(err)
+	}
+	// RCM collapses the long-range coupling groups to adjacent rows.
+	if rcmBW > 10 || natBW < 100 {
+		t.Errorf("bandwidth: natural %g -> RCM %g; expected large -> tiny", natBW, rcmBW)
+	}
+	// Natural ordering: local sweeps useless (paper §4.3).
+	if d := nat1 - nat5; d < -3 || d > 3 {
+		t.Errorf("natural ordering: async-(1) %g vs async-(5) %g should be ≈equal", nat1, nat5)
+	}
+	// RCM ordering: local sweeps now capture the whole coupling; async-(5)
+	// must converge substantially faster than async-(1).
+	if !(rcm5 > 0 && rcm5*1.5 <= rcm1) {
+		t.Errorf("RCM ordering: async-(5) %g should beat async-(1) %g by ≥1.5x", rcm5, rcm1)
+	}
+	// And faster than the natural ordering's async-(5).
+	if !(rcm5 < nat5) {
+		t.Errorf("RCM async-(5) (%g) should beat natural async-(5) (%g)", rcm5, nat5)
+	}
+}

@@ -1,0 +1,86 @@
+// Package fault implements the hardware-failure experiment of paper §4.5:
+// at a chosen global iteration t0, a fraction of the computing cores —
+// i.e. of the thread blocks they iterate — breaks down. The components
+// handled by dead cores are no longer updated. An implementation may then
+//
+//   - recover after tr iterations ("recovery-(tr)"): the operating system
+//     detects the failure and reassigns the dead blocks to healthy cores,
+//     after which convergence resumes with a delay; or
+//   - never recover: the iteration keeps running on the surviving
+//     components and stalls at a solution approximation with significant
+//     residual error.
+//
+// Injector plugs into blockasync.Options.SkipBlock.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Injector decides, per global iteration, which blocks are dead. It is the
+// fault-injection counterpart of the failure scenario in the paper: the
+// failed blocks are chosen uniformly at random at construction time
+// (seeded), matching "a preset number of randomly chosen components is no
+// longer considered in the iteration process".
+type Injector struct {
+	failAt   int
+	recovery int // iterations until reassignment; <0 = never
+	dead     map[int]bool
+}
+
+// NewInjector creates an injector killing fraction of the numBlocks blocks
+// at global iteration failAt (1-based). recovery is the number of
+// iterations after which the workload is reassigned to healthy cores
+// (recovery-(tr) in the paper); pass a negative value for no recovery.
+func NewInjector(numBlocks int, fraction float64, failAt, recovery int, seed int64) (*Injector, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("fault: numBlocks %d must be positive", numBlocks)
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("fault: fraction %g outside [0,1]", fraction)
+	}
+	if failAt < 1 {
+		return nil, fmt.Errorf("fault: failAt %d must be ≥ 1", failAt)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kill := int(fraction*float64(numBlocks) + 0.5)
+	perm := rng.Perm(numBlocks)
+	dead := make(map[int]bool, kill)
+	for _, b := range perm[:kill] {
+		dead[b] = true
+	}
+	return &Injector{failAt: failAt, recovery: recovery, dead: dead}, nil
+}
+
+// NumDead returns how many blocks the injector kills.
+func (in *Injector) NumDead() int { return len(in.dead) }
+
+// DeadBlocks returns the failed block indices (unordered).
+func (in *Injector) DeadBlocks() []int {
+	out := make([]int, 0, len(in.dead))
+	for b := range in.dead {
+		out = append(out, b)
+	}
+	return out
+}
+
+// SkipBlock reports whether block is dead at global iteration iter. It has
+// the signature of blockasync.Options.SkipBlock.
+func (in *Injector) SkipBlock(iter, block int) bool {
+	if !in.dead[block] {
+		return false
+	}
+	if iter < in.failAt {
+		return false // failure has not happened yet
+	}
+	if in.recovery >= 0 && iter >= in.failAt+in.recovery {
+		return false // operating system reassigned the workload
+	}
+	return true
+}
+
+// Recovered reports whether the injector's blocks are live again at iter.
+func (in *Injector) Recovered(iter int) bool {
+	return in.recovery >= 0 && iter >= in.failAt+in.recovery
+}

@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/vecmath"
+)
+
+func TestInjectorValidation(t *testing.T) {
+	cases := []struct {
+		nb     int
+		frac   float64
+		failAt int
+	}{
+		{0, 0.5, 1}, {10, -0.1, 1}, {10, 1.5, 1}, {10, 0.5, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewInjector(c.nb, c.frac, c.failAt, 10, 1); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInjectorKillCount(t *testing.T) {
+	in, err := NewInjector(20, 0.25, 10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumDead() != 5 {
+		t.Errorf("NumDead = %d, want 5", in.NumDead())
+	}
+	if len(in.DeadBlocks()) != 5 {
+		t.Errorf("DeadBlocks length = %d", len(in.DeadBlocks()))
+	}
+}
+
+func TestInjectorTimeline(t *testing.T) {
+	in, err := NewInjector(10, 0.3, 10, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := in.DeadBlocks()[0]
+	if in.SkipBlock(5, dead) {
+		t.Error("block dead before failure time")
+	}
+	if !in.SkipBlock(10, dead) || !in.SkipBlock(29, dead) {
+		t.Error("block must be dead in [failAt, failAt+recovery)")
+	}
+	if in.SkipBlock(30, dead) {
+		t.Error("block must recover at failAt+recovery")
+	}
+	if !in.Recovered(30) || in.Recovered(29) {
+		t.Error("Recovered timeline wrong")
+	}
+	// A block that never failed is always live.
+	live := -1
+	deadSet := map[int]bool{}
+	for _, b := range in.DeadBlocks() {
+		deadSet[b] = true
+	}
+	for b := 0; b < 10; b++ {
+		if !deadSet[b] {
+			live = b
+			break
+		}
+	}
+	if in.SkipBlock(15, live) {
+		t.Error("healthy block reported dead")
+	}
+}
+
+func TestInjectorNoRecovery(t *testing.T) {
+	in, err := NewInjector(10, 0.5, 5, -1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := in.DeadBlocks()[0]
+	if !in.SkipBlock(1_000_000, dead) {
+		t.Error("no-recovery injector must keep the block dead forever")
+	}
+	if in.Recovered(1_000_000) {
+		t.Error("no-recovery injector can never report recovered")
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	a, _ := NewInjector(50, 0.25, 1, -1, 7)
+	b, _ := NewInjector(50, 0.25, 1, -1, 7)
+	am := map[int]bool{}
+	for _, x := range a.DeadBlocks() {
+		am[x] = true
+	}
+	for _, x := range b.DeadBlocks() {
+		if !am[x] {
+			t.Fatal("same seed chose different dead blocks")
+		}
+	}
+}
+
+// Integration: the paper's Figure 10 scenario. 25% of cores fail at t0=10;
+// with recovery the solver still converges (with delay), without recovery
+// it stalls at a large residual.
+func TestFaultScenarioRecoveryVsNone(t *testing.T) {
+	a := mats.FV(30, 30, 1.368)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+
+	base := core.Options{
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 120,
+		Tolerance:      0,
+		RecordHistory:  true,
+		Seed:           1,
+	}
+	nb := (a.Rows + base.BlockSize - 1) / base.BlockSize
+
+	solve := func(inj *Injector) []float64 {
+		opt := base
+		if inj != nil {
+			opt.SkipBlock = inj.SkipBlock
+		}
+		res, err := core.Solve(a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.History
+	}
+
+	clean := solve(nil)
+	injRec, err := NewInjector(nb, 0.25, 10, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := solve(injRec)
+	injNone, err := NewInjector(nb, 0.25, 10, -1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := solve(injNone)
+
+	last := len(clean) - 1
+	if !(clean[last] < 1e-10) {
+		t.Fatalf("clean run residual %g, expected deep convergence", clean[last])
+	}
+	// Recovery: converges to (nearly) the same level, delayed.
+	if recovered[last] > clean[last]*1e6 && recovered[last] > 1e-6 {
+		t.Errorf("recovered run stalled at %g", recovered[last])
+	}
+	// During the outage the recovered run must lag the clean run.
+	if !(recovered[20] > clean[20]) {
+		t.Errorf("outage should delay convergence: recovered %g vs clean %g at iter 21",
+			recovered[20], clean[20])
+	}
+	// No recovery: significant residual error, orders of magnitude above.
+	if none[last] < 1e-3*none[9] {
+		t.Errorf("no-recovery run should stall near the failure-time residual; went %g -> %g",
+			none[9], none[last])
+	}
+	if none[last] < clean[last]*1e6 {
+		t.Errorf("no-recovery residual %g should be far above clean %g", none[last], clean[last])
+	}
+}
+
+// The paper: "continuing the iteration process for the remaining components
+// has no influence on the generated values" — the surviving components
+// converge to the solution of the reduced system, so the residual stalls at
+// a constant level.
+func TestNoRecoveryResidualPlateaus(t *testing.T) {
+	a := mats.Trefethen(500)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	nb := (a.Rows + 63) / 64
+	inj, err := NewInjector(nb, 0.25, 10, -1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 80,
+		RecordHistory:  true,
+		Seed:           2,
+		SkipBlock:      inj.SkipBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	// Plateau: the last 20 iterations change by < 1% relative.
+	for i := len(h) - 20; i < len(h)-1; i++ {
+		if math.Abs(h[i+1]-h[i]) > 0.01*h[i] {
+			t.Fatalf("residual still moving at iteration %d: %g -> %g", i+1, h[i], h[i+1])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// SilentCorruptor injects *silent* errors (paper §4.5: "errors that get
+// detected after long time having caused serious damage to the algorithm,
+// or never get detected at all"): at the configured global iterations it
+// flips a high-order mantissa/exponent bit of randomly chosen iterate
+// components, with no notification to the solver. Its Corrupt method plugs
+// into core.Options.AfterIteration.
+type SilentCorruptor struct {
+	rng *rand.Rand
+	// at[iter] = number of components corrupted after that iteration.
+	at map[int]int
+	// Injected records the components actually corrupted, per iteration.
+	Injected map[int][]int
+}
+
+// NewSilentCorruptor creates a corruptor hitting the given iterations
+// (each with one corrupted component).
+func NewSilentCorruptor(iterations []int, seed int64) (*SilentCorruptor, error) {
+	at := make(map[int]int, len(iterations))
+	for _, it := range iterations {
+		if it < 1 {
+			return nil, fmt.Errorf("fault: corruption iteration %d must be ≥ 1", it)
+		}
+		at[it]++
+	}
+	return &SilentCorruptor{
+		rng:      rand.New(rand.NewSource(seed)),
+		at:       at,
+		Injected: make(map[int][]int),
+	}, nil
+}
+
+// Corrupt implements the core.Options.AfterIteration hook.
+func (s *SilentCorruptor) Corrupt(iter int, x core.VectorAccess) {
+	count := s.at[iter]
+	for c := 0; c < count; c++ {
+		i := s.rng.Intn(x.Len())
+		v := x.Get(i)
+		// Flip bit 52 of the IEEE-754 representation (lowest exponent
+		// bit): the classical soft-error model. For a zero value, set a
+		// finite garbage value instead (flipping bits of 0.0 yields a
+		// subnormal that would go unnoticed).
+		bits := math.Float64bits(v)
+		corrupted := math.Float64frombits(bits ^ (1 << 52))
+		if v == 0 {
+			corrupted = 1.0
+		}
+		x.Set(i, corrupted)
+		s.Injected[iter] = append(s.Injected[iter], i)
+	}
+}
+
+// Detector flags convergence anomalies in a residual history — the paper's
+// observation that for problems where convergence is expected, "a
+// convergence delay or non-converging sequence of solution approximations
+// indicates that a silent error has occurred."
+//
+// The detector tracks the geometric contraction rate over a sliding window
+// and raises an anomaly whenever the residual exceeds the rate-predicted
+// value by more than Factor.
+type Detector struct {
+	// Window is the number of recent contraction ratios averaged for the
+	// rate estimate (default 5).
+	Window int
+	// Factor is the tolerated overshoot over the predicted residual
+	// (default 10: an order of magnitude).
+	Factor float64
+	// Floor suppresses anomalies once residuals reach the round-off
+	// regime, where the geometric model no longer applies. Non-positive:
+	// defaults to 1e-13 × the first observed residual.
+	Floor float64
+
+	history []float64
+}
+
+// NewDetector creates a detector with the given window and overshoot
+// factor; non-positive arguments select the defaults.
+func NewDetector(window int, factor float64) *Detector {
+	if window <= 0 {
+		window = 5
+	}
+	if factor <= 0 {
+		factor = 10
+	}
+	return &Detector{Window: window, Factor: factor}
+}
+
+// Observe feeds the next residual and reports whether it is anomalous
+// under the rate fitted to the preceding window. Residuals below the
+// round-off Floor are never anomalous: there the geometric contraction
+// model no longer applies.
+func (d *Detector) Observe(residual float64) bool {
+	defer func() { d.history = append(d.history, residual) }()
+	n := len(d.history)
+	if n == 0 && d.Floor <= 0 {
+		d.Floor = residual * 1e-13
+	}
+	if residual <= d.Floor {
+		return false
+	}
+	if n < d.Window+1 {
+		return false
+	}
+	// Average contraction over the window ending at the previous residual.
+	rate := 1.0
+	count := 0
+	for i := n - d.Window; i < n; i++ {
+		prev, cur := d.history[i-1], d.history[i]
+		if prev > 0 && cur > 0 {
+			rate *= cur / prev
+			count++
+		}
+	}
+	if count == 0 {
+		return false
+	}
+	rate = math.Pow(rate, 1/float64(count))
+	if rate >= 1 {
+		return false // stagnated or diverging already; no rate to violate
+	}
+	predicted := d.history[n-1] * rate
+	return residual > predicted*d.Factor
+}
+
+// Reset clears the observation history.
+func (d *Detector) Reset() { d.history = d.history[:0] }

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/vecmath"
+)
+
+func TestSilentCorruptorValidation(t *testing.T) {
+	if _, err := NewSilentCorruptor([]int{0}, 1); err == nil {
+		t.Error("expected error for iteration 0")
+	}
+	if _, err := NewSilentCorruptor([]int{-3}, 1); err == nil {
+		t.Error("expected error for negative iteration")
+	}
+}
+
+func TestSilentCorruptorFlipsBits(t *testing.T) {
+	sc, err := NewSilentCorruptor([]int{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = 1.0
+	}
+	access := testAccess(x)
+	sc.Corrupt(1, access)
+	for _, v := range x {
+		if v != 1.0 {
+			t.Fatal("corruption fired at the wrong iteration")
+		}
+	}
+	sc.Corrupt(2, access)
+	changed := 0
+	for _, v := range x {
+		if v != 1.0 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("exactly one component should be corrupted, got %d", changed)
+	}
+	if len(sc.Injected[2]) != 1 {
+		t.Errorf("Injected bookkeeping wrong: %v", sc.Injected)
+	}
+}
+
+func TestSilentCorruptorZeroValue(t *testing.T) {
+	sc, err := NewSilentCorruptor([]int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 4) // zeros
+	sc.Corrupt(1, testAccess(x))
+	changed := false
+	for _, v := range x {
+		if v != 0 {
+			changed = true
+			if v != 1.0 {
+				t.Errorf("zero-value corruption should set 1.0, got %g", v)
+			}
+		}
+	}
+	if !changed {
+		t.Error("no component corrupted")
+	}
+}
+
+// testAccess adapts a []float64 for the hook interface without exporting
+// the core-internal adapter.
+type testAccess []float64
+
+func (s testAccess) Len() int             { return len(s) }
+func (s testAccess) Get(i int) float64    { return s[i] }
+func (s testAccess) Set(i int, v float64) { s[i] = v }
+
+func TestDetectorFlagsInjectedError(t *testing.T) {
+	// Converge async-(5) on fv-like system, silently corrupt one component
+	// at iteration 25, and verify (a) the convergence is visibly delayed
+	// and (b) the detector flags the anomaly at exactly that point.
+	a := mats.FV(30, 30, 1.368)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+
+	sc, err := NewSilentCorruptor([]int{25}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 60,
+		RecordHistory:  true,
+		Seed:           1,
+		AfterIteration: sc.Corrupt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(5, 10)
+	flagged := -1
+	for i, r := range res.History {
+		if det.Observe(r) && flagged < 0 {
+			flagged = i + 1
+		}
+	}
+	if flagged < 0 {
+		t.Fatal("detector missed the injected silent error")
+	}
+	// The corruption lands after iteration 25; the residual measured at
+	// iteration 25 already includes it.
+	if flagged < 25 || flagged > 28 {
+		t.Errorf("flagged at iteration %d, want 25–28", flagged)
+	}
+	// The solver still self-heals: asynchronous iteration re-converges.
+	last := res.History[len(res.History)-1]
+	if last > res.History[23] {
+		t.Errorf("iteration did not recover from the silent error: %g vs %g", last, res.History[23])
+	}
+}
+
+func TestDetectorQuietOnCleanRun(t *testing.T) {
+	a := mats.FV(30, 30, 1.368)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 60,
+		RecordHistory:  true,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(5, 10)
+	for i, r := range res.History {
+		if det.Observe(r) {
+			t.Fatalf("false positive at iteration %d (residual %g)", i+1, r)
+		}
+	}
+}
+
+func TestDetectorIgnoresPlateau(t *testing.T) {
+	// The round-off floor (rate ≈ 1) must not trigger anomalies: once the
+	// residual drops below Floor relative to the start, flags stop.
+	det := NewDetector(4, 10)
+	rs := []float64{1, 1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 1e-14, 1.2e-14, 1e-14, 1.1e-14}
+	for i, r := range rs {
+		if det.Observe(r) {
+			t.Fatalf("plateau flagged at index %d (residual %g)", i, r)
+		}
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(0, 0)
+	if d.Window != 5 || d.Factor != 10 {
+		t.Errorf("defaults wrong: %+v", d)
+	}
+}
+
+func TestAfterIterationHookGoroutineEngine(t *testing.T) {
+	// The hook must also fire (and be able to mutate) under the goroutine
+	// engine.
+	a := mats.Poisson2D(12, 12)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	fired := 0
+	_, err := core.Solve(a, b, core.Options{
+		BlockSize:      32,
+		LocalIters:     2,
+		MaxGlobalIters: 5,
+		Engine:         core.EngineGoroutine,
+		AfterIteration: func(iter int, x core.VectorAccess) {
+			fired++
+			if x.Len() != a.Rows {
+				t.Errorf("hook got length %d", x.Len())
+			}
+			x.Set(0, x.Get(0)) // read-write round trip
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Errorf("hook fired %d times, want 5", fired)
+	}
+}

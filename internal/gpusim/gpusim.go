@@ -1,0 +1,233 @@
+// Package gpusim models the GPU the paper runs on: an NVIDIA Fermi C2070
+// (14 multiprocessors × 32 CUDA cores, 6 GB, PCIe ×16) programmed with
+// CUDA 4.0 streams.
+//
+// Two aspects of the hardware matter for the paper's results and are
+// modeled explicitly:
+//
+//  1. Execution semantics — thread blocks are dispatched to multiprocessors
+//     in an order the programmer cannot control, and blocks in different
+//     streams overlap. The Scheduler type produces seeded chaotic block
+//     orders and overlap patterns that drive the block-asynchronous
+//     engines in package blockasync.
+//
+//  2. Timing — kernel launch overhead, PCIe transfers, and throughput.
+//     The PerfModel type predicts per-iteration wall times. Its constants
+//     are calibrated against the paper's measured data (Tables 4 and 5,
+//     Figure 8) rather than derived from first principles, because the
+//     paper's CUDA implementation — not peak hardware capability — is the
+//     behaviour being reproduced. See DESIGN.md §2.
+package gpusim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DeviceParams describes the simulated GPU.
+type DeviceParams struct {
+	Name      string
+	NumSM     int     // number of multiprocessors executing blocks concurrently
+	ClockGHz  float64 // SM clock
+	MemoryGB  float64 // device memory capacity
+	PCIeGBs   float64 // host link bandwidth, GB/s (effective)
+	SetupTime float64 // one-time context creation + allocation + matrix upload, seconds
+}
+
+// FermiC2070 returns the paper's GPU (§3.2): 14 SMs × 32 cores @ 1.15 GHz,
+// 6 GB, PCIe ×16 (effective ~6 GB/s). SetupTime reflects the fixed offset
+// visible in the paper's Table 4 totals (≈0.31 s).
+func FermiC2070() DeviceParams {
+	return DeviceParams{
+		Name:      "Tesla C2070 (Fermi)",
+		NumSM:     14,
+		ClockGHz:  1.15,
+		MemoryGB:  6,
+		PCIeGBs:   6,
+		SetupTime: 0.31,
+	}
+}
+
+// TransferTime returns the PCIe transfer time in seconds for the given
+// number of bytes (one direction).
+func (d DeviceParams) TransferTime(bytes int) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("gpusim: negative transfer size %d", bytes))
+	}
+	const latency = 10e-6 // per-transfer latency, seconds
+	return latency + float64(bytes)/(d.PCIeGBs*1e9)
+}
+
+// Scheduler produces the chaotic thread-block execution orders of a GPU.
+// The paper observes (§4.1) that the GPU-internal scheduling follows a
+// recurring pattern that amplifies convergence variation across runs; the
+// scheduler reproduces this with a seeded pseudo-random permutation stream
+// in which a base pattern recurs with small perturbations.
+type Scheduler struct {
+	rng *rand.Rand
+	// recurrence controls how strongly the base pattern recurs: 0 gives a
+	// fresh uniform permutation every call, 1 repeats the base order
+	// verbatim.
+	recurrence float64
+	base       []int
+}
+
+// NewScheduler creates a scheduler with the given seed and recurrence in
+// [0,1]. Recurrence 0.8 approximates the paper's observed behaviour.
+func NewScheduler(seed int64, recurrence float64) *Scheduler {
+	if recurrence < 0 || recurrence > 1 {
+		panic(fmt.Sprintf("gpusim: recurrence %g outside [0,1]", recurrence))
+	}
+	return &Scheduler{rng: rand.New(rand.NewSource(seed)), recurrence: recurrence}
+}
+
+// Order returns the execution order of numBlocks thread blocks for one
+// kernel sweep. The slice is freshly allocated; every block index appears
+// exactly once (the Chazan–Miranker fairness condition: every component is
+// updated in every global iteration).
+func (s *Scheduler) Order(numBlocks int) []int {
+	if numBlocks <= 0 {
+		panic(fmt.Sprintf("gpusim: Order(%d): need at least one block", numBlocks))
+	}
+	if len(s.base) != numBlocks {
+		s.base = s.rng.Perm(numBlocks)
+	}
+	order := append([]int(nil), s.base...)
+	// Perturb: each position swaps with a random partner with probability
+	// (1 − recurrence), preserving the permutation property.
+	for i := range order {
+		if s.rng.Float64() >= s.recurrence {
+			j := s.rng.Intn(numBlocks)
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	return order
+}
+
+// StaleMask returns, for one kernel sweep, which blocks observe a stale
+// snapshot of the iterate (they were dispatched before overlapping writers
+// finished). Probability pStale per block, seeded.
+func (s *Scheduler) StaleMask(numBlocks int, pStale float64) []bool {
+	if pStale < 0 || pStale > 1 {
+		panic(fmt.Sprintf("gpusim: pStale %g outside [0,1]", pStale))
+	}
+	mask := make([]bool, numBlocks)
+	for i := range mask {
+		mask[i] = s.rng.Float64() < pStale
+	}
+	return mask
+}
+
+// PerfModel predicts wall-clock times of the paper's kernels on the
+// modeled hardware. All returned times are in seconds.
+//
+// Calibration: for the GPU methods the paper's measured per-iteration
+// times (Table 5) are explained almost perfectly (±7%) by a fixed
+// per-iteration cost (kernel launches, synchronization, per-iteration
+// host↔device vector transfers) plus an n² term; for the sequential CPU
+// Gauss-Seidel an nnz term contributes as well:
+//
+//	t_gpu = Launch + Quad·n² + PerNNZ·nnz   (PerNNZ: physical bandwidth term)
+//	t_cpu = CPULaunch + CPUQuad·n² + CPUPerNNZ·nnz
+//
+// The constants are fitted to Table 5 by relative least squares, plus the
+// relation measured in Table 4: each extra local sweep of async-(k) adds
+// ≈3.9% of the async base time (the "local iterations almost come for
+// free" effect — the subdomain stays in the SM cache).
+type PerfModel struct {
+	Device DeviceParams
+
+	// Fitted constants; see the type comment. Exported so ablation benches
+	// can explore alternative hardware.
+	JacobiLaunch float64 // fixed per-iteration cost of synchronous Jacobi
+	JacobiQuad   float64 // s per row²
+	AsyncLaunch  float64 // fixed per-global-iteration cost of async-(k); smaller: no global sync
+	AsyncQuad    float64 // s per row²
+	PerNNZ       float64 // physical memory-traffic term, s per nonzero
+	LocalSweep   float64 // marginal cost per extra local sweep, fraction of async base
+	// CGOverhead is the CG per-iteration cost relative to Jacobi. The
+	// paper's CG is the highly tuned MAGMA kernel (§4.4) while its Jacobi
+	// is a plain implementation, so the ratio is below one; calibrated so
+	// Figure 9's relative positions hold (CG ≈ one-third faster than
+	// async-(5) on fv1).
+	CGOverhead float64
+
+	CPULaunch float64 // fixed per-sweep cost of the host Gauss-Seidel
+	CPUQuad   float64 // s per row² (sequential Gauss-Seidel on the host)
+	CPUPerNNZ float64 // s per nonzero
+}
+
+// CalibratedModel returns the performance model fitted to the paper's
+// hardware (§3.2: 2× Xeon E5540 + Fermi C2070).
+func CalibratedModel() PerfModel {
+	return PerfModel{
+		Device:       FermiC2070(),
+		JacobiLaunch: 6.820e-4,
+		JacobiQuad:   2.0493e-10,
+		AsyncLaunch:  6.701e-4,
+		AsyncQuad:    1.2160e-10,
+		PerNNZ:       8.6e-11, // 12 B/nnz over ~140 GB/s device bandwidth
+		LocalSweep:   0.0388,
+		CGOverhead:   0.55,
+		CPULaunch:    1.231e-3,
+		CPUQuad:      1.2287e-9,
+		CPUPerNNZ:    1.6954e-8,
+	}
+}
+
+// JacobiIterTime returns the modeled time of one synchronous Jacobi
+// iteration on the GPU (kernel + global synchronization + per-iteration
+// vector transfers, as the paper times it).
+func (m PerfModel) JacobiIterTime(n, nnz int) float64 {
+	checkDims(n, nnz)
+	return m.JacobiLaunch + m.JacobiQuad*float64(n)*float64(n) + m.PerNNZ*float64(nnz)
+}
+
+// AsyncIterTime returns the modeled time of one *global* iteration of
+// async-(k): all blocks swept once, each performing k local Jacobi sweeps.
+func (m PerfModel) AsyncIterTime(n, nnz, k int) float64 {
+	checkDims(n, nnz)
+	if k <= 0 {
+		panic(fmt.Sprintf("gpusim: AsyncIterTime local sweeps k=%d must be positive", k))
+	}
+	base := m.AsyncLaunch + m.AsyncQuad*float64(n)*float64(n) + m.PerNNZ*float64(nnz)
+	return base * (1 + m.LocalSweep*float64(k-1))
+}
+
+// CGIterTime returns the modeled time of one GPU CG iteration (one SpMV
+// plus reduction synchronizations).
+func (m PerfModel) CGIterTime(n, nnz int) float64 {
+	checkDims(n, nnz)
+	return m.CGOverhead * m.JacobiIterTime(n, nnz)
+}
+
+// GaussSeidelIterTime returns the modeled time of one sequential
+// Gauss-Seidel sweep on the host CPU (the paper's CPU baseline).
+func (m PerfModel) GaussSeidelIterTime(n, nnz int) float64 {
+	checkDims(n, nnz)
+	return m.CPULaunch + m.CPUQuad*float64(n)*float64(n) + m.CPUPerNNZ*float64(nnz)
+}
+
+// GPUSetupTime returns the one-time cost before the first GPU iteration:
+// context creation, allocation, and the matrix/vector upload.
+func (m PerfModel) GPUSetupTime(n, nnz int) float64 {
+	checkDims(n, nnz)
+	bytes := nnz*12 + n*8*3 // CSR payload (8B value + 4B index) + x, b, r
+	return m.Device.SetupTime + m.Device.TransferTime(bytes)
+}
+
+// AverageIterTime returns the average per-iteration time when running
+// total iterations, amortizing the setup cost — the quantity plotted in
+// the paper's Figure 8 and averaged in Table 5.
+func (m PerfModel) AverageIterTime(iterTime float64, n, nnz, total int) float64 {
+	if total <= 0 {
+		panic(fmt.Sprintf("gpusim: AverageIterTime total=%d must be positive", total))
+	}
+	return m.GPUSetupTime(n, nnz)/float64(total) + iterTime
+}
+
+func checkDims(n, nnz int) {
+	if n <= 0 || nnz < 0 {
+		panic(fmt.Sprintf("gpusim: invalid problem dims n=%d nnz=%d", n, nnz))
+	}
+}

@@ -1,0 +1,139 @@
+package mats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Poisson3D builds the seven-point 3-D Poisson stencil on a w×h×d grid
+// (diag 6, neighbours −1) — the "3D problem" half of the fv family's
+// description and a standard stress test for block methods (blocks capture
+// far less coupling per row than in 2-D).
+func Poisson3D(w, h, d int) *sparse.CSR {
+	if w <= 0 || h <= 0 || d <= 0 {
+		panic(fmt.Sprintf("mats: Poisson3D(%d,%d,%d): grid must be positive", w, h, d))
+	}
+	n := w * h * d
+	c := sparse.NewCOO(n, n)
+	idx := func(x, y, z int) int { return (z*h+y)*w + x }
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := idx(x, y, z)
+				c.Add(i, i, 6)
+				if x > 0 {
+					c.Add(i, idx(x-1, y, z), -1)
+				}
+				if x < w-1 {
+					c.Add(i, idx(x+1, y, z), -1)
+				}
+				if y > 0 {
+					c.Add(i, idx(x, y-1, z), -1)
+				}
+				if y < h-1 {
+					c.Add(i, idx(x, y+1, z), -1)
+				}
+				if z > 0 {
+					c.Add(i, idx(x, y, z-1), -1)
+				}
+				if z < d-1 {
+					c.Add(i, idx(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// Anisotropic2D builds the five-point stencil for −εu_xx − u_yy on a w×h
+// grid: diag 2(1+ε), x-neighbours −ε, y-neighbours −1. Strong anisotropy
+// (ε ≪ 1) is the classical stress test for point smoothers — pointwise
+// Jacobi barely damps the strongly coupled direction, which is exactly the
+// failure mode block methods with direction-aligned blocks repair.
+func Anisotropic2D(w, h int, eps float64) *sparse.CSR {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("mats: Anisotropic2D(%d,%d): grid must be positive", w, h))
+	}
+	if eps <= 0 {
+		panic(fmt.Sprintf("mats: Anisotropic2D eps=%g must be positive", eps))
+	}
+	n := w * h
+	c := sparse.NewCOO(n, n)
+	idx := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := idx(x, y)
+			c.Add(i, i, 2*(1+eps))
+			if x > 0 {
+				c.Add(i, idx(x-1, y), -eps)
+			}
+			if x < w-1 {
+				c.Add(i, idx(x+1, y), -eps)
+			}
+			if y > 0 {
+				c.Add(i, idx(x, y-1), -1)
+			}
+			if y < h-1 {
+				c.Add(i, idx(x, y+1), -1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// SPDWithSpectrum builds a dense-ish SPD matrix with (approximately) the
+// prescribed eigenvalues: A = Qᵀ·diag(eigs)·Q with Q a product of `rots`
+// random Givens rotations (seeded). The result stays reasonably sparse for
+// small rot counts and has *exactly* the prescribed spectrum, which makes
+// it the controlled input for convergence-rate experiments (ρ(B), cond can
+// be dialed in directly).
+func SPDWithSpectrum(eigs []float64, rots int, seed int64) *sparse.CSR {
+	n := len(eigs)
+	if n == 0 {
+		panic("mats: SPDWithSpectrum needs at least one eigenvalue")
+	}
+	for i, e := range eigs {
+		if e <= 0 {
+			panic(fmt.Sprintf("mats: SPDWithSpectrum eigenvalue %d = %g must be positive", i, e))
+		}
+	}
+	// Dense working representation (row-major); n is expected small-to-
+	// moderate for experiment matrices.
+	a := make([]float64, n*n)
+	for i, e := range eigs {
+		a[i*n+i] = e
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < rots; r++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		theta := rng.Float64() * math.Pi
+		cs, sn := math.Cos(theta), math.Sin(theta)
+		// A ← Gᵀ A G with the Givens rotation G in the (i, j) plane.
+		for k := 0; k < n; k++ { // rows
+			ai, aj := a[k*n+i], a[k*n+j]
+			a[k*n+i] = cs*ai - sn*aj
+			a[k*n+j] = sn*ai + cs*aj
+		}
+		for k := 0; k < n; k++ { // cols
+			ai, aj := a[i*n+k], a[j*n+k]
+			a[i*n+k] = cs*ai - sn*aj
+			a[j*n+k] = sn*ai + cs*aj
+		}
+	}
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := a[i*n+j]; math.Abs(v) > 1e-14 {
+				c.Add(i, j, v)
+			}
+		}
+	}
+	return c.ToCSR()
+}

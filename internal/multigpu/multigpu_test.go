@@ -1,0 +1,210 @@
+package multigpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/mats"
+	"repro/internal/vecmath"
+)
+
+const (
+	trefN   = 20000
+	trefNNZ = 554466
+)
+
+func model() gpusim.PerfModel { return gpusim.CalibratedModel() }
+
+func TestStrategyString(t *testing.T) {
+	if AMC.String() != "AMC" || DC.String() != "DC" || DK.String() != "DK" {
+		t.Error("Strategy.String broken")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy must stringify")
+	}
+}
+
+func TestComputeTimeScalesDown(t *testing.T) {
+	m := model()
+	t1 := ComputeTime(m, 1, trefN, trefNNZ, 5)
+	t2 := ComputeTime(m, 2, trefN, trefNNZ, 5)
+	t4 := ComputeTime(m, 4, trefN, trefNNZ, 5)
+	if !(t4 < t2 && t2 < t1) {
+		t.Errorf("compute time must shrink with more GPUs: %g %g %g", t1, t2, t4)
+	}
+	if r := t1 / t2; r < 1.5 || r > 2.2 {
+		t.Errorf("2-GPU compute speedup %g, want ≈2", r)
+	}
+}
+
+func TestCommTimeAMCSockets(t *testing.T) {
+	topo := Supermicro()
+	c2, err := CommTime(topo, AMC, 2, trefN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := CommTime(topo, AMC, 3, trefN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 <= c2 {
+		t.Errorf("crossing QPI (3 GPUs) must cost more than same-socket (2 GPUs): %g vs %g", c3, c2)
+	}
+}
+
+func TestDCDKUnsupportedBeyondTwo(t *testing.T) {
+	topo := Supermicro()
+	for _, s := range []Strategy{DC, DK} {
+		for _, g := range []int{3, 4} {
+			if _, err := CommTime(topo, s, g, trefN); !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s with %d GPUs: err = %v, want ErrUnsupported", s, g, err)
+			}
+		}
+	}
+}
+
+func TestCommTimeValidation(t *testing.T) {
+	topo := Supermicro()
+	if _, err := CommTime(topo, AMC, 0, trefN); err == nil {
+		t.Error("expected error for g=0")
+	}
+	if _, err := CommTime(topo, AMC, 5, trefN); err == nil {
+		t.Error("expected error for g > MaxGPUs")
+	}
+	if _, err := CommTime(topo, Strategy(9), 1, trefN); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestSingleGPUDirectFasterThanAMC(t *testing.T) {
+	// Paper: "For the case of using only one GPU, the DC and DK approaches
+	// are slightly faster than the asynchronous multicopy since the
+	// iteration vector resides in the GPU memory."
+	m := model()
+	topo := Supermicro()
+	amc, err := IterTime(m, topo, AMC, 1, trefN, trefNNZ, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{DC, DK} {
+		direct, err := IterTime(m, topo, s, 1, trefN, trefNNZ, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct >= amc {
+			t.Errorf("%s single-GPU %g must beat AMC %g", s, direct, amc)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	// The qualitative content of Figure 11 for Trefethen_20000:
+	//  - AMC with 2 GPUs nearly halves the single-GPU time;
+	//  - AMC with 3 GPUs is slower than with 2 (QPI), but still beats 1;
+	//  - AMC with 4 GPUs beats 2, with much less than a 2× gain;
+	//  - DC/DK gain little from the second GPU.
+	m := model()
+	topo := Supermicro()
+	amc := map[int]float64{}
+	for g := 1; g <= 4; g++ {
+		v, err := IterTime(m, topo, AMC, g, trefN, trefNNZ, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amc[g] = v
+	}
+	if r := amc[2] / amc[1]; r > 0.62 || r < 0.4 {
+		t.Errorf("AMC 2-GPU ratio %g, paper: time almost cut in half", r)
+	}
+	if !(amc[3] > amc[2]) {
+		t.Errorf("AMC 3 GPUs (%g) must be slower than 2 GPUs (%g)", amc[3], amc[2])
+	}
+	if !(amc[3] < amc[1]) {
+		t.Errorf("AMC 3 GPUs (%g) must still beat 1 GPU (%g)", amc[3], amc[1])
+	}
+	if !(amc[4] < amc[2]) {
+		t.Errorf("AMC 4 GPUs (%g) must beat 2 GPUs (%g)", amc[4], amc[2])
+	}
+	if r := amc[4] / amc[2]; r < 0.55 {
+		t.Errorf("AMC 4-GPU gain over 2 too large (%g); paper: considerably smaller than 2x", r)
+	}
+
+	for _, s := range []Strategy{DC, DK} {
+		g1, err := IterTime(m, topo, s, 1, trefN, trefNNZ, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := IterTime(m, topo, s, 2, trefN, trefNNZ, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(g2 < g1) {
+			t.Errorf("%s 2 GPUs (%g) should still improve on 1 (%g)", s, g2, g1)
+		}
+		if r := g2 / g1; r < 0.75 {
+			t.Errorf("%s 2-GPU improvement too large (ratio %g); paper: only small improvements", s, r)
+		}
+	}
+}
+
+func TestDKSlowerThanDC(t *testing.T) {
+	m := model()
+	topo := Supermicro()
+	dc, err := IterTime(m, topo, DC, 2, trefN, trefNNZ, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := IterTime(m, topo, DK, 2, trefN, trefNNZ, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dk <= dc {
+		t.Errorf("in-kernel remote access (DK %g) must cost more than bulk transfer (DC %g)", dk, dc)
+	}
+}
+
+func TestSolveIntegration(t *testing.T) {
+	a := mats.Trefethen(1000)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	opt := core.Options{
+		BlockSize:      128,
+		LocalIters:     5,
+		MaxGlobalIters: 200,
+		Tolerance:      1e-8,
+		Seed:           1,
+	}
+	res, err := Solve(a, b, opt, model(), Supermicro(), AMC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g", res.Residual)
+	}
+	if res.ModeledSeconds <= 0 || res.PerIterSeconds <= 0 {
+		t.Error("modeled time not populated")
+	}
+	if res.ModeledSeconds != res.PerIterSeconds*float64(res.GlobalIterations) {
+		t.Error("ModeledSeconds inconsistent with PerIterSeconds")
+	}
+	if res.NumGPUs != 2 || res.Strategy != AMC {
+		t.Error("configuration echo wrong")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	a := mats.Poisson2D(4, 4)
+	b := make([]float64, a.Rows)
+	opt := core.Options{BlockSize: 4, LocalIters: 1, MaxGlobalIters: 1}
+	if _, err := Solve(a, b, opt, model(), Supermicro(), AMC, 0); err == nil {
+		t.Error("expected error for 0 GPUs")
+	}
+	if _, err := Solve(a, b, opt, model(), Supermicro(), AMC, 9); err == nil {
+		t.Error("expected error for too many GPUs")
+	}
+	if _, err := Solve(a, b, opt, model(), Supermicro(), DC, 3); !errors.Is(err, ErrUnsupported) {
+		t.Error("expected ErrUnsupported for DC with 3 GPUs")
+	}
+}

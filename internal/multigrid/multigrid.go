@@ -1,0 +1,370 @@
+// Package multigrid implements a geometric two-level/V-cycle multigrid
+// solver for the 2-D Poisson model problem with pluggable smoothers —
+// the paper's §5 outlook ("component-wise relaxation methods as ...
+// smoother in multigrid" and the open question of choosing the
+// asynchronous method's parameters inside a multigrid framework).
+//
+// The hierarchy is geometric: each level is the five-point Poisson stencil
+// on a (2^k+1)... any odd-side grid, coarsened by standard 2:1 full
+// weighting, with bilinear prolongation. The smoother is an interface, and
+// adapters are provided for weighted Jacobi, Gauss-Seidel and the
+// block-asynchronous async-(k) method — so the repository can measure what
+// the paper leaves as future work: how chaotic smoothing changes V-cycle
+// convergence.
+package multigrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// Smoother applies a few relaxation sweeps to Ax = b, updating x in place.
+// Implementations must tolerate arbitrary right-hand sides and start
+// vectors (multigrid feeds them residual equations).
+type Smoother interface {
+	Smooth(a *sparse.CSR, b, x []float64) error
+	Name() string
+}
+
+// JacobiSmoother applies Sweeps damped-Jacobi sweeps (weight Omega;
+// the classical multigrid choice is ω = 4/5 for the 2-D five-point
+// stencil).
+type JacobiSmoother struct {
+	Sweeps int
+	Omega  float64
+}
+
+// Smooth implements Smoother.
+func (s JacobiSmoother) Smooth(a *sparse.CSR, b, x []float64) error {
+	res, err := solver.ScaledJacobi(a, b, s.Omega, solver.Options{
+		MaxIterations: s.Sweeps,
+		InitialGuess:  x,
+	})
+	if err != nil {
+		return err
+	}
+	copy(x, res.X)
+	return nil
+}
+
+// Name implements Smoother.
+func (s JacobiSmoother) Name() string { return fmt.Sprintf("jacobi(ω=%.2f)×%d", s.Omega, s.Sweeps) }
+
+// GaussSeidelSmoother applies Sweeps forward Gauss-Seidel sweeps.
+type GaussSeidelSmoother struct {
+	Sweeps int
+}
+
+// Smooth implements Smoother.
+func (s GaussSeidelSmoother) Smooth(a *sparse.CSR, b, x []float64) error {
+	res, err := solver.GaussSeidel(a, b, solver.Options{
+		MaxIterations: s.Sweeps,
+		InitialGuess:  x,
+	})
+	if err != nil {
+		return err
+	}
+	copy(x, res.X)
+	return nil
+}
+
+// Name implements Smoother.
+func (s GaussSeidelSmoother) Name() string { return fmt.Sprintf("gauss-seidel×%d", s.Sweeps) }
+
+// AsyncSmoother applies GlobalIters global iterations of async-(LocalIters)
+// block-asynchronous relaxation — the paper's method as a smoother. The
+// seed advances on every application so each smoothing step sees a fresh
+// chaotic schedule, like a real GPU run would.
+type AsyncSmoother struct {
+	BlockSize   int
+	LocalIters  int
+	GlobalIters int
+	Engine      core.EngineKind
+	seed        int64
+}
+
+// Smooth implements Smoother.
+func (s *AsyncSmoother) Smooth(a *sparse.CSR, b, x []float64) error {
+	s.seed++
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize:      s.BlockSize,
+		LocalIters:     s.LocalIters,
+		MaxGlobalIters: s.GlobalIters,
+		InitialGuess:   x,
+		Engine:         s.Engine,
+		Seed:           s.seed,
+	})
+	if err != nil {
+		return err
+	}
+	copy(x, res.X)
+	return nil
+}
+
+// Name implements Smoother.
+func (s *AsyncSmoother) Name() string {
+	return fmt.Sprintf("async-(%d)×%d/bs%d", s.LocalIters, s.GlobalIters, s.BlockSize)
+}
+
+// level holds one grid of the hierarchy.
+type level struct {
+	w, h int
+	a    *sparse.CSR
+	// Scratch vectors sized for this level. Each has exactly one role per
+	// V-cycle visit so no two live values alias:
+	//   r    — residual of this level's equation
+	//   e    — prolongated correction received from the next-coarser level
+	//   tmp  — matrix-vector product workspace
+	//   rhs  — right-hand side passed *down* to this level
+	//   corr — correction solved *on* this level for its parent
+	r, e, tmp, rhs, corr []float64
+}
+
+// Solver is a geometric multigrid V-cycle solver for the five-point 2-D
+// Poisson operator.
+type Solver struct {
+	levels   []level
+	smoother Smoother
+	// CoarseIters bounds the coarsest-grid solve (Gauss-Seidel).
+	coarseIters int
+}
+
+// Options configures New.
+type Options struct {
+	// Width, Height of the finest grid. Both must be odd and ≥ 5 so 2:1
+	// coarsening is well defined down to a small coarsest grid.
+	Width, Height int
+	// Smoother defaults to JacobiSmoother{Sweeps: 2, Omega: 0.8}.
+	Smoother Smoother
+	// MinCoarse stops coarsening when a side would drop below it (default 3).
+	MinCoarse int
+	// CoarseIters bounds the coarsest solve (default 200 GS sweeps).
+	CoarseIters int
+	// Operator builds the discrete operator of each level; level 0 is the
+	// finest. The family must rediscretize consistently under 2:1
+	// vertex coarsening (the stencil matrices absorb h², which quadruples
+	// per level — see FVOperator). Default: PoissonOperator.
+	Operator func(level, w, h int) *sparse.CSR
+}
+
+// PoissonOperator is the default operator family: the five-point Poisson
+// stencil at every level (pure h²-Laplacian, self-consistent under
+// coarsening).
+func PoissonOperator(level, w, h int) *sparse.CSR { return mats.Poisson2D(w, h) }
+
+// FVOperator returns an operator family for the nine-point fv stencil
+// −Δ + c: the zeroth-order term's stencil weight sigma scales with h², so
+// it quadruples per coarsening level.
+func FVOperator(sigma float64) func(level, w, h int) *sparse.CSR {
+	return func(level, w, h int) *sparse.CSR {
+		scale := math.Pow(4, float64(level))
+		return mats.FV(w, h, sigma*scale)
+	}
+}
+
+// ErrDiverged is reported when a V-cycle fails to reduce a non-finite
+// residual.
+var ErrDiverged = errors.New("multigrid: diverged")
+
+// New builds the grid hierarchy.
+func New(opt Options) (*Solver, error) {
+	if opt.Width < 5 || opt.Height < 5 {
+		return nil, fmt.Errorf("multigrid: finest grid %dx%d too small (need ≥5)", opt.Width, opt.Height)
+	}
+	if opt.Width%2 == 0 || opt.Height%2 == 0 {
+		return nil, fmt.Errorf("multigrid: grid sides must be odd for 2:1 coarsening, have %dx%d", opt.Width, opt.Height)
+	}
+	if opt.Smoother == nil {
+		opt.Smoother = JacobiSmoother{Sweeps: 2, Omega: 0.8}
+	}
+	if opt.MinCoarse <= 0 {
+		opt.MinCoarse = 3
+	}
+	if opt.CoarseIters <= 0 {
+		opt.CoarseIters = 200
+	}
+	if opt.Operator == nil {
+		opt.Operator = PoissonOperator
+	}
+	s := &Solver{smoother: opt.Smoother, coarseIters: opt.CoarseIters}
+	w, h := opt.Width, opt.Height
+	for {
+		n := w * h
+		s.levels = append(s.levels, level{
+			w: w, h: h, a: opt.Operator(len(s.levels), w, h),
+			r: make([]float64, n), e: make([]float64, n), tmp: make([]float64, n),
+			rhs: make([]float64, n), corr: make([]float64, n),
+		})
+		// Vertex-aligned 2:1 coarsening: coarse point J sits on fine point
+		// 2J+1, so a fine side w (odd) coarsens to (w−1)/2 and the implicit
+		// Dirichlet boundaries of the two grids coincide exactly. Sides of
+		// the form 2^k−1 coarsen all the way down.
+		if w%2 == 0 || h%2 == 0 {
+			break
+		}
+		nw, nh := (w-1)/2, (h-1)/2
+		if nw < opt.MinCoarse || nh < opt.MinCoarse {
+			break
+		}
+		w, h = nw, nh
+	}
+	return s, nil
+}
+
+// NumLevels returns the hierarchy depth.
+func (s *Solver) NumLevels() int { return len(s.levels) }
+
+// SmootherName reports the configured smoother.
+func (s *Solver) SmootherName() string { return s.smoother.Name() }
+
+// Result reports a multigrid solve.
+type Result struct {
+	X         []float64
+	Cycles    int
+	Residual  float64
+	Converged bool
+	History   []float64 // residual after each V-cycle
+}
+
+// Solve runs V-cycles on the finest level until the absolute residual
+// drops below tol or maxCycles is reached.
+func (s *Solver) Solve(b []float64, tol float64, maxCycles int) (Result, error) {
+	fine := &s.levels[0]
+	if len(b) != fine.w*fine.h {
+		return Result{}, fmt.Errorf("multigrid: rhs length %d, want %d", len(b), fine.w*fine.h)
+	}
+	if maxCycles <= 0 {
+		return Result{}, fmt.Errorf("multigrid: maxCycles must be positive, have %d", maxCycles)
+	}
+	x := make([]float64, len(b))
+	res := Result{}
+	for c := 1; c <= maxCycles; c++ {
+		if err := s.vcycle(0, b, x); err != nil {
+			return res, err
+		}
+		r := solver.Residual(fine.a, b, x)
+		res.Cycles = c
+		res.Residual = r
+		res.History = append(res.History, r)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			res.X = x
+			return res, fmt.Errorf("%w after %d cycles", ErrDiverged, c)
+		}
+		if r <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.X = x
+	return res, nil
+}
+
+// vcycle performs one V-cycle starting at level l, improving x for
+// A_l x = b.
+func (s *Solver) vcycle(l int, b, x []float64) error {
+	lv := &s.levels[l]
+	if l == len(s.levels)-1 {
+		// Coarsest grid: solve (nearly) exactly with Gauss-Seidel.
+		res, err := solver.GaussSeidel(lv.a, b, solver.Options{
+			MaxIterations: s.coarseIters,
+			InitialGuess:  x,
+			Tolerance:     1e-13,
+		})
+		if err != nil {
+			return err
+		}
+		copy(x, res.X)
+		return nil
+	}
+
+	// Pre-smooth.
+	if err := s.smoother.Smooth(lv.a, b, x); err != nil {
+		return err
+	}
+	// Residual r = b − Ax.
+	lv.a.MulVec(lv.tmp, x)
+	vecmath.Sub(lv.r, b, lv.tmp)
+	// Restrict to the coarse grid.
+	coarse := &s.levels[l+1]
+	restrictFW(lv.r, lv.w, lv.h, coarse.rhs, coarse.w, coarse.h)
+	// Coarse-grid correction: solve A_c e = r_c recursively from zero.
+	vecmath.Fill(coarse.corr, 0)
+	if err := s.vcycle(l+1, coarse.rhs, coarse.corr); err != nil {
+		return err
+	}
+	// Prolongate and correct.
+	prolongBilinear(coarse.corr, coarse.w, coarse.h, lv.e, lv.w, lv.h)
+	vecmath.Axpy(1, lv.e, x)
+	// Post-smooth.
+	return s.smoother.Smooth(lv.a, b, x)
+}
+
+// restrictFW applies full-weighting restriction from a fine (wf×hf) grid to
+// the coarse ((wf−1)/2 × (hf−1)/2) grid. Coarse point (I,J) sits on fine
+// point (2I+1, 2J+1), which is always at least one point away from the
+// grid edge, so the classical [1 2 1; 2 4 2; 1 2 1]/16 stencil never needs
+// truncation. The result carries the ×4 scaling of the residual equation:
+// the stencil matrices absorb the squared grid spacing, which quadruples
+// from one level to the next.
+func restrictFW(fine []float64, wf, hf int, coarse []float64, wc, hc int) {
+	for J := 0; J < hc; J++ {
+		for I := 0; I < wc; I++ {
+			fx, fy := 2*I+1, 2*J+1
+			var sum float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					w := float64((2 - abs(dx)) * (2 - abs(dy)))
+					sum += w * fine[(fy+dy)*wf+fx+dx]
+				}
+			}
+			coarse[J*wc+I] = sum / 16 * 4
+		}
+	}
+}
+
+// prolongBilinear interpolates the coarse grid bilinearly onto the fine
+// grid (the transpose, up to scaling, of full weighting). Coarse point
+// (I,J) coincides with fine point (2I+1, 2J+1); out-of-range coarse
+// neighbours are the shared homogeneous Dirichlet boundary (zero), so the
+// interpolated correction vanishes toward the boundary exactly as the
+// error it approximates does.
+func prolongBilinear(coarse []float64, wc, hc int, fine []float64, wf, hf int) {
+	at := func(I, J int) float64 {
+		if I < 0 || I >= wc || J < 0 || J >= hc {
+			return 0
+		}
+		return coarse[J*wc+I]
+	}
+	for y := 0; y < hf; y++ {
+		for x := 0; x < wf; x++ {
+			xo, yo := x%2 == 1, y%2 == 1
+			I, J := (x-1)/2, (y-1)/2 // aligned coarse indices for odd x, y
+			switch {
+			case xo && yo:
+				fine[y*wf+x] = at(I, J)
+			case !xo && yo:
+				// fine x = 2m lies between coarse m−1 (fine 2m−1) and m.
+				fine[y*wf+x] = 0.5 * (at(x/2-1, J) + at(x/2, J))
+			case xo && !yo:
+				fine[y*wf+x] = 0.5 * (at(I, y/2-1) + at(I, y/2))
+			default:
+				fine[y*wf+x] = 0.25 * (at(x/2-1, y/2-1) + at(x/2, y/2-1) +
+					at(x/2-1, y/2) + at(x/2, y/2))
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

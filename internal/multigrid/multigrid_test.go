@@ -1,0 +1,278 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/vecmath"
+)
+
+func rhsOnes(w, h int) []float64 {
+	a := mats.Poisson2D(w, h)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Width: 4, Height: 9}); err == nil {
+		t.Error("expected error for even width")
+	}
+	if _, err := New(Options{Width: 3, Height: 3}); err == nil {
+		t.Error("expected error for too-small grid")
+	}
+}
+
+func TestHierarchyDepth(t *testing.T) {
+	s, err := New(Options{Width: 31, Height: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 31 -> 15 -> 7 -> 3: four levels.
+	if s.NumLevels() != 4 {
+		t.Errorf("levels = %d, want 4", s.NumLevels())
+	}
+	if s.SmootherName() == "" {
+		t.Error("smoother name empty")
+	}
+}
+
+func TestVCycleSolvesPoisson(t *testing.T) {
+	s, err := New(Options{Width: 31, Height: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhsOnes(31, 31)
+	res, err := s.Solve(b, 1e-9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g after %d cycles", res.Residual, res.Cycles)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+	// Textbook multigrid: grid-independent convergence, ~1 digit per cycle
+	// or better with 2+2 damped-Jacobi smoothing.
+	if res.Cycles > 15 {
+		t.Errorf("V-cycle took %d cycles; expected ≲15 for Poisson", res.Cycles)
+	}
+}
+
+func TestVCycleGridIndependence(t *testing.T) {
+	// The defining multigrid property: cycle counts stay (nearly) constant
+	// as the grid is refined.
+	cycles := map[int]int{}
+	for _, n := range []int{15, 31, 63} {
+		s, err := New(Options{Width: n, Height: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := rhsOnes(n, n)
+		res, err := s.Solve(b, 1e-8*vecmath.Nrm2(b), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d not converged", n)
+		}
+		cycles[n] = res.Cycles
+	}
+	if cycles[63] > cycles[15]+4 {
+		t.Errorf("cycle count grew with refinement: %v (not grid-independent)", cycles)
+	}
+}
+
+func TestGaussSeidelSmoother(t *testing.T) {
+	s, err := New(Options{Width: 31, Height: 31, Smoother: GaussSeidelSmoother{Sweeps: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhsOnes(31, 31)
+	res, err := s.Solve(b, 1e-9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GS-smoothed V-cycle failed: %g", res.Residual)
+	}
+}
+
+func TestAsyncSmootherWorks(t *testing.T) {
+	// The paper's §5 outlook: async-(k) as a multigrid smoother. One global
+	// iteration of async-(2) per smoothing step.
+	sm := &AsyncSmoother{BlockSize: 64, LocalIters: 2, GlobalIters: 1}
+	s, err := New(Options{Width: 31, Height: 31, Smoother: sm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhsOnes(31, 31)
+	res, err := s.Solve(b, 1e-9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("async-smoothed V-cycle failed: residual %g after %d cycles", res.Residual, res.Cycles)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestAsyncSmootherComparableToJacobi(t *testing.T) {
+	// The chaotic smoother should be in the same class as damped Jacobi:
+	// no more than ~2x the cycles.
+	b := rhsOnes(31, 31)
+	run := func(sm Smoother) int {
+		s, err := New(Options{Width: 31, Height: 31, Smoother: sm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Solve(b, 1e-8, 80)
+		if err != nil || !res.Converged {
+			t.Fatalf("%s failed: %v", sm.Name(), err)
+		}
+		return res.Cycles
+	}
+	cj := run(JacobiSmoother{Sweeps: 2, Omega: 0.8})
+	ca := run(&AsyncSmoother{BlockSize: 64, LocalIters: 2, GlobalIters: 1})
+	if ca > 2*cj+2 {
+		t.Errorf("async smoother needs %d cycles vs Jacobi %d; too slow", ca, cj)
+	}
+}
+
+func TestVCycleBeatsPlainRelaxation(t *testing.T) {
+	// Sanity: multigrid on a 65x65 grid converges orders of magnitude
+	// faster than plain relaxation per fine-grid-work unit. Compare cycle
+	// count against GS iterations for the same residual target.
+	n := 63
+	a := mats.Poisson2D(n, n)
+	b := rhsOnes(n, n)
+	tol := 1e-8 * vecmath.Nrm2(b)
+	s, err := New(Options{Width: n, Height: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := s.Solve(b, tol, 60)
+	if err != nil || !mg.Converged {
+		t.Fatalf("multigrid failed: %v", err)
+	}
+	gs, err := solver.GaussSeidel(a, b, solver.Options{MaxIterations: 20000, Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One V-cycle costs roughly 4 fine-grid sweeps (2 pre + 2 post plus
+	// coarse work ≈ 1/3); even charging 6 sweeps per cycle, multigrid must
+	// win decisively.
+	if gs.Converged && 6*mg.Cycles >= gs.Iterations {
+		t.Errorf("multigrid (%d cycles ≈ %d sweeps) should beat GS (%d sweeps)",
+			mg.Cycles, 6*mg.Cycles, gs.Iterations)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	s, err := New(Options{Width: 15, Height: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(make([]float64, 5), 1e-8, 10); err == nil {
+		t.Error("expected rhs length error")
+	}
+	if _, err := s.Solve(make([]float64, 15*15), 1e-8, 0); err == nil {
+		t.Error("expected maxCycles error")
+	}
+}
+
+func TestRestrictProlongConsistency(t *testing.T) {
+	// Prolongation of a constant is constant away from the boundary and
+	// decays toward the (shared, homogeneous Dirichlet) boundary; the
+	// aligned points reproduce the coarse values exactly. Full-weighting
+	// restriction of a constant is 4× the constant everywhere (the coarse
+	// stencil never touches the fine boundary).
+	wc, hc := 3, 3
+	wf, hf := 7, 7
+	coarse := make([]float64, wc*hc)
+	vecmath.Fill(coarse, 1)
+	fine := make([]float64, wf*hf)
+	prolongBilinear(coarse, wc, hc, fine, wf, hf)
+	// Aligned fine point (3,3) ↔ coarse (1,1).
+	if fine[3*wf+3] != 1 {
+		t.Errorf("aligned point = %g, want 1", fine[3*wf+3])
+	}
+	// Interior midpoints average two/four coarse ones.
+	if fine[3*wf+2] != 1 || fine[2*wf+2] != 1 {
+		t.Errorf("interior interpolation broke: %g %g", fine[3*wf+2], fine[2*wf+2])
+	}
+	// Boundary-adjacent: halves and quarters toward the zero boundary.
+	if fine[3*wf+0] != 0.5 || fine[0*wf+0] != 0.25 {
+		t.Errorf("boundary decay wrong: %g %g", fine[3*wf+0], fine[0*wf+0])
+	}
+	vecmath.Fill(fine, 1)
+	restrictFW(fine, wf, hf, coarse, wc, hc)
+	for i, v := range coarse {
+		if math.Abs(v-4) > 1e-14 {
+			t.Fatalf("restriction of constant at %d = %g, want 4", i, v)
+		}
+	}
+}
+
+// The smoothers must leave an already-exact solution fixed.
+func TestSmoothersFixedPoint(t *testing.T) {
+	a := mats.Poisson2D(9, 9)
+	x := vecmath.Ones(a.Rows)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, x)
+	for _, sm := range []Smoother{
+		JacobiSmoother{Sweeps: 3, Omega: 0.8},
+		GaussSeidelSmoother{Sweeps: 3},
+		&AsyncSmoother{BlockSize: 16, LocalIters: 2, GlobalIters: 2, Engine: core.EngineSimulated},
+	} {
+		xs := append([]float64(nil), x...)
+		if err := sm.Smooth(a, b, xs); err != nil {
+			t.Fatalf("%s: %v", sm.Name(), err)
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-1) > 1e-12 {
+				t.Fatalf("%s moved the exact solution at %d: %g", sm.Name(), i, xs[i])
+			}
+		}
+	}
+}
+
+func TestFVOperatorFamilyConverges(t *testing.T) {
+	// Multigrid on the nine-point fv stencil (−Δ + c) with the
+	// level-consistent operator family: grid-independent convergence, so
+	// the hierarchy generalizes beyond pure Poisson.
+	for _, n := range []int{31, 63} {
+		s, err := New(Options{
+			Width: n, Height: n,
+			Operator: FVOperator(0.1),
+			Smoother: JacobiSmoother{Sweeps: 2, Omega: 0.8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := mats.FV(n, n, 0.1)
+		b := make([]float64, a.Rows)
+		a.MulVec(b, vecmath.Ones(a.Cols))
+		res, err := s.Solve(b, 1e-8*vecmath.Nrm2(b), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: fv multigrid not converged (residual %g after %d cycles)",
+				n, res.Residual, res.Cycles)
+		}
+		if res.Cycles > 25 {
+			t.Errorf("n=%d: %d cycles, expected grid-independent ≲25", n, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package plot renders simple ASCII charts for the experiment harness: the
+// library's terminal stand-in for the paper's gnuplot figures. It supports
+// multi-series line charts with linear or log₁₀ y-axes and grouped bar
+// charts (for Figure 11).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate checks that X and Y have equal nonzero length.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has len(X)=%d, len(Y)=%d", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	return nil
+}
+
+// markers assigns one rune per series, cycling if necessary.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Config controls chart rendering.
+type Config struct {
+	Title  string
+	Width  int  // plot area columns (default 72)
+	Height int  // plot area rows (default 20)
+	LogY   bool // log₁₀ y-axis
+	XLabel string
+	YLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	return c
+}
+
+// Lines renders the series as an ASCII line chart.
+func Lines(w io.Writer, cfg Config, series ...Series) error {
+	cfg = cfg.withDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if cfg.LogY {
+				if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+					continue // unplottable on a log axis
+				}
+				y = math.Log10(y)
+			} else if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || math.IsInf(ymin, 1) {
+		return fmt.Errorf("plot: no finite data points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+					continue
+				}
+				y = math.Log10(y)
+			} else if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(cfg.Width-1))
+			row := int((ymax - y) / (ymax - ymin) * float64(cfg.Height-1))
+			if col >= 0 && col < cfg.Width && row >= 0 && row < cfg.Height {
+				grid[row][col] = mk
+			}
+		}
+	}
+
+	if cfg.Title != "" {
+		fmt.Fprintf(w, "%s\n", cfg.Title)
+	}
+	yTop, yBot := ymax, ymin
+	fmtY := func(v float64) string {
+		if cfg.LogY {
+			return fmt.Sprintf("%9.2e", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = fmtY(yTop)
+		case cfg.Height - 1:
+			label = fmtY(yBot)
+		case (cfg.Height - 1) / 2:
+			label = fmtY((yTop + yBot) / 2)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", 9), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(w, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 9), xmin,
+		strings.Repeat(" ", maxInt(1, cfg.Width-20)), xmax)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", 9), cfg.XLabel, cfg.YLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", 9), strings.Join(legend, " | "))
+	return nil
+}
+
+// Bar is one bar of a grouped bar chart.
+type Bar struct {
+	Group string // e.g. "AMC"
+	Label string // e.g. "2 GPUs"
+	Value float64
+	// NA marks an unsupported configuration (rendered as "n/a").
+	NA bool
+}
+
+// Bars renders a horizontal grouped bar chart (the harness's Figure 11).
+func Bars(w io.Writer, title string, width int, bars []Bar) error {
+	if width <= 0 {
+		width = 50
+	}
+	if len(bars) == 0 {
+		return fmt.Errorf("plot: no bars")
+	}
+	max := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if !b.NA && b.Value > max {
+			max = b.Value
+		}
+		if l := len(b.Group) + len(b.Label) + 1; l > labelW {
+			labelW = l
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	prevGroup := ""
+	for _, b := range bars {
+		if b.Group != prevGroup && prevGroup != "" {
+			fmt.Fprintln(w)
+		}
+		prevGroup = b.Group
+		name := fmt.Sprintf("%s %s", b.Group, b.Label)
+		if b.NA {
+			fmt.Fprintf(w, "%-*s | n/a\n", labelW+1, name)
+			continue
+		}
+		n := int(b.Value / max * float64(width))
+		fmt.Fprintf(w, "%-*s |%s %.4g\n", labelW+1, name, strings.Repeat("=", n), b.Value)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

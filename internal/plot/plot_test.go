@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "decay", X: []float64{0, 1, 2, 3}, Y: []float64{8, 4, 2, 1}}
+	err := Lines(&buf, Config{Title: "t", Width: 20, Height: 5, XLabel: "iter", YLabel: "res"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "t\n") || !strings.Contains(out, "legend: * decay") {
+		t.Errorf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data markers rendered")
+	}
+}
+
+func TestLinesLogY(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "r", X: []float64{0, 1, 2}, Y: []float64{1, 1e-5, 1e-10}}
+	if err := Lines(&buf, Config{LogY: true, Width: 30, Height: 8}, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "e-10") {
+		t.Errorf("log axis labels missing:\n%s", buf.String())
+	}
+}
+
+func TestLinesSkipsNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "r", X: []float64{0, 1, 2}, Y: []float64{1, math.Inf(1), math.NaN()}}
+	if err := Lines(&buf, Config{Width: 10, Height: 4}, s); err != nil {
+		t.Fatal(err)
+	}
+	// On a log axis zero/negative values are skipped too.
+	s2 := Series{Name: "r", X: []float64{0, 1}, Y: []float64{1, -5}}
+	buf.Reset()
+	if err := Lines(&buf, Config{LogY: true, Width: 10, Height: 4}, s2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, Config{}); err == nil {
+		t.Error("expected error for no series")
+	}
+	if err := Lines(&buf, Config{}, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if err := Lines(&buf, Config{}, Series{Name: "empty"}); err == nil {
+		t.Error("expected empty series error")
+	}
+	allNaN := Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}
+	if err := Lines(&buf, Config{}, allNaN); err == nil {
+		t.Error("expected no-finite-data error")
+	}
+}
+
+func TestLinesMultiSeriesMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{2, 1}}
+	if err := Lines(&buf, Config{Width: 20, Height: 6}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend markers wrong:\n%s", out)
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "flat", X: []float64{0, 1}, Y: []float64{3, 3}}
+	if err := Lines(&buf, Config{Width: 10, Height: 4}, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []Bar{
+		{Group: "AMC", Label: "1 GPU", Value: 2.0},
+		{Group: "AMC", Label: "2 GPUs", Value: 1.0},
+		{Group: "DC", Label: "3 GPUs", NA: true},
+	}
+	if err := Bars(&buf, "fig11", 40, bars); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n/a") {
+		t.Error("NA bar not rendered")
+	}
+	if !strings.Contains(out, "AMC 1 GPU") || !strings.Contains(out, "====") {
+		t.Errorf("bars malformed:\n%s", out)
+	}
+	// The 2.0 bar must be about twice as long as the 1.0 bar.
+	lines := strings.Split(out, "\n")
+	c1 := strings.Count(lines[1], "=")
+	c2 := strings.Count(lines[2], "=")
+	if c1 < 2*c2-2 || c1 > 2*c2+2 {
+		t.Errorf("bar lengths %d vs %d not proportional", c1, c2)
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "", 10, nil); err == nil {
+		t.Error("expected error for no bars")
+	}
+	// All-NA set must not divide by zero.
+	if err := Bars(&buf, "", 10, []Bar{{Group: "g", Label: "l", NA: true}}); err != nil {
+		t.Fatal(err)
+	}
+}

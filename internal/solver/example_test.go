@@ -1,0 +1,46 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/vecmath"
+)
+
+// ExampleGaussSeidel shows the paper's CPU baseline on the model problem.
+func ExampleGaussSeidel() {
+	a := mats.Poisson2D(12, 12)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	res, err := solver.GaussSeidel(a, b, solver.Options{MaxIterations: 2000, Tolerance: 1e-10})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged: %v\n", res.Converged)
+	// Output:
+	// converged: true
+}
+
+// ExampleGMRES shows restarted GMRES with a Jacobi preconditioner.
+func ExampleGMRES() {
+	a := mats.Trefethen(300)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	prec, err := solver.NewJacobiPreconditioner(a)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := solver.GMRES(a, b, 30, prec, solver.Options{
+		MaxIterations: 300, Tolerance: 1e-8 * vecmath.Nrm2(b),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged: %v\n", res.Converged)
+	// Output:
+	// converged: true
+}

@@ -1,0 +1,218 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// Preconditioner applies z = M⁻¹r. Implementations need not be symmetric
+// or even linear across calls (GMRES tolerates a fixed nonsymmetric M;
+// use modest restart lengths if M varies slightly between applications).
+//
+// The paper's §5 outlook — component-wise relaxation as a preconditioner —
+// is realized by core.AsyncPreconditioner, which wraps a few fixed-seed
+// block-asynchronous sweeps.
+type Preconditioner interface {
+	Apply(z, r []float64) error
+}
+
+// IdentityPreconditioner is M = I (plain GMRES).
+type IdentityPreconditioner struct{}
+
+// Apply implements Preconditioner.
+func (IdentityPreconditioner) Apply(z, r []float64) error {
+	vecmath.Copy(z, r)
+	return nil
+}
+
+// JacobiPreconditioner is M = D (diagonal scaling).
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobiPreconditioner extracts D⁻¹ from A.
+func NewJacobiPreconditioner(a *sparse.CSR) (*JacobiPreconditioner, error) {
+	sp, err := sparse.NewSplitting(a)
+	if err != nil {
+		return nil, err
+	}
+	return &JacobiPreconditioner{invDiag: sp.InvDiag}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *JacobiPreconditioner) Apply(z, r []float64) error {
+	if len(z) != len(p.invDiag) || len(r) != len(p.invDiag) {
+		return fmt.Errorf("solver: JacobiPreconditioner dimension mismatch")
+	}
+	for i := range z {
+		z[i] = p.invDiag[i] * r[i]
+	}
+	return nil
+}
+
+// GMRES solves Ax = b with restarted, right-preconditioned GMRES(m):
+// Arnoldi with modified Gram-Schmidt and Givens rotations on the
+// Hessenberg matrix. A need not be symmetric — this is the Krylov method
+// the paper's introduction names alongside CG for general systems.
+//
+// restart is the Krylov subspace dimension m (30 is a common default);
+// prec may be nil for plain GMRES. Options.MaxIterations bounds the total
+// number of inner iterations across restarts; Options.Tolerance is the
+// absolute residual target (0: run all iterations).
+func GMRES(a *sparse.CSR, b []float64, restart int, prec Preconditioner, opt Options) (Result, error) {
+	if err := opt.validate(a, b); err != nil {
+		return Result{}, err
+	}
+	if restart <= 0 {
+		return Result{}, fmt.Errorf("solver: GMRES restart must be positive, have %d", restart)
+	}
+	if prec == nil {
+		prec = IdentityPreconditioner{}
+	}
+	n := a.Rows
+	if restart > n {
+		restart = n
+	}
+	x := opt.start(n)
+	res := Result{}
+
+	// Workspaces reused across restart cycles.
+	v := make([][]float64, restart+1) // Krylov basis
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, restart+1) // Hessenberg, h[i][j] = H(i,j)
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart) // Givens cosines
+	sn := make([]float64, restart) // Givens sines
+	g := make([]float64, restart+1)
+	z := make([]float64, n)
+	w := make([]float64, n)
+	y := make([]float64, restart)
+
+	totalIters := 0
+	for totalIters < opt.MaxIterations {
+		// r0 = b − Ax.
+		a.MulVec(w, x)
+		vecmath.Sub(v[0], b, w)
+		beta := vecmath.Nrm2(v[0])
+		res.Residual = beta
+		if opt.RecordHistory && totalIters == 0 {
+			// Initial residual is not an iteration; history records
+			// per-inner-iteration estimates below.
+			_ = beta
+		}
+		if math.IsNaN(beta) || math.IsInf(beta, 0) {
+			res.X = x
+			return res, fmt.Errorf("%w after %d iterations", ErrDiverged, totalIters)
+		}
+		if opt.Tolerance > 0 && beta <= opt.Tolerance {
+			res.Converged = true
+			break
+		}
+		if beta == 0 {
+			res.Converged = true
+			break
+		}
+		vecmath.Scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0 // inner iterations completed this cycle
+		for ; k < restart && totalIters < opt.MaxIterations; k++ {
+			// w = A M⁻¹ v_k.
+			if err := prec.Apply(z, v[k]); err != nil {
+				res.X = x
+				return res, fmt.Errorf("solver: GMRES preconditioner: %w", err)
+			}
+			a.MulVec(w, z)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = vecmath.Dot(w, v[i])
+				vecmath.Axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = vecmath.Nrm2(w)
+			if h[k+1][k] > 0 {
+				vecmath.Copy(v[k+1], w)
+				vecmath.Scale(1/h[k+1][k], v[k+1])
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation annihilating h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / denom
+				sn[k] = h[k+1][k] / denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			totalIters++
+			res.Iterations = totalIters
+			est := math.Abs(g[k+1])
+			res.Residual = est
+			if opt.RecordHistory {
+				res.History = append(res.History, est)
+			}
+			if opt.Tolerance > 0 && est <= opt.Tolerance {
+				k++
+				break
+			}
+		}
+
+		// Solve the k×k triangular system H y = g and update
+		// x += M⁻¹ (V_k y).
+		for i := k - 1; i >= 0; i-- {
+			sum := g[i]
+			for j := i + 1; j < k; j++ {
+				sum -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				res.X = x
+				return res, fmt.Errorf("solver: GMRES breakdown: zero pivot at %d", i)
+			}
+			y[i] = sum / h[i][i]
+		}
+		vecmath.Fill(w, 0)
+		for j := 0; j < k; j++ {
+			vecmath.Axpy(y[j], v[j], w)
+		}
+		if err := prec.Apply(z, w); err != nil {
+			res.X = x
+			return res, fmt.Errorf("solver: GMRES preconditioner: %w", err)
+		}
+		vecmath.Axpy(1, z, x)
+
+		if opt.Tolerance > 0 && res.Residual <= opt.Tolerance {
+			// Confirm with a true residual (the Givens estimate can drift).
+			if true1 := Residual(a, b, x); true1 <= opt.Tolerance*1.01 {
+				res.Residual = true1
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.X = x
+	if !res.Converged {
+		res.Residual = Residual(a, b, x)
+		if opt.Tolerance > 0 && res.Residual <= opt.Tolerance {
+			res.Converged = true
+		}
+	}
+	return res, nil
+}

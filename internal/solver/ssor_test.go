@@ -1,0 +1,44 @@
+package solver
+
+import "testing"
+
+func TestSSORSolvesLaplace(t *testing.T) {
+	a := laplace1D(40)
+	b := onesRHS(a)
+	res, err := SSOR(a, b, 1.0, Options{MaxIterations: 20000, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g", res.Residual)
+	}
+	checkSolvesOnes(t, "SSOR", res.X, 1e-7)
+}
+
+func TestSSORDoubleSweepBeatsSingleGS(t *testing.T) {
+	// One SSOR step does two sweeps, so it needs at most as many
+	// iterations as forward Gauss-Seidel (usually about half).
+	a := laplace1D(50)
+	b := onesRHS(a)
+	gs, err := GaussSeidel(a, b, Options{MaxIterations: 30000, Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := SSOR(a, b, 1.0, Options{MaxIterations: 30000, Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Converged || float64(ss.Iterations) > 0.55*float64(gs.Iterations) {
+		t.Errorf("SSOR %d iterations vs GS %d; two sweeps per step should halve the count",
+			ss.Iterations, gs.Iterations)
+	}
+}
+
+func TestSSORRejectsBadOmega(t *testing.T) {
+	a := laplace1D(5)
+	for _, w := range []float64{0, 2} {
+		if _, err := SSOR(a, onesRHS(a), w, Options{MaxIterations: 1}); err == nil {
+			t.Errorf("SSOR accepted ω=%g", w)
+		}
+	}
+}

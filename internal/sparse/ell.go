@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"fmt"
+)
+
+// ELL is a sparse matrix in ELLPACK format: every row stores exactly
+// MaxRowNNZ (column, value) slots, padded with sentinel columns. This is
+// the classical GPU SpMV layout of the paper's era (MAGMA's kernels use
+// ELLPACK-style formats): the fixed row width gives coalesced,
+// divergence-free access on SIMT hardware — at the cost of padding, which
+// is why it suits stencil-like matrices (fv family) and wastes memory on
+// skewed ones (Trefethen's first rows).
+//
+// Storage is column-major across rows (slot-major), the GPU-friendly
+// transposed layout: slot s of row i lives at index s*Rows+i.
+type ELL struct {
+	Rows, Cols int
+	MaxRowNNZ  int
+	ColIdx     []int32 // len Rows*MaxRowNNZ; -1 marks padding
+	Val        []float64
+}
+
+// ToELL converts a CSR matrix to ELLPACK. It returns an error if the
+// matrix is empty of rows; zero-row matrices are not meaningful here.
+func ToELL(a *CSR) (*ELL, error) {
+	if a.Rows == 0 {
+		return nil, fmt.Errorf("sparse: ToELL of empty matrix")
+	}
+	maxNNZ := 0
+	for i := 0; i < a.Rows; i++ {
+		if w := a.RowPtr[i+1] - a.RowPtr[i]; w > maxNNZ {
+			maxNNZ = w
+		}
+	}
+	if maxNNZ == 0 {
+		maxNNZ = 1 // keep slot arithmetic valid for an all-zero matrix
+	}
+	e := &ELL{
+		Rows:      a.Rows,
+		Cols:      a.Cols,
+		MaxRowNNZ: maxNNZ,
+		ColIdx:    make([]int32, a.Rows*maxNNZ),
+		Val:       make([]float64, a.Rows*maxNNZ),
+	}
+	for k := range e.ColIdx {
+		e.ColIdx[k] = -1
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			idx := s*a.Rows + i
+			e.ColIdx[idx] = int32(a.ColIdx[p])
+			e.Val[idx] = a.Val[p]
+			s++
+		}
+	}
+	return e, nil
+}
+
+// NNZ returns the number of stored (non-padding) entries.
+func (e *ELL) NNZ() int {
+	n := 0
+	for _, c := range e.ColIdx {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PaddingRatio returns padded slots / total slots — the format's memory
+// overhead (0 for perfectly uniform rows).
+func (e *ELL) PaddingRatio() float64 {
+	total := len(e.ColIdx)
+	if total == 0 {
+		return 0
+	}
+	return float64(total-e.NNZ()) / float64(total)
+}
+
+// MulVec computes y = A*x using the slot-major traversal a GPU warp would
+// perform (one pass per slot, contiguous row access).
+func (e *ELL) MulVec(y, x []float64) {
+	if len(x) != e.Cols || len(y) != e.Rows {
+		panic(fmt.Sprintf("sparse: ELL.MulVec dims: A is %dx%d, len(x)=%d, len(y)=%d",
+			e.Rows, e.Cols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for s := 0; s < e.MaxRowNNZ; s++ {
+		base := s * e.Rows
+		for i := 0; i < e.Rows; i++ {
+			c := e.ColIdx[base+i]
+			if c >= 0 {
+				y[i] += e.Val[base+i] * x[c]
+			}
+		}
+	}
+}
+
+// ToCSR converts back to CSR (padding dropped, columns sorted by
+// construction since CSR rows were sorted when converting in; a general
+// ELL is re-sorted via COO).
+func (e *ELL) ToCSR() *CSR {
+	c := NewCOO(e.Rows, e.Cols)
+	for s := 0; s < e.MaxRowNNZ; s++ {
+		base := s * e.Rows
+		for i := 0; i < e.Rows; i++ {
+			if col := e.ColIdx[base+i]; col >= 0 {
+				c.Add(i, int(col), e.Val[base+i])
+			}
+		}
+	}
+	return c.ToCSR()
+}

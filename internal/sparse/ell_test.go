@@ -1,0 +1,163 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToELLBasic(t *testing.T) {
+	m := small4(t)
+	e, err := ToELL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxRowNNZ != 3 {
+		t.Errorf("MaxRowNNZ = %d, want 3", e.MaxRowNNZ)
+	}
+	if e.NNZ() != m.NNZ() {
+		t.Errorf("NNZ = %d, want %d", e.NNZ(), m.NNZ())
+	}
+	// Boundary rows have 2 entries, interior 3: padding = 2 of 12 slots.
+	if got := e.PaddingRatio(); math.Abs(got-2.0/12.0) > 1e-15 {
+		t.Errorf("PaddingRatio = %g, want 1/6", got)
+	}
+}
+
+func TestELLMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(60)
+		a := randomCSR(rng, n, 0.15)
+		e, err := ToELL(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(y1, x)
+		e.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12*(1+math.Abs(y1[i])) {
+				t.Fatalf("trial %d: SpMV mismatch at %d: %g vs %g", trial, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestELLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomCSR(rng, 40, 0.2)
+	e, err := ToELL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := e.ToCSR()
+	if back.NNZ() != a.NNZ() {
+		t.Fatalf("round-trip NNZ %d -> %d", a.NNZ(), back.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if back.At(i, a.ColIdx[p]) != a.Val[p] {
+				t.Fatalf("round-trip mismatch at (%d,%d)", i, a.ColIdx[p])
+			}
+		}
+	}
+}
+
+func TestELLEmptyAndEdge(t *testing.T) {
+	if _, err := ToELL(&CSR{RowPtr: []int{0}}); err == nil {
+		t.Error("expected error for zero-row matrix")
+	}
+	// All-zero matrix: valid, one padded slot per row.
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 0) // dropped by ToCSR
+	z := c.ToCSR()
+	e, err := ToELL(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NNZ() != 0 || e.MaxRowNNZ != 1 {
+		t.Errorf("zero matrix ELL: nnz=%d width=%d", e.NNZ(), e.MaxRowNNZ)
+	}
+	y := make([]float64, 3)
+	e.MulVec(y, []float64{1, 2, 3})
+	for _, v := range y {
+		if v != 0 {
+			t.Error("zero matrix SpMV must be zero")
+		}
+	}
+}
+
+func TestELLMulVecDimPanic(t *testing.T) {
+	e, err := ToELL(small4(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	e.MulVec(make([]float64, 4), make([]float64, 3))
+}
+
+func TestELLPaddingSkewedRows(t *testing.T) {
+	// One dense row among sparse ones: heavy padding, the format's known
+	// weakness (and why Trefethen-like matrices suit it poorly).
+	n := 20
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+	}
+	for j := 0; j < n; j++ {
+		if j != 0 {
+			c.Add(0, j, 1)
+		}
+	}
+	e, err := ToELL(c.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxRowNNZ != n {
+		t.Errorf("width = %d, want %d", e.MaxRowNNZ, n)
+	}
+	if e.PaddingRatio() < 0.8 {
+		t.Errorf("skewed matrix should be heavily padded, got %g", e.PaddingRatio())
+	}
+}
+
+// Property: ELL SpMV agrees with CSR SpMV on random inputs.
+func TestPropertyELLSpMV(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		a := randomCSR(rng, n, 0.25)
+		e, err := ToELL(a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(y1, x)
+		e.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-10*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market I/O. Supports the subset of the format the UFMC collection
+// uses for the paper's test matrices: "matrix coordinate real
+// {general|symmetric}" and "matrix coordinate pattern {general|symmetric}"
+// (pattern entries read as 1.0).
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream into CSR.
+// Symmetric files are expanded to full storage.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrixmarket: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("matrixmarket: bad header %q", sc.Text())
+	}
+	format, field, symm := header[2], header[3], header[4]
+	if format != "coordinate" {
+		return nil, fmt.Errorf("matrixmarket: unsupported format %q (only coordinate)", format)
+	}
+	pattern := false
+	switch field {
+	case "real", "integer":
+	case "pattern":
+		pattern = true
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported field %q", field)
+	}
+	symmetric := false
+	switch symm {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported symmetry %q", symm)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrixmarket: bad dimensions %dx%d", rows, cols)
+	}
+
+	coo := NewCOO(rows, cols)
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("matrixmarket: short entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad row index %q: %v", f[0], err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad col index %q: %v", f[1], err)
+		}
+		v := 1.0
+		if !pattern {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrixmarket: bad value %q: %v", f[2], err)
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("matrixmarket: entry (%d,%d) out of range for %dx%d", i, j, rows, cols)
+		}
+		if symmetric && i != j {
+			coo.AddSym(i-1, j-1, v)
+		} else {
+			coo.Add(i-1, j-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrixmarket: read: %w", err)
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes the matrix in "coordinate real general" format.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[p]+1, m.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 2 3.0
+3 3 4.0
+1 3 -1.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 3 || m.NNZ() != 4 {
+		t.Fatalf("got %dx%d nnz=%d", m.Rows, m.Cols, m.NNZ())
+	}
+	if m.At(0, 2) != -1.5 {
+		t.Errorf("At(0,2) = %g, want -1.5", m.At(0, 2))
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 5.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Errorf("symmetric expansion failed: At(0,1)=%g At(1,0)=%g", m.At(0, 1), m.At(1, 0))
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4 after expansion", m.NNZ())
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Error("pattern entries should read as 1.0")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"badheader", "%%NotMM matrix coordinate real general\n1 1 0\n"},
+		{"array", "%%MatrixMarket matrix array real general\n1 1\n"},
+		{"badfield", "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"},
+		{"badsymm", "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"},
+		{"outofrange", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"short", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"},
+		{"badvalue", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 20, 0.2)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NNZ() != m.NNZ() {
+		t.Fatalf("round-trip NNZ %d -> %d", m.NNZ(), m2.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := m.ColIdx[p]
+			if m2.At(i, j) != m.Val[p] {
+				t.Fatalf("round-trip mismatch at (%d,%d): %g vs %g", i, j, m.Val[p], m2.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSpy(t *testing.T) {
+	m := small4(t)
+	var buf bytes.Buffer
+	if err := Spy(&buf, m, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "+----+") {
+		t.Errorf("unexpected spy frame:\n%s", out)
+	}
+	// Tridiagonal: corner cells (0,3) and (3,0) must be blank.
+	lines := strings.Split(out, "\n")
+	if lines[1][4] != ' ' {
+		t.Errorf("cell (0,3) should be blank in:\n%s", out)
+	}
+	if lines[4][1] != ' ' {
+		t.Errorf("cell (3,0) should be blank in:\n%s", out)
+	}
+	if err := Spy(&buf, m, 0, 4); err == nil {
+		t.Error("expected error for zero width")
+	}
+}
+
+func TestSpyPGM(t *testing.T) {
+	m := small4(t)
+	var buf bytes.Buffer
+	if err := SpyPGM(&buf, m, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 4\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pix := out[len("P5\n4 4\n255\n"):]
+	if len(pix) != 16 {
+		t.Fatalf("pixel payload %d bytes, want 16", len(pix))
+	}
+	// Tridiagonal: corner (0,3) white, diagonal dark.
+	if pix[3] != 255 {
+		t.Errorf("corner should be background, got %d", pix[3])
+	}
+	if pix[0] == 255 {
+		t.Error("diagonal cell should be shaded")
+	}
+	if err := SpyPGM(&buf, m, 0, 1); err == nil {
+		t.Error("expected grid validation error")
+	}
+}

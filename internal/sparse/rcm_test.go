@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pathGraph builds a 1-D chain matrix with scrambled vertex labels.
+func scrambledPath(n int, seed int64) (*CSR, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	label := rng.Perm(n)
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(label[i], label[i], 2)
+		if i+1 < n {
+			c.AddSym(label[i], label[i+1], -1)
+		}
+	}
+	return c.ToCSR(), label
+}
+
+func TestRCMRecoversPathBandwidth(t *testing.T) {
+	a, _ := scrambledPath(50, 3)
+	if bw := Bandwidth(a); bw < 10 {
+		t.Fatalf("scrambled path should start with large bandwidth, got %d", bw)
+	}
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PermuteSym(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path renumbered by RCM has bandwidth exactly 1.
+	if bw := Bandwidth(p); bw != 1 {
+		t.Errorf("RCM bandwidth = %d, want 1 for a path", bw)
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSR(rng, 60, 0.1)
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			t.Fatalf("invalid permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two separate triangles plus two isolated vertices.
+	c := NewCOO(8, 8)
+	for i := 0; i < 8; i++ {
+		c.Add(i, i, 1)
+	}
+	tri := func(a, b, d int) {
+		c.AddSym(a, b, -1)
+		c.AddSym(b, d, -1)
+		c.AddSym(a, d, -1)
+	}
+	tri(0, 3, 6)
+	tri(1, 4, 7)
+	a := c.ToCSR()
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PermuteSym(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each triangle must end up contiguous: bandwidth 2.
+	if bw := Bandwidth(p); bw != 2 {
+		t.Errorf("bandwidth = %d, want 2 (contiguous triangles)", bw)
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	c := NewCOO(2, 3)
+	c.Add(0, 0, 1)
+	if _, err := RCM(c.ToCSR()); err == nil {
+		t.Error("expected error for rectangular input")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	c := NewCOO(5, 5)
+	c.Add(0, 0, 1)
+	c.Add(0, 4, 1)
+	if bw := Bandwidth(c.ToCSR()); bw != 4 {
+		t.Errorf("bandwidth = %d, want 4", bw)
+	}
+}
+
+func TestPermuteSymValidation(t *testing.T) {
+	a, _ := scrambledPath(4, 1)
+	if _, err := PermuteSym(a, []int{0, 1}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := PermuteSym(a, []int{0, 1, 2, 2}); err == nil {
+		t.Error("expected duplicate error")
+	}
+	if _, err := PermuteSym(a, []int{0, 1, 2, 9}); err == nil {
+		t.Error("expected range error")
+	}
+	rect := NewCOO(2, 3)
+	rect.Add(0, 0, 1)
+	if _, err := PermuteSym(rect.ToCSR(), []int{0, 1}); err == nil {
+		t.Error("expected square error")
+	}
+}
+
+// Property: RCM never increases the bandwidth of an already-banded chain,
+// and the permuted matrix keeps the spectrum-relevant invariants (symmetry,
+// diagonal multiset).
+func TestPropertyRCMBandedStaysBanded(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(seed%30+30)%30
+		a, _ := scrambledPath(n, seed)
+		perm, err := RCM(a)
+		if err != nil {
+			return false
+		}
+		p, err := PermuteSym(a, perm)
+		if err != nil {
+			return false
+		}
+		return p.IsSymmetric(0) && Bandwidth(p) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Spy renders an ASCII sparsity plot of the matrix (the library's analog of
+// the paper's Figure 1). The matrix is downsampled onto a width×height
+// character grid; a cell prints as a density character ('.' sparse through
+// '@' dense) when any nonzero maps into it.
+func Spy(w io.Writer, m *CSR, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("sparse: Spy grid %dx%d must be positive", width, height)
+	}
+	if width > m.Cols {
+		width = m.Cols
+	}
+	if height > m.Rows {
+		height = m.Rows
+	}
+	counts := make([][]int, height)
+	for i := range counts {
+		counts[i] = make([]int, width)
+	}
+	for i := 0; i < m.Rows; i++ {
+		gi := i * height / m.Rows
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			gj := m.ColIdx[p] * width / m.Cols
+			counts[gi][gj]++
+		}
+	}
+	// Cell capacity: matrix entries that can map to one cell.
+	cap := (m.Rows/height + 1) * (m.Cols/width + 1)
+	ramp := []byte(".:-=+*#%@")
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for gi := 0; gi < height; gi++ {
+		sb.WriteByte('|')
+		for gj := 0; gj < width; gj++ {
+			c := counts[gi][gj]
+			if c == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			idx := c * len(ramp) / (cap + 1)
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SpyPGM writes a binary PGM (P5) image of the sparsity pattern: the
+// matrix is downsampled onto a width×height pixel grid; darker pixels mean
+// denser cells. PGM is chosen because it needs no image libraries and any
+// viewer opens it — the closest stdlib-only analog of the paper's
+// Figure 1 renderings.
+func SpyPGM(w io.Writer, m *CSR, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("sparse: SpyPGM grid %dx%d must be positive", width, height)
+	}
+	if width > m.Cols {
+		width = m.Cols
+	}
+	if height > m.Rows {
+		height = m.Rows
+	}
+	counts := make([]int, width*height)
+	maxCount := 0
+	for i := 0; i < m.Rows; i++ {
+		gi := i * height / m.Rows
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			gj := m.ColIdx[p] * width / m.Cols
+			counts[gi*width+gj]++
+			if counts[gi*width+gj] > maxCount {
+				maxCount = counts[gi*width+gj]
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	pix := make([]byte, width*height)
+	for k, c := range counts {
+		if c == 0 {
+			pix[k] = 255 // white background
+			continue
+		}
+		// Log-ish shading: any nonzero is clearly visible.
+		v := 200 - 200*c/maxCount
+		pix[k] = byte(v)
+	}
+	_, err := w.Write(pix)
+	return err
+}

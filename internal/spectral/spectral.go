@@ -1,0 +1,395 @@
+// Package spectral estimates the spectral quantities the paper reports in
+// Table 1 and relies on in its convergence theory:
+//
+//   - ρ(B), ρ(|B|): spectral radius of the Jacobi iteration matrix and of
+//     its elementwise absolute value — the Strikwerda sufficient condition
+//     for asynchronous convergence is ρ(|B|) < 1;
+//   - extreme eigenvalues of SPD matrices via symmetric Lanczos, used for
+//     cond(A), cond(D⁻¹A), and the τ-scaling τ = 2/(λ₁+λ_n) of §4.2;
+//   - Gershgorin disc bounds as cheap a-priori checks.
+//
+// All estimators are deterministic: randomized start vectors take an
+// explicit seed.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// ErrNoConvergence is returned when an iterative estimator exhausts its
+// iteration budget without meeting its tolerance. The best estimate so far
+// accompanies the error in the method-specific result.
+var ErrNoConvergence = errors.New("spectral: estimator did not converge")
+
+// PowerMethodResult reports a spectral-radius estimate.
+type PowerMethodResult struct {
+	Radius     float64 // |λ| of the dominant eigenvalue
+	Iterations int
+	Converged  bool
+}
+
+// PowerMethod estimates the spectral radius of A by power iteration with a
+// deterministic seeded random start. tol is the relative change tolerance
+// between successive Rayleigh-quotient-style estimates.
+func PowerMethod(a *sparse.CSR, maxIter int, tol float64, seed int64) (PowerMethodResult, error) {
+	if a.Rows != a.Cols {
+		return PowerMethodResult{}, fmt.Errorf("spectral: PowerMethod requires square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	normalize(x)
+	y := make([]float64, n)
+	var est, prev float64
+	for k := 1; k <= maxIter; k++ {
+		a.MulVec(y, x)
+		est = vecmath.Nrm2(y)
+		if est == 0 {
+			// x in the nullspace: restart from a fresh random vector.
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			normalize(x)
+			continue
+		}
+		vecmath.Copy(x, y)
+		vecmath.Scale(1/est, x)
+		if k > 1 && math.Abs(est-prev) <= tol*math.Abs(est) {
+			return PowerMethodResult{Radius: est, Iterations: k, Converged: true}, nil
+		}
+		prev = est
+	}
+	return PowerMethodResult{Radius: est, Iterations: maxIter}, ErrNoConvergence
+}
+
+// JacobiSpectralRadius estimates ρ(B) for B = I − D⁻¹A, the quantity the
+// paper denotes ρ(M) in Table 1.
+func JacobiSpectralRadius(a *sparse.CSR, seed int64) (float64, error) {
+	b, err := a.JacobiIterationMatrix()
+	if err != nil {
+		return 0, err
+	}
+	r, err := PowerMethod(b, 5000, 1e-10, seed)
+	if err != nil && !r.Converged {
+		// A near-tie between ±λ eigenvalues makes the plain power method
+		// oscillate; fall back to the two-step even-power trick.
+		r2, err2 := powerMethodSquared(b, 5000, 1e-10, seed+1)
+		if err2 == nil {
+			return r2, nil
+		}
+	}
+	return r.Radius, err
+}
+
+// AbsJacobiSpectralRadius estimates ρ(|B|): the Strikwerda asynchronous
+// convergence bound.
+func AbsJacobiSpectralRadius(a *sparse.CSR, seed int64) (float64, error) {
+	b, err := a.JacobiIterationMatrix()
+	if err != nil {
+		return 0, err
+	}
+	// |B| is nonnegative, so the power method converges cleanly from a
+	// positive start vector (Perron-Frobenius).
+	abs := b.Abs()
+	n := abs.Rows
+	x := vecmath.Ones(n)
+	normalize(x)
+	y := make([]float64, n)
+	var est, prev float64
+	for k := 1; k <= 20000; k++ {
+		abs.MulVec(y, x)
+		est = vecmath.Nrm2(y)
+		if est == 0 {
+			return 0, nil
+		}
+		vecmath.Copy(x, y)
+		vecmath.Scale(1/est, x)
+		if k > 1 && math.Abs(est-prev) <= 1e-9*est {
+			return est, nil
+		}
+		prev = est
+	}
+	return est, ErrNoConvergence
+}
+
+// powerMethodSquared estimates ρ(A) as sqrt(ρ(A²)) by applying A twice per
+// step, which converges when the spectrum contains a ±λ dominant pair.
+func powerMethodSquared(a *sparse.CSR, maxIter int, tol float64, seed int64) (float64, error) {
+	n := a.Rows
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	normalize(x)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	var est, prev float64
+	for k := 1; k <= maxIter; k++ {
+		a.MulVec(y, x)
+		a.MulVec(z, y)
+		est = vecmath.Nrm2(z)
+		if est == 0 {
+			return 0, nil
+		}
+		vecmath.Copy(x, z)
+		vecmath.Scale(1/est, x)
+		if k > 1 && math.Abs(est-prev) <= tol*est {
+			return math.Sqrt(est), nil
+		}
+		prev = est
+	}
+	return math.Sqrt(est), ErrNoConvergence
+}
+
+// ExtremeEigs reports Lanczos estimates of the smallest and largest
+// eigenvalues of a symmetric matrix.
+type ExtremeEigs struct {
+	Min, Max   float64
+	Iterations int
+}
+
+// LanczosExtremes estimates the extreme eigenvalues of symmetric A with a
+// full-reorthogonalized Lanczos process of at most m steps. For the modest
+// dimensions of the paper's matrices full reorthogonalization is cheap and
+// avoids ghost eigenvalues.
+func LanczosExtremes(a *sparse.CSR, m int, seed int64) (ExtremeEigs, error) {
+	if a.Rows != a.Cols {
+		return ExtremeEigs{}, fmt.Errorf("spectral: Lanczos requires square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if m > n {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(v)
+
+	basis := make([][]float64, 0, m)
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m) // beta[j] links step j and j+1
+	w := make([]float64, n)
+
+	for j := 0; j < m; j++ {
+		basis = append(basis, append([]float64(nil), v...))
+		a.MulVec(w, v)
+		if j > 0 {
+			vecmath.Axpy(-beta[j-1], basis[j-1], w)
+		}
+		aj := vecmath.Dot(w, v)
+		alpha = append(alpha, aj)
+		vecmath.Axpy(-aj, v, w)
+		// Full reorthogonalization against all previous basis vectors.
+		for _, q := range basis {
+			vecmath.Axpy(-vecmath.Dot(w, q), q, w)
+		}
+		bj := vecmath.Nrm2(w)
+		if bj < 1e-14 {
+			// Invariant subspace found: the tridiagonal spectrum is exact.
+			lo, hi := tridiagExtremes(alpha, beta)
+			return ExtremeEigs{Min: lo, Max: hi, Iterations: j + 1}, nil
+		}
+		beta = append(beta, bj)
+		vecmath.Copy(v, w)
+		vecmath.Scale(1/bj, v)
+	}
+	lo, hi := tridiagExtremes(alpha, beta[:len(alpha)-1])
+	return ExtremeEigs{Min: lo, Max: hi, Iterations: m}, nil
+}
+
+// tridiagExtremes returns the extreme eigenvalues of the symmetric
+// tridiagonal matrix with diagonal alpha and off-diagonal beta, found by
+// bisection on the Sturm sequence (eigenvalue counts).
+func tridiagExtremes(alpha, beta []float64) (float64, float64) {
+	k := len(alpha)
+	if k == 0 {
+		return 0, 0
+	}
+	if k == 1 {
+		return alpha[0], alpha[0]
+	}
+	// Gershgorin interval for the tridiagonal matrix.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < k; i++ {
+		var r float64
+		if i > 0 {
+			r += math.Abs(beta[i-1])
+		}
+		if i < k-1 {
+			r += math.Abs(beta[i])
+		}
+		if alpha[i]-r < lo {
+			lo = alpha[i] - r
+		}
+		if alpha[i]+r > hi {
+			hi = alpha[i] + r
+		}
+	}
+	countBelow := func(x float64) int {
+		// Sturm sequence: number of eigenvalues < x.
+		count := 0
+		d := alpha[0] - x
+		if d < 0 {
+			count++
+		}
+		for i := 1; i < k; i++ {
+			if d == 0 {
+				d = 1e-300
+			}
+			d = alpha[i] - x - beta[i-1]*beta[i-1]/d
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+	bisect := func(target int) float64 {
+		a, b := lo, hi
+		for i := 0; i < 200 && b-a > 1e-13*(1+math.Abs(a)+math.Abs(b)); i++ {
+			mid := 0.5 * (a + b)
+			if countBelow(mid) >= target {
+				b = mid
+			} else {
+				a = mid
+			}
+		}
+		return 0.5 * (a + b)
+	}
+	return bisect(1), bisect(k)
+}
+
+// ConditionNumber estimates λmax/λmin of a symmetric positive definite
+// matrix via Lanczos. It returns an error for non-positive λmin estimates
+// (matrix not SPD, or Lanczos not yet resolved the lower end).
+func ConditionNumber(a *sparse.CSR, lanczosSteps int, seed int64) (float64, error) {
+	e, err := LanczosExtremes(a, lanczosSteps, seed)
+	if err != nil {
+		return 0, err
+	}
+	if e.Min <= 0 {
+		return 0, fmt.Errorf("spectral: nonpositive smallest eigenvalue estimate %g (matrix not SPD or Lanczos unresolved)", e.Min)
+	}
+	return e.Max / e.Min, nil
+}
+
+// NormalizedMatrix returns N = D^{−1/2} A D^{−1/2}, the symmetric
+// similarity transform of D⁻¹A. cond(N) is the library's definition of
+// cond(D⁻¹A) in Table 1 (exact for the eigenvalue ratio; the UFMC listing
+// may use singular values, which differ for non-normal D⁻¹A).
+func NormalizedMatrix(a *sparse.CSR) (*sparse.CSR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spectral: NormalizedMatrix requires square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("spectral: nonpositive diagonal %g at row %d", v, i)
+		}
+		inv[i] = 1 / math.Sqrt(v)
+	}
+	n := a.Clone()
+	for i := 0; i < n.Rows; i++ {
+		for p := n.RowPtr[i]; p < n.RowPtr[i+1]; p++ {
+			n.Val[p] *= inv[i] * inv[n.ColIdx[p]]
+		}
+	}
+	return n, nil
+}
+
+// GershgorinBounds returns the union interval of all Gershgorin discs of A
+// restricted to the real axis: [min_i (a_ii − r_i), max_i (a_ii + r_i)]
+// with r_i the off-diagonal absolute row sum.
+func GershgorinBounds(a *sparse.CSR) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < a.Rows; i++ {
+		var diag, r float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] == i {
+				diag = a.Val[p]
+			} else {
+				r += math.Abs(a.Val[p])
+			}
+		}
+		if diag-r < lo {
+			lo = diag - r
+		}
+		if diag+r > hi {
+			hi = diag + r
+		}
+	}
+	return lo, hi
+}
+
+// TauScaling returns τ = 2/(λ₁+λ_n) for D⁻¹A, the damping factor the paper
+// recommends (§4.2) to make Jacobi-type methods converge on SPD systems
+// whose unscaled iteration matrix has ρ(B) > 1. The extremes are estimated
+// on the normalized matrix N (similar to D⁻¹A).
+func TauScaling(a *sparse.CSR, lanczosSteps int, seed int64) (float64, error) {
+	n, err := NormalizedMatrix(a)
+	if err != nil {
+		return 0, err
+	}
+	e, err := LanczosExtremes(n, lanczosSteps, seed)
+	if err != nil {
+		return 0, err
+	}
+	sum := e.Min + e.Max
+	if sum <= 0 {
+		return 0, fmt.Errorf("spectral: eigenvalue sum %g not positive; matrix not SPD?", sum)
+	}
+	return 2 / sum, nil
+}
+
+func normalize(x []float64) {
+	n := vecmath.Nrm2(x)
+	if n > 0 {
+		vecmath.Scale(1/n, x)
+	}
+}
+
+// OperatorRadius estimates the spectral radius of a black-box *linear*
+// operator given only its action dst = E·src, by power iteration with a
+// seeded random start. It is the tool for analyzing iteration operators
+// that exist only as code — e.g. the error-propagation map of one
+// deterministic block-asynchronous global iteration, whose ρ governs the
+// method's asymptotic convergence rate (two-stage iteration theory).
+func OperatorRadius(apply func(dst, src []float64), n, maxIter int, tol float64, seed int64) (PowerMethodResult, error) {
+	if n <= 0 {
+		return PowerMethodResult{}, fmt.Errorf("spectral: OperatorRadius dimension %d must be positive", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	normalize(x)
+	y := make([]float64, n)
+	var est, prev float64
+	for k := 1; k <= maxIter; k++ {
+		apply(y, x)
+		est = vecmath.Nrm2(y)
+		if est == 0 {
+			return PowerMethodResult{Radius: 0, Iterations: k, Converged: true}, nil
+		}
+		vecmath.Copy(x, y)
+		vecmath.Scale(1/est, x)
+		if k > 1 && math.Abs(est-prev) <= tol*est {
+			return PowerMethodResult{Radius: est, Iterations: k, Converged: true}, nil
+		}
+		prev = est
+	}
+	return PowerMethodResult{Radius: est, Iterations: maxIter}, ErrNoConvergence
+}

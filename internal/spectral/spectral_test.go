@@ -1,0 +1,235 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// diag builds a diagonal CSR matrix.
+func diag(vals ...float64) *sparse.CSR {
+	n := len(vals)
+	c := sparse.NewCOO(n, n)
+	for i, v := range vals {
+		c.Add(i, i, v)
+	}
+	return c.ToCSR()
+}
+
+// tridiag builds the n-point [−1 2 −1] Laplacian whose eigenvalues are
+// 2−2cos(kπ/(n+1)) — the canonical analytic test case.
+func tridiag(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i+1 < n {
+			c.AddSym(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestPowerMethodDiagonal(t *testing.T) {
+	r, err := PowerMethod(diag(1, -7, 3), 1000, 1e-12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Radius-7) > 1e-8 {
+		t.Errorf("radius = %g, want 7", r.Radius)
+	}
+	if !r.Converged {
+		t.Error("should have converged")
+	}
+}
+
+func TestPowerMethodNonSquare(t *testing.T) {
+	c := sparse.NewCOO(2, 3)
+	c.Add(0, 0, 1)
+	if _, err := PowerMethod(c.ToCSR(), 10, 1e-6, 1); err == nil {
+		t.Error("expected error for non-square input")
+	}
+}
+
+func TestJacobiSpectralRadiusTridiag(t *testing.T) {
+	// For [−1 2 −1], B = I − D⁻¹A has ρ(B) = cos(π/(n+1)).
+	n := 50
+	got, err := JacobiSpectralRadius(tridiag(n), 1)
+	if err != nil {
+		t.Logf("estimator note: %v", err)
+	}
+	want := math.Cos(math.Pi / float64(n+1))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("ρ(B) = %g, want %g", got, want)
+	}
+}
+
+func TestAbsJacobiSpectralRadiusTridiag(t *testing.T) {
+	// |B| has the same entries (all 1/2 magnitude), same ρ.
+	n := 50
+	got, err := AbsJacobiSpectralRadius(tridiag(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Cos(math.Pi / float64(n+1))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("ρ(|B|) = %g, want %g", got, want)
+	}
+}
+
+func TestLanczosTridiagExact(t *testing.T) {
+	n := 40
+	e, err := LanczosExtremes(tridiag(n), n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := 2 - 2*math.Cos(math.Pi/float64(n+1))
+	wantMax := 2 - 2*math.Cos(float64(n)*math.Pi/float64(n+1))
+	if math.Abs(e.Min-wantMin) > 1e-8 {
+		t.Errorf("λmin = %g, want %g", e.Min, wantMin)
+	}
+	if math.Abs(e.Max-wantMax) > 1e-8 {
+		t.Errorf("λmax = %g, want %g", e.Max, wantMax)
+	}
+}
+
+func TestConditionNumberDiagonal(t *testing.T) {
+	k, err := ConditionNumber(diag(1, 2, 5, 10), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-10) > 1e-6 {
+		t.Errorf("cond = %g, want 10", k)
+	}
+}
+
+func TestConditionNumberRejectsIndefinite(t *testing.T) {
+	if _, err := ConditionNumber(diag(-1, 2), 2, 1); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestNormalizedMatrix(t *testing.T) {
+	nm, err := NormalizedMatrix(tridiag(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if math.Abs(nm.At(i, i)-1) > 1e-14 {
+			t.Errorf("normalized diagonal at %d = %g, want 1", i, nm.At(i, i))
+		}
+	}
+	if math.Abs(nm.At(0, 1)+0.5) > 1e-14 {
+		t.Errorf("normalized off-diag = %g, want -0.5", nm.At(0, 1))
+	}
+	// Negative diagonal must be rejected.
+	if _, err := NormalizedMatrix(diag(-1, 1)); err == nil {
+		t.Error("expected error for negative diagonal")
+	}
+}
+
+func TestGershgorinBounds(t *testing.T) {
+	lo, hi := GershgorinBounds(tridiag(10))
+	if lo != 0 || hi != 4 {
+		t.Errorf("Gershgorin = [%g, %g], want [0, 4]", lo, hi)
+	}
+}
+
+func TestTauScalingTridiag(t *testing.T) {
+	// N = D^{-1/2} A D^{-1/2} for tridiag has λ ∈ [1−cos(π/(n+1)), 1+cos(π/(n+1))],
+	// so λ1+λn = 2 and τ = 1.
+	tau, err := TauScaling(tridiag(30), 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-1) > 1e-8 {
+		t.Errorf("τ = %g, want 1", tau)
+	}
+}
+
+// The cross-validation tests: generated matrices must land on the paper's
+// Table 1 spectral values.
+
+func TestPaperRhoFV1(t *testing.T) {
+	rho, _ := JacobiSpectralRadius(mats.MustGenerate("fv1").A, 1)
+	if math.Abs(rho-0.8541) > 0.01 {
+		t.Errorf("fv1 ρ(B) = %.4f, paper says 0.8541", rho)
+	}
+}
+
+func TestPaperRhoFV3(t *testing.T) {
+	rho, _ := JacobiSpectralRadius(mats.MustGenerate("fv3").A, 1)
+	if rho < 0.995 || rho >= 1 {
+		t.Errorf("fv3 ρ(B) = %.6f, paper says 0.9993 (must be just under 1)", rho)
+	}
+}
+
+func TestPaperRhoChem97(t *testing.T) {
+	rho, _ := JacobiSpectralRadius(mats.MustGenerate("Chem97ZtZ").A, 1)
+	if math.Abs(rho-0.7889) > 0.01 {
+		t.Errorf("Chem97ZtZ ρ(B) = %.4f, paper says 0.7889", rho)
+	}
+}
+
+func TestPaperRhoS1RMT3M1Diverges(t *testing.T) {
+	rho, _ := JacobiSpectralRadius(mats.MustGenerate("s1rmt3m1").A, 1)
+	if math.Abs(rho-2.65) > 0.05 {
+		t.Errorf("s1rmt3m1 ρ(B) = %.3f, paper says ≈2.65", rho)
+	}
+}
+
+func TestPaperRhoTrefethen2000(t *testing.T) {
+	rho, _ := JacobiSpectralRadius(mats.MustGenerate("Trefethen_2000").A, 1)
+	// Paper: 0.8601 for both Trefethen sizes.
+	if math.Abs(rho-0.8601) > 0.02 {
+		t.Errorf("Trefethen_2000 ρ(B) = %.4f, paper says 0.8601", rho)
+	}
+}
+
+func TestPaperStrikwerdaConditionHolds(t *testing.T) {
+	// The asynchronous convergence condition ρ(|B|) < 1 must hold for every
+	// convergent test system (all but s1rmt3m1).
+	for _, name := range []string{"Chem97ZtZ", "fv1", "Trefethen_2000"} {
+		rho, err := AbsJacobiSpectralRadius(mats.MustGenerate(name).A, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rho >= 1 {
+			t.Errorf("%s: ρ(|B|) = %g ≥ 1, async convergence not guaranteed", name, rho)
+		}
+	}
+}
+
+func TestOperatorRadiusMatchesMatrix(t *testing.T) {
+	// The black-box estimator on an explicit matrix must agree with the
+	// plain power method.
+	a := tridiag(30)
+	apply := func(dst, src []float64) { a.MulVec(dst, src) }
+	r, err := OperatorRadius(apply, 30, 5000, 1e-10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + 2*math.Cos(math.Pi/31) // λmax of the [−1 2 −1] operator
+	if math.Abs(r.Radius-want) > 1e-6 {
+		t.Errorf("radius = %g, want %g", r.Radius, want)
+	}
+}
+
+func TestOperatorRadiusValidation(t *testing.T) {
+	if _, err := OperatorRadius(nil, 0, 10, 1e-6, 1); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestOperatorRadiusZeroOperator(t *testing.T) {
+	apply := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	r, err := OperatorRadius(apply, 5, 10, 1e-6, 1)
+	if err != nil || r.Radius != 0 {
+		t.Errorf("zero operator: %+v %v", r, err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats provides the descriptive statistics the paper reports for
+// its non-determinism study (§4.1, Tables 2 and 3, Figure 5): for each
+// iteration checkpoint across many solver runs, the average / maximum /
+// minimum residual, the absolute and relative variation, and the variance,
+// standard deviation and standard error.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned when a summary of no samples is requested.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Summary holds the descriptive statistics of one sample set — one row of
+// the paper's Tables 2/3 for a fixed iteration count.
+type Summary struct {
+	N        int
+	Mean     float64
+	Min, Max float64
+	// AbsVariation is max − min, the paper's "abs. var." column.
+	AbsVariation float64
+	// RelVariation is (max − min)/mean, the paper's "rel. var." column.
+	RelVariation float64
+	// Variance is the unbiased sample variance (divisor N−1; 0 for N=1).
+	Variance float64
+	// StdDev is sqrt(Variance).
+	StdDev float64
+	// StdErr is StdDev/sqrt(N).
+	StdErr float64
+}
+
+// Summarize computes the Summary of the samples.
+func Summarize(samples []float64) (Summary, error) {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: n, Min: samples[0], Max: samples[0]}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(n)
+	s.AbsVariation = s.Max - s.Min
+	if s.Mean != 0 {
+		s.RelVariation = s.AbsVariation / s.Mean
+	}
+	if n > 1 {
+		var ss float64
+		for _, v := range samples {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(n-1)
+		s.StdDev = math.Sqrt(s.Variance)
+		s.StdErr = s.StdDev / math.Sqrt(float64(n))
+	}
+	return s, nil
+}
+
+// RunMatrix aggregates residual histories of repeated solver runs. Row r is
+// the per-iteration residual history of run r; all rows must have equal
+// length (pad with the final residual for early-converged runs before
+// adding, if needed).
+type RunMatrix struct {
+	iters int
+	runs  [][]float64
+}
+
+// NewRunMatrix creates an aggregator for histories of the given length.
+func NewRunMatrix(iters int) *RunMatrix {
+	if iters <= 0 {
+		panic(fmt.Sprintf("stats: NewRunMatrix(%d): length must be positive", iters))
+	}
+	return &RunMatrix{iters: iters}
+}
+
+// Add appends one run's residual history.
+func (m *RunMatrix) Add(history []float64) error {
+	if len(history) != m.iters {
+		return fmt.Errorf("stats: history length %d, want %d", len(history), m.iters)
+	}
+	m.runs = append(m.runs, append([]float64(nil), history...))
+	return nil
+}
+
+// NumRuns returns the number of runs added.
+func (m *RunMatrix) NumRuns() int { return len(m.runs) }
+
+// AtIteration returns the Summary across runs at iteration index i
+// (0-based).
+func (m *RunMatrix) AtIteration(i int) (Summary, error) {
+	if i < 0 || i >= m.iters {
+		return Summary{}, fmt.Errorf("stats: iteration %d out of range [0,%d)", i, m.iters)
+	}
+	if len(m.runs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	col := make([]float64, len(m.runs))
+	for r, run := range m.runs {
+		col[r] = run[i]
+	}
+	return Summarize(col)
+}
+
+// Checkpoints returns Summaries at the given 1-based iteration counts —
+// the rows of the paper's Tables 2 and 3 (e.g. 10, 20, ..., 150).
+func (m *RunMatrix) Checkpoints(iters []int) ([]Summary, error) {
+	out := make([]Summary, 0, len(iters))
+	for _, it := range iters {
+		s, err := m.AtIteration(it - 1)
+		if err != nil {
+			return nil, fmt.Errorf("stats: checkpoint %d: %w", it, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PadHistory extends history to length iters by repeating its last value —
+// the convention for runs that converge (and stop) early.
+func PadHistory(history []float64, iters int) []float64 {
+	if len(history) >= iters {
+		return history[:iters]
+	}
+	out := make([]float64, iters)
+	copy(out, history)
+	last := 0.0
+	if len(history) > 0 {
+		last = history[len(history)-1]
+	}
+	for i := len(history); i < iters; i++ {
+		out[i] = last
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.AbsVariation != 3 {
+		t.Errorf("AbsVariation = %g, want 3", s.AbsVariation)
+	}
+	if math.Abs(s.RelVariation-1.2) > 1e-15 {
+		t.Errorf("RelVariation = %g, want 1.2", s.RelVariation)
+	}
+	// Sample variance of 1..4 is 5/3.
+	if math.Abs(s.Variance-5.0/3.0) > 1e-15 {
+		t.Errorf("Variance = %g, want 5/3", s.Variance)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(5.0/3.0)) > 1e-15 {
+		t.Errorf("StdDev = %g", s.StdDev)
+	}
+	if math.Abs(s.StdErr-s.StdDev/2) > 1e-15 {
+		t.Errorf("StdErr = %g, want StdDev/2", s.StdErr)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.StdDev != 0 || s.StdErr != 0 {
+		t.Errorf("single-sample spread must be zero: %+v", s)
+	}
+	if s.Mean != 7 || s.AbsVariation != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeZeroMean(t *testing.T) {
+	s, err := Summarize([]float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RelVariation != 0 {
+		t.Errorf("RelVariation with zero mean should be 0, got %g", s.RelVariation)
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	m := NewRunMatrix(3)
+	if err := m.Add([]float64{1, 0.5, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add([]float64{2, 1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRuns() != 2 {
+		t.Fatalf("NumRuns = %d", m.NumRuns())
+	}
+	s, err := m.AtIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 0.75 || s.Min != 0.5 || s.Max != 1 {
+		t.Errorf("iteration 1 summary = %+v", s)
+	}
+	if err := m.Add([]float64{1, 2}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := m.AtIteration(5); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := NewRunMatrix(2).AtIteration(0); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	m := NewRunMatrix(10)
+	h := make([]float64, 10)
+	for i := range h {
+		h[i] = float64(10 - i)
+	}
+	if err := m.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	cps, err := m.Checkpoints([]int{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cps[0].Mean != 10 || cps[1].Mean != 6 || cps[2].Mean != 1 {
+		t.Errorf("checkpoints = %+v", cps)
+	}
+	if _, err := m.Checkpoints([]int{11}); err == nil {
+		t.Error("expected out-of-range checkpoint error")
+	}
+}
+
+func TestPadHistory(t *testing.T) {
+	got := PadHistory([]float64{3, 2}, 4)
+	want := []float64{3, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PadHistory = %v", got)
+		}
+	}
+	if got := PadHistory([]float64{1, 2, 3}, 2); len(got) != 2 || got[1] != 2 {
+		t.Errorf("truncation = %v", got)
+	}
+	if got := PadHistory(nil, 2); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty pad = %v", got)
+	}
+}
+
+func TestNewRunMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRunMatrix(0)
+}
+
+// Property: Min ≤ Mean ≤ Max and nonnegative spread measures.
+func TestPropertySummaryOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-12 && s.Mean <= s.Max+1e-12 &&
+			s.Variance >= 0 && s.StdDev >= 0 && s.StdErr >= 0 &&
+			s.AbsVariation >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation invariant and scales quadratically.
+func TestPropertyVarianceScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		c := rng.NormFloat64()
+		k := 1 + rng.Float64()*3
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = k*xs[i] + c
+		}
+		sx, _ := Summarize(xs)
+		sy, _ := Summarize(ys)
+		return math.Abs(sy.Variance-k*k*sx.Variance) <= 1e-9*(1+sy.Variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package vecmath provides the dense BLAS-1 style vector kernels used by
+// every solver in the library: axpy, dot products, norms, and their
+// goroutine-parallel variants for large vectors.
+//
+// All serial kernels are plain loops the compiler vectorizes well; the
+// parallel variants split work across GOMAXPROCS-sized chunks and are worth
+// using above roughly 1e5 elements (see BenchmarkParallelCrossover).
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// minParallel is the vector length below which parallel variants fall back
+// to the serial kernel; below this the goroutine fan-out costs more than the
+// arithmetic.
+const minParallel = 1 << 14
+
+// Dot returns xᵀy. It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	checkLen("Dot", x, y)
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm ‖x‖₂ computed with scaling to avoid
+// overflow/underflow for extreme magnitudes.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NrmInf returns the maximum-magnitude entry ‖x‖∞.
+func NrmInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	checkLen("Axpy", x, y)
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Axpby computes y = a*x + b*y in place.
+func Axpby(a float64, x []float64, b float64, y []float64) {
+	checkLen("Axpby", x, y)
+	for i, v := range x {
+		y[i] = a*v + b*y[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy copies src into dst. It panics if the lengths differ, unlike the
+// builtin copy, because a silent partial copy is always a solver bug here.
+func Copy(dst, src []float64) {
+	checkLen("Copy", dst, src)
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sub computes dst = x − y.
+func Sub(dst, x, y []float64) {
+	checkLen("Sub", x, y)
+	checkLen("Sub", dst, x)
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Ones returns a length-n vector of ones (the paper's canonical exact
+// solution: b = A·1).
+func Ones(n int) []float64 {
+	x := make([]float64, n)
+	Fill(x, 1)
+	return x
+}
+
+// ParallelDot is Dot split across worker goroutines. Exact summation order
+// differs from Dot, so results may differ by rounding.
+func ParallelDot(x, y []float64) float64 {
+	checkLen("ParallelDot", x, y)
+	n := len(x)
+	if n < minParallel {
+		return Dot(x, y)
+	}
+	w := runtime.GOMAXPROCS(0)
+	partial := make([]float64, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := chunk(n, w, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			partial[k] = s
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// ParallelAxpy is Axpy split across worker goroutines.
+func ParallelAxpy(a float64, x, y []float64) {
+	checkLen("ParallelAxpy", x, y)
+	n := len(x)
+	if n < minParallel {
+		Axpy(a, x, y)
+		return
+	}
+	w := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := chunk(n, w, k)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				y[i] += a * x[i]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// chunk returns the [lo,hi) bounds of the k-th of w near-equal chunks of n.
+func chunk(n, w, k int) (int, int) {
+	lo := k * n / w
+	hi := (k + 1) * n / w
+	return lo, hi
+}
+
+func checkLen(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: %s length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}

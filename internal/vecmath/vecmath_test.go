@@ -1,0 +1,202 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)) }
+
+func TestDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 12 {
+		t.Errorf("Dot = %g, want 12", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Nrm2 = %g, want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Errorf("Nrm2(nil) = %g, want 0", got)
+	}
+	if got := Nrm2([]float64{0, 0}); got != 0 {
+		t.Errorf("Nrm2(zeros) = %g, want 0", got)
+	}
+}
+
+func TestNrm2Extreme(t *testing.T) {
+	// Naive sum of squares would overflow; the scaled algorithm must not.
+	big := 1e200
+	if got := Nrm2([]float64{big, big}); math.IsInf(got, 0) || !almostEq(got, big*math.Sqrt2, 1e-14) {
+		t.Errorf("Nrm2 overflow handling: got %g", got)
+	}
+	small := 1e-200
+	if got := Nrm2([]float64{small, small}); got == 0 || !almostEq(got, small*math.Sqrt2, 1e-14) {
+		t.Errorf("Nrm2 underflow handling: got %g", got)
+	}
+}
+
+func TestNrmInf(t *testing.T) {
+	if got := NrmInf([]float64{1, -7, 3}); got != 7 {
+		t.Errorf("NrmInf = %g, want 7", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestAxpby(t *testing.T) {
+	y := []float64{1, 2}
+	Axpby(2, []float64{10, 20}, 3, y)
+	if y[0] != 23 || y[1] != 46 {
+		t.Errorf("Axpby got %v, want [23 46]", y)
+	}
+}
+
+func TestScaleFillCopySub(t *testing.T) {
+	x := []float64{1, 2}
+	Scale(3, x)
+	if x[0] != 3 || x[1] != 6 {
+		t.Errorf("Scale got %v", x)
+	}
+	Fill(x, 9)
+	if x[0] != 9 || x[1] != 9 {
+		t.Errorf("Fill got %v", x)
+	}
+	dst := make([]float64, 2)
+	Copy(dst, x)
+	if dst[0] != 9 {
+		t.Errorf("Copy got %v", dst)
+	}
+	Sub(dst, []float64{5, 5}, []float64{2, 3})
+	if dst[0] != 3 || dst[1] != 2 {
+		t.Errorf("Sub got %v", dst)
+	}
+}
+
+func TestOnes(t *testing.T) {
+	x := Ones(4)
+	for _, v := range x {
+		if v != 1 {
+			t.Fatalf("Ones produced %v", x)
+		}
+	}
+}
+
+func TestParallelDotMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 100, minParallel - 1, minParallel, 3*minParallel + 17} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		s := Dot(x, y)
+		p := ParallelDot(x, y)
+		if !almostEq(s, p, 1e-10) {
+			t.Errorf("n=%d: serial %g vs parallel %g", n, s, p)
+		}
+	}
+}
+
+func TestParallelAxpyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 2*minParallel + 11
+	x := make([]float64, n)
+	y1 := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y1[i] = rng.NormFloat64()
+	}
+	y2 := append([]float64(nil), y1...)
+	Axpy(1.5, x, y1)
+	ParallelAxpy(1.5, x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+// Property: Cauchy-Schwarz |xᵀy| ≤ ‖x‖‖y‖.
+func TestPropertyCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		return math.Abs(Dot(x, y)) <= Nrm2(x)*Nrm2(y)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality ‖x+y‖ ≤ ‖x‖+‖y‖.
+func TestPropertyTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			s[i] = x[i] + y[i]
+		}
+		return Nrm2(s) <= Nrm2(x)+Nrm2(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDotSerial(b *testing.B) {
+	x := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, x)
+	}
+}
+
+func BenchmarkDotParallel(b *testing.B) {
+	x := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ParallelDot(x, x)
+	}
+}

@@ -1,0 +1,336 @@
+// Package repro is a Go reproduction of "A Block-Asynchronous Relaxation
+// Method for Graphics Processing Units" (Anzt, Tomov, Dongarra, Heuveline;
+// IPDPS Workshops 2012 / JPDC special issue).
+//
+// It provides, as a library:
+//
+//   - the block-asynchronous relaxation method async-(k) with three
+//     execution engines (deterministic seeded chaos, real goroutine
+//     asynchrony, and a fully barrier-free extension);
+//   - the synchronous baselines the paper compares against (Jacobi,
+//     Gauss-Seidel, SOR, τ-scaled Jacobi, CG);
+//   - the sparse-matrix substrate (CSR/COO, Matrix Market I/O) and
+//     generators for the paper's seven test systems;
+//   - a calibrated performance model of the paper's hardware (Fermi C2070
+//     GPU + Xeon E5540 host, multi-GPU topologies with the AMC/DC/DK
+//     communication strategies);
+//   - fault injection with recovery (the paper's Exascale resilience
+//     study) and spectral estimators for the convergence theory
+//     (ρ(B), ρ(|B|), condition numbers, τ-scaling).
+//
+// This package is a façade: it re-exports the library's public surface
+// from the internal implementation packages so downstream code needs a
+// single import. The experiment harness that regenerates every table and
+// figure of the paper lives in cmd/benchtables and the root benchmark
+// suite (bench_test.go); see DESIGN.md and EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	a := repro.GenerateMatrix("Trefethen_2000").A
+//	b := repro.OnesRHS(a)
+//	res, err := repro.SolveAsync(a, b, repro.AsyncOptions{
+//	    BlockSize:      448,
+//	    LocalIters:     5,
+//	    MaxGlobalIters: 200,
+//	    Tolerance:      1e-10,
+//	})
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gpusim"
+	"repro/internal/mats"
+	"repro/internal/multigpu"
+	"repro/internal/multigrid"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+	"repro/internal/vecmath"
+)
+
+// Sparse-matrix substrate.
+type (
+	// CSR is a compressed-sparse-row matrix; see sparse.CSR.
+	CSR = sparse.CSR
+	// COO is the coordinate-format assembly builder; see sparse.COO.
+	COO = sparse.COO
+	// BlockPartition is a contiguous row partition; see
+	// sparse.BlockPartition.
+	BlockPartition = sparse.BlockPartition
+)
+
+// NewCOO creates an empty coordinate-format builder.
+func NewCOO(rows, cols int) *COO { return sparse.NewCOO(rows, cols) }
+
+// NewBlockPartition splits n rows into contiguous blocks.
+func NewBlockPartition(n, blockSize int) BlockPartition {
+	return sparse.NewBlockPartition(n, blockSize)
+}
+
+// ReadMatrixMarket and WriteMatrixMarket expose Matrix Market I/O; Spy and
+// SpyPGM render sparsity patterns (ASCII / PGM image).
+var (
+	ReadMatrixMarket  = sparse.ReadMatrixMarket
+	WriteMatrixMarket = sparse.WriteMatrixMarket
+	Spy               = sparse.Spy
+	SpyPGM            = sparse.SpyPGM
+)
+
+// ELL is the ELLPACK (GPU SpMV) matrix format; ToELL converts from CSR.
+type ELL = sparse.ELL
+
+// ToELL converts a CSR matrix to the ELLPACK layout.
+func ToELL(a *CSR) (*ELL, error) { return sparse.ToELL(a) }
+
+// Test-matrix generators (the paper's Table 1 systems and model problems).
+type TestMatrix = mats.TestMatrix
+
+// TestMatrixNames lists the seven paper matrices in Table 1 order.
+var TestMatrixNames = mats.Names
+
+// GenerateMatrix builds the named paper matrix; it panics on unknown names
+// (use mats.Generate via GenerateMatrixErr for the error form).
+func GenerateMatrix(name string) TestMatrix { return mats.MustGenerate(name) }
+
+// GenerateMatrixErr builds the named paper matrix, reporting unknown names
+// as an error.
+func GenerateMatrixErr(name string) (TestMatrix, error) { return mats.Generate(name) }
+
+// Poisson2D builds the five-point 2-D Poisson model problem.
+func Poisson2D(w, h int) *CSR { return mats.Poisson2D(w, h) }
+
+// Trefethen builds the exact n×n Trefethen prime matrix.
+func Trefethen(n int) *CSR { return mats.Trefethen(n) }
+
+// OnesRHS returns b = A·1, the paper's right-hand-side convention (the
+// exact solution is the ones vector).
+func OnesRHS(a *CSR) []float64 {
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+// The paper's contribution: block-asynchronous relaxation.
+type (
+	// AsyncOptions configures a block-asynchronous solve; see core.Options.
+	AsyncOptions = core.Options
+	// AsyncResult reports a block-asynchronous solve; see core.Result.
+	AsyncResult = core.Result
+	// EngineKind selects the execution engine.
+	EngineKind = core.EngineKind
+	// FreeRunningOptions configures the barrier-free extension engine.
+	FreeRunningOptions = core.FreeRunningOptions
+	// FreeRunningResult reports a barrier-free solve.
+	FreeRunningResult = core.FreeRunningResult
+	// Trace carries Chazan–Miranker update/shift statistics.
+	Trace = core.Trace
+)
+
+// Engine selectors.
+const (
+	// EngineSimulated is the deterministic seeded-chaos engine.
+	EngineSimulated = core.EngineSimulated
+	// EngineGoroutine is the truly asynchronous worker-pool engine.
+	EngineGoroutine = core.EngineGoroutine
+)
+
+// SolveAsync runs async-(k) block-asynchronous relaxation on Ax = b.
+func SolveAsync(a *CSR, b []float64, opt AsyncOptions) (AsyncResult, error) {
+	return core.Solve(a, b, opt)
+}
+
+// SolveFreeRunning runs the fully asynchronous (barrier-free) extension.
+func SolveFreeRunning(a *CSR, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
+	return core.SolveFreeRunning(a, b, opt)
+}
+
+// TuneConfig and TuneResult expose the empirical parameter search of
+// core.Tune — the paper's "empirically based tuning" (§3.2) automated.
+type (
+	TuneConfig = core.TuneConfig
+	TuneResult = core.TuneResult
+)
+
+// TuneAsync probes (BlockSize, LocalIters) candidates and returns the
+// configuration with the lowest modeled time per digit of residual
+// reduction.
+func TuneAsync(a *CSR, b []float64, cfg TuneConfig) (TuneResult, error) {
+	return core.Tune(a, b, cfg)
+}
+
+// Synchronous baselines.
+type (
+	// SolverOptions configures the synchronous solvers; see solver.Options.
+	SolverOptions = solver.Options
+	// SolverResult reports a synchronous solve; see solver.Result.
+	SolverResult = solver.Result
+)
+
+// Baseline solvers (see package solver for semantics).
+var (
+	Jacobi       = solver.Jacobi
+	GaussSeidel  = solver.GaussSeidel
+	SOR          = solver.SOR
+	SSOR         = solver.SSOR
+	ScaledJacobi = solver.ScaledJacobi
+	CG           = solver.CG
+	PCGJacobi    = solver.PCGJacobi
+	Residual     = solver.Residual
+	// ChebyshevJacobi accelerates the §4.2 spectrum-scaled Jacobi to the
+	// square-root rate using the same two eigenvalue bounds.
+	ChebyshevJacobi = solver.ChebyshevJacobi
+)
+
+// SolverPreconditioner is the preconditioner plug-in of GMRES; package
+// core provides the block-asynchronous implementation (paper §5).
+type SolverPreconditioner = solver.Preconditioner
+
+// GMRES solves Ax = b with restarted right-preconditioned GMRES(m).
+func GMRES(a *CSR, b []float64, restart int, prec SolverPreconditioner, opt SolverOptions) (SolverResult, error) {
+	return solver.GMRES(a, b, restart, prec, opt)
+}
+
+// NewJacobiGMRESPreconditioner builds the diagonal (Jacobi) preconditioner
+// for GMRES.
+func NewJacobiGMRESPreconditioner(a *CSR) (SolverPreconditioner, error) {
+	return solver.NewJacobiPreconditioner(a)
+}
+
+// NewAsyncPreconditioner wraps fixed-seed block-asynchronous sweeps as a
+// GMRES preconditioner (paper §5: relaxation as preconditioner).
+func NewAsyncPreconditioner(a *CSR, blockSize, k, sweeps int, seed int64) (SolverPreconditioner, error) {
+	return core.NewAsyncPreconditioner(a, blockSize, k, sweeps, seed)
+}
+
+// Graph reordering (the paper's §4.3 remark on Chem97ZtZ).
+var (
+	// RCM computes the reverse Cuthill–McKee permutation.
+	RCM = sparse.RCM
+	// PermuteSym applies a symmetric permutation P·A·Pᵀ.
+	PermuteSym = sparse.PermuteSym
+	// Bandwidth returns max |i−j| over stored entries.
+	Bandwidth = sparse.Bandwidth
+)
+
+// Distributed cluster engine (the conclusions' "GPU-accelerated clusters").
+type (
+	// ClusterOptions configures the bounded-delay distributed solve.
+	ClusterOptions = cluster.Options
+	// ClusterResult reports a distributed solve.
+	ClusterResult = cluster.Result
+)
+
+// SolveCluster runs the distributed bounded-delay asynchronous iteration.
+func SolveCluster(a *CSR, b []float64, opt ClusterOptions) (ClusterResult, error) {
+	return cluster.Solve(a, b, opt)
+}
+
+// Silent-error tooling (paper §4.5).
+type (
+	// SilentCorruptor injects undetected bit flips via
+	// AsyncOptions.AfterIteration.
+	SilentCorruptor = fault.SilentCorruptor
+	// AnomalyDetector flags convergence delays that reveal silent errors.
+	AnomalyDetector = fault.Detector
+	// VectorAccess is the iterate view handed to AfterIteration hooks.
+	VectorAccess = core.VectorAccess
+)
+
+// NewSilentCorruptor and NewAnomalyDetector construct the §4.5 tooling.
+var (
+	NewSilentCorruptor = fault.NewSilentCorruptor
+	NewAnomalyDetector = fault.NewDetector
+)
+
+// ConvergenceReport carries the paper's §2.2/§3.1 pre-flight analysis.
+type ConvergenceReport = core.ConvergenceReport
+
+// CheckConvergence evaluates ρ(B), ρ(|B|), diagonal dominance and — for
+// ρ(B) ≥ 1 — the §4.2 damping suggestion for the system.
+func CheckConvergence(a *CSR, lanczosSteps int, seed int64) (ConvergenceReport, error) {
+	return core.CheckConvergence(a, lanczosSteps, seed)
+}
+
+// Spectral estimators for the convergence theory.
+var (
+	// JacobiSpectralRadius estimates ρ(B), B = I − D⁻¹A (Table 1's ρ(M)).
+	JacobiSpectralRadius = spectral.JacobiSpectralRadius
+	// AbsJacobiSpectralRadius estimates ρ(|B|), the Strikwerda
+	// sufficient condition for asynchronous convergence.
+	AbsJacobiSpectralRadius = spectral.AbsJacobiSpectralRadius
+	// TauScaling returns τ = 2/(λ₁+λ_n) for the §4.2 damped Jacobi.
+	TauScaling = spectral.TauScaling
+	// ConditionNumber estimates λmax/λmin of an SPD matrix.
+	ConditionNumber = spectral.ConditionNumber
+)
+
+// Hardware model.
+type (
+	// PerfModel predicts per-iteration wall times on the paper's hardware.
+	PerfModel = gpusim.PerfModel
+	// DeviceParams describes a simulated GPU.
+	DeviceParams = gpusim.DeviceParams
+	// Topology describes a multi-GPU host interconnect.
+	Topology = multigpu.Topology
+	// Strategy selects a multi-GPU communication scheme (AMC/DC/DK).
+	Strategy = multigpu.Strategy
+	// MultiGPUResult couples a multi-GPU solve with its modeled time.
+	MultiGPUResult = multigpu.Result
+)
+
+// Hardware presets and the multi-GPU strategies of paper §3.4.
+const (
+	AMC = multigpu.AMC
+	DC  = multigpu.DC
+	DK  = multigpu.DK
+)
+
+var (
+	// CalibratedModel returns the performance model fitted to the paper's
+	// testbed (§3.2).
+	CalibratedModel = gpusim.CalibratedModel
+	// FermiC2070 returns the paper's GPU parameters.
+	FermiC2070 = gpusim.FermiC2070
+	// Supermicro returns the paper's 4-GPU host topology.
+	Supermicro = multigpu.Supermicro
+)
+
+// SolveMultiGPU runs the multi-GPU block-asynchronous iteration of §3.4:
+// algorithmic convergence from the core engine plus modeled wall time for
+// the strategy and device count.
+func SolveMultiGPU(a *CSR, b []float64, opt AsyncOptions,
+	m PerfModel, topo Topology, strat Strategy, numGPUs int) (MultiGPUResult, error) {
+	return multigpu.Solve(a, b, opt, m, topo, strat, numGPUs)
+}
+
+// Multigrid (the paper's §5 outlook: component-wise relaxation as a
+// smoother).
+type (
+	// MultigridOptions configures a geometric V-cycle solver.
+	MultigridOptions = multigrid.Options
+	// MultigridSolver is a geometric multigrid hierarchy for the 2-D
+	// Poisson operator with a pluggable smoother.
+	MultigridSolver = multigrid.Solver
+	// Smoother is the relaxation plug-in interface of the V-cycle.
+	Smoother = multigrid.Smoother
+	// JacobiSmoother, GaussSeidelSmoother and AsyncSmoother adapt the
+	// library's relaxation methods to the Smoother interface.
+	JacobiSmoother      = multigrid.JacobiSmoother
+	GaussSeidelSmoother = multigrid.GaussSeidelSmoother
+	AsyncSmoother       = multigrid.AsyncSmoother
+)
+
+// NewMultigrid builds a V-cycle hierarchy; see multigrid.New.
+func NewMultigrid(opt MultigridOptions) (*MultigridSolver, error) { return multigrid.New(opt) }
+
+// Fault injection (paper §4.5).
+type FaultInjector = fault.Injector
+
+// NewFaultInjector creates an injector killing a fraction of the blocks at
+// iteration failAt, with recovery after the given number of iterations
+// (negative: never). Plug its SkipBlock method into AsyncOptions.SkipBlock.
+func NewFaultInjector(numBlocks int, fraction float64, failAt, recovery int, seed int64) (*FaultInjector, error) {
+	return fault.NewInjector(numBlocks, fraction, failAt, recovery, seed)
+}

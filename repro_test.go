@@ -1,0 +1,244 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// The façade tests exercise the re-exported public API end to end the way
+// a downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	a := GenerateMatrix("Trefethen_2000").A
+	b := OnesRHS(a)
+	res, err := SolveAsync(a, b, AsyncOptions{
+		BlockSize:      448,
+		LocalIters:     5,
+		MaxGlobalIters: 200,
+		Tolerance:      1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g", res.Residual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestBaselinesAccessible(t *testing.T) {
+	a := Poisson2D(10, 10)
+	b := OnesRHS(a)
+	if _, err := Jacobi(a, b, SolverOptions{MaxIterations: 500, Tolerance: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GaussSeidel(a, b, SolverOptions{MaxIterations: 500, Tolerance: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CG(a, b, SolverOptions{MaxIterations: 200, Tolerance: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, b, make([]float64, a.Rows)); r <= 0 {
+		t.Error("Residual helper broken")
+	}
+}
+
+func TestSpectralAccessible(t *testing.T) {
+	a := Trefethen(300)
+	rho, err := JacobiSpectralRadius(a, 1)
+	if err != nil && rho == 0 {
+		t.Fatal(err)
+	}
+	if rho <= 0 || rho >= 1 {
+		t.Errorf("ρ(B) = %g for Trefethen(300), want in (0,1)", rho)
+	}
+	abs, err := AbsJacobiSpectralRadius(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs < rho-1e-9 {
+		t.Errorf("ρ(|B|)=%g must be ≥ ρ(B)=%g", abs, rho)
+	}
+}
+
+func TestMultiGPUAccessible(t *testing.T) {
+	a := Trefethen(1000)
+	b := OnesRHS(a)
+	res, err := SolveMultiGPU(a, b, AsyncOptions{
+		BlockSize: 128, LocalIters: 5, MaxGlobalIters: 200, Tolerance: 1e-8,
+	}, CalibratedModel(), Supermicro(), AMC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.ModeledSeconds <= 0 {
+		t.Errorf("multi-GPU solve broken: %+v", res)
+	}
+}
+
+func TestFaultInjectorAccessible(t *testing.T) {
+	inj, err := NewFaultInjector(16, 0.25, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := GenerateMatrix("fv1").A
+	b := OnesRHS(a)
+	res, err := SolveAsync(a, b, AsyncOptions{
+		BlockSize: 448, LocalIters: 5, MaxGlobalIters: 80,
+		RecordHistory: true, SkipBlock: inj.SkipBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Error("no history")
+	}
+}
+
+func TestHardwarePresets(t *testing.T) {
+	if FermiC2070().NumSM != 14 {
+		t.Error("Fermi preset wrong")
+	}
+	if Supermicro().MaxGPUs != 4 {
+		t.Error("Supermicro preset wrong")
+	}
+	m := CalibratedModel()
+	if !(m.AsyncIterTime(1000, 9000, 5) > 0) {
+		t.Error("model broken")
+	}
+}
+
+func TestGMRESFacade(t *testing.T) {
+	a := Poisson2D(12, 12)
+	b := OnesRHS(a)
+	res, err := GMRES(a, b, 20, nil, SolverOptions{MaxIterations: 200, Tolerance: 1e-9})
+	if err != nil || !res.Converged {
+		t.Fatalf("GMRES: %v converged=%v", err, res.Converged)
+	}
+	p, err := NewAsyncPreconditioner(a, 36, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := GMRES(a, b, 20, p, SolverOptions{MaxIterations: 200, Tolerance: 1e-9})
+	if err != nil || !pres.Converged {
+		t.Fatalf("preconditioned GMRES: %v", err)
+	}
+	if pres.Iterations >= res.Iterations {
+		t.Errorf("async preconditioner should cut iterations: %d vs %d", pres.Iterations, res.Iterations)
+	}
+}
+
+func TestReorderingFacade(t *testing.T) {
+	a := GenerateMatrix("Chem97ZtZ").A
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PermuteSym(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Bandwidth(p) >= Bandwidth(a) {
+		t.Errorf("RCM should shrink bandwidth: %d -> %d", Bandwidth(a), Bandwidth(p))
+	}
+}
+
+func TestMultigridFacade(t *testing.T) {
+	mg, err := NewMultigrid(MultigridOptions{Width: 15, Height: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := OnesRHS(Poisson2D(15, 15))
+	res, err := mg.Solve(b, 1e-8, 40)
+	if err != nil || !res.Converged {
+		t.Fatalf("multigrid façade: %v", err)
+	}
+}
+
+func TestSilentErrorFacade(t *testing.T) {
+	// A fast-converging system, corrupted once the residual is tiny so the
+	// bit flip dominates it (slowly converging runs hide small flips —
+	// the "serious damage" regime the paper warns about needs contrast).
+	a := Trefethen(400)
+	b := OnesRHS(a)
+	sc, err := NewSilentCorruptor([]int{15}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveAsync(a, b, AsyncOptions{
+		BlockSize: 64, LocalIters: 3, MaxGlobalIters: 30,
+		RecordHistory: true, AfterIteration: sc.Corrupt, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewAnomalyDetector(5, 10)
+	flagged := false
+	for _, r := range res.History {
+		if det.Observe(r) {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("façade detector missed the corruption")
+	}
+}
+
+func TestChebyshevFacade(t *testing.T) {
+	a := Poisson2D(12, 12)
+	b := OnesRHS(a)
+	res, err := ChebyshevJacobi(a, b, 0.01, 2.0, SolverOptions{MaxIterations: 3000, Tolerance: 1e-8})
+	if err != nil || !res.Converged {
+		t.Fatalf("chebyshev façade: %v", err)
+	}
+}
+
+func TestELLFacade(t *testing.T) {
+	a := Trefethen(200)
+	e, err := ToELL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NNZ() != a.NNZ() {
+		t.Errorf("ELL nnz %d vs CSR %d", e.NNZ(), a.NNZ())
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	a := Poisson2D(14, 14)
+	b := OnesRHS(a)
+	res, err := SolveCluster(a, b, ClusterOptions{
+		Nodes: 4, LocalIters: 2, MaxDelay: 2, MaxTicks: 5000, Tolerance: 1e-8, Seed: 1,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("cluster façade: %v", err)
+	}
+}
+
+func TestExactLocalFacade(t *testing.T) {
+	a := Poisson2D(14, 14)
+	b := OnesRHS(a)
+	res, err := SolveAsync(a, b, AsyncOptions{
+		BlockSize: 49, ExactLocal: true, MaxGlobalIters: 2000, Tolerance: 1e-8, Seed: 1,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("exact-local façade: %v", err)
+	}
+}
+
+func TestTuneFacade(t *testing.T) {
+	a := GenerateMatrix("Trefethen_2000").A
+	b := OnesRHS(a)
+	res, err := TuneAsync(a, b, TuneConfig{
+		BlockSizes: []int{128, 448}, LocalIters: []int{1, 3, 5}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockSize == 0 || res.Rate <= 0 || res.Rate >= 1 {
+		t.Errorf("tune façade result: %+v", res)
+	}
+}
