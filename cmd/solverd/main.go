@@ -1,0 +1,113 @@
+// Command solverd serves block-asynchronous solves over HTTP: a bounded
+// job queue drained by a solver worker pool, with a per-matrix plan cache
+// that amortizes setup (block partition, block views, inverse diagonal,
+// subdomain LU factors, spectral pre-flight analysis) across requests.
+//
+// Endpoints:
+//
+//	POST   /v1/solve     submit a solve (JSON body; see service.SolveRequest)
+//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs/{id} job status / progress / result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness
+//	GET    /statsz       queue depth, worker utilization, plan-cache hit rate
+//
+// On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
+// solves, canceling whatever is still running when -drain-timeout expires.
+//
+// Usage:
+//
+//	solverd -addr :8080 -workers 4 -queue-depth 64
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 4, "solver worker pool size")
+		queueDepth   = flag.Int("queue-depth", 64, "bounded job queue depth")
+		cacheEntries = flag.Int("cache-entries", 64, "plan cache entry bound (negative: unlimited)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache byte bound (0: unlimited)")
+		analyze      = flag.Bool("analyze", true, "compute the spectral pre-flight report per plan")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job wall-time bound (0: none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain bound before canceling jobs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		DefaultTimeout: *jobTimeout,
+		Cache: service.CacheConfig{
+			MaxEntries:      *cacheEntries,
+			MaxBytes:        *cacheBytes,
+			AnalyzeSpectrum: *analyze,
+		},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("solverd: listening on %s (%d workers, queue depth %d)", *addr, *workers, *queueDepth)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("solverd: signal received, draining (bound %s)", *drainTimeout)
+	case err := <-errCh:
+		log.Printf("solverd: server error: %v", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("solverd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("solverd: drain incomplete, in-flight jobs canceled: %v", err)
+	}
+	st := svc.Stats()
+	log.Printf("solverd: exiting — %d submitted, %d done, %d failed, %d canceled, plan-cache hit rate %.0f%%",
+		st.Submitted, st.Done, st.Failed, st.Canceled, 100*st.PlanHitRate)
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,141 @@
+// Example service demonstrates the solver daemon: it submits three
+// concurrent solves of the same matrix/configuration to a running solverd
+// instance, waits for them, and prints the plan-cache hit rate from
+// /statsz — the first request builds the plan (partition, block views,
+// inverse diagonal, LU factors), the other two reuse it.
+//
+// Start the daemon first:
+//
+//	go run ./cmd/solverd -addr :8080
+//
+// then:
+//
+//	go run ./examples/service -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type submitResponse struct {
+	JobID     string `json:"job_id"`
+	StatusURL string `json:"status_url"`
+}
+
+type jobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress struct {
+		GlobalIteration int     `json:"global_iteration"`
+		Residual        float64 `json:"residual"`
+		PlanHit         bool    `json:"plan_hit"`
+	} `json:"progress"`
+	Error  string `json:"error"`
+	Result *struct {
+		Converged        bool    `json:"converged"`
+		GlobalIterations int     `json:"global_iterations"`
+		Residual         float64 `json:"residual"`
+		PlanHit          bool    `json:"plan_hit"`
+		WallTime         float64 `json:"wall_seconds"`
+		Analysis         string  `json:"analysis"`
+	} `json:"result"`
+}
+
+type statsz struct {
+	QueueDepth  int     `json:"queue_depth"`
+	Workers     int     `json:"workers"`
+	BusyWorkers int     `json:"busy_workers"`
+	Done        uint64  `json:"jobs_done"`
+	PlanHitRate float64 `json:"plan_hit_rate"`
+	PlanCache   struct {
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Entries int    `json:"entries"`
+		Bytes   int64  `json:"bytes"`
+	} `json:"plan_cache"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "solverd base URL")
+	matrix := flag.String("matrix", "Trefethen_2000", "generated matrix name")
+	flag.Parse()
+
+	req := map[string]any{
+		"matrix":           *matrix,
+		"block_size":       448,
+		"local_iters":      5,
+		"max_global_iters": 200,
+		"tolerance":        1e-10,
+		"record_history":   true,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit three identical solves concurrently: the daemon coalesces
+	// their plan setup into one build.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatalf("solve %d: %v", i, err)
+			}
+			var sub submitResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				log.Fatalf("solve %d: decoding: %v", i, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				log.Fatalf("solve %d: unexpected status %d", i, resp.StatusCode)
+			}
+
+			for {
+				var jv jobView
+				get(*addr+sub.StatusURL, &jv)
+				switch jv.State {
+				case "done":
+					fmt.Printf("%s: converged=%t iters=%d residual=%.3e plan_hit=%t wall=%.3fs\n",
+						jv.ID, jv.Result.Converged, jv.Result.GlobalIterations,
+						jv.Result.Residual, jv.Result.PlanHit, jv.Result.WallTime)
+					if jv.Result.Analysis != "" {
+						fmt.Printf("%s: analysis: %s\n", jv.ID, jv.Result.Analysis)
+					}
+					return
+				case "failed", "canceled":
+					log.Fatalf("%s: %s: %s", jv.ID, jv.State, jv.Error)
+				default:
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var st statsz
+	get(*addr+"/statsz", &st)
+	fmt.Printf("\nplan cache: %d hits / %d misses (hit rate %.0f%%), %d entries, %.1f MiB resident\n",
+		st.PlanCache.Hits, st.PlanCache.Misses, 100*st.PlanHitRate,
+		st.PlanCache.Entries, float64(st.PlanCache.Bytes)/(1<<20))
+}
+
+func get(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}

@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -93,6 +94,11 @@ type Options struct {
 	RecordHistory bool
 	// InitialGuess seeds x if non-nil (not modified); zero vector otherwise.
 	InitialGuess []float64
+	// Ctx, if non-nil, is checked at every global-iteration boundary: once
+	// it is done the solve returns early with an error wrapping both
+	// ErrCanceled and the context's error (deadline or cancellation). The
+	// partial iterate is returned in Result.X. A nil Ctx never cancels.
+	Ctx context.Context
 
 	// Engine selects the execution engine (default EngineSimulated).
 	Engine EngineKind
@@ -186,30 +192,42 @@ type Result struct {
 	NumBlocks        int
 }
 
-// ErrDiverged is reported (wrapped) when the residual becomes non-finite —
-// the expected outcome on systems with ρ(|B|) > 1 such as s1rmt3m1.
-var ErrDiverged = errors.New("core: iteration diverged (non-finite residual)")
+// Sentinel errors. All error returns of this package that describe one of
+// these conditions wrap the corresponding sentinel, so callers can
+// dispatch with errors.Is regardless of the message details.
+var (
+	// ErrDiverged is reported (wrapped) when the residual becomes
+	// non-finite — the expected outcome on systems with ρ(|B|) > 1 such as
+	// s1rmt3m1.
+	ErrDiverged = errors.New("core: iteration diverged (non-finite residual)")
+	// ErrCanceled is reported (wrapped, together with the context's own
+	// error) when Options.Ctx is done before the solve finishes.
+	ErrCanceled = errors.New("core: solve canceled")
+	// ErrNotConverged marks a solve that exhausted its iteration budget
+	// without reaching the requested tolerance. The engines themselves
+	// report this condition via Result.Converged (running to the budget is
+	// a legitimate outcome for the paper's per-iteration studies); callers
+	// that require convergence — internal/service job execution, for one —
+	// wrap ErrNotConverged so errors.Is works across layers.
+	ErrNotConverged = errors.New("core: iteration did not converge within the budget")
+)
 
 // Solve runs async-(k) block-asynchronous relaxation on Ax = b.
+//
+// It is the one-shot entry point: the per-matrix setup (block partition,
+// block views, inverse diagonal, LU factors for ExactLocal) is rebuilt on
+// every call. Long-running callers should build the setup once with
+// NewPlan and iterate with SolveWithPlan.
 func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(a, b); err != nil {
 		return Result{}, err
 	}
-	sp, err := sparse.NewSplitting(a)
+	p, err := NewPlan(a, opt.BlockSize, opt.ExactLocal)
 	if err != nil {
 		return Result{}, err
 	}
-	part := sparse.NewBlockPartition(a.Rows, opt.BlockSize)
-	views := buildBlockViews(a, part)
-	switch opt.Engine {
-	case EngineSimulated:
-		return solveSimulated(a, sp, b, part, views, opt)
-	case EngineGoroutine:
-		return solveGoroutine(a, sp, b, part, views, opt)
-	default:
-		return Result{}, fmt.Errorf("core: unknown engine %v", opt.Engine)
-	}
+	return SolveWithPlan(p, b, opt)
 }
 
 // checkResidual updates res with the current residual; it returns stop=true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,6 +35,10 @@ type FreeRunningOptions struct {
 	// checks; default max(numBlocks, 64).
 	CheckEvery   int64
 	InitialGuess []float64
+	// Ctx, if non-nil, stops the free-running workers as soon as it is
+	// done; the solve then returns the partial iterate and an error
+	// wrapping ErrCanceled. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // FreeRunningResult reports a free-running solve.
@@ -69,12 +74,11 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		return FreeRunningResult{}, fmt.Errorf("core: initial guess length %d does not match dimension %d",
 			len(opt.InitialGuess), a.Rows)
 	}
-	sp, err := sparse.NewSplitting(a)
+	plan, err := NewPlan(a, opt.BlockSize, false)
 	if err != nil {
 		return FreeRunningResult{}, err
 	}
-	part := sparse.NewBlockPartition(a.Rows, opt.BlockSize)
-	views := buildBlockViews(a, part)
+	sp, part, views := plan.sp, plan.part, plan.views
 	nb := part.NumBlocks()
 
 	workers := opt.Workers
@@ -98,19 +102,28 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
-
-	maxBlock := 0
-	for bi := 0; bi < nb; bi++ {
-		if s := part.Size(bi); s > maxBlock {
-			maxBlock = s
-		}
-	}
+	maxBlock := plan.maxBlock
 
 	var (
-		updates int64 // atomic: total block updates
-		stop    int32 // atomic: 1 once the monitor called the race
-		wg      sync.WaitGroup
+		updates  int64 // atomic: total block updates
+		stop     int32 // atomic: 1 once the monitor called the race
+		canceled int32 // atomic: 1 when Ctx ended the run
+		wg       sync.WaitGroup
 	)
+
+	// Context watcher: flips the same stop flag the monitor uses, so the
+	// workers exit at their next block boundary.
+	watcherDone := make(chan struct{})
+	if opt.Ctx != nil {
+		go func() {
+			select {
+			case <-opt.Ctx.Done():
+				atomic.StoreInt32(&canceled, 1)
+				atomic.StoreInt32(&stop, 1)
+			case <-watcherDone:
+			}
+		}()
+	}
 
 	// Workers: worker w owns blocks w, w+workers, w+2·workers, ... and
 	// sweeps them round-robin, satisfying fairness (condition 1) while the
@@ -178,6 +191,7 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 
 	wg.Wait()
 	atomic.StoreInt32(&stop, 1)
+	close(watcherDone)
 	<-monitorDone
 
 	xs := x.Snapshot()
@@ -191,5 +205,8 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		return res, fmt.Errorf("%w after %d block updates", ErrDiverged, res.BlockUpdates)
 	}
 	res.Converged = res.Residual <= opt.Tolerance
+	if !res.Converged && atomic.LoadInt32(&canceled) != 0 {
+		return res, fmt.Errorf("%w after %d block updates: %w", ErrCanceled, res.BlockUpdates, opt.Ctx.Err())
+	}
 	return res, nil
 }

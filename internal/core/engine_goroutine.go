@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"repro/internal/gpusim"
-	"repro/internal/sparse"
 )
 
 // solveGoroutine runs the truly asynchronous engine: every global iteration
@@ -15,8 +14,8 @@ import (
 // reproducing the chaotic interleavings of CUDA stream execution; only the
 // end of the global iteration is a barrier, so the iteration count and the
 // residual history remain well defined (the paper's measurement unit).
-func solveGoroutine(a *sparse.CSR, sp *sparse.Splitting, b []float64,
-	part sparse.BlockPartition, views []blockView, opt Options) (Result, error) {
+func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
+	a, sp, part, views := p.a, p.sp, p.part, p.views
 
 	n := a.Rows
 	start := make([]float64, n)
@@ -29,13 +28,7 @@ func solveGoroutine(a *sparse.CSR, sp *sparse.Splitting, b []float64,
 	res := Result{NumBlocks: nb}
 
 	omega := opt.Omega
-	var factors *blockFactors
-	if opt.ExactLocal {
-		var err error
-		if factors, err = buildBlockFactors(a, part, views); err != nil {
-			return Result{}, err
-		}
-	}
+	factors := p.factors
 	workers := opt.Workers
 	if workers > nb {
 		workers = nb
@@ -44,12 +37,7 @@ func solveGoroutine(a *sparse.CSR, sp *sparse.Splitting, b []float64,
 		workers = 1
 	}
 
-	maxBlock := 0
-	for bi := 0; bi < nb; bi++ {
-		if s := part.Size(bi); s > maxBlock {
-			maxBlock = s
-		}
-	}
+	maxBlock := p.maxBlock
 	// Persistent worker pool fed one global iteration at a time.
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -79,6 +67,11 @@ func solveGoroutine(a *sparse.CSR, sp *sparse.Splitting, b []float64,
 
 	xHost := make([]float64, n)
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
+		if err := ctxErr(opt.Ctx, iter-1); err != nil {
+			x.CopyInto(xHost)
+			res.X = xHost
+			return res, err
+		}
 		order := sched.Order(nb)
 		for _, bi := range order {
 			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {

@@ -36,8 +36,8 @@ const freshProb = 0.2
 //     the iteration-start snapshot outright (a maximally late dispatch).
 //
 // Everything is driven by opt.Seed, so runs are exactly reproducible.
-func solveSimulated(a *sparse.CSR, sp *sparse.Splitting, b []float64,
-	part sparse.BlockPartition, views []blockView, opt Options) (Result, error) {
+func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
+	a, sp, part, views := p.a, p.sp, p.part, p.views
 
 	n := a.Rows
 	x := make([]float64, n)
@@ -59,24 +59,15 @@ func solveSimulated(a *sparse.CSR, sp *sparse.Splitting, b []float64,
 	// wrote block q (0 = initial values). Used for shift accounting.
 	blockVersion := make([]int, nb)
 
-	maxBlock := 0
-	for bi := 0; bi < nb; bi++ {
-		if s := part.Size(bi); s > maxBlock {
-			maxBlock = s
-		}
-	}
-	scr := newKernelScratch(maxBlock)
+	scr := newKernelScratch(p.maxBlock)
 	mix := &mixReader{rng: raceRNG}
-
-	var factors *blockFactors
-	if opt.ExactLocal {
-		var err error
-		if factors, err = buildBlockFactors(a, part, views); err != nil {
-			return Result{}, err
-		}
-	}
+	factors := p.factors
 
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
+		if err := ctxErr(opt.Ctx, iter-1); err != nil {
+			res.X = x
+			return res, err
+		}
 		vecmath.Copy(iterSnap, x)
 		order := sched.Order(nb)
 		stale := sched.StaleMask(nb, opt.StaleProb)

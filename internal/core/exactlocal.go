@@ -22,6 +22,9 @@ type blockFactors struct {
 
 // buildBlockFactors extracts and factors every block's diagonal submatrix.
 // Returns an error if any submatrix is singular (cannot happen for SPD A).
+// This is the dominant setup cost of an exact-local solve,
+// O(numBlocks·blockSize³); it runs once in NewPlan — never per solve — so
+// a cached plan (internal/service) amortizes it across requests.
 func buildBlockFactors(a *sparse.CSR, part sparse.BlockPartition, views []blockView) (*blockFactors, error) {
 	bf := &blockFactors{lu: make([]*dense.LU, part.NumBlocks())}
 	for bi := range bf.lu {

@@ -18,6 +18,12 @@ type blockView struct {
 	nnzLocal, nnzOff int
 }
 
+// memoryBytes estimates the resident size of the view (plan accounting).
+func (v blockView) memoryBytes() int64 {
+	const w = 8
+	return 2*w*int64(len(v.inLo)) + 4*w // inLo+inHi plus the fixed fields
+}
+
 // buildBlockViews precomputes the views for every block of the partition.
 func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) []blockView {
 	views := make([]blockView, part.NumBlocks())

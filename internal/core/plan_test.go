@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mats"
+)
+
+func TestSolveWithPlanBitIdenticalToSolve(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.RecordHistory = true
+
+	cold, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(a, opt.BlockSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ { // plan reuse must not drift
+		warm, err := SolveWithPlan(plan, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.GlobalIterations != cold.GlobalIterations {
+			t.Fatalf("run %d: iterations %d != %d", run, warm.GlobalIterations, cold.GlobalIterations)
+		}
+		for i := range cold.X {
+			if warm.X[i] != cold.X[i] {
+				t.Fatalf("run %d: x[%d] = %v != %v (not bit-identical)", run, i, warm.X[i], cold.X[i])
+			}
+		}
+	}
+}
+
+func TestSolveWithPlanExactLocal(t *testing.T) {
+	a := mats.Poisson2D(15, 15)
+	b := onesRHS(a)
+	opt := defaultOpts()
+	opt.ExactLocal = true
+	opt.LocalIters = 0
+
+	plan, err := NewPlan(a, opt.BlockSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveWithPlan(plan, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g", res.Residual)
+	}
+	checkSolvesOnes(t, "exact plan", res.X, 1e-8)
+}
+
+func TestSolveWithPlanMismatch(t *testing.T) {
+	a := mats.Poisson2D(10, 10)
+	b := onesRHS(a)
+	plan, err := NewPlan(a, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := defaultOpts() // BlockSize 64 != 32
+	if _, err := SolveWithPlan(plan, b, opt); err == nil {
+		t.Fatal("expected BlockSize mismatch error")
+	}
+	opt.BlockSize = 0 // adopt the plan's block size
+	opt.ExactLocal = true
+	if _, err := SolveWithPlan(plan, b, opt); err == nil {
+		t.Fatal("expected ExactLocal mismatch error")
+	}
+}
+
+func TestPlanMemoryBytes(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	lean, err := NewPlan(a, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := NewPlan(a, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.MemoryBytes() <= 0 {
+		t.Fatalf("MemoryBytes = %d, want positive", lean.MemoryBytes())
+	}
+	if fat.MemoryBytes() <= lean.MemoryBytes() {
+		t.Fatalf("exact-local plan (%d B) should outweigh plain plan (%d B)",
+			fat.MemoryBytes(), lean.MemoryBytes())
+	}
+}
+
+func TestSolveCanceledBeforeStart(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := defaultOpts()
+	opt.Ctx = ctx
+	for _, engine := range []EngineKind{EngineSimulated, EngineGoroutine} {
+		opt.Engine = engine
+		_, err := Solve(a, b, opt)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v: err = %v, want ErrCanceled", engine, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled in chain", engine, err)
+		}
+	}
+}
+
+func TestSolveCanceledMidIteration(t *testing.T) {
+	a := mats.Poisson2D(30, 30)
+	b := onesRHS(a)
+	for _, engine := range []EngineKind{EngineSimulated, EngineGoroutine} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opt := defaultOpts()
+		opt.Engine = engine
+		opt.Tolerance = 0 // run the full budget unless canceled
+		opt.MaxGlobalIters = 100000
+		opt.Ctx = ctx
+		const stopAt = 3
+		opt.AfterIteration = func(iter int, x VectorAccess) {
+			if iter == stopAt {
+				cancel()
+			}
+		}
+		res, err := Solve(a, b, opt)
+		cancel()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v: err = %v, want ErrCanceled", engine, err)
+		}
+		// Cancellation is observed at the next iteration boundary.
+		if res.GlobalIterations != stopAt {
+			t.Fatalf("%v: stopped after %d iterations, want %d", engine, res.GlobalIterations, stopAt)
+		}
+		if len(res.X) != a.Rows {
+			t.Fatalf("%v: partial iterate missing (len %d)", engine, len(res.X))
+		}
+	}
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	a := mats.Poisson2D(30, 30)
+	b := onesRHS(a)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opt := defaultOpts()
+	opt.Tolerance = 0
+	opt.MaxGlobalIters = 1 << 30
+	opt.Ctx = ctx
+	_, err := Solve(a, b, opt)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestFreeRunningCanceled(t *testing.T) {
+	a := mats.Poisson2D(30, 30)
+	b := onesRHS(a)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := SolveFreeRunning(a, b, FreeRunningOptions{
+		BlockSize:       32,
+		LocalIters:      5,
+		MaxBlockUpdates: 1 << 40,
+		Tolerance:       1e-300, // unreachable: only the context can stop it
+		Workers:         4,
+		Ctx:             ctx,
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

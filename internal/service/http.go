@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// NewHandler returns the daemon's HTTP API:
+//
+//	POST   /v1/solve     submit a solve (SolveRequest JSON) → 202 + job ID
+//	GET    /v1/jobs      list all jobs
+//	GET    /v1/jobs/{id} job status, progress and (when finished) result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness probe
+//	GET    /statsz       queue depth, worker utilization, plan-cache rates
+//
+// Errors are JSON objects {"error": "..."} with conventional status codes
+// (400 invalid request, 404 unknown job, 429 queue full, 503 shutdown).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("service: reading request: %w", err))
+			return
+		}
+		var req SolveRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
+			return
+		}
+		j, err := s.Submit(req)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+j.ID())
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			JobID:     j.ID(),
+			State:     j.State().String(),
+			StatusURL: "/v1/jobs/" + j.ID(),
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, jobListResponse{Jobs: s.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := s.Cancel(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		j, err := s.Job(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// maxRequestBytes bounds a POST /v1/solve body (inline Matrix Market
+// payloads are the large case: ~30 bytes per nonzero).
+const maxRequestBytes = 256 << 20
+
+type submitResponse struct {
+	JobID     string `json:"job_id"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+}
+
+type jobListResponse struct {
+	Jobs []JobView `json:"jobs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// submitStatus maps Submit errors to HTTP status codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrCanceled):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone: nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,300 @@
+// Package service turns the block-asynchronous relaxation library into a
+// long-running solver service: a concurrency-safe per-matrix plan cache, a
+// bounded job queue with a worker pool and per-job cancellation, and an
+// HTTP JSON API (served by cmd/solverd).
+//
+// The paper's economics motivate the cache: once a subdomain's state is
+// resident, additional local iterations "almost come for free" (§4.3). The
+// host-side analogue is the per-matrix setup — block partition, block CSR
+// views, inverse diagonal, dense LU factors for exact local solves,
+// spectral pre-flight analysis — which a one-shot call rebuilds on every
+// solve. A daemon serving repeated solves of the same operators (time
+// stepping, parameter sweeps, preconditioner applications) pays it once.
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Fingerprint returns a stable content hash of the matrix (dimensions,
+// structure and values), used as the matrix part of a PlanKey. Two CSR
+// matrices have equal fingerprints iff they are entry-wise identical.
+func Fingerprint(a *sparse.CSR) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(a.Rows))
+	put(uint64(a.Cols))
+	for _, p := range a.RowPtr {
+		put(uint64(p))
+	}
+	for _, c := range a.ColIdx {
+		put(uint64(c))
+	}
+	for _, v := range a.Val {
+		put(math.Float64bits(v))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// PlanKey identifies one cacheable plan: a matrix (by fingerprint) plus
+// the option subset that shapes the precomputed artifacts. LocalIters and
+// Omega do not change the artifacts themselves but are part of the key so
+// a cached entry corresponds to exactly one solver configuration — the
+// unit /statsz reports on.
+type PlanKey struct {
+	Fingerprint string
+	BlockSize   int
+	LocalIters  int
+	ExactLocal  bool
+	Omega       float64
+}
+
+// String renders the key compactly for logs.
+func (k PlanKey) String() string {
+	return fmt.Sprintf("%s/bs%d/k%d/exact=%t/omega=%g",
+		k.Fingerprint, k.BlockSize, k.LocalIters, k.ExactLocal, k.Omega)
+}
+
+// Plan is one cached entry: the core solve plan plus the pre-flight
+// convergence analysis, with its estimated resident size.
+type Plan struct {
+	Key      PlanKey
+	Prepared *core.Plan
+	// Report is the paper's §2.2/§3.1 pre-flight analysis, computed once
+	// per plan when the cache's AnalyzeSpectrum option is set; the zero
+	// value otherwise. HasReport distinguishes the two.
+	Report    core.ConvergenceReport
+	HasReport bool
+	// Bytes is the estimated resident size used for LRU accounting.
+	Bytes int64
+}
+
+// CacheConfig configures a PlanCache. Zero values select the defaults.
+type CacheConfig struct {
+	// MaxEntries bounds the number of cached plans (default 64; negative
+	// means unlimited).
+	MaxEntries int
+	// MaxBytes bounds the summed Plan.Bytes (0 = unlimited). The most
+	// recently used entry is never evicted, so a single plan larger than
+	// MaxBytes still caches (and is evicted by the next insertion).
+	MaxBytes int64
+	// AnalyzeSpectrum computes a CheckConvergence report at plan build
+	// time (spectral estimation; skipped when false).
+	AnalyzeSpectrum bool
+	// SpectralSteps bounds the τ-estimation effort of the report
+	// (default 32).
+	SpectralSteps int
+	// Seed drives the spectral estimators (default 1).
+	Seed int64
+}
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 64
+	}
+	if c.SpectralSteps == 0 {
+		c.SpectralSteps = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PlanCache is a concurrency-safe LRU cache of solve plans. Concurrent
+// GetOrBuild calls for the same missing key coalesce into a single build
+// (the waiters count as hits: they reuse the builder's work).
+type PlanCache struct {
+	cfg CacheConfig
+
+	mu       sync.Mutex
+	ll       *list.List // of *Plan; front = most recently used
+	items    map[PlanKey]*list.Element
+	inflight map[PlanKey]*planBuild
+	bytes    int64
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+// planBuild coalesces concurrent builds of one key.
+type planBuild struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// NewPlanCache creates an empty cache.
+func NewPlanCache(cfg CacheConfig) *PlanCache {
+	return &PlanCache{
+		cfg:      cfg.withDefaults(),
+		ll:       list.New(),
+		items:    make(map[PlanKey]*list.Element),
+		inflight: make(map[PlanKey]*planBuild),
+	}
+}
+
+// KeyFor derives the PlanKey of a matrix/option pair, normalizing the
+// option fields the same way the solver does (Omega 0 means 1; LocalIters
+// is irrelevant under ExactLocal).
+func KeyFor(a *sparse.CSR, opt core.Options) PlanKey {
+	return keyWithFingerprint(Fingerprint(a), opt)
+}
+
+func keyWithFingerprint(fp string, opt core.Options) PlanKey {
+	omega := opt.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	localIters := opt.LocalIters
+	if opt.ExactLocal {
+		localIters = 0
+	}
+	return PlanKey{
+		Fingerprint: fp,
+		BlockSize:   opt.BlockSize,
+		LocalIters:  localIters,
+		ExactLocal:  opt.ExactLocal,
+		Omega:       omega,
+	}
+}
+
+// GetOrBuild returns the cached plan for key, building it from a on a
+// miss. hit reports whether the caller reused existing (or in-flight)
+// work. The matrix must match the key's fingerprint; this is the caller's
+// contract, not re-verified here (fingerprinting costs a full pass).
+func (c *PlanCache) GetOrBuild(a *sparse.CSR, key PlanKey) (plan *Plan, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*Plan)
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	if b, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-b.done
+		if b.err != nil {
+			return nil, true, b.err
+		}
+		return b.plan, true, nil
+	}
+	c.misses++
+	b := &planBuild{done: make(chan struct{})}
+	c.inflight[key] = b
+	c.mu.Unlock()
+
+	b.plan, b.err = c.build(a, key)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if b.err == nil {
+		c.insertLocked(key, b.plan)
+	}
+	c.mu.Unlock()
+	close(b.done)
+	return b.plan, false, b.err
+}
+
+// Get returns the cached plan without building, not counting a hit or
+// miss. Intended for introspection and tests.
+func (c *PlanCache) Get(key PlanKey) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Plan), true
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// build constructs the plan outside the cache lock.
+func (c *PlanCache) build(a *sparse.CSR, key PlanKey) (*Plan, error) {
+	prepared, err := core.NewPlan(a, key.BlockSize, key.ExactLocal)
+	if err != nil {
+		return nil, fmt.Errorf("service: building plan %v: %w", key, err)
+	}
+	p := &Plan{Key: key, Prepared: prepared, Bytes: prepared.MemoryBytes()}
+	if c.cfg.AnalyzeSpectrum {
+		// Best effort: a failed spectral estimate (e.g. power-method
+		// stagnation) must not block solving — the report is advisory.
+		if rep, err := core.CheckConvergence(a, c.cfg.SpectralSteps, c.cfg.Seed); err == nil {
+			p.Report, p.HasReport = rep, true
+		}
+	}
+	return p, nil
+}
+
+// insertLocked adds the freshly built plan and evicts from the LRU tail
+// while over budget. Callers hold c.mu.
+func (c *PlanCache) insertLocked(key PlanKey, p *Plan) {
+	if el, ok := c.items[key]; ok {
+		// A concurrent build already inserted the key (cannot happen with
+		// the in-flight coalescing, but stay safe): keep the existing one.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(p)
+	c.bytes += p.Bytes
+	for c.overBudgetLocked() && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		victim := back.Value.(*Plan)
+		c.ll.Remove(back)
+		delete(c.items, victim.Key)
+		c.bytes -= victim.Bytes
+		c.evicted++
+	}
+}
+
+func (c *PlanCache) overBudgetLocked() bool {
+	if c.cfg.MaxEntries > 0 && c.ll.Len() > c.cfg.MaxEntries {
+		return true
+	}
+	return c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes
+}

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors of the job queue.
+var (
+	// ErrQueueFull is reported by Submit when the bounded queue has no
+	// room; the HTTP layer maps it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown is reported by Submit after Shutdown started.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrUnknownJob is reported for job IDs the service never issued.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// JobState is the lifecycle state of a submitted solve.
+type JobState int
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = iota
+	// JobRunning: a worker is iterating.
+	JobRunning
+	// JobDone: finished successfully (converged, or ran its iteration
+	// budget with no tolerance set).
+	JobDone
+	// JobFailed: finished with an error (divergence, non-convergence
+	// against a tolerance, bad plan, ...).
+	JobFailed
+	// JobCanceled: canceled by the client or by its deadline, either
+	// while queued or mid-iteration.
+	JobCanceled
+)
+
+// String implements fmt.Stringer (the API's state vocabulary).
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Progress is a point-in-time snapshot of a running solve, updated at
+// every global-iteration barrier.
+type Progress struct {
+	// GlobalIteration is the last completed global iteration.
+	GlobalIteration int `json:"global_iteration"`
+	// Residual is ‖b−Ax‖₂ at that iteration (0 until first measured).
+	Residual float64 `json:"residual"`
+	// NumBlocks is the subdomain count of the plan (0 until planned).
+	NumBlocks int `json:"num_blocks,omitempty"`
+	// PlanHit reports whether the job's plan came from the cache.
+	PlanHit bool `json:"plan_hit"`
+}
+
+// JobResult is the outcome of a finished solve.
+type JobResult struct {
+	Converged        bool      `json:"converged"`
+	GlobalIterations int       `json:"global_iterations"`
+	Residual         float64   `json:"residual"`
+	History          []float64 `json:"history,omitempty"`
+	X                []float64 `json:"x,omitempty"`
+	NumBlocks        int       `json:"num_blocks"`
+	PlanHit          bool      `json:"plan_hit"`
+	WallTime         float64   `json:"wall_seconds"`
+	// Analysis echoes the plan's pre-flight convergence report when the
+	// cache computed one ("rho(B)=… asynchronous convergence guaranteed").
+	Analysis string `json:"analysis,omitempty"`
+}
+
+// JobView is an immutable snapshot of a job, safe to serialize.
+type JobView struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"`
+	Progress Progress   `json:"progress"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  time.Time  `json:"started,omitzero"`
+	Finished time.Time  `json:"finished,omitzero"`
+}
+
+// Job is one submitted solve moving through the queue. All mutation goes
+// through its methods; concurrent Snapshot/Cancel are safe.
+type Job struct {
+	id  string
+	req SolveRequest
+
+	mu       sync.Mutex
+	state    JobState
+	progress Progress
+	result   *JobResult
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // set while running
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func newJob(id string, req SolveRequest) *Job {
+	return &Job{id: id, req: req, created: time.Now(), done: make(chan struct{})}
+}
+
+// ID returns the service-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the submitted request (value copy).
+func (j *Job) Request() SolveRequest { return j.req }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the terminal error (nil while non-terminal or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the terminal result, or nil.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Snapshot returns a serializable view of the job.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		State:    j.state.String(),
+		Progress: j.progress,
+		Result:   j.result,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// start transitions Queued → Running and installs the cancel function.
+// It returns false when the job was canceled while queued (the worker
+// then skips it).
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// setProgress publishes an iteration snapshot (no-op once terminal).
+func (j *Job) setProgress(p Progress) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.progress = p
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state. canceled selects
+// JobCanceled over JobFailed for non-nil errors.
+func (j *Job) finish(result *JobResult, err error, canceled bool) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.result = result
+	j.err = err
+	switch {
+	case canceled:
+		j.state = JobCanceled
+	case err != nil:
+		j.state = JobFailed
+	default:
+		j.state = JobDone
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.doneOnce.Do(func() { close(j.done) })
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately; a
+// running job has its context canceled and goes terminal at the engine's
+// next global-iteration boundary. Canceling a terminal job is a no-op.
+func (j *Job) Cancel(reason error) {
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.err = reason
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.doneOnce.Do(func() { close(j.done) })
+	case JobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+}
+
+// Queue is a bounded job queue drained by a fixed worker pool.
+type Queue struct {
+	ch      chan *Job
+	run     func(*Job)
+	workers int
+	busy    atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewQueue starts workers goroutines draining a queue of the given depth;
+// each dequeued job is handed to run.
+func NewQueue(depth, workers int, run func(*Job)) *Queue {
+	if depth <= 0 {
+		depth = 64
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	q := &Queue{ch: make(chan *Job, depth), run: run, workers: workers}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for j := range q.ch {
+				q.busy.Add(1)
+				q.run(j)
+				q.busy.Add(-1)
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues a job without blocking; it reports ErrQueueFull when
+// the queue is at capacity and ErrShuttingDown after Close.
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting jobs; queued jobs still run.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+}
+
+// Drain closes the queue and blocks until every accepted job finished.
+func (q *Queue) Drain() {
+	q.Close()
+	q.wg.Wait()
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Capacity returns the queue bound.
+func (q *Queue) Capacity() int { return cap(q.ch) }
+
+// Workers returns the pool size.
+func (q *Queue) Workers() int { return q.workers }
+
+// Busy returns the number of workers currently running a job.
+func (q *Queue) Busy() int { return int(q.busy.Load()) }

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// mmPayload renders a matrix as an inline Matrix Market payload.
+func mmPayload(t *testing.T, a *sparse.CSR) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := sparse.WriteMatrixMarket(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// quickRequest is a small, fast-converging solve.
+func quickRequest(t *testing.T) SolveRequest {
+	return SolveRequest{
+		MatrixMarket:   mmPayload(t, mats.Poisson2D(16, 16)),
+		BlockSize:      32,
+		LocalIters:     5,
+		MaxGlobalIters: 800,
+		Tolerance:      1e-10,
+		RecordHistory:  true,
+	}
+}
+
+// slowRequest runs effectively forever until canceled.
+func slowRequest(t *testing.T) SolveRequest {
+	return SolveRequest{
+		MatrixMarket:   mmPayload(t, mats.Poisson2D(40, 40)),
+		BlockSize:      64,
+		LocalIters:     5,
+		MaxGlobalIters: 1 << 30,
+		Tolerance:      0, // no stopping test: only cancellation ends it
+	}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish (state %v)", j.ID(), j.State())
+	}
+}
+
+func TestServiceSolveLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.State(); st != JobDone {
+		t.Fatalf("state = %v (%v), want done", st, j.Err())
+	}
+	res := j.Result()
+	if res == nil || !res.Converged {
+		t.Fatalf("result = %+v, want converged", res)
+	}
+	if res.PlanHit {
+		t.Fatal("first solve of a matrix cannot be a plan hit")
+	}
+	if len(res.History) == 0 {
+		t.Fatal("requested history missing")
+	}
+	v := j.Snapshot()
+	if v.State != "done" || v.Progress.GlobalIteration == 0 {
+		t.Fatalf("snapshot = %+v, want done with progress", v)
+	}
+}
+
+func TestServiceWarmSolveHitsPlanCache(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	req := quickRequest(t)
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	j2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+
+	if j1.Result().PlanHit {
+		t.Fatal("cold solve must miss")
+	}
+	if !j2.Result().PlanHit {
+		t.Fatal("warm solve must hit the plan cache")
+	}
+	st := s.Stats()
+	if st.PlanCache.Hits != 1 || st.PlanCache.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st.PlanCache)
+	}
+	// Warm and cold solves of the same deterministic config agree exactly.
+	if j1.Result().Residual != j2.Result().Residual ||
+		j1.Result().GlobalIterations != j2.Result().GlobalIterations {
+		t.Fatalf("warm result %+v differs from cold %+v", j2.Result(), j1.Result())
+	}
+}
+
+func TestServiceCancelRunningJob(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is demonstrably iterating.
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Snapshot().Progress.GlobalIteration < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed (state %v, err %v)", j.State(), j.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	atCancel := j.Snapshot().Progress.GlobalIteration
+	waitDone(t, j)
+
+	if st := j.State(); st != JobCanceled {
+		t.Fatalf("state = %v, want canceled", st)
+	}
+	if err := j.Err(); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want core.ErrCanceled", err)
+	}
+	// The engine observes cancellation at the next global-iteration
+	// boundary: at most one more iteration may complete after Cancel.
+	final := j.Snapshot().Progress.GlobalIteration
+	if final > atCancel+1 {
+		t.Fatalf("ran %d iterations past cancellation (at %d, final %d)",
+			final-atCancel, atCancel, final)
+	}
+	if s.Stats().Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1", s.Stats().Canceled)
+	}
+}
+
+func TestServiceCancelQueuedJob(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	blocker, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, queued)
+	if st := queued.State(); st != JobCanceled {
+		t.Fatalf("queued job state = %v, want canceled", st)
+	}
+	if err := s.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, blocker)
+}
+
+func TestServiceQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Shutdown(context.Background())
+
+	// One running + one queued fill the service.
+	j1, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick up j1 so the queue slot frees.
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() != JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j2, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit(slowRequest(t))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		j.Cancel(core.ErrCanceled)
+		waitDone(t, j)
+	}
+}
+
+func TestServiceNotConvergedWrapsSentinel(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Shutdown(context.Background())
+
+	req := quickRequest(t)
+	req.MaxGlobalIters = 2 // far too few for 1e-10
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.State(); st != JobFailed {
+		t.Fatalf("state = %v, want failed", st)
+	}
+	if err := j.Err(); !errors.Is(err, core.ErrNotConverged) {
+		t.Fatalf("err = %v, want core.ErrNotConverged", err)
+	}
+	if j.Result() == nil {
+		t.Fatal("partial result should accompany non-convergence")
+	}
+}
+
+func TestServiceJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Shutdown(context.Background())
+
+	req := slowRequest(t)
+	req.TimeoutSeconds = 0.05
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.State(); st != JobCanceled {
+		t.Fatalf("state = %v (err %v), want canceled on deadline", st, j.Err())
+	}
+	if err := j.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	cases := []SolveRequest{
+		{},                                    // no matrix
+		{Matrix: "fv1", MatrixMarket: "x"},    // both sources
+		{Matrix: "no-such-matrix", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1},
+		{Matrix: "fv1", LocalIters: 1, MaxGlobalIters: 1},                   // no block size
+		{Matrix: "fv1", BlockSize: 8, MaxGlobalIters: 1},                    // no local iters
+		{Matrix: "fv1", BlockSize: 8, LocalIters: 1},                        // no budget
+		{Matrix: "fv1", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1, Engine: "cuda"},
+		{MatrixMarket: "not a matrix", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1},
+	}
+	for i, req := range cases {
+		if _, err := s.Submit(req); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestServiceShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(quickRequest(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if st := j.State(); st != JobDone {
+			t.Fatalf("job %s state = %v after drain, want done", j.ID(), st)
+		}
+	}
+	if _, err := s.Submit(quickRequest(t)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestServiceShutdownDeadlineCancelsInFlight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	j, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("expected deadline error from bounded shutdown")
+	}
+	if st := j.State(); st != JobCanceled {
+		t.Fatalf("in-flight job state = %v, want canceled", st)
+	}
+}
+
+func TestServiceNamedMatrixCachedFingerprint(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	req := SolveRequest{
+		Matrix:         "Trefethen_2000",
+		BlockSize:      448,
+		LocalIters:     5,
+		MaxGlobalIters: 100,
+		Tolerance:      1e-10,
+	}
+	a1, fp1, err := s.resolveMatrix(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, fp2, err := s.resolveMatrix(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || fp1 != fp2 {
+		t.Fatal("named matrix should be generated and fingerprinted once")
+	}
+}

@@ -1,0 +1,439 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// SolveRequest is one solve submission (the POST /v1/solve body). Exactly
+// one of Matrix (a generated paper-matrix name, see mats.Names) or
+// MatrixMarket (an inline Matrix Market payload) selects the system.
+type SolveRequest struct {
+	Matrix       string `json:"matrix,omitempty"`
+	MatrixMarket string `json:"matrix_market,omitempty"`
+	// RHS overrides the right-hand side; default is b = A·1 (the paper's
+	// convention, exact solution = ones).
+	RHS []float64 `json:"rhs,omitempty"`
+
+	BlockSize      int     `json:"block_size"`
+	LocalIters     int     `json:"local_iters,omitempty"`
+	ExactLocal     bool    `json:"exact_local,omitempty"`
+	Omega          float64 `json:"omega,omitempty"`
+	MaxGlobalIters int     `json:"max_global_iters"`
+	Tolerance      float64 `json:"tolerance,omitempty"`
+	// Engine is "simulated" (default) or "goroutine".
+	Engine string `json:"engine,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// TimeoutSeconds bounds the solve's wall time (0: service default).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// IncludeSolution returns the iterate X in the job result.
+	IncludeSolution bool `json:"include_solution,omitempty"`
+	// RecordHistory returns the per-iteration residual history.
+	RecordHistory bool `json:"record_history,omitempty"`
+}
+
+// engineKind parses the request's engine name.
+func (r SolveRequest) engineKind() (core.EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(r.Engine)) {
+	case "", "simulated":
+		return core.EngineSimulated, nil
+	case "goroutine":
+		return core.EngineGoroutine, nil
+	default:
+		return 0, fmt.Errorf("service: unknown engine %q (want \"simulated\" or \"goroutine\")", r.Engine)
+	}
+}
+
+// Config configures a Service. Zero values select the defaults.
+type Config struct {
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64).
+	QueueDepth int
+	// Workers is the solver worker-pool size (default 4).
+	Workers int
+	// DefaultTimeout bounds jobs that set no TimeoutSeconds (0: none).
+	DefaultTimeout time.Duration
+	// Cache configures the plan cache.
+	Cache CacheConfig
+	// MaxMatrixRows rejects oversized inline matrices (default 1<<20;
+	// negative: unlimited).
+	MaxMatrixRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.MaxMatrixRows == 0 {
+		c.MaxMatrixRows = 1 << 20
+	}
+	return c
+}
+
+// Stats is the /statsz payload: queue, worker and plan-cache counters.
+type Stats struct {
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCapacity int        `json:"queue_capacity"`
+	Workers       int        `json:"workers"`
+	BusyWorkers   int        `json:"busy_workers"`
+	Submitted     uint64     `json:"jobs_submitted"`
+	Done          uint64     `json:"jobs_done"`
+	Failed        uint64     `json:"jobs_failed"`
+	Canceled      uint64     `json:"jobs_canceled"`
+	PlanCache     CacheStats `json:"plan_cache"`
+	PlanHitRate   float64    `json:"plan_hit_rate"`
+}
+
+// Service is the long-running solver: a plan cache, a bounded job queue
+// and a registry of every job it accepted.
+type Service struct {
+	cfg   Config
+	cache *PlanCache
+	queue *Queue
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for listing
+	mats    map[string]*namedMatrix
+	closed  bool
+	nextID  atomic.Uint64
+	submits atomic.Uint64
+	dones   atomic.Uint64
+	fails   atomic.Uint64
+	cancels atomic.Uint64
+}
+
+// namedMatrix caches a generated paper matrix and its fingerprint so
+// repeated requests by name skip both generation and hashing.
+type namedMatrix struct {
+	a  *sparse.CSR
+	fp string
+}
+
+// New creates a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: NewPlanCache(cfg.Cache),
+		jobs:  make(map[string]*Job),
+		mats:  make(map[string]*namedMatrix),
+	}
+	s.queue = NewQueue(cfg.QueueDepth, cfg.Workers, s.runJob)
+	return s
+}
+
+// Cache exposes the plan cache (introspection and tests).
+func (s *Service) Cache() *PlanCache { return s.cache }
+
+// Submit validates the request, resolves its matrix and enqueues a job.
+// It reports ErrQueueFull without blocking when the queue is at capacity
+// and ErrShuttingDown after Shutdown started.
+func (s *Service) Submit(req SolveRequest) (*Job, error) {
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	if _, _, err := s.resolveMatrix(req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	j := newJob(id, req)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.queue.Submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.submits.Add(1)
+	return j, nil
+}
+
+func (s *Service) validate(req SolveRequest) error {
+	if (req.Matrix == "") == (req.MatrixMarket == "") {
+		return errors.New("service: exactly one of matrix or matrix_market must be set")
+	}
+	if req.BlockSize <= 0 {
+		return fmt.Errorf("service: block_size must be positive, have %d", req.BlockSize)
+	}
+	if req.MaxGlobalIters <= 0 {
+		return fmt.Errorf("service: max_global_iters must be positive, have %d", req.MaxGlobalIters)
+	}
+	if req.LocalIters <= 0 && !req.ExactLocal {
+		return fmt.Errorf("service: local_iters must be positive (or set exact_local), have %d", req.LocalIters)
+	}
+	if req.TimeoutSeconds < 0 {
+		return fmt.Errorf("service: timeout_seconds must be nonnegative, have %g", req.TimeoutSeconds)
+	}
+	if _, err := req.engineKind(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resolveMatrix returns the system matrix and its fingerprint. Named
+// matrices are generated and fingerprinted once, then served from a
+// per-service cache; inline payloads are parsed and hashed per call.
+func (s *Service) resolveMatrix(req SolveRequest) (*sparse.CSR, string, error) {
+	if req.Matrix != "" {
+		s.mu.Lock()
+		nm, ok := s.mats[req.Matrix]
+		s.mu.Unlock()
+		if ok {
+			return nm.a, nm.fp, nil
+		}
+		tm, err := mats.Generate(req.Matrix)
+		if err != nil {
+			return nil, "", fmt.Errorf("service: %w", err)
+		}
+		nm = &namedMatrix{a: tm.A, fp: Fingerprint(tm.A)}
+		s.mu.Lock()
+		if prev, ok := s.mats[req.Matrix]; ok {
+			nm = prev // concurrent generation: keep the first
+		} else {
+			s.mats[req.Matrix] = nm
+		}
+		s.mu.Unlock()
+		return nm.a, nm.fp, nil
+	}
+	a, err := sparse.ReadMatrixMarket(strings.NewReader(req.MatrixMarket))
+	if err != nil {
+		return nil, "", fmt.Errorf("service: parsing matrix_market payload: %w", err)
+	}
+	if s.cfg.MaxMatrixRows > 0 && a.Rows > s.cfg.MaxMatrixRows {
+		return nil, "", fmt.Errorf("service: inline matrix has %d rows, limit %d", a.Rows, s.cfg.MaxMatrixRows)
+	}
+	if a.Rows != a.Cols {
+		return nil, "", fmt.Errorf("service: matrix must be square, have %dx%d", a.Rows, a.Cols)
+	}
+	return a, Fingerprint(a), nil
+}
+
+// Job returns a job by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs lists snapshots of every accepted job in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.Snapshot()
+	}
+	return views
+}
+
+// Cancel cancels a job by ID (see Job.Cancel for the semantics).
+func (s *Service) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel(fmt.Errorf("%w: canceled by client", core.ErrCanceled))
+	return nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	cs := s.cache.Stats()
+	return Stats{
+		QueueDepth:    s.queue.Depth(),
+		QueueCapacity: s.queue.Capacity(),
+		Workers:       s.queue.Workers(),
+		BusyWorkers:   s.queue.Busy(),
+		Submitted:     s.submits.Load(),
+		Done:          s.dones.Load(),
+		Failed:        s.fails.Load(),
+		Canceled:      s.cancels.Load(),
+		PlanCache:     cs,
+		PlanHitRate:   cs.HitRate(),
+	}
+}
+
+// Shutdown stops accepting jobs and drains the queue: queued and running
+// solves finish normally. If ctx expires first, the remaining jobs are
+// canceled (taking effect within one global iteration) and Shutdown
+// returns ctx's error once they unwind.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.queue.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		jobs := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			if !j.State().Terminal() {
+				j.Cancel(fmt.Errorf("%w: service shutdown", core.ErrCanceled))
+			}
+		}
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// runJob executes one dequeued job on a worker: resolve the matrix, get
+// or build the plan (the cache hit is what a warm daemon buys), then
+// iterate with the job's context threaded into the engine.
+func (s *Service) runJob(j *Job) {
+	req := j.req
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	if !j.start(cancel) {
+		// Canceled while queued.
+		s.cancels.Add(1)
+		return
+	}
+	started := time.Now()
+
+	a, fp, err := s.resolveMatrix(req)
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	engine, err := req.engineKind()
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	opt := core.Options{
+		BlockSize:      req.BlockSize,
+		LocalIters:     req.LocalIters,
+		ExactLocal:     req.ExactLocal,
+		Omega:          req.Omega,
+		MaxGlobalIters: req.MaxGlobalIters,
+		Tolerance:      req.Tolerance,
+		RecordHistory:  req.RecordHistory,
+		Engine:         engine,
+		Seed:           req.Seed,
+		Ctx:            ctx,
+	}
+
+	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+
+	b := req.RHS
+	if b == nil {
+		b = make([]float64, a.Rows)
+		a.MulVec(b, vecmath.Ones(a.Cols))
+	} else if len(b) != a.Rows {
+		s.finishJob(j, nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows))
+		return
+	}
+
+	nb := plan.Prepared.NumBlocks()
+	j.setProgress(Progress{NumBlocks: nb, PlanHit: hit})
+	scratch := make([]float64, a.Rows)
+	opt.AfterIteration = func(iter int, x core.VectorAccess) {
+		for i := 0; i < x.Len(); i++ {
+			scratch[i] = x.Get(i)
+		}
+		j.setProgress(Progress{
+			GlobalIteration: iter,
+			Residual:        solver.Residual(a, b, scratch),
+			NumBlocks:       nb,
+			PlanHit:         hit,
+		})
+	}
+
+	res, err := core.SolveWithPlan(plan.Prepared, b, opt)
+	result := &JobResult{
+		Converged:        res.Converged,
+		GlobalIterations: res.GlobalIterations,
+		Residual:         res.Residual,
+		NumBlocks:        res.NumBlocks,
+		PlanHit:          hit,
+		WallTime:         time.Since(started).Seconds(),
+	}
+	if req.RecordHistory {
+		result.History = res.History
+	}
+	if req.IncludeSolution {
+		result.X = res.X
+	}
+	if plan.HasReport {
+		result.Analysis = plan.Report.String()
+	}
+	if err == nil && req.Tolerance > 0 && !res.Converged {
+		err = fmt.Errorf("service: %w after %d global iterations (residual %.3e, tolerance %.3e)",
+			core.ErrNotConverged, res.GlobalIterations, res.Residual, req.Tolerance)
+	}
+	s.finishJob(j, result, err)
+}
+
+// finishJob records the terminal state and bumps the outcome counters.
+func (s *Service) finishJob(j *Job, result *JobResult, err error) {
+	canceled := err != nil && errors.Is(err, core.ErrCanceled)
+	j.finish(result, err, canceled)
+	switch {
+	case canceled:
+		s.cancels.Add(1)
+	case err != nil:
+		s.fails.Add(1)
+	default:
+		s.dones.Add(1)
+	}
+}

@@ -37,6 +37,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -140,6 +142,41 @@ const (
 func SolveAsync(a *CSR, b []float64, opt AsyncOptions) (AsyncResult, error) {
 	return core.Solve(a, b, opt)
 }
+
+// SolveAsyncCtx is SolveAsync with a context: the solve returns early with
+// an error wrapping ErrSolveCanceled (and ctx's own error) once ctx is
+// done, checked at every global-iteration boundary.
+func SolveAsyncCtx(ctx context.Context, a *CSR, b []float64, opt AsyncOptions) (AsyncResult, error) {
+	opt.Ctx = ctx
+	return core.Solve(a, b, opt)
+}
+
+// AsyncPlan holds the precomputed per-matrix solve state (block partition,
+// block views, inverse diagonal, subdomain LU factors); see core.Plan.
+// Long-running callers build it once with NewAsyncPlan and amortize the
+// setup across many SolveAsyncWithPlan calls — internal/service's plan
+// cache is built on exactly this split.
+type AsyncPlan = core.Plan
+
+// NewAsyncPlan precomputes the solve setup for the given block size.
+func NewAsyncPlan(a *CSR, blockSize int, exactLocal bool) (*AsyncPlan, error) {
+	return core.NewPlan(a, blockSize, exactLocal)
+}
+
+// SolveAsyncWithPlan runs async-(k) relaxation reusing a prepared plan.
+func SolveAsyncWithPlan(p *AsyncPlan, b []float64, opt AsyncOptions) (AsyncResult, error) {
+	return core.SolveWithPlan(p, b, opt)
+}
+
+// Sentinel errors of the asynchronous engines, re-exported for errors.Is.
+var (
+	// ErrSolveDiverged marks a non-finite residual (ρ(|B|) > 1 systems).
+	ErrSolveDiverged = core.ErrDiverged
+	// ErrSolveCanceled marks an early return due to a done context.
+	ErrSolveCanceled = core.ErrCanceled
+	// ErrSolveNotConverged marks an exhausted iteration budget.
+	ErrSolveNotConverged = core.ErrNotConverged
+)
 
 // SolveFreeRunning runs the fully asynchronous (barrier-free) extension.
 func SolveFreeRunning(a *CSR, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
