@@ -43,6 +43,10 @@ func main() {
 		analyze      = flag.Bool("analyze", true, "compute the spectral pre-flight report per plan")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job wall-time bound (0: none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain bound before canceling jobs")
+		maxAttempts  = flag.Int("max-attempts", 1, "runs per job before a divergent/non-converged failure is terminal")
+		retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt)")
+		retryMax     = flag.Duration("retry-max", 5*time.Second, "backoff cap")
+		chaos        = flag.Bool("chaos", false, "admit chaos-injection requests (X-Chaos header / chaos JSON block)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,10 @@ func main() {
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		DefaultTimeout: *jobTimeout,
+		MaxAttempts:    *maxAttempts,
+		RetryBaseDelay: *retryBase,
+		RetryMaxDelay:  *retryMax,
+		EnableChaos:    *chaos,
 		Cache: service.CacheConfig{
 			MaxEntries:      *cacheEntries,
 			MaxBytes:        *cacheBytes,

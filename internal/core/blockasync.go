@@ -36,7 +36,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"repro/internal/sched"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 )
@@ -102,9 +104,15 @@ type Options struct {
 
 	// Engine selects the execution engine (default EngineSimulated).
 	Engine EngineKind
-	// Seed drives the chaotic scheduler. Runs with equal seeds are
-	// identical under EngineSimulated; under EngineGoroutine the seed only
-	// shapes dispatch order, not the race outcomes.
+	// Seed drives the chaotic scheduler. Runs with equal non-zero seeds
+	// are identical under EngineSimulated; under EngineGoroutine the seed
+	// only shapes dispatch order, not the race outcomes. Seed 0 (the zero
+	// value) selects a distinct per-run stream derived from a
+	// process-local counter — it does NOT mean "seed with 0", because
+	// every caller leaving Seed unset would then silently share one
+	// stream. Callers that need reproducibility must set a non-zero seed
+	// (or replay a recorded schedule, whose metadata retains the derived
+	// seed).
 	Seed int64
 	// Recurrence in [0,1] is the scheduler's pattern persistence (§4.1
 	// observes GPU scheduling follows a recurring pattern). Default 0.8.
@@ -131,12 +139,47 @@ type Options struct {
 	// this hook to inject *silent* errors (§4.5: undetected corruption);
 	// monitoring code can use it to snoop on convergence.
 	AfterIteration func(iter int, x VectorAccess)
+
+	// Record, if non-nil, captures the executed block schedule: every
+	// engine appends one sched.Event per block execution in commit order.
+	// Take Record.Schedule() after the solve returns.
+	Record *sched.Recorder
+	// Replay, if non-nil, drives the engine along a previously captured
+	// schedule instead of the seeded chaotic scheduler. The simulated
+	// engine reproduces a simulated-engine capture bit-for-bit (order,
+	// stale masks and race coin flips are all restored); captures from
+	// the concurrent engines replay as a canonical deterministic
+	// execution of the recorded block sequence. SkipBlock and Chaos are
+	// ignored during replay (their effects are already baked into the
+	// recorded stream).
+	Replay *sched.Schedule
+	// Chaos, if non-nil, injects adversarial scheduling perturbations
+	// (delays, dispatch reordering, forced stale reads) into the engines.
+	// Package fault provides a seeded implementation; internal/service
+	// exposes it behind a debug flag.
+	Chaos *ChaosHooks
+}
+
+// runSeedCounter backs the per-run stream derivation for Seed == 0.
+var runSeedCounter atomic.Int64
+
+// nextRunSeed derives a distinct seed for a run that left Options.Seed at
+// the zero value: a splitmix64-style golden-ratio scramble of a
+// process-local counter. The result is never 0, so a derived seed is
+// always distinguishable from "unset".
+func nextRunSeed() int64 {
+	z := uint64(runSeedCounter.Add(1)) * 0x9E3779B97F4A7C15
+	z ^= z >> 31
+	return int64(z | 1)
 }
 
 // withDefaults fills zero-value optional fields.
 func (o Options) withDefaults() Options {
 	if o.Omega == 0 {
 		o.Omega = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = nextRunSeed()
 	}
 	if o.Recurrence == 0 {
 		o.Recurrence = 0.8

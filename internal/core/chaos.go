@@ -1,0 +1,47 @@
+package core
+
+// ChaosHooks injects adversarial scheduling perturbations into the
+// engines. The asynchronous convergence theory (Strikwerda's ρ(|B|) < 1
+// condition in CheckConvergence) quantifies over *all* admissible update
+// orderings, but the engines' natural chaos only samples a narrow
+// neighbourhood of the hardware's recurring pattern — chaos hooks widen
+// the sampled ordering space on purpose. All hooks may be nil; each is
+// ignored by engines it does not apply to. Hooks must be safe for
+// concurrent use (the goroutine and free-running engines call Delay from
+// multiple workers).
+//
+// Package fault provides a seeded implementation (fault.Chaos);
+// internal/service exposes it per job behind a debug flag.
+type ChaosHooks struct {
+	// Delay runs before each block execution and may sleep or yield to
+	// perturb the interleaving (concurrent engines) or just observe the
+	// execution (simulated engine).
+	Delay func(iter, block int)
+	// Reorder may permute one global iteration's dispatch order in place
+	// (barrier engines only — the free-running engine has no dispatch
+	// order to permute).
+	Reorder func(iter int, order []int)
+	// StaleRead forces a block to read the iteration-start snapshot — a
+	// maximally late dispatch (simulated engine only; the concurrent
+	// engines' staleness is physical, not modeled).
+	StaleRead func(iter, block int) bool
+}
+
+// delay invokes the Delay hook if configured.
+func (c *ChaosHooks) delay(iter, block int) {
+	if c != nil && c.Delay != nil {
+		c.Delay(iter, block)
+	}
+}
+
+// reorder invokes the Reorder hook if configured.
+func (c *ChaosHooks) reorder(iter int, order []int) {
+	if c != nil && c.Reorder != nil {
+		c.Reorder(iter, order)
+	}
+}
+
+// staleRead reports whether the StaleRead hook forces a snapshot read.
+func (c *ChaosHooks) staleRead(iter, block int) bool {
+	return c != nil && c.StaleRead != nil && c.StaleRead(iter, block)
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
 )
@@ -39,6 +40,23 @@ type FreeRunningOptions struct {
 	// done; the solve then returns the partial iterate and an error
 	// wrapping ErrCanceled. A nil Ctx never cancels.
 	Ctx context.Context
+
+	// Record, if non-nil, captures the executed block schedule: each
+	// worker appends one sched.Event per block sweep, the recorder ring's
+	// slot reservation defining the commit order.
+	Record *sched.Recorder
+	// Replay, if non-nil, re-executes a captured schedule
+	// deterministically: the capture's worker count is re-created and a
+	// turn gate (the injected yield point) sequences the workers through
+	// the recorded event order, each block executing exclusively. Any two
+	// replays of one schedule produce bit-identical iterates.
+	// MaxBlockUpdates and the convergence monitor are ignored — the
+	// schedule itself bounds the work.
+	Replay *sched.Schedule
+	// Chaos, if non-nil, injects delays before block sweeps (only the
+	// Delay hook applies: a free-running run has no dispatch order to
+	// reorder and its staleness is physical). Ignored during replay.
+	Chaos *ChaosHooks
 }
 
 // FreeRunningResult reports a free-running solve.
@@ -64,10 +82,12 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		return FreeRunningResult{}, fmt.Errorf("core: BlockSize and LocalIters must be positive, have %d, %d",
 			opt.BlockSize, opt.LocalIters)
 	}
-	if opt.MaxBlockUpdates <= 0 {
+	if opt.MaxBlockUpdates <= 0 && opt.Replay == nil {
 		return FreeRunningResult{}, fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", opt.MaxBlockUpdates)
 	}
-	if opt.Tolerance <= 0 {
+	if opt.Tolerance <= 0 && opt.Replay == nil {
+		// A live free-running solve needs a stopping rule; a replay is
+		// bounded by its schedule, so the tolerance is optional there.
 		return FreeRunningResult{}, fmt.Errorf("core: free-running solve requires a positive Tolerance")
 	}
 	if opt.InitialGuess != nil && len(opt.InitialGuess) != a.Rows {
@@ -78,6 +98,9 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	if err != nil {
 		return FreeRunningResult{}, err
 	}
+	if opt.Replay != nil {
+		return replayFreeRunning(plan, b, opt)
+	}
 	sp, part, views := plan.sp, plan.part, plan.views
 	nb := part.NumBlocks()
 
@@ -87,6 +110,15 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	}
 	if workers > nb {
 		workers = nb
+	}
+	if opt.Record != nil {
+		opt.Record.SetMeta(sched.Meta{
+			Engine:     "freerunning",
+			NumBlocks:  nb,
+			Workers:    workers,
+			Omega:      1,
+			LocalIters: opt.LocalIters,
+		})
 	}
 	checkEvery := opt.CheckEvery
 	if checkEvery <= 0 {
@@ -133,8 +165,10 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		go func(w int) {
 			defer wg.Done()
 			scr := newKernelScratch(maxBlock)
+			round := 0
 			for atomic.LoadInt32(&stop) == 0 {
 				progressed := false
+				round++
 				for bi := w; bi < nb; bi += workers {
 					if atomic.LoadInt32(&stop) != 0 {
 						return
@@ -144,7 +178,14 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 						atomic.StoreInt32(&stop, 1)
 						return
 					}
+					opt.Chaos.delay(round, bi)
 					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, 1, x, x, x, scr)
+					if opt.Record != nil {
+						opt.Record.Append(sched.Event{
+							Epoch: int32(round), Block: int32(bi),
+							Sweeps: int32(opt.LocalIters), Worker: int16(w),
+						})
+					}
 					progressed = true
 					// Yield between block sweeps. On hosts with fewer
 					// cores than workers, a tight loop would otherwise
@@ -207,6 +248,103 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	res.Converged = res.Residual <= opt.Tolerance
 	if !res.Converged && atomic.LoadInt32(&canceled) != 0 {
 		return res, fmt.Errorf("%w after %d block updates: %w", ErrCanceled, res.BlockUpdates, opt.Ctx.Err())
+	}
+	return res, nil
+}
+
+// replayFreeRunning re-executes a captured schedule with the capture's
+// worker topology. A sched.Gate hands out turns in recorded commit order:
+// each worker blocks until the head event carries its worker index,
+// executes the block exclusively, and passes the turn. Every off-block
+// read therefore observes exactly the writes of the recorded
+// predecessors, making the replay fully deterministic — and the gate's
+// mutex gives the executions happens-before edges, so replays are clean
+// under the race detector even though the live engine races by design.
+func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
+	a, sp, part, views := plan.a, plan.sp, plan.part, plan.views
+	nb := part.NumBlocks()
+	s := opt.Replay
+	if err := s.Validate(nb); err != nil {
+		return FreeRunningResult{}, err
+	}
+	workers := s.Meta.Workers
+	if workers < 1 {
+		return FreeRunningResult{}, fmt.Errorf("core: replay schedule records %d workers; need at least 1", workers)
+	}
+	for i, e := range s.Events {
+		if e.Worker < 0 || int(e.Worker) >= workers {
+			return FreeRunningResult{}, fmt.Errorf("core: replay event %d: worker %d out of range [0,%d)", i, e.Worker, workers)
+		}
+	}
+
+	n := a.Rows
+	start := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(start, opt.InitialGuess)
+	}
+	x := NewAtomicVector(start)
+	gate := sched.NewGate(s)
+	owns := func(e sched.Event, w int) bool { return int(e.Worker) == w }
+	if opt.Record != nil {
+		opt.Record.SetMeta(s.Meta)
+	}
+
+	var (
+		canceled atomic.Bool
+		wg       sync.WaitGroup
+	)
+	watcherDone := make(chan struct{})
+	if opt.Ctx != nil {
+		go func() {
+			select {
+			case <-opt.Ctx.Done():
+				canceled.Store(true)
+			case <-watcherDone:
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scr := newKernelScratch(plan.maxBlock)
+			for {
+				e, ok := gate.Next(w, owns)
+				if !ok {
+					return
+				}
+				if canceled.Load() {
+					gate.Done()
+					continue // drain the schedule without executing
+				}
+				sweeps := int(e.Sweeps)
+				if sweeps <= 0 {
+					sweeps = opt.LocalIters
+				}
+				runBlockKernel(a, sp, b, views[int(e.Block)], sweeps, 1, x, x, x, scr)
+				if opt.Record != nil {
+					opt.Record.Append(e)
+				}
+				gate.Done()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(watcherDone)
+
+	xs := x.Snapshot()
+	res := FreeRunningResult{
+		X:            xs,
+		BlockUpdates: int64(len(s.Events)),
+	}
+	res.EquivalentGlobalIters = float64(res.BlockUpdates) / float64(nb)
+	res.Residual = residual(a, b, xs)
+	if math.IsNaN(res.Residual) || math.IsInf(res.Residual, 0) {
+		return res, fmt.Errorf("%w after %d block updates", ErrDiverged, res.BlockUpdates)
+	}
+	res.Converged = res.Residual <= opt.Tolerance
+	if canceled.Load() {
+		return res, fmt.Errorf("%w during replay: %w", ErrCanceled, opt.Ctx.Err())
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/gpusim"
+	"repro/internal/sched"
 )
 
 // solveGoroutine runs the truly asynchronous engine: every global iteration
@@ -14,6 +15,16 @@ import (
 // reproducing the chaotic interleavings of CUDA stream execution; only the
 // end of the global iteration is a barrier, so the iteration count and the
 // residual history remain well defined (the paper's measurement unit).
+//
+// With Options.Record set, each worker appends one sched.Event per block
+// it executes; the slot reservation in the recorder's ring is the commit
+// order, so the captured stream is a total order of the run's block
+// executions. With Options.Replay set, the engine replays such a capture
+// deterministically: the recorded events are dispatched through the same
+// worker pool one at a time, the barrier after each dispatch being the
+// injected yield point that serializes the execution — every block then
+// reads exactly what the recorded predecessors wrote, so any two replays
+// of one schedule are bit-identical.
 func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	a, sp, part, views := p.a, p.sp, p.part, p.views
 
@@ -23,7 +34,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
-	sched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
+	gsched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
 	nb := part.NumBlocks()
 	res := Result{NumBlocks: nb}
 
@@ -37,50 +48,121 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		workers = 1
 	}
 
+	// Replay: group the captured events into global iterations up front.
+	var replayEpochs [][]sched.Event
+	if opt.Replay != nil {
+		s := opt.Replay
+		if err := s.Validate(nb); err != nil {
+			return Result{}, err
+		}
+		if s.Meta.Engine == "freerunning" {
+			// A free-running capture has no global iterations to group by;
+			// replay it through ReplayFreeRunning or the simulated engine.
+			return Result{}, errReplayEngine(s.Meta.Engine, "goroutine")
+		}
+		if err := checkReplaySweeps(s, p); err != nil {
+			return Result{}, err
+		}
+		if s.Meta.Omega != 0 {
+			omega = s.Meta.Omega
+		}
+		for i := 0; i < len(s.Events); {
+			epoch := s.Events[i].Epoch
+			j := i
+			for j < len(s.Events) && s.Events[j].Epoch == epoch {
+				j++
+			}
+			replayEpochs = append(replayEpochs, s.Events[i:j])
+			i = j
+		}
+	}
+	if opt.Record != nil {
+		opt.Record.SetMeta(sched.Meta{
+			Engine:     "goroutine",
+			NumBlocks:  nb,
+			Workers:    workers,
+			Seed:       opt.Seed,
+			Omega:      opt.Omega,
+			LocalIters: opt.LocalIters,
+			Recurrence: opt.Recurrence,
+			StaleProb:  opt.StaleProb,
+		})
+	}
+
 	maxBlock := p.maxBlock
-	// Persistent worker pool fed one global iteration at a time.
-	work := make(chan int)
+	// Persistent worker pool fed one global iteration at a time. In replay
+	// mode the same pool is fed one *event* at a time.
+	type task struct {
+		iter, block, sweeps int
+	}
+	work := make(chan task)
 	var wg sync.WaitGroup
 	var poolWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		poolWG.Add(1)
-		go func() {
+		go func(w int) {
 			defer poolWG.Done()
 			scr := newKernelScratch(maxBlock)
-			for bi := range work {
-				if factors != nil {
+			for t := range work {
+				if opt.Replay == nil {
+					opt.Chaos.delay(t.iter, t.block)
+				}
+				if t.sweeps == 0 {
 					// A singular block would have failed at factorization;
 					// Solve only errors on dimension mismatch, which the
 					// construction rules out.
-					_ = runBlockExact(a, b, views[bi], factors.lu[bi], x, x, scr)
+					_ = runBlockExact(a, b, views[t.block], factors.lu[t.block], x, x, scr)
 				} else {
-					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, omega, x, x, x, scr)
+					runBlockKernel(a, sp, b, views[t.block], t.sweeps, omega, x, x, x, scr)
+				}
+				if opt.Record != nil {
+					opt.Record.Append(sched.Event{
+						Epoch: int32(t.iter), Block: int32(t.block),
+						Sweeps: int32(t.sweeps), Worker: int16(w),
+					})
 				}
 				wg.Done()
 			}
-		}()
+		}(w)
 	}
 	defer func() {
 		close(work)
 		poolWG.Wait()
 	}()
 
+	sweeps := opt.LocalIters
+	if opt.ExactLocal {
+		sweeps = 0
+	}
+	maxIters := opt.MaxGlobalIters
+	if opt.Replay != nil {
+		maxIters = len(replayEpochs)
+	}
 	xHost := make([]float64, n)
-	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
+	for iter := 1; iter <= maxIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
 			x.CopyInto(xHost)
 			res.X = xHost
 			return res, err
 		}
-		order := sched.Order(nb)
-		for _, bi := range order {
-			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
-				continue
+		if opt.Replay != nil {
+			for _, e := range replayEpochs[iter-1] {
+				wg.Add(1)
+				work <- task{iter: iter, block: int(e.Block), sweeps: int(e.Sweeps)}
+				wg.Wait() // yield point: serialize the recorded order
 			}
-			wg.Add(1)
-			work <- bi
+		} else {
+			order := gsched.Order(nb)
+			opt.Chaos.reorder(iter, order)
+			for _, bi := range order {
+				if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
+					continue
+				}
+				wg.Add(1)
+				work <- task{iter: iter, block: bi, sweeps: sweeps}
+			}
+			wg.Wait() // end-of-global-iteration barrier
 		}
-		wg.Wait() // end-of-global-iteration barrier
 
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, atomicAccess{x})

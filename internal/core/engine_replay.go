@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/vecmath"
+)
+
+// raceSeed derives the per-component race RNG stream from the engine seed.
+// Replay re-derives it from the schedule's recorded effective seed, which
+// is what makes a simulated-engine replay reproduce the original coin
+// flips exactly.
+func raceSeed(seed int64) int64 { return seed ^ 0x5DEECE66D }
+
+// simMeta describes a simulated-engine capture. The simulated engine is a
+// single sequential executor, so it records Worker 0 / Workers 1 — a
+// free-running replay of such a schedule degenerates to one worker
+// executing the events in order, which is exactly the recorded semantics.
+func simMeta(opt Options, nb int) sched.Meta {
+	return sched.Meta{
+		Engine:     "simulated",
+		NumBlocks:  nb,
+		Workers:    1,
+		Seed:       opt.Seed,
+		Omega:      opt.Omega,
+		LocalIters: opt.LocalIters,
+		Recurrence: opt.Recurrence,
+		StaleProb:  opt.StaleProb,
+	}
+}
+
+// simEvent encodes one simulated-engine block execution.
+func simEvent(iter, block int, opt Options, stale bool) sched.Event {
+	e := sched.Event{Epoch: int32(iter), Block: int32(block), Sweeps: int32(opt.LocalIters)}
+	if opt.ExactLocal {
+		e.Sweeps = 0
+	}
+	if stale {
+		e.Shift = 1
+	}
+	return e
+}
+
+// replaySimulated drives the simulated engine along a captured schedule.
+//
+// For schedules captured by the barrier engines (simulated, goroutine) the
+// events group into global iterations by their Epoch field; a
+// simulated-engine capture additionally restores the stale masks and the
+// race-RNG stream, so the replay is bit-identical to the original run
+// (same x, same residual history).
+//
+// A free-running capture has no global iterations — its epochs are
+// worker-local sweep rounds — so the events replay as one flat sequence
+// against the live iterate (each block reads everything its predecessors
+// wrote: the sequential canonical execution of that schedule), with
+// pseudo-iterations of numBlocks events for residual bookkeeping.
+func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
+	a, sp, part, views := p.a, p.sp, p.part, p.views
+	s := opt.Replay
+	nb := part.NumBlocks()
+	if err := s.Validate(nb); err != nil {
+		return Result{}, err
+	}
+	flat := s.Meta.Engine == "freerunning"
+	if err := checkReplaySweeps(s, p); err != nil {
+		return Result{}, err
+	}
+	omega := s.Meta.Omega
+	if omega == 0 {
+		omega = opt.Omega
+	}
+
+	n := a.Rows
+	x := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(x, opt.InitialGuess)
+	}
+	iterSnap := make([]float64, n)
+	raceRNG := rand.New(rand.NewSource(raceSeed(s.Meta.Seed)))
+	mix := &mixReader{rng: raceRNG}
+	scr := newKernelScratch(p.maxBlock)
+	factors := p.factors
+	res := Result{NumBlocks: nb}
+	if opt.Record != nil {
+		opt.Record.SetMeta(s.Meta)
+	}
+
+	events := s.Events
+	iter := 0
+	for len(events) > 0 {
+		iter++
+		if err := ctxErr(opt.Ctx, iter-1); err != nil {
+			res.X = x
+			return res, err
+		}
+		// One replayed iteration: the recorded epoch's events, or a flat
+		// chunk of numBlocks events for free-running captures.
+		var chunk []sched.Event
+		if flat {
+			k := nb
+			if k > len(events) {
+				k = len(events)
+			}
+			chunk, events = events[:k], events[k:]
+		} else {
+			epoch := events[0].Epoch
+			k := 0
+			for k < len(events) && events[k].Epoch == epoch {
+				k++
+			}
+			chunk, events = events[:k], events[k:]
+		}
+		vecmath.Copy(iterSnap, x)
+		for _, e := range chunk {
+			bi := int(e.Block)
+			var offRead valueReader
+			switch {
+			case flat:
+				// Sequential canonical semantics: read the live iterate.
+				offRead = sliceReader(x)
+			case e.Shift > 0:
+				offRead = sliceReader(iterSnap)
+			default:
+				mix.live, mix.snap = x, iterSnap
+				offRead = mix
+			}
+			if e.Sweeps == 0 {
+				if err := runBlockExact(a, b, views[bi], factors.lu[bi], offRead, sliceWriter(x), scr); err != nil {
+					res.X = x
+					return res, err
+				}
+			} else {
+				runBlockKernel(a, sp, b, views[bi], int(e.Sweeps), omega, offRead, offRead, sliceWriter(x), scr)
+			}
+			if opt.Record != nil {
+				opt.Record.Append(e)
+			}
+		}
+		if opt.AfterIteration != nil {
+			opt.AfterIteration(iter, sliceAccess(x))
+		}
+		stop, err := checkResidual(a, b, x, opt, &res, iter)
+		if err != nil {
+			res.X = x
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	res.X = x
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		res.Residual = residual(a, b, x)
+	}
+	return res, nil
+}
+
+// errReplayEngine reports a schedule handed to an engine that cannot
+// honor its structure.
+func errReplayEngine(captured, replaying string) error {
+	return fmt.Errorf("core: cannot replay a %q capture through the %s engine (no global iterations to group by); use the simulated engine or ReplayFreeRunning", captured, replaying)
+}
+
+// checkReplaySweeps verifies that the schedule's local-solve kinds match
+// the plan: Sweeps == 0 events are exact local solves and need the plan's
+// LU factors; Sweeps > 0 events need the Jacobi path.
+func checkReplaySweeps(s *sched.Schedule, p *Plan) error {
+	for i, e := range s.Events {
+		if e.Sweeps == 0 && p.factors == nil {
+			return fmt.Errorf("core: replay event %d is an exact local solve but the plan has no LU factors (build the plan with exactLocal)", i)
+		}
+		if e.Sweeps < 0 {
+			return fmt.Errorf("core: replay event %d has negative sweep count %d", i, e.Sweeps)
+		}
+	}
+	return nil
+}

@@ -37,6 +37,9 @@ const freshProb = 0.2
 //
 // Everything is driven by opt.Seed, so runs are exactly reproducible.
 func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
+	if opt.Replay != nil {
+		return replaySimulated(p, b, opt)
+	}
 	a, sp, part, views := p.a, p.sp, p.part, p.views
 
 	n := a.Rows
@@ -45,9 +48,12 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		copy(x, opt.InitialGuess)
 	}
 	iterSnap := make([]float64, n) // snapshot at global-iteration start
-	sched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
-	raceRNG := rand.New(rand.NewSource(opt.Seed ^ 0x5DEECE66D))
+	gsched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
+	raceRNG := rand.New(rand.NewSource(raceSeed(opt.Seed)))
 	nb := part.NumBlocks()
+	if opt.Record != nil {
+		opt.Record.SetMeta(simMeta(opt, nb))
+	}
 
 	res := Result{NumBlocks: nb}
 	var trace *Trace
@@ -69,8 +75,9 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			return res, err
 		}
 		vecmath.Copy(iterSnap, x)
-		order := sched.Order(nb)
-		stale := sched.StaleMask(nb, opt.StaleProb)
+		order := gsched.Order(nb)
+		stale := gsched.StaleMask(nb, opt.StaleProb)
+		opt.Chaos.reorder(iter, order)
 		for _, bi := range order {
 			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
 				if trace != nil {
@@ -78,6 +85,10 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				}
 				continue
 			}
+			if opt.Chaos.staleRead(iter, bi) {
+				stale[bi] = true
+			}
+			opt.Chaos.delay(iter, bi)
 			var offRead valueReader
 			if stale[bi] {
 				offRead = sliceReader(iterSnap)
@@ -98,6 +109,9 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				runBlockKernel(a, sp, b, views[bi], opt.LocalIters, opt.Omega, offRead, offRead, sliceWriter(x), scr)
 			}
 			blockVersion[bi] = iter
+			if opt.Record != nil {
+				opt.Record.Append(simEvent(iter, bi, opt, stale[bi]))
+			}
 			if trace != nil {
 				trace.UpdatesPerBlock[bi]++
 			}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// randDominant builds a random symmetric matrix with ring + random
+// off-diagonal couplings. mm selects the M-matrix sign pattern (all
+// off-diagonals negative); otherwise signs are random (the matrix stays
+// SPD by Gershgorin). diagFactor > 1 makes it strictly diagonally
+// dominant, hence ρ(|B|) ≤ 1/diagFactor < 1 (Strikwerda's condition
+// holds); diagFactor < 1 forces ρ(|B|) ≥ 1.
+func randDominant(rng *rand.Rand, n int, mm bool, diagFactor float64) *sparse.CSR {
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	var edges []edge
+	rowSum := make([]float64, n)
+	add := func(i, j int, w float64) {
+		edges = append(edges, edge{i, j, w})
+		rowSum[i] += math.Abs(w)
+		rowSum[j] += math.Abs(w)
+	}
+	for i := 0; i < n-1; i++ {
+		add(i, i+1, 0.1+rng.Float64())
+	}
+	extra := 2 * n
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		add(i, j, 0.1+rng.Float64())
+	}
+	c := sparse.NewCOO(n, n)
+	for _, e := range edges {
+		w := -e.w // M-matrix: nonpositive off-diagonals
+		if !mm && rng.Intn(2) == 0 {
+			w = e.w
+		}
+		c.Add(e.i, e.j, w)
+		c.Add(e.j, e.i, w)
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, rowSum[i]/diagFactor)
+	}
+	return c.ToCSR()
+}
+
+// TestPropertyAsyncConvergesWhenRhoAbsBBelowOne is the paper's central
+// theorem as a property test: for random SPD and M-matrices with
+// ρ(|B|) < 1, the async-(k) iteration converges under every schedule —
+// here 200 randomly seeded schedules, each also replayed from its
+// capture to confirm the replay converges identically.
+func TestPropertyAsyncConvergesWhenRhoAbsBBelowOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	type class struct {
+		name string
+		mm   bool
+	}
+	classes := []class{{"spd", false}, {"mmatrix", true}, {"spd2", false}, {"mmatrix2", true}}
+	seedsPer := 50 // 4 matrices × 50 seeds = 200 schedules
+	if testing.Short() {
+		seedsPer = 5
+	}
+	for _, cl := range classes {
+		t.Run(cl.name, func(t *testing.T) {
+			n := 60 + rng.Intn(60)
+			a := randDominant(rng, n, cl.mm, 1.0/(1.2+rng.Float64()))
+			rep, err := CheckConvergence(a, 30, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.AsyncGuaranteed {
+				t.Fatalf("construction broken: ρ(|B|) = %g ≥ 1 for a dominant matrix", rep.RhoAbsB)
+			}
+			b := onesRHS(a)
+			for s := 0; s < seedsPer; s++ {
+				seed := rng.Int63()
+				rec := sched.NewRecorder(0)
+				opt := Options{
+					BlockSize: 16, LocalIters: 3, MaxGlobalIters: 500,
+					Tolerance: 1e-8, Seed: seed, StaleProb: 0.3, Record: rec,
+				}
+				res, err := Solve(a, b, opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.Converged {
+					t.Fatalf("seed %d: ρ(|B|)=%.3f < 1 but iteration did not converge (residual %g)",
+						seed, rep.RhoAbsB, res.Residual)
+				}
+				cap := rec.Schedule()
+				dumpScheduleOnFailure(t, "theory-prop-"+cl.name, cap)
+				rres, err := Solve(a, b, Options{
+					BlockSize: 16, LocalIters: 3, MaxGlobalIters: 500,
+					Tolerance: 1e-8, Replay: cap,
+				})
+				if err != nil {
+					t.Fatalf("seed %d replay: %v", seed, err)
+				}
+				if !rres.Converged || !sameVector(res.X, rres.X) {
+					t.Fatalf("seed %d: replayed schedule does not reproduce the converged run", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyDivergenceReportedWhenRhoAbsBAtLeastOne: with a weak
+// diagonal ρ(|B|) ≥ 1, the pre-flight report withdraws the guarantee and
+// the iteration in fact blows up.
+func TestPropertyDivergenceReportedWhenRhoAbsBAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDominant(rng, 80, true, 2.0) // diag = half the off-diagonal mass
+	rep, err := CheckConvergence(a, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AsyncGuaranteed {
+		t.Fatalf("ρ(|B|) = %g reported < 1 for a weakly dominant matrix", rep.RhoAbsB)
+	}
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		BlockSize: 16, LocalIters: 3, MaxGlobalIters: 3000,
+		Tolerance: 1e-8, Seed: 9, RecordHistory: true,
+	})
+	if err == nil {
+		if res.Converged {
+			t.Fatal("iteration converged despite ρ(|B|) ≥ 1 and ρ(B) ≥ 1")
+		}
+		// Not yet non-finite: the history must still show growth.
+		if len(res.History) < 2 || res.History[len(res.History)-1] < 1e6*res.History[0] {
+			t.Fatalf("no divergence visible: first %g, last %g",
+				res.History[0], res.History[len(res.History)-1])
+		}
+	} else if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+)
+
+// nondetGolden pins the run-to-run variation of the simulated engine:
+// 1000 seeded runs on Trefethen_150 with a convergence tolerance, summarized
+// as the iteration-count spread and residual quantiles. The engine is
+// deterministic per seed, so drift in these numbers means the scheduling
+// model, the kernel, or the seeding changed behavior — exactly the class
+// of silent regression this file exists to catch.
+type nondetGolden struct {
+	Matrix    string  `json:"matrix"`
+	Runs      int     `json:"runs"`
+	BlockSize int     `json:"block_size"`
+	Tolerance float64 `json:"tolerance"`
+	// StaleProb amplifies the schedule noise so the iteration count
+	// actually spreads (with the default visibility model Trefethen_150
+	// converges in the same count under every seed).
+	StaleProb float64 `json:"stale_prob"`
+
+	ItersMin  int     `json:"iters_min"`
+	ItersMax  int     `json:"iters_max"`
+	ItersMean float64 `json:"iters_mean"`
+
+	// Final-residual quantiles across runs (p10/p50/p90).
+	ResidualP10 float64 `json:"residual_p10"`
+	ResidualP50 float64 `json:"residual_p50"`
+	ResidualP90 float64 `json:"residual_p90"`
+}
+
+const nondetGoldenPath = "testdata/nondet_golden_trefethen150.json"
+
+func computeNondetGolden(t *testing.T) nondetGolden {
+	t.Helper()
+	g := nondetGolden{
+		Matrix:    "Trefethen_150",
+		Runs:      1000,
+		BlockSize: 32,
+		Tolerance: 8e-11,
+		StaleProb: 0.5,
+	}
+	a := mats.Trefethen(150)
+	b := OnesRHS(a)
+	iters := make([]int, g.Runs)
+	residuals := make([]float64, g.Runs)
+	for run := 0; run < g.Runs; run++ {
+		res, err := core.Solve(a, b, core.Options{
+			BlockSize:      g.BlockSize,
+			LocalIters:     5,
+			MaxGlobalIters: 500,
+			Tolerance:      g.Tolerance,
+			StaleProb:      g.StaleProb,
+			Seed:           int64(run) + 1,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !res.Converged {
+			t.Fatalf("run %d did not converge (residual %g)", run, res.Residual)
+		}
+		iters[run] = res.GlobalIterations
+		residuals[run] = res.Residual
+	}
+	g.ItersMin, g.ItersMax = iters[0], iters[0]
+	sum := 0
+	for _, it := range iters {
+		if it < g.ItersMin {
+			g.ItersMin = it
+		}
+		if it > g.ItersMax {
+			g.ItersMax = it
+		}
+		sum += it
+	}
+	g.ItersMean = float64(sum) / float64(g.Runs)
+	sort.Float64s(residuals)
+	quantile := func(p float64) float64 {
+		return residuals[int(p*float64(len(residuals)-1)+0.5)]
+	}
+	g.ResidualP10 = quantile(0.10)
+	g.ResidualP50 = quantile(0.50)
+	g.ResidualP90 = quantile(0.90)
+	return g
+}
+
+// TestNonDetGoldenTrefethen150 replays the 1000-run study and compares
+// against the committed golden summary. Regenerate with
+//
+//	UPDATE_NONDET_GOLDEN=1 go test ./internal/experiments/ -run TestNonDetGolden
+func TestNonDetGoldenTrefethen150(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000 solver runs; skipped in -short")
+	}
+	got := computeNondetGolden(t)
+
+	if os.Getenv("UPDATE_NONDET_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(nondetGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(nondetGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %+v", got)
+		return
+	}
+
+	data, err := os.ReadFile(nondetGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_NONDET_GOLDEN=1): %v", err)
+	}
+	var want nondetGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The engine is deterministic per seed: the iteration-count spread
+	// must match exactly. Residual quantiles get a sliver of relative
+	// tolerance for cross-platform floating-point differences.
+	if got.ItersMin != want.ItersMin || got.ItersMax != want.ItersMax {
+		t.Errorf("iteration spread [%d,%d], golden [%d,%d]",
+			got.ItersMin, got.ItersMax, want.ItersMin, want.ItersMax)
+	}
+	if math.Abs(got.ItersMean-want.ItersMean) > 0.5 {
+		t.Errorf("mean iterations %.3f, golden %.3f", got.ItersMean, want.ItersMean)
+	}
+	relClose := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Errorf("%s = %.12e, golden %.12e", name, got, want)
+		}
+	}
+	relClose("residual p10", got.ResidualP10, want.ResidualP10)
+	relClose("residual p50", got.ResidualP50, want.ResidualP50)
+	relClose("residual p90", got.ResidualP90, want.ResidualP90)
+}

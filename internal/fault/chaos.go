@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig parameterizes a Chaos injector. All probabilities are per
+// opportunity: Delay and StaleRead fire per block execution, Reorder per
+// global iteration.
+type ChaosConfig struct {
+	// DelayProb is the probability that a block execution is delayed.
+	DelayProb float64
+	// MaxDelay bounds one injected delay; the actual sleep is uniform in
+	// (0, MaxDelay]. Zero with DelayProb > 0 defaults to 1ms.
+	MaxDelay time.Duration
+	// ReorderProb is the probability that an iteration's block order is
+	// reshuffled.
+	ReorderProb float64
+	// StaleProb is the probability that a block is forced to read the
+	// iteration-start snapshot (a maximally late dispatch).
+	StaleProb float64
+	// Seed drives the injector's RNG; runs with equal seeds make the same
+	// decisions (the sleeps themselves still race, which is the point).
+	Seed int64
+}
+
+// ChaosStats counts what an injector actually did.
+type ChaosStats struct {
+	Delays     int64 `json:"delays"`
+	Reorders   int64 `json:"reorders"`
+	StaleReads int64 `json:"stale_reads"`
+}
+
+// Chaos injects adversarial scheduling perturbations into an engine run.
+// Its methods match the signatures of blockasync's ChaosHooks fields, so
+// wiring is
+//
+//	c, _ := fault.NewChaos(cfg)
+//	opt.Chaos = &core.ChaosHooks{Delay: c.Delay, Reorder: c.Reorder, StaleRead: c.StaleRead}
+//
+// Unlike Injector (which models the paper's §4.5 core failures by
+// skipping blocks), Chaos keeps every block running but perturbs when it
+// runs and what it observes — the block-asynchronous model says the
+// iteration must converge anyway whenever ρ(|B|) < 1.
+//
+// All methods are safe for concurrent use; engines may call the hooks
+// from many workers.
+type Chaos struct {
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	delays     atomic.Int64
+	reorders   atomic.Int64
+	staleReads atomic.Int64
+}
+
+// NewChaos validates the config and builds an injector.
+func NewChaos(cfg ChaosConfig) (*Chaos, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DelayProb", cfg.DelayProb}, {"ReorderProb", cfg.ReorderProb}, {"StaleProb", cfg.StaleProb}} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("fault: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if cfg.MaxDelay < 0 {
+		return nil, fmt.Errorf("fault: MaxDelay %v must be nonnegative", cfg.MaxDelay)
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// coin draws one uniform float under the lock.
+func (c *Chaos) coin() float64 {
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v
+}
+
+// Delay sleeps for a random duration in (0, MaxDelay] with probability
+// DelayProb. It has the signature of ChaosHooks.Delay.
+func (c *Chaos) Delay(iter, block int) {
+	if c.cfg.DelayProb == 0 || c.coin() >= c.cfg.DelayProb {
+		return
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay))) + 1
+	c.mu.Unlock()
+	c.delays.Add(1)
+	time.Sleep(d)
+}
+
+// Reorder reshuffles the iteration's block order in place with
+// probability ReorderProb. It has the signature of ChaosHooks.Reorder.
+func (c *Chaos) Reorder(iter int, order []int) {
+	if c.cfg.ReorderProb == 0 || c.coin() >= c.cfg.ReorderProb {
+		return
+	}
+	c.mu.Lock()
+	c.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	c.mu.Unlock()
+	c.reorders.Add(1)
+}
+
+// StaleRead forces the block onto the iteration-start snapshot with
+// probability StaleProb. It has the signature of ChaosHooks.StaleRead.
+func (c *Chaos) StaleRead(iter, block int) bool {
+	if c.cfg.StaleProb == 0 || c.coin() >= c.cfg.StaleProb {
+		return false
+	}
+	c.staleReads.Add(1)
+	return true
+}
+
+// Stats snapshots the injection counters.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		Delays:     c.delays.Load(),
+		Reorders:   c.reorders.Load(),
+		StaleReads: c.staleReads.Load(),
+	}
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewChaosValidates(t *testing.T) {
+	for _, cfg := range []ChaosConfig{
+		{DelayProb: -0.1},
+		{DelayProb: 1.1},
+		{ReorderProb: 2},
+		{StaleProb: -1},
+		{MaxDelay: -time.Second},
+	} {
+		if _, err := NewChaos(cfg); err == nil {
+			t.Errorf("NewChaos(%+v) accepted", cfg)
+		}
+	}
+	if _, err := NewChaos(ChaosConfig{DelayProb: 0.5, StaleProb: 0.5, ReorderProb: 0.5}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestChaosProbabilitiesAndCounters(t *testing.T) {
+	c, err := NewChaos(ChaosConfig{
+		DelayProb:   1,
+		MaxDelay:    time.Microsecond,
+		ReorderProb: 1,
+		StaleProb:   1,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := 0; i < 20; i++ {
+		c.Delay(i, 0)
+		c.Reorder(i, order)
+		if !c.StaleRead(i, 0) {
+			t.Fatal("StaleProb 1 returned false")
+		}
+	}
+	st := c.Stats()
+	if st.Delays != 20 || st.Reorders != 20 || st.StaleReads != 20 {
+		t.Fatalf("stats = %+v, want 20 each", st)
+	}
+
+	off, err := NewChaos(ChaosConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		off.Delay(i, 0)
+		off.Reorder(i, order)
+		if off.StaleRead(i, 0) {
+			t.Fatal("zero probabilities injected a stale read")
+		}
+	}
+	if st := off.Stats(); st != (ChaosStats{}) {
+		t.Fatalf("zero-prob injector did something: %+v", st)
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	decisions := func(seed int64) []bool {
+		c, err := NewChaos(ChaosConfig{StaleProb: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = c.StaleRead(i, i%7)
+		}
+		return out
+	}
+	a, b := decisions(42), decisions(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded decisions diverge at %d", i)
+		}
+	}
+	cDiff := decisions(43)
+	same := true
+	for i := range a {
+		if a[i] != cDiff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds made identical decisions")
+	}
+}
+
+func TestChaosConcurrentUse(t *testing.T) {
+	c, err := NewChaos(ChaosConfig{StaleProb: 0.5, ReorderProb: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			order := []int{0, 1, 2, 3}
+			for i := 0; i < 500; i++ {
+				c.StaleRead(i, i%4)
+				c.Reorder(i, order)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.StaleReads == 0 || st.Reorders == 0 {
+		t.Fatalf("expected some injections, got %+v", st)
+	}
+}

@@ -1,0 +1,296 @@
+// Package sched makes the non-determinism of the asynchronous engines
+// capturable and replayable. The paper's async-(k) iteration is explicitly
+// non-deterministic (§4.1 studies the spread over 1000 runs), and the
+// related convergence theory (Chazan–Miranker, Strikwerda) quantifies over
+// *all* admissible update orderings — so validating an implementation, or
+// debugging one divergent run out of a thousand, requires freezing the
+// ordering that actually happened.
+//
+// The package provides three pieces:
+//
+//   - Event / Recorder: engines emit one compact Event per executed block
+//     through a lock-cheap fixed-capacity ring (one atomic add per event);
+//     the recorder never blocks the hot path and degrades to counting
+//     dropped events when full.
+//   - Schedule: the captured, serializable stream (JSON for CI artifacts)
+//     plus the engine metadata needed to re-create the run.
+//   - Gate: a turn sequencer that drives the concurrent engines through a
+//     captured schedule: workers wait at injected yield points until the
+//     next recorded event is theirs, so every block execution happens
+//     exclusively and in recorded order. Replays are therefore bit-for-bit
+//     deterministic, no matter how the Go scheduler interleaves the
+//     goroutines around the gate.
+//
+// Replay semantics per engine (see the core package for the wiring):
+//
+//   - simulated: the recorded order, stale masks and RNG seed re-create the
+//     original run exactly — replay output is bit-identical to the
+//     recording.
+//   - goroutine / free-running: the original run's component-level read
+//     interleavings are not captured (that would cost one event per read);
+//     replay executes the recorded block sequence one block at a time,
+//     which defines a canonical deterministic execution of that schedule.
+//     Any two replays of the same schedule are bit-identical, which is
+//     what convergence validation across adversarial orderings needs.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one executed block update. 16 bytes, so recording a full
+// paper-scale run (thousands of global iterations × hundreds of blocks)
+// stays in the tens of megabytes.
+type Event struct {
+	// Epoch is the global iteration (barrier engines) or the owning
+	// worker's sweep round (free-running engine), 1-based.
+	Epoch int32 `json:"epoch"`
+	// Block is the executed block index.
+	Block int32 `json:"block"`
+	// Sweeps is the number of local Jacobi sweeps performed (k), or 0 for
+	// an exact local solve.
+	Sweeps int32 `json:"sweeps"`
+	// Shift summarizes the staleness of the block's off-block reads in
+	// epochs: the simulated engine records 1 when the block read the
+	// epoch-start snapshot (a maximally late dispatch) and 0 for a mixed
+	// wave read; the concurrent engines record 0 (their staleness is
+	// implicit in the event order).
+	Shift int16 `json:"shift"`
+	// Worker is the executing worker index (0 for the simulated engine).
+	Worker int16 `json:"worker"`
+}
+
+// Meta describes the run a schedule was captured from — everything replay
+// needs beyond the event stream itself.
+type Meta struct {
+	// Engine is the capturing engine: "simulated", "goroutine" or
+	// "freerunning".
+	Engine string `json:"engine"`
+	// NumBlocks is the block count of the plan; replay validates it.
+	NumBlocks int `json:"num_blocks"`
+	// Workers is the worker-pool size of the capturing run; the
+	// free-running replay re-creates the same block ownership from it.
+	Workers int `json:"workers"`
+	// Seed is the *effective* seed of the capturing run (after zero-seed
+	// derivation), so replaying a Seed==0 run still reproduces its
+	// per-component race coin flips.
+	Seed int64 `json:"seed"`
+	// Omega is the capturing run's relaxation weight; replay applies it
+	// so the local updates are arithmetically identical.
+	Omega float64 `json:"omega"`
+	// LocalIters, Recurrence and StaleProb echo the capturing options for
+	// the record's self-description; replay takes the sweep counts from
+	// the events and the structure from the replaying caller's plan.
+	LocalIters int     `json:"local_iters"`
+	Recurrence float64 `json:"recurrence"`
+	StaleProb  float64 `json:"stale_prob"`
+}
+
+// Schedule is a captured event stream plus its metadata.
+type Schedule struct {
+	Meta   Meta    `json:"meta"`
+	Events []Event `json:"events"`
+	// Truncated reports that the recorder's ring filled up and events were
+	// dropped; a truncated schedule is not replayable.
+	Truncated bool `json:"truncated,omitempty"`
+	// Dropped counts the events lost to truncation.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Epochs returns the largest epoch in the stream (the global-iteration
+// count for barrier engines).
+func (s *Schedule) Epochs() int {
+	var max int32
+	for _, e := range s.Events {
+		if e.Epoch > max {
+			max = e.Epoch
+		}
+	}
+	return int(max)
+}
+
+// Validate checks that the schedule is replayable against a plan with
+// numBlocks blocks.
+func (s *Schedule) Validate(numBlocks int) error {
+	if s.Truncated {
+		return fmt.Errorf("sched: schedule truncated (%d events dropped): not replayable", s.Dropped)
+	}
+	if len(s.Events) == 0 {
+		return fmt.Errorf("sched: empty schedule")
+	}
+	if s.Meta.NumBlocks != numBlocks {
+		return fmt.Errorf("sched: schedule captured with %d blocks, plan has %d", s.Meta.NumBlocks, numBlocks)
+	}
+	for i, e := range s.Events {
+		if e.Block < 0 || int(e.Block) >= numBlocks {
+			return fmt.Errorf("sched: event %d: block %d out of range [0,%d)", i, e.Block, numBlocks)
+		}
+		if e.Epoch < 1 {
+			return fmt.Errorf("sched: event %d: epoch %d must be ≥ 1", i, e.Epoch)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the schedule (the CI artifact format for failing
+// replay traces).
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadJSON deserializes a schedule written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("sched: decoding schedule: %w", err)
+	}
+	return &s, nil
+}
+
+// DefaultCapacity is the recorder ring capacity when none is given:
+// 1<<20 events ≈ 16 MB, enough for ~2000 global iterations of a 500-block
+// run.
+const DefaultCapacity = 1 << 20
+
+// Recorder captures events into a fixed slab with one atomic increment per
+// append — cheap enough to leave enabled inside the concurrent engines'
+// block loops. Appends beyond the capacity are counted and dropped (the
+// resulting schedule reports itself truncated). A Recorder is single-use:
+// capture one run, take the Schedule, create a new one for the next run.
+type Recorder struct {
+	events []Event
+	next   atomic.Int64
+
+	mu   sync.Mutex
+	meta Meta
+}
+
+// NewRecorder creates a recorder holding up to capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// SetMeta stores the run metadata; the capturing engine calls it once at
+// solve start.
+func (r *Recorder) SetMeta(m Meta) {
+	r.mu.Lock()
+	r.meta = m
+	r.mu.Unlock()
+}
+
+// Append records one event. Concurrent appends receive distinct slots in
+// commit order (the order of the atomic reservation).
+func (r *Recorder) Append(e Event) {
+	slot := r.next.Add(1) - 1
+	if slot < int64(len(r.events)) {
+		r.events[slot] = e
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	n := r.next.Load()
+	if n > int64(len(r.events)) {
+		n = int64(len(r.events))
+	}
+	return int(n)
+}
+
+// Schedule snapshots the capture. The engines have quiesced by the time a
+// caller takes the schedule (Solve has returned), so the snapshot is
+// consistent.
+func (r *Recorder) Schedule() *Schedule {
+	r.mu.Lock()
+	meta := r.meta
+	r.mu.Unlock()
+	total := r.next.Load()
+	n := total
+	if n > int64(len(r.events)) {
+		n = int64(len(r.events))
+	}
+	s := &Schedule{Meta: meta, Events: append([]Event(nil), r.events[:n]...)}
+	if total > n {
+		s.Truncated = true
+		s.Dropped = total - n
+	}
+	return s
+}
+
+// Gate sequences concurrent workers through a schedule: each worker blocks
+// in Next until the head event belongs to it, executes the block
+// exclusively, then calls Done to pass the turn. The total order of block
+// executions is exactly the recorded one.
+type Gate struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	events    []Event
+	next      int
+	remaining map[int]int // per-worker unexecuted event counts
+}
+
+// NewGate creates a gate over the schedule's events.
+func NewGate(s *Schedule) *Gate {
+	g := &Gate{events: s.Events}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Next blocks until the next unexecuted event is owned by worker w (per
+// the owns predicate) and returns it; ok is false once the schedule is
+// exhausted or no remaining event is owned by w — the worker then exits
+// (without this, the last workers would deadlock waiting for turns that
+// never come). The caller must call Done after executing the returned
+// event. All Next calls of one gate must use the same owns predicate, and
+// ownership must be a partition: exactly one worker owns each event.
+func (g *Gate) Next(w int, owns func(e Event, w int) bool) (Event, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.remaining == nil {
+		// One O(events × workers) census up front beats rescanning the
+		// tail on every wakeup.
+		g.remaining = make(map[int]int)
+	}
+	if _, ok := g.remaining[w]; !ok {
+		count := 0
+		for _, ev := range g.events[g.next:] {
+			if owns(ev, w) {
+				count++
+			}
+		}
+		g.remaining[w] = count
+	}
+	for {
+		if g.next >= len(g.events) || g.remaining[w] == 0 {
+			return Event{}, false
+		}
+		if e := g.events[g.next]; owns(e, w) {
+			g.remaining[w]--
+			return e, true
+		}
+		g.cond.Wait()
+	}
+}
+
+// Done commits the head event and wakes the waiting workers.
+func (g *Gate) Done() {
+	g.mu.Lock()
+	g.next++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Remaining returns the number of unexecuted events.
+func (g *Gate) Remaining() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.events) - g.next
+}

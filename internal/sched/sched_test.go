@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAppendAndSchedule(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetMeta(Meta{Engine: "simulated", NumBlocks: 4, Workers: 1, Seed: 7})
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Epoch: 1, Block: int32(i % 4), Sweeps: 5})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	s := r.Schedule()
+	if s.Truncated || s.Dropped != 0 {
+		t.Fatalf("unexpected truncation: %+v", s)
+	}
+	if s.Meta.Seed != 7 || len(s.Events) != 5 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRecorderTruncates(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Epoch: 1, Block: 0})
+	}
+	s := r.Schedule()
+	if !s.Truncated || s.Dropped != 7 || len(s.Events) != 3 {
+		t.Fatalf("schedule = truncated=%v dropped=%d events=%d", s.Truncated, s.Dropped, len(s.Events))
+	}
+	if err := s.Validate(1); err == nil {
+		t.Fatal("truncated schedule must not validate")
+	}
+}
+
+func TestRecorderConcurrentAppendsKeepAllEvents(t *testing.T) {
+	r := NewRecorder(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Append(Event{Epoch: 1, Block: int32(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Schedule()
+	if len(s.Events) != 1000 || s.Truncated {
+		t.Fatalf("events = %d truncated = %v", len(s.Events), s.Truncated)
+	}
+	counts := make(map[int32]int)
+	for _, e := range s.Events {
+		counts[e.Block]++
+	}
+	for w := int32(0); w < 10; w++ {
+		if counts[w] != 100 {
+			t.Fatalf("worker %d recorded %d events, want 100", w, counts[w])
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	s := &Schedule{Meta: Meta{NumBlocks: 2}, Events: []Event{{Epoch: 1, Block: 5}}}
+	if err := s.Validate(2); err == nil {
+		t.Error("out-of-range block must not validate")
+	}
+	s = &Schedule{Meta: Meta{NumBlocks: 2}, Events: []Event{{Epoch: 0, Block: 0}}}
+	if err := s.Validate(2); err == nil {
+		t.Error("epoch 0 must not validate")
+	}
+	s = &Schedule{Meta: Meta{NumBlocks: 3}, Events: []Event{{Epoch: 1, Block: 0}}}
+	if err := s.Validate(2); err == nil {
+		t.Error("block-count mismatch must not validate")
+	}
+	s = &Schedule{Meta: Meta{NumBlocks: 2}}
+	if err := s.Validate(2); err == nil {
+		t.Error("empty schedule must not validate")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := &Schedule{
+		Meta: Meta{Engine: "freerunning", NumBlocks: 3, Workers: 2, Seed: -42, Omega: 1, LocalIters: 5},
+		Events: []Event{
+			{Epoch: 1, Block: 0, Sweeps: 5, Worker: 0},
+			{Epoch: 1, Block: 1, Sweeps: 5, Worker: 1, Shift: 1},
+			{Epoch: 2, Block: 2, Sweeps: 5, Worker: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+	if got.Epochs() != 2 {
+		t.Fatalf("Epochs = %d, want 2", got.Epochs())
+	}
+}
+
+// The gate must hand out turns in exactly the recorded order regardless of
+// which goroutines ask first.
+func TestGateSequencesWorkers(t *testing.T) {
+	const workers = 4
+	var events []Event
+	for i := 0; i < 200; i++ {
+		events = append(events, Event{Epoch: 1, Block: int32(i), Worker: int16(i % workers)})
+	}
+	s := &Schedule{Meta: Meta{NumBlocks: 200, Workers: workers}, Events: events}
+	g := NewGate(s)
+	owns := func(e Event, w int) bool { return int(e.Worker) == w }
+
+	var mu sync.Mutex
+	var got []int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				e, ok := g.Next(w, owns)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got = append(got, e.Block)
+				mu.Unlock()
+				g.Done()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(got) != len(events) {
+		t.Fatalf("executed %d events, want %d", len(got), len(events))
+	}
+	for i, b := range got {
+		if b != int32(i) {
+			t.Fatalf("position %d executed block %d, want %d", i, b, i)
+		}
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", g.Remaining())
+	}
+}
+
+// A worker with no events must exit instead of deadlocking.
+func TestGateWorkerWithNoEventsExits(t *testing.T) {
+	s := &Schedule{Meta: Meta{NumBlocks: 1, Workers: 2}, Events: []Event{{Epoch: 1, Block: 0, Worker: 0}}}
+	g := NewGate(s)
+	owns := func(e Event, w int) bool { return int(e.Worker) == w }
+	done := make(chan struct{})
+	go func() {
+		if _, ok := g.Next(1, owns); ok {
+			t.Error("worker 1 owns nothing but got an event")
+		}
+		close(done)
+	}()
+	if e, ok := g.Next(0, owns); !ok || e.Block != 0 {
+		t.Fatalf("worker 0: got %+v, %v", e, ok)
+	}
+	g.Done()
+	<-done
+}

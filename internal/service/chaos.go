@@ -1,0 +1,88 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrChaosDisabled is reported when a request carries a chaos spec but
+// the service was not started with chaos injection enabled. The HTTP
+// layer maps it to 403 Forbidden.
+var ErrChaosDisabled = errors.New("service: chaos injection disabled (start the daemon with -chaos)")
+
+// ChaosSpec asks the service to perturb the solve's schedule (delays,
+// reorderings, forced-stale reads) — a debugging aid for reproducing the
+// paper's claim that convergence survives adversarial scheduling. It maps
+// onto fault.ChaosConfig; see there for the semantics. Requires the
+// service's EnableChaos gate.
+type ChaosSpec struct {
+	DelayProb      float64 `json:"delay_prob,omitempty"`
+	MaxDelayMillis float64 `json:"max_delay_ms,omitempty"`
+	ReorderProb    float64 `json:"reorder_prob,omitempty"`
+	StaleProb      float64 `json:"stale_prob,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+}
+
+// config derives the injector config for one attempt. Each retry shifts
+// the seed so the perturbations differ — otherwise a deterministic
+// engine would fail every retry the same way.
+func (cs *ChaosSpec) config(attempt int) fault.ChaosConfig {
+	return fault.ChaosConfig{
+		DelayProb:   cs.DelayProb,
+		MaxDelay:    time.Duration(cs.MaxDelayMillis * float64(time.Millisecond)),
+		ReorderProb: cs.ReorderProb,
+		StaleProb:   cs.StaleProb,
+		Seed:        cs.Seed + int64(attempt) - 1,
+	}
+}
+
+// ParseChaosHeader parses the X-Chaos debug header:
+//
+//	X-Chaos: delay=0.2,stale=0.5,reorder=0.1,seed=7,maxdelayms=2
+//
+// Keys are optional and may appear in any order; delay/stale/reorder are
+// probabilities in [0,1], maxdelayms a millisecond bound, seed an
+// integer.
+func ParseChaosHeader(v string) (*ChaosSpec, error) {
+	spec := &ChaosSpec{}
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("service: X-Chaos entry %q is not key=value", part)
+		}
+		raw = strings.TrimSpace(raw)
+		var err error
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "delay":
+			spec.DelayProb, err = strconv.ParseFloat(raw, 64)
+		case "stale":
+			spec.StaleProb, err = strconv.ParseFloat(raw, 64)
+		case "reorder":
+			spec.ReorderProb, err = strconv.ParseFloat(raw, 64)
+		case "maxdelayms":
+			spec.MaxDelayMillis, err = strconv.ParseFloat(raw, 64)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(raw, 10, 64)
+		default:
+			return nil, fmt.Errorf("service: unknown X-Chaos key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service: X-Chaos %s: %w", k, err)
+		}
+	}
+	// Reject out-of-range values here so the submit fails with 400, not
+	// at run time.
+	if _, err := fault.NewChaos(spec.config(1)); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

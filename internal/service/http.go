@@ -34,6 +34,17 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
 			return
 		}
+		// X-Chaos is the debug side channel for schedule perturbation;
+		// it overrides any chaos block in the body and is rejected with
+		// 403 unless the daemon enables chaos.
+		if h := r.Header.Get("X-Chaos"); h != "" {
+			spec, err := ParseChaosHeader(h)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			req.Chaos = spec
+		}
 		j, err := s.Submit(req)
 		if err != nil {
 			writeError(w, submitStatus(err), err)
@@ -104,6 +115,8 @@ func submitStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrChaosDisabled):
+		return http.StatusForbidden
 	case errors.Is(err, core.ErrCanceled):
 		return http.StatusConflict
 	default:

@@ -83,7 +83,9 @@ type JobResult struct {
 	X                []float64 `json:"x,omitempty"`
 	NumBlocks        int       `json:"num_blocks"`
 	PlanHit          bool      `json:"plan_hit"`
-	WallTime         float64   `json:"wall_seconds"`
+	// Attempts is how many runs the job took (retries included).
+	Attempts int     `json:"attempts"`
+	WallTime float64 `json:"wall_seconds"`
 	// Analysis echoes the plan's pre-flight convergence report when the
 	// cache computed one ("rho(B)=… asynchronous convergence guaranteed").
 	Analysis string `json:"analysis,omitempty"`
@@ -96,9 +98,12 @@ type JobView struct {
 	Progress Progress   `json:"progress"`
 	Error    string     `json:"error,omitempty"`
 	Result   *JobResult `json:"result,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  time.Time  `json:"started,omitzero"`
-	Finished time.Time  `json:"finished,omitzero"`
+	// Attempts is the current (or final) run count, retries included;
+	// 0 while the job is still queued.
+	Attempts int       `json:"attempts"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
 }
 
 // Job is one submitted solve moving through the queue. All mutation goes
@@ -111,6 +116,7 @@ type Job struct {
 	state    JobState
 	progress Progress
 	result   *JobResult
+	attempts int
 	err      error
 	created  time.Time
 	started  time.Time
@@ -164,6 +170,7 @@ func (j *Job) Snapshot() JobView {
 		State:    j.state.String(),
 		Progress: j.progress,
 		Result:   j.result,
+		Attempts: j.attempts,
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
@@ -187,6 +194,15 @@ func (j *Job) start(cancel context.CancelFunc) bool {
 	j.started = time.Now()
 	j.cancel = cancel
 	return true
+}
+
+// setAttempt publishes the run count before an attempt starts.
+func (j *Job) setAttempt(n int) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.attempts = n
+	}
+	j.mu.Unlock()
 }
 
 // setProgress publishes an iteration snapshot (no-op once terminal).

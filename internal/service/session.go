@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mats"
 	"repro/internal/solver"
 	"repro/internal/sparse"
@@ -41,6 +42,9 @@ type SolveRequest struct {
 	IncludeSolution bool `json:"include_solution,omitempty"`
 	// RecordHistory returns the per-iteration residual history.
 	RecordHistory bool `json:"record_history,omitempty"`
+	// Chaos perturbs the solve's schedule (requires Config.EnableChaos).
+	// HTTP clients can also set it via the X-Chaos header.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
 }
 
 // engineKind parses the request's engine name.
@@ -69,6 +73,18 @@ type Config struct {
 	// MaxMatrixRows rejects oversized inline matrices (default 1<<20;
 	// negative: unlimited).
 	MaxMatrixRows int
+	// MaxAttempts is how often a job is run before its failure becomes
+	// terminal: divergent or non-converged attempts are retried with
+	// capped exponential backoff (default 1 = no retries).
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; attempt n
+	// waits RetryBaseDelay << (n-1), capped at RetryMaxDelay. Defaults
+	// 100ms and 5s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// EnableChaos admits requests carrying a ChaosSpec. Off by default:
+	// chaos injection is a debugging feature, not for production traffic.
+	EnableChaos bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,7 +97,32 @@ func (c Config) withDefaults() Config {
 	if c.MaxMatrixRows == 0 {
 		c.MaxMatrixRows = 1 << 20
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 5 * time.Second
+	}
 	return c
+}
+
+// retryDelay is the capped exponential backoff before retry n (the
+// attempt that just failed was attempt n).
+func (c Config) retryDelay(attempt int) time.Duration {
+	d := c.RetryBaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.RetryMaxDelay {
+			return c.RetryMaxDelay
+		}
+	}
+	if d > c.RetryMaxDelay {
+		return c.RetryMaxDelay
+	}
+	return d
 }
 
 // Stats is the /statsz payload: queue, worker and plan-cache counters.
@@ -190,6 +231,14 @@ func (s *Service) validate(req SolveRequest) error {
 	}
 	if _, err := req.engineKind(); err != nil {
 		return err
+	}
+	if req.Chaos != nil {
+		if !s.cfg.EnableChaos {
+			return ErrChaosDisabled
+		}
+		if _, err := fault.NewChaos(req.Chaos.config(1)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -320,9 +369,10 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
-// runJob executes one dequeued job on a worker: resolve the matrix, get
-// or build the plan (the cache hit is what a warm daemon buys), then
-// iterate with the job's context threaded into the engine.
+// runJob executes one dequeued job on a worker. The job's deadline spans
+// every attempt: divergent or non-converged attempts are retried with
+// capped exponential backoff up to Config.MaxAttempts, and the attempt
+// count is part of the job's status.
 func (s *Service) runJob(j *Job) {
 	req := j.req
 
@@ -346,15 +396,65 @@ func (s *Service) runJob(j *Job) {
 	}
 	started := time.Now()
 
+	var result *JobResult
+	var err error
+	attempt := 1
+	for ; ; attempt++ {
+		j.setAttempt(attempt)
+		result, err = s.runAttempt(ctx, j, attempt)
+		if err == nil || attempt == s.cfg.MaxAttempts || !retryable(err) {
+			break
+		}
+		if !sleepCtx(ctx, s.cfg.retryDelay(attempt)) {
+			err = fmt.Errorf("%w: %v while backing off after attempt %d: %v",
+				core.ErrCanceled, ctx.Err(), attempt, err)
+			break
+		}
+	}
+	if err != nil && attempt > 1 {
+		err = fmt.Errorf("service: giving up after %d attempts: %w", attempt, err)
+	}
+	if result != nil {
+		result.Attempts = attempt
+		result.WallTime = time.Since(started).Seconds()
+	}
+	s.finishJob(j, result, err)
+}
+
+// retryable reports whether a failed attempt is worth repeating: the
+// asynchronous iteration failing to contract is schedule-dependent, so a
+// rerun (with fresh chaos perturbations) may converge. Bad requests,
+// cancellations and plan errors are not retried.
+func retryable(err error) bool {
+	return errors.Is(err, core.ErrDiverged) || errors.Is(err, core.ErrNotConverged)
+}
+
+// sleepCtx sleeps d unless ctx expires first; it reports whether the full
+// backoff elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// runAttempt performs one solve attempt: resolve the matrix, get or
+// build the plan (the cache hit is what a warm daemon buys), then
+// iterate with the job's context threaded into the engine.
+func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResult, error) {
+	req := j.req
+
 	a, fp, err := s.resolveMatrix(req)
 	if err != nil {
-		s.finishJob(j, nil, err)
-		return
+		return nil, err
 	}
 	engine, err := req.engineKind()
 	if err != nil {
-		s.finishJob(j, nil, err)
-		return
+		return nil, err
 	}
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
@@ -368,11 +468,19 @@ func (s *Service) runJob(j *Job) {
 		Seed:           req.Seed,
 		Ctx:            ctx,
 	}
+	if req.Chaos != nil {
+		// Each attempt gets a shifted chaos seed so retries explore a
+		// different perturbation of the schedule.
+		c, err := fault.NewChaos(req.Chaos.config(attempt))
+		if err != nil {
+			return nil, err
+		}
+		opt.Chaos = &core.ChaosHooks{Delay: c.Delay, Reorder: c.Reorder, StaleRead: c.StaleRead}
+	}
 
 	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
 	if err != nil {
-		s.finishJob(j, nil, err)
-		return
+		return nil, err
 	}
 
 	b := req.RHS
@@ -380,8 +488,7 @@ func (s *Service) runJob(j *Job) {
 		b = make([]float64, a.Rows)
 		a.MulVec(b, vecmath.Ones(a.Cols))
 	} else if len(b) != a.Rows {
-		s.finishJob(j, nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows))
-		return
+		return nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows)
 	}
 
 	nb := plan.Prepared.NumBlocks()
@@ -406,7 +513,6 @@ func (s *Service) runJob(j *Job) {
 		Residual:         res.Residual,
 		NumBlocks:        res.NumBlocks,
 		PlanHit:          hit,
-		WallTime:         time.Since(started).Seconds(),
 	}
 	if req.RecordHistory {
 		result.History = res.History
@@ -421,7 +527,7 @@ func (s *Service) runJob(j *Job) {
 		err = fmt.Errorf("service: %w after %d global iterations (residual %.3e, tolerance %.3e)",
 			core.ErrNotConverged, res.GlobalIterations, res.Residual, req.Tolerance)
 	}
-	s.finishJob(j, result, err)
+	return result, err
 }
 
 // finishJob records the terminal state and bumps the outcome counters.

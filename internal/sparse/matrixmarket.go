@@ -13,6 +13,13 @@ import (
 // {general|symmetric}" and "matrix coordinate pattern {general|symmetric}"
 // (pattern entries read as 1.0).
 
+// maxMMDim bounds the dimensions ReadMatrixMarket accepts. CSR storage
+// allocates rows+1 row pointers before a single entry is validated, so
+// without a bound a three-integer size line can demand gigabytes. 2^24
+// rows is an order of magnitude above the largest collection matrix the
+// paper uses.
+const maxMMDim = 1 << 24
+
 // ReadMatrixMarket parses a Matrix Market coordinate stream into CSR.
 // Symmetric files are expanded to full storage.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
@@ -61,6 +68,12 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	}
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("matrixmarket: bad dimensions %dx%d", rows, cols)
+	}
+	if rows > maxMMDim || cols > maxMMDim {
+		return nil, fmt.Errorf("matrixmarket: dimensions %dx%d exceed the supported bound %d", rows, cols, maxMMDim)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("matrixmarket: negative entry count %d", nnz)
 	}
 
 	coo := NewCOO(rows, cols)

@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// corpusMatrix renders a small matrix to Matrix Market text for the seed
+// corpus (generated here rather than committed as testdata so the corpus
+// always matches the writer).
+func corpusMatrix() string {
+	c := NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+			c.Add(i-1, i, -1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, c.ToCSR()); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add(corpusMatrix())
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 -1e-3\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n% comment\n\n3 3 2\n2 1 1.0\n3 3 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	// Hostile shapes the parser must reject without allocating for them.
+	f.Add("%%MatrixMarket matrix coordinate real general\n1000000000 1000000000 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 -5\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("")
+	f.Add("%%MatrixMarket")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// On success the CSR invariants must hold: otherwise downstream
+		// code (partitioning, kernels) indexes out of range.
+		if a.Rows <= 0 || a.Cols <= 0 || a.Rows > maxMMDim || a.Cols > maxMMDim {
+			t.Fatalf("accepted matrix with dimensions %dx%d", a.Rows, a.Cols)
+		}
+		if len(a.RowPtr) != a.Rows+1 || a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != len(a.Val) {
+			t.Fatalf("broken row pointers: len=%d rows=%d last=%d nnz=%d",
+				len(a.RowPtr), a.Rows, a.RowPtr[a.Rows], len(a.Val))
+		}
+		if len(a.ColIdx) != len(a.Val) {
+			t.Fatalf("colidx/val length mismatch: %d vs %d", len(a.ColIdx), len(a.Val))
+		}
+		for i := 0; i < a.Rows; i++ {
+			if a.RowPtr[i] > a.RowPtr[i+1] {
+				t.Fatalf("row %d: non-monotone row pointers", i)
+			}
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if a.ColIdx[p] < 0 || a.ColIdx[p] >= a.Cols {
+					t.Fatalf("row %d: column %d out of range [0,%d)", i, a.ColIdx[p], a.Cols)
+				}
+			}
+		}
+		// A parsed matrix must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatalf("write-back of accepted matrix failed: %v", err)
+		}
+		if _, err := ReadMatrixMarket(&buf); err != nil {
+			t.Fatalf("round trip of accepted matrix failed: %v", err)
+		}
+	})
+}
+
+func TestReadMatrixMarketRejectsHostileSizeLines(t *testing.T) {
+	for _, tc := range []struct{ name, input string }{
+		{"huge-dims", "%%MatrixMarket matrix coordinate real general\n1000000000 1000000000 0\n"},
+		{"huge-cols", "%%MatrixMarket matrix coordinate real general\n2 999999999 0\n"},
+		{"negative-nnz", "%%MatrixMarket matrix coordinate real general\n2 2 -5\n"},
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The bound itself is generous: a paper-scale matrix passes.
+	ok := "%%MatrixMarket matrix coordinate real general\n20000 20000 1\n1 1 1.0\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(ok)); err != nil {
+		t.Fatalf("paper-scale matrix rejected: %v", err)
+	}
+}

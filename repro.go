@@ -46,6 +46,7 @@ import (
 	"repro/internal/mats"
 	"repro/internal/multigpu"
 	"repro/internal/multigrid"
+	"repro/internal/sched"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
@@ -128,6 +129,29 @@ type (
 	FreeRunningResult = core.FreeRunningResult
 	// Trace carries Chazan–Miranker update/shift statistics.
 	Trace = core.Trace
+	// ChaosHooks are engine injection points for adversarial scheduling
+	// perturbations (delay / reorder / stale-read); see core.ChaosHooks.
+	ChaosHooks = core.ChaosHooks
+)
+
+// Schedule record/replay (reproducing non-deterministic runs).
+type (
+	// Schedule is a captured block-execution schedule; see sched.Schedule.
+	Schedule = sched.Schedule
+	// ScheduleRecorder captures the executed schedule of a run; attach
+	// via AsyncOptions.Record / FreeRunningOptions.Record.
+	ScheduleRecorder = sched.Recorder
+	// ScheduleEvent is one recorded block execution.
+	ScheduleEvent = sched.Event
+	// ScheduleMeta describes the captured run.
+	ScheduleMeta = sched.Meta
+)
+
+var (
+	// NewScheduleRecorder creates a recorder (capacity ≤ 0: default).
+	NewScheduleRecorder = sched.NewRecorder
+	// ReadSchedule restores a schedule persisted with Schedule.WriteJSON.
+	ReadSchedule = sched.ReadJSON
 )
 
 // Engine selectors.
@@ -269,6 +293,10 @@ type (
 	// SilentCorruptor injects undetected bit flips via
 	// AsyncOptions.AfterIteration.
 	SilentCorruptor = fault.SilentCorruptor
+	// Chaos injects random scheduling perturbations matching ChaosHooks.
+	Chaos = fault.Chaos
+	// ChaosConfig parameterizes a Chaos injector.
+	ChaosConfig = fault.ChaosConfig
 	// AnomalyDetector flags convergence delays that reveal silent errors.
 	AnomalyDetector = fault.Detector
 	// VectorAccess is the iterate view handed to AfterIteration hooks.
@@ -278,6 +306,8 @@ type (
 // NewSilentCorruptor and NewAnomalyDetector construct the §4.5 tooling.
 var (
 	NewSilentCorruptor = fault.NewSilentCorruptor
+	// NewChaos validates a ChaosConfig and builds the injector.
+	NewChaos = fault.NewChaos
 	NewAnomalyDetector = fault.NewDetector
 )
 
