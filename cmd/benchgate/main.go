@@ -1,0 +1,148 @@
+// Command benchgate is the repository's benchmark regression gate: it runs
+// the paper-matrix suite (Trefethen, fv stencil, Chem97ZtZ analog) across
+// the three execution engines, writes a schema-versioned BENCH_<date>.json
+// snapshot (iterations and wall time to tolerance, iterations/second,
+// allocations), compares the run against the newest committed BENCH_*.json
+// baseline, and exits nonzero when a metric regressed beyond its threshold.
+//
+// The paper's claims are performance claims — convergence per second, not
+// just per iteration — so the repo's trajectory needs a measured baseline
+// before any optimization can be trusted. Deterministic cases (the seeded
+// simulated engine) gate tightly on iteration counts, which are exact;
+// wall-time and allocation thresholds are loose enough for shared CI
+// machines, and the non-deterministic engines get an extra iteration
+// allowance (the paper's own 1000-run study shows their spread).
+//
+// Usage:
+//
+//	benchgate               # full suite, compare, write snapshot
+//	benchgate -quick        # CI suite: small matrices, fewer repetitions
+//	benchgate -dir .        # where baselines live and the snapshot is written
+//
+// Exit codes: 0 pass, 1 regression (or missing coverage), 2 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "small-matrix suite with fewer repetitions (CI)")
+		dir      = fs.String("dir", ".", "directory holding BENCH_*.json baselines; the snapshot is written there")
+		baseline = fs.String("baseline", "", "explicit baseline file (default: newest BENCH_*.json in -dir)")
+		noWrite  = fs.Bool("no-write", false, "compare only; do not write a snapshot")
+		limits   = defaultLimits()
+	)
+	fs.Float64Var(&limits.MaxTimeRegress, "max-time-regress", limits.MaxTimeRegress,
+		"tolerated fractional wall-time increase (loose: machine variance)")
+	fs.Float64Var(&limits.MaxIterRegress, "max-iter-regress", limits.MaxIterRegress,
+		"tolerated fractional iteration-count increase for deterministic cases")
+	fs.Float64Var(&limits.MaxAllocRegress, "max-alloc-regress", limits.MaxAllocRegress,
+		"tolerated fractional allocated-bytes increase")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	base, basePath, err := loadBaseline(*baseline, *dir)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: %v\n", err)
+		return 2
+	}
+
+	report := Report{
+		SchemaVersion: schemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		Quick:         *quick,
+	}
+	for _, c := range suite(*quick) {
+		fmt.Fprintf(out, "benchgate: running %-40s", c.Name)
+		r, err := runCase(c)
+		if err != nil {
+			fmt.Fprintf(out, " ERROR: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, " %4d iters  %8.1f iters/s  %9.2fms\n",
+			r.Iterations, r.ItersPerSec, 1e3*r.TimeToTolerance)
+		report.Cases = append(report.Cases, r)
+	}
+
+	if !*noWrite {
+		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
+		if err := writeReport(path, report); err != nil {
+			fmt.Fprintf(out, "benchgate: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "benchgate: wrote %s\n", path)
+	}
+
+	if base == nil {
+		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
+		return 0
+	}
+	return verdict(*base, basePath, report, limits, out)
+}
+
+// verdict prints the gate outcome and returns the process exit code.
+func verdict(base Report, basePath string, current Report, lim Limits, out io.Writer) int {
+	fmt.Fprintf(out, "benchgate: comparing against %s\n", basePath)
+	problems := Compare(base, current, lim)
+	if len(problems) == 0 {
+		fmt.Fprintf(out, "benchgate: PASS (%d cases gated)\n", len(current.Cases))
+		return 0
+	}
+	for _, p := range problems {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s\n", p)
+	}
+	fmt.Fprintf(out, "benchgate: FAIL (%d regressions)\n", len(problems))
+	return 1
+}
+
+// gate loads the baseline at basePath and runs the verdict against an
+// already-measured report — the path the tests drive without re-running
+// the suite.
+func gate(basePath string, current Report, lim Limits, out io.Writer) int {
+	base, err := readReport(basePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: %v\n", err)
+		return 2
+	}
+	return verdict(*base, basePath, current, lim, out)
+}
+
+// loadBaseline resolves the comparison baseline: an explicit path, or the
+// lexically newest BENCH_*.json in dir (the names embed ISO dates, so
+// lexical order is date order). It must run before the snapshot is
+// written, so a same-day rerun still compares against the committed state.
+func loadBaseline(explicit, dir string) (*Report, string, error) {
+	path := explicit
+	if path == "" {
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, "", err
+		}
+		if len(matches) == 0 {
+			return nil, "", nil
+		}
+		sort.Strings(matches)
+		path = matches[len(matches)-1]
+	}
+	r, err := readReport(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("reading baseline %s: %w", path, err)
+	}
+	return r, path, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// schemaVersion identifies the BENCH_*.json layout. Bump it on any
+// incompatible change; Compare refuses to gate across versions (a schema
+// change is a human decision, not a regression).
+const schemaVersion = 1
+
+// Report is one benchmark snapshot — the BENCH_<date>.json payload.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Date          string       `json:"date"`
+	GoVersion     string       `json:"go_version"`
+	Quick         bool         `json:"quick"`
+	Cases         []CaseResult `json:"cases"`
+}
+
+// CaseResult is one benchmark case's measurements. Iteration counts of
+// deterministic cases are exact (seeded simulated engine); wall times are
+// the minimum over the case's repetitions.
+type CaseResult struct {
+	Name          string  `json:"name"`
+	Matrix        string  `json:"matrix"`
+	Engine        string  `json:"engine"`
+	N             int     `json:"n"`
+	BlockSize     int     `json:"block_size"`
+	LocalIters    int     `json:"local_iters"`
+	Tolerance     float64 `json:"tolerance"`
+	Deterministic bool    `json:"deterministic"`
+
+	Iterations      int     `json:"iterations"` // global iterations to tolerance
+	TimeToTolerance float64 `json:"time_to_tolerance_seconds"`
+	ItersPerSec     float64 `json:"iters_per_sec"`
+	AllocBytes      uint64  `json:"alloc_bytes"` // heap bytes allocated by one solve
+	Allocs          uint64  `json:"allocs"`      // heap objects allocated by one solve
+}
+
+func (r Report) byName() map[string]CaseResult {
+	m := make(map[string]CaseResult, len(r.Cases))
+	for _, c := range r.Cases {
+		m[c.Name] = c
+	}
+	return m
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: missing schema_version", path)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Limits are the per-metric regression thresholds, expressed as tolerated
+// fractional increase over the baseline.
+type Limits struct {
+	// MaxIterRegress gates iteration counts of deterministic cases; the
+	// non-deterministic engines get NondetIterFactor times the allowance
+	// (run-to-run spread is physical, per the paper's §4.1 study).
+	MaxIterRegress   float64
+	NondetIterFactor float64
+	// MaxTimeRegress gates time-to-tolerance and (inverted) iters/sec.
+	// Loose by default: CI machines are noisy and shared.
+	MaxTimeRegress float64
+	// MaxAllocRegress gates allocated bytes and object counts.
+	MaxAllocRegress float64
+}
+
+func defaultLimits() Limits {
+	return Limits{
+		MaxIterRegress:   0.10,
+		NondetIterFactor: 5,
+		MaxTimeRegress:   1.00,
+		MaxAllocRegress:  0.50,
+	}
+}
+
+// Problem is one gate violation.
+type Problem struct {
+	Case   string
+	Metric string
+	Base   float64
+	Now    float64
+	Limit  float64 // tolerated fractional increase
+}
+
+func (p Problem) String() string {
+	if p.Base == 0 {
+		return fmt.Sprintf("%s: %s", p.Case, p.Metric)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.0f%%, limit +%.0f%%)",
+		p.Case, p.Metric, p.Base, p.Now, 100*(p.Now/p.Base-1), 100*p.Limit)
+}
+
+// Compare gates current against base: every baseline case must still
+// exist, and no metric may regress beyond its limit. Reports from
+// different schema versions or suite modes (quick vs full) are not
+// comparable case-by-case, so only the intersection gates in the
+// cross-mode case and nothing gates across schema versions.
+func Compare(base, current Report, lim Limits) []Problem {
+	if base.SchemaVersion != current.SchemaVersion {
+		return nil
+	}
+	var out []Problem
+	now := current.byName()
+	sameMode := base.Quick == current.Quick
+	for _, b := range base.Cases {
+		c, ok := now[b.Name]
+		if !ok {
+			if sameMode {
+				out = append(out, Problem{Case: b.Name, Metric: "coverage (case missing from current run)"})
+			}
+			continue
+		}
+		iterLimit := lim.MaxIterRegress
+		if !b.Deterministic {
+			iterLimit *= lim.NondetIterFactor
+		}
+		check := func(metric string, baseV, nowV, limit float64) {
+			if baseV > 0 && nowV > baseV*(1+limit) {
+				out = append(out, Problem{Case: b.Name, Metric: metric, Base: baseV, Now: nowV, Limit: limit})
+			}
+		}
+		check("iterations", float64(b.Iterations), float64(c.Iterations), iterLimit)
+		check("time_to_tolerance_seconds", b.TimeToTolerance, c.TimeToTolerance, lim.MaxTimeRegress)
+		check("alloc_bytes", float64(b.AllocBytes), float64(c.AllocBytes), lim.MaxAllocRegress)
+		check("allocs", float64(b.Allocs), float64(c.Allocs), lim.MaxAllocRegress)
+		// iters/sec regresses downward; gate the inverse ratio so one
+		// threshold covers both time metrics.
+		if b.ItersPerSec > 0 && c.ItersPerSec > 0 &&
+			b.ItersPerSec/c.ItersPerSec > 1+lim.MaxTimeRegress {
+			out = append(out, Problem{Case: b.Name, Metric: "iters_per_sec (inverse)",
+				Base: b.ItersPerSec, Now: c.ItersPerSec, Limit: lim.MaxTimeRegress})
+		}
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -44,14 +45,13 @@ func main() {
 	}
 	want := func(name string) bool { return len(sel) == 0 || sel[name] }
 
-	if err := run(*quick, *runs, *seed, want, *jsonPath); err != nil {
+	if err := run(os.Stdout, *quick, *runs, *seed, want, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, runs int, seed int64, want func(string) bool, jsonPath string) error {
-	out := os.Stdout
+func run(out io.Writer, quick bool, runs int, seed int64, want func(string) bool, jsonPath string) error {
 	model := gpusim.CalibratedModel()
 	results := map[string]any{}
 	record := func(name string, v any) { results[name] = v }

@@ -1,6 +1,17 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
 
 // TestRunQuickSubset exercises the harness plumbing on the cheapest
 // sections. The full sweep is covered by the checked-in
@@ -8,13 +19,12 @@ import "testing"
 func TestRunQuickSubset(t *testing.T) {
 	want := func(name string) bool {
 		switch name {
-		case "table4", "fig8", "table5", "precond",
-			"fig10", "table6", "fig11", "silent", "exascale", "cluster", "mgrid":
+		case "precond", "fig10", "table6", "silent", "cluster", "mgrid":
 			return true
 		}
 		return false
 	}
-	if err := run(true, 5, 1, want, ""); err != nil {
+	if err := run(io.Discard, true, 5, 1, want, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,7 +34,132 @@ func TestRunScaledAndReorder(t *testing.T) {
 		t.Skip("slow section")
 	}
 	want := func(name string) bool { return name == "reorder" }
-	if err := run(true, 5, 1, want, ""); err != nil {
+	if err := run(io.Discard, true, 5, 1, want, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// goldenSections are the purely modeled experiments: their output depends
+// only on the calibrated performance model and the seeded simulated
+// engine, never on wall clock or scheduling, so it is byte-stable.
+var goldenSections = map[string]bool{
+	"table4": true, "fig8": true, "table5": true, "fig11": true, "exascale": true,
+}
+
+// TestGoldenModeledSections renders the deterministic modeled sections and
+// compares them byte-for-byte against testdata/modeled.golden. Regenerate
+// with `go test ./cmd/benchtables -run Golden -update` after an intended
+// change to the tables, the plot renderer, or the performance model.
+func TestGoldenModeledSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, 5, 1, func(n string) bool { return goldenSections[n] }, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "modeled.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("modeled output drifted from %s at line %d:\n got: %q\nwant: %q\n(-update regenerates after an intended change)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("modeled output drifted from %s (same lines, different bytes)", path)
+}
+
+// fullSweepSections is every section title the no-flag sweep emits, in
+// order. TestCommittedOutputStructure pins the committed
+// benchtables_output.txt against this list, so adding, removing or
+// renaming a section forces a regeneration of the committed run.
+var fullSweepSections = []string{
+	"Table 1 — test matrix properties",
+	"Figure 5 / Tables 2–3 — non-determinism of async-(5), block size 128",
+	"Figure 6 — convergence: Gauss-Seidel vs Jacobi vs async-(1)",
+	"Figure 7 — convergence: Gauss-Seidel vs async-(5)",
+	"Table 4 — cost of local iterations (fv3, modeled)",
+	"Figure 8 — average iteration time vs total iterations (fv3, modeled)",
+	"Table 5 — average iteration timings (modeled)",
+	"Figure 9 — relative residual vs solver runtime (modeled time)",
+	"Figure 10 — convergence under hardware failure (async-(5))",
+	"Table 6 — additional iterations to recover (async-(5))",
+	"Figure 11 — multi-GPU time-to-convergence (Trefethen_20000, modeled)",
+	"Extension — τ-scaled Jacobi rescues s1rmt3m1 (paper §4.2)",
+	"Extension — RCM reordering restores local-iteration gains (paper §4.3)",
+	"Extension — silent-error detection from convergence delay (paper §4.5)",
+	"Extension — async-(k) as a multigrid smoother (paper §5)",
+	"Extension — checkpoint/restart vs asynchronous recovery (paper §4.5)",
+	"Extension — subdomain alignment on an anisotropic operator (paper §5)",
+	"Extension — empirically tuned parameters (paper §3.2/§5)",
+	"Extension — distributed bounded-delay asynchronous iteration (conclusions)",
+	"Extension — async-(k) as a GMRES preconditioner (paper §5)",
+	"Ablations — block size and local sweeps (async-(5) on fv1)",
+}
+
+// TestCommittedOutputStructure is the drift check on the committed full
+// sweep: benchtables_output.txt must contain exactly the current section
+// set, in harness order. It catches a stale committed run after the
+// harness gains or loses an experiment.
+func TestCommittedOutputStructure(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "benchtables_output.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A section header is a line whose successor is an = rule of the same
+	// width (the section() helper's format).
+	var headers []string
+	var prev string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// section() sizes the rule with len(title) — bytes, not runes.
+		if prev != "" && line == strings.Repeat("=", len(prev)) {
+			headers = append(headers, prev)
+		}
+		prev = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(headers) != len(fullSweepSections) {
+		t.Errorf("committed output has %d sections, harness emits %d — regenerate benchtables_output.txt",
+			len(headers), len(fullSweepSections))
+	}
+	for i, want := range fullSweepSections {
+		if i >= len(headers) {
+			t.Errorf("section %d missing from committed output: %q", i, want)
+			continue
+		}
+		if headers[i] != want {
+			t.Errorf("section %d: committed %q, harness emits %q", i, headers[i], want)
+		}
 	}
 }

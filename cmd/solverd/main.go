@@ -11,6 +11,12 @@
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness
 //	GET    /statsz       queue depth, worker utilization, plan-cache hit rate
+//	GET    /metricsz     Prometheus text exposition of the same counters,
+//	                     plus per-engine solver counters, residual tracing
+//	                     and modeled-device gauges
+//
+// With -pprof the standard net/http/pprof profiling handlers are mounted
+// under /debug/pprof/ (off by default: profiles expose internals).
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // solves, canceling whatever is still running when -drain-timeout expires.
@@ -25,6 +31,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +54,7 @@ func main() {
 		retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt)")
 		retryMax     = flag.Duration("retry-max", 5*time.Second, "backoff cap")
 		chaos        = flag.Bool("chaos", false, "admit chaos-injection requests (X-Chaos header / chaos JSON block)")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -64,9 +72,24 @@ func main() {
 			AnalyzeSpectrum: *analyze,
 		},
 	})
+	handler := service.NewHandler(svc)
+	if *enablePprof {
+		// Mount the pprof handlers explicitly rather than through the
+		// package's DefaultServeMux side effects, so the profiling surface
+		// exists only behind the flag.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		log.Printf("solverd: pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewHandler(svc)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -96,10 +96,12 @@ type Options struct {
 	RecordHistory bool
 	// InitialGuess seeds x if non-nil (not modified); zero vector otherwise.
 	InitialGuess []float64
-	// Ctx, if non-nil, is checked at every global-iteration boundary: once
-	// it is done the solve returns early with an error wrapping both
-	// ErrCanceled and the context's error (deadline or cancellation). The
-	// partial iterate is returned in Result.X. A nil Ctx never cancels.
+	// Ctx, if non-nil, is checked before every block execution (and at
+	// every global-iteration boundary): once it is done the solve returns
+	// early with an error wrapping both ErrCanceled and the context's
+	// error (deadline or cancellation), so cancellation latency is bounded
+	// by one block sweep even on large systems. The partial iterate is
+	// returned in Result.X. A nil Ctx never cancels.
 	Ctx context.Context
 
 	// Engine selects the execution engine (default EngineSimulated).
@@ -158,6 +160,15 @@ type Options struct {
 	// Package fault provides a seeded implementation; internal/service
 	// exposes it behind a debug flag.
 	Chaos *ChaosHooks
+
+	// Metrics, if non-nil, receives per-engine counters (global iterations,
+	// block sweeps, stale reads, chaos injections, replay events) and the
+	// per-iteration residual into its bounded ring. Setting Metrics makes
+	// the engines compute the residual every global iteration even when
+	// Tolerance is 0 and RecordHistory is false, but it never changes
+	// control flow: the stopping test and divergence detection stay
+	// governed by Tolerance/RecordHistory alone.
+	Metrics *SolveMetrics
 }
 
 // runSeedCounter backs the per-run stream derivation for Seed == 0.
@@ -277,13 +288,21 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 // when the tolerance is met or the iteration has left the finite range.
 func checkResidual(a *sparse.CSR, b, x []float64, opt Options, res *Result, iter int) (bool, error) {
 	res.GlobalIterations = iter
-	if !opt.RecordHistory && opt.Tolerance == 0 {
+	wantStop := opt.RecordHistory || opt.Tolerance != 0
+	if !wantStop && opt.Metrics == nil {
 		return false, nil
 	}
 	r := solver.Residual(a, b, x)
 	res.Residual = r
+	opt.Metrics.pushResidual(r)
 	if opt.RecordHistory {
 		res.History = append(res.History, r)
+	}
+	if !wantStop {
+		// Metrics-only residual tracing must not alter control flow: with
+		// Tolerance 0 the stopping test (and its divergence error) stays
+		// disabled, exactly as for an uninstrumented run.
+		return false, nil
 	}
 	if math.IsNaN(r) || math.IsInf(r, 0) {
 		return true, fmt.Errorf("%w after %d global iterations", ErrDiverged, iter)

@@ -27,21 +27,28 @@ type ChaosHooks struct {
 	StaleRead func(iter, block int) bool
 }
 
-// delay invokes the Delay hook if configured.
-func (c *ChaosHooks) delay(iter, block int) {
+// delay invokes the Delay hook if configured, counting the injection.
+func (c *ChaosHooks) delay(em *engineCounters, iter, block int) {
 	if c != nil && c.Delay != nil {
+		em.addChaos()
 		c.Delay(iter, block)
 	}
 }
 
-// reorder invokes the Reorder hook if configured.
-func (c *ChaosHooks) reorder(iter int, order []int) {
+// reorder invokes the Reorder hook if configured, counting the injection.
+func (c *ChaosHooks) reorder(em *engineCounters, iter int, order []int) {
 	if c != nil && c.Reorder != nil {
+		em.addChaos()
 		c.Reorder(iter, order)
 	}
 }
 
-// staleRead reports whether the StaleRead hook forces a snapshot read.
-func (c *ChaosHooks) staleRead(iter, block int) bool {
-	return c != nil && c.StaleRead != nil && c.StaleRead(iter, block)
+// staleRead reports whether the StaleRead hook forces a snapshot read,
+// counting each forced read as an injection.
+func (c *ChaosHooks) staleRead(em *engineCounters, iter, block int) bool {
+	if c != nil && c.StaleRead != nil && c.StaleRead(iter, block) {
+		em.addChaos()
+		return true
+	}
+	return false
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/sparse"
@@ -57,6 +58,13 @@ type FreeRunningOptions struct {
 	// Delay hook applies: a free-running run has no dispatch order to
 	// reorder and its staleness is physical). Ignored during replay.
 	Chaos *ChaosHooks
+
+	// Metrics, if non-nil, receives the "freerunning" engine counters
+	// (block sweeps, chaos injections, replay events) and every residual
+	// the convergence monitor computes. A free-running run has no global
+	// iterations, so that counter stays 0 — EquivalentGlobalIters is the
+	// comparable unit.
+	Metrics *SolveMetrics
 }
 
 // FreeRunningResult reports a free-running solve.
@@ -98,6 +106,11 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	if err != nil {
 		return FreeRunningResult{}, err
 	}
+	if opt.Metrics != nil {
+		defer func(start time.Time) {
+			opt.Metrics.observeSolve("freerunning", time.Since(start))
+		}(time.Now())
+	}
 	if opt.Replay != nil {
 		return replayFreeRunning(plan, b, opt)
 	}
@@ -135,6 +148,7 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	}
 	x := NewAtomicVector(start)
 	maxBlock := plan.maxBlock
+	em := opt.Metrics.engine("freerunning")
 
 	var (
 		updates  int64 // atomic: total block updates
@@ -178,8 +192,9 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 						atomic.StoreInt32(&stop, 1)
 						return
 					}
-					opt.Chaos.delay(round, bi)
+					opt.Chaos.delay(em, round, bi)
 					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, 1, x, x, x, scr)
+					em.addBlockSweep()
 					if opt.Record != nil {
 						opt.Record.Append(sched.Event{
 							Epoch: int32(round), Block: int32(bi),
@@ -222,6 +237,7 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 			a.MulVec(r, xs)
 			vecmath.Sub(r, b, r)
 			nrm := vecmath.Nrm2(r)
+			opt.Metrics.pushResidual(nrm)
 			if nrm <= opt.Tolerance || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
 				atomic.StoreInt32(&stop, 1)
 				break
@@ -283,6 +299,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
+	em := opt.Metrics.engine("freerunning")
 	gate := sched.NewGate(s)
 	owns := func(e sched.Event, w int) bool { return int(e.Worker) == w }
 	if opt.Record != nil {
@@ -322,6 +339,8 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 					sweeps = opt.LocalIters
 				}
 				runBlockKernel(a, sp, b, views[int(e.Block)], sweeps, 1, x, x, x, scr)
+				em.addBlockSweep()
+				em.addReplayEvent()
 				if opt.Record != nil {
 					opt.Record.Append(e)
 				}

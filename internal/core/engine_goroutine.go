@@ -90,6 +90,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 
 	maxBlock := p.maxBlock
+	em := opt.Metrics.engine("goroutine")
 	// Persistent worker pool fed one global iteration at a time. In replay
 	// mode the same pool is fed one *event* at a time.
 	type task struct {
@@ -104,8 +105,15 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 			defer poolWG.Done()
 			scr := newKernelScratch(maxBlock)
 			for t := range work {
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					// Cancellation inside the sweep: drain without computing
+					// so a chaos Delay or a large kernel cannot stretch the
+					// cancellation latency past the in-flight block.
+					wg.Done()
+					continue
+				}
 				if opt.Replay == nil {
-					opt.Chaos.delay(t.iter, t.block)
+					opt.Chaos.delay(em, t.iter, t.block)
 				}
 				if t.sweeps == 0 {
 					// A singular block would have failed at factorization;
@@ -114,6 +122,10 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 					_ = runBlockExact(a, b, views[t.block], factors.lu[t.block], x, x, scr)
 				} else {
 					runBlockKernel(a, sp, b, views[t.block], t.sweeps, omega, x, x, x, scr)
+				}
+				em.addBlockSweep()
+				if opt.Replay != nil {
+					em.addReplayEvent()
 				}
 				if opt.Record != nil {
 					opt.Record.Append(sched.Event{
@@ -147,14 +159,25 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 		if opt.Replay != nil {
 			for _, e := range replayEpochs[iter-1] {
+				if err := ctxErr(opt.Ctx, iter-1); err != nil {
+					x.CopyInto(xHost)
+					res.X = xHost
+					return res, err
+				}
 				wg.Add(1)
 				work <- task{iter: iter, block: int(e.Block), sweeps: int(e.Sweeps)}
 				wg.Wait() // yield point: serialize the recorded order
 			}
 		} else {
 			order := gsched.Order(nb)
-			opt.Chaos.reorder(iter, order)
+			opt.Chaos.reorder(em, iter, order)
 			for _, bi := range order {
+				// Per-block cancellation check: stop dispatching as soon as
+				// the context is done, so at most the in-flight blocks (≤
+				// workers) run to completion instead of the whole sweep.
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					break
+				}
 				if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
 					continue
 				}
@@ -162,7 +185,13 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 				work <- task{iter: iter, block: bi, sweeps: sweeps}
 			}
 			wg.Wait() // end-of-global-iteration barrier
+			if err := ctxErr(opt.Ctx, iter-1); err != nil {
+				x.CopyInto(xHost)
+				res.X = xHost
+				return res, err
+			}
 		}
+		em.addIteration()
 
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, atomicAccess{x})

@@ -83,6 +83,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	scr := newKernelScratch(p.maxBlock)
 	factors := p.factors
 	res := Result{NumBlocks: nb}
+	em := opt.Metrics.engine("simulated")
 	if opt.Record != nil {
 		opt.Record.SetMeta(s.Meta)
 	}
@@ -114,6 +115,12 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 		vecmath.Copy(iterSnap, x)
 		for _, e := range chunk {
+			// Per-event cancellation check, mirroring the live engine's
+			// per-block granularity.
+			if err := ctxErr(opt.Ctx, iter-1); err != nil {
+				res.X = x
+				return res, err
+			}
 			bi := int(e.Block)
 			var offRead valueReader
 			switch {
@@ -121,6 +128,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				// Sequential canonical semantics: read the live iterate.
 				offRead = sliceReader(x)
 			case e.Shift > 0:
+				em.addStaleRead()
 				offRead = sliceReader(iterSnap)
 			default:
 				mix.live, mix.snap = x, iterSnap
@@ -134,10 +142,13 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			} else {
 				runBlockKernel(a, sp, b, views[bi], int(e.Sweeps), omega, offRead, offRead, sliceWriter(x), scr)
 			}
+			em.addBlockSweep()
+			em.addReplayEvent()
 			if opt.Record != nil {
 				opt.Record.Append(e)
 			}
 		}
+		em.addIteration()
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, sliceAccess(x))
 		}

@@ -68,6 +68,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	scr := newKernelScratch(p.maxBlock)
 	mix := &mixReader{rng: raceRNG}
 	factors := p.factors
+	em := opt.Metrics.engine("simulated")
 
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
@@ -77,20 +78,29 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		vecmath.Copy(iterSnap, x)
 		order := gsched.Order(nb)
 		stale := gsched.StaleMask(nb, opt.StaleProb)
-		opt.Chaos.reorder(iter, order)
+		opt.Chaos.reorder(em, iter, order)
 		for _, bi := range order {
+			// Per-block cancellation check: a global iteration over many
+			// blocks (Trefethen_2000 at small block sizes has hundreds) can
+			// take arbitrarily long, so waiting for the iteration boundary
+			// would make cancellation latency O(n/blockSize) sweeps.
+			if err := ctxErr(opt.Ctx, iter-1); err != nil {
+				res.X = x
+				return res, err
+			}
 			if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
 				if trace != nil {
 					trace.SkippedUpdates++
 				}
 				continue
 			}
-			if opt.Chaos.staleRead(iter, bi) {
+			if opt.Chaos.staleRead(em, iter, bi) {
 				stale[bi] = true
 			}
-			opt.Chaos.delay(iter, bi)
+			opt.Chaos.delay(em, iter, bi)
 			var offRead valueReader
 			if stale[bi] {
+				em.addStaleRead()
 				offRead = sliceReader(iterSnap)
 			} else {
 				mix.live, mix.snap = x, iterSnap
@@ -109,6 +119,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				runBlockKernel(a, sp, b, views[bi], opt.LocalIters, opt.Omega, offRead, offRead, sliceWriter(x), scr)
 			}
 			blockVersion[bi] = iter
+			em.addBlockSweep()
 			if opt.Record != nil {
 				opt.Record.Append(simEvent(iter, bi, opt, stale[bi]))
 			}
@@ -116,6 +127,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				trace.UpdatesPerBlock[bi]++
 			}
 		}
+		em.addIteration()
 		if trace != nil {
 			trace.GlobalIterations = iter
 		}

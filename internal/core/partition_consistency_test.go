@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// solveAllEngines runs the same system through the three execution engines
+// and returns their solutions, failing the test on any error or
+// non-convergence.
+func solveAllEngines(t *testing.T, a *sparse.CSR, blockSize int) map[string][]float64 {
+	t.Helper()
+	b := onesRHS(a)
+	out := make(map[string][]float64, 3)
+
+	for _, engine := range []EngineKind{EngineSimulated, EngineGoroutine} {
+		res, err := Solve(a, b, Options{
+			BlockSize: blockSize, LocalIters: 5, MaxGlobalIters: 2000,
+			Tolerance: 1e-10, Engine: engine, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: not converged, residual %g", engine, res.Residual)
+		}
+		out[engine.String()] = res.X
+	}
+
+	fr, err := SolveFreeRunning(a, b, FreeRunningOptions{
+		BlockSize: blockSize, LocalIters: 5,
+		MaxBlockUpdates: 1_000_000, Tolerance: 1e-10,
+	})
+	if err != nil {
+		t.Fatalf("freerunning: %v", err)
+	}
+	if !fr.Converged {
+		t.Fatalf("freerunning: not converged, residual %g", fr.Residual)
+	}
+	out["freerunning"] = fr.X
+	return out
+}
+
+// TestEnginesAgreeOnRaggedPartitions is the cross-engine half of the
+// partition edge-case satellite: block sizes that do not divide n (down
+// to a trailing block of a single row) and the single-block degenerate
+// case must leave all three engines agreeing on the solution.
+func TestEnginesAgreeOnRaggedPartitions(t *testing.T) {
+	cases := []struct {
+		name      string
+		a         *sparse.CSR
+		blockSize int
+	}{
+		// 225 rows / 32 → 8 blocks, the last holding a single row.
+		{"trailing one-row block", mats.Poisson2D(15, 15), 32},
+		// 225 rows / 50 → ragged 25-row tail.
+		{"ragged tail", mats.Poisson2D(15, 15), 50},
+		// One block spanning everything: async-(k) degenerates to a
+		// plain (damped) Jacobi-style sweep; still must solve.
+		{"single block exact", mats.Trefethen(120), 120},
+		{"single block oversized", mats.Trefethen(120), 512},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sols := solveAllEngines(t, c.a, c.blockSize)
+			for name, x := range sols {
+				checkSolvesOnes(t, name, x, 1e-6)
+			}
+		})
+	}
+}
+
+// emptyRowCSR is diagonally dominant except one structurally empty row.
+func emptyRowCSR(n, empty int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if i == empty {
+			continue
+		}
+		c.Add(i, i, 4)
+		if i > 0 && i-1 != empty {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 && i+1 != empty {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// TestEmptyRowRejectedByAllEngines pins the other half of the satellite:
+// a system with an empty row (zero diagonal) must be rejected with
+// sparse.ErrZeroDiagonal by every engine, not solved to garbage by some
+// and rejected by others. The empty row is placed both inside a full
+// block and alone in the ragged trailing block.
+func TestEmptyRowRejectedByAllEngines(t *testing.T) {
+	for _, emptyAt := range []int{3, 9} { // n=10, bs=3: mid-block and last (ragged) block
+		a := emptyRowCSR(10, emptyAt)
+		b := make([]float64, 10)
+		for _, engine := range []EngineKind{EngineSimulated, EngineGoroutine} {
+			_, err := Solve(a, b, Options{
+				BlockSize: 3, LocalIters: 2, MaxGlobalIters: 10, Tolerance: 1e-8, Seed: 1, Engine: engine,
+			})
+			if !errors.Is(err, sparse.ErrZeroDiagonal) {
+				t.Errorf("empty row %d, %v: err = %v, want sparse.ErrZeroDiagonal", emptyAt, engine, err)
+			}
+		}
+		_, err := SolveFreeRunning(a, b, FreeRunningOptions{
+			BlockSize: 3, LocalIters: 2, MaxBlockUpdates: 100, Tolerance: 1e-8,
+		})
+		if !errors.Is(err, sparse.ErrZeroDiagonal) {
+			t.Errorf("empty row %d, freerunning: err = %v, want sparse.ErrZeroDiagonal", emptyAt, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/sparse"
 )
@@ -124,6 +125,11 @@ func SolveWithPlan(p *Plan, b []float64, opt Options) (Result, error) {
 	if err := opt.validate(p.a, b); err != nil {
 		return Result{}, err
 	}
+	if opt.Metrics != nil {
+		defer func(start time.Time) {
+			opt.Metrics.observeSolve(opt.Engine.String(), time.Since(start))
+		}(time.Now())
+	}
 	switch opt.Engine {
 	case EngineSimulated:
 		return solveSimulated(p, b, opt)
@@ -134,9 +140,10 @@ func SolveWithPlan(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 }
 
-// ctxErr reports a wrapped ErrCanceled when ctx is done; engines call it at
-// every global-iteration boundary, so cancellation latency is bounded by
-// one global iteration. A nil ctx never cancels.
+// ctxErr reports a wrapped ErrCanceled when ctx is done; engines call it
+// before every block execution (and at every global-iteration boundary),
+// so cancellation latency is bounded by one block sweep, not one global
+// iteration. A nil ctx never cancels.
 func ctxErr(ctx context.Context, iter int) error {
 	if ctx == nil {
 		return nil

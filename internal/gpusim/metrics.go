@@ -1,0 +1,55 @@
+package gpusim
+
+import "repro/internal/metrics"
+
+// Occupancy returns the fraction of multiprocessor slots doing useful work
+// when numBlocks thread blocks execute in waves of NumSM: the last wave is
+// partially filled whenever numBlocks is not a multiple of NumSM, which is
+// the launch-configuration inefficiency GPU profilers report as (achieved)
+// occupancy. The result is in (0, 1].
+func (d DeviceParams) Occupancy(numBlocks int) float64 {
+	if numBlocks <= 0 {
+		panic("gpusim: Occupancy needs at least one block")
+	}
+	waves := (numBlocks + d.NumSM - 1) / d.NumSM
+	return float64(numBlocks) / float64(waves*d.NumSM)
+}
+
+// Instrument registers the model's device and launch-overhead gauges in
+// reg, all labeled with the device name: the static hardware parameters,
+// the per-kernel fixed launch costs the calibration attributes to kernel
+// launch + synchronization, and the marginal cost of an extra local sweep.
+// It returns the device occupancy gauge, initially 0; callers that know
+// their launch configuration update it via SetOccupancy (or Set directly)
+// as solves run.
+func (m PerfModel) Instrument(reg *metrics.Registry) *metrics.Gauge {
+	dev := m.Device.Name
+	set := func(name, help string, v float64) {
+		reg.Gauge(name, help, "device", dev).Set(v)
+	}
+	set("gpusim_device_multiprocessors", "Multiprocessors executing blocks concurrently.", float64(m.Device.NumSM))
+	set("gpusim_device_clock_ghz", "Multiprocessor clock, GHz.", m.Device.ClockGHz)
+	set("gpusim_device_memory_gb", "Device memory capacity, GB.", m.Device.MemoryGB)
+	set("gpusim_device_pcie_gbs", "Effective host-link bandwidth, GB/s.", m.Device.PCIeGBs)
+	set("gpusim_device_setup_seconds", "One-time context creation + allocation + upload cost, seconds.", m.Device.SetupTime)
+	setKernel := func(kernel string, v float64) {
+		reg.Gauge("gpusim_launch_overhead_seconds",
+			"Fixed per-iteration kernel launch + synchronization cost, seconds.",
+			"device", dev, "kernel", kernel).Set(v)
+	}
+	setKernel("jacobi", m.JacobiLaunch)
+	setKernel("async", m.AsyncLaunch)
+	setKernel("gauss_seidel", m.CPULaunch)
+	set("gpusim_local_sweep_marginal_fraction",
+		"Marginal cost of one extra local sweep as a fraction of the async base iteration time.",
+		m.LocalSweep)
+	return reg.Gauge("gpusim_device_occupancy",
+		"Achieved occupancy of the most recent launch configuration (0 until a solve runs).",
+		"device", dev)
+}
+
+// SetOccupancy records the achieved occupancy of a launch with numBlocks
+// thread blocks into g (a gauge obtained from Instrument).
+func (m PerfModel) SetOccupancy(g *metrics.Gauge, numBlocks int) {
+	g.Set(m.Device.Occupancy(numBlocks))
+}

@@ -1,0 +1,67 @@
+package gpusim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestOccupancy(t *testing.T) {
+	d := FermiC2070() // 14 SMs
+	cases := []struct {
+		blocks int
+		want   float64
+	}{
+		{14, 1},         // one full wave
+		{28, 1},         // two full waves
+		{1, 1.0 / 14},   // one block on one SM
+		{15, 15.0 / 28}, // second wave nearly empty
+		{21, 21.0 / 28},
+	}
+	for _, tc := range cases {
+		if got := d.Occupancy(tc.blocks); math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("Occupancy(%d) = %g, want %g", tc.blocks, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Occupancy(0) should panic")
+		}
+	}()
+	d.Occupancy(0)
+}
+
+func TestInstrument(t *testing.T) {
+	m := CalibratedModel()
+	reg := metrics.NewRegistry()
+	occ := m.Instrument(reg)
+	if v := occ.Value(); v != 0 {
+		t.Errorf("occupancy gauge starts at %g, want 0", v)
+	}
+	m.SetOccupancy(occ, 28)
+	if v := occ.Value(); v != 1 {
+		t.Errorf("occupancy after full-wave launch = %g, want 1", v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`gpusim_device_multiprocessors{device="Tesla C2070 (Fermi)"} 14`,
+		`gpusim_launch_overhead_seconds{device="Tesla C2070 (Fermi)",kernel="async"} 0.0006701`,
+		`gpusim_launch_overhead_seconds{device="Tesla C2070 (Fermi)",kernel="jacobi"}`,
+		`gpusim_device_occupancy{device="Tesla C2070 (Fermi)"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Instrumenting the same model twice must be idempotent, not panic.
+	m.Instrument(reg)
+}

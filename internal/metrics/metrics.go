@@ -1,0 +1,229 @@
+// Package metrics is the repository's dependency-free observability
+// substrate: counters, gauges, histograms and bounded sample rings behind a
+// registry that renders the Prometheus text exposition format (version
+// 0.0.4). The paper's entire evaluation (§4) is measurement — convergence
+// per iteration and per second, 1000-run statistics, recovery curves — and
+// this package is what lets a *running* solve be observed the same way:
+// engine counters in internal/core, device gauges in internal/gpusim,
+// queue/cache/request metrics in internal/service, all surfaced at the
+// daemon's GET /metricsz.
+//
+// Everything is stdlib-only and safe for concurrent use. The hot-path
+// primitives are lock-free: counters shard their state across padded cache
+// lines (writers pick a shard through the runtime's per-thread fast random
+// stream, so concurrent increments rarely contend), gauges are single
+// atomic words, histogram buckets are atomic counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the counter shard count: enough to spread the worker pools
+// used in this repository (≤ 14 simulated multiprocessors, small HTTP
+// worker pools) across distinct cache lines, small enough that summing on
+// read stays trivial. Must be a power of two.
+const numShards = 16
+
+// paddedUint64 occupies a full cache line so neighbouring shards never
+// false-share.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter. Increments go to one of
+// numShards cache-line-padded cells chosen via the runtime's per-thread
+// random stream; Value sums the cells. The counter therefore scales across
+// the goroutine engine's worker pool without a shared contended word.
+type Counter struct {
+	shards [numShards]paddedUint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.shards[rand.Uint32()&(numShards-1)].v.Add(n)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	var s uint64
+	for i := range c.shards {
+		s += c.shards[i].v.Load()
+	}
+	return s
+}
+
+// Gauge is a settable instantaneous value (a float64 behind one atomic
+// word).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram of float64 observations. Bucket
+// bounds are upper bounds in increasing order; observations above the last
+// bound land only in the implicit +Inf bucket. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper): per-bucket (non-cumulative) counts
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// DefBuckets is the default latency bucket layout (seconds), spanning the
+// sub-millisecond kernel sweeps through multi-second full solves.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not strictly increasing at %d: %g <= %g",
+				i, buckets[i], buckets[i-1]))
+		}
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the upper bounds and the *cumulative* counts per bucket
+// (Prometheus le semantics, excluding the +Inf bucket, whose cumulative
+// count is Count).
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	cum := make([]uint64, len(h.upper))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return append([]float64(nil), h.upper...), cum
+}
+
+// Ring is a bounded ring buffer of float64 samples — the residual-history
+// store behind core.Options.Metrics. Unlike Result.History (which grows
+// with the iteration count), a Ring keeps only the most recent Cap samples,
+// so a long-running daemon can retain recent convergence behaviour with a
+// hard memory bound.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing creates a ring holding up to capacity samples (capacity must be
+// positive).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: ring capacity must be positive, have %d", capacity))
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push appends a sample, evicting the oldest once full.
+func (r *Ring) Push(v float64) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained samples oldest-first.
+func (r *Ring) Snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]float64(nil), r.buf[:r.next]...)
+	}
+	out := make([]float64, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of retained samples.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Total returns the number of samples ever pushed (≥ Len).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Last returns the most recent sample, or false when empty.
+func (r *Ring) Last() (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total == 0 {
+		return 0, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.buf) - 1
+	}
+	return r.buf[i], true
+}

@@ -18,6 +18,8 @@ import (
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness probe
 //	GET    /statsz       queue depth, worker utilization, plan-cache rates
+//	GET    /metricsz     the same counters (plus engine/device series) in
+//	                     Prometheus text exposition format
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes
 // (400 invalid request, 404 unknown job, 429 queue full, 503 shutdown).
@@ -87,6 +89,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("GET /metricsz", s.Metrics().Handler())
 	return mux
 }
 

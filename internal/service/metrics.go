@@ -1,0 +1,64 @@
+package service
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+// instrument builds the service's metrics registry. Every queue, worker
+// and plan-cache series is a callback reading the same source /statsz
+// serializes (the queue channel, the cache counters, the outcome atomics),
+// so GET /metricsz and GET /statsz agree by construction — there is no
+// second set of books to drift.
+//
+// The solver-level sink (engine counters + residual ring) and the modeled
+// device's gauges are registered in the same registry; runAttempt attaches
+// the sink to every solve and updates the occupancy gauge per launch.
+func (s *Service) instrument() {
+	reg := metrics.NewRegistry()
+	s.reg = reg
+	s.solveMetrics = core.NewSolveMetrics(reg, 512)
+	s.perf = gpusim.CalibratedModel()
+	s.occupancy = s.perf.Instrument(reg)
+
+	reg.GaugeFunc("service_queue_depth", "Jobs queued and not yet running.",
+		func() float64 { return float64(s.queue.Depth()) })
+	reg.GaugeFunc("service_queue_capacity", "Bound of the job queue.",
+		func() float64 { return float64(s.queue.Capacity()) })
+	reg.GaugeFunc("service_workers", "Solver worker-pool size.",
+		func() float64 { return float64(s.queue.Workers()) })
+	reg.GaugeFunc("service_busy_workers", "Workers currently running a job.",
+		func() float64 { return float64(s.queue.Busy()) })
+
+	reg.CounterFunc("service_jobs_submitted_total", "Jobs accepted into the queue.",
+		s.submits.Load)
+	reg.CounterFunc("service_jobs_done_total", "Jobs finished successfully.",
+		s.dones.Load)
+	reg.CounterFunc("service_jobs_failed_total", "Jobs finished with a non-cancellation error.",
+		s.fails.Load)
+	reg.CounterFunc("service_jobs_canceled_total", "Jobs canceled by client or deadline.",
+		s.cancels.Load)
+	reg.CounterFunc("service_jobs_rejected_total", "Submissions refused (validation, full queue, shutdown).",
+		s.rejected.Load)
+	reg.CounterFunc("service_job_retries_total", "Solve attempts beyond each job's first.",
+		s.retries.Load)
+
+	reg.CounterFunc("service_plan_cache_hits_total", "Plan-cache lookups served from cache.",
+		func() uint64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("service_plan_cache_misses_total", "Plan-cache lookups that built a plan.",
+		func() uint64 { return s.cache.Stats().Misses })
+	reg.CounterFunc("service_plan_cache_evictions_total", "Plans evicted to respect the cache bounds.",
+		func() uint64 { return s.cache.Stats().Evictions })
+	reg.GaugeFunc("service_plan_cache_entries", "Plans resident in the cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("service_plan_cache_bytes", "Estimated bytes of resident plans.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+}
+
+// Metrics returns the service's metrics registry (the /metricsz source).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// SolveMetrics returns the solver-level sink attached to every job's
+// solve: per-engine counters and the bounded residual-history ring.
+func (s *Service) SolveMetrics() *core.SolveMetrics { return s.solveMetrics }

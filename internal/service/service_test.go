@@ -258,12 +258,12 @@ func TestServiceValidation(t *testing.T) {
 	s := New(Config{})
 	defer s.Shutdown(context.Background())
 	cases := []SolveRequest{
-		{},                                    // no matrix
-		{Matrix: "fv1", MatrixMarket: "x"},    // both sources
+		{},                                 // no matrix
+		{Matrix: "fv1", MatrixMarket: "x"}, // both sources
 		{Matrix: "no-such-matrix", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1},
-		{Matrix: "fv1", LocalIters: 1, MaxGlobalIters: 1},                   // no block size
-		{Matrix: "fv1", BlockSize: 8, MaxGlobalIters: 1},                    // no local iters
-		{Matrix: "fv1", BlockSize: 8, LocalIters: 1},                        // no budget
+		{Matrix: "fv1", LocalIters: 1, MaxGlobalIters: 1}, // no block size
+		{Matrix: "fv1", BlockSize: 8, MaxGlobalIters: 1},  // no local iters
+		{Matrix: "fv1", BlockSize: 8, LocalIters: 1},      // no budget
 		{Matrix: "fv1", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1, Engine: "cuda"},
 		{MatrixMarket: "not a matrix", BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1},
 	}

@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/gpusim"
 	"repro/internal/mats"
+	"repro/internal/metrics"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
@@ -135,6 +137,8 @@ type Stats struct {
 	Done          uint64     `json:"jobs_done"`
 	Failed        uint64     `json:"jobs_failed"`
 	Canceled      uint64     `json:"jobs_canceled"`
+	Rejected      uint64     `json:"jobs_rejected"`
+	Retries       uint64     `json:"job_retries"`
 	PlanCache     CacheStats `json:"plan_cache"`
 	PlanHitRate   float64    `json:"plan_hit_rate"`
 }
@@ -146,16 +150,26 @@ type Service struct {
 	cache *PlanCache
 	queue *Queue
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string // insertion order, for listing
-	mats    map[string]*namedMatrix
-	closed  bool
-	nextID  atomic.Uint64
-	submits atomic.Uint64
-	dones   atomic.Uint64
-	fails   atomic.Uint64
-	cancels atomic.Uint64
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing
+	mats     map[string]*namedMatrix
+	closed   bool
+	nextID   atomic.Uint64
+	submits  atomic.Uint64
+	dones    atomic.Uint64
+	fails    atomic.Uint64
+	cancels  atomic.Uint64
+	rejected atomic.Uint64
+	retries  atomic.Uint64
+
+	// Observability (see metrics.go): the registry behind GET /metricsz,
+	// the solver-level sink attached to every solve, and the modeled
+	// device's occupancy gauge.
+	reg          *metrics.Registry
+	solveMetrics *core.SolveMetrics
+	perf         gpusim.PerfModel
+	occupancy    *metrics.Gauge
 }
 
 // namedMatrix caches a generated paper matrix and its fingerprint so
@@ -175,6 +189,7 @@ func New(cfg Config) *Service {
 		mats:  make(map[string]*namedMatrix),
 	}
 	s.queue = NewQueue(cfg.QueueDepth, cfg.Workers, s.runJob)
+	s.instrument()
 	return s
 }
 
@@ -186,14 +201,17 @@ func (s *Service) Cache() *PlanCache { return s.cache }
 // and ErrShuttingDown after Shutdown started.
 func (s *Service) Submit(req SolveRequest) (*Job, error) {
 	if err := s.validate(req); err != nil {
+		s.rejected.Add(1)
 		return nil, err
 	}
 	if _, _, err := s.resolveMatrix(req); err != nil {
+		s.rejected.Add(1)
 		return nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.rejected.Add(1)
 		return nil, ErrShuttingDown
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
@@ -207,6 +225,7 @@ func (s *Service) Submit(req SolveRequest) (*Job, error) {
 		delete(s.jobs, id)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		s.rejected.Add(1)
 		return nil, err
 	}
 	s.submits.Add(1)
@@ -330,6 +349,8 @@ func (s *Service) Stats() Stats {
 		Done:          s.dones.Load(),
 		Failed:        s.fails.Load(),
 		Canceled:      s.cancels.Load(),
+		Rejected:      s.rejected.Load(),
+		Retries:       s.retries.Load(),
 		PlanCache:     cs,
 		PlanHitRate:   cs.HitRate(),
 	}
@@ -405,6 +426,7 @@ func (s *Service) runJob(j *Job) {
 		if err == nil || attempt == s.cfg.MaxAttempts || !retryable(err) {
 			break
 		}
+		s.retries.Add(1)
 		if !sleepCtx(ctx, s.cfg.retryDelay(attempt)) {
 			err = fmt.Errorf("%w: %v while backing off after attempt %d: %v",
 				core.ErrCanceled, ctx.Err(), attempt, err)
@@ -467,6 +489,7 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Engine:         engine,
 		Seed:           req.Seed,
 		Ctx:            ctx,
+		Metrics:        s.solveMetrics,
 	}
 	if req.Chaos != nil {
 		// Each attempt gets a shifted chaos seed so retries explore a
@@ -492,6 +515,7 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 	}
 
 	nb := plan.Prepared.NumBlocks()
+	s.perf.SetOccupancy(s.occupancy, nb)
 	j.setProgress(Progress{NumBlocks: nb, PlanHit: hit})
 	scratch := make([]float64, a.Rows)
 	opt.AfterIteration = func(iter int, x core.VectorAccess) {

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBlockPartitionEdgeCases pins the partition geometry on the awkward
+// shapes the solver must handle: sizes not divisible by the block size
+// (ragged last block, down to a single row), a single block covering
+// everything, and the degenerate one-row system.
+func TestBlockPartitionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, bs      int
+		wantBlocks int
+		wantSizes  []int
+	}{
+		{"ragged last block", 10, 4, 3, []int{4, 4, 2}},
+		{"last block of one row", 9, 4, 3, []int{4, 4, 1}},
+		{"single block exact", 8, 8, 1, []int{8}},
+		{"single block oversized", 5, 100, 1, []int{5}},
+		{"one row", 1, 1, 1, []int{1}},
+		{"one row big block", 1, 64, 1, []int{1}},
+		{"block size one", 4, 1, 4, []int{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewBlockPartition(c.n, c.bs)
+			if p.NumBlocks() != c.wantBlocks {
+				t.Fatalf("NumBlocks() = %d, want %d", p.NumBlocks(), c.wantBlocks)
+			}
+			if p.N != c.n {
+				t.Errorf("N = %d, want %d", p.N, c.n)
+			}
+			for b, want := range c.wantSizes {
+				if got := p.Size(b); got != want {
+					t.Errorf("Size(%d) = %d, want %d", b, got, want)
+				}
+			}
+			// Bounds tile [0, n) exactly: contiguous, no overlap, no gap.
+			prevEnd := 0
+			for b := 0; b < p.NumBlocks(); b++ {
+				lo, hi := p.Bounds(b)
+				if lo != prevEnd || hi <= lo {
+					t.Errorf("Bounds(%d) = [%d,%d), want contiguous from %d", b, lo, hi, prevEnd)
+				}
+				prevEnd = hi
+			}
+			if prevEnd != c.n {
+				t.Errorf("blocks end at %d, want %d", prevEnd, c.n)
+			}
+			// BlockOf agrees with the bounds for every row, including the
+			// block boundaries themselves.
+			for i := 0; i < c.n; i++ {
+				b := p.BlockOf(i)
+				lo, hi := p.Bounds(b)
+				if i < lo || i >= hi {
+					t.Errorf("BlockOf(%d) = %d with bounds [%d,%d)", i, b, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+func TestBlockPartitionPanicsOnBadInput(t *testing.T) {
+	for _, c := range []struct{ n, bs int }{{0, 4}, {-1, 4}, {4, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBlockPartition(%d, %d) did not panic", c.n, c.bs)
+				}
+			}()
+			NewBlockPartition(c.n, c.bs)
+		}()
+	}
+}
+
+// emptyRowMatrix is diagonally dominant except row `empty`, which has no
+// stored entries at all (so its diagonal is structurally zero).
+func emptyRowMatrix(n, empty int) *CSR {
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if i == empty {
+			continue
+		}
+		c.Add(i, i, 4)
+		if i > 0 && i-1 != empty {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 && i+1 != empty {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// TestEmptyRowZeroDiagonal pins the error contract for a matrix with an
+// empty row: every diagonal-dependent construction reports
+// ErrZeroDiagonal (wrapped, so errors.Is works) naming that row.
+func TestEmptyRowZeroDiagonal(t *testing.T) {
+	a := emptyRowMatrix(6, 3)
+	if _, err := NewSplitting(a); !errors.Is(err, ErrZeroDiagonal) {
+		t.Errorf("NewSplitting on empty row: err = %v, want ErrZeroDiagonal", err)
+	}
+	if _, err := a.JacobiIterationMatrix(); !errors.Is(err, ErrZeroDiagonal) {
+		t.Errorf("JacobiIterationMatrix on empty row: err = %v, want ErrZeroDiagonal", err)
+	}
+}
+
+// TestOffBlockFractionEmptyRows checks the off-block mass statistic is
+// well-defined (zero, not NaN) for blocks whose rows carry no
+// off-diagonal entries — including fully empty rows.
+func TestOffBlockFractionEmptyRows(t *testing.T) {
+	// 4 rows, block size 2: block 0 has only diagonal entries, block 1
+	// contains an empty row and one row coupling outside the block.
+	c := NewCOO(4, 4)
+	c.Add(0, 0, 2)
+	c.Add(1, 1, 2)
+	c.Add(3, 3, 2)
+	c.Add(3, 0, -1) // off-block for block 1
+	f := NewBlockPartition(4, 2).OffBlockFraction(c.ToCSR())
+	if f[0] != 0 {
+		t.Errorf("diagonal-only block: fraction = %g, want 0", f[0])
+	}
+	if f[1] != 1 {
+		t.Errorf("block with only off-block coupling: fraction = %g, want 1", f[1])
+	}
+	// A fully empty matrix must not divide by zero.
+	for b, v := range NewBlockPartition(3, 2).OffBlockFraction(NewCOO(3, 3).ToCSR()) {
+		if v != 0 {
+			t.Errorf("empty matrix block %d: fraction = %g, want 0", b, v)
+		}
+	}
+}

@@ -307,7 +307,7 @@ type (
 var (
 	NewSilentCorruptor = fault.NewSilentCorruptor
 	// NewChaos validates a ChaosConfig and builds the injector.
-	NewChaos = fault.NewChaos
+	NewChaos           = fault.NewChaos
 	NewAnomalyDetector = fault.NewDetector
 )
 
