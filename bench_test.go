@@ -22,6 +22,7 @@ import (
 	"repro/internal/multigrid"
 	"repro/internal/solver"
 	"repro/internal/sparse"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -526,7 +527,7 @@ func BenchmarkTuneAsync(b *testing.B) {
 	a, rhs := benchMatrix(b, "Trefethen_2000")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Tune(a, rhs, core.TuneConfig{
+		if _, err := tune.Tune(a, rhs, tune.Config{
 			BlockSizes: []int{128, 448}, LocalIters: []int{1, 5}, Seed: 1,
 		}); err != nil {
 			b.Fatal(err)

@@ -79,6 +79,15 @@ func run(args []string, out io.Writer) int {
 			r.Iterations, r.ItersPerSec, 1e3*r.TimeToTolerance)
 		report.Cases = append(report.Cases, r)
 	}
+	report.TunedVsDefault = tunedVsDefault(report.Cases)
+	for _, d := range report.TunedVsDefault {
+		verdict := "tuned wins"
+		if !d.TunedWins {
+			verdict = "default wins"
+		}
+		fmt.Fprintf(out, "benchgate: tuned-vs-default %-16s iters ×%.2f  modeled ×%.2f  (%s)\n",
+			d.Matrix, d.IterRatio, d.ModeledRatio, verdict)
+	}
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")

@@ -18,6 +18,10 @@ type Report struct {
 	GoVersion     string       `json:"go_version"`
 	Quick         bool         `json:"quick"`
 	Cases         []CaseResult `json:"cases"`
+	// TunedVsDefault summarizes each tuned suite row against its
+	// default-configuration counterpart (additive field; older baselines
+	// simply lack it).
+	TunedVsDefault []TunedDelta `json:"tuned_vs_default,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -33,11 +37,59 @@ type CaseResult struct {
 	Tolerance     float64 `json:"tolerance"`
 	Deterministic bool    `json:"deterministic"`
 
+	// Omega is the relaxation weight when it differs from 1, and Tuned
+	// marks rows whose (block size, k, ω) came from the auto-tuner rather
+	// than the suite table. Additive fields: absent in older baselines.
+	Omega float64 `json:"omega,omitempty"`
+	Tuned bool    `json:"tuned,omitempty"`
+
 	Iterations      int     `json:"iterations"` // global iterations to tolerance
 	TimeToTolerance float64 `json:"time_to_tolerance_seconds"`
 	ItersPerSec     float64 `json:"iters_per_sec"`
 	AllocBytes      uint64  `json:"alloc_bytes"` // heap bytes allocated by one solve
 	Allocs          uint64  `json:"allocs"`      // heap objects allocated by one solve
+	// ModeledSeconds is the modeled GPU wall time to tolerance: the
+	// calibrated per-iteration cost × iterations (0 for exact-local rows,
+	// and absent in older baselines).
+	ModeledSeconds float64 `json:"modeled_seconds,omitempty"`
+}
+
+// TunedDelta compares a tuned suite row against the default-configuration
+// row of the same matrix and engine. Ratios below 1 mean the tuner won.
+type TunedDelta struct {
+	Matrix       string  `json:"matrix"`
+	DefaultCase  string  `json:"default_case"`
+	TunedCase    string  `json:"tuned_case"`
+	IterRatio    float64 `json:"iterations_ratio"`      // tuned / default
+	ModeledRatio float64 `json:"modeled_seconds_ratio"` // tuned / default
+	TunedWins    bool    `json:"tuned_wins"`            // on iterations or modeled time
+}
+
+// tunedVsDefault pairs every tuned case with the default row of the same
+// matrix and engine.
+func tunedVsDefault(cases []CaseResult) []TunedDelta {
+	var out []TunedDelta
+	for _, tc := range cases {
+		if !tc.Tuned {
+			continue
+		}
+		for _, dc := range cases {
+			if dc.Tuned || dc.Matrix != tc.Matrix || dc.Engine != tc.Engine || dc.LocalIters == 0 {
+				continue
+			}
+			d := TunedDelta{Matrix: tc.Matrix, DefaultCase: dc.Name, TunedCase: tc.Name}
+			if dc.Iterations > 0 {
+				d.IterRatio = float64(tc.Iterations) / float64(dc.Iterations)
+			}
+			if dc.ModeledSeconds > 0 {
+				d.ModeledRatio = tc.ModeledSeconds / dc.ModeledSeconds
+			}
+			d.TunedWins = (d.IterRatio > 0 && d.IterRatio < 1) || (d.ModeledRatio > 0 && d.ModeledRatio < 1)
+			out = append(out, d)
+			break
+		}
+	}
+	return out
 }
 
 func (r Report) byName() map[string]CaseResult {
@@ -142,6 +194,10 @@ func Compare(base, current Report, lim Limits) []Problem {
 			}
 		}
 		check("iterations", float64(b.Iterations), float64(c.Iterations), iterLimit)
+		// Modeled time is iterations × a constant per-iteration cost, so it
+		// gates with the iteration allowance; baselines predating the field
+		// hold 0 there and are skipped by the baseV > 0 guard.
+		check("modeled_seconds", b.ModeledSeconds, c.ModeledSeconds, iterLimit)
 		check("time_to_tolerance_seconds", b.TimeToTolerance, c.TimeToTolerance, lim.MaxTimeRegress)
 		check("alloc_bytes", float64(b.AllocBytes), float64(c.AllocBytes), lim.MaxAllocRegress)
 		check("allocs", float64(b.Allocs), float64(c.Allocs), lim.MaxAllocRegress)

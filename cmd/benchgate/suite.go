@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gpusim"
 	"repro/internal/mats"
 	"repro/internal/sparse"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -20,10 +22,14 @@ type benchCase struct {
 	Engine     string // "simulated" | "goroutine" | "freerunning"
 	BlockSize  int
 	LocalIters int
+	Omega      float64 // 0 means 1
 	Tolerance  float64
 	MaxIters   int
 	Seed       int64 // simulated engine: fixes the schedule, so runs are exact
 	Reps       int
+	// Tuned replaces BlockSize/LocalIters/Omega with the auto-tuner's
+	// choice before measuring (the search itself is not timed).
+	Tuned bool
 }
 
 // suite returns the benchmark cases. The quick suite keeps the paper's
@@ -60,6 +66,15 @@ func suite(quick bool) []benchCase {
 			Engine: "simulated", BlockSize: 128, LocalIters: 5, Tolerance: 1e-6, MaxIters: 2000, Seed: 1, Reps: reps},
 		{Name: chemName + "/simulated/k5", Matrix: chemName, Gen: chem,
 			Engine: "simulated", BlockSize: 128, LocalIters: 5, Tolerance: 1e-6, MaxIters: 2000, Seed: 1, Reps: reps},
+		// Tuned counterparts of the three paper matrices: the auto-tuner
+		// picks (block size, k, ω); the tuned-vs-default summary in the
+		// snapshot compares each against its /k5 default row.
+		{Name: "Trefethen_2000/simulated/tuned", Matrix: "Trefethen_2000", Gen: tref,
+			Engine: "simulated", Tuned: true, Tolerance: 1e-6, MaxIters: 200, Seed: 1, Reps: reps},
+		{Name: fvName + "/simulated/tuned", Matrix: fvName, Gen: fv,
+			Engine: "simulated", Tuned: true, Tolerance: 1e-6, MaxIters: 2000, Seed: 1, Reps: reps},
+		{Name: chemName + "/simulated/tuned", Matrix: chemName, Gen: chem,
+			Engine: "simulated", Tuned: true, Tolerance: 1e-6, MaxIters: 2000, Seed: 1, Reps: reps},
 	}
 	if !quick {
 		cases = append(cases,
@@ -81,10 +96,25 @@ func runCase(c benchCase) (CaseResult, error) {
 	b := make([]float64, a.Rows)
 	a.MulVec(b, vecmath.Ones(a.Cols))
 
+	if c.Tuned {
+		// The search runs outside the timed region: a warm daemon serves
+		// it from the fingerprint cache, so the measured solve is what a
+		// repeat customer pays.
+		tr, err := tune.Tune(a, b, tune.Config{Seed: c.Seed})
+		if err != nil {
+			return CaseResult{Name: c.Name}, fmt.Errorf("auto-tune: %w", err)
+		}
+		c.BlockSize, c.LocalIters, c.Omega = tr.BlockSize, tr.LocalIters, tr.Omega
+	}
+
 	res := CaseResult{
 		Name: c.Name, Matrix: c.Matrix, Engine: c.Engine, N: a.Rows,
 		BlockSize: c.BlockSize, LocalIters: c.LocalIters, Tolerance: c.Tolerance,
 		Deterministic: c.Engine == "simulated" && c.Seed != 0,
+		Tuned:         c.Tuned,
+	}
+	if c.Omega != 0 && c.Omega != 1 {
+		res.Omega = c.Omega
 	}
 
 	exact := c.LocalIters == 0
@@ -102,7 +132,14 @@ func runCase(c benchCase) (CaseResult, error) {
 		if best < 0 || elapsed < best {
 			best = elapsed
 			res.Iterations = iters
+		}
+		// Allocations are gated on the minimum across reps: concurrent GC
+		// and goroutine-stack reuse add run-to-run noise that the fastest
+		// rep does not necessarily avoid.
+		if rep == 0 || allocB < res.AllocBytes {
 			res.AllocBytes = allocB
+		}
+		if rep == 0 || allocN < res.Allocs {
 			res.Allocs = allocN
 		}
 	}
@@ -110,10 +147,17 @@ func runCase(c benchCase) (CaseResult, error) {
 	if best > 0 {
 		res.ItersPerSec = float64(res.Iterations) / best
 	}
+	if !exact {
+		model := gpusim.CalibratedModel()
+		res.ModeledSeconds = model.AsyncIterTime(a.Rows, a.NNZ(), c.LocalIters) * float64(res.Iterations)
+	}
 	return res, nil
 }
 
 func runOnce(plan *core.Plan, a *sparse.CSR, b []float64, c benchCase) (int, float64, uint64, uint64, error) {
+	// Settle the heap so the measured delta is this solve's allocations,
+	// not a concurrent background sweep's.
+	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -128,6 +172,7 @@ func runOnce(plan *core.Plan, a *sparse.CSR, b []float64, c benchCase) (int, flo
 		}
 		opt := core.Options{
 			BlockSize: c.BlockSize, LocalIters: c.LocalIters, ExactLocal: c.LocalIters == 0,
+			Omega:          c.Omega,
 			MaxGlobalIters: c.MaxIters, Tolerance: c.Tolerance, Engine: engine, Seed: c.Seed,
 		}
 		r, err := core.SolveWithPlan(plan, b, opt)
@@ -137,7 +182,7 @@ func runOnce(plan *core.Plan, a *sparse.CSR, b []float64, c benchCase) (int, flo
 		iters, converged = r.GlobalIterations, r.Converged
 	case "freerunning":
 		nb := plan.NumBlocks()
-		r, err := core.SolveFreeRunning(a, b, core.FreeRunningOptions{
+		r, err := core.SolveFreeRunningWithPlan(plan, b, core.FreeRunningOptions{
 			BlockSize: c.BlockSize, LocalIters: c.LocalIters,
 			MaxBlockUpdates: int64(c.MaxIters) * int64(nb), Tolerance: c.Tolerance,
 		})

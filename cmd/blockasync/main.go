@@ -23,6 +23,7 @@ import (
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -39,17 +40,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "chaos seed for the async engines")
 		gor     = flag.Bool("goroutines", false, "use the truly asynchronous goroutine engine")
 		history = flag.Bool("history", false, "print the residual after every iteration")
+		tuned   = flag.Bool("tune", false, "auto-tune block size, local sweeps and ω before solving (async only)")
 	)
 	flag.Parse()
 
-	if err := run(*matrix, *mmfile, *method, *block, *local, *iters, *tol, *omega, *seed, *gor, *history); err != nil {
+	if err := run(*matrix, *mmfile, *method, *block, *local, *iters, *tol, *omega, *seed, *gor, *history, *tuned); err != nil {
 		fmt.Fprintln(os.Stderr, "blockasync:", err)
 		os.Exit(1)
 	}
 }
 
 func run(matrix, mmfile, method string, block, local, iters int,
-	tol, omega float64, seed int64, gor, history bool) error {
+	tol, omega float64, seed int64, gor, history, tuned bool) error {
 
 	var a *sparse.CSR
 	name := matrix
@@ -86,9 +88,19 @@ func run(matrix, mmfile, method string, block, local, iters int,
 
 	switch method {
 	case "async":
+		var tuneOmega float64
+		if tuned {
+			tr, err := tune.Tune(a, b, tune.Config{Seed: seed})
+			if err != nil {
+				return fmt.Errorf("auto-tune: %w", err)
+			}
+			block, local, tuneOmega = tr.BlockSize, tr.LocalIters, tr.Omega
+			fmt.Printf("tuned: block=%d local=%d omega=%.3f  (rate %.4f/iter, modeled %.5f s/digit, %d probe solves)\n",
+				block, local, tuneOmega, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
+		}
 		opt := core.Options{
-			BlockSize: block, LocalIters: local, MaxGlobalIters: iters,
-			Tolerance: tol, RecordHistory: history, Seed: seed,
+			BlockSize: block, LocalIters: local, Omega: tuneOmega,
+			MaxGlobalIters: iters, Tolerance: tol, RecordHistory: history, Seed: seed,
 		}
 		if gor {
 			opt.Engine = core.EngineGoroutine

@@ -7,21 +7,21 @@ import (
 )
 
 func TestRunAsync(t *testing.T) {
-	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.5, 1, false, false); err != nil {
+	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.5, 1, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBaselines(t *testing.T) {
 	for _, m := range []string{"jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi", "freerun"} {
-		if err := run("Trefethen_2000", "", m, 128, 2, 200, 1e-6, 1.2, 1, false, false); err != nil {
+		if err := run("Trefethen_2000", "", m, 128, 2, 200, 1e-6, 1.2, 1, false, false, false); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
 }
 
 func TestRunUnknownMethod(t *testing.T) {
-	if err := run("Trefethen_2000", "", "nope", 128, 1, 1, 1e-6, 1.5, 1, false, false); err == nil {
+	if err := run("Trefethen_2000", "", "nope", 128, 1, 1, 1e-6, 1.5, 1, false, false, false); err == nil {
 		t.Error("expected error for unknown method")
 	}
 }
@@ -33,16 +33,23 @@ func TestRunMatrixMarketInput(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "async", 2, 2, 200, 1e-10, 1.5, 1, false, true); err != nil {
+	if err := run("", path, "async", 2, 2, 200, 1e-10, 1.5, 1, false, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", filepath.Join(dir, "missing.mtx"), "async", 2, 2, 10, 1e-10, 1.5, 1, false, false); err == nil {
+	if err := run("", filepath.Join(dir, "missing.mtx"), "async", 2, 2, 10, 1e-10, 1.5, 1, false, false, false); err == nil {
 		t.Error("expected error for missing file")
 	}
 }
 
 func TestRunGoroutineEngine(t *testing.T) {
-	if err := run("Trefethen_2000", "", "async", 256, 3, 100, 1e-8, 1.5, 2, true, false); err != nil {
+	if err := run("Trefethen_2000", "", "async", 256, 3, 100, 1e-8, 1.5, 2, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAutoTuned(t *testing.T) {
+	// -tune overrides block/local/ω with the search result before solving.
+	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.0, 1, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,193 @@
+// Command doclint enforces the repository's documentation contract:
+//
+//   - every Go package (root, internal/..., cmd/...) must carry a
+//     package-level doc comment, and
+//   - every exported identifier of the root package — the library façade
+//     downstream code imports — must have a doc comment.
+//
+// Usage:
+//
+//	doclint [-dir .]
+//
+// It prints one line per violation and exits 1 when any exist, 0 when the
+// tree is clean, 2 on I/O or parse errors. CI runs it in the docs job next
+// to go vet (which checks doc-comment *form*; doclint checks presence).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("doclint", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "module root to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	problems, err := lint(*dir)
+	if err != nil {
+		fmt.Fprintf(out, "doclint: %v\n", err)
+		return 2
+	}
+	for _, p := range problems {
+		fmt.Fprintf(out, "doclint: %s\n", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(out, "doclint: %d problems\n", len(problems))
+		return 1
+	}
+	fmt.Fprintln(out, "doclint: ok")
+	return 0
+}
+
+// lint walks every Go package under root and returns the violations in
+// deterministic order.
+func lint(root string) ([]string, error) {
+	dirs, err := goPackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, d, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", rel, err)
+		}
+		for name, pkg := range pkgs {
+			if !hasPackageDoc(pkg) {
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", rel, name))
+			}
+			if rel == "." {
+				problems = append(problems, undocumentedExports(fset, pkg)...)
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// goPackageDirs returns every directory under root holding non-test Go
+// files, skipping hidden directories and testdata.
+func goPackageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// package-level doc comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// undocumentedExports lists every exported top-level identifier without a
+// doc comment. For grouped const/var/type declarations a comment on the
+// group covers its members (the factored-declaration idiom).
+func undocumentedExports(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT || d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && s.Doc == nil && s.Comment == nil {
+								report(n.Pos(), d.Tok.String(), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isExportedMethodOfUnexported reports whether the declaration is a method
+// on an unexported receiver type — not part of the package's documented
+// surface even when the method name is exported (interface satisfaction).
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}

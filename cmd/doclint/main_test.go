@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "doc.go"), "// Package root is documented.\npackage root\n")
+	write(t, filepath.Join(dir, "root.go"), "package root\n\n// Exported is documented.\nfunc Exported() {}\n")
+	write(t, filepath.Join(dir, "internal/sub/sub.go"), "// Package sub is documented.\npackage sub\n\nfunc Undocumented() {}\n")
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undocumented exports outside the root package are allowed; only the
+	// façade's surface is contract.
+	if len(problems) != 0 {
+		t.Fatalf("expected clean, got %v", problems)
+	}
+}
+
+func TestLintMissingPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "doc.go"), "// Package root is documented.\npackage root\n")
+	write(t, filepath.Join(dir, "internal/sub/sub.go"), "package sub\n")
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "package sub has no package doc") {
+		t.Fatalf("expected one missing-package-doc problem, got %v", problems)
+	}
+}
+
+func TestLintUndocumentedRootExports(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "root.go"), `// Package root is documented.
+package root
+
+func Documented() {} // no doc comment above — flagged
+
+// Fine has a doc comment.
+func Fine() {}
+
+type Thing struct{}
+
+// Grouped constants share the group comment.
+const (
+	A = 1
+	B = 2
+)
+
+var Loose = 3
+
+type hidden struct{}
+
+// String satisfies fmt.Stringer; exported method on unexported type is
+// not part of the documented surface.
+func (hidden) String() string { return "" }
+`)
+	problems, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"function Documented", "type Thing", "var Loose"}
+	if len(problems) != len(want) {
+		t.Fatalf("expected %d problems, got %v", len(want), problems)
+	}
+	for _, w := range want {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a problem mentioning %q in %v", w, problems)
+		}
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	clean := t.TempDir()
+	write(t, filepath.Join(clean, "doc.go"), "// Package x.\npackage x\n")
+	var sb strings.Builder
+	if code := run([]string{"-dir", clean}, &sb); code != 0 {
+		t.Fatalf("clean tree: exit %d, output %q", code, sb.String())
+	}
+
+	dirty := t.TempDir()
+	write(t, filepath.Join(dirty, "x.go"), "package x\n")
+	sb.Reset()
+	if code := run([]string{"-dir", dirty}, &sb); code != 1 {
+		t.Fatalf("dirty tree: exit %d, output %q", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1 problems") {
+		t.Fatalf("missing summary line: %q", sb.String())
+	}
+}
+
+// TestRepoIsClean is the same check CI runs: the repository itself must
+// satisfy the documentation contract.
+func TestRepoIsClean(t *testing.T) {
+	problems, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("repository violates the documentation contract:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -1,0 +1,37 @@
+// Package repro is a Go reproduction of "A Block-Asynchronous Relaxation
+// Method for Graphics Processing Units" (Anzt, Tomov, Dongarra, Heuveline;
+// IPDPS Workshops 2012 / JPDC special issue).
+//
+// It provides, as a library:
+//
+//   - the block-asynchronous relaxation method async-(k) with three
+//     execution engines (deterministic seeded chaos, real goroutine
+//     asynchrony, and a fully barrier-free extension);
+//   - the synchronous baselines the paper compares against (Jacobi,
+//     Gauss-Seidel, SOR, τ-scaled Jacobi, CG);
+//   - the sparse-matrix substrate (CSR/COO, Matrix Market I/O) and
+//     generators for the paper's seven test systems;
+//   - a calibrated performance model of the paper's hardware (Fermi C2070
+//     GPU + Xeon E5540 host, multi-GPU topologies with the AMC/DC/DK
+//     communication strategies);
+//   - fault injection with recovery (the paper's Exascale resilience
+//     study) and spectral estimators for the convergence theory
+//     (ρ(B), ρ(|B|), condition numbers, τ-scaling).
+//
+// This package is a façade: it re-exports the library's public surface
+// from the internal implementation packages so downstream code needs a
+// single import. The experiment harness that regenerates every table and
+// figure of the paper lives in cmd/benchtables and the root benchmark
+// suite (bench_test.go); see DESIGN.md and EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	a := repro.GenerateMatrix("Trefethen_2000").A
+//	b := repro.OnesRHS(a)
+//	res, err := repro.SolveAsync(a, b, repro.AsyncOptions{
+//	    BlockSize:      448,
+//	    LocalIters:     5,
+//	    MaxGlobalIters: 200,
+//	    Tolerance:      1e-10,
+//	})
+package repro

@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasPackageDoc asserts the documentation contract that
+// cmd/doclint enforces in CI: every Go package in the module — the root
+// façade, every internal implementation package, and every command —
+// carries a package-level doc comment. A package without one is invisible
+// to go doc and to the next reader.
+func TestEveryPackageHasPackageDoc(t *testing.T) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("walk found only %d Go package directories; expected the full module", len(dirs))
+	}
+
+	for dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.List) > 0 {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("%s: package %s has no package doc comment (add a doc.go)", dir, name)
+			}
+		}
+	}
+}

@@ -1,8 +1,11 @@
 // Example service demonstrates the solver daemon: it submits three
-// concurrent solves of the same matrix/configuration to a running solverd
-// instance, waits for them, and prints the plan-cache hit rate from
-// /statsz — the first request builds the plan (partition, block views,
-// inverse diagonal, LU factors), the other two reuse it.
+// concurrent auto-tuned solves of the same matrix to a running solverd
+// instance, waits for them, and prints the plan- and tuning-cache hit
+// rates from /statsz. The first request builds the plan (partition, block
+// views, inverse diagonal, LU factors) and runs the parameter search
+// (block size, local sweeps k, damping ω); the other two coalesce onto
+// that search and reuse both caches — zero extra probe solves. It finishes
+// by scraping the tuner counters from /metricsz.
 //
 // Start the daemon first:
 //
@@ -14,12 +17,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -27,6 +32,14 @@ import (
 type submitResponse struct {
 	JobID     string `json:"job_id"`
 	StatusURL string `json:"status_url"`
+}
+
+type tunedParams struct {
+	BlockSize       int     `json:"block_size"`
+	LocalIters      int     `json:"local_iters"`
+	Omega           float64 `json:"omega"`
+	SecondsPerDigit float64 `json:"seconds_per_digit"`
+	CacheHit        bool    `json:"cache_hit"`
 }
 
 type jobView struct {
@@ -39,12 +52,13 @@ type jobView struct {
 	} `json:"progress"`
 	Error  string `json:"error"`
 	Result *struct {
-		Converged        bool    `json:"converged"`
-		GlobalIterations int     `json:"global_iterations"`
-		Residual         float64 `json:"residual"`
-		PlanHit          bool    `json:"plan_hit"`
-		WallTime         float64 `json:"wall_seconds"`
-		Analysis         string  `json:"analysis"`
+		Converged        bool         `json:"converged"`
+		GlobalIterations int          `json:"global_iterations"`
+		Residual         float64      `json:"residual"`
+		PlanHit          bool         `json:"plan_hit"`
+		WallTime         float64      `json:"wall_seconds"`
+		Analysis         string       `json:"analysis"`
+		Tuned            *tunedParams `json:"tuned"`
 	} `json:"result"`
 }
 
@@ -60,6 +74,12 @@ type statsz struct {
 		Entries int    `json:"entries"`
 		Bytes   int64  `json:"bytes"`
 	} `json:"plan_cache"`
+	TuneCache struct {
+		Searches    uint64 `json:"searches"`
+		Hits        uint64 `json:"hits"`
+		ProbeSolves uint64 `json:"probe_solves"`
+		Entries     int    `json:"entries"`
+	} `json:"tune_cache"`
 }
 
 func main() {
@@ -67,10 +87,11 @@ func main() {
 	matrix := flag.String("matrix", "Trefethen_2000", "generated matrix name")
 	flag.Parse()
 
+	// "tune": "auto" replaces explicit block_size/local_iters/omega: the
+	// daemon searches once per matrix fingerprint and caches the winner.
 	req := map[string]any{
 		"matrix":           *matrix,
-		"block_size":       448,
-		"local_iters":      5,
+		"tune":             "auto",
 		"max_global_iters": 200,
 		"tolerance":        1e-10,
 		"record_history":   true,
@@ -81,7 +102,7 @@ func main() {
 	}
 
 	// Submit three identical solves concurrently: the daemon coalesces
-	// their plan setup into one build.
+	// their plan setup into one build and their tuning into one search.
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
@@ -108,6 +129,10 @@ func main() {
 					fmt.Printf("%s: converged=%t iters=%d residual=%.3e plan_hit=%t wall=%.3fs\n",
 						jv.ID, jv.Result.Converged, jv.Result.GlobalIterations,
 						jv.Result.Residual, jv.Result.PlanHit, jv.Result.WallTime)
+					if tp := jv.Result.Tuned; tp != nil {
+						fmt.Printf("%s: tuned block=%d local=%d omega=%.3f (%.5f modeled s/digit, cache_hit=%t)\n",
+							jv.ID, tp.BlockSize, tp.LocalIters, tp.Omega, tp.SecondsPerDigit, tp.CacheHit)
+					}
 					if jv.Result.Analysis != "" {
 						fmt.Printf("%s: analysis: %s\n", jv.ID, jv.Result.Analysis)
 					}
@@ -127,6 +152,22 @@ func main() {
 	fmt.Printf("\nplan cache: %d hits / %d misses (hit rate %.0f%%), %d entries, %.1f MiB resident\n",
 		st.PlanCache.Hits, st.PlanCache.Misses, 100*st.PlanHitRate,
 		st.PlanCache.Entries, float64(st.PlanCache.Bytes)/(1<<20))
+	fmt.Printf("tune cache: %d searches / %d hits, %d probe solves, %d entries\n",
+		st.TuneCache.Searches, st.TuneCache.Hits, st.TuneCache.ProbeSolves, st.TuneCache.Entries)
+
+	// The same counters are exported in Prometheus text format.
+	fmt.Println("\ntuner counters at /metricsz:")
+	resp, err := http.Get(*addr + "/metricsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "service_tune_") {
+			fmt.Println("  " + sc.Text())
+		}
+	}
 }
 
 func get(url string, v any) {

@@ -1,22 +1,3 @@
-// Package checkpoint implements the classical fault-tolerance strategy the
-// paper argues will break down at Exascale (§4.5): periodic checkpointing
-// with rollback restart for *synchronous* iterative solvers.
-//
-// "For most synchronized iterative solvers hardware failure is crucial,
-// resulting in the breakdown of the algorithm. … algorithms will no longer
-// be able to rely on checkpointing to cope with faults in the Exascale
-// era. This stems from the fact, that the time for checkpointing and
-// restarting will exceed the mean time of failure of the full system."
-//
-// The package provides a simulated-time harness: a synchronous sweep-based
-// solver runs under a failure process with a given mean time between
-// failures (MTBF); every failure forces a rollback to the last checkpoint
-// plus a restart penalty. The asynchronous comparison (no checkpoints, no
-// rollback — dead blocks are simply reassigned) is modeled alongside, so
-// experiments.ExascaleArgument can sweep the MTBF and reproduce the
-// paper's qualitative crossover: beyond some failure rate the
-// checkpointed synchronous solver stops making progress while the
-// asynchronous method still converges.
 package checkpoint
 
 import (

@@ -1,0 +1,17 @@
+// Package cluster models the block-asynchronous iteration on a
+// distributed-memory system — the setting of the paper's conclusion ("We
+// developed block-asynchronous relaxation methods for GPU-accelerated
+// clusters"). Each node owns a contiguous block of rows and iterates
+// locally; off-node components arrive as messages over links with bounded,
+// possibly heterogeneous delays. Staleness is therefore explicit: a node
+// computing at tick t sees neighbour values from tick t − delay(link) — the
+// Chazan–Miranker shift function s(k, i) realized as network latency, with
+// the bounded-shift condition (2) holding by construction.
+//
+// The engine advances in simulated ticks. On every tick each node performs
+// one async-(k) update of its block against its current (stale) view of
+// the off-node components and publishes its boundary values; a message
+// published at tick t on a link with delay d becomes visible at tick t+d.
+// Nodes may also drop out (fault injection) without stopping the others —
+// the cluster-level version of the paper's §4.5 experiment.
+package cluster

@@ -1,34 +1,3 @@
-// Package blockasync implements the paper's primary contribution: the
-// block-asynchronous relaxation method async-(k) for GPUs (Algorithm 1,
-// Eq. 4).
-//
-// The linear system is decomposed into contiguous blocks of rows
-// ("subdomains"); each block corresponds to one GPU thread block. Blocks
-// iterate asynchronously with respect to each other — they read whatever
-// values of the off-block components happen to be in global memory — while
-// inside a block k synchronous Jacobi-like sweeps are performed with the
-// off-block contribution frozen. One *global iteration* sweeps every block
-// exactly once (in chaotic order), so every component is updated k times
-// per global iteration.
-//
-// Three execution engines are provided:
-//
-//   - EngineSimulated: a deterministic, seeded reproduction of the GPU's
-//     chaotic block scheduling (gpusim.Scheduler). Blocks execute
-//     sequentially in scheduler order against the live iterate, giving the
-//     "block Gauss-Seidel flavor" the paper notes; a configurable fraction
-//     of blocks instead reads the snapshot from the start of the global
-//     iteration, modeling overlapping execution. Fully reproducible; can
-//     record a Chazan–Miranker update/shift trace.
-//
-//   - EngineGoroutine: real asynchrony. Blocks are dispatched to a pool of
-//     workers (default 14, the Fermi C2070's multiprocessor count) and
-//     read/write the shared iterate through per-component atomics with no
-//     further synchronization. Interleavings — and therefore results —
-//     genuinely vary between runs, like the paper's 1000-run study (§4.1).
-//
-//   - EngineFreeRunning: an extension with no global barrier at all; see
-//     SolveFreeRunning.
 package core
 
 import (
@@ -39,7 +8,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sched"
-	"repro/internal/solver"
 	"repro/internal/sparse"
 )
 
@@ -94,6 +62,19 @@ type Options struct {
 	Tolerance float64
 	// RecordHistory stores ‖b−Ax‖₂ after every global iteration.
 	RecordHistory bool
+	// ResidualEvery (barrier engines) spaces the exact residual checks:
+	// with a value N > 1, the full-matrix SpMV behind the stopping test
+	// runs only at checkpoint iterations (every N-th and the last), while
+	// the iterations in between are gated by a free incremental estimate —
+	// the residual scaled by the ratio of block-update norms ‖Δx‖₂, which
+	// the kernels accumulate anyway. Convergence is only ever declared
+	// from an exact check, so the reported residual is never an estimate;
+	// the estimate can only defer a check, making at worst N−1 extra cheap
+	// iterations before convergence is noticed. Values 0 and 1 mean exact
+	// checks every iteration (the default). The gate requires a Tolerance
+	// and disables itself when the per-iteration residual is itself the
+	// output (RecordHistory or Metrics) or under ExactLocal.
+	ResidualEvery int
 	// InitialGuess seeds x if non-nil (not modified); zero vector otherwise.
 	InitialGuess []float64
 	// Ctx, if non-nil, is checked before every block execution (and at
@@ -169,6 +150,11 @@ type Options struct {
 	// control flow: the stopping test and divergence detection stay
 	// governed by Tolerance/RecordHistory alone.
 	Metrics *SolveMetrics
+
+	// referenceKernel pins the engines to the pre-staging reference block
+	// kernel; the bit-identity property tests use it to run whole solves
+	// down both kernel paths.
+	referenceKernel bool
 }
 
 // runSeedCounter backs the per-run stream derivation for Seed == 0.
@@ -232,6 +218,9 @@ func (o Options) validate(a *sparse.CSR, b []float64) error {
 	if o.Omega < 0 || o.Omega >= 2 {
 		return fmt.Errorf("core: Omega must lie in (0,2), have %g", o.Omega)
 	}
+	if o.ResidualEvery < 0 {
+		return fmt.Errorf("core: ResidualEvery must be nonnegative, have %d", o.ResidualEvery)
+	}
 	return nil
 }
 
@@ -284,15 +273,66 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	return SolveWithPlan(p, b, opt)
 }
 
+// residualState carries a solve's residual bookkeeping: the scratch vector
+// the exact checks compute into (so they allocate nothing) and the anchors
+// of the Options.ResidualEvery incremental estimate. One exact checkpoint
+// records the pair (r, δ) of residual and block-update norm; between
+// checkpoints the residual is estimated as r̂ = r·(δ_now/δ_anchor) — both
+// norms contract at the iteration's asymptotic rate, so their ratio tracks
+// the residual's decay without touching the matrix.
+type residualState struct {
+	scratch   []float64
+	every     int
+	tol       float64
+	lastExact float64 // residual at the last exact checkpoint
+	lastDelta float64 // ‖Δx‖₂ at the last exact checkpoint
+	haveExact bool
+}
+
+// newResidualState sizes the gate for one solve. The incremental estimate
+// only engages when it cannot change observable output: there must be a
+// tolerance to estimate against, and no consumer of the per-iteration
+// residual (RecordHistory, Metrics). ExactLocal solves keep exact checks —
+// the direct subdomain solves do not produce an update norm.
+func newResidualState(opt Options, exactLocal bool, scratch []float64) *residualState {
+	rs := &residualState{scratch: scratch, every: opt.ResidualEvery, tol: opt.Tolerance}
+	if opt.Tolerance <= 0 || opt.RecordHistory || opt.Metrics != nil || exactLocal {
+		rs.every = 0
+	}
+	return rs
+}
+
+// skip reports whether iteration iter may defer the exact residual check:
+// only strictly between checkpoints, with a finite nonzero update norm and
+// an incremental estimate still clearly above the tolerance.
+func (rs *residualState) skip(iter, maxIters int, delta2 float64) bool {
+	if rs == nil || rs.every <= 1 || iter >= maxIters || iter%rs.every == 0 {
+		return false
+	}
+	if !rs.haveExact || rs.lastDelta <= 0 {
+		return false
+	}
+	if !(delta2 > 0) || math.IsInf(delta2, 0) {
+		// Stagnation, NaN or overflow in the update: resolve it with an
+		// exact check (divergence detection must not be deferred).
+		return false
+	}
+	est := rs.lastExact * (math.Sqrt(delta2) / rs.lastDelta)
+	return est > rs.tol
+}
+
 // checkResidual updates res with the current residual; it returns stop=true
 // when the tolerance is met or the iteration has left the finite range.
-func checkResidual(a *sparse.CSR, b, x []float64, opt Options, res *Result, iter int) (bool, error) {
+// delta2 is the summed squared block-update norm of the iteration (the
+// estimate anchor); rs must be non-nil.
+func checkResidual(a *sparse.CSR, b, x []float64, opt Options, res *Result, iter int, delta2 float64, rs *residualState) (bool, error) {
 	res.GlobalIterations = iter
 	wantStop := opt.RecordHistory || opt.Tolerance != 0
 	if !wantStop && opt.Metrics == nil {
 		return false, nil
 	}
-	r := solver.Residual(a, b, x)
+	r := residualInto(rs.scratch, a, b, x)
+	rs.lastExact, rs.lastDelta, rs.haveExact = r, math.Sqrt(delta2), true
 	res.Residual = r
 	opt.Metrics.pushResidual(r)
 	if opt.RecordHistory {

@@ -1,0 +1,39 @@
+// Package core implements the paper's primary contribution: the
+// block-asynchronous relaxation method async-(k) for GPUs (Algorithm 1,
+// Eq. 4).
+//
+// The linear system is decomposed into contiguous blocks of rows
+// ("subdomains"); each block corresponds to one GPU thread block. Blocks
+// iterate asynchronously with respect to each other — they read whatever
+// values of the off-block components happen to be in global memory — while
+// inside a block k synchronous Jacobi-like sweeps are performed with the
+// off-block contribution frozen. One *global iteration* sweeps every block
+// exactly once (in chaotic order), so every component is updated k times
+// per global iteration.
+//
+// Three execution engines are provided:
+//
+//   - EngineSimulated: a deterministic, seeded reproduction of the GPU's
+//     chaotic block scheduling (gpusim.Scheduler). Blocks execute
+//     sequentially in scheduler order against the live iterate, giving the
+//     "block Gauss-Seidel flavor" the paper notes; a configurable fraction
+//     of blocks instead reads the snapshot from the start of the global
+//     iteration, modeling overlapping execution. Fully reproducible; can
+//     record a Chazan–Miranker update/shift trace.
+//
+//   - EngineGoroutine: real asynchrony. Blocks are dispatched to a pool of
+//     workers (default 14, the Fermi C2070's multiprocessor count) and
+//     read/write the shared iterate through per-component atomics with no
+//     further synchronization. Interleavings — and therefore results —
+//     genuinely vary between runs, like the paper's 1000-run study (§4.1).
+//
+//   - EngineFreeRunning: an extension with no global barrier at all; see
+//     SolveFreeRunning.
+//
+// All engines run their inner sweeps through a single fused block-row
+// kernel (kernel.go) that reads packed per-block CSR views staged once in
+// NewPlan — the host-side analogue of the paper's shared-memory blocking —
+// and Plan carries reusable per-solve scratch so a warm solve allocates
+// nothing in steady state (enforced by alloc_test.go). DESIGN.md §2
+// records the layout rationale.
+package core

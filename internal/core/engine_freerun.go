@@ -65,6 +65,10 @@ type FreeRunningOptions struct {
 	// iterations, so that counter stays 0 — EquivalentGlobalIters is the
 	// comparable unit.
 	Metrics *SolveMetrics
+
+	// referenceKernel pins the workers to the pre-staging reference block
+	// kernel (see Options.referenceKernel).
+	referenceKernel bool
 }
 
 // FreeRunningResult reports a free-running solve.
@@ -105,6 +109,37 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 	plan, err := NewPlan(a, opt.BlockSize, false)
 	if err != nil {
 		return FreeRunningResult{}, err
+	}
+	return SolveFreeRunningWithPlan(plan, b, opt)
+}
+
+// SolveFreeRunningWithPlan runs the barrier-free iteration on a prepared
+// plan, amortizing the per-matrix setup across solves the way SolveWithPlan
+// does for the barrier engines. opt.BlockSize must be 0 or match the plan.
+func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
+	a := plan.a
+	if opt.BlockSize == 0 {
+		opt.BlockSize = plan.blockSize
+	}
+	if opt.BlockSize != plan.blockSize {
+		return FreeRunningResult{}, fmt.Errorf("core: option BlockSize %d does not match the plan's %d",
+			opt.BlockSize, plan.blockSize)
+	}
+	if len(b) != a.Rows {
+		return FreeRunningResult{}, fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	}
+	if opt.LocalIters <= 0 {
+		return FreeRunningResult{}, fmt.Errorf("core: LocalIters must be positive, have %d", opt.LocalIters)
+	}
+	if opt.MaxBlockUpdates <= 0 && opt.Replay == nil {
+		return FreeRunningResult{}, fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", opt.MaxBlockUpdates)
+	}
+	if opt.Tolerance <= 0 && opt.Replay == nil {
+		return FreeRunningResult{}, fmt.Errorf("core: free-running solve requires a positive Tolerance")
+	}
+	if opt.InitialGuess != nil && len(opt.InitialGuess) != a.Rows {
+		return FreeRunningResult{}, fmt.Errorf("core: initial guess length %d does not match dimension %d",
+			len(opt.InitialGuess), a.Rows)
 	}
 	if opt.Metrics != nil {
 		defer func(start time.Time) {
@@ -147,7 +182,7 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
-	maxBlock := plan.maxBlock
+	kern := plan.kernelFor(opt.referenceKernel)
 	em := opt.Metrics.engine("freerunning")
 
 	var (
@@ -178,7 +213,8 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scr := newKernelScratch(maxBlock)
+			scr := plan.getKernelScratch()
+			defer plan.putKernelScratch(scr)
 			round := 0
 			for atomic.LoadInt32(&stop) == 0 {
 				progressed := false
@@ -193,7 +229,7 @@ func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeR
 						return
 					}
 					opt.Chaos.delay(em, round, bi)
-					runBlockKernel(a, sp, b, views[bi], opt.LocalIters, 1, x, x, x, scr)
+					kern(a, sp, b, &views[bi], opt.LocalIters, 1, x, x, x, scr)
 					em.addBlockSweep()
 					if opt.Record != nil {
 						opt.Record.Append(sched.Event{
@@ -299,6 +335,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
+	kern := plan.kernelFor(opt.referenceKernel)
 	em := opt.Metrics.engine("freerunning")
 	gate := sched.NewGate(s)
 	owns := func(e sched.Event, w int) bool { return int(e.Worker) == w }
@@ -324,7 +361,8 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scr := newKernelScratch(plan.maxBlock)
+			scr := plan.getKernelScratch()
+			defer plan.putKernelScratch(scr)
 			for {
 				e, ok := gate.Next(w, owns)
 				if !ok {
@@ -338,7 +376,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 				if sweeps <= 0 {
 					sweeps = opt.LocalIters
 				}
-				runBlockKernel(a, sp, b, views[int(e.Block)], sweeps, 1, x, x, x, scr)
+				kern(a, sp, b, &views[int(e.Block)], sweeps, 1, x, x, x, scr)
 				em.addBlockSweep()
 				em.addReplayEvent()
 				if opt.Record != nil {

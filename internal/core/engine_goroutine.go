@@ -1,11 +1,33 @@
 package core
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/gpusim"
 	"repro/internal/sched"
 )
+
+// atomicFloat accumulates float64 contributions from concurrent workers
+// (the per-iteration block-update norm). The summation order is whatever
+// the interleaving produces — acceptable for the incremental residual
+// estimate, which only gates when an exact check runs.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) reset() { f.bits.Store(0) }
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // solveGoroutine runs the truly asynchronous engine: every global iteration
 // dispatches all blocks (in a seeded chaotic order) to a pool of workers —
@@ -89,8 +111,9 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		})
 	}
 
-	maxBlock := p.maxBlock
 	em := opt.Metrics.engine("goroutine")
+	kern := p.kernelFor(opt.referenceKernel)
+	var iterDelta atomicFloat // Σ‖Δx_J‖₂² of the current global iteration
 	// Persistent worker pool fed one global iteration at a time. In replay
 	// mode the same pool is fed one *event* at a time.
 	type task struct {
@@ -103,7 +126,8 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		poolWG.Add(1)
 		go func(w int) {
 			defer poolWG.Done()
-			scr := newKernelScratch(maxBlock)
+			scr := p.getKernelScratch()
+			defer p.putKernelScratch(scr)
 			for t := range work {
 				if opt.Ctx != nil && opt.Ctx.Err() != nil {
 					// Cancellation inside the sweep: drain without computing
@@ -119,9 +143,9 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 					// A singular block would have failed at factorization;
 					// Solve only errors on dimension mismatch, which the
 					// construction rules out.
-					_ = runBlockExact(a, b, views[t.block], factors.lu[t.block], x, x, scr)
+					_ = runBlockExact(a, b, &views[t.block], factors.lu[t.block], x, x, scr)
 				} else {
-					runBlockKernel(a, sp, b, views[t.block], t.sweeps, omega, x, x, x, scr)
+					iterDelta.add(kern(a, sp, b, &views[t.block], t.sweeps, omega, x, x, x, scr))
 				}
 				em.addBlockSweep()
 				if opt.Replay != nil {
@@ -150,6 +174,12 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.Replay != nil {
 		maxIters = len(replayEpochs)
 	}
+	if opt.RecordHistory {
+		res.History = make([]float64, 0, maxIters)
+	}
+	is := p.getIterScratch()
+	defer p.putIterScratch(is)
+	rs := newResidualState(opt, p.factors != nil, is.resid)
 	xHost := make([]float64, n)
 	for iter := 1; iter <= maxIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
@@ -157,6 +187,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 			res.X = xHost
 			return res, err
 		}
+		iterDelta.reset()
 		if opt.Replay != nil {
 			for _, e := range replayEpochs[iter-1] {
 				if err := ctxErr(opt.Ctx, iter-1); err != nil {
@@ -169,7 +200,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 				wg.Wait() // yield point: serialize the recorded order
 			}
 		} else {
-			order := gsched.Order(nb)
+			order := gsched.OrderInto(is.order, nb)
 			opt.Chaos.reorder(em, iter, order)
 			for _, bi := range order {
 				// Per-block cancellation check: stop dispatching as soon as
@@ -196,8 +227,13 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, atomicAccess{x})
 		}
+		delta2 := iterDelta.load()
+		if rs.skip(iter, maxIters, delta2) {
+			res.GlobalIterations = iter
+			continue
+		}
 		x.CopyInto(xHost)
-		stop, err := checkResidual(a, b, xHost, opt, &res, iter)
+		stop, err := checkResidual(a, b, xHost, opt, &res, iter, delta2, rs)
 		if err != nil {
 			res.X = xHost
 			return res, err
@@ -209,7 +245,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	x.CopyInto(xHost)
 	res.X = xHost
 	if !opt.RecordHistory && opt.Tolerance == 0 {
-		res.Residual = residual(a, b, xHost)
+		res.Residual = residualInto(is.resid, a, b, xHost)
 	}
 	return res, nil
 }

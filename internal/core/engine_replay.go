@@ -77,13 +77,25 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		copy(x, opt.InitialGuess)
 	}
-	iterSnap := make([]float64, n)
+	is := p.getIterScratch()
+	defer p.putIterScratch(is)
+	iterSnap := is.snap
 	raceRNG := rand.New(rand.NewSource(raceSeed(s.Meta.Seed)))
 	mix := &mixReader{rng: raceRNG}
-	scr := newKernelScratch(p.maxBlock)
+	scr := p.getKernelScratch()
+	defer p.putKernelScratch(scr)
+	kern := p.kernelFor(opt.referenceKernel)
+	// Replays keep the exact per-iteration residual (ResidualEvery is a
+	// live-solve optimization; a replayed history must be bit-faithful).
+	rs := &residualState{scratch: is.resid}
 	factors := p.factors
 	res := Result{NumBlocks: nb}
 	em := opt.Metrics.engine("simulated")
+	var (
+		writer     valueWriter = sliceWriter(x)
+		liveReader valueReader = sliceReader(x)
+		snapReader valueReader = sliceReader(iterSnap)
+	)
 	if opt.Record != nil {
 		opt.Record.SetMeta(s.Meta)
 	}
@@ -126,21 +138,21 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			switch {
 			case flat:
 				// Sequential canonical semantics: read the live iterate.
-				offRead = sliceReader(x)
+				offRead = liveReader
 			case e.Shift > 0:
 				em.addStaleRead()
-				offRead = sliceReader(iterSnap)
+				offRead = snapReader
 			default:
 				mix.live, mix.snap = x, iterSnap
 				offRead = mix
 			}
 			if e.Sweeps == 0 {
-				if err := runBlockExact(a, b, views[bi], factors.lu[bi], offRead, sliceWriter(x), scr); err != nil {
+				if err := runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, writer, scr); err != nil {
 					res.X = x
 					return res, err
 				}
 			} else {
-				runBlockKernel(a, sp, b, views[bi], int(e.Sweeps), omega, offRead, offRead, sliceWriter(x), scr)
+				kern(a, sp, b, &views[bi], int(e.Sweeps), omega, offRead, offRead, writer, scr)
 			}
 			em.addBlockSweep()
 			em.addReplayEvent()
@@ -152,7 +164,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, sliceAccess(x))
 		}
-		stop, err := checkResidual(a, b, x, opt, &res, iter)
+		stop, err := checkResidual(a, b, x, opt, &res, iter, 0, rs)
 		if err != nil {
 			res.X = x
 			return res, err
@@ -163,7 +175,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 	res.X = x
 	if !opt.RecordHistory && opt.Tolerance == 0 {
-		res.Residual = residual(a, b, x)
+		res.Residual = residualInto(is.resid, a, b, x)
 	}
 	return res, nil
 }

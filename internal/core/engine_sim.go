@@ -47,7 +47,9 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		copy(x, opt.InitialGuess)
 	}
-	iterSnap := make([]float64, n) // snapshot at global-iteration start
+	is := p.getIterScratch()
+	defer p.putIterScratch(is)
+	iterSnap := is.snap // snapshot at global-iteration start
 	gsched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
 	raceRNG := rand.New(rand.NewSource(raceSeed(opt.Seed)))
 	nb := part.NumBlocks()
@@ -56,6 +58,9 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 
 	res := Result{NumBlocks: nb}
+	if opt.RecordHistory {
+		res.History = make([]float64, 0, opt.MaxGlobalIters)
+	}
 	var trace *Trace
 	if opt.RecordTrace {
 		trace = &Trace{UpdatesPerBlock: make([]int, nb), ShiftCounts: make(map[int]int64)}
@@ -65,10 +70,19 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	// wrote block q (0 = initial values). Used for shift accounting.
 	blockVersion := make([]int, nb)
 
-	scr := newKernelScratch(p.maxBlock)
+	scr := p.getKernelScratch()
+	defer p.putKernelScratch(scr)
+	kern := p.kernelFor(opt.referenceKernel)
+	rs := newResidualState(opt, p.factors != nil, is.resid)
 	mix := &mixReader{rng: raceRNG}
 	factors := p.factors
 	em := opt.Metrics.engine("simulated")
+	// Interface conversions hoisted out of the block loop: boxing a slice
+	// into valueReader/valueWriter allocates, and the loop is the hot path.
+	var (
+		writer     valueWriter = sliceWriter(x)
+		snapReader valueReader = sliceReader(iterSnap)
+	)
 
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
@@ -76,9 +90,10 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			return res, err
 		}
 		vecmath.Copy(iterSnap, x)
-		order := gsched.Order(nb)
-		stale := gsched.StaleMask(nb, opt.StaleProb)
+		order := gsched.OrderInto(is.order, nb)
+		stale := gsched.StaleMaskInto(is.stale, nb, opt.StaleProb)
 		opt.Chaos.reorder(em, iter, order)
+		var delta2 float64
 		for _, bi := range order {
 			// Per-block cancellation check: a global iteration over many
 			// blocks (Trefethen_2000 at small block sizes has hundreds) can
@@ -101,7 +116,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			var offRead valueReader
 			if stale[bi] {
 				em.addStaleRead()
-				offRead = sliceReader(iterSnap)
+				offRead = snapReader
 			} else {
 				mix.live, mix.snap = x, iterSnap
 				offRead = mix
@@ -111,12 +126,12 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 					iter: iter, blockVersion: blockVersion, part: part}
 			}
 			if factors != nil {
-				if err := runBlockExact(a, b, views[bi], factors.lu[bi], offRead, sliceWriter(x), scr); err != nil {
+				if err := runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, writer, scr); err != nil {
 					res.X = x
 					return res, err
 				}
 			} else {
-				runBlockKernel(a, sp, b, views[bi], opt.LocalIters, opt.Omega, offRead, offRead, sliceWriter(x), scr)
+				delta2 += kern(a, sp, b, &views[bi], opt.LocalIters, opt.Omega, offRead, offRead, writer, scr)
 			}
 			blockVersion[bi] = iter
 			em.addBlockSweep()
@@ -134,7 +149,11 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		if opt.AfterIteration != nil {
 			opt.AfterIteration(iter, sliceAccess(x))
 		}
-		stop, err := checkResidual(a, b, x, opt, &res, iter)
+		if rs.skip(iter, opt.MaxGlobalIters, delta2) {
+			res.GlobalIterations = iter
+			continue
+		}
+		stop, err := checkResidual(a, b, x, opt, &res, iter, delta2, rs)
 		if err != nil {
 			res.X = x
 			return res, err
@@ -145,7 +164,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 	res.X = x
 	if !opt.RecordHistory && opt.Tolerance == 0 {
-		res.Residual = residual(a, b, x)
+		res.Residual = residualInto(is.resid, a, b, x)
 	}
 	return res, nil
 }
@@ -208,9 +227,13 @@ func (c *countingReader) Load(j int) float64 {
 	return c.inner.Load(j)
 }
 
-func residual(a *sparse.CSR, b, x []float64) float64 {
-	r := make([]float64, len(b))
+// residualInto computes ‖b−Ax‖₂ using r as scratch (len(b) elements).
+func residualInto(r []float64, a *sparse.CSR, b, x []float64) float64 {
 	a.MulVec(r, x)
 	vecmath.Sub(r, b, r)
 	return vecmath.Nrm2(r)
+}
+
+func residual(a *sparse.CSR, b, x []float64) float64 {
+	return residualInto(make([]float64, len(b)), a, b, x)
 }

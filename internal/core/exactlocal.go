@@ -28,7 +28,7 @@ type blockFactors struct {
 func buildBlockFactors(a *sparse.CSR, part sparse.BlockPartition, views []blockView) (*blockFactors, error) {
 	bf := &blockFactors{lu: make([]*dense.LU, part.NumBlocks())}
 	for bi := range bf.lu {
-		v := views[bi]
+		v := &views[bi]
 		bs := v.hi - v.lo
 		m := dense.NewMatrix(bs, bs)
 		for i := v.lo; i < v.hi; i++ {
@@ -49,7 +49,7 @@ func buildBlockFactors(a *sparse.CSR, part sparse.BlockPartition, views []blockV
 // runBlockExact executes one block with an exact local solve: the
 // off-block contribution is assembled from the (possibly stale) reader and
 // the pre-factored subdomain system is solved directly.
-func runBlockExact(a *sparse.CSR, b []float64, v blockView, lu *dense.LU,
+func runBlockExact(a *sparse.CSR, b []float64, v *blockView, lu *dense.LU,
 	offRead valueReader, write valueWriter, scr *kernelScratch) error {
 
 	bs := v.hi - v.lo

@@ -1,35 +1,67 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/sparse"
 )
 
 // blockView caches, for every row of one block, the split of its CSR entry
-// range into the in-block segment [inLo, inHi) and the off-block remainder.
-// Column indices are sorted within rows, so the in-block entries form one
-// contiguous segment.
+// range into the in-block segment [inLo, inHi) and the off-block remainder,
+// plus — when staging is possible — a packed copy of the block's entries
+// laid out the way the kernel consumes them (see buildBlockViews).
+//
+// The packed arrays are the host-side analogue of a GPU kernel staging its
+// subdomain into shared memory (the mechanism behind the paper's §4.3
+// "local iterations almost come for free"): the k local sweeps stream one
+// contiguous (ptr, cols, vals) triple per block instead of picking strided
+// sub-segments out of the global CSR arrays, the diagonal is excluded
+// structurally (no per-entry branch in the innermost loop), and the column
+// indices are pre-translated to block-local int32 offsets (half the index
+// traffic of the global int columns).
 type blockView struct {
 	lo, hi int // row range [lo, hi)
 	// inLo[r], inHi[r] bound the in-block entries of row lo+r in ColIdx/Val.
 	inLo, inHi []int
 	// nnzLocal counts in-block nonzeros, nnzOff the off-block ones.
 	nnzLocal, nnzOff int
+
+	// Packed off-block entries, per row in the exact order the reference
+	// gather visits them (the entries before the in-block segment, then the
+	// entries after it). offPtr[r]..offPtr[r+1] bound row lo+r.
+	offPtr  []int32
+	offCols []int32 // global column indices
+	offVal  []float64
+	// Packed in-block entries with the diagonal removed and columns
+	// translated to block-local indices. locPtr[r]..locPtr[r+1] bound row
+	// lo+r.
+	locPtr  []int32
+	locCols []int32 // block-local column indices
+	locVal  []float64
 }
 
 // memoryBytes estimates the resident size of the view (plan accounting).
-func (v blockView) memoryBytes() int64 {
-	const w = 8
-	return 2*w*int64(len(v.inLo)) + 4*w // inLo+inHi plus the fixed fields
+func (v *blockView) memoryBytes() int64 {
+	const w, w32 = 8, 4
+	sz := 2*w*int64(len(v.inLo)) + 6*w // inLo+inHi plus the fixed fields
+	sz += w32 * int64(len(v.offPtr)+len(v.offCols)+len(v.locPtr)+len(v.locCols))
+	sz += w * int64(len(v.offVal)+len(v.locVal))
+	return sz
 }
 
 // buildBlockViews precomputes the views for every block of the partition.
-func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) []blockView {
-	views := make([]blockView, part.NumBlocks())
+// staged reports whether the packed arrays were built; they are skipped
+// only when a column index cannot be represented as an int32 (the packed
+// layout would be unsound), in which case the engines fall back to the
+// reference kernel.
+func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) (views []blockView, staged bool) {
+	staged = a.Cols <= math.MaxInt32
+	views = make([]blockView, part.NumBlocks())
 	for bi := range views {
 		lo, hi := part.Bounds(bi)
-		v := blockView{lo: lo, hi: hi, inLo: make([]int, hi-lo), inHi: make([]int, hi-lo)}
+		bs := hi - lo
+		v := blockView{lo: lo, hi: hi, inLo: make([]int, bs), inHi: make([]int, bs)}
 		for i := lo; i < hi; i++ {
 			rs, re := a.RowPtr[i], a.RowPtr[i+1]
 			cols := a.ColIdx[rs:re]
@@ -39,9 +71,36 @@ func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) []blockView {
 			v.nnzLocal += e - s
 			v.nnzOff += (re - rs) - (e - s)
 		}
+		if staged {
+			v.offPtr = make([]int32, bs+1)
+			v.locPtr = make([]int32, bs+1)
+			v.offCols = make([]int32, 0, v.nnzOff)
+			v.offVal = make([]float64, 0, v.nnzOff)
+			v.locCols = make([]int32, 0, v.nnzLocal)
+			v.locVal = make([]float64, 0, v.nnzLocal)
+			for i := lo; i < hi; i++ {
+				r := i - lo
+				for p := a.RowPtr[i]; p < v.inLo[r]; p++ {
+					v.offCols = append(v.offCols, int32(a.ColIdx[p]))
+					v.offVal = append(v.offVal, a.Val[p])
+				}
+				for p := v.inHi[r]; p < a.RowPtr[i+1]; p++ {
+					v.offCols = append(v.offCols, int32(a.ColIdx[p]))
+					v.offVal = append(v.offVal, a.Val[p])
+				}
+				v.offPtr[r+1] = int32(len(v.offCols))
+				for p := v.inLo[r]; p < v.inHi[r]; p++ {
+					if j := a.ColIdx[p]; j != i {
+						v.locCols = append(v.locCols, int32(j-lo))
+						v.locVal = append(v.locVal, a.Val[p])
+					}
+				}
+				v.locPtr[r+1] = int32(len(v.locCols))
+			}
+		}
 		views[bi] = v
 	}
-	return views
+	return views, staged
 }
 
 // valueReader abstracts how a block kernel observes off-block components of
@@ -66,10 +125,12 @@ type sliceWriter []float64
 
 func (s sliceWriter) Store(i int, v float64) { s[i] = v }
 
-// kernelScratch holds the per-worker buffers of runBlockKernel, sized for
-// the largest block, so repeated kernel invocations do not allocate.
+// kernelScratch holds the per-worker buffers of the block kernels, sized
+// for the largest block, so repeated kernel invocations do not allocate.
+// Plans hold a pool of these (see Plan.getScratch) so steady-state solves
+// reuse warm buffers instead of allocating per solve.
 type kernelScratch struct {
-	s, xloc, xnew []float64
+	s, xloc, xnew, x0 []float64
 }
 
 func newKernelScratch(maxBlock int) *kernelScratch {
@@ -77,8 +138,17 @@ func newKernelScratch(maxBlock int) *kernelScratch {
 		s:    make([]float64, maxBlock),
 		xloc: make([]float64, maxBlock),
 		xnew: make([]float64, maxBlock),
+		x0:   make([]float64, maxBlock),
 	}
 }
+
+// kernelFunc is the signature shared by the fused kernel and the reference
+// kernel. The return value is the squared l2 norm of the block's iterate
+// update, ‖x_J^new − x_J^old‖₂² — computed nearly for free in the publish
+// loop and consumed by the incremental residual estimate
+// (Options.ResidualEvery).
+type kernelFunc func(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
+	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64
 
 // runBlockKernel executes one thread block of the paper's Algorithm 1,
 // generalized with the relaxation weight ω:
@@ -90,15 +160,80 @@ func newKernelScratch(maxBlock int) *kernelScratch {
 //	    x_i := (1−ω)x_i + ω(s_i − Σ_{j∈J, j≠i} a_ij x_j) / a_ii
 //	write the block's x values back           (via write)
 //
+// This is the fused hot path: both the gather and the sweeps stream the
+// block's packed sub-CSR arrays (blockView staging), so each local sweep
+// walks the block's rows once through contiguous memory with no diagonal
+// branch and no per-entry index translation. Its floating-point operation
+// order and its valueReader.Load call order are exactly those of
+// runBlockKernelReference, so the two produce bit-identical iterates (and
+// identical RNG consumption in the simulated engine's racing reader) —
+// property-tested in kernel_fused_test.go.
+//
 // offRead and locRead may observe a live, concurrently-updated iterate —
 // that is the asynchronous part; the kernel itself is oblivious to it.
-func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) {
+func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
+	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
 
 	bs := v.hi - v.lo
 	s := scr.s[:bs]
 	xloc := scr.xloc[:bs]
 	xnew := scr.xnew[:bs]
+	x0 := scr.x0[:bs]
+	invd := sp.InvDiag[v.lo:v.hi]
+
+	// Fused gather: one streaming pass over the packed off-block entries
+	// computes the frozen right-hand side and loads the block's starting
+	// values.
+	for r := 0; r < bs; r++ {
+		acc := b[v.lo+r]
+		for p := v.offPtr[r]; p < v.offPtr[r+1]; p++ {
+			acc -= v.offVal[p] * offRead.Load(int(v.offCols[p]))
+		}
+		s[r] = acc
+		xv := locRead.Load(v.lo + r)
+		xloc[r] = xv
+		x0[r] = xv
+	}
+
+	// k synchronous Jacobi sweeps streaming the packed local sub-CSR
+	// (diagonal structurally excluded, columns block-local).
+	for sweep := 0; sweep < k; sweep++ {
+		for r := 0; r < bs; r++ {
+			acc := s[r]
+			for p := v.locPtr[r]; p < v.locPtr[r+1]; p++ {
+				acc -= v.locVal[p] * xloc[v.locCols[p]]
+			}
+			xnew[r] = (1-omega)*xloc[r] + omega*acc*invd[r]
+		}
+		xloc, xnew = xnew, xloc
+	}
+
+	// Publish the block's components to global memory, accumulating the
+	// squared update norm for the incremental residual estimate.
+	var d2 float64
+	for r := 0; r < bs; r++ {
+		nv := xloc[r]
+		write.Store(v.lo+r, nv)
+		d := nv - x0[r]
+		d2 += d * d
+	}
+	return d2
+}
+
+// runBlockKernelReference is the pre-staging two-step implementation:
+// a gather pass picking the off-block entries out of the global CSR arrays,
+// then k sweeps over the strided in-block segments with a per-entry
+// diagonal branch. It is retained as the executable specification the
+// fused kernel is property-tested against (bit-identical iterates), and as
+// the fallback for matrices whose column indices exceed int32.
+func runBlockKernelReference(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
+	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
+
+	bs := v.hi - v.lo
+	s := scr.s[:bs]
+	xloc := scr.xloc[:bs]
+	xnew := scr.xnew[:bs]
+	x0 := scr.x0[:bs]
 
 	// Off-block contribution, frozen for the local sweeps.
 	for i := v.lo; i < v.hi; i++ {
@@ -111,7 +246,9 @@ func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v blockVie
 			acc -= a.Val[p] * offRead.Load(a.ColIdx[p])
 		}
 		s[r] = acc
-		xloc[r] = locRead.Load(i)
+		xv := locRead.Load(i)
+		xloc[r] = xv
+		x0[r] = xv
 	}
 
 	// k synchronous Jacobi sweeps on the subdomain.
@@ -131,7 +268,13 @@ func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v blockVie
 	}
 
 	// Publish the block's components to global memory.
+	var d2 float64
 	for i := v.lo; i < v.hi; i++ {
-		write.Store(i, xloc[i-v.lo])
+		r := i - v.lo
+		nv := xloc[r]
+		write.Store(i, nv)
+		d := nv - x0[r]
+		d2 += d * d
 	}
+	return d2
 }

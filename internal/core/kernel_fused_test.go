@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// diagHeavyMatrix builds an SPD system in which a band of rows carries only
+// the diagonal entry — the "empty row" edge case for the packed staging
+// (such a row has neither off-block nor local packed entries).
+func diagHeavyMatrix(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 4)
+		// Rows in [n/3, n/2) couple to nothing; the rest form a path graph.
+		if i+1 < n && (i < n/3 || i >= n/2) && (i+1 < n/3 || i+1 >= n/2) {
+			c.AddSym(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// fusedCases are the partition shapes the bit-identity property is checked
+// on: ragged trailing block, a single block spanning the matrix, block size
+// one, and diagonal-only rows.
+func fusedCases(t *testing.T) []struct {
+	name      string
+	a         *sparse.CSR
+	blockSize int
+} {
+	t.Helper()
+	tref := mats.Trefethen(120)
+	return []struct {
+		name      string
+		a         *sparse.CSR
+		blockSize int
+	}{
+		{"ragged", tref, 32},        // 120 = 3·32 + 24: ragged last block
+		{"single-block", tref, 120}, // whole matrix in one subdomain
+		{"unit-blocks", tref, 1},    // pure (damped) Jacobi limit
+		{"diag-only-rows", diagHeavyMatrix(90), 16},
+	}
+}
+
+func solveBothKernels(t *testing.T, a *sparse.CSR, bs int, opt Options) (fused, ref Result) {
+	t.Helper()
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	opt.BlockSize = bs
+	run := func(reference bool) Result {
+		o := opt
+		o.referenceKernel = reference
+		res, err := Solve(a, b, o)
+		if err != nil {
+			t.Fatalf("solve (reference=%v): %v", reference, err)
+		}
+		return res
+	}
+	return run(false), run(true)
+}
+
+func requireBitIdentical(t *testing.T, fused, ref Result) {
+	t.Helper()
+	if len(fused.X) != len(ref.X) {
+		t.Fatalf("length mismatch: %d vs %d", len(fused.X), len(ref.X))
+	}
+	for i := range fused.X {
+		if math.Float64bits(fused.X[i]) != math.Float64bits(ref.X[i]) {
+			t.Fatalf("x[%d] differs: fused %v (%#x) vs reference %v (%#x)",
+				i, fused.X[i], math.Float64bits(fused.X[i]), ref.X[i], math.Float64bits(ref.X[i]))
+		}
+	}
+	if math.Float64bits(fused.Residual) != math.Float64bits(ref.Residual) {
+		t.Fatalf("residual differs: %v vs %v", fused.Residual, ref.Residual)
+	}
+	if len(fused.History) != len(ref.History) {
+		t.Fatalf("history length differs: %d vs %d", len(fused.History), len(ref.History))
+	}
+	for i := range fused.History {
+		if math.Float64bits(fused.History[i]) != math.Float64bits(ref.History[i]) {
+			t.Fatalf("history[%d] differs: %v vs %v", i, fused.History[i], ref.History[i])
+		}
+	}
+}
+
+// TestFusedKernelBitIdenticalSimulated drives whole seeded solves down both
+// kernel paths. The simulated engine is the strictest check: its racing
+// off-block reader consumes one RNG draw per Load, so the iterates can only
+// match bit-for-bit if the fused kernel preserves the reference kernel's
+// exact Load-call order *and* floating-point operation order.
+func TestFusedKernelBitIdenticalSimulated(t *testing.T) {
+	for _, tc := range fusedCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{
+				LocalIters:     3,
+				Omega:          0.9,
+				MaxGlobalIters: 40,
+				RecordHistory:  true,
+				Seed:           7,
+				StaleProb:      0.3, // exercise the snapshot-reader path too
+			}
+			fused, ref := solveBothKernels(t, tc.a, tc.blockSize, opt)
+			requireBitIdentical(t, fused, ref)
+		})
+	}
+}
+
+// TestFusedKernelBitIdenticalGoroutineReplay checks the concurrent engine:
+// a recorded goroutine-engine schedule replays deterministically, so the
+// same capture replayed down both kernel paths must agree bit-for-bit.
+func TestFusedKernelBitIdenticalGoroutineReplay(t *testing.T) {
+	for _, tc := range fusedCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.a
+			b := make([]float64, a.Rows)
+			for i := range b {
+				b[i] = 1
+			}
+			rec := sched.NewRecorder(0)
+			opt := Options{
+				BlockSize: tc.blockSize, LocalIters: 2, MaxGlobalIters: 15,
+				Engine: EngineGoroutine, Seed: 11, Workers: 4, Record: rec,
+			}
+			if _, err := Solve(a, b, opt); err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			s := rec.Schedule()
+			replay := func(reference bool) Result {
+				o := Options{
+					BlockSize: tc.blockSize, LocalIters: 2, MaxGlobalIters: 15,
+					Engine: EngineGoroutine, Replay: s, referenceKernel: reference,
+					RecordHistory: true,
+				}
+				res, err := Solve(a, b, o)
+				if err != nil {
+					t.Fatalf("replay (reference=%v): %v", reference, err)
+				}
+				return res
+			}
+			requireBitIdentical(t, replay(false), replay(true))
+		})
+	}
+}
+
+// TestFusedKernelBitIdenticalFreeRunningReplay checks the barrier-free
+// engine the same way: one recorded free-running schedule, replayed with
+// the capture's worker topology, down both kernel paths.
+func TestFusedKernelBitIdenticalFreeRunningReplay(t *testing.T) {
+	for _, tc := range fusedCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.a
+			b := make([]float64, a.Rows)
+			for i := range b {
+				b[i] = 1
+			}
+			rec := sched.NewRecorder(0)
+			opt := FreeRunningOptions{
+				BlockSize: tc.blockSize, LocalIters: 2,
+				MaxBlockUpdates: 600, Tolerance: 1e-12, Workers: 3, Record: rec,
+			}
+			if _, err := SolveFreeRunning(a, b, opt); err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			s := rec.Schedule()
+			replay := func(reference bool) FreeRunningResult {
+				o := FreeRunningOptions{
+					BlockSize: tc.blockSize, LocalIters: 2, Tolerance: 1e-12,
+					Replay: s, referenceKernel: reference,
+				}
+				res, err := SolveFreeRunning(a, b, o)
+				if err != nil {
+					t.Fatalf("replay (reference=%v): %v", reference, err)
+				}
+				return res
+			}
+			f, r := replay(false), replay(true)
+			for i := range f.X {
+				if math.Float64bits(f.X[i]) != math.Float64bits(r.X[i]) {
+					t.Fatalf("x[%d] differs: fused %v vs reference %v", i, f.X[i], r.X[i])
+				}
+			}
+			if math.Float64bits(f.Residual) != math.Float64bits(r.Residual) {
+				t.Fatalf("residual differs: %v vs %v", f.Residual, r.Residual)
+			}
+		})
+	}
+}
+
+// TestKernelDeltaMatchesUpdateNorm pins the meaning of the kernels' return
+// value: the squared l2 norm of the block's published update.
+func TestKernelDeltaMatchesUpdateNorm(t *testing.T) {
+	a := mats.Trefethen(64)
+	sp, err := sparse.NewSplitting(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sparse.NewBlockPartition(a.Rows, 20)
+	views, staged := buildBlockViews(a, part)
+	if !staged {
+		t.Fatal("expected staged views")
+	}
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+		x[i] = float64(i) / 10
+	}
+	scr := newKernelScratch(part.Size(0))
+	for bi := 0; bi < part.NumBlocks(); bi++ {
+		before := append([]float64(nil), x...)
+		d2 := runBlockKernel(a, sp, b, &views[bi], 3, 1, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
+		var want float64
+		lo, hi := part.Bounds(bi)
+		for i := lo; i < hi; i++ {
+			d := x[i] - before[i]
+			want += d * d
+		}
+		if math.Abs(d2-want) > 1e-12*(1+want) {
+			t.Fatalf("block %d: delta² %v, recomputed %v", bi, d2, want)
+		}
+		ref := runBlockKernelReference(a, sp, b, &views[bi], 3, 1, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
+		if math.Float64bits(ref) != math.Float64bits(d2) {
+			t.Fatalf("block %d: fused delta² %v != reference delta² %v", bi, d2, ref)
+		}
+	}
+}

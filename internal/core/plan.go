@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/sparse"
@@ -28,7 +29,49 @@ type Plan struct {
 	factors    *blockFactors // non-nil iff exactLocal
 	blockSize  int
 	exactLocal bool
-	maxBlock   int // rows of the largest block (kernel scratch sizing)
+	maxBlock   int  // rows of the largest block (kernel scratch sizing)
+	staged     bool // packed kernel staging built (see buildBlockViews)
+
+	// Scratch pools: solves borrow their kernel and per-iteration buffers
+	// here instead of allocating, so a warm plan runs its steady-state
+	// global iterations with zero heap allocations (test-enforced in
+	// alloc_test.go). The pools are keyed to this plan's dimensions.
+	kernelPool sync.Pool // *kernelScratch, sized maxBlock
+	iterPool   sync.Pool // *iterScratch, sized (rows, numBlocks)
+}
+
+// iterScratch is the per-solve working set of the barrier engines: the
+// schedule order and stale-mask buffers, the iteration-start snapshot, the
+// residual scratch vector and the goroutine engine's host-side copy.
+type iterScratch struct {
+	order []int
+	stale []bool
+	snap  []float64
+	resid []float64
+	xhost []float64
+}
+
+func (p *Plan) getKernelScratch() *kernelScratch {
+	return p.kernelPool.Get().(*kernelScratch)
+}
+
+func (p *Plan) putKernelScratch(s *kernelScratch) { p.kernelPool.Put(s) }
+
+func (p *Plan) getIterScratch() *iterScratch {
+	return p.iterPool.Get().(*iterScratch)
+}
+
+func (p *Plan) putIterScratch(s *iterScratch) { p.iterPool.Put(s) }
+
+// kernelFor selects the block kernel implementation: the fused/staged hot
+// path when the plan carries packed views, the reference two-step path
+// otherwise (or when a test pins it via Options.referenceKernel). The two
+// produce bit-identical iterates.
+func (p *Plan) kernelFor(reference bool) kernelFunc {
+	if !p.staged || reference {
+		return runBlockKernelReference
+	}
+	return runBlockKernel
 }
 
 // NewPlan precomputes the per-matrix artifacts for the given block size.
@@ -46,7 +89,7 @@ func NewPlan(a *sparse.CSR, blockSize int, exactLocal bool) (*Plan, error) {
 		return nil, err
 	}
 	part := sparse.NewBlockPartition(a.Rows, blockSize)
-	views := buildBlockViews(a, part)
+	views, staged := buildBlockViews(a, part)
 	p := &Plan{
 		a:          a,
 		sp:         sp,
@@ -54,6 +97,7 @@ func NewPlan(a *sparse.CSR, blockSize int, exactLocal bool) (*Plan, error) {
 		views:      views,
 		blockSize:  blockSize,
 		exactLocal: exactLocal,
+		staged:     staged,
 	}
 	for bi := 0; bi < part.NumBlocks(); bi++ {
 		if s := part.Size(bi); s > p.maxBlock {
@@ -63,6 +107,17 @@ func NewPlan(a *sparse.CSR, blockSize int, exactLocal bool) (*Plan, error) {
 	if exactLocal {
 		if p.factors, err = buildBlockFactors(a, part, views); err != nil {
 			return nil, err
+		}
+	}
+	maxBlock, rows, nb := p.maxBlock, a.Rows, part.NumBlocks()
+	p.kernelPool.New = func() any { return newKernelScratch(maxBlock) }
+	p.iterPool.New = func() any {
+		return &iterScratch{
+			order: make([]int, nb),
+			stale: make([]bool, nb),
+			snap:  make([]float64, rows),
+			resid: make([]float64, rows),
+			xhost: make([]float64, rows),
 		}
 	}
 	return p, nil

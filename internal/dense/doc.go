@@ -1,0 +1,7 @@
+// Package dense provides the small dense linear-algebra substrate the
+// block methods need: column-major matrices, LU factorization with partial
+// pivoting, and triangular solves. It exists for the k→∞ limit of the
+// paper's local-iteration trade-off (§4.3): instead of k Jacobi sweeps, a
+// block can solve its subdomain system *exactly* — the classical block
+// Jacobi / additive Schwarz method, implemented in core.SolveExactLocal.
+package dense

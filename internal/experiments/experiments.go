@@ -1,22 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation section. Each experiment is one function returning structured
-// data (a Table or plot.Series values) that cmd/benchtables renders; the
-// benchmark harness in the repository root wraps the same functions in
-// testing.B benches.
-//
-// Experiment index (see DESIGN.md §4 for the full mapping):
-//
-//	Table1                — matrix properties
-//	Fig5NonDeterminism    — convergence variation across runs (+ Tables 2, 3)
-//	Fig6Convergence       — GS vs Jacobi vs async-(1), residual per iteration
-//	Fig7Convergence       — GS vs async-(5)
-//	Table4LocalIterOverhead — cost of local sweeps, fv3
-//	Fig8AvgIterTime       — average iteration time vs total iterations, fv3
-//	Table5AvgIterTimings  — average per-iteration times, all matrices
-//	Fig9ResidualVsTime    — residual vs wall time incl. CG
-//	Fig10Fault, Table6RecoveryOverhead — failure and recovery
-//	Fig11MultiGPU         — AMC/DC/DK on 1–4 GPUs
-//	ScaledJacobiRescue    — the §4.2 τ-scaling extension on s1rmt3m1
 package experiments
 
 import (

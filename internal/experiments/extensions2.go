@@ -12,6 +12,7 @@ import (
 	"repro/internal/solver"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -141,14 +142,14 @@ func mgRHS(grid int) []float64 {
 	return OnesRHS(a)
 }
 
-// TunedParameters runs core.Tune on the convergent paper systems and
-// tabulates the winning (BlockSize, LocalIters) per matrix — automating
+// TunedParameters runs tune.Tune on the convergent paper systems and
+// tabulates the winning (BlockSize, LocalIters, ω) per matrix — automating
 // the paper's §3.2 "empirically based tuning" and addressing the §5 open
 // problem of parameter choice.
 func TunedParameters(matrices []string, seed int64) (Table, error) {
 	t := Table{
 		Title:   "Extension: empirically tuned async-(k) parameters (paper §3.2/§5)",
-		Columns: []string{"matrix", "block size", "local iters k", "rate/global iter", "modeled s/digit"},
+		Columns: []string{"matrix", "block size", "local iters k", "omega", "rate/global iter", "modeled s/digit"},
 	}
 	for _, name := range matrices {
 		tm, err := Matrix(name)
@@ -156,15 +157,16 @@ func TunedParameters(matrices []string, seed int64) (Table, error) {
 			return Table{}, err
 		}
 		b := OnesRHS(tm.A)
-		res, err := core.Tune(tm.A, b, core.TuneConfig{Seed: seed})
+		res, err := tune.Tune(tm.A, b, tune.Config{Seed: seed})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{name, "n/a", "n/a", "n/a", "n/a"})
+			t.Rows = append(t.Rows, []string{name, "n/a", "n/a", "n/a", "n/a", "n/a"})
 			continue
 		}
 		t.Rows = append(t.Rows, []string{
 			name,
 			fmt.Sprintf("%d", res.BlockSize),
 			fmt.Sprintf("%d", res.LocalIters),
+			fmt.Sprintf("%.3f", res.Omega),
 			fmt.Sprintf("%.4f", res.Rate),
 			fmt.Sprintf("%.5f", res.SecondsPerDigit),
 		})

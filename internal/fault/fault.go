@@ -1,16 +1,3 @@
-// Package fault implements the hardware-failure experiment of paper §4.5:
-// at a chosen global iteration t0, a fraction of the computing cores —
-// i.e. of the thread blocks they iterate — breaks down. The components
-// handled by dead cores are no longer updated. An implementation may then
-//
-//   - recover after tr iterations ("recovery-(tr)"): the operating system
-//     detects the failure and reassigns the dead blocks to healthy cores,
-//     after which convergence resumes with a delay; or
-//   - never recover: the iteration keeps running on the surviving
-//     components and stalls at a solution approximation with significant
-//     residual error.
-//
-// Injector plugs into blockasync.Options.SkipBlock.
 package fault
 
 import (

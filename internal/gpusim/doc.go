@@ -1,0 +1,20 @@
+// Package gpusim models the GPU the paper runs on: an NVIDIA Fermi C2070
+// (14 multiprocessors × 32 CUDA cores, 6 GB, PCIe ×16) programmed with
+// CUDA 4.0 streams.
+//
+// Two aspects of the hardware matter for the paper's results and are
+// modeled explicitly:
+//
+//  1. Execution semantics — thread blocks are dispatched to multiprocessors
+//     in an order the programmer cannot control, and blocks in different
+//     streams overlap. The Scheduler type produces seeded chaotic block
+//     orders and overlap patterns that drive the block-asynchronous
+//     engines in package blockasync.
+//
+//  2. Timing — kernel launch overhead, PCIe transfers, and throughput.
+//     The PerfModel type predicts per-iteration wall times. Its constants
+//     are calibrated against the paper's measured data (Tables 4 and 5,
+//     Figure 8) rather than derived from first principles, because the
+//     paper's CUDA implementation — not peak hardware capability — is the
+//     behaviour being reproduced. See DESIGN.md §2.
+package gpusim

@@ -1,22 +1,3 @@
-// Package gpusim models the GPU the paper runs on: an NVIDIA Fermi C2070
-// (14 multiprocessors × 32 CUDA cores, 6 GB, PCIe ×16) programmed with
-// CUDA 4.0 streams.
-//
-// Two aspects of the hardware matter for the paper's results and are
-// modeled explicitly:
-//
-//  1. Execution semantics — thread blocks are dispatched to multiprocessors
-//     in an order the programmer cannot control, and blocks in different
-//     streams overlap. The Scheduler type produces seeded chaotic block
-//     orders and overlap patterns that drive the block-asynchronous
-//     engines in package blockasync.
-//
-//  2. Timing — kernel launch overhead, PCIe transfers, and throughput.
-//     The PerfModel type predicts per-iteration wall times. Its constants
-//     are calibrated against the paper's measured data (Tables 4 and 5,
-//     Figure 8) rather than derived from first principles, because the
-//     paper's CUDA implementation — not peak hardware capability — is the
-//     behaviour being reproduced. See DESIGN.md §2.
 package gpusim
 
 import (
@@ -86,13 +67,26 @@ func NewScheduler(seed int64, recurrence float64) *Scheduler {
 // exactly once (the Chazan–Miranker fairness condition: every component is
 // updated in every global iteration).
 func (s *Scheduler) Order(numBlocks int) []int {
+	return s.OrderInto(nil, numBlocks)
+}
+
+// OrderInto is Order writing into dst when it has sufficient capacity (a
+// fresh slice is allocated otherwise), so steady-state solve loops can
+// reuse one buffer across global iterations. The pseudo-random draw
+// sequence is exactly that of Order: for a given scheduler state the two
+// are interchangeable.
+func (s *Scheduler) OrderInto(dst []int, numBlocks int) []int {
 	if numBlocks <= 0 {
 		panic(fmt.Sprintf("gpusim: Order(%d): need at least one block", numBlocks))
 	}
 	if len(s.base) != numBlocks {
 		s.base = s.rng.Perm(numBlocks)
 	}
-	order := append([]int(nil), s.base...)
+	if cap(dst) < numBlocks {
+		dst = make([]int, numBlocks)
+	}
+	order := dst[:numBlocks]
+	copy(order, s.base)
 	// Perturb: each position swaps with a random partner with probability
 	// (1 − recurrence), preserving the permutation property.
 	for i := range order {
@@ -108,10 +102,19 @@ func (s *Scheduler) Order(numBlocks int) []int {
 // snapshot of the iterate (they were dispatched before overlapping writers
 // finished). Probability pStale per block, seeded.
 func (s *Scheduler) StaleMask(numBlocks int, pStale float64) []bool {
+	return s.StaleMaskInto(nil, numBlocks, pStale)
+}
+
+// StaleMaskInto is StaleMask writing into dst when it has sufficient
+// capacity, with the same draw sequence; see OrderInto.
+func (s *Scheduler) StaleMaskInto(dst []bool, numBlocks int, pStale float64) []bool {
 	if pStale < 0 || pStale > 1 {
 		panic(fmt.Sprintf("gpusim: pStale %g outside [0,1]", pStale))
 	}
-	mask := make([]bool, numBlocks)
+	if cap(dst) < numBlocks {
+		dst = make([]bool, numBlocks)
+	}
+	mask := dst[:numBlocks]
 	for i := range mask {
 		mask[i] = s.rng.Float64() < pStale
 	}

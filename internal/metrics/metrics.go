@@ -1,18 +1,3 @@
-// Package metrics is the repository's dependency-free observability
-// substrate: counters, gauges, histograms and bounded sample rings behind a
-// registry that renders the Prometheus text exposition format (version
-// 0.0.4). The paper's entire evaluation (§4) is measurement — convergence
-// per iteration and per second, 1000-run statistics, recovery curves — and
-// this package is what lets a *running* solve be observed the same way:
-// engine counters in internal/core, device gauges in internal/gpusim,
-// queue/cache/request metrics in internal/service, all surfaced at the
-// daemon's GET /metricsz.
-//
-// Everything is stdlib-only and safe for concurrent use. The hot-path
-// primitives are lock-free: counters shard their state across padded cache
-// lines (writers pick a shard through the runtime's per-thread fast random
-// stream, so concurrent increments rarely contend), gauges are single
-// atomic words, histogram buckets are atomic counters.
 package metrics
 
 import (

@@ -1,32 +1,3 @@
-// Package multigpu models the multi-GPU block-asynchronous iteration of
-// paper §3.4 and the experiment of §4.6 (Figure 11).
-//
-// The system is decomposed into per-device blocks of rows, each further
-// split into thread blocks on its GPU. Between GPUs — as between thread
-// blocks — the iteration is asynchronous, so (as the paper notes) there is
-// no algorithmic difference to the single-device two-stage iteration: the
-// extra device layer only changes *where* the communication time goes.
-// Convergence is therefore computed with the blockasync engines, while the
-// wall-clock time is predicted by a topology model with the three
-// communication strategies the paper implements:
-//
-//   - AMC (asynchronous multicopy): host memory is the exchange point;
-//     every GPU streams its updated components up and the full iterate
-//     down, concurrently on its own PCIe link.
-//   - DC (GPU-direct memory transfer): the iterate lives on a master GPU;
-//     other devices pull/push it over PCIe peer-to-peer, serializing on
-//     the master's link. CUDA 4.0 supports this only between GPUs on the
-//     same IOH, i.e. at most two devices.
-//   - DK (GPU-direct kernel access): kernels on secondary devices
-//     dereference master-GPU memory directly; same reach limit as DC,
-//     with an extra fine-grained-access penalty.
-//
-// The topology mirrors the paper's Supermicro X8DTG-QF node: two Xeon
-// sockets bridged by QPI, two GPUs per socket. With three or more GPUs,
-// AMC traffic from the far socket crosses QPI, which the paper identifies
-// as the bottleneck; the model charges the calibrated staging cost that
-// reproduces Figure 11's shape (2 GPUs ≈ half the time, 3 GPUs slower
-// than 2, 4 GPUs only slightly better than 2).
 package multigpu
 
 import (

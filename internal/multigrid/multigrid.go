@@ -1,16 +1,3 @@
-// Package multigrid implements a geometric two-level/V-cycle multigrid
-// solver for the 2-D Poisson model problem with pluggable smoothers —
-// the paper's §5 outlook ("component-wise relaxation methods as ...
-// smoother in multigrid" and the open question of choosing the
-// asynchronous method's parameters inside a multigrid framework).
-//
-// The hierarchy is geometric: each level is the five-point Poisson stencil
-// on a (2^k+1)... any odd-side grid, coarsened by standard 2:1 full
-// weighting, with bilinear prolongation. The smoother is an interface, and
-// adapters are provided for weighted Jacobi, Gauss-Seidel and the
-// block-asynchronous async-(k) method — so the repository can measure what
-// the paper leaves as future work: how chaotic smoothing changes V-cycle
-// convergence.
 package multigrid
 
 import (

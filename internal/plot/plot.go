@@ -1,7 +1,3 @@
-// Package plot renders simple ASCII charts for the experiment harness: the
-// library's terminal stand-in for the paper's gnuplot figures. It supports
-// multi-series line charts with linear or log₁₀ y-axes and grouped bar
-// charts (for Figure 11).
 package plot
 
 import (

@@ -1,37 +1,3 @@
-// Package sched makes the non-determinism of the asynchronous engines
-// capturable and replayable. The paper's async-(k) iteration is explicitly
-// non-deterministic (§4.1 studies the spread over 1000 runs), and the
-// related convergence theory (Chazan–Miranker, Strikwerda) quantifies over
-// *all* admissible update orderings — so validating an implementation, or
-// debugging one divergent run out of a thousand, requires freezing the
-// ordering that actually happened.
-//
-// The package provides three pieces:
-//
-//   - Event / Recorder: engines emit one compact Event per executed block
-//     through a lock-cheap fixed-capacity ring (one atomic add per event);
-//     the recorder never blocks the hot path and degrades to counting
-//     dropped events when full.
-//   - Schedule: the captured, serializable stream (JSON for CI artifacts)
-//     plus the engine metadata needed to re-create the run.
-//   - Gate: a turn sequencer that drives the concurrent engines through a
-//     captured schedule: workers wait at injected yield points until the
-//     next recorded event is theirs, so every block execution happens
-//     exclusively and in recorded order. Replays are therefore bit-for-bit
-//     deterministic, no matter how the Go scheduler interleaves the
-//     goroutines around the gate.
-//
-// Replay semantics per engine (see the core package for the wiring):
-//
-//   - simulated: the recorded order, stale masks and RNG seed re-create the
-//     original run exactly — replay output is bit-identical to the
-//     recording.
-//   - goroutine / free-running: the original run's component-level read
-//     interleavings are not captured (that would cost one event per read);
-//     replay executes the recorded block sequence one block at a time,
-//     which defines a canonical deterministic execution of that schedule.
-//     Any two replays of the same schedule are bit-identical, which is
-//     what convergence validation across adversarial orderings needs.
 package sched
 
 import (

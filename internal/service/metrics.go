@@ -54,6 +54,13 @@ func (s *Service) instrument() {
 		func() float64 { return float64(s.cache.Stats().Entries) })
 	reg.GaugeFunc("service_plan_cache_bytes", "Estimated bytes of resident plans.",
 		func() float64 { return float64(s.cache.Stats().Bytes) })
+
+	reg.CounterFunc("service_tune_searches_total", "Full auto-tune parameter searches executed.",
+		func() uint64 { return s.cache.TuneStats().Searches })
+	reg.CounterFunc("service_tune_cache_hits_total", "Auto-tune lookups served from the fingerprint cache.",
+		func() uint64 { return s.cache.TuneStats().Hits })
+	reg.CounterFunc("service_tune_probe_solves_total", "Short probe solves run by auto-tune searches.",
+		func() uint64 { return s.cache.TuneStats().ProbeSolves })
 }
 
 // Metrics returns the service's metrics registry (the /metricsz source).

@@ -1,15 +1,3 @@
-// Package service turns the block-asynchronous relaxation library into a
-// long-running solver service: a concurrency-safe per-matrix plan cache, a
-// bounded job queue with a worker pool and per-job cancellation, and an
-// HTTP JSON API (served by cmd/solverd).
-//
-// The paper's economics motivate the cache: once a subdomain's state is
-// resident, additional local iterations "almost come for free" (§4.3). The
-// host-side analogue is the per-matrix setup — block partition, block CSR
-// views, inverse diagonal, dense LU factors for exact local solves,
-// spectral pre-flight analysis — which a one-shot call rebuilds on every
-// solve. A daemon serving repeated solves of the same operators (time
-// stepping, parameter sweeps, preconditioner applications) pays it once.
 package service
 
 import (
@@ -146,6 +134,11 @@ type PlanCache struct {
 	hits     uint64
 	misses   uint64
 	evicted  uint64
+
+	// tune caches auto-tune outcomes by matrix fingerprint (see tune.go);
+	// it has its own lock so a long parameter search never blocks plan
+	// lookups.
+	tune *tuningCache
 }
 
 // planBuild coalesces concurrent builds of one key.
@@ -162,6 +155,7 @@ func NewPlanCache(cfg CacheConfig) *PlanCache {
 		ll:       list.New(),
 		items:    make(map[PlanKey]*list.Element),
 		inflight: make(map[PlanKey]*planBuild),
+		tune:     newTuningCache(),
 	}
 }
 

@@ -89,6 +89,9 @@ type JobResult struct {
 	// Analysis echoes the plan's pre-flight convergence report when the
 	// cache computed one ("rho(B)=… asynchronous convergence guaranteed").
 	Analysis string `json:"analysis,omitempty"`
+	// Tuned reports the auto-tuned parameters of a "tune": "auto" job
+	// (nil for explicitly configured jobs).
+	Tuned *TunedParams `json:"tuned,omitempty"`
 }
 
 // JobView is an immutable snapshot of a job, safe to serialize.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/solver"
 	"repro/internal/sparse"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -29,7 +30,16 @@ type SolveRequest struct {
 	// convention, exact solution = ones).
 	RHS []float64 `json:"rhs,omitempty"`
 
-	BlockSize      int     `json:"block_size"`
+	// Tune is "" (off) or "auto": run the per-matrix parameter search and
+	// solve with the winning (block size, local iterations, ω). Tunings
+	// are cached by matrix fingerprint, so only the first solve of a
+	// matrix pays for the probe solves. Explicitly set BlockSize,
+	// LocalIters or Omega override the tuned value for that parameter.
+	// Incompatible with ExactLocal (the tuner searches Jacobi sweeps).
+	Tune string `json:"tune,omitempty"`
+
+	// BlockSize may be 0 only with Tune: "auto".
+	BlockSize      int     `json:"block_size,omitempty"`
 	LocalIters     int     `json:"local_iters,omitempty"`
 	ExactLocal     bool    `json:"exact_local,omitempty"`
 	Omega          float64 `json:"omega,omitempty"`
@@ -47,6 +57,18 @@ type SolveRequest struct {
 	// Chaos perturbs the solve's schedule (requires Config.EnableChaos).
 	// HTTP clients can also set it via the X-Chaos header.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+}
+
+// tuneAuto parses the request's tune mode.
+func (r SolveRequest) tuneAuto() (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(r.Tune)) {
+	case "":
+		return false, nil
+	case "auto":
+		return true, nil
+	default:
+		return false, fmt.Errorf("service: unknown tune mode %q (want \"auto\" or empty)", r.Tune)
+	}
 }
 
 // engineKind parses the request's engine name.
@@ -141,6 +163,7 @@ type Stats struct {
 	Retries       uint64     `json:"job_retries"`
 	PlanCache     CacheStats `json:"plan_cache"`
 	PlanHitRate   float64    `json:"plan_hit_rate"`
+	TuneCache     TuneStats  `json:"tune_cache"`
 }
 
 // Service is the long-running solver: a plan cache, a bounded job queue
@@ -236,14 +259,21 @@ func (s *Service) validate(req SolveRequest) error {
 	if (req.Matrix == "") == (req.MatrixMarket == "") {
 		return errors.New("service: exactly one of matrix or matrix_market must be set")
 	}
-	if req.BlockSize <= 0 {
-		return fmt.Errorf("service: block_size must be positive, have %d", req.BlockSize)
+	tuning, err := req.tuneAuto()
+	if err != nil {
+		return err
+	}
+	if tuning && req.ExactLocal {
+		return errors.New("service: tune=auto is incompatible with exact_local (the tuner searches Jacobi sweep counts)")
+	}
+	if req.BlockSize < 0 || (req.BlockSize == 0 && !tuning) {
+		return fmt.Errorf("service: block_size must be positive (or set tune=auto), have %d", req.BlockSize)
 	}
 	if req.MaxGlobalIters <= 0 {
 		return fmt.Errorf("service: max_global_iters must be positive, have %d", req.MaxGlobalIters)
 	}
-	if req.LocalIters <= 0 && !req.ExactLocal {
-		return fmt.Errorf("service: local_iters must be positive (or set exact_local), have %d", req.LocalIters)
+	if req.LocalIters < 0 || (req.LocalIters == 0 && !req.ExactLocal && !tuning) {
+		return fmt.Errorf("service: local_iters must be positive (or set exact_local or tune=auto), have %d", req.LocalIters)
 	}
 	if req.TimeoutSeconds < 0 {
 		return fmt.Errorf("service: timeout_seconds must be nonnegative, have %g", req.TimeoutSeconds)
@@ -353,6 +383,7 @@ func (s *Service) Stats() Stats {
 		Retries:       s.retries.Load(),
 		PlanCache:     cs,
 		PlanHitRate:   cs.HitRate(),
+		TuneCache:     s.cache.TuneStats(),
 	}
 }
 
@@ -478,6 +509,15 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 	if err != nil {
 		return nil, err
 	}
+
+	b := req.RHS
+	if b == nil {
+		b = make([]float64, a.Rows)
+		a.MulVec(b, vecmath.Ones(a.Cols))
+	} else if len(b) != a.Rows {
+		return nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows)
+	}
+
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
@@ -501,17 +541,35 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		opt.Chaos = &core.ChaosHooks{Delay: c.Delay, Reorder: c.Reorder, StaleRead: c.StaleRead}
 	}
 
+	var tuned *TunedParams
+	if tuning, _ := req.tuneAuto(); tuning {
+		// The search is seeded by the cache config, not the request, so
+		// every request of a matrix resolves to the same cached tuning.
+		tr, tuneHit, err := s.cache.GetOrTune(a, fp, b, tune.Config{Seed: s.cache.cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("service: auto-tune: %w", err)
+		}
+		if opt.BlockSize == 0 {
+			opt.BlockSize = tr.BlockSize
+		}
+		if opt.LocalIters == 0 {
+			opt.LocalIters = tr.LocalIters
+		}
+		if opt.Omega == 0 {
+			opt.Omega = tr.Omega
+		}
+		tuned = &TunedParams{
+			BlockSize:       opt.BlockSize,
+			LocalIters:      opt.LocalIters,
+			Omega:           opt.Omega,
+			SecondsPerDigit: tr.SecondsPerDigit,
+			CacheHit:        tuneHit,
+		}
+	}
+
 	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
 	if err != nil {
 		return nil, err
-	}
-
-	b := req.RHS
-	if b == nil {
-		b = make([]float64, a.Rows)
-		a.MulVec(b, vecmath.Ones(a.Cols))
-	} else if len(b) != a.Rows {
-		return nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows)
 	}
 
 	nb := plan.Prepared.NumBlocks()
@@ -537,6 +595,7 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Residual:         res.Residual,
 		NumBlocks:        res.NumBlocks,
 		PlanHit:          hit,
+		Tuned:            tuned,
 	}
 	if req.RecordHistory {
 		result.History = res.History

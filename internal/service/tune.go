@@ -1,0 +1,113 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/sparse"
+	"repro/internal/tune"
+)
+
+// TunedParams reports the configuration an auto-tuned job solved with.
+type TunedParams struct {
+	BlockSize  int     `json:"block_size"`
+	LocalIters int     `json:"local_iters"`
+	Omega      float64 `json:"omega"`
+	// SecondsPerDigit is the tuner's modeled score of the winning
+	// configuration (see tune.Result).
+	SecondsPerDigit float64 `json:"seconds_per_digit"`
+	// CacheHit reports whether the parameters came from the tuning cache
+	// (true: this job ran zero probe solves).
+	CacheHit bool `json:"cache_hit"`
+}
+
+// TuneStats is a point-in-time snapshot of the tuning-cache counters.
+type TuneStats struct {
+	// Searches counts full parameter searches executed (cache misses).
+	Searches uint64 `json:"searches"`
+	// Hits counts lookups served from the cache or by joining an
+	// in-flight search.
+	Hits uint64 `json:"hits"`
+	// ProbeSolves counts every short probe solve the searches ran — the
+	// work hits avoid.
+	ProbeSolves uint64 `json:"probe_solves"`
+	// Entries is the number of cached tunings.
+	Entries int `json:"entries"`
+}
+
+// tuneSearch coalesces concurrent searches for one fingerprint.
+type tuneSearch struct {
+	done chan struct{}
+	res  tune.Result
+	err  error
+}
+
+// tuningCache caches auto-tune outcomes by matrix fingerprint. The tuned
+// parameters are a property of the operator — the probe right-hand side
+// only mildly perturbs the measured contraction rates — so the key is the
+// fingerprint alone: a warm daemon tunes each matrix once, then every
+// later "tune": "auto" request reuses the result with zero probe solves.
+type tuningCache struct {
+	mu       sync.Mutex
+	tunings  map[string]tune.Result
+	inflight map[string]*tuneSearch
+	searches uint64
+	hits     uint64
+	probes   uint64
+}
+
+func newTuningCache() *tuningCache {
+	return &tuningCache{
+		tunings:  make(map[string]tune.Result),
+		inflight: make(map[string]*tuneSearch),
+	}
+}
+
+// GetOrTune returns the cached tuning for the matrix fingerprint, running
+// the full parameter search on a miss. Concurrent calls for the same
+// missing fingerprint coalesce into a single search (the waiters count as
+// hits: they run no probes of their own). hit reports whether the caller
+// reused existing or in-flight work.
+func (c *PlanCache) GetOrTune(a *sparse.CSR, fp string, b []float64, cfg tune.Config) (tune.Result, bool, error) {
+	t := c.tune
+	t.mu.Lock()
+	if r, ok := t.tunings[fp]; ok {
+		t.hits++
+		t.mu.Unlock()
+		return r, true, nil
+	}
+	if s, ok := t.inflight[fp]; ok {
+		t.hits++
+		t.mu.Unlock()
+		<-s.done
+		return s.res, true, s.err
+	}
+	t.searches++
+	s := &tuneSearch{done: make(chan struct{})}
+	t.inflight[fp] = s
+	t.mu.Unlock()
+
+	s.res, s.err = tune.Tune(a, b, cfg)
+
+	t.mu.Lock()
+	delete(t.inflight, fp)
+	t.probes += uint64(s.res.ProbeSolves)
+	if s.err == nil {
+		t.tunings[fp] = s.res
+	}
+	t.mu.Unlock()
+	close(s.done)
+	return s.res, false, s.err
+}
+
+// TuneStats snapshots the tuning-cache counters.
+func (c *PlanCache) TuneStats() TuneStats {
+	t := c.tune
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TuneStats{
+		Searches:    t.searches,
+		Hits:        t.hits,
+		ProbeSolves: t.probes,
+		Entries:     len(t.tunings),
+	}
+}

@@ -1,9 +1,3 @@
-// Package solver implements the synchronous baseline methods the paper
-// compares against: Jacobi, Gauss-Seidel, SOR, the τ-scaled Jacobi of §4.2,
-// and Conjugate Gradients (the "highly tuned CG" of §4.4). All solvers share
-// a common Options/Result interface and record per-iteration residual
-// histories so the experiment harness can regenerate the paper's
-// convergence figures.
 package solver
 
 import (

@@ -1,0 +1,8 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// block-asynchronous relaxation library: CSR and COO storage, matrix-vector
+// products, Jacobi splittings, block extraction, Matrix Market I/O, and
+// sparsity visualization.
+//
+// The package is deliberately self-contained (stdlib only) and holds the
+// structural operations every solver in this repository builds on.
+package sparse

@@ -1,0 +1,6 @@
+// Package stats provides the descriptive statistics the paper reports for
+// its non-determinism study (§4.1, Tables 2 and 3, Figure 5): for each
+// iteration checkpoint across many solver runs, the average / maximum /
+// minimum residual, the absolute and relative variation, and the variance,
+// standard deviation and standard error.
+package stats

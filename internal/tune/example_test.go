@@ -1,0 +1,55 @@
+package tune_test
+
+import (
+	"fmt"
+
+	"repro/internal/mats"
+	"repro/internal/tune"
+	"repro/internal/vecmath"
+)
+
+// Golden-section search is the tuner's ω stage: a derivative-free
+// minimizer for the unimodal damping response. Here it recovers the
+// analytic Richardson optimum ω* = 2/(λ₁+λₙ) for a spectrum [1, 9].
+func ExampleGoldenSection() {
+	rho := func(omega float64) float64 {
+		lo, hi := 1.0, 9.0
+		r1, r2 := 1-omega*lo, 1-omega*hi
+		if r1 < 0 {
+			r1 = -r1
+		}
+		if r2 < 0 {
+			r2 = -r2
+		}
+		if r1 > r2 {
+			return r1
+		}
+		return r2
+	}
+	omega := tune.GoldenSection(rho, 0.05, 1.95, 1e-9, 0)
+	fmt.Printf("omega* = %.3f\n", omega)
+	// Output:
+	// omega* = 0.200
+}
+
+// Tune searches (block size, local sweeps, ω) with short probe solves and
+// scores candidates by modeled GPU seconds per digit of accuracy.
+func ExampleTune() {
+	a := mats.Trefethen(500)
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+
+	res, err := tune.Tune(a, b, tune.Config{
+		BlockSizes: []int{64, 128},
+		LocalIters: []int{1, 5},
+		Seed:       1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("contracting: %v, omega in (0,2): %v\n",
+		res.Rate < 1, res.Omega > 0 && res.Omega < 2)
+	// Output:
+	// contracting: true, omega in (0,2): true
+}

@@ -1,0 +1,38 @@
+package tune
+
+// invPhi is 1/φ = (√5−1)/2, the golden-section interval reduction factor.
+const invPhi = 0.6180339887498949
+
+// GoldenSection minimizes f over [lo, hi] by golden-section search and
+// returns the best point found. It assumes f is unimodal on the bracket
+// (true for the modeled-time objective near the spectral ω estimate, and
+// for the Richardson contraction factor max(|1−ωλ₁|, |1−ωλ_n|) on any
+// bracket). The search stops when the bracket shrinks below tol or after
+// maxEval evaluations of f (maxEval ≤ 2 permits only the two initial
+// interior points; maxEval ≤ 0 means unlimited).
+func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxEval int) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	evals := 2
+	for b-a > tol && (maxEval <= 0 || evals < maxEval) {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+		evals++
+	}
+	if f1 <= f2 {
+		return x1
+	}
+	return x2
+}

@@ -1,0 +1,195 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+)
+
+// Config bounds the search.
+type Config struct {
+	// BlockSizes and LocalIters are the candidate grids. Defaults: the
+	// paper's neighbourhood {64, 128, 256, 448, 896} × {1, 2, 3, 5, 8}.
+	BlockSizes []int
+	LocalIters []int
+	// ProbeIters is the length of each probe solve (default 25).
+	ProbeIters int
+	// Model prices the configurations (default gpusim.CalibratedModel).
+	Model *gpusim.PerfModel
+	// Seed drives every probe solve, making the whole search deterministic.
+	Seed int64
+	// OmegaProbes budgets the golden-section ω refinement: at most this
+	// many probe solves after the (block size, k) grid (default 8).
+	// Negative disables the ω stage entirely and keeps ω = 1.
+	OmegaProbes int
+	// SpectralSteps is the Lanczos iteration count used to center the ω
+	// bracket at τ = 2/(λ₁+λ_n) of the normalized matrix (default 32).
+	SpectralSteps int
+	// Engine selects the probe engine (default core.EngineSimulated, the
+	// deterministic one — probes should measure the configuration, not the
+	// scheduler's mood).
+	Engine core.EngineKind
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.BlockSizes) == 0 {
+		c.BlockSizes = []int{64, 128, 256, 448, 896}
+	}
+	if len(c.LocalIters) == 0 {
+		c.LocalIters = []int{1, 2, 3, 5, 8}
+	}
+	if c.ProbeIters <= 0 {
+		c.ProbeIters = 25
+	}
+	if c.Model == nil {
+		m := gpusim.CalibratedModel()
+		c.Model = &m
+	}
+	if c.OmegaProbes == 0 {
+		c.OmegaProbes = 8
+	}
+	if c.SpectralSteps <= 0 {
+		c.SpectralSteps = 32
+	}
+	return c
+}
+
+// Result reports the tuning outcome.
+type Result struct {
+	BlockSize  int
+	LocalIters int
+	// Omega is the winning relaxation weight (1 when the ω stage is
+	// disabled or failed to improve on plain Jacobi).
+	Omega float64
+	// Rate is the measured per-global-iteration residual contraction of
+	// the winning configuration (geometric mean over its probe solve).
+	Rate float64
+	// SecondsPerDigit is the modeled wall time to gain one decimal digit
+	// of accuracy — the score minimized.
+	SecondsPerDigit float64
+	// Probed counts grid configurations evaluated; Skipped counts those
+	// that failed to contract during the probe (e.g. divergent).
+	Probed, Skipped int
+	// ProbeSolves counts every short solve executed, grid and ω stages
+	// combined — the work a tuning cache hit saves.
+	ProbeSolves int
+	// OmegaBracket is the ω interval the golden-section stage searched;
+	// OmegaFromSpectral reports whether its center came from the Lanczos
+	// estimate (as opposed to the fixed fallback bracket).
+	OmegaBracket      [2]float64
+	OmegaFromSpectral bool
+}
+
+// Tune searches (block size, local iterations, ω) for the given system and
+// returns the configuration with the lowest modeled time per digit of
+// residual reduction. The grid stage reuses one core.Plan per block size
+// across all k candidates; the ω stage reuses the winning plan. Tune
+// returns an error if no grid candidate contracts at all (the ρ(|B|) ≥ 1
+// case — no parameter choice can fix s1rmt3m1).
+func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	best := Result{Omega: 1, SecondsPerDigit: math.Inf(1)}
+	var bestPlan *core.Plan
+	for _, bs := range cfg.BlockSizes {
+		if bs > a.Rows {
+			continue // degenerate duplicates of the single-block case
+		}
+		plan, err := core.NewPlan(a, bs, false)
+		if err != nil {
+			best.Skipped += len(cfg.LocalIters)
+			best.Probed += len(cfg.LocalIters)
+			continue
+		}
+		for _, k := range cfg.LocalIters {
+			best.Probed++
+			rate, perDigit, ok := cfg.probe(plan, b, k, 1, &best)
+			if !ok {
+				best.Skipped++
+				continue
+			}
+			if perDigit < best.SecondsPerDigit {
+				best.BlockSize = bs
+				best.LocalIters = k
+				best.Rate = rate
+				best.SecondsPerDigit = perDigit
+				bestPlan = plan
+			}
+		}
+	}
+	if math.IsInf(best.SecondsPerDigit, 1) {
+		return best, fmt.Errorf("tune: no candidate configuration contracted (ρ(|B|) ≥ 1?)")
+	}
+	if cfg.OmegaProbes > 0 {
+		cfg.refineOmega(a, b, bestPlan, &best)
+	}
+	return best, nil
+}
+
+// refineOmega runs the golden-section stage on the winning (block size, k):
+// bracket ω around the spectral estimate τ = 2/(λ₁+λ_n) (the optimal
+// weight for scaled Richardson, paper §4.2) and keep any ω that scores
+// below the grid winner's ω = 1. Divergent probes score +Inf, so the
+// search backs away from them; if nothing beats plain Jacobi the result
+// keeps ω = 1.
+func (cfg Config) refineOmega(a *sparse.CSR, b []float64, plan *core.Plan, best *Result) {
+	lo, hi := 0.5, 1.5
+	if tau, err := spectral.TauScaling(a, cfg.SpectralSteps, cfg.Seed+1); err == nil && tau > 0 && tau < 2 {
+		lo, hi = tau-0.5, tau+0.5
+		best.OmegaFromSpectral = true
+	}
+	if lo < 0.05 {
+		lo = 0.05
+	}
+	if hi > 1.95 {
+		hi = 1.95
+	}
+	best.OmegaBracket = [2]float64{lo, hi}
+	k := best.LocalIters
+	GoldenSection(func(w float64) float64 {
+		rate, perDigit, ok := cfg.probe(plan, b, k, w, best)
+		if !ok {
+			return math.Inf(1)
+		}
+		if perDigit < best.SecondsPerDigit {
+			best.Omega = w
+			best.Rate = rate
+			best.SecondsPerDigit = perDigit
+		}
+		return perDigit
+	}, lo, hi, 1e-2, cfg.OmegaProbes)
+}
+
+// probe runs one short seeded solve on the warm plan and scores it:
+// geometric-mean contraction rate over the recorded history, priced by the
+// model's per-iteration cost as seconds per decimal digit. ok is false
+// when the probe fails to contract (divergence, stagnation, exact zero).
+func (cfg Config) probe(p *core.Plan, b []float64, k int, omega float64, r *Result) (rate, perDigit float64, ok bool) {
+	r.ProbeSolves++
+	res, err := core.SolveWithPlan(p, b, core.Options{
+		BlockSize:      p.BlockSize(),
+		LocalIters:     k,
+		Omega:          omega,
+		MaxGlobalIters: cfg.ProbeIters,
+		RecordHistory:  true,
+		Seed:           cfg.Seed,
+		Engine:         cfg.Engine,
+	})
+	if err != nil || len(res.History) < 2 {
+		return 0, 0, false
+	}
+	h := res.History
+	first, last := h[0], h[len(h)-1]
+	if !(last > 0) || !(first > 0) || last >= first {
+		return 0, 0, false // not contracting (or already at exact zero)
+	}
+	rate = math.Pow(last/first, 1/float64(len(h)-1))
+	m := p.Matrix()
+	iterTime := cfg.Model.AsyncIterTime(m.Rows, m.NNZ(), k)
+	// Iterations per decimal digit: ln(10)/(−ln rate).
+	perDigit = iterTime * math.Ln10 / -math.Log(rate)
+	return rate, perDigit, true
+}

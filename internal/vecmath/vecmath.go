@@ -1,10 +1,3 @@
-// Package vecmath provides the dense BLAS-1 style vector kernels used by
-// every solver in the library: axpy, dot products, norms, and their
-// goroutine-parallel variants for large vectors.
-//
-// All serial kernels are plain loops the compiler vectorizes well; the
-// parallel variants split work across GOMAXPROCS-sized chunks and are worth
-// using above roughly 1e5 elements (see BenchmarkParallelCrossover).
 package vecmath
 
 import (

@@ -1,39 +1,3 @@
-// Package repro is a Go reproduction of "A Block-Asynchronous Relaxation
-// Method for Graphics Processing Units" (Anzt, Tomov, Dongarra, Heuveline;
-// IPDPS Workshops 2012 / JPDC special issue).
-//
-// It provides, as a library:
-//
-//   - the block-asynchronous relaxation method async-(k) with three
-//     execution engines (deterministic seeded chaos, real goroutine
-//     asynchrony, and a fully barrier-free extension);
-//   - the synchronous baselines the paper compares against (Jacobi,
-//     Gauss-Seidel, SOR, τ-scaled Jacobi, CG);
-//   - the sparse-matrix substrate (CSR/COO, Matrix Market I/O) and
-//     generators for the paper's seven test systems;
-//   - a calibrated performance model of the paper's hardware (Fermi C2070
-//     GPU + Xeon E5540 host, multi-GPU topologies with the AMC/DC/DK
-//     communication strategies);
-//   - fault injection with recovery (the paper's Exascale resilience
-//     study) and spectral estimators for the convergence theory
-//     (ρ(B), ρ(|B|), condition numbers, τ-scaling).
-//
-// This package is a façade: it re-exports the library's public surface
-// from the internal implementation packages so downstream code needs a
-// single import. The experiment harness that regenerates every table and
-// figure of the paper lives in cmd/benchtables and the root benchmark
-// suite (bench_test.go); see DESIGN.md and EXPERIMENTS.md.
-//
-// # Quick start
-//
-//	a := repro.GenerateMatrix("Trefethen_2000").A
-//	b := repro.OnesRHS(a)
-//	res, err := repro.SolveAsync(a, b, repro.AsyncOptions{
-//	    BlockSize:      448,
-//	    LocalIters:     5,
-//	    MaxGlobalIters: 200,
-//	    Tolerance:      1e-10,
-//	})
 package repro
 
 import (
@@ -50,6 +14,7 @@ import (
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
+	"repro/internal/tune"
 	"repro/internal/vecmath"
 )
 
@@ -207,18 +172,19 @@ func SolveFreeRunning(a *CSR, b []float64, opt FreeRunningOptions) (FreeRunningR
 	return core.SolveFreeRunning(a, b, opt)
 }
 
-// TuneConfig and TuneResult expose the empirical parameter search of
-// core.Tune — the paper's "empirically based tuning" (§3.2) automated.
+// TuneConfig and TuneResult expose the per-matrix auto-tuner of package
+// tune — the paper's "empirically based tuning" (§3.2) automated.
 type (
-	TuneConfig = core.TuneConfig
-	TuneResult = core.TuneResult
+	TuneConfig = tune.Config
+	TuneResult = tune.Result
 )
 
-// TuneAsync probes (BlockSize, LocalIters) candidates and returns the
+// TuneAsync searches (BlockSize, LocalIters, Omega) and returns the
 // configuration with the lowest modeled time per digit of residual
-// reduction.
+// reduction: a short-probe grid over block size and k, then a
+// golden-section refinement of ω bracketed by the spectral estimate.
 func TuneAsync(a *CSR, b []float64, cfg TuneConfig) (TuneResult, error) {
-	return core.Tune(a, b, cfg)
+	return tune.Tune(a, b, cfg)
 }
 
 // Synchronous baselines.
