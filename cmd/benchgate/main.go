@@ -88,6 +88,7 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "benchgate: tuned-vs-default %-16s iters ×%.2f  modeled ×%.2f  (%s)\n",
 			d.Matrix, d.IterRatio, d.ModeledRatio, verdict)
 	}
+	figProblems := figure11(report.Cases, out)
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -100,9 +101,53 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
+		if figProblems > 0 {
+			return 1
+		}
 		return 0
 	}
-	return verdict(*base, basePath, report, limits, out)
+	code := verdict(*base, basePath, report, limits, out)
+	if figProblems > 0 && code == 0 {
+		code = 1
+	}
+	return code
+}
+
+// figure11 gates the AMC device sweep against the shape of the paper's
+// Figure 11, which is baseline-independent physics of the modeled topology
+// coupled to the live iteration counts: two devices must beat one on
+// modeled time, and three devices — whose exchanges cross the QPI socket
+// bridge — must cost more than two. It prints one line per sweep row plus
+// any violations, and returns the violation count.
+func figure11(cases []CaseResult, out io.Writer) int {
+	byDev := map[int]CaseResult{}
+	for _, c := range cases {
+		if c.Engine == "multigpu" && c.Strategy == "AMC" {
+			byDev[c.Devices] = c
+		}
+	}
+	g1, ok1 := byDev[1]
+	g2, ok2 := byDev[2]
+	g3, ok3 := byDev[3]
+	if !ok1 || !ok2 || !ok3 {
+		return 0 // sweep not in this suite
+	}
+	for _, c := range []CaseResult{g1, g2, g3} {
+		fmt.Fprintf(out, "benchgate: figure11 AMC g%d  %4d iters  modeled %.4fs\n",
+			c.Devices, c.Iterations, c.ModeledSeconds)
+	}
+	problems := 0
+	if !(g2.ModeledSeconds < g1.ModeledSeconds) {
+		fmt.Fprintf(out, "benchgate: REGRESSION figure11: 2 devices (%.4fs) must beat 1 (%.4fs)\n",
+			g2.ModeledSeconds, g1.ModeledSeconds)
+		problems++
+	}
+	if !(g3.ModeledSeconds > g2.ModeledSeconds) {
+		fmt.Fprintf(out, "benchgate: REGRESSION figure11: 3 devices (%.4fs) must cost more than 2 (%.4fs) — QPI\n",
+			g3.ModeledSeconds, g2.ModeledSeconds)
+		problems++
+	}
+	return problems
 }
 
 // verdict prints the gate outcome and returns the process exit code.

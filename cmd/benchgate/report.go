@@ -42,6 +42,11 @@ type CaseResult struct {
 	// than the suite table. Additive fields: absent in older baselines.
 	Omega float64 `json:"omega,omitempty"`
 	Tuned bool    `json:"tuned,omitempty"`
+	// Devices and Strategy describe a multi-device row ("multigpu" engine):
+	// device count and communication strategy of the live executor.
+	// Additive fields: absent in older baselines.
+	Devices  int    `json:"devices,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
 
 	Iterations      int     `json:"iterations"` // global iterations to tolerance
 	TimeToTolerance float64 `json:"time_to_tolerance_seconds"`

@@ -9,6 +9,17 @@
 // Methods: async (default), jacobi, scaled-jacobi, gauss-seidel, sor, cg,
 // freerun. The right-hand side is b = A·1 (exact solution: ones), the
 // paper's convention.
+//
+// With -devices N (async only) the solve runs on the live multi-device
+// executor: one shard per GPU of the modeled topology, exchanging boundary
+// components via the -strategy scheme (amc, dc or dk), with the modeled
+// multi-GPU wall time reported alongside the convergence result.
+//
+// Mutually inconsistent flag combinations are rejected up front rather
+// than silently ignored: -tune computes block size, local sweeps and ω
+// itself, so combining it with explicit -block/-local/-omega (or with a
+// non-async -method, or -devices) is an error, as are -matrix together
+// with -mm, -strategy without -devices, and -devices with -goroutines.
 package main
 
 import (
@@ -16,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
+	"repro/internal/multigpu"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
@@ -27,36 +40,105 @@ import (
 	"repro/internal/vecmath"
 )
 
+// config is the parsed command line. set records which flags the user
+// passed explicitly, so defaults can be distinguished from choices (the
+// default -omega 1.5 is for SOR and must not leak into async, where ω=1 is
+// the paper's baseline unless the user asks otherwise).
+type config struct {
+	matrix, mmfile, method string
+	block, local, iters    int
+	tol, omega             float64
+	seed                   int64
+	gor, history, tuned    bool
+	devices                int
+	strategy               string
+	set                    map[string]bool
+}
+
 func main() {
-	var (
-		matrix  = flag.String("matrix", "Trefethen_2000", "generated test matrix name")
-		mmfile  = flag.String("mm", "", "read the system matrix from a Matrix Market file instead")
-		method  = flag.String("method", "async", "solver: async | jacobi | scaled-jacobi | gauss-seidel | sor | cg | freerun")
-		block   = flag.Int("block", 448, "block (subdomain) size for async methods")
-		local   = flag.Int("local", 5, "local Jacobi sweeps per block (k in async-(k))")
-		iters   = flag.Int("iters", 1000, "maximum (global) iterations")
-		tol     = flag.Float64("tol", 1e-10, "absolute l2 residual tolerance")
-		omega   = flag.Float64("omega", 1.5, "SOR relaxation factor")
-		seed    = flag.Int64("seed", 1, "chaos seed for the async engines")
-		gor     = flag.Bool("goroutines", false, "use the truly asynchronous goroutine engine")
-		history = flag.Bool("history", false, "print the residual after every iteration")
-		tuned   = flag.Bool("tune", false, "auto-tune block size, local sweeps and ω before solving (async only)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.matrix, "matrix", "Trefethen_2000", "generated test matrix name")
+	flag.StringVar(&cfg.mmfile, "mm", "", "read the system matrix from a Matrix Market file instead")
+	flag.StringVar(&cfg.method, "method", "async", "solver: async | jacobi | scaled-jacobi | gauss-seidel | sor | cg | freerun")
+	flag.IntVar(&cfg.block, "block", 448, "block (subdomain) size for async methods")
+	flag.IntVar(&cfg.local, "local", 5, "local Jacobi sweeps per block (k in async-(k))")
+	flag.IntVar(&cfg.iters, "iters", 1000, "maximum (global) iterations")
+	flag.Float64Var(&cfg.tol, "tol", 1e-10, "absolute l2 residual tolerance")
+	flag.Float64Var(&cfg.omega, "omega", 1.5, "relaxation factor (sor; async when set explicitly)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "chaos seed for the async engines")
+	flag.BoolVar(&cfg.gor, "goroutines", false, "use the truly asynchronous goroutine engine")
+	flag.BoolVar(&cfg.history, "history", false, "print the residual after every iteration")
+	flag.BoolVar(&cfg.tuned, "tune", false, "auto-tune block size, local sweeps and ω before solving (async only)")
+	flag.IntVar(&cfg.devices, "devices", 0, "run on the live multi-GPU executor with this many devices (async only)")
+	flag.StringVar(&cfg.strategy, "strategy", "amc", "inter-GPU communication strategy: amc | dc | dk (requires -devices)")
 	flag.Parse()
 
-	if err := run(*matrix, *mmfile, *method, *block, *local, *iters, *tol, *omega, *seed, *gor, *history, *tuned); err != nil {
+	cfg.set = make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
+
+	if err := cfg.check(); err != nil {
+		fmt.Fprintln(os.Stderr, "blockasync:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "blockasync:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrix, mmfile, method string, block, local, iters int,
-	tol, omega float64, seed int64, gor, history, tuned bool) error {
+// check rejects flag combinations where one flag would silently override
+// or ignore another.
+func (c config) check() error {
+	isSet := func(name string) bool { return c.set[name] }
+	async := c.method == "async"
+	switch {
+	case isSet("matrix") && isSet("mm"):
+		return errors.New("-matrix and -mm both select the system; pass exactly one")
+	case c.tuned && !async:
+		return fmt.Errorf("-tune only applies to -method async, have %q", c.method)
+	case c.tuned && (isSet("block") || isSet("local") || isSet("omega")):
+		return errors.New("-tune computes block size, local sweeps and ω itself; drop the explicit -block/-local/-omega overrides")
+	case c.tuned && c.devices > 0:
+		return errors.New("-tune searches the single-device engines; it cannot be combined with -devices")
+	case c.devices < 0:
+		return fmt.Errorf("-devices must be nonnegative, have %d", c.devices)
+	case c.devices > 0 && !async:
+		return fmt.Errorf("-devices only applies to -method async, have %q", c.method)
+	case c.devices > 0 && c.gor:
+		return errors.New("-devices runs on the sharded executor; it cannot be combined with -goroutines")
+	case isSet("strategy") && c.devices == 0:
+		return errors.New("-strategy requires -devices")
+	case isSet("omega") && !async && c.method != "sor":
+		return fmt.Errorf("-omega only applies to -method async or sor, have %q", c.method)
+	case isSet("goroutines") && !async:
+		return fmt.Errorf("-goroutines only applies to -method async, have %q", c.method)
+	}
+	if c.devices > 0 {
+		if _, err := parseStrategy(c.strategy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+func parseStrategy(s string) (multigpu.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "amc":
+		return multigpu.AMC, nil
+	case "dc":
+		return multigpu.DC, nil
+	case "dk":
+		return multigpu.DK, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want amc, dc or dk)", s)
+	}
+}
+
+func run(c config) error {
 	var a *sparse.CSR
-	name := matrix
-	if mmfile != "" {
-		f, err := os.Open(mmfile)
+	name := c.matrix
+	if c.mmfile != "" {
+		f, err := os.Open(c.mmfile)
 		if err != nil {
 			return err
 		}
@@ -64,9 +146,9 @@ func run(matrix, mmfile, method string, block, local, iters int,
 		if a, err = sparse.ReadMatrixMarket(f); err != nil {
 			return err
 		}
-		name = mmfile
+		name = c.mmfile
 	} else {
-		tm, err := experiments.Matrix(matrix)
+		tm, err := experiments.Matrix(c.matrix)
 		if err != nil {
 			return err
 		}
@@ -74,10 +156,10 @@ func run(matrix, mmfile, method string, block, local, iters int,
 	}
 	b := make([]float64, a.Rows)
 	a.MulVec(b, vecmath.Ones(a.Cols))
-	fmt.Printf("system: %s  n=%d  nnz=%d  method=%s\n", name, a.Rows, a.NNZ(), method)
+	fmt.Printf("system: %s  n=%d  nnz=%d  method=%s\n", name, a.Rows, a.NNZ(), c.method)
 
 	printHistory := func(h []float64) {
-		if !history {
+		if !c.history {
 			return
 		}
 		for i, r := range h {
@@ -86,23 +168,44 @@ func run(matrix, mmfile, method string, block, local, iters int,
 	}
 	model := gpusim.CalibratedModel()
 
-	switch method {
+	switch c.method {
 	case "async":
-		var tuneOmega float64
-		if tuned {
-			tr, err := tune.Tune(a, b, tune.Config{Seed: seed})
+		var asyncOmega float64
+		if c.set["omega"] {
+			asyncOmega = c.omega
+		}
+		if c.tuned {
+			tr, err := tune.Tune(a, b, tune.Config{Seed: c.seed})
 			if err != nil {
 				return fmt.Errorf("auto-tune: %w", err)
 			}
-			block, local, tuneOmega = tr.BlockSize, tr.LocalIters, tr.Omega
+			c.block, c.local, asyncOmega = tr.BlockSize, tr.LocalIters, tr.Omega
 			fmt.Printf("tuned: block=%d local=%d omega=%.3f  (rate %.4f/iter, modeled %.5f s/digit, %d probe solves)\n",
-				block, local, tuneOmega, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
+				c.block, c.local, asyncOmega, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
 		}
 		opt := core.Options{
-			BlockSize: block, LocalIters: local, Omega: tuneOmega,
-			MaxGlobalIters: iters, Tolerance: tol, RecordHistory: history, Seed: seed,
+			BlockSize: c.block, LocalIters: c.local, Omega: asyncOmega,
+			MaxGlobalIters: c.iters, Tolerance: c.tol, RecordHistory: c.history, Seed: c.seed,
 		}
-		if gor {
+		if c.devices > 0 {
+			strat, err := parseStrategy(c.strategy)
+			if err != nil {
+				return err
+			}
+			res, err := multigpu.Solve(a, b, opt, model, multigpu.Supermicro(), strat, c.devices)
+			if err != nil && !errors.Is(err, core.ErrDiverged) {
+				return err
+			}
+			printHistory(res.History)
+			report(res.Converged, res.GlobalIterations, res.Residual, err)
+			fmt.Printf("modeled GPU time: %.4f s (%.6f s/iter, %d devices, %s, %d blocks)\n",
+				res.ModeledSeconds, res.PerIterSeconds, res.NumGPUs, res.Strategy, res.NumBlocks)
+			ex := res.Exchanges
+			fmt.Printf("exchanges: %d uploads (%d B), %d downloads (%d B), %d remote loads (%d B)\n",
+				ex.Uploads, ex.BytesUp, ex.Downloads, ex.BytesDown, ex.RemoteLoads, ex.RemoteBytes)
+			return nil
+		}
+		if c.gor {
 			opt.Engine = core.EngineGoroutine
 		}
 		res, err := core.Solve(a, b, opt)
@@ -110,15 +213,15 @@ func run(matrix, mmfile, method string, block, local, iters int,
 			return err
 		}
 		printHistory(res.History)
-		modelT := model.AsyncIterTime(a.Rows, a.NNZ(), local) * float64(res.GlobalIterations)
+		modelT := model.AsyncIterTime(a.Rows, a.NNZ(), c.local) * float64(res.GlobalIterations)
 		report(res.Converged, res.GlobalIterations, res.Residual, err)
 		fmt.Printf("modeled GPU time: %.4f s (%d blocks, engine %s)\n", modelT, res.NumBlocks, opt.Engine)
 
 	case "freerun":
 		res, err := core.SolveFreeRunning(a, b, core.FreeRunningOptions{
-			BlockSize: block, LocalIters: local,
-			MaxBlockUpdates: int64(iters) * int64((a.Rows+block-1)/block),
-			Tolerance:       tol,
+			BlockSize: c.block, LocalIters: c.local,
+			MaxBlockUpdates: int64(c.iters) * int64((a.Rows+c.block-1)/c.block),
+			Tolerance:       c.tol,
 		})
 		if err != nil && !errors.Is(err, core.ErrDiverged) {
 			return err
@@ -127,20 +230,20 @@ func run(matrix, mmfile, method string, block, local, iters int,
 		fmt.Printf("block updates: %d\n", res.BlockUpdates)
 
 	case "jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi":
-		opt := solver.Options{MaxIterations: iters, Tolerance: tol, RecordHistory: history}
+		opt := solver.Options{MaxIterations: c.iters, Tolerance: c.tol, RecordHistory: c.history}
 		var res solver.Result
 		var err error
-		switch method {
+		switch c.method {
 		case "jacobi":
 			res, err = solver.Jacobi(a, b, opt)
 		case "gauss-seidel":
 			res, err = solver.GaussSeidel(a, b, opt)
 		case "sor":
-			res, err = solver.SOR(a, b, omega, opt)
+			res, err = solver.SOR(a, b, c.omega, opt)
 		case "cg":
 			res, err = solver.CG(a, b, opt)
 		case "scaled-jacobi":
-			tau, terr := spectral.TauScaling(a, 200, seed)
+			tau, terr := spectral.TauScaling(a, 200, c.seed)
 			if terr != nil {
 				return terr
 			}
@@ -152,13 +255,13 @@ func run(matrix, mmfile, method string, block, local, iters int,
 		}
 		printHistory(res.History)
 		report(res.Converged, res.Iterations, res.Residual, err)
-		if method == "gauss-seidel" {
+		if c.method == "gauss-seidel" {
 			fmt.Printf("modeled CPU time: %.4f s\n",
 				model.GaussSeidelIterTime(a.Rows, a.NNZ())*float64(res.Iterations))
 		}
 
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return fmt.Errorf("unknown method %q", c.method)
 	}
 	return nil
 }

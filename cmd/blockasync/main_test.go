@@ -6,22 +6,43 @@ import (
 	"testing"
 )
 
+// base returns the flag defaults, overridable per test; set marks flags as
+// explicitly passed for the consistency checks.
+func base(set ...string) config {
+	c := config{
+		matrix: "Trefethen_2000", method: "async",
+		block: 448, local: 5, iters: 1000,
+		tol: 1e-10, omega: 1.5, seed: 1, strategy: "amc",
+		set: make(map[string]bool),
+	}
+	for _, s := range set {
+		c.set[s] = true
+	}
+	return c
+}
+
 func TestRunAsync(t *testing.T) {
-	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.5, 1, false, false, false); err != nil {
+	c := base()
+	c.block, c.iters, c.tol = 448, 100, 1e-8
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBaselines(t *testing.T) {
 	for _, m := range []string{"jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi", "freerun"} {
-		if err := run("Trefethen_2000", "", m, 128, 2, 200, 1e-6, 1.2, 1, false, false, false); err != nil {
+		c := base()
+		c.method, c.block, c.local, c.iters, c.tol, c.omega = m, 128, 2, 200, 1e-6, 1.2
+		if err := run(c); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
 }
 
 func TestRunUnknownMethod(t *testing.T) {
-	if err := run("Trefethen_2000", "", "nope", 128, 1, 1, 1e-6, 1.5, 1, false, false, false); err == nil {
+	c := base()
+	c.method = "nope"
+	if err := run(c); err == nil {
 		t.Error("expected error for unknown method")
 	}
 }
@@ -33,23 +54,105 @@ func TestRunMatrixMarketInput(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "async", 2, 2, 200, 1e-10, 1.5, 1, false, true, false); err != nil {
+	c := base()
+	c.matrix, c.mmfile, c.block, c.local, c.iters, c.history = "", path, 2, 2, 200, true
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", filepath.Join(dir, "missing.mtx"), "async", 2, 2, 10, 1e-10, 1.5, 1, false, false, false); err == nil {
+	c.mmfile, c.history = filepath.Join(dir, "missing.mtx"), false
+	c.iters = 10
+	if err := run(c); err == nil {
 		t.Error("expected error for missing file")
 	}
 }
 
 func TestRunGoroutineEngine(t *testing.T) {
-	if err := run("Trefethen_2000", "", "async", 256, 3, 100, 1e-8, 1.5, 2, true, false, false); err != nil {
+	c := base()
+	c.block, c.local, c.iters, c.tol, c.seed, c.gor = 256, 3, 100, 1e-8, 2, true
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAutoTuned(t *testing.T) {
 	// -tune overrides block/local/ω with the search result before solving.
-	if err := run("Trefethen_2000", "", "async", 448, 5, 100, 1e-8, 1.0, 1, false, false, true); err != nil {
+	c := base()
+	c.iters, c.tol, c.tuned = 100, 1e-8, true
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiDevice(t *testing.T) {
+	for _, tc := range []struct {
+		devices  int
+		strategy string
+	}{
+		{1, "amc"}, {2, "amc"}, {3, "amc"}, {2, "dk"},
+	} {
+		c := base()
+		c.block, c.local, c.iters, c.tol = 128, 3, 200, 1e-8
+		c.devices, c.strategy = tc.devices, tc.strategy
+		if err := run(c); err != nil {
+			t.Fatalf("devices=%d strategy=%s: %v", tc.devices, tc.strategy, err)
+		}
+	}
+}
+
+func TestRunMultiDeviceUnsupported(t *testing.T) {
+	c := base()
+	c.iters, c.devices, c.strategy = 10, 3, "dc"
+	if err := run(c); err == nil {
+		t.Error("expected ErrUnsupported for DC with 3 devices")
+	}
+}
+
+func TestCheckRejectsInconsistentFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"matrix and mm", func() config { c := base("matrix", "mm"); c.mmfile = "x.mtx"; return c }()},
+		{"tune with block", func() config { c := base("block"); c.tuned = true; return c }()},
+		{"tune with local", func() config { c := base("local"); c.tuned = true; return c }()},
+		{"tune with omega", func() config { c := base("omega"); c.tuned = true; return c }()},
+		{"tune with non-async", func() config { c := base(); c.tuned = true; c.method = "jacobi"; return c }()},
+		{"tune with devices", func() config { c := base(); c.tuned = true; c.devices = 2; return c }()},
+		{"negative devices", func() config { c := base(); c.devices = -1; return c }()},
+		{"devices with non-async", func() config { c := base(); c.devices = 2; c.method = "cg"; return c }()},
+		{"devices with goroutines", func() config { c := base(); c.devices = 2; c.gor = true; return c }()},
+		{"strategy without devices", base("strategy")},
+		{"unknown strategy", func() config { c := base(); c.devices = 2; c.strategy = "nvlink"; return c }()},
+		{"omega with jacobi", func() config { c := base("omega"); c.method = "jacobi"; return c }()},
+		{"goroutines with cg", func() config { c := base("goroutines"); c.method = "cg"; c.gor = true; return c }()},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.check(); err == nil {
+			t.Errorf("%s: expected a consistency error", tc.name)
+		}
+	}
+
+	// The valid shapes must pass.
+	for _, ok := range []config{
+		base(),
+		base("omega"), // explicit ω for async is the satellite fix
+		func() config { c := base(); c.tuned = true; return c }(),
+		func() config { c := base("strategy"); c.devices = 2; return c }(),
+		func() config { c := base("omega"); c.method = "sor"; return c }(),
+	} {
+		if err := ok.check(); err != nil {
+			t.Errorf("valid config rejected: %v", err)
+		}
+	}
+}
+
+// TestExplicitOmegaReachesAsync pins the satellite fix: an explicitly set
+// -omega must flow into the async solve instead of being silently dropped
+// (while the unset default 1.5 must NOT leak in — async defaults to ω=1).
+func TestExplicitOmegaReachesAsync(t *testing.T) {
+	c := base("omega")
+	c.block, c.local, c.iters, c.tol, c.omega = 448, 5, 100, 1e-8, 1.2
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 }

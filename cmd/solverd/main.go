@@ -5,7 +5,11 @@
 //
 // Endpoints:
 //
-//	POST   /v1/solve     submit a solve (JSON body; see service.SolveRequest)
+//	POST   /v1/solve     submit a solve (JSON body; see service.SolveRequest).
+//	                     "tune": "auto" runs the per-matrix parameter search;
+//	                     "devices" + "strategy" (amc|dc|dk) route the job onto
+//	                     the live multi-device executor, validated against the
+//	                     modeled topology at submit time
 //	GET    /v1/jobs      list jobs
 //	GET    /v1/jobs/{id} job status / progress / result
 //	DELETE /v1/jobs/{id} cancel a queued or running job

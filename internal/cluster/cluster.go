@@ -3,10 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
-	"repro/internal/solver"
+	"repro/internal/core"
 	"repro/internal/sparse"
 )
 
@@ -17,9 +16,15 @@ type Options struct {
 	Nodes int
 	// LocalIters is k in async-(k) applied inside each node per tick.
 	LocalIters int
-	// MaxDelay is the largest link delay in ticks (≥ 1: even the fastest
-	// message is visible one tick later). Each directed link gets a fixed
-	// delay drawn uniformly from [1, MaxDelay], seeded.
+	// MaxDelay is the largest link delay in ticks. With MaxDelay ≥ 1 each
+	// directed link gets a fixed delay drawn uniformly from [1, MaxDelay],
+	// seeded, and the nodes execute concurrently — the delay ring makes
+	// every off-node read independent of in-flight writes, so the result
+	// is deterministic by construction. MaxDelay 0 is the shared-memory
+	// degenerate case: all links are live and the nodes execute
+	// sequentially in the seeded chaotic dispatch order, which is exactly
+	// the core goroutine engine's one-worker iteration (the equivalence
+	// tests' anchor). Negative values are invalid.
 	MaxDelay int
 	// MaxTicks bounds the simulation. Required > 0.
 	MaxTicks int
@@ -53,8 +58,8 @@ func (o Options) validate(a *sparse.CSR, b []float64) error {
 		return fmt.Errorf("cluster: more nodes (%d) than rows (%d)", o.Nodes, a.Rows)
 	case o.LocalIters <= 0:
 		return fmt.Errorf("cluster: LocalIters must be positive, have %d", o.LocalIters)
-	case o.MaxDelay < 1:
-		return fmt.Errorf("cluster: MaxDelay must be ≥ 1, have %d", o.MaxDelay)
+	case o.MaxDelay < 0:
+		return fmt.Errorf("cluster: MaxDelay must be ≥ 0, have %d", o.MaxDelay)
 	case o.MaxTicks <= 0:
 		return fmt.Errorf("cluster: MaxTicks must be positive, have %d", o.MaxTicks)
 	}
@@ -83,30 +88,42 @@ type Result struct {
 // ErrDiverged is reported when the residual leaves the finite range.
 var ErrDiverged = errors.New("cluster: iteration diverged (non-finite residual)")
 
-// Solve runs the distributed bounded-delay asynchronous iteration.
+// Solve runs the distributed bounded-delay asynchronous iteration as a live
+// concurrent execution on the core sharded executor: one shard (goroutine)
+// per node, each sweeping its block of rows with async-(k) and reading
+// off-node components through a delayed view of the publication ring — a
+// value published at tick t over a link with delay d becomes visible at
+// tick t+d, realizing the Chazan–Miranker shift function as link latency.
+// Ticks are the executor's global iterations (the per-tick barrier is the
+// publication point, not a data synchronization: reads never touch
+// in-flight writes).
 func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	if err := opt.validate(a, b); err != nil {
 		return Result{}, err
 	}
-	sp, err := sparse.NewSplitting(a)
+	n := a.Rows
+	blockSize := (n + opt.Nodes - 1) / opt.Nodes
+	p, err := core.NewPlan(a, blockSize, false)
 	if err != nil {
 		return Result{}, err
 	}
-	n := a.Rows
-	blockSize := (n + opt.Nodes - 1) / opt.Nodes
-	part := sparse.NewBlockPartition(n, blockSize)
+	part := p.Partition()
 	nodes := part.NumBlocks()
 
 	if opt.NodeSpeeds != nil && len(opt.NodeSpeeds) != nodes {
 		return Result{}, fmt.Errorf("cluster: NodeSpeeds length %d, want %d nodes", len(opt.NodeSpeeds), nodes)
 	}
+
+	// Fixed per-link delays, seeded; the draw order is part of the package
+	// contract (a given Seed realizes the same network since the tick-model
+	// versions of this package).
 	rng := rand.New(rand.NewSource(opt.Seed))
 	delays := make([][]int, nodes)
 	maxShift := 0
 	for i := range delays {
 		delays[i] = make([]int, nodes)
 		for j := range delays[i] {
-			if i == j {
+			if i == j || opt.MaxDelay == 0 {
 				continue
 			}
 			delays[i][j] = 1 + rng.Intn(opt.MaxDelay)
@@ -116,100 +133,134 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		}
 	}
 
-	// published[t%W][i] is node i's block values as of tick t; W is the
-	// history window needed to serve the largest delay.
-	window := opt.MaxDelay + 1
-	published := make([][][]float64, window)
-	x := make([]float64, n) // current local values per owner node
-	for w := 0; w < window; w++ {
-		published[w] = make([][]float64, nodes)
-		for i := 0; i < nodes; i++ {
-			lo, hi := part.Bounds(i)
-			published[w][i] = make([]float64, hi-lo)
+	var prov core.ShardViewProvider
+	if opt.MaxDelay >= 1 {
+		prov = newDelayViews(part, delays, opt.MaxDelay+1)
+	}
+	skip := func(tick, node int) bool {
+		if deadAt, ok := opt.DeadNodes[node]; ok && deadAt >= 0 && tick >= deadAt {
+			return true // node down: last published values keep circulating
 		}
+		if opt.NodeSpeeds != nil && tick%opt.NodeSpeeds[node] != 0 {
+			return true // slow hardware: this node skips the tick
+		}
+		return false
 	}
 
-	// view assembles, for a reader node, the full vector as it appears
-	// through the link delays at the given tick.
-	view := make([]float64, n)
-	assembleView := func(reader, tick int) []float64 {
-		for src := 0; src < nodes; src++ {
-			lo, hi := part.Bounds(src)
-			if src == reader {
-				copy(view[lo:hi], x[lo:hi])
-				continue
-			}
-			// A value published at tick t over a link with delay d is
-			// visible from tick t+d on: the freshest visible is t = tick−d.
-			from := tick - delays[src][reader]
-			if from < 0 {
-				from = 0
-			}
-			copy(view[lo:hi], published[from%window][src])
-		}
-		return view
+	inner, err := core.SolveSharded(p, b, core.Options{
+		BlockSize:      blockSize,
+		LocalIters:     opt.LocalIters,
+		MaxGlobalIters: opt.MaxTicks,
+		Tolerance:      opt.Tolerance,
+		RecordHistory:  opt.RecordHistory,
+		Seed:           opt.Seed,
+	}, core.ShardOptions{
+		Shards:     nodes,
+		Sequential: opt.MaxDelay == 0,
+		Provider:   prov,
+		SkipShard:  skip,
+	})
+	res := Result{
+		X:         inner.X,
+		Ticks:     inner.GlobalIterations,
+		Residual:  inner.Residual,
+		Converged: inner.Converged,
+		History:   inner.History,
+		Delays:    delays,
+		MaxShift:  maxShift,
 	}
-
-	res := Result{Delays: delays, MaxShift: maxShift}
-	scratchNew := make([]float64, blockSize)
-	for tick := 1; tick <= opt.MaxTicks; tick++ {
-		for node := 0; node < nodes; node++ {
-			if deadAt, ok := opt.DeadNodes[node]; ok && deadAt >= 0 && tick >= deadAt {
-				continue // node down: last published values keep circulating
-			}
-			if opt.NodeSpeeds != nil && tick%opt.NodeSpeeds[node] != 0 {
-				continue // slow hardware: this node skips the tick
-			}
-			v := assembleView(node, tick)
-			lo, hi := part.Bounds(node)
-			// k local Jacobi sweeps with the off-node view frozen.
-			local := x[lo:hi]
-			for sweep := 0; sweep < opt.LocalIters; sweep++ {
-				xn := scratchNew[:hi-lo]
-				for i := lo; i < hi; i++ {
-					acc := b[i]
-					for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-						j := a.ColIdx[p]
-						switch {
-						case j == i:
-						case j >= lo && j < hi:
-							acc -= a.Val[p] * local[j-lo]
-						default:
-							acc -= a.Val[p] * v[j]
-						}
-					}
-					xn[i-lo] = acc * sp.InvDiag[i]
-				}
-				copy(local, xn)
-			}
+	if err != nil {
+		if errors.Is(err, core.ErrDiverged) {
+			return res, fmt.Errorf("%w after %d ticks", ErrDiverged, res.Ticks)
 		}
-		// Publish this tick's values.
-		for node := 0; node < nodes; node++ {
-			lo, hi := part.Bounds(node)
-			copy(published[tick%window][node], x[lo:hi])
-		}
-		res.Ticks = tick
-		if opt.RecordHistory || opt.Tolerance > 0 {
-			r := solver.Residual(a, b, x)
-			res.Residual = r
-			if opt.RecordHistory {
-				res.History = append(res.History, r)
-			}
-			if math.IsNaN(r) || math.IsInf(r, 0) {
-				res.X = append([]float64(nil), x...)
-				return res, fmt.Errorf("%w after %d ticks", ErrDiverged, tick)
-			}
-			if opt.Tolerance > 0 && r <= opt.Tolerance {
-				res.Converged = true
-				break
-			}
-		}
-	}
-	res.X = append([]float64(nil), x...)
-	if !opt.RecordHistory && opt.Tolerance == 0 {
-		res.Residual = solver.Residual(a, b, res.X)
+		return Result{}, err
 	}
 	return res, nil
+}
+
+// delayViews realizes the bounded link delays as IterateViews over a
+// publication ring: ring[t%window][node] holds node's block values as
+// published at the end of tick t, and a reader with link delay d observes
+// slot (t−d)%window. Delays are ≥ 1 and < window, so every slot a reader
+// touches during tick t is disjoint from the slot the writers fill — the
+// concurrent execution is race-free and deterministic by construction.
+type delayViews struct {
+	part    sparse.BlockPartition
+	delays  [][]int
+	window  int
+	ring    [][][]float64 // ring[slot][node] = node's rows at that tick
+	x       *core.AtomicVector
+	rowNode []int32
+	views   []delayView
+}
+
+func newDelayViews(part sparse.BlockPartition, delays [][]int, window int) *delayViews {
+	nodes := part.NumBlocks()
+	p := &delayViews{part: part, delays: delays, window: window}
+	p.ring = make([][][]float64, window)
+	for w := 0; w < window; w++ {
+		p.ring[w] = make([][]float64, nodes)
+		for i := 0; i < nodes; i++ {
+			lo, hi := part.Bounds(i)
+			p.ring[w][i] = make([]float64, hi-lo)
+		}
+	}
+	// Precomputed row → owner map: the delayed Load is the innermost read
+	// of every off-node matrix entry, too hot for a binary search.
+	p.rowNode = make([]int32, part.N)
+	for i := 0; i < nodes; i++ {
+		lo, hi := part.Bounds(i)
+		for r := lo; r < hi; r++ {
+			p.rowNode[r] = int32(i)
+		}
+	}
+	p.views = make([]delayView, nodes)
+	for i := range p.views {
+		p.views[i] = delayView{p: p, reader: i}
+	}
+	return p
+}
+
+// Bind implements core.ShardViewProvider. The ring starts zeroed — the
+// iteration's initial values, matching a pre-tick-0 publication.
+func (p *delayViews) Bind(x *core.AtomicVector, shards []core.Shard) { p.x = x }
+
+// View implements core.ShardViewProvider.
+func (p *delayViews) View(node, tick int) core.IterateView {
+	v := &p.views[node]
+	v.tick = tick
+	return v
+}
+
+// Publish implements core.ShardViewProvider: node's rows become the ring
+// entry for this tick.
+func (p *delayViews) Publish(node, tick int) {
+	lo, hi := p.part.Bounds(node)
+	dst := p.ring[tick%p.window][node]
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = p.x.Load(i)
+	}
+}
+
+// delayView is one node's delayed window onto the cluster: reads resolve
+// through the publication ring at this node's per-link delays.
+type delayView struct {
+	p      *delayViews
+	reader int
+	tick   int
+}
+
+// Load implements core.IterateView.
+func (v *delayView) Load(j int) float64 {
+	p := v.p
+	src := int(p.rowNode[j])
+	// A value published at tick t over a link with delay d is visible from
+	// tick t+d on: the freshest visible is t = tick−d.
+	from := v.tick - p.delays[src][v.reader]
+	if from < 0 {
+		from = 0
+	}
+	return p.ring[from%p.window][src][j-p.part.Starts[src]]
 }
 
 // DelaySweep measures how the convergence rate degrades with the link

@@ -25,7 +25,7 @@ func TestValidation(t *testing.T) {
 		{Nodes: 0, LocalIters: 1, MaxDelay: 1, MaxTicks: 1},
 		{Nodes: 100, LocalIters: 1, MaxDelay: 1, MaxTicks: 1},
 		{Nodes: 2, LocalIters: 0, MaxDelay: 1, MaxTicks: 1},
-		{Nodes: 2, LocalIters: 1, MaxDelay: 0, MaxTicks: 1},
+		{Nodes: 2, LocalIters: 1, MaxDelay: -1, MaxTicks: 1},
 		{Nodes: 2, LocalIters: 1, MaxDelay: 1, MaxTicks: 0},
 	}
 	for i, o := range bad {

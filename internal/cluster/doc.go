@@ -8,10 +8,16 @@
 // Chazan–Miranker shift function s(k, i) realized as network latency, with
 // the bounded-shift condition (2) holding by construction.
 //
-// The engine advances in simulated ticks. On every tick each node performs
-// one async-(k) update of its block against its current (stale) view of
-// the off-node components and publishes its boundary values; a message
+// The execution is live, not a tick model: the package runs one shard
+// goroutine per node on the core sharded executor (core.SolveSharded), and
+// the delays are realized as IterateViews over a publication ring. On every
+// tick each node performs one async-(k) update of its block against its
+// delayed view of the off-node components and publishes its values; a value
 // published at tick t on a link with delay d becomes visible at tick t+d.
-// Nodes may also drop out (fault injection) without stopping the others —
-// the cluster-level version of the paper's §4.5 experiment.
+// Because every delay is at least one tick, readers never touch a slot a
+// writer is filling — the concurrent execution is race-free and
+// deterministic by construction. Nodes may also drop out (fault injection)
+// or run at a fraction of full speed without stopping the others — the
+// cluster-level version of the paper's §4.5 experiment and its
+// heterogeneous-hardware motivation.
 package cluster

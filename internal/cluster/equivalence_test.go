@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+)
+
+// TestZeroDelayMatchesGoroutineEngine: with MaxDelay 0 every link is live
+// and the nodes execute sequentially in the seeded dispatch order, which is
+// exactly the core goroutine engine with one worker over the same block
+// partition — bit-identical iterate, same tick count.
+func TestZeroDelayMatchesGoroutineEngine(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := onesRHS(a)
+	const nodes = 4
+	res, err := Solve(a, b, Options{
+		Nodes:      nodes,
+		LocalIters: 2,
+		MaxDelay:   0,
+		MaxTicks:   2000,
+		Tolerance:  1e-9,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g", res.Residual)
+	}
+	if res.MaxShift != 0 {
+		t.Errorf("MaxShift %d, want 0 at zero delay", res.MaxShift)
+	}
+	want, err := core.Solve(a, b, core.Options{
+		BlockSize:      (a.Rows + nodes - 1) / nodes,
+		LocalIters:     2,
+		MaxGlobalIters: 2000,
+		Tolerance:      1e-9,
+		Seed:           5,
+		Engine:         core.EngineGoroutine,
+		Workers:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != want.GlobalIterations {
+		t.Errorf("cluster took %d ticks, goroutine engine %d iterations", res.Ticks, want.GlobalIterations)
+	}
+	for i := range want.X {
+		if res.X[i] != want.X[i] {
+			t.Fatalf("X[%d] = %v, want bit-identical %v", i, res.X[i], want.X[i])
+		}
+	}
+}
+
+// TestClusterDeterministicUnderConcurrency pins the delay ring's structural
+// guarantee: with MaxDelay ≥ 1 every off-node read resolves to a slot
+// published in an earlier tick, so the concurrent execution is
+// deterministic — two runs with the same seed agree bit for bit, residual
+// history included.
+func TestClusterDeterministicUnderConcurrency(t *testing.T) {
+	a := mats.Trefethen(400)
+	b := onesRHS(a)
+	opt := Options{
+		Nodes:         8,
+		LocalIters:    2,
+		MaxDelay:      3,
+		MaxTicks:      60,
+		RecordHistory: true,
+		Seed:          21,
+	}
+	first, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Solve(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Ticks != second.Ticks {
+		t.Fatalf("tick counts differ: %d vs %d", first.Ticks, second.Ticks)
+	}
+	for i := range first.X {
+		if first.X[i] != second.X[i] {
+			t.Fatalf("X[%d] differs across identical seeded runs: %v vs %v", i, first.X[i], second.X[i])
+		}
+	}
+	for i := range first.History {
+		if first.History[i] != second.History[i] {
+			t.Fatalf("History[%d] differs: %v vs %v", i, first.History[i], second.History[i])
+		}
+	}
+}
+
+// TestClusterStressManyNodes is the concurrent executor's -race stress
+// case: many nodes, heterogeneous delays, a dead node and a slow node in
+// the same run.
+func TestClusterStressManyNodes(t *testing.T) {
+	a := mats.FV(25, 25, 0.5)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		Nodes:      16,
+		LocalIters: 2,
+		MaxDelay:   4,
+		MaxTicks:   50,
+		Seed:       13,
+		DeadNodes:  map[int]int{5: 30},
+		NodeSpeeds: []int{1, 1, 1, 2, 1, 1, 1, 1, 1, 3, 1, 1, 1, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 50 {
+		t.Fatalf("ran %d ticks, want all 50", res.Ticks)
+	}
+}

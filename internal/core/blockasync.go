@@ -188,11 +188,8 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) validate(a *sparse.CSR, b []float64) error {
-	if a.Rows != a.Cols {
-		return fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
-	}
-	if len(b) != a.Rows {
-		return fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	if err := validateSystem(a, b); err != nil {
+		return err
 	}
 	if o.BlockSize <= 0 {
 		return fmt.Errorf("core: BlockSize must be positive, have %d", o.BlockSize)
@@ -203,8 +200,8 @@ func (o Options) validate(a *sparse.CSR, b []float64) error {
 	if o.MaxGlobalIters <= 0 {
 		return fmt.Errorf("core: MaxGlobalIters must be positive, have %d", o.MaxGlobalIters)
 	}
-	if o.InitialGuess != nil && len(o.InitialGuess) != a.Rows {
-		return fmt.Errorf("core: initial guess length %d does not match dimension %d", len(o.InitialGuess), a.Rows)
+	if err := validateGuess(a.Rows, o.InitialGuess); err != nil {
+		return err
 	}
 	if o.Recurrence < 0 || o.Recurrence > 1 {
 		return fmt.Errorf("core: Recurrence %g outside [0,1]", o.Recurrence)

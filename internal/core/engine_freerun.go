@@ -82,29 +82,33 @@ type FreeRunningResult struct {
 	EquivalentGlobalIters float64
 }
 
-// SolveFreeRunning runs the barrier-free asynchronous iteration.
-func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
-	if a.Rows != a.Cols {
-		return FreeRunningResult{}, fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
+// validate checks a free-running configuration against the system; the one
+// validation path both entry points share (the substrate's satellite
+// dedupe: SolveFreeRunning and SolveFreeRunningWithPlan used to carry
+// diverging copies of these checks).
+func (o FreeRunningOptions) validate(a *sparse.CSR, b []float64) error {
+	if err := validateSystem(a, b); err != nil {
+		return err
 	}
-	if len(b) != a.Rows {
-		return FreeRunningResult{}, fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	if o.BlockSize <= 0 || o.LocalIters <= 0 {
+		return fmt.Errorf("core: BlockSize and LocalIters must be positive, have %d, %d",
+			o.BlockSize, o.LocalIters)
 	}
-	if opt.BlockSize <= 0 || opt.LocalIters <= 0 {
-		return FreeRunningResult{}, fmt.Errorf("core: BlockSize and LocalIters must be positive, have %d, %d",
-			opt.BlockSize, opt.LocalIters)
+	if o.MaxBlockUpdates <= 0 && o.Replay == nil {
+		return fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", o.MaxBlockUpdates)
 	}
-	if opt.MaxBlockUpdates <= 0 && opt.Replay == nil {
-		return FreeRunningResult{}, fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", opt.MaxBlockUpdates)
-	}
-	if opt.Tolerance <= 0 && opt.Replay == nil {
+	if o.Tolerance <= 0 && o.Replay == nil {
 		// A live free-running solve needs a stopping rule; a replay is
 		// bounded by its schedule, so the tolerance is optional there.
-		return FreeRunningResult{}, fmt.Errorf("core: free-running solve requires a positive Tolerance")
+		return fmt.Errorf("core: free-running solve requires a positive Tolerance")
 	}
-	if opt.InitialGuess != nil && len(opt.InitialGuess) != a.Rows {
-		return FreeRunningResult{}, fmt.Errorf("core: initial guess length %d does not match dimension %d",
-			len(opt.InitialGuess), a.Rows)
+	return validateGuess(a.Rows, o.InitialGuess)
+}
+
+// SolveFreeRunning runs the barrier-free asynchronous iteration.
+func SolveFreeRunning(a *sparse.CSR, b []float64, opt FreeRunningOptions) (FreeRunningResult, error) {
+	if err := opt.validate(a, b); err != nil {
+		return FreeRunningResult{}, err
 	}
 	plan, err := NewPlan(a, opt.BlockSize, false)
 	if err != nil {
@@ -125,21 +129,8 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 		return FreeRunningResult{}, fmt.Errorf("core: option BlockSize %d does not match the plan's %d",
 			opt.BlockSize, plan.blockSize)
 	}
-	if len(b) != a.Rows {
-		return FreeRunningResult{}, fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
-	}
-	if opt.LocalIters <= 0 {
-		return FreeRunningResult{}, fmt.Errorf("core: LocalIters must be positive, have %d", opt.LocalIters)
-	}
-	if opt.MaxBlockUpdates <= 0 && opt.Replay == nil {
-		return FreeRunningResult{}, fmt.Errorf("core: MaxBlockUpdates must be positive, have %d", opt.MaxBlockUpdates)
-	}
-	if opt.Tolerance <= 0 && opt.Replay == nil {
-		return FreeRunningResult{}, fmt.Errorf("core: free-running solve requires a positive Tolerance")
-	}
-	if opt.InitialGuess != nil && len(opt.InitialGuess) != a.Rows {
-		return FreeRunningResult{}, fmt.Errorf("core: initial guess length %d does not match dimension %d",
-			len(opt.InitialGuess), a.Rows)
+	if err := opt.validate(a, b); err != nil {
+		return FreeRunningResult{}, err
 	}
 	if opt.Metrics != nil {
 		defer func(start time.Time) {

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/gpusim"
 	"repro/internal/sched"
 )
 
@@ -56,7 +55,6 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		copy(start, opt.InitialGuess)
 	}
 	x := NewAtomicVector(start)
-	gsched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
 	nb := part.NumBlocks()
 	res := Result{NumBlocks: nb}
 
@@ -99,16 +97,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 	}
 	if opt.Record != nil {
-		opt.Record.SetMeta(sched.Meta{
-			Engine:     "goroutine",
-			NumBlocks:  nb,
-			Workers:    workers,
-			Seed:       opt.Seed,
-			Omega:      opt.Omega,
-			LocalIters: opt.LocalIters,
-			Recurrence: opt.Recurrence,
-			StaleProb:  opt.StaleProb,
-		})
+		opt.Record.SetMeta(barrierMeta("goroutine", nb, workers, opt))
 	}
 
 	em := opt.Metrics.engine("goroutine")
@@ -179,6 +168,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 	is := p.getIterScratch()
 	defer p.putIterScratch(is)
+	cs := newChaoticScheduler(opt, em, nb, is.order)
 	rs := newResidualState(opt, p.factors != nil, is.resid)
 	xHost := make([]float64, n)
 	for iter := 1; iter <= maxIters; iter++ {
@@ -200,8 +190,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 				wg.Wait() // yield point: serialize the recorded order
 			}
 		} else {
-			order := gsched.OrderInto(is.order, nb)
-			opt.Chaos.reorder(em, iter, order)
+			order := cs.BeginIteration(iter)
 			for _, bi := range order {
 				// Per-block cancellation check: stop dispatching as soon as
 				// the context is done, so at most the in-flight blocks (≤

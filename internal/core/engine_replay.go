@@ -19,16 +19,7 @@ func raceSeed(seed int64) int64 { return seed ^ 0x5DEECE66D }
 // free-running replay of such a schedule degenerates to one worker
 // executing the events in order, which is exactly the recorded semantics.
 func simMeta(opt Options, nb int) sched.Meta {
-	return sched.Meta{
-		Engine:     "simulated",
-		NumBlocks:  nb,
-		Workers:    1,
-		Seed:       opt.Seed,
-		Omega:      opt.Omega,
-		LocalIters: opt.LocalIters,
-		Recurrence: opt.Recurrence,
-		StaleProb:  opt.StaleProb,
-	}
+	return barrierMeta("simulated", nb, 1, opt)
 }
 
 // simEvent encodes one simulated-engine block execution.

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// Shard describes one executor shard: a contiguous run of plan blocks and
+// the iterate rows they cover. The multi-device executor maps one shard per
+// GPU, the cluster executor one shard per node.
+type Shard struct {
+	// Index is the shard's position in [0, Shards).
+	Index int
+	// BlockLo and BlockHi bound the shard's plan blocks, [BlockLo, BlockHi).
+	BlockLo, BlockHi int
+	// RowLo and RowHi bound the iterate rows the shard owns, [RowLo, RowHi).
+	RowLo, RowHi int
+}
+
+// ShardViewProvider realizes a substrate's staleness structure for the
+// sharded executor: per shard and global iteration it supplies the
+// IterateView the shard's off-shard reads go through, and a publication
+// point where the shard's freshly written rows become visible to the
+// exchange medium (host copies, a delay ring, ...). Rows the shard itself
+// owns are always read live; only off-shard components route through the
+// view.
+//
+// Call discipline (what implementations may rely on): Bind once before any
+// iteration; View(s, iter) at most once per shard per iteration, from the
+// goroutine executing shard s, before any of its blocks run; Publish(s,
+// iter) exactly once per shard per iteration — even for shards skipped via
+// ShardOptions.SkipShard — after the shard's blocks finished. Iterations
+// are separated by a barrier, so all calls for iteration i happen before
+// any call for iteration i+1.
+type ShardViewProvider interface {
+	// Bind hands the provider the live iterate and the shard layout before
+	// the first iteration.
+	Bind(x *AtomicVector, shards []Shard)
+	// View returns the IterateView for shard's off-shard reads during
+	// global iteration iter (1-based); nil selects live reads.
+	View(shard, iter int) IterateView
+	// Publish marks the end of shard's iteration iter: its rows in the
+	// live iterate are final for this iteration and may be copied out.
+	Publish(shard, iter int)
+}
+
+// ShardOptions configures the sharded executor on top of Options.
+type ShardOptions struct {
+	// Shards is the number of shards (devices, nodes). Required in
+	// [1, plan blocks]: each shard needs at least one block.
+	Shards int
+	// Sequential executes the shards' blocks on one goroutine in the
+	// global dispatch order instead of one goroutine per shard. With a
+	// fixed Seed and live views this is deterministic — the equivalence
+	// anchor the tests compare the concurrent paths against.
+	Sequential bool
+	// Provider supplies the off-shard read views; nil means all shards
+	// read the live iterate (pure work partitioning, no staleness beyond
+	// the execution races).
+	Provider ShardViewProvider
+	// SkipShard, if non-nil, is consulted once per shard per global
+	// iteration; returning true skips all the shard's blocks for that
+	// iteration (a dead or slow device). The shard still publishes, so
+	// its last-written values keep circulating.
+	SkipShard func(iter, shard int) bool
+}
+
+// SolveSharded runs async-(k) relaxation partitioned into shards: each
+// shard executes its blocks (concurrently per shard by default), reading
+// off-shard components through the provider's views and publishing its rows
+// at the end of every global iteration. It is the execution substrate the
+// multi-device (internal/multigpu) and cluster (internal/cluster) executors
+// are built on: with one shard — or live views — it degenerates to exactly
+// the goroutine engine's iteration, which the equivalence tests exploit.
+//
+// opt follows the SolveWithPlan contract (BlockSize/ExactLocal must match
+// the plan); Options.Replay is not supported — replay a sharded capture
+// through the simulated or goroutine engine.
+func SolveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, error) {
+	if opt.BlockSize == 0 {
+		opt.BlockSize = p.blockSize
+	}
+	if opt.BlockSize != p.blockSize {
+		return Result{}, fmt.Errorf("core: Options.BlockSize %d does not match plan block size %d",
+			opt.BlockSize, p.blockSize)
+	}
+	if opt.ExactLocal != p.exactLocal {
+		return Result{}, fmt.Errorf("core: Options.ExactLocal %v does not match plan (exact local %v)",
+			opt.ExactLocal, p.exactLocal)
+	}
+	opt = opt.withDefaults()
+	if err := opt.validate(p.a, b); err != nil {
+		return Result{}, err
+	}
+	if opt.Replay != nil {
+		return Result{}, fmt.Errorf("core: the sharded executor does not replay schedules; replay a sharded capture through the simulated or goroutine engine")
+	}
+	nb := p.part.NumBlocks()
+	if so.Shards <= 0 {
+		return Result{}, fmt.Errorf("core: ShardOptions.Shards must be positive, have %d", so.Shards)
+	}
+	if so.Shards > nb {
+		return Result{}, fmt.Errorf("core: %d shards over %d blocks: need at least one block per shard (reduce BlockSize)",
+			so.Shards, nb)
+	}
+	if opt.Metrics != nil {
+		defer func(start time.Time) {
+			opt.Metrics.observeSolve("sharded", time.Since(start))
+		}(time.Now())
+	}
+	return solveSharded(p, b, opt, so)
+}
+
+// makeShards splits the plan's blocks into ns contiguous shards of
+// near-equal block count (the first nb%ns shards take one extra block).
+func makeShards(part sparse.BlockPartition, ns int) []Shard {
+	nb := part.NumBlocks()
+	base, rem := nb/ns, nb%ns
+	shards := make([]Shard, ns)
+	lo := 0
+	for s := range shards {
+		hi := lo + base
+		if s < rem {
+			hi++
+		}
+		shards[s] = Shard{
+			Index: s, BlockLo: lo, BlockHi: hi,
+			RowLo: part.Starts[lo], RowHi: part.Starts[hi],
+		}
+		lo = hi
+	}
+	return shards
+}
+
+// shardView composes a shard's read semantics: rows the shard owns read
+// live from the shared iterate, everything else through the provider's
+// off-shard view.
+type shardView struct {
+	lo, hi int
+	live   *AtomicVector
+	off    IterateView
+}
+
+func (v *shardView) Load(j int) float64 {
+	if j >= v.lo && j < v.hi {
+		return v.live.Load(j)
+	}
+	return v.off.Load(j)
+}
+
+func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, error) {
+	a, sp, part, views := p.a, p.sp, p.part, p.views
+
+	n := a.Rows
+	start := make([]float64, n)
+	if opt.InitialGuess != nil {
+		copy(start, opt.InitialGuess)
+	}
+	x := NewAtomicVector(start)
+	nb := part.NumBlocks()
+	ns := so.Shards
+	shards := makeShards(part, ns)
+	blockShard := make([]int, nb)
+	for _, sh := range shards {
+		for bi := sh.BlockLo; bi < sh.BlockHi; bi++ {
+			blockShard[bi] = sh.Index
+		}
+	}
+	res := Result{NumBlocks: nb}
+	em := opt.Metrics.engine("sharded")
+	if so.Provider != nil {
+		so.Provider.Bind(x, shards)
+	}
+	if opt.Record != nil {
+		opt.Record.SetMeta(barrierMeta("sharded", nb, ns, opt))
+	}
+
+	kern := p.kernelFor(opt.referenceKernel)
+	factors := p.factors
+	omega := opt.Omega
+	sweeps := opt.LocalIters
+	if opt.ExactLocal {
+		sweeps = 0
+	}
+
+	// Per-shard state. The order/skip/read fields are written by the main
+	// loop before dispatch and read by the shard's goroutine (the channel
+	// send orders the accesses); view.off is owned by whichever goroutine
+	// executes the shard.
+	type shardState struct {
+		order []int // this iteration's blocks, in global dispatch order
+		skip  bool
+		view  shardView
+		read  valueReader
+	}
+	states := make([]shardState, ns)
+	for s := range states {
+		states[s].order = make([]int, 0, shards[s].BlockHi-shards[s].BlockLo)
+		states[s].view = shardView{lo: shards[s].RowLo, hi: shards[s].RowHi, live: x}
+	}
+
+	var iterDelta atomicFloat // Σ‖Δx_J‖₂² of the current global iteration
+
+	// shardRead composes shard s's off-shard reader for iteration iter.
+	shardRead := func(s, iter int) valueReader {
+		if so.Provider == nil {
+			return x
+		}
+		v := so.Provider.View(s, iter)
+		if v == nil {
+			return x
+		}
+		st := &states[s]
+		st.view.off = v
+		return &st.view
+	}
+	// runBlock executes one block against the given off-shard reader; the
+	// body matches the goroutine engine's worker exactly (chaos delay,
+	// kernel or exact local solve, sweep counter, schedule event).
+	runBlock := func(iter, bi, worker int, offRead valueReader, scr *kernelScratch) {
+		opt.Chaos.delay(em, iter, bi)
+		if sweeps == 0 {
+			// A singular block would have failed at factorization; see the
+			// goroutine engine.
+			_ = runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, x, scr)
+		} else {
+			iterDelta.add(kern(a, sp, b, &views[bi], sweeps, omega, offRead, x, x, scr))
+		}
+		em.addBlockSweep()
+		if opt.Record != nil {
+			opt.Record.Append(sched.Event{
+				Epoch: int32(iter), Block: int32(bi),
+				Sweeps: int32(sweeps), Worker: int16(worker),
+			})
+		}
+	}
+	// runShard is one shard's whole iteration on its own goroutine.
+	runShard := func(s, iter int, scr *kernelScratch) {
+		st := &states[s]
+		if !st.skip {
+			offRead := shardRead(s, iter)
+			for _, bi := range st.order {
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					break
+				}
+				if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
+					continue
+				}
+				runBlock(iter, bi, s, offRead, scr)
+			}
+		}
+		if so.Provider != nil {
+			so.Provider.Publish(s, iter)
+		}
+	}
+
+	// Persistent per-shard goroutines, fed one global iteration at a time;
+	// the WaitGroup is the end-of-iteration barrier.
+	var (
+		work   []chan int
+		wg     sync.WaitGroup
+		poolWG sync.WaitGroup
+	)
+	if !so.Sequential {
+		work = make([]chan int, ns)
+		for s := 0; s < ns; s++ {
+			work[s] = make(chan int)
+			poolWG.Add(1)
+			go func(s int) {
+				defer poolWG.Done()
+				scr := p.getKernelScratch()
+				defer p.putKernelScratch(scr)
+				for iter := range work[s] {
+					runShard(s, iter, scr)
+					wg.Done()
+				}
+			}(s)
+		}
+		defer func() {
+			for _, c := range work {
+				close(c)
+			}
+			poolWG.Wait()
+		}()
+	}
+
+	maxIters := opt.MaxGlobalIters
+	if opt.RecordHistory {
+		res.History = make([]float64, 0, maxIters)
+	}
+	is := p.getIterScratch()
+	defer p.putIterScratch(is)
+	cs := newChaoticScheduler(opt, em, nb, is.order)
+	rs := newResidualState(opt, p.factors != nil, is.resid)
+	var seqScr *kernelScratch
+	if so.Sequential {
+		seqScr = p.getKernelScratch()
+		defer p.putKernelScratch(seqScr)
+	}
+	xHost := make([]float64, n)
+	for iter := 1; iter <= maxIters; iter++ {
+		if err := ctxErr(opt.Ctx, iter-1); err != nil {
+			x.CopyInto(xHost)
+			res.X = xHost
+			return res, err
+		}
+		iterDelta.reset()
+		order := cs.BeginIteration(iter)
+		for s := range states {
+			states[s].order = states[s].order[:0]
+			states[s].skip = so.SkipShard != nil && so.SkipShard(iter, s)
+		}
+		if so.Sequential {
+			// Sequential mode keeps the global dispatch order across shard
+			// boundaries — with live views this is exactly the goroutine
+			// engine's one-worker execution.
+			for s := range states {
+				st := &states[s]
+				st.read = nil
+				if !st.skip {
+					st.read = shardRead(s, iter)
+				}
+			}
+			for _, bi := range order {
+				s := blockShard[bi]
+				if states[s].skip {
+					continue
+				}
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					break
+				}
+				if opt.SkipBlock != nil && opt.SkipBlock(iter, bi) {
+					continue
+				}
+				runBlock(iter, bi, s, states[s].read, seqScr)
+			}
+			if so.Provider != nil {
+				for s := 0; s < ns; s++ {
+					so.Provider.Publish(s, iter)
+				}
+			}
+		} else {
+			for _, bi := range order {
+				s := blockShard[bi]
+				states[s].order = append(states[s].order, bi)
+			}
+			for s := 0; s < ns; s++ {
+				wg.Add(1)
+				work[s] <- iter
+			}
+			wg.Wait() // end-of-global-iteration barrier
+		}
+		if err := ctxErr(opt.Ctx, iter-1); err != nil {
+			x.CopyInto(xHost)
+			res.X = xHost
+			return res, err
+		}
+		em.addIteration()
+
+		if opt.AfterIteration != nil {
+			opt.AfterIteration(iter, atomicAccess{x})
+		}
+		delta2 := iterDelta.load()
+		if rs.skip(iter, maxIters, delta2) {
+			res.GlobalIterations = iter
+			continue
+		}
+		x.CopyInto(xHost)
+		stop, err := checkResidual(a, b, xHost, opt, &res, iter, delta2, rs)
+		if err != nil {
+			res.X = xHost
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	x.CopyInto(xHost)
+	res.X = xHost
+	if !opt.RecordHistory && opt.Tolerance == 0 {
+		res.Residual = residualInto(is.resid, a, b, xHost)
+	}
+	return res, nil
+}

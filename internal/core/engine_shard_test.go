@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sched"
+	"repro/internal/vecmath"
+)
+
+// TestShardedSequentialMatchesGoroutine is the substrate's anchor property:
+// with live views (nil provider) and sequential execution, the sharded
+// executor performs the identical operation sequence as the goroutine
+// engine with one worker — same seeded dispatch order, same reads, same
+// writes — so the iterates must agree bit for bit.
+func TestShardedSequentialMatchesGoroutine(t *testing.T) {
+	a := mats.Trefethen(500)
+	b := onesRHS(a)
+	opt := Options{
+		BlockSize:      32,
+		LocalIters:     3,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-8,
+		Seed:           7,
+	}
+	ref := opt
+	ref.Engine = EngineGoroutine
+	ref.Workers = 1
+	want, err := Solve(a, b, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(a, opt.BlockSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		got, err := SolveSharded(p, b, opt, ShardOptions{Shards: shards, Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.GlobalIterations != want.GlobalIterations {
+			t.Errorf("%d shards: %d iterations, goroutine engine took %d",
+				shards, got.GlobalIterations, want.GlobalIterations)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("%d shards: X[%d] = %v, want bit-identical %v", shards, i, got.X[i], want.X[i])
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentConverges exercises the concurrent path (one
+// goroutine per shard, live off-shard reads) — with -race this is the
+// executor's data-race stress case.
+func TestShardedConcurrentConverges(t *testing.T) {
+	a := mats.Poisson2D(20, 20)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 3000,
+		Tolerance:      1e-9,
+		Seed:           3,
+	}
+	res, err := SolveSharded(p, b, opt, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g", res.Residual)
+	}
+	for i, v := range res.X {
+		if d := v - 1; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("X[%d] = %v, want ≈1", i, v)
+		}
+	}
+}
+
+// publishCounter verifies the provider contract: Publish fires exactly once
+// per shard per iteration, including for shards SkipShard suppressed.
+type publishCounter struct {
+	mu     sync.Mutex
+	counts map[int]int
+	iters  int
+}
+
+func (p *publishCounter) Bind(x *AtomicVector, shards []Shard) {}
+func (p *publishCounter) View(shard, iter int) IterateView     { return nil }
+func (p *publishCounter) Publish(shard, iter int) {
+	p.mu.Lock()
+	p.counts[shard]++
+	if iter > p.iters { // iterations are 1-based
+		p.iters = iter
+	}
+	p.mu.Unlock()
+}
+
+func TestShardedSkippedShardsStillPublish(t *testing.T) {
+	a := mats.Trefethen(200)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &publishCounter{counts: make(map[int]int)}
+	_, err = SolveSharded(p, b, Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 20,
+		Seed:           1,
+	}, ShardOptions{
+		Shards:    4,
+		Provider:  prov,
+		SkipShard: func(iter, shard int) bool { return shard == 2 && iter < 10 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.iters != 20 {
+		t.Fatalf("saw %d iterations, want 20", prov.iters)
+	}
+	for s := 0; s < 4; s++ {
+		if prov.counts[s] != 20 {
+			t.Errorf("shard %d published %d times, want once per iteration (20)", s, prov.counts[s])
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	a := mats.Poisson2D(8, 8)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{BlockSize: 8, LocalIters: 1, MaxGlobalIters: 1}
+
+	if _, err := SolveSharded(p, b, opt, ShardOptions{Shards: 0}); err == nil {
+		t.Error("expected error for 0 shards")
+	}
+	if _, err := SolveSharded(p, b, opt, ShardOptions{Shards: p.NumBlocks() + 1}); err == nil {
+		t.Error("expected error for more shards than blocks")
+	}
+	bad := opt
+	bad.BlockSize = 16
+	if _, err := SolveSharded(p, b, bad, ShardOptions{Shards: 1}); err == nil {
+		t.Error("expected error for BlockSize/plan mismatch")
+	}
+	replay := opt
+	replay.Replay = &sched.Schedule{}
+	_, err = SolveSharded(p, b, replay, ShardOptions{Shards: 1})
+	if err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Errorf("replay must be rejected, got %v", err)
+	}
+}
+
+// TestShardedRecordReplaysOnSimulatedEngine closes the observability loop:
+// a schedule captured from a sharded run replays on the barrier replay
+// path (epoch-grouped), reproducing the same block sequence.
+func TestShardedRecordReplays(t *testing.T) {
+	a := mats.Trefethen(200)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sched.NewRecorder(0)
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 40,
+		Tolerance:      1e-8,
+		Seed:           9,
+		Record:         rec,
+	}
+	live, err := SolveSharded(p, b, opt, ShardOptions{Shards: 4, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Schedule()
+	if s.Meta.Engine != "sharded" {
+		t.Fatalf("captured engine %q, want sharded", s.Meta.Engine)
+	}
+	rep, err := Solve(a, b, Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 40,
+		Replay:         s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalIterations != live.GlobalIterations {
+		t.Errorf("replay took %d iterations, live %d", rep.GlobalIterations, live.GlobalIterations)
+	}
+	// A concurrent-engine capture replays as a canonical deterministic
+	// execution of the recorded block sequence (not bit-for-bit — the
+	// barrier replay path reads through its own snapshot semantics), so
+	// the iterates agree to well below the stopping tolerance, not exactly.
+	diff := make([]float64, len(live.X))
+	vecmath.Sub(diff, rep.X, live.X)
+	if d := vecmath.Nrm2(diff); d > 1e-5*vecmath.Nrm2(live.X) {
+		t.Errorf("replayed iterate differs from live by %g", d)
+	}
+}

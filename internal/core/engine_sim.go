@@ -3,7 +3,6 @@ package core
 import (
 	"math/rand"
 
-	"repro/internal/gpusim"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
 )
@@ -49,9 +48,6 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 	is := p.getIterScratch()
 	defer p.putIterScratch(is)
-	iterSnap := is.snap // snapshot at global-iteration start
-	gsched := gpusim.NewScheduler(opt.Seed, opt.Recurrence)
-	raceRNG := rand.New(rand.NewSource(raceSeed(opt.Seed)))
 	nb := part.NumBlocks()
 	if opt.Record != nil {
 		opt.Record.SetMeta(simMeta(opt, nb))
@@ -74,25 +70,19 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	defer p.putKernelScratch(scr)
 	kern := p.kernelFor(opt.referenceKernel)
 	rs := newResidualState(opt, p.factors != nil, is.resid)
-	mix := &mixReader{rng: raceRNG}
 	factors := p.factors
 	em := opt.Metrics.engine("simulated")
-	// Interface conversions hoisted out of the block loop: boxing a slice
-	// into valueReader/valueWriter allocates, and the loop is the hot path.
-	var (
-		writer     valueWriter = sliceWriter(x)
-		snapReader valueReader = sliceReader(iterSnap)
-	)
+	ws := newWaveScheduler(opt, em, nb, x, is)
+	// Interface conversion hoisted out of the block loop: boxing a slice
+	// into valueWriter allocates, and the loop is the hot path.
+	var writer valueWriter = sliceWriter(x)
 
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
 			res.X = x
 			return res, err
 		}
-		vecmath.Copy(iterSnap, x)
-		order := gsched.OrderInto(is.order, nb)
-		stale := gsched.StaleMaskInto(is.stale, nb, opt.StaleProb)
-		opt.Chaos.reorder(em, iter, order)
+		order := ws.BeginIteration(iter)
 		var delta2 float64
 		for _, bi := range order {
 			// Per-block cancellation check: a global iteration over many
@@ -109,20 +99,10 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 				}
 				continue
 			}
-			if opt.Chaos.staleRead(em, iter, bi) {
-				stale[bi] = true
-			}
+			offRead := ws.View(iter, bi)
 			opt.Chaos.delay(em, iter, bi)
-			var offRead valueReader
-			if stale[bi] {
-				em.addStaleRead()
-				offRead = snapReader
-			} else {
-				mix.live, mix.snap = x, iterSnap
-				offRead = mix
-			}
 			if trace != nil {
-				offRead = &countingReader{inner: offRead, trace: trace, stale: stale[bi],
+				offRead = &countingReader{inner: offRead, trace: trace, stale: ws.stale[bi],
 					iter: iter, blockVersion: blockVersion, part: part}
 			}
 			if factors != nil {
@@ -136,7 +116,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			blockVersion[bi] = iter
 			em.addBlockSweep()
 			if opt.Record != nil {
-				opt.Record.Append(simEvent(iter, bi, opt, stale[bi]))
+				opt.Record.Append(simEvent(iter, bi, opt, ws.stale[bi]))
 			}
 			if trace != nil {
 				trace.UpdatesPerBlock[bi]++

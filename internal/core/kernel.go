@@ -103,12 +103,12 @@ func buildBlockViews(a *sparse.CSR, part sparse.BlockPartition) (views []blockVi
 	return views, staged
 }
 
-// valueReader abstracts how a block kernel observes off-block components of
-// the iterate: the simulated engine passes plain slices (live or snapshot),
-// the goroutine engines pass the AtomicVector.
-type valueReader interface {
-	Load(i int) float64
-}
+// valueReader is the kernels' historical name for the substrate's
+// IterateView: how a block kernel observes off-block components of the
+// iterate. The simulated engine passes plain slices (live or snapshot), the
+// goroutine engines pass the AtomicVector, the sharded executor composed
+// shard views.
+type valueReader = IterateView
 
 // sliceReader adapts a plain []float64 to valueReader.
 type sliceReader []float64

@@ -7,9 +7,11 @@ import (
 )
 
 // EngineNames lists the engine labels SolveMetrics pre-registers, in the
-// order the engines are documented: the three execution engines of the
-// package.
-var EngineNames = []string{"simulated", "goroutine", "freerunning"}
+// order the engines are documented: the three stock execution engines of
+// the package plus the sharded executor behind the multi-device and
+// cluster layers. One counter-name scheme covers them all (the core_*
+// families below), keyed by this engine label.
+var EngineNames = []string{"simulated", "goroutine", "freerunning", "sharded"}
 
 // SolveMetrics is the solver-level observability sink behind
 // Options.Metrics (and FreeRunningOptions.Metrics): per-engine counters

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// This file is the shared execution substrate of the engines. Every engine
+// in the package is the same algorithm — sweep all blocks once per global
+// iteration, each block reading off-block components through some staleness
+// structure — so the parts that distinguish an engine are exactly two:
+// which block runs next (the scheduling half) and against which view of the
+// iterate (the read-semantics half). The substrate names the two halves
+// (BlockScheduler, IterateView), provides the schedulers the stock engines
+// are thin wrappers over, and centralizes the option validation and
+// schedule-metadata plumbing the engines used to copy.
+
+// IterateView is how a block execution observes components of the iterate:
+// the read-semantics half of the execution substrate. The simulated engine
+// reads through snapshots and per-component race mixers, the concurrent
+// engines through the shared atomic vector, the multi-device executor
+// through per-device exchange copies, and the cluster executor through a
+// bounded-delay ring — all behind this one interface, which is also what
+// the block kernels consume for their off-block (and local starting-value)
+// reads.
+type IterateView interface {
+	// Load returns component i of the iterate as this view observes it.
+	Load(i int) float64
+}
+
+// BlockScheduler is the scheduling half of the execution substrate: per
+// global iteration it decides the block execution order, and per block the
+// IterateView its off-block reads go through. The stock engines are thin
+// loops over one scheduler each — the simulated engine over the seeded
+// wave scheduler (snapshots + race coins), the goroutine and sharded
+// engines over the chaotic scheduler (live atomic reads) — and the chaos
+// hooks, record/replay taps and metrics counters plug into the substrate
+// rather than into each engine separately.
+type BlockScheduler interface {
+	// BeginIteration starts global iteration iter (1-based) and returns
+	// the block dispatch order. The returned slice is valid until the next
+	// call.
+	BeginIteration(iter int) []int
+	// View returns the IterateView for one block's off-block reads; nil
+	// selects live reads from the shared iterate.
+	View(iter, block int) IterateView
+}
+
+// chaoticScheduler is the BlockScheduler of the concurrent engines: a
+// seeded chaotic dispatch order (gpusim.Scheduler), the chaos Reorder hook
+// applied to it, and live views (nil) — staleness is physical, produced by
+// the races of the executing workers.
+type chaoticScheduler struct {
+	g     *gpusim.Scheduler
+	chaos *ChaosHooks
+	em    *engineCounters
+	nb    int
+	order []int
+}
+
+// newChaoticScheduler builds the scheduler; order is the reusable dispatch
+// buffer (typically the plan's iterScratch.order).
+func newChaoticScheduler(opt Options, em *engineCounters, nb int, order []int) *chaoticScheduler {
+	return &chaoticScheduler{
+		g:     gpusim.NewScheduler(opt.Seed, opt.Recurrence),
+		chaos: opt.Chaos,
+		em:    em,
+		nb:    nb,
+		order: order,
+	}
+}
+
+func (s *chaoticScheduler) BeginIteration(iter int) []int {
+	s.order = s.g.OrderInto(s.order, s.nb)
+	s.chaos.reorder(s.em, iter, s.order)
+	return s.order
+}
+
+func (s *chaoticScheduler) View(iter, block int) IterateView { return nil }
+
+// waveScheduler is the BlockScheduler of the simulated engine: the same
+// seeded chaotic order, plus the modeled memory visibility of a GPU kernel
+// sweep — an iteration-start snapshot, a per-block stale mask, and a
+// per-component race mixer (see solveSimulated for the calibration story).
+// The chaos StaleRead hook folds into the mask; the pseudo-random draw
+// sequence (order, then mask, then per-read coins) is part of the engine's
+// reproducibility contract and must not be reordered.
+type waveScheduler struct {
+	g         *gpusim.Scheduler
+	chaos     *ChaosHooks
+	em        *engineCounters
+	nb        int
+	staleProb float64
+	x, snap   []float64
+	order     []int
+	stale     []bool
+	mix       *mixReader
+	snapRead  IterateView
+}
+
+func newWaveScheduler(opt Options, em *engineCounters, nb int, x []float64, is *iterScratch) *waveScheduler {
+	return &waveScheduler{
+		g:         gpusim.NewScheduler(opt.Seed, opt.Recurrence),
+		chaos:     opt.Chaos,
+		em:        em,
+		nb:        nb,
+		staleProb: opt.StaleProb,
+		x:         x,
+		snap:      is.snap,
+		order:     is.order,
+		stale:     is.stale,
+		mix:       &mixReader{rng: rand.New(rand.NewSource(raceSeed(opt.Seed)))},
+		snapRead:  sliceReader(is.snap),
+	}
+}
+
+func (s *waveScheduler) BeginIteration(iter int) []int {
+	vecmath.Copy(s.snap, s.x)
+	s.order = s.g.OrderInto(s.order, s.nb)
+	s.stale = s.g.StaleMaskInto(s.stale, s.nb, s.staleProb)
+	s.chaos.reorder(s.em, iter, s.order)
+	return s.order
+}
+
+func (s *waveScheduler) View(iter, block int) IterateView {
+	if s.chaos.staleRead(s.em, iter, block) {
+		s.stale[block] = true
+	}
+	if s.stale[block] {
+		s.em.addStaleRead()
+		return s.snapRead
+	}
+	s.mix.live, s.mix.snap = s.x, s.snap
+	return s.mix
+}
+
+// validateSystem checks the system shape every engine entry point requires:
+// a square matrix and a matching right-hand side.
+func validateSystem(a *sparse.CSR, b []float64) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("core: rhs length %d does not match dimension %d", len(b), a.Rows)
+	}
+	return nil
+}
+
+// validateGuess checks an optional initial guess against the dimension.
+func validateGuess(n int, guess []float64) error {
+	if guess != nil && len(guess) != n {
+		return fmt.Errorf("core: initial guess length %d does not match dimension %d", len(guess), n)
+	}
+	return nil
+}
+
+// barrierMeta describes a barrier-engine capture (simulated, goroutine,
+// sharded): the one metadata shape all engines with global iterations
+// share, so replays can re-derive seeds and sweep counts uniformly.
+func barrierMeta(engine string, nb, workers int, opt Options) sched.Meta {
+	return sched.Meta{
+		Engine:     engine,
+		NumBlocks:  nb,
+		Workers:    workers,
+		Seed:       opt.Seed,
+		Omega:      opt.Omega,
+		LocalIters: opt.LocalIters,
+		Recurrence: opt.Recurrence,
+		StaleProb:  opt.StaleProb,
+	}
+}

@@ -6,9 +6,11 @@
 // blocks — the iteration is asynchronous, so (as the paper notes) there is
 // no algorithmic difference to the single-device two-stage iteration: the
 // extra device layer only changes *where* the communication time goes.
-// Convergence is therefore computed with the blockasync engines, while the
-// wall-clock time is predicted by a topology model with the three
-// communication strategies the paper implements:
+// The package runs the iteration as a live concurrent execution on the core
+// sharded executor — one shard goroutine per device, exchanging boundary
+// components through the strategy's medium (exec.go) — while the wall-clock
+// time is predicted by a topology model pricing exactly that traffic, with
+// the three communication strategies the paper implements:
 //
 //   - AMC (asynchronous multicopy): host memory is the exchange point;
 //     every GPU streams its updated components up and the full iterate

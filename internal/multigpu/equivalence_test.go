@@ -1,0 +1,140 @@
+package multigpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/vecmath"
+)
+
+func rhsOnes(a interface {
+	MulVec(dst, x []float64)
+}, n int) []float64 {
+	b := make([]float64, n)
+	a.MulVec(b, vecmath.Ones(n))
+	return b
+}
+
+// TestOneDeviceMatchesGoroutineEngine: the device layer adds no algorithmic
+// difference (paper §3.4). A single device has no off-shard reads at all,
+// so under every strategy the 1-GPU execution is the goroutine engine's
+// one-worker iteration — bit-identical iterate, same iteration count.
+func TestOneDeviceMatchesGoroutineEngine(t *testing.T) {
+	a := mats.Trefethen(500)
+	b := rhsOnes(a, a.Rows)
+	opt := core.Options{
+		BlockSize:      32,
+		LocalIters:     3,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-8,
+		Seed:           11,
+	}
+	ref := opt
+	ref.Engine = core.EngineGoroutine
+	ref.Workers = 1
+	want, err := core.Solve(a, b, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{AMC, DC, DK} {
+		got, err := Solve(a, b, opt, model(), Supermicro(), strat, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if got.GlobalIterations != want.GlobalIterations {
+			t.Errorf("%s 1 GPU: %d iterations, goroutine engine took %d",
+				strat, got.GlobalIterations, want.GlobalIterations)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("%s 1 GPU: X[%d] = %v, want bit-identical %v", strat, i, got.X[i], want.X[i])
+			}
+		}
+	}
+}
+
+// TestMultiDeviceStress runs the concurrent executor across device counts
+// and strategies — under -race this is the multi-device data-race stress
+// case — and checks the exchange counters report the traffic the strategy
+// is supposed to move.
+func TestMultiDeviceStress(t *testing.T) {
+	a := mats.Trefethen(400)
+	b := rhsOnes(a, a.Rows)
+	opt := core.Options{
+		BlockSize:      16,
+		LocalIters:     2,
+		MaxGlobalIters: 400,
+		Tolerance:      1e-8,
+		Seed:           2,
+	}
+	for _, tc := range []struct {
+		strat Strategy
+		gpus  int
+	}{
+		{AMC, 2}, {AMC, 3}, {AMC, 4}, {DC, 2}, {DK, 2},
+	} {
+		res, err := Solve(a, b, opt, model(), Supermicro(), tc.strat, tc.gpus)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.strat, tc.gpus, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s/%d: not converged, residual %g", tc.strat, tc.gpus, res.Residual)
+		}
+		for i, v := range res.X {
+			if d := v - 1; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("%s/%d: X[%d] = %v, want ≈1", tc.strat, tc.gpus, i, v)
+			}
+		}
+		ex := res.Exchanges
+		wantUploads := int64(tc.gpus * res.GlobalIterations)
+		if ex.Uploads != wantUploads {
+			t.Errorf("%s/%d: %d uploads, want one per device per iteration (%d)",
+				tc.strat, tc.gpus, ex.Uploads, wantUploads)
+		}
+		if ex.BytesUp != 8*int64(a.Rows*res.GlobalIterations) {
+			t.Errorf("%s/%d: BytesUp %d, want the full iterate per iteration (%d)",
+				tc.strat, tc.gpus, ex.BytesUp, 8*a.Rows*res.GlobalIterations)
+		}
+		if tc.strat == DK {
+			if ex.Downloads != 0 || ex.RemoteLoads == 0 {
+				t.Errorf("DK/%d: Downloads %d RemoteLoads %d, want in-kernel remote loads, no bulk downloads",
+					tc.gpus, ex.Downloads, ex.RemoteLoads)
+			}
+		} else {
+			if ex.Downloads != wantUploads {
+				t.Errorf("%s/%d: %d downloads, want one full-iterate fetch per device per iteration (%d)",
+					tc.strat, tc.gpus, ex.Downloads, wantUploads)
+			}
+			if ex.RemoteLoads != 0 {
+				t.Errorf("%s/%d: %d remote loads under a snapshot strategy", tc.strat, tc.gpus, ex.RemoteLoads)
+			}
+		}
+	}
+}
+
+// TestModeledTimeScalesWithLiveIterations pins the coupling the live
+// executor adds: ModeledSeconds prices the iterations the execution
+// actually took, not a hypothetical count.
+func TestModeledTimeScalesWithLiveIterations(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	b := rhsOnes(a, a.Rows)
+	opt := core.Options{
+		BlockSize:      32,
+		LocalIters:     2,
+		MaxGlobalIters: 2000,
+		Tolerance:      1e-9,
+		Seed:           5,
+	}
+	res, err := Solve(a, b, opt, model(), Supermicro(), AMC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g", res.Residual)
+	}
+	if res.ModeledSeconds != res.PerIterSeconds*float64(res.GlobalIterations) {
+		t.Errorf("ModeledSeconds %g ≠ PerIterSeconds %g × %d iterations",
+			res.ModeledSeconds, res.PerIterSeconds, res.GlobalIterations)
+	}
+}

@@ -1,0 +1,172 @@
+package multigpu
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ExchangeStats aggregates the boundary exchanges a live multi-device
+// execution actually performed; the topology model prices exactly this
+// traffic (CommTime's up/down terms), so the modeled seconds now describe
+// an execution that happened rather than a hypothetical one.
+type ExchangeStats struct {
+	// Downloads counts full-iterate fetches (one per device per global
+	// iteration under AMC/DC); BytesDown is their payload.
+	Downloads int64
+	BytesDown int64
+	// Uploads counts own-shard publications; BytesUp is their payload.
+	Uploads int64
+	BytesUp int64
+	// RemoteLoads counts DK's fine-grained in-kernel reads of master-GPU
+	// memory (off-shard component loads); RemoteBytes is their payload.
+	RemoteLoads int64
+	RemoteBytes int64
+}
+
+// exchangeProvider is the common part of the strategy providers: shard
+// layout, iterate handle and atomically aggregated exchange counters.
+type exchangeProvider struct {
+	x      *core.AtomicVector
+	shards []core.Shard
+	n      int
+
+	downloads, bytesDown atomic.Int64
+	uploads, bytesUp     atomic.Int64
+	remoteLoads          atomic.Int64
+}
+
+// Bind implements core.ShardViewProvider.
+func (p *exchangeProvider) Bind(x *core.AtomicVector, shards []core.Shard) {
+	p.x = x
+	p.shards = shards
+}
+
+// Publish implements core.ShardViewProvider: under every strategy a device
+// ends its iteration by pushing its own rows to the exchange point (host
+// memory for AMC, the master GPU for DC/DK).
+func (p *exchangeProvider) Publish(shard, iter int) {
+	sh := p.shards[shard]
+	p.uploads.Add(1)
+	p.bytesUp.Add(8 * int64(sh.RowHi-sh.RowLo))
+}
+
+// stats snapshots the aggregated counters. Only called after the sharded
+// executor's final barrier, so the atomics are quiescent.
+func (p *exchangeProvider) stats() ExchangeStats {
+	return ExchangeStats{
+		Downloads:   p.downloads.Load(),
+		BytesDown:   p.bytesDown.Load(),
+		Uploads:     p.uploads.Load(),
+		BytesUp:     p.bytesUp.Load(),
+		RemoteLoads: p.remoteLoads.Load(),
+		RemoteBytes: 8 * p.remoteLoads.Load(),
+	}
+}
+
+// snapshotViews realizes the AMC and DC read semantics: at the start of
+// each device iteration the device downloads the full current iterate into
+// its private buffer and sweeps its blocks against that copy. Off-shard
+// values are therefore exactly one exchange round stale — the staleness
+// pattern the paper's multicopy scheme produces — and concurrent devices
+// never read each other's in-flight writes. AMC stages the copy through
+// host memory, DC through the master GPU; the executor's data movement is
+// identical, only the topology model prices the links differently.
+type snapshotViews struct {
+	exchangeProvider
+	snaps   [][]float64
+	readers []core.IterateView
+}
+
+func newSnapshotViews() *snapshotViews { return &snapshotViews{} }
+
+// Bind implements core.ShardViewProvider.
+func (p *snapshotViews) Bind(x *core.AtomicVector, shards []core.Shard) {
+	p.exchangeProvider.Bind(x, shards)
+	p.n = x.Len()
+	p.snaps = make([][]float64, len(shards))
+	p.readers = make([]core.IterateView, len(shards))
+	for s := range shards {
+		p.snaps[s] = make([]float64, p.n)
+		x.CopyInto(p.snaps[s]) // initial download: the starting iterate
+		p.readers[s] = fullSnapshot(p.snaps[s])
+	}
+}
+
+// View implements core.ShardViewProvider: the device's iteration-start
+// download of the full iterate.
+func (p *snapshotViews) View(shard, iter int) core.IterateView {
+	buf := p.snaps[shard]
+	p.x.CopyInto(buf)
+	p.downloads.Add(1)
+	p.bytesDown.Add(8 * int64(p.n))
+	return p.readers[shard]
+}
+
+// fullSnapshot adapts a device's private iterate copy to IterateView.
+type fullSnapshot []float64
+
+// Load implements core.IterateView.
+func (s fullSnapshot) Load(j int) float64 { return s[j] }
+
+// dkViews realizes the DK read semantics: secondary devices dereference the
+// master iterate directly from inside their kernels, so off-shard reads are
+// live (maximally fresh) but each one is a fine-grained remote load — the
+// "pressure on the PCI connection of the master GPU" the paper reports,
+// which the topology model charges as P2PStagingDK. Per-shard load counters
+// are owned by the shard's goroutine and aggregated at publish time.
+type dkViews struct {
+	exchangeProvider
+	remotes []dkRemote
+}
+
+func newDKViews() *dkViews { return &dkViews{} }
+
+// Bind implements core.ShardViewProvider.
+func (p *dkViews) Bind(x *core.AtomicVector, shards []core.Shard) {
+	p.exchangeProvider.Bind(x, shards)
+	p.n = x.Len()
+	p.remotes = make([]dkRemote, len(shards))
+	for s := range shards {
+		p.remotes[s] = dkRemote{x: x}
+	}
+}
+
+// View implements core.ShardViewProvider: a counting window onto the live
+// master iterate.
+func (p *dkViews) View(shard, iter int) core.IterateView {
+	return &p.remotes[shard]
+}
+
+// Publish implements core.ShardViewProvider, folding the shard's private
+// load count into the aggregate (the iteration barrier orders the reads).
+func (p *dkViews) Publish(shard, iter int) {
+	p.exchangeProvider.Publish(shard, iter)
+	p.remoteLoads.Add(p.remotes[shard].loads)
+	p.remotes[shard].loads = 0
+}
+
+// dkRemote is one device's live window onto master-GPU memory; loads is
+// written only by the owning shard's goroutine.
+type dkRemote struct {
+	x     *core.AtomicVector
+	loads int64
+}
+
+// Load implements core.IterateView.
+func (r *dkRemote) Load(j int) float64 {
+	r.loads++
+	return r.x.Load(j)
+}
+
+// newProvider builds the strategy's exchange provider. The strategy is
+// assumed valid for the device count (IterTime checks first).
+func newProvider(strat Strategy) interface {
+	core.ShardViewProvider
+	stats() ExchangeStats
+} {
+	if strat == DK {
+		return newDKViews()
+	}
+	return newSnapshotViews()
+}

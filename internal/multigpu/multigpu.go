@@ -157,15 +157,45 @@ type Result struct {
 	// the paper's Figure 11, which subtracts initialization overhead).
 	PerIterSeconds float64
 	ModeledSeconds float64
+	// Exchanges reports the boundary traffic the live execution performed —
+	// the transfers CommTime prices.
+	Exchanges ExchangeStats
 }
 
-// Solve runs the multi-GPU block-asynchronous iteration: convergence is
-// produced by the blockasync engine on the device-block partition (the
-// device layer adds no algorithmic difference — paper §3.4), and the wall
-// time comes from the strategy/topology model.
+// Solve runs the multi-GPU block-asynchronous iteration as a *live*
+// execution: one shard goroutine per device sweeps its contiguous slice of
+// the block partition, exchanging boundary components through the
+// strategy's medium (host-staged full-iterate copies for AMC, master-GPU
+// copies for DC, in-kernel remote loads for DK; see exec.go). The device
+// layer adds no algorithmic difference (paper §3.4) — only the staleness
+// pattern — and the wall time comes from the strategy/topology model
+// pricing the exchanges the execution performed.
 func Solve(a *sparse.CSR, b []float64, opt core.Options,
 	m gpusim.PerfModel, topo Topology, strat Strategy, numGPUs int) (Result, error) {
 
+	if numGPUs <= 0 || numGPUs > topo.MaxGPUs {
+		return Result{}, fmt.Errorf("multigpu: numGPUs %d outside [1,%d]", numGPUs, topo.MaxGPUs)
+	}
+	if _, err := CommTime(topo, strat, numGPUs, a.Rows); err != nil {
+		return Result{}, err
+	}
+	if opt.BlockSize <= 0 {
+		return Result{}, fmt.Errorf("core: BlockSize must be positive, have %d", opt.BlockSize)
+	}
+	p, err := core.NewPlan(a, opt.BlockSize, opt.ExactLocal)
+	if err != nil {
+		return Result{}, err
+	}
+	return SolveWithPlan(p, b, opt, m, topo, strat, numGPUs)
+}
+
+// SolveWithPlan is Solve against a prepared core.Plan (see core.NewPlan),
+// so long-running callers — internal/service routes "devices" requests
+// here — amortize the per-matrix setup across solves.
+func SolveWithPlan(p *core.Plan, b []float64, opt core.Options,
+	m gpusim.PerfModel, topo Topology, strat Strategy, numGPUs int) (Result, error) {
+
+	a := p.Matrix()
 	if numGPUs <= 0 || numGPUs > topo.MaxGPUs {
 		return Result{}, fmt.Errorf("multigpu: numGPUs %d outside [1,%d]", numGPUs, topo.MaxGPUs)
 	}
@@ -173,7 +203,19 @@ func Solve(a *sparse.CSR, b []float64, opt core.Options,
 	if err != nil {
 		return Result{}, err
 	}
-	inner, err := core.Solve(a, b, opt)
+	if nb := p.NumBlocks(); nb < numGPUs {
+		return Result{}, fmt.Errorf("multigpu: %d GPUs need at least %d blocks, plan has %d (reduce BlockSize)",
+			numGPUs, numGPUs, nb)
+	}
+	prov := newProvider(strat)
+	inner, err := core.SolveSharded(p, b, opt, core.ShardOptions{
+		Shards: numGPUs,
+		// A single device has no concurrent peer: execute in dispatch
+		// order so seeded runs are reproducible (the equivalence tests'
+		// anchor), exactly as the hardware's one command queue would.
+		Sequential: numGPUs == 1,
+		Provider:   prov,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -182,6 +224,7 @@ func Solve(a *sparse.CSR, b []float64, opt core.Options,
 		NumGPUs:        numGPUs,
 		Strategy:       strat,
 		PerIterSeconds: perIter,
+		Exchanges:      prov.stats(),
 	}
 	res.ModeledSeconds = perIter * float64(inner.GlobalIterations)
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
+	"repro/internal/multigpu"
 )
 
 // instrument builds the service's metrics registry. Every queue, worker
@@ -54,6 +55,13 @@ func (s *Service) instrument() {
 		func() float64 { return float64(s.cache.Stats().Entries) })
 	reg.GaugeFunc("service_plan_cache_bytes", "Estimated bytes of resident plans.",
 		func() float64 { return float64(s.cache.Stats().Bytes) })
+
+	for _, strat := range []multigpu.Strategy{multigpu.AMC, multigpu.DC, multigpu.DK} {
+		strat := strat
+		reg.CounterFunc("service_device_solves_total",
+			"Multi-device solve attempts by communication strategy.",
+			s.deviceSolves[strat].Load, "strategy", strat.String())
+	}
 
 	reg.CounterFunc("service_tune_searches_total", "Full auto-tune parameter searches executed.",
 		func() uint64 { return s.cache.TuneStats().Searches })

@@ -86,6 +86,14 @@ type JobResult struct {
 	// Attempts is how many runs the job took (retries included).
 	Attempts int     `json:"attempts"`
 	WallTime float64 `json:"wall_seconds"`
+	// Devices, Strategy and ModeledSeconds describe a multi-device job:
+	// the device count, the communication strategy it exchanged boundary
+	// components with, and the modeled wall time of the execution
+	// (per-iteration topology cost × iterations). Zero/empty for
+	// single-device jobs.
+	Devices        int     `json:"devices,omitempty"`
+	Strategy       string  `json:"strategy,omitempty"`
+	ModeledSeconds float64 `json:"modeled_seconds,omitempty"`
 	// Analysis echoes the plan's pre-flight convergence report when the
 	// cache computed one ("rho(B)=… asynchronous convergence guaranteed").
 	Analysis string `json:"analysis,omitempty"`

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/mats"
 	"repro/internal/metrics"
+	"repro/internal/multigpu"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/tune"
@@ -45,9 +46,18 @@ type SolveRequest struct {
 	Omega          float64 `json:"omega,omitempty"`
 	MaxGlobalIters int     `json:"max_global_iters"`
 	Tolerance      float64 `json:"tolerance,omitempty"`
-	// Engine is "simulated" (default) or "goroutine".
+	// Engine is "simulated" (default) or "goroutine". Incompatible with
+	// Devices (a multi-device job runs on the sharded executor).
 	Engine string `json:"engine,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
+	// Devices > 0 routes the job to the live multi-device executor with
+	// that many GPUs (bounded by the modeled topology's maximum) and
+	// reports the modeled wall time in the result. 0 (default) solves on
+	// the single-device engines.
+	Devices int `json:"devices,omitempty"`
+	// Strategy selects the inter-GPU communication scheme for a Devices
+	// job: "amc" (default), "dc" or "dk". Must be empty when Devices is 0.
+	Strategy string `json:"strategy,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 	// TimeoutSeconds bounds the solve's wall time (0: service default).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 	// IncludeSolution returns the iterate X in the job result.
@@ -80,6 +90,21 @@ func (r SolveRequest) engineKind() (core.EngineKind, error) {
 		return core.EngineGoroutine, nil
 	default:
 		return 0, fmt.Errorf("service: unknown engine %q (want \"simulated\" or \"goroutine\")", r.Engine)
+	}
+}
+
+// strategyKind parses the request's communication strategy (AMC when
+// empty, the paper's default exchange scheme).
+func (r SolveRequest) strategyKind() (multigpu.Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(r.Strategy)) {
+	case "", "amc":
+		return multigpu.AMC, nil
+	case "dc":
+		return multigpu.DC, nil
+	case "dk":
+		return multigpu.DK, nil
+	default:
+		return 0, fmt.Errorf("service: unknown strategy %q (want \"amc\", \"dc\" or \"dk\")", r.Strategy)
 	}
 }
 
@@ -164,6 +189,10 @@ type Stats struct {
 	PlanCache     CacheStats `json:"plan_cache"`
 	PlanHitRate   float64    `json:"plan_hit_rate"`
 	TuneCache     TuneStats  `json:"tune_cache"`
+	// DeviceSolves counts multi-device solve attempts per communication
+	// strategy (same atomics /metricsz exposes as
+	// service_device_solves_total).
+	DeviceSolves map[string]uint64 `json:"device_solves"`
 }
 
 // Service is the long-running solver: a plan cache, a bounded job queue
@@ -185,6 +214,9 @@ type Service struct {
 	cancels  atomic.Uint64
 	rejected atomic.Uint64
 	retries  atomic.Uint64
+	// deviceSolves counts multi-device solve attempts per communication
+	// strategy, indexed by multigpu.Strategy.
+	deviceSolves [3]atomic.Uint64
 
 	// Observability (see metrics.go): the registry behind GET /metricsz,
 	// the solver-level sink attached to every solve, and the modeled
@@ -280,6 +312,29 @@ func (s *Service) validate(req SolveRequest) error {
 	}
 	if _, err := req.engineKind(); err != nil {
 		return err
+	}
+	strat, err := req.strategyKind()
+	if err != nil {
+		return err
+	}
+	if req.Devices < 0 {
+		return fmt.Errorf("service: devices must be nonnegative, have %d", req.Devices)
+	}
+	if req.Devices == 0 && req.Strategy != "" {
+		return errors.New("service: strategy requires devices > 0")
+	}
+	if req.Devices > 0 {
+		if req.Engine != "" {
+			return errors.New("service: engine and devices are mutually exclusive (a devices job runs on the sharded executor)")
+		}
+		if tuning {
+			return errors.New("service: tune=auto is incompatible with devices (the tuner searches the single-device engines)")
+		}
+		// The dimension does not influence which configurations exist, so
+		// any n validates the strategy/device-count combination here.
+		if _, err := multigpu.CommTime(multigpu.Supermicro(), strat, req.Devices, 1); err != nil {
+			return err
+		}
 	}
 	if req.Chaos != nil {
 		if !s.cfg.EnableChaos {
@@ -384,6 +439,11 @@ func (s *Service) Stats() Stats {
 		PlanCache:     cs,
 		PlanHitRate:   cs.HitRate(),
 		TuneCache:     s.cache.TuneStats(),
+		DeviceSolves: map[string]uint64{
+			multigpu.AMC.String(): s.deviceSolves[multigpu.AMC].Load(),
+			multigpu.DC.String():  s.deviceSolves[multigpu.DC].Load(),
+			multigpu.DK.String():  s.deviceSolves[multigpu.DK].Load(),
+		},
 	}
 }
 
@@ -588,14 +648,34 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		})
 	}
 
-	res, err := core.SolveWithPlan(plan.Prepared, b, opt)
+	var res core.Result
+	var modeled float64
+	if req.Devices > 0 {
+		strat, serr := req.strategyKind()
+		if serr != nil {
+			return nil, serr
+		}
+		s.deviceSolves[strat].Add(1)
+		var mres multigpu.Result
+		mres, err = multigpu.SolveWithPlan(plan.Prepared, b, opt,
+			s.perf, multigpu.Supermicro(), strat, req.Devices)
+		res, modeled = mres.Result, mres.ModeledSeconds
+	} else {
+		res, err = core.SolveWithPlan(plan.Prepared, b, opt)
+	}
 	result := &JobResult{
 		Converged:        res.Converged,
 		GlobalIterations: res.GlobalIterations,
 		Residual:         res.Residual,
 		NumBlocks:        res.NumBlocks,
 		PlanHit:          hit,
+		Devices:          req.Devices,
+		ModeledSeconds:   modeled,
 		Tuned:            tuned,
+	}
+	if req.Devices > 0 {
+		strat, _ := req.strategyKind()
+		result.Strategy = strat.String()
 	}
 	if req.RecordHistory {
 		result.History = res.History

@@ -330,9 +330,11 @@ var (
 	Supermicro = multigpu.Supermicro
 )
 
-// SolveMultiGPU runs the multi-GPU block-asynchronous iteration of §3.4:
-// algorithmic convergence from the core engine plus modeled wall time for
-// the strategy and device count.
+// SolveMultiGPU runs the multi-GPU block-asynchronous iteration of §3.4
+// as a live concurrent execution: one shard goroutine per device on the
+// core sharded executor, exchanging boundary components through the
+// strategy's medium, with the modeled wall time pricing exactly that
+// traffic for the topology and device count.
 func SolveMultiGPU(a *CSR, b []float64, opt AsyncOptions,
 	m PerfModel, topo Topology, strat Strategy, numGPUs int) (MultiGPUResult, error) {
 	return multigpu.Solve(a, b, opt, m, topo, strat, numGPUs)
