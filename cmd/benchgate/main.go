@@ -4,6 +4,11 @@
 // snapshot (iterations and wall time to tolerance, iterations/second,
 // allocations), compares the run against the newest committed BENCH_*.json
 // baseline, and exits nonzero when a metric regressed beyond its threshold.
+// The snapshot also carries the fleet scenarios — an in-process
+// consistent-hash gateway over 1 and 3 solver nodes under calibrated
+// open-loop load, plus a kill/revive rebalance — gating that 3 nodes
+// out-complete 1, that cache affinity survives fleet scale, and that node
+// churn sheds rather than errors (see fleet.go).
 //
 // The paper's claims are performance claims — convergence per second, not
 // just per iteration — so the repo's trajectory needs a measured baseline
@@ -89,6 +94,8 @@ func run(args []string, out io.Writer) int {
 			d.Matrix, d.IterRatio, d.ModeledRatio, verdict)
 	}
 	figProblems := figure11(report.Cases, out)
+	fleetRows, fleetProblems := runFleetSuite(*quick, out)
+	report.Fleet = fleetRows
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -101,13 +108,13 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
-		if figProblems > 0 {
+		if figProblems+fleetProblems > 0 {
 			return 1
 		}
 		return 0
 	}
 	code := verdict(*base, basePath, report, limits, out)
-	if figProblems > 0 && code == 0 {
+	if figProblems+fleetProblems > 0 && code == 0 {
 		code = 1
 	}
 	return code

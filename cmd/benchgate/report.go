@@ -22,6 +22,9 @@ type Report struct {
 	// default-configuration counterpart (additive field; older baselines
 	// simply lack it).
 	TunedVsDefault []TunedDelta `json:"tuned_vs_default,omitempty"`
+	// Fleet holds the in-process fleet load-test scenarios (additive
+	// field; older baselines simply lack it and gate nothing there).
+	Fleet []FleetScenario `json:"fleet,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -214,5 +217,6 @@ func Compare(base, current Report, lim Limits) []Problem {
 				Base: b.ItersPerSec, Now: c.ItersPerSec, Limit: lim.MaxTimeRegress})
 		}
 	}
+	out = append(out, compareFleet(base, current, lim)...)
 	return out
 }

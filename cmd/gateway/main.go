@@ -1,0 +1,130 @@
+// Command gateway fronts a fleet of solverd nodes: it routes every
+// /v1/solve to the node the consistent-hash ring names for the request's
+// matrix fingerprint, so each matrix's plan and tune caches stay hot on
+// exactly one node. Membership is health-checked — nodes are probed on
+// /readyz, ejected from the ring after consecutive failures and
+// re-admitted on recovery — and the ring rebalance is deterministic, so a
+// recovered node gets exactly its old keys back.
+//
+// Admission control composes: a node's 429 (queue full) is propagated
+// upstream with the node's computed Retry-After and never failed over
+// (the owner is alive — spilling its keys elsewhere would wreck cache
+// affinity), while transport failures and 503s fail over to the next ring
+// owner. When the gateway itself is saturated it sheds with its own 429.
+//
+// Endpoints:
+//
+//	POST   /v1/solve        route a solve to its ring owner (job IDs come
+//	                        back namespaced "node~id")
+//	GET    /v1/jobs/{id}    proxy a namespaced job status to its node
+//	DELETE /v1/jobs/{id}    proxy a cancellation
+//	GET    /v1/nodes        membership with health state
+//	POST   /v1/nodes        register a node {"name": ..., "url": ...}
+//	DELETE /v1/nodes/{name} deregister a node
+//	GET    /healthz         gateway liveness
+//	GET    /readyz          200 while at least one node is in the ring
+//	GET    /statsz          routing/health/shed summary (JSON)
+//	GET    /metricsz        per-node routing, health and shed counters
+//	                        (Prometheus text exposition)
+//
+// Usage:
+//
+//	gateway -addr :9090 -node n0=http://127.0.0.1:8080 -node n1=http://127.0.0.1:8081
+//
+// Nodes can also join later via POST /v1/nodes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// nodeFlags collects repeated -node name=url flags.
+type nodeFlags []string
+
+func (n *nodeFlags) String() string { return strings.Join(*n, ",") }
+
+func (n *nodeFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=url, have %q", v)
+	}
+	*n = append(*n, v)
+	return nil
+}
+
+func main() {
+	var nodes nodeFlags
+	var (
+		addr          = flag.String("addr", ":9090", "HTTP listen address")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "readiness probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "bound on one readiness probe")
+		failAfter     = flag.Int("fail-after", 2, "consecutive probe failures before a node is ejected")
+		reviveAfter   = flag.Int("revive-after", 2, "consecutive probe successes before an ejected node is re-admitted")
+		replicas      = flag.Int("replicas", fleet.DefaultReplicas, "virtual nodes per member on the hash ring")
+		maxInflight   = flag.Int("max-inflight", 256, "concurrent forwarded solves before the gateway sheds with 429")
+		failoverTries = flag.Int("failover-tries", 2, "distinct ring owners tried when forwarding fails")
+	)
+	flag.Var(&nodes, "node", "fleet member as name=url (repeatable)")
+	flag.Parse()
+
+	g := fleet.NewGateway(fleet.GatewayConfig{
+		Membership: fleet.MembershipConfig{
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			FailAfter:     *failAfter,
+			ReviveAfter:   *reviveAfter,
+			Replicas:      *replicas,
+		},
+		MaxInflight:   *maxInflight,
+		FailoverTries: *failoverTries,
+	})
+	for _, nv := range nodes {
+		name, url, _ := strings.Cut(nv, "=")
+		if err := g.Membership().Register(name, url); err != nil {
+			log.Fatalf("gateway: registering node %s: %v", name, err)
+		}
+		log.Printf("gateway: registered node %s at %s", name, url)
+	}
+	g.Start()
+	defer g.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("gateway: listening on %s (%d nodes, %d replicas, max inflight %d)",
+			*addr, len(nodes), *replicas, *maxInflight)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("gateway: signal received, shutting down")
+	case err := <-errCh:
+		log.Printf("gateway: server error: %v", err)
+		os.Exit(1)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("gateway: http shutdown: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Command loadgen drives an open-loop load run against a fleet gateway
+// (or a single solverd node): arrivals are generated on a fixed clock at
+// -rate and never wait for completions — the regime of very many
+// uncoordinated clients — with matrix popularity following a Zipf
+// distribution over a generated corpus, so a few hot matrices dominate
+// and exercise the fleet's cache affinity while a long tail churns it.
+//
+// The request mix is controlled by -blend solve:tune:devices weights.
+// Each accepted job is polled to a terminal state; the run reports
+// accepted/shed/error counts, p50/p99/p999 submit and end-to-end
+// latencies, completed-jobs-per-second throughput, per-node routing
+// counts and cache-affinity violations, as JSON on stdout (or -out).
+//
+// With -strict the exit code is nonzero if any request failed with a
+// status other than 202/429 or any accepted job failed — the CI smoke
+// gate's contract: under overload and node churn the fleet may shed, but
+// it must not error.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:9090 -rate 200 -duration 10s \
+//	        -corpus 64 -zipf 1.1 -blend 8:1:1 -strict
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func parseBlend(s string) (fleet.Blend, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fleet.Blend{}, fmt.Errorf("want solve:tune:devices, have %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return fleet.Blend{}, fmt.Errorf("blend weight %q invalid", p)
+		}
+		vals[i] = v
+	}
+	return fleet.Blend{Solve: vals[0], Tune: vals[1], Devices: vals[2]}, nil
+}
+
+func main() {
+	var (
+		target     = flag.String("target", "http://127.0.0.1:9090", "gateway or solverd base URL")
+		rate       = flag.Float64("rate", 50, "open-loop arrival rate (requests/second)")
+		duration   = flag.Duration("duration", 5*time.Second, "arrival window")
+		corpusSize = flag.Int("corpus", 32, "generated corpus size (distinct matrices)")
+		minN       = flag.Int("min-n", 64, "smallest corpus matrix dimension")
+		maxN       = flag.Int("max-n", 256, "largest corpus matrix dimension")
+		zipfS      = flag.Float64("zipf", 1.1, "Zipf popularity exponent over the corpus")
+		blendStr   = flag.String("blend", "1:0:0", "request mix as solve:tune:devices weights")
+		seed       = flag.Int64("seed", 1, "arrival-sequence seed")
+		blockSize  = flag.Int("block-size", 64, "solver block size per submission")
+		localIters = flag.Int("local-iters", 4, "local sweeps per submission")
+		maxIters   = flag.Int("max-iters", 1000, "global iteration budget per submission")
+		tolerance  = flag.Float64("tolerance", 1e-6, "convergence tolerance per submission")
+		out        = flag.String("out", "", "write the JSON report here instead of stdout")
+		scrape     = flag.Bool("scrape", true, "attach the target's /metricsz snapshot to the report")
+		strict     = flag.Bool("strict", false, "exit nonzero on any error (non-202/429 response or failed job)")
+	)
+	flag.Parse()
+
+	blend, err := parseBlend(*blendStr)
+	if err != nil {
+		log.Fatalf("loadgen: -blend: %v", err)
+	}
+
+	log.Printf("loadgen: building corpus (%d matrices, n in [%d, %d])", *corpusSize, *minN, *maxN)
+	corpus := fleet.BuildCorpus(*corpusSize, *minN, *maxN)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("loadgen: %s for %s at %.0f req/s (zipf %.2f, blend %s)",
+		*target, *duration, *rate, *zipfS, *blendStr)
+	rep, err := fleet.RunLoad(ctx, fleet.LoadConfig{
+		BaseURL:        strings.TrimRight(*target, "/"),
+		Rate:           *rate,
+		Duration:       *duration,
+		Corpus:         corpus,
+		ZipfS:          *zipfS,
+		Blend:          blend,
+		Seed:           *seed,
+		BlockSize:      *blockSize,
+		LocalIters:     *localIters,
+		MaxGlobalIters: *maxIters,
+		Tolerance:      *tolerance,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *scrape {
+		if m, err := fleet.ScrapeMetrics(nil, strings.TrimRight(*target, "/")+"/metricsz"); err == nil {
+			rep.Metrics = m
+		} else {
+			log.Printf("loadgen: metrics scrape failed (report continues without): %v", err)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: encoding report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatalf("loadgen: writing %s: %v", *out, err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	log.Printf("loadgen: offered %d, accepted %d, shed %d (%.1f%%), errors %d, completed %d (%.1f jobs/s), e2e p50 %.3fs p99 %.3fs",
+		rep.Offered, rep.Accepted, rep.Shed, 100*rep.ShedRate, rep.Errors, rep.Completed, rep.Throughput, rep.E2EP50, rep.E2EP99)
+	if *strict && (rep.Errors > 0 || rep.FailedJobs > 0) {
+		log.Printf("loadgen: strict mode: %d errors, %d failed jobs", rep.Errors, rep.FailedJobs)
+		for _, s := range rep.ErrorSamples {
+			log.Printf("loadgen:   %s", s)
+		}
+		os.Exit(1)
+	}
+}

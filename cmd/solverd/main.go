@@ -14,6 +14,9 @@
 //	GET    /v1/jobs/{id} job status / progress / result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness
+//	GET    /readyz       readiness: 503 the moment a drain begins, so a
+//	                     fleet gateway stops routing here while in-flight
+//	                     jobs finish
 //	GET    /statsz       queue depth, worker utilization, plan-cache hit rate
 //	GET    /metricsz     Prometheus text exposition of the same counters,
 //	                     plus per-engine solver counters, residual tracing
@@ -114,13 +117,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Flip readiness first and keep the listener up while the queue
+	// drains: a routing gateway probing /readyz sees the 503 and stops
+	// sending work here, while status polls for already-accepted jobs
+	// keep being answered. Only then tear the HTTP server down.
+	svc.BeginDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("solverd: http shutdown: %v", err)
-	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		log.Printf("solverd: drain incomplete, in-flight jobs canceled: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("solverd: http shutdown: %v", err)
 	}
 	st := svc.Stats()
 	log.Printf("solverd: exiting — %d submitted, %d done, %d failed, %d canceled, plan-cache hit rate %.0f%%",

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mats"
+	"repro/internal/service"
+	"repro/internal/sparse"
+)
+
+// CorpusEntry is one matrix of a load-test corpus: a serialized Matrix
+// Market payload plus the fingerprint the fleet routes it by.
+type CorpusEntry struct {
+	Name         string
+	N            int
+	MatrixMarket string
+	Fingerprint  string
+}
+
+// BuildCorpus generates size distinct, guaranteed-Jacobi-convergent
+// systems (diagonally dominant band matrices) with dimensions spread over
+// [minN, maxN]. Every entry has a distinct fingerprint, so under
+// consistent-hash routing each entry belongs to exactly one node. The
+// corpus is deterministic: the same arguments always produce the same
+// payloads and fingerprints.
+func BuildCorpus(size, minN, maxN int) []CorpusEntry {
+	if size <= 0 {
+		panic(fmt.Sprintf("fleet: corpus size must be positive, have %d", size))
+	}
+	if minN < 8 || maxN < minN {
+		panic(fmt.Sprintf("fleet: corpus dimensions [%d, %d] invalid (want 8 <= minN <= maxN)", minN, maxN))
+	}
+	out := make([]CorpusEntry, 0, size)
+	for i := 0; i < size; i++ {
+		n := minN
+		if size > 1 {
+			n += i * (maxN - minN) / (size - 1)
+		}
+		// Distinct i must give a distinct matrix even when the dimension
+		// collides (small maxN-minN): vary the dominance ratio per entry.
+		r := 1.5 + 0.01*float64(i%17)
+		a := mats.DiagDominant(n, 4, r)
+		var sb strings.Builder
+		if err := sparse.WriteMatrixMarket(&sb, a); err != nil {
+			panic(fmt.Sprintf("fleet: serializing corpus entry %d: %v", i, err))
+		}
+		out = append(out, CorpusEntry{
+			Name:         fmt.Sprintf("dd-%04d-%02d", n, i%17),
+			N:            n,
+			MatrixMarket: sb.String(),
+			Fingerprint:  service.Fingerprint(a),
+		})
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package fleet scales the solver service horizontally: many solverd
+// nodes behind one stateless gateway, routed by consistent hashing on the
+// matrix fingerprint so each node's plan and tune caches stay hot for
+// "its" matrices.
+//
+// The pieces compose bottom-up:
+//
+//   - Ring: a deterministic consistent-hash ring (virtual nodes, SHA-256
+//     point placement). Adding or removing a node moves only ~1/N of the
+//     key space — the property that keeps per-node caches warm across
+//     membership changes.
+//   - Membership: node registration plus health-checked liveness. Nodes
+//     are probed at GET /readyz; consecutive failures eject a node from
+//     the ring, consecutive successes re-admit it, and the rebalance is
+//     deterministic (the ring is a pure function of the healthy set).
+//   - Gateway: the HTTP router. POST /v1/solve resolves the request's
+//     matrix fingerprint, forwards to the ring owner (failing over to the
+//     next owner on transport errors or a draining node), propagates
+//     per-node 429/Retry-After upstream, and sheds load with its own 429
+//     when the fleet is saturated. Job IDs are namespaced "node~id" so
+//     status polls route back to the owning node.
+//   - Load harness: an open-loop arrival generator with Zipf-distributed
+//     matrix popularity over a generated corpus and mixed
+//     solve/tune/devices blends, reporting p50/p99/p999 latency and
+//     throughput — the "millions of users" traffic model from the
+//     roadmap, used by cmd/loadgen and the benchgate fleet gate.
+//
+// The design mirrors the paper's multi-GPU argument (Figure 11): block-
+// asynchronous relaxation tolerates stale reads and loose coupling, so a
+// fleet of independent solver nodes serves one workload with no
+// coordination on the hot path — the gateway's only shared state is the
+// health-derived ring.
+package fleet

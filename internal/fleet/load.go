@@ -1,0 +1,507 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Blend is the request mix of a load run, as relative weights (they are
+// normalized; all-zero means solve-only). "Tune" submissions set
+// "tune": "auto" (exercising the node-side tuning cache), "Devices"
+// submissions route onto the live multi-device executor.
+type Blend struct {
+	Solve   float64 `json:"solve"`
+	Tune    float64 `json:"tune"`
+	Devices float64 `json:"devices"`
+}
+
+// LoadConfig configures one open-loop load run against a gateway or a
+// single node. Zero values select the defaults.
+type LoadConfig struct {
+	// BaseURL is the target (gateway or solverd) base URL.
+	BaseURL string
+	// Client issues the requests (default: 30s-timeout client).
+	Client *http.Client
+	// Rate is the open-loop arrival rate in requests/second (default 50).
+	// Arrivals are scheduled on a fixed clock and never wait for
+	// completions — exactly the millions-of-users regime where clients do
+	// not coordinate with the server.
+	Rate float64
+	// Duration is how long arrivals are generated (default 5s).
+	Duration time.Duration
+	// Corpus is the matrix population (required).
+	Corpus []CorpusEntry
+	// ZipfS is the Zipf popularity exponent over the corpus: entry i
+	// carries weight 1/(i+1)^ZipfS (default 1.1 — a few hot matrices, a
+	// long tail).
+	ZipfS float64
+	// Blend is the request mix (default solve-only).
+	Blend Blend
+	// Seed drives entry and kind selection (default 1).
+	Seed int64
+	// Solver parameters applied to every submission.
+	BlockSize      int     // default 64
+	LocalIters     int     // default 4
+	MaxGlobalIters int     // default 1000
+	Tolerance      float64 // default 1e-6
+	// Devices is the device count of "devices" blend submissions
+	// (default 2).
+	Devices int
+	// PollInterval is the job-status poll period (default 10ms).
+	PollInterval time.Duration
+	// CompletionTimeout bounds how long one accepted job is polled after
+	// submission (default 60s).
+	CompletionTimeout time.Duration
+	// DrainGrace bounds how long the run waits for in-flight jobs after
+	// the last arrival (default CompletionTimeout).
+	DrainGrace time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Client == nil {
+		// Submissions and status polls for every in-flight job share this
+		// client; the default transport's 2 idle connections per host would
+		// serialize them behind TCP handshakes at open-loop rates.
+		c.Client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Blend.Solve <= 0 && c.Blend.Tune <= 0 && c.Blend.Devices <= 0 {
+		c.Blend = Blend{Solve: 1}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	if c.LocalIters <= 0 {
+		c.LocalIters = 4
+	}
+	if c.MaxGlobalIters <= 0 {
+		c.MaxGlobalIters = 1000
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.Devices <= 0 {
+		c.Devices = 2
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	if c.CompletionTimeout <= 0 {
+		c.CompletionTimeout = 60 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = c.CompletionTimeout
+	}
+	return c
+}
+
+// LoadReport is the outcome of one load run. Latencies are in seconds.
+type LoadReport struct {
+	Offered  int `json:"offered"`  // arrivals generated
+	Accepted int `json:"accepted"` // 202 from the target
+	Shed     int `json:"shed"`     // 429 (gateway or node)
+	Errors   int `json:"errors"`   // any other status or transport error
+	// Completed / FailedJobs / TimedOut partition the accepted jobs:
+	// reached "done", reached a failed/canceled terminal state, or never
+	// went terminal within CompletionTimeout.
+	Completed  int `json:"completed"`
+	FailedJobs int `json:"failed_jobs"`
+	TimedOut   int `json:"timed_out"`
+
+	DurationSeconds float64 `json:"duration_seconds"` // arrival window
+	WallSeconds     float64 `json:"wall_seconds"`     // window + drain
+	// Throughput is completed jobs per second of the arrival window — the
+	// number a capacity plan cares about.
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+
+	// Submit latencies cover POST /v1/solve round trips (routing +
+	// admission); end-to-end latencies cover submit through terminal
+	// "done" state, accepted jobs only.
+	SubmitP50  float64 `json:"submit_p50_seconds"`
+	SubmitP99  float64 `json:"submit_p99_seconds"`
+	SubmitP999 float64 `json:"submit_p999_seconds"`
+	E2EP50     float64 `json:"e2e_p50_seconds"`
+	E2EP99     float64 `json:"e2e_p99_seconds"`
+	E2EP999    float64 `json:"e2e_p999_seconds"`
+
+	ShedRate float64 `json:"shed_rate"` // shed / offered
+
+	ByKind map[string]int `json:"by_kind"` // offered per blend kind
+
+	// ByNode counts accepted jobs per serving node (gateway targets only —
+	// direct solverd submissions carry no node attribution).
+	ByNode map[string]int `json:"by_node,omitempty"`
+	// AffinityViolations counts accepted jobs whose fingerprint had
+	// already been served by a *different* node this run. Nonzero only
+	// across rebalances (node death/recovery) — steady-state consistent
+	// hashing pins each fingerprint to one node.
+	AffinityViolations int `json:"affinity_violations"`
+
+	// ErrorSamples holds the first few distinct error strings for
+	// diagnosis.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+
+	// Metrics optionally snapshots the target's /metricsz counters at the
+	// end of the run (see ScrapeMetrics), keyed "name{labels}".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// zipfPicker samples corpus indices with probability ∝ 1/(i+1)^s via the
+// inverse CDF — deterministic given the rng, no rejection loop.
+type zipfPicker struct {
+	cum []float64
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(u float64) int {
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// loadState aggregates worker outcomes under one lock.
+type loadState struct {
+	mu         sync.Mutex
+	rep        LoadReport
+	submitLats []float64
+	e2eLats    []float64
+	nodeByFP   map[string]string
+	errSeen    map[string]bool
+}
+
+// RunLoad executes one open-loop load run and reports latency,
+// throughput and outcome counts. ctx cancellation stops arrivals early
+// (already-submitted jobs are still awaited within DrainGrace).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Corpus) == 0 {
+		return nil, fmt.Errorf("fleet: load run needs a non-empty corpus")
+	}
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x10adc0de))
+	zipf := newZipfPicker(len(cfg.Corpus), cfg.ZipfS)
+	blendTotal := cfg.Blend.Solve + cfg.Blend.Tune + cfg.Blend.Devices
+
+	st := &loadState{
+		nodeByFP: make(map[string]string),
+		errSeen:  make(map[string]bool),
+	}
+	st.rep.ByKind = make(map[string]int)
+	st.rep.ByNode = make(map[string]int)
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+
+arrivals:
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		default:
+		}
+		entry := &cfg.Corpus[zipf.pick(rng.Float64())]
+		kind := "solve"
+		switch u := rng.Float64() * blendTotal; {
+		case u < cfg.Blend.Tune:
+			kind = "tune"
+		case u < cfg.Blend.Tune+cfg.Blend.Devices:
+			kind = "devices"
+		}
+		st.mu.Lock()
+		st.rep.Offered++
+		st.rep.ByKind[kind]++
+		st.mu.Unlock()
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			oneRequest(ctx, cfg, entry, kind, st)
+		}()
+
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	arrivalWindow := time.Since(start)
+
+	// Open loop ends here; wait for stragglers within the grace bound.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.DrainGrace):
+	case <-ctx.Done():
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rep := st.rep
+	rep.DurationSeconds = arrivalWindow.Seconds()
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.DurationSeconds > 0 {
+		rep.Throughput = float64(rep.Completed) / rep.DurationSeconds
+	}
+	if rep.Offered > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Offered)
+	}
+	rep.SubmitP50 = percentile(st.submitLats, 0.50)
+	rep.SubmitP99 = percentile(st.submitLats, 0.99)
+	rep.SubmitP999 = percentile(st.submitLats, 0.999)
+	rep.E2EP50 = percentile(st.e2eLats, 0.50)
+	rep.E2EP99 = percentile(st.e2eLats, 0.99)
+	rep.E2EP999 = percentile(st.e2eLats, 0.999)
+	return &rep, nil
+}
+
+// oneRequest submits one solve and, when accepted, polls it to a terminal
+// state, recording every outcome into st.
+func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind string, st *loadState) {
+	body := map[string]any{
+		"matrix_market":    entry.MatrixMarket,
+		"max_global_iters": cfg.MaxGlobalIters,
+		"tolerance":        cfg.Tolerance,
+		"seed":             1,
+	}
+	switch kind {
+	case "tune":
+		body["tune"] = "auto"
+	case "devices":
+		// The multi-device engine needs at least one block per device, so
+		// cap the block size at N/devices for small corpus entries.
+		bs := cfg.BlockSize
+		if maxBS := entry.N / cfg.Devices; bs > maxBS {
+			bs = maxBS
+		}
+		if bs < 1 {
+			bs = 1
+		}
+		body["block_size"] = bs
+		body["local_iters"] = cfg.LocalIters
+		body["devices"] = cfg.Devices
+	default:
+		body["block_size"] = cfg.BlockSize
+		body["local_iters"] = cfg.LocalIters
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		st.recordError(fmt.Sprintf("marshal: %v", err))
+		return
+	}
+
+	submitStart := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/solve", bytes.NewReader(payload))
+	if err != nil {
+		st.recordError(fmt.Sprintf("request: %v", err))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		st.recordError(fmt.Sprintf("submit: %v", err))
+		return
+	}
+	respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if readErr != nil {
+		respBody = nil
+	}
+	resp.Body.Close()
+	submitLat := time.Since(submitStart).Seconds()
+
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// fall through to polling below
+	case http.StatusTooManyRequests:
+		st.mu.Lock()
+		st.rep.Shed++
+		st.submitLats = append(st.submitLats, submitLat)
+		st.mu.Unlock()
+		return
+	default:
+		st.recordError(fmt.Sprintf("submit status %d: %s", resp.StatusCode, truncate(string(respBody), 160)))
+		return
+	}
+
+	var sv submitView
+	if err := json.Unmarshal(respBody, &sv); err != nil || sv.StatusURL == "" {
+		st.recordError(fmt.Sprintf("submit response: %v", err))
+		return
+	}
+	st.mu.Lock()
+	st.rep.Accepted++
+	st.submitLats = append(st.submitLats, submitLat)
+	if sv.Node != "" {
+		st.rep.ByNode[sv.Node]++
+		if prev, ok := st.nodeByFP[entry.Fingerprint]; ok && prev != sv.Node {
+			st.rep.AffinityViolations++
+			st.nodeByFP[entry.Fingerprint] = sv.Node
+		} else if !ok {
+			st.nodeByFP[entry.Fingerprint] = sv.Node
+		}
+	}
+	st.mu.Unlock()
+
+	state, err := pollJob(ctx, cfg, sv.StatusURL)
+	e2e := time.Since(submitStart).Seconds()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case err != nil:
+		st.rep.TimedOut++
+	case state == "done":
+		st.rep.Completed++
+		st.e2eLats = append(st.e2eLats, e2e)
+	default:
+		st.rep.FailedJobs++
+	}
+}
+
+// pollJob polls a status URL until the job is terminal or the completion
+// timeout expires.
+func pollJob(ctx context.Context, cfg LoadConfig, statusURL string) (string, error) {
+	deadline := time.Now().Add(cfg.CompletionTimeout)
+	for {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("fleet: job not terminal within %s", cfg.CompletionTimeout)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+statusURL, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := cfg.Client.Do(req)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var view struct {
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err == nil {
+				switch view.State {
+				case "done", "failed", "canceled":
+					return view.State, nil
+				}
+			}
+		} else if resp != nil {
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+	}
+}
+
+func (st *loadState) recordError(msg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.rep.Errors++
+	if len(st.rep.ErrorSamples) < 8 && !st.errSeen[msg] {
+		st.errSeen[msg] = true
+		st.rep.ErrorSamples = append(st.rep.ErrorSamples, msg)
+	}
+}
+
+// percentile returns the q-quantile of samples (nearest-rank on a sorted
+// copy), or 0 when empty.
+func percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// ScrapeMetrics fetches a /metricsz endpoint and parses the Prometheus
+// text exposition into a flat map keyed "name{labels}" (histogram series
+// keep their _bucket/_sum/_count suffixes). Comment and malformed lines
+// are skipped.
+func ScrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: scraping %s: %s", url, resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}

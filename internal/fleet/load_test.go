@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestBuildCorpusDeterministicAndDistinct(t *testing.T) {
+	a := BuildCorpus(16, 24, 96)
+	b := BuildCorpus(16, 24, 96)
+	fps := map[string]bool{}
+	for i := range a {
+		if a[i].Fingerprint != b[i].Fingerprint || a[i].MatrixMarket != b[i].MatrixMarket {
+			t.Fatalf("corpus entry %d not deterministic", i)
+		}
+		if fps[a[i].Fingerprint] {
+			t.Fatalf("corpus entry %d duplicates a fingerprint", i)
+		}
+		fps[a[i].Fingerprint] = true
+		if a[i].N < 24 || a[i].N > 96 {
+			t.Fatalf("corpus entry %d has dimension %d outside [24, 96]", i, a[i].N)
+		}
+	}
+}
+
+func TestZipfPickerSkew(t *testing.T) {
+	z := newZipfPicker(100, 1.1)
+	// The head of the distribution must dominate: entry 0 alone carries
+	// more probability than entries 50..99 combined.
+	headP := z.cum[0]
+	tailP := z.cum[99] - z.cum[49]
+	if headP <= tailP {
+		t.Errorf("zipf head p=%.3f not heavier than tail p=%.3f", headP, tailP)
+	}
+	if got := z.pick(0.0); got != 0 {
+		t.Errorf("pick(0) = %d, want 0", got)
+	}
+	if got := z.pick(0.9999999); got != 99 {
+		t.Errorf("pick(~1) = %d, want 99", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if p := percentile(s, 0.5); p != 3 {
+		t.Errorf("p50 = %v, want 3", p)
+	}
+	if p := percentile(s, 0.99); p != 5 {
+		t.Errorf("p99 = %v, want 5", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+}
+
+// TestRunLoadAgainstFleet drives the open-loop harness at a real 2-node
+// fleet and checks the report's accounting invariants.
+func TestRunLoadAgainstFleet(t *testing.T) {
+	_, ts, _ := startFleet(t, 2, GatewayConfig{}, service.Config{Workers: 2, QueueDepth: 64})
+	corpus := BuildCorpus(8, 24, 48)
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:        ts.URL,
+		Rate:           200,
+		Duration:       500 * time.Millisecond,
+		Corpus:         corpus,
+		BlockSize:      16,
+		LocalIters:     2,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-6,
+		PollInterval:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if rep.Accepted+rep.Shed+rep.Errors != rep.Offered {
+		t.Errorf("accounting broken: accepted %d + shed %d + errors %d != offered %d",
+			rep.Accepted, rep.Shed, rep.Errors, rep.Offered)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors in steady state: %d (%v)", rep.Errors, rep.ErrorSamples)
+	}
+	if rep.Completed+rep.FailedJobs+rep.TimedOut != rep.Accepted {
+		t.Errorf("job accounting broken: completed %d + failed %d + timedout %d != accepted %d",
+			rep.Completed, rep.FailedJobs, rep.TimedOut, rep.Accepted)
+	}
+	if rep.Completed == 0 {
+		t.Error("no job completed")
+	}
+	if rep.AffinityViolations != 0 {
+		t.Errorf("affinity violations in steady state: %d", rep.AffinityViolations)
+	}
+	if rep.Completed > 0 && (rep.E2EP50 <= 0 || rep.E2EP99 < rep.E2EP50) {
+		t.Errorf("implausible e2e percentiles: p50=%v p99=%v", rep.E2EP50, rep.E2EP99)
+	}
+	total := 0
+	for _, n := range rep.ByNode {
+		total += n
+	}
+	if total != rep.Accepted {
+		t.Errorf("by-node attribution %d != accepted %d", total, rep.Accepted)
+	}
+}
+
+// TestRunLoadBlend checks that tune and devices arrivals are generated and
+// complete against a real node.
+func TestRunLoadBlend(t *testing.T) {
+	_, ts, _ := startFleet(t, 1, GatewayConfig{}, service.Config{Workers: 2, QueueDepth: 64})
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:        ts.URL,
+		Rate:           60,
+		Duration:       400 * time.Millisecond,
+		Corpus:         BuildCorpus(3, 24, 32),
+		Blend:          Blend{Solve: 1, Tune: 1, Devices: 1},
+		BlockSize:      8,
+		LocalIters:     2,
+		MaxGlobalIters: 200,
+		Tolerance:      1e-6,
+		PollInterval:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("blend run errors: %v", rep.ErrorSamples)
+	}
+	// Every blend kind must actually work against small corpus entries:
+	// tune must fall back to the single-block plan when the grid exceeds
+	// n, and devices submissions must cap the block size at n/devices.
+	if rep.FailedJobs != 0 {
+		t.Errorf("blend run failed %d jobs (tune or devices kind broken on small matrices?)", rep.FailedJobs)
+	}
+	kinds := 0
+	for _, k := range []string{"solve", "tune", "devices"} {
+		if rep.ByKind[k] > 0 {
+			kinds++
+		}
+	}
+	if kinds < 2 {
+		t.Errorf("blend produced %d kinds, want >= 2 (by_kind=%v)", kinds, rep.ByKind)
+	}
+	if rep.Completed == 0 {
+		t.Error("no blended job completed")
+	}
+}
+
+// TestScrapeMetrics round-trips the gateway's own /metricsz.
+func TestScrapeMetrics(t *testing.T) {
+	_, ts, _ := startFleet(t, 1, GatewayConfig{}, service.Config{Workers: 1, QueueDepth: 4})
+	m, err := ScrapeMetrics(nil, ts.URL+"/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("no metrics parsed")
+	}
+	if _, ok := m["gateway_max_inflight"]; !ok {
+		t.Errorf("gateway_max_inflight missing from scrape (have %d series)", len(m))
+	}
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestFleetRebalanceUnderLoad is the kill-a-node-mid-load scenario from
+// the issue, end to end against real solver nodes:
+//
+//  1. killing one of three nodes moves only that node's ~1/N fingerprints
+//     (survivor-owned keys keep their owner),
+//  2. jobs already in flight on the survivors finish undisturbed,
+//  3. previously victim-owned keys are accepted by survivors while the
+//     victim is down, and
+//  4. re-admission restores the original placement for every key.
+func TestFleetRebalanceUnderLoad(t *testing.T) {
+	g, ts, nodes := startFleet(t, 3,
+		GatewayConfig{Membership: MembershipConfig{
+			ProbeInterval: 10 * time.Millisecond,
+			FailAfter:     2,
+			ReviveAfter:   2,
+		}},
+		service.Config{Workers: 2, QueueDepth: 32})
+	g.Start()
+	defer g.Close()
+
+	corpus := BuildCorpus(30, 24, 64)
+	before := make(map[string]string, len(corpus))
+	perOwner := map[string]int{}
+	for _, e := range corpus {
+		o, ok := g.Membership().Ring().Owner(e.Fingerprint)
+		if !ok {
+			t.Fatal("ring empty")
+		}
+		before[e.Fingerprint] = o
+		perOwner[o]++
+	}
+	victim := nodes[2].name
+	if perOwner[victim] == 0 {
+		t.Fatalf("victim %s owns no corpus keys; owners: %v", victim, perOwner)
+	}
+
+	// Put long-running jobs in flight on the survivors: a generous
+	// iteration budget with no tolerance runs to the budget, so these are
+	// still solving when the victim dies.
+	type inflight struct{ jobID, fingerprint string }
+	var running []inflight
+	for _, e := range corpus {
+		owner := before[e.Fingerprint]
+		if owner == victim || len(running) >= 4 {
+			continue
+		}
+		req := solveEntry(e)
+		req.Tolerance = 0
+		req.MaxGlobalIters = 30000
+		resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("in-flight submit: status %d: %s", resp.StatusCode, body)
+		}
+		var sub submitView
+		mustUnmarshal(t, body, &sub)
+		if sub.Node != owner {
+			t.Fatalf("pre-kill solve routed to %s, ring owner is %s", sub.Node, owner)
+		}
+		running = append(running, inflight{sub.JobID, e.Fingerprint})
+	}
+
+	// Kill the victim and wait for the probe loop to eject it.
+	nodes[2].down.down.Store(true)
+	waitHealthy(t, g, 2)
+
+	moved := 0
+	for _, e := range corpus {
+		o, ok := g.Membership().Ring().Owner(e.Fingerprint)
+		if !ok {
+			t.Fatal("ring empty after ejection")
+		}
+		if before[e.Fingerprint] == victim {
+			if o == victim {
+				t.Fatalf("key %s still routed to dead node", e.Fingerprint)
+			}
+			moved++
+		} else if o != before[e.Fingerprint] {
+			t.Fatalf("survivor-owned key %s moved %s -> %s on unrelated ejection",
+				e.Fingerprint, before[e.Fingerprint], o)
+		}
+	}
+	if moved != perOwner[victim] {
+		t.Fatalf("%d keys moved, want exactly the victim's %d", moved, perOwner[victim])
+	}
+
+	// Victim-owned keys are accepted by survivors while it is down.
+	for _, e := range corpus {
+		if before[e.Fingerprint] != victim {
+			continue
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/solve", solveEntry(e))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("orphaned key not re-homed: status %d: %s", resp.StatusCode, body)
+		}
+		var sub submitView
+		mustUnmarshal(t, body, &sub)
+		if sub.Node == victim {
+			t.Fatalf("orphaned key submitted to dead node %s", victim)
+		}
+		waitFleetJob(t, ts.URL, sub.JobID)
+		break // one is enough; the loop above already checked placement
+	}
+
+	// The survivors' in-flight jobs were undisturbed by the rebalance.
+	for _, r := range running {
+		v := waitFleetJob(t, ts.URL, r.jobID)
+		if v.Result == nil || v.Result.Fingerprint != r.fingerprint {
+			t.Errorf("in-flight job %s finished with wrong/missing fingerprint", r.jobID)
+		}
+	}
+
+	// Revive the victim; re-admission must restore the original placement
+	// for every key (deterministic rebalance).
+	nodes[2].down.down.Store(false)
+	waitHealthy(t, g, 3)
+	for _, e := range corpus {
+		o, _ := g.Membership().Ring().Owner(e.Fingerprint)
+		if o != before[e.Fingerprint] {
+			t.Fatalf("placement not restored after re-admission: %s -> %s, want %s",
+				e.Fingerprint, o, before[e.Fingerprint])
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, g *Gateway, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Membership().HealthyCount() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy count stuck at %d, want %d", g.Membership().HealthyCount(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func mustUnmarshal(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+}

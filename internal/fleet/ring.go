@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring mapping string keys (matrix
+// fingerprints) to node names. Each node contributes Replicas virtual
+// points placed by SHA-256, so the ring is a pure function of the member
+// set: two gateways holding the same healthy nodes route identically, and
+// removing a node moves only that node's ~1/N share of the key space.
+// All methods are safe for concurrent use.
+type Ring struct {
+	replicas int
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per member: enough that the
+// per-node key share concentrates near 1/N (spread shrinks like
+// 1/sqrt(replicas)) while keeping lookups a binary search over a few
+// hundred points for small fleets.
+const DefaultReplicas = 128
+
+// NewRing creates an empty ring with the given virtual-node count per
+// member (0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// hashPoint places one virtual node: SHA-256("node\x00replica") truncated
+// to 64 bits. SHA-256 (rather than a fast non-cryptographic hash) keeps
+// placement unpredictable and uniform regardless of node-name shape.
+func hashPoint(node string, replica int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	var buf [9]byte
+	buf[0] = 0
+	binary.LittleEndian.PutUint64(buf[1:], uint64(replica))
+	h.Write(buf[:])
+	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// hashKey places a lookup key on the ring.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hashPoint(node, i), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member names in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner returns the node owning key: the first virtual point clockwise
+// from the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct nodes in preference order for key: the
+// owner first, then the successors met walking clockwise — the failover
+// sequence a gateway tries when the owner is unreachable. Deterministic
+// for a given member set.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Shares returns each member's share of the key space measured over the
+// given sample keys — a diagnostic for balance tests and /statsz.
+func (r *Ring) Shares(keys []string) map[string]float64 {
+	counts := make(map[string]int)
+	for _, k := range keys {
+		if owner, ok := r.Owner(k); ok {
+			counts[owner]++
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	if len(keys) == 0 {
+		return out
+	}
+	for n, c := range counts {
+		out[n] = float64(c) / float64(len(keys))
+	}
+	return out
+}
+
+// validateNodeName rejects names that would break the gateway's job-ID
+// namespacing ("node~jobid") or metric labels.
+func validateNodeName(name string) error {
+	if name == "" {
+		return fmt.Errorf("fleet: empty node name")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("fleet: node name %q: only letters, digits, '-', '_' and '.' are allowed", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%05d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	build := func(order []string) *Ring {
+		r := NewRing(64)
+		for _, n := range order {
+			r.Add(n)
+		}
+		return r
+	}
+	a := build([]string{"n0", "n1", "n2"})
+	b := build([]string{"n2", "n0", "n1"}) // insertion order must not matter
+	for _, k := range sampleKeys(500) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("owner(%s) differs across identically-membered rings: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	r.Add("only")
+	for _, k := range sampleKeys(50) {
+		o, ok := r.Owner(k)
+		if !ok || o != "only" {
+			t.Fatalf("single-node ring: owner(%s) = %q, %v", k, o, ok)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	shares := r.Shares(sampleKeys(8000))
+	for _, n := range nodes {
+		if shares[n] < 0.10 || shares[n] > 0.45 {
+			t.Errorf("node %s owns %.1f%% of the key space (want roughly 25%%)", n, 100*shares[n])
+		}
+	}
+}
+
+// TestRingRebalanceMovesOnlyVictimKeys is the consistent-hashing
+// contract the fleet's cache affinity rests on: removing one of N nodes
+// moves exactly that node's ~1/N key share (keys owned by survivors are
+// untouched), and re-adding it restores the original placement exactly.
+func TestRingRebalanceMovesOnlyVictimKeys(t *testing.T) {
+	r := NewRing(128)
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := sampleKeys(4000)
+	before := make(map[string]string, len(keys))
+	victimKeys := 0
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		before[k] = o
+		if o == "n2" {
+			victimKeys++
+		}
+	}
+
+	r.Remove("n2")
+	moved := 0
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		if before[k] != "n2" {
+			if o != before[k] {
+				t.Fatalf("survivor-owned key %s moved %s -> %s on unrelated removal", k, before[k], o)
+			}
+			continue
+		}
+		if o == "n2" {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+		moved++
+	}
+	if moved != victimKeys {
+		t.Fatalf("moved %d keys, want exactly the victim's %d", moved, victimKeys)
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("removal moved %.1f%% of keys (want ~25%% for 4 nodes)", 100*frac)
+	}
+
+	r.Add("n2")
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		if o != before[k] {
+			t.Fatalf("re-admission did not restore placement: owner(%s) = %s, want %s", k, o, before[k])
+		}
+	}
+}
+
+func TestRingOwnersDistinctPreferenceOrder(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		r.Add(n)
+	}
+	for _, k := range sampleKeys(200) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("owners(%s, 3) = %v, want 3 distinct nodes", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("owners(%s) repeats node %s: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		primary, _ := r.Owner(k)
+		if owners[0] != primary {
+			t.Fatalf("owners(%s)[0] = %s, want primary %s", k, owners[0], primary)
+		}
+	}
+	if got := r.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("owners clamped to member count: got %v", got)
+	}
+}
+
+func TestValidateNodeName(t *testing.T) {
+	for _, ok := range []string{"n0", "node-1", "a.b_c", "UPPER9"} {
+		if err := validateNodeName(ok); err != nil {
+			t.Errorf("validateNodeName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a~b", "a/b", "a b", "a\tb"} {
+		if err := validateNodeName(bad); err == nil {
+			t.Errorf("validateNodeName(%q) accepted", bad)
+		}
+	}
+}

@@ -118,6 +118,43 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly inside the winning bucket (Prometheus
+// histogram_quantile semantics). Observations beyond the last bound clamp
+// the estimate to that bound; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.upper[i-1]
+			}
+			if n == 0 {
+				return h.upper[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + frac*(h.upper[i]-lower)
+		}
+		cum += n
+	}
+	// The quantile falls in the +Inf bucket: the last finite bound is the
+	// best (conservative) estimate available.
+	return h.upper[len(h.upper)-1]
+}
+
 // Buckets returns the upper bounds and the *cumulative* counts per bucket
 // (Prometheus le semantics, excluding the +Inf bucket, whose cumulative
 // count is Count).

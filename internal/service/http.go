@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 )
@@ -17,6 +18,7 @@ import (
 //	GET    /v1/jobs/{id} job status, progress and (when finished) result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness probe
+//	GET    /readyz       readiness probe: 503 once a drain began
 //	GET    /statsz       queue depth, worker utilization, plan-cache rates
 //	GET    /metricsz     the same counters (plus engine/device series) in
 //	                     Prometheus text exposition format
@@ -49,7 +51,13 @@ func NewHandler(s *Service) http.Handler {
 		}
 		j, err := s.Submit(req)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			status := submitStatus(err)
+			if status == http.StatusTooManyRequests {
+				// Price the 429 from the live backlog and the observed
+				// solve-duration distribution instead of a constant.
+				w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+			}
+			writeError(w, status, err)
 			return
 		}
 		w.Header().Set("Location", "/v1/jobs/"+j.ID())
@@ -85,6 +93,16 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is distinct from liveness: the moment a drain begins
+		// this flips to 503 so a routing gateway stops sending work here,
+		// while /healthz keeps answering 200 for the process supervisor.
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -136,7 +154,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})

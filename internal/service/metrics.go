@@ -63,6 +63,16 @@ func (s *Service) instrument() {
 			s.deviceSolves[strat].Load, "strategy", strat.String())
 	}
 
+	s.wallHist = reg.Histogram("service_job_wall_seconds",
+		"Wall time of finished jobs, attempts and backoff included.", nil)
+	reg.GaugeFunc("service_draining", "1 once BeginDrain/Shutdown stopped admissions, else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+
 	reg.CounterFunc("service_tune_searches_total", "Full auto-tune parameter searches executed.",
 		func() uint64 { return s.cache.TuneStats().Searches })
 	reg.CounterFunc("service_tune_cache_hits_total", "Auto-tune lookups served from the fingerprint cache.",

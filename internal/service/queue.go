@@ -83,6 +83,11 @@ type JobResult struct {
 	X                []float64 `json:"x,omitempty"`
 	NumBlocks        int       `json:"num_blocks"`
 	PlanHit          bool      `json:"plan_hit"`
+	// Fingerprint is the content hash of the solved matrix — the key the
+	// plan/tune caches and the fleet gateway's consistent-hash ring route
+	// by. Clients (and the gateway itself) can compare it against the ring
+	// to verify placement and debug cache-affinity misses.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Attempts is how many runs the job took (retries included).
 	Attempts int     `json:"attempts"`
 	WallTime float64 `json:"wall_seconds"`

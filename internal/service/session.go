@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -225,6 +226,9 @@ type Service struct {
 	solveMetrics *core.SolveMetrics
 	perf         gpusim.PerfModel
 	occupancy    *metrics.Gauge
+	// wallHist observes finished jobs' wall seconds (attempts and backoff
+	// included); RetryAfterSeconds reads its median to price a 429.
+	wallHist *metrics.Histogram
 }
 
 // namedMatrix caches a generated paper matrix and its fingerprint so
@@ -447,14 +451,58 @@ func (s *Service) Stats() Stats {
 	}
 }
 
+// BeginDrain stops accepting new jobs without waiting for the queue:
+// Submit reports ErrShuttingDown and Draining flips to true (the /readyz
+// probe turns 503) while queued and running solves continue. Call it the
+// moment shutdown is decided, before the blocking Shutdown, so a gateway
+// health-checking readiness stops routing here while the drain runs.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether the service has stopped accepting jobs (via
+// BeginDrain or Shutdown). Liveness is unaffected: a draining service
+// still answers status, stats and metrics requests.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// RetryAfterSeconds estimates how long a rejected client should wait
+// before resubmitting: the current backlog (queued + running jobs) divided
+// across the worker pool, priced at the observed median job wall time.
+// Before any job finished the estimate falls back to 1s, and the result is
+// clamped to [1s, 60s] so the header stays sane under pathological queues.
+func (s *Service) RetryAfterSeconds() int {
+	perJob := s.wallHist.Quantile(0.5)
+	if perJob <= 0 {
+		perJob = 1
+	}
+	backlog := s.queue.Depth() + s.queue.Busy()
+	workers := s.queue.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	est := perJob * float64(backlog) / float64(workers)
+	switch {
+	case est < 1:
+		return 1
+	case est > 60:
+		return 60
+	default:
+		return int(math.Ceil(est))
+	}
+}
+
 // Shutdown stops accepting jobs and drains the queue: queued and running
 // solves finish normally. If ctx expires first, the remaining jobs are
 // canceled (taking effect within one global iteration) and Shutdown
 // returns ctx's error once they unwind.
 func (s *Service) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.BeginDrain()
 
 	drained := make(chan struct{})
 	go func() {
@@ -531,6 +579,7 @@ func (s *Service) runJob(j *Job) {
 		result.Attempts = attempt
 		result.WallTime = time.Since(started).Seconds()
 	}
+	s.wallHist.Observe(time.Since(started).Seconds())
 	s.finishJob(j, result, err)
 }
 
@@ -669,6 +718,7 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Residual:         res.Residual,
 		NumBlocks:        res.NumBlocks,
 		PlanHit:          hit,
+		Fingerprint:      fp,
 		Devices:          req.Devices,
 		ModeledSeconds:   modeled,
 		Tuned:            tuned,

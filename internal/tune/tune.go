@@ -94,7 +94,22 @@ func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	best := Result{Omega: 1, SecondsPerDigit: math.Inf(1)}
 	var bestPlan *core.Plan
-	for _, bs := range cfg.BlockSizes {
+	blockSizes := cfg.BlockSizes
+	fits := false
+	for _, bs := range blockSizes {
+		if bs <= a.Rows {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		// Every grid candidate exceeds the matrix dimension (small systems
+		// against the paper-scale default grid). Rather than reporting "no
+		// candidate contracted", probe the one configuration that exists:
+		// the single-block plan, whose local solve is exact.
+		blockSizes = []int{a.Rows}
+	}
+	for _, bs := range blockSizes {
 		if bs > a.Rows {
 			continue // degenerate duplicates of the single-block case
 		}

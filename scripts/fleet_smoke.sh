@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end fleet smoke test over real processes.
+#
+# Boots three solverd nodes and the consistent-hash gateway, drives an
+# open-loop loadgen run through the gateway, and SIGTERMs one node
+# mid-run (graceful drain: /readyz flips 503, the gateway ejects it and
+# routes around) before restarting it (the gateway re-admits it and the
+# ring returns to its original placement).
+#
+# Failure conditions:
+#   - loadgen -strict exits nonzero (any non-202/429 response or failed job)
+#   - "panic:" appears in any process log
+#   - the ring does not return to 3 healthy nodes after the restart
+#
+# Artifacts (logs + the loadgen JSON report) land in $FLEET_SMOKE_DIR
+# (default: fleet-smoke-artifact/) for CI upload.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ART="${FLEET_SMOKE_DIR:-fleet-smoke-artifact}"
+BIN="$ART/bin"
+mkdir -p "$BIN"
+
+echo "fleet-smoke: building binaries"
+go build -o "$BIN/solverd" ./cmd/solverd
+go build -o "$BIN/gateway" ./cmd/gateway
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+PIDS=()
+cleanup() {
+    kill "${PIDS[@]}" >/dev/null 2>&1 || true
+    wait >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+start_node() { # $1 = node index; appends to the node's log across restarts
+    "$BIN/solverd" -addr "127.0.0.1:1808$1" -workers 2 -queue-depth 16 \
+        >>"$ART/node$1.log" 2>&1 &
+    echo $!
+}
+
+wait_url() { # $1 = url, $2 = description
+    for _ in $(seq 1 100); do
+        if curl -fsS "$1" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "fleet-smoke: FAIL: $2 never became ready at $1" >&2
+    exit 1
+}
+
+N0=$(start_node 0)
+N1=$(start_node 1)
+N2=$(start_node 2)
+PIDS+=("$N0" "$N1" "$N2")
+
+"$BIN/gateway" -addr 127.0.0.1:19090 \
+    -node n0=http://127.0.0.1:18080 \
+    -node n1=http://127.0.0.1:18081 \
+    -node n2=http://127.0.0.1:18082 \
+    -probe-interval 250ms -probe-timeout 1s \
+    >"$ART/gateway.log" 2>&1 &
+GW=$!
+PIDS+=("$GW")
+
+wait_url http://127.0.0.1:18080/readyz "node 0"
+wait_url http://127.0.0.1:18081/readyz "node 1"
+wait_url http://127.0.0.1:18082/readyz "node 2"
+wait_url http://127.0.0.1:19090/readyz "gateway"
+echo "fleet-smoke: fleet is up (3 nodes + gateway)"
+
+# Open-loop burst through the gateway: 20s at 40 req/s over a 24-matrix
+# Zipf corpus with a solve-heavy blend. -strict makes loadgen exit
+# nonzero on any non-202/429 response or failed job — shedding is
+# allowed under churn, erroring is not.
+"$BIN/loadgen" -target http://127.0.0.1:19090 \
+    -rate 40 -duration 20s \
+    -corpus 24 -min-n 32 -max-n 96 -max-iters 400 \
+    -blend 8:1:1 -strict \
+    -out "$ART/loadgen-report.json" \
+    >"$ART/loadgen.log" 2>&1 &
+LG=$!
+
+# A third into the run, gracefully kill one node (drain: it finishes
+# in-flight jobs, the gateway ejects it and routes its keys to the
+# survivors); two thirds in, restart it (the gateway re-admits it).
+sleep 7
+echo "fleet-smoke: SIGTERM node 2 (graceful drain)"
+kill -TERM "$N2"
+wait "$N2" 2>/dev/null || true
+sleep 6
+echo "fleet-smoke: restarting node 2"
+N2=$(start_node 2)
+PIDS+=("$N2")
+
+FAIL=0
+if ! wait "$LG"; then
+    echo "fleet-smoke: FAIL: loadgen -strict exited nonzero" >&2
+    FAIL=1
+fi
+tail -n 3 "$ART/loadgen.log" || true
+
+# The restarted node must be re-admitted: poll the gateway membership
+# until all 3 nodes are healthy again.
+RESTORED=0
+for _ in $(seq 1 100); do
+    if curl -fsS http://127.0.0.1:19090/v1/nodes 2>/dev/null | grep -q '"healthy_nodes": *3'; then
+        RESTORED=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$RESTORED" != 1 ]; then
+    echo "fleet-smoke: FAIL: ring did not return to 3 healthy nodes" >&2
+    curl -fsS http://127.0.0.1:19090/v1/nodes >&2 || true
+    FAIL=1
+else
+    echo "fleet-smoke: ring restored to 3 healthy nodes"
+fi
+
+if grep -l "panic:" "$ART"/*.log >/dev/null 2>&1; then
+    echo "fleet-smoke: FAIL: panic in process logs:" >&2
+    grep -n "panic:" "$ART"/*.log >&2 || true
+    FAIL=1
+fi
+
+if [ "$FAIL" != 0 ]; then
+    echo "fleet-smoke: FAIL (artifacts in $ART)" >&2
+    exit 1
+fi
+echo "fleet-smoke: PASS (artifacts in $ART)"
