@@ -1,0 +1,265 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/service"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// CertifyScenario is one certifier benchmark row of the snapshot. The
+// convergent rows measure admission latency and the predicted-vs-actual
+// iteration ratio (gated inside the PredictedFactor band of
+// docs/CERTIFY.md); the doomed row measures what enforcement buys — a
+// cached certificate rejection against running the divergent solve to its
+// iteration cap.
+type CertifyScenario struct {
+	Name    string `json:"name"`
+	Matrix  string `json:"matrix"`
+	N       int    `json:"n"`
+	Class   string `json:"class"`
+	Verdict string `json:"verdict"`
+	// CertifySeconds is the cold, uncached certify.Certify latency (the
+	// first admission of a fingerprint pays this once).
+	CertifySeconds float64 `json:"certify_seconds"`
+	// PredictedIters and ActualIters compare the certificate's priced
+	// budget against the seeded simulated solve it admitted;
+	// PredictedVsActual is actual/predicted (convergent rows only).
+	PredictedIters    int     `json:"predicted_iters,omitempty"`
+	ActualIters       int     `json:"actual_iters,omitempty"`
+	PredictedVsActual float64 `json:"predicted_vs_actual,omitempty"`
+	// RejectSeconds is the steady-state enforce answer: a certificate-cache
+	// hit refusing the matrix (doomed row only; min over repetitions).
+	RejectSeconds float64 `json:"reject_seconds,omitempty"`
+	// SolveSeconds is the cost enforcement avoids: the divergent solve run
+	// warn-style to its iteration cap (doomed row only).
+	SolveSeconds float64 `json:"solve_seconds,omitempty"`
+	// RejectSpeedup is SolveSeconds / RejectSeconds (gated ≥ 100).
+	RejectSpeedup float64 `json:"reject_speedup,omitempty"`
+}
+
+// certifyLatencyBudget bounds a cold certification. The certifier's work is
+// bounded by Options (≤ MaxPowerIters sparse multiplies plus the
+// Collatz–Wielandt sweeps), so even the full-size paper matrices must
+// answer well under a second; the budget is loose for shared CI machines.
+const certifyLatencyBudget = 2.0
+
+// rejectSpeedupFloor is the doomed-row gate: answering from the resident
+// certificate cache must beat running the divergent solve to its iteration
+// cap by at least this factor.
+const rejectSpeedupFloor = 100.0
+
+// certifyCase is one convergent certifier row's configuration.
+type certifyCase struct {
+	Name   string
+	Matrix string
+	Gen    func() *sparse.CSR
+}
+
+// runCertifySuite measures the certifier rows and returns them with the
+// count of gate violations (out-of-band ratios, blown latency budgets, a
+// doomed rejection that is not dramatically cheaper than the solve).
+func runCertifySuite(quick bool, out io.Writer) ([]CertifyScenario, int) {
+	fv := func() *sparse.CSR { return mats.FV(40, 40, 1.368) }
+	chem := func() *sparse.CSR { return mats.Chem97ZtZ(600) }
+	fvName, chemName := "fv_40x40", "Chem97ZtZ_600"
+	if !quick {
+		fv = func() *sparse.CSR { return mats.FVTiled(98, 98, 1.368) }
+		chem = func() *sparse.CSR { return mats.Chem97ZtZ(2541) }
+		fvName, chemName = "fv1", "Chem97ZtZ"
+	}
+	cases := []certifyCase{
+		{Name: "certify/Trefethen_2000", Matrix: "Trefethen_2000",
+			Gen: func() *sparse.CSR { return mats.Trefethen(2000) }},
+		{Name: "certify/" + fvName, Matrix: fvName, Gen: fv},
+		{Name: "certify/" + chemName, Matrix: chemName, Gen: chem},
+	}
+
+	var rows []CertifyScenario
+	problems := 0
+	for _, c := range cases {
+		row, probs := runCertifyCase(c, out)
+		rows = append(rows, row)
+		problems += probs
+	}
+	doomed, probs := runDoomedCase(quick, out)
+	rows = append(rows, doomed)
+	problems += probs
+	return rows, problems
+}
+
+// runCertifyCase certifies one convergent paper matrix and replays the
+// solve the certificate admitted, gating the predicted-vs-actual ratio
+// inside [1/PredictedFactor, PredictedFactor].
+func runCertifyCase(c certifyCase, out io.Writer) (CertifyScenario, int) {
+	a := c.Gen()
+	row := CertifyScenario{Name: c.Name, Matrix: c.Matrix, N: a.Rows}
+	problems := 0
+
+	start := time.Now()
+	cert, err := certify.Certify(a, certify.Options{Seed: 1})
+	row.CertifySeconds = time.Since(start).Seconds()
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: certify error: %v\n", c.Name, err)
+		return row, problems + 1
+	}
+	row.Class, row.Verdict = cert.Class.String(), cert.Verdict.String()
+	row.PredictedIters = cert.PredictedIters
+	fmt.Fprintf(out, "benchgate: %s  %-9s %6.2fms  predicted %d iters",
+		c.Name, cert.Verdict, 1e3*row.CertifySeconds, cert.PredictedIters)
+	if cert.Verdict != certify.VerdictConverges || cert.PredictedIters <= 0 {
+		fmt.Fprintf(out, "\nbenchgate: REGRESSION %s: paper matrix not certified convergent (%s)\n", c.Name, cert)
+		return row, problems + 1
+	}
+	if row.CertifySeconds > certifyLatencyBudget {
+		fmt.Fprintf(out, "\nbenchgate: REGRESSION %s: certification took %.2fs (budget %.2fs)\n",
+			c.Name, row.CertifySeconds, certifyLatencyBudget)
+		problems++
+	}
+
+	// Replay the admitted solve: the tolerance matches the certificate's
+	// TargetDigits of reduction from the zero initial guess, the budget is
+	// the documented slack times the priced iterations.
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	budget := cert.PredictedIters
+	if budget <= (1<<30)/certify.PredictedFactor {
+		budget *= certify.PredictedFactor
+	}
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize: 128, LocalIters: 1,
+		MaxGlobalIters: budget,
+		Tolerance:      math.Pow(10, -cert.TargetDigits) * vecmath.Nrm2(b),
+		Seed:           1,
+	})
+	if err != nil || !res.Converged {
+		fmt.Fprintf(out, "\nbenchgate: REGRESSION %s: admitted solve missed %g digits within %d×predicted (%v)\n",
+			c.Name, cert.TargetDigits, certify.PredictedFactor, err)
+		return row, problems + 1
+	}
+	row.ActualIters = res.GlobalIterations
+	row.PredictedVsActual = float64(res.GlobalIterations) / float64(cert.PredictedIters)
+	fmt.Fprintf(out, "  actual %d  ratio %.2f\n", row.ActualIters, row.PredictedVsActual)
+	if row.PredictedVsActual > certify.PredictedFactor ||
+		row.PredictedVsActual < 1.0/certify.PredictedFactor {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: predicted-vs-actual %.2f outside [1/%d, %d]\n",
+			c.Name, row.PredictedVsActual, certify.PredictedFactor, certify.PredictedFactor)
+		problems++
+	}
+	return row, problems
+}
+
+// runDoomedCase measures the enforcement payoff on the s1rmt3m1 analog:
+// a steady-state (cached) certificate rejection against the divergent
+// solve an unguarded submission would burn, run warn-style to the
+// iteration cap.
+func runDoomedCase(quick bool, out io.Writer) (CertifyScenario, int) {
+	n, iterCap := 1000, 600
+	if quick {
+		n, iterCap = 200, 300
+	}
+	a := mats.S1RMT3M1(n)
+	row := CertifyScenario{Name: "certify/doomed-s1rmt3m1", Matrix: "s1rmt3m1", N: a.Rows}
+	problems := 0
+
+	cache := service.NewPlanCache(service.CacheConfig{})
+	fp := service.Fingerprint(a)
+	start := time.Now()
+	cert, _, err := cache.GetOrCertify(a, fp, certify.Options{})
+	row.CertifySeconds = time.Since(start).Seconds()
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: certify error: %v\n", row.Name, err)
+		return row, 1
+	}
+	row.Class, row.Verdict = cert.Class.String(), cert.Verdict.String()
+	if cert.Verdict != certify.VerdictDiverges {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: verdict %s, want diverges\n", row.Name, cert.Verdict)
+		problems++
+	}
+	if row.CertifySeconds > certifyLatencyBudget {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: cold certification took %.2fs (budget %.2fs)\n",
+			row.Name, row.CertifySeconds, certifyLatencyBudget)
+		problems++
+	}
+
+	// Steady state: every further enforce admission of this fingerprint is
+	// a cache hit answering the rejection. Min over repetitions.
+	for i := 0; i < 10; i++ {
+		start = time.Now()
+		if _, hit, err := cache.GetOrCertify(a, fp, certify.Options{}); err != nil || !hit {
+			fmt.Fprintf(out, "benchgate: REGRESSION %s: warm lookup hit=%v err=%v\n", row.Name, hit, err)
+			return row, problems + 1
+		}
+		if d := time.Since(start).Seconds(); i == 0 || d < row.RejectSeconds {
+			row.RejectSeconds = d
+		}
+	}
+
+	// What enforcement avoids: the divergent solve burning its iteration
+	// cap (warn mode — the cap is low enough that the residual stays
+	// finite, so no early non-finite bailout shortens the burn).
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	start = time.Now()
+	res, err := core.Solve(a, b, core.Options{
+		BlockSize: 32, LocalIters: 1, MaxGlobalIters: iterCap, Tolerance: 1e-8, Seed: 1,
+	})
+	row.SolveSeconds = time.Since(start).Seconds()
+	if err != nil || res.Converged {
+		// err stays nil for a cap-bounded non-convergent run; Converged (or
+		// any error, e.g. an early non-finite bailout that would shorten
+		// the burn) breaks the row's premise.
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: doomed solve converged=%v err=%v, want a full-cap burn\n",
+			row.Name, res.Converged, err)
+		problems++
+	}
+	if row.RejectSeconds > 0 {
+		row.RejectSpeedup = row.SolveSeconds / row.RejectSeconds
+	}
+	fmt.Fprintf(out, "benchgate: %s  %-9s %6.2fms cold  reject %.1fµs  doomed solve %.2fms  speedup ×%.0f\n",
+		row.Name, row.Verdict, 1e3*row.CertifySeconds, 1e6*row.RejectSeconds,
+		1e3*row.SolveSeconds, row.RejectSpeedup)
+	if row.RejectSpeedup < rejectSpeedupFloor {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: rejection only ×%.1f faster than the doomed solve (floor ×%.0f)\n",
+			row.Name, row.RejectSpeedup, rejectSpeedupFloor)
+		problems++
+	}
+	return row, problems
+}
+
+// compareCertify gates the certify rows against the baseline: every
+// baseline row must still run, and cold-certification latency gates with
+// the wall-time allowance (the in-band ratio check runs live every time,
+// so Compare only needs coverage and latency).
+func compareCertify(base, current Report, lim Limits) []Problem {
+	if len(base.Certify) == 0 {
+		return nil
+	}
+	now := make(map[string]CertifyScenario, len(current.Certify))
+	for _, r := range current.Certify {
+		now[r.Name] = r
+	}
+	var out []Problem
+	sameMode := base.Quick == current.Quick
+	for _, b := range base.Certify {
+		c, ok := now[b.Name]
+		if !ok {
+			if sameMode {
+				out = append(out, Problem{Case: b.Name, Metric: "coverage (certify row missing from current run)"})
+			}
+			continue
+		}
+		if b.CertifySeconds > 0 && c.CertifySeconds > b.CertifySeconds*(1+lim.MaxTimeRegress) {
+			out = append(out, Problem{Case: b.Name, Metric: "certify_seconds",
+				Base: b.CertifySeconds, Now: c.CertifySeconds, Limit: lim.MaxTimeRegress})
+		}
+	}
+	return out
+}

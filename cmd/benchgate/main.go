@@ -8,7 +8,11 @@
 // consistent-hash gateway over 1 and 3 solver nodes under calibrated
 // open-loop load, plus a kill/revive rebalance — gating that 3 nodes
 // out-complete 1, that cache affinity survives fleet scale, and that node
-// churn sheds rather than errors (see fleet.go).
+// churn sheds rather than errors (see fleet.go) — and the admission-
+// certifier rows: certification latency, the predicted-vs-actual iteration
+// ratios of the paper matrices (inside the PredictedFactor band of
+// docs/CERTIFY.md), and the doomed-matrix row where a cached certificate
+// rejection must beat the divergent solve by ≥100× (see certify.go).
 //
 // The paper's claims are performance claims — convergence per second, not
 // just per iteration — so the repo's trajectory needs a measured baseline
@@ -96,6 +100,8 @@ func run(args []string, out io.Writer) int {
 	figProblems := figure11(report.Cases, out)
 	fleetRows, fleetProblems := runFleetSuite(*quick, out)
 	report.Fleet = fleetRows
+	certifyRows, certifyProblems := runCertifySuite(*quick, out)
+	report.Certify = certifyRows
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -108,13 +114,13 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
-		if figProblems+fleetProblems > 0 {
+		if figProblems+fleetProblems+certifyProblems > 0 {
 			return 1
 		}
 		return 0
 	}
 	code := verdict(*base, basePath, report, limits, out)
-	if figProblems+fleetProblems > 0 && code == 0 {
+	if figProblems+fleetProblems+certifyProblems > 0 && code == 0 {
 		code = 1
 	}
 	return code

@@ -25,6 +25,11 @@ type Report struct {
 	// Fleet holds the in-process fleet load-test scenarios (additive
 	// field; older baselines simply lack it and gate nothing there).
 	Fleet []FleetScenario `json:"fleet,omitempty"`
+	// Certify holds the admission-certifier rows: latency, the
+	// predicted-vs-actual iteration ratios of the paper matrices, and the
+	// doomed-matrix rejection speedup (additive field; older baselines
+	// simply lack it and gate nothing there).
+	Certify []CertifyScenario `json:"certify,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -218,5 +223,6 @@ func Compare(base, current Report, lim Limits) []Problem {
 		}
 	}
 	out = append(out, compareFleet(base, current, lim)...)
+	out = append(out, compareCertify(base, current, lim)...)
 	return out
 }

@@ -5,21 +5,27 @@
 // distribution over a generated corpus, so a few hot matrices dominate
 // and exercise the fleet's cache affinity while a long tail churns it.
 //
-// The request mix is controlled by -blend solve:tune:devices weights.
-// Each accepted job is polled to a terminal state; the run reports
-// accepted/shed/error counts, p50/p99/p999 submit and end-to-end
-// latencies, completed-jobs-per-second throughput, per-node routing
-// counts and cache-affinity violations, as JSON on stdout (or -out).
+// The request mix is controlled by -blend solve:tune:devices[:doomed]
+// weights. "Doomed" submissions post certified-divergent matrices with
+// "certify": "enforce" — the fleet must answer each with a fast 422
+// carrying the certificate. Each accepted job is polled to a terminal
+// state; the run reports accepted/shed/error counts, p50/p99/p999 submit
+// and end-to-end latencies, 422 rejection latencies, completed-jobs-per-
+// second throughput, per-node routing counts and cache-affinity
+// violations, as JSON on stdout (or -out).
 //
 // With -strict the exit code is nonzero if any request failed with a
-// status other than 202/429 or any accepted job failed — the CI smoke
-// gate's contract: under overload and node churn the fleet may shed, but
-// it must not error.
+// status other than 202/429 (or 422 for doomed submissions), any accepted
+// job failed, any doomed submission was silently admitted, or doomed
+// rejections were slower than 2s at p99 — the CI smoke gate's contract:
+// under overload and node churn the fleet may shed, but it must not error,
+// and certified-divergent work must be refused in milliseconds, never
+// burned.
 //
 // Usage:
 //
 //	loadgen -target http://127.0.0.1:9090 -rate 200 -duration 10s \
-//	        -corpus 64 -zipf 1.1 -blend 8:1:1 -strict
+//	        -corpus 64 -zipf 1.1 -blend 8:1:1:2 -strict
 package main
 
 import (
@@ -40,10 +46,10 @@ import (
 
 func parseBlend(s string) (fleet.Blend, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return fleet.Blend{}, fmt.Errorf("want solve:tune:devices, have %q", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return fleet.Blend{}, fmt.Errorf("want solve:tune:devices[:doomed], have %q", s)
 	}
-	vals := make([]float64, 3)
+	vals := make([]float64, 4)
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || v < 0 {
@@ -51,7 +57,7 @@ func parseBlend(s string) (fleet.Blend, error) {
 		}
 		vals[i] = v
 	}
-	return fleet.Blend{Solve: vals[0], Tune: vals[1], Devices: vals[2]}, nil
+	return fleet.Blend{Solve: vals[0], Tune: vals[1], Devices: vals[2], Doomed: vals[3]}, nil
 }
 
 func main() {
@@ -63,7 +69,7 @@ func main() {
 		minN       = flag.Int("min-n", 64, "smallest corpus matrix dimension")
 		maxN       = flag.Int("max-n", 256, "largest corpus matrix dimension")
 		zipfS      = flag.Float64("zipf", 1.1, "Zipf popularity exponent over the corpus")
-		blendStr   = flag.String("blend", "1:0:0", "request mix as solve:tune:devices weights")
+		blendStr   = flag.String("blend", "1:0:0", "request mix as solve:tune:devices[:doomed] weights")
 		seed       = flag.Int64("seed", 1, "arrival-sequence seed")
 		blockSize  = flag.Int("block-size", 64, "solver block size per submission")
 		localIters = flag.Int("local-iters", 4, "local sweeps per submission")
@@ -127,11 +133,24 @@ func main() {
 
 	log.Printf("loadgen: offered %d, accepted %d, shed %d (%.1f%%), errors %d, completed %d (%.1f jobs/s), e2e p50 %.3fs p99 %.3fs",
 		rep.Offered, rep.Accepted, rep.Shed, 100*rep.ShedRate, rep.Errors, rep.Completed, rep.Throughput, rep.E2EP50, rep.E2EP99)
-	if *strict && (rep.Errors > 0 || rep.FailedJobs > 0) {
-		log.Printf("loadgen: strict mode: %d errors, %d failed jobs", rep.Errors, rep.FailedJobs)
-		for _, s := range rep.ErrorSamples {
-			log.Printf("loadgen:   %s", s)
+	if rep.ByKind["doomed"] > 0 {
+		log.Printf("loadgen: doomed: %d offered, %d rejected (422), %d admitted, reject p50 %.1fms p99 %.1fms",
+			rep.ByKind["doomed"], rep.CertRejected, rep.DoomedAdmitted, 1e3*rep.RejectP50, 1e3*rep.RejectP99)
+	}
+	if *strict {
+		// A doomed submission may be shed (429) under overload, but a node
+		// that admits one burns a provably divergent iteration budget, and a
+		// slow 422 means admission stopped answering from the certificate
+		// cache.
+		const rejectBudget = 2.0
+		slowReject := rep.CertRejected > 0 && rep.RejectP99 > rejectBudget
+		if rep.Errors > 0 || rep.FailedJobs > 0 || rep.DoomedAdmitted > 0 || slowReject {
+			log.Printf("loadgen: strict mode: %d errors, %d failed jobs, %d doomed admitted, reject p99 %.3fs (budget %.1fs)",
+				rep.Errors, rep.FailedJobs, rep.DoomedAdmitted, rep.RejectP99, rejectBudget)
+			for _, s := range rep.ErrorSamples {
+				log.Printf("loadgen:   %s", s)
+			}
+			os.Exit(1)
 		}
-		os.Exit(1)
 	}
 }

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	matinfo [-short] [-spy] [-lanczos n] [-matrix name]
+//	matinfo [-short] [-spy] [-certify] [-lanczos n] [-matrix name]
 //
 // With -matrix, only that system is reported; -spy adds an ASCII sparsity
-// plot; -short skips Trefethen_20000.
+// plot; -certify prints each system's admission certificate (convergence
+// class, ρ(|B|) evidence, verdict, predicted iterations — see
+// docs/CERTIFY.md); -short skips Trefethen_20000.
 package main
 
 import (
@@ -15,25 +17,28 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/certify"
 	"repro/internal/experiments"
+	"repro/internal/mats"
 	"repro/internal/sparse"
 )
 
 func main() {
 	short := flag.Bool("short", false, "skip Trefethen_20000")
 	spy := flag.Bool("spy", false, "print ASCII sparsity plots (Figure 1)")
+	cert := flag.Bool("certify", false, "print admission certificates (class, rho bounds, verdict, predicted iterations)")
 	lanczos := flag.Int("lanczos", 200, "Lanczos steps for eigenvalue estimation")
 	matrix := flag.String("matrix", "", "report a single matrix instead of the full table")
 	seed := flag.Int64("seed", 1, "seed for randomized estimators")
 	flag.Parse()
 
-	if err := run(*short, *spy, *lanczos, *matrix, *seed); err != nil {
+	if err := run(*short, *spy, *cert, *lanczos, *matrix, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "matinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(short, spy bool, lanczos int, matrix string, seed int64) error {
+func run(short, spy, cert bool, lanczos int, matrix string, seed int64) error {
 	if matrix != "" {
 		p, err := experiments.Table1Properties(matrix, lanczos, seed)
 		if err != nil {
@@ -41,6 +46,11 @@ func run(short, spy bool, lanczos int, matrix string, seed int64) error {
 		}
 		fmt.Printf("%s (%s)\n  n=%d nnz=%d\n  cond(A)=%.3e cond(D^-1 A)=%.4g\n  rho(M)=%.4f rho(|M|)=%.4f\n",
 			p.Name, p.Description, p.N, p.NNZ, p.CondA, p.CondDA, p.RhoM, p.RhoAbsM)
+		if cert {
+			if err := certifyOne(matrix, seed); err != nil {
+				return err
+			}
+		}
 		if spy {
 			return spyOne(matrix)
 		}
@@ -54,6 +64,17 @@ func run(short, spy bool, lanczos int, matrix string, seed int64) error {
 	if err := tab.Render(os.Stdout); err != nil {
 		return err
 	}
+	if cert {
+		fmt.Printf("\nAdmission certificates (certify.Certify, seed %d):\n", seed)
+		for _, name := range mats.Names {
+			if short && name == "Trefethen_20000" {
+				continue
+			}
+			if err := certifyOne(name, seed); err != nil {
+				return err
+			}
+		}
+	}
 	if spy {
 		names := []string{"Chem97ZtZ", "fv1", "s1rmt3m1", "Trefethen_2000"}
 		for _, n := range names {
@@ -63,6 +84,20 @@ func run(short, spy bool, lanczos int, matrix string, seed int64) error {
 			}
 		}
 	}
+	return nil
+}
+
+// certifyOne prints one system's admission certificate.
+func certifyOne(name string, seed int64) error {
+	tm, err := experiments.Matrix(name)
+	if err != nil {
+		return err
+	}
+	c, err := certify.Certify(tm.A, certify.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-16s %s\n", name, c)
 	return nil
 }
 

@@ -3,19 +3,25 @@ package main
 import "testing"
 
 func TestRunSingleMatrix(t *testing.T) {
-	if err := run(true, false, 40, "Trefethen_2000", 1); err != nil {
+	if err := run(true, false, false, 40, "Trefethen_2000", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithSpy(t *testing.T) {
-	if err := run(true, true, 30, "Chem97ZtZ", 1); err != nil {
+	if err := run(true, true, false, 30, "Chem97ZtZ", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCertificate(t *testing.T) {
+	if err := run(true, false, true, 30, "fv1", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownMatrix(t *testing.T) {
-	if err := run(true, false, 30, "nope", 1); err == nil {
+	if err := run(true, false, false, 30, "nope", 1); err == nil {
 		t.Error("expected error for unknown matrix")
 	}
 }
@@ -24,7 +30,7 @@ func TestRunFullTableShort(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generates all short-mode matrices")
 	}
-	if err := run(true, false, 30, "", 1); err != nil {
+	if err := run(true, false, false, 30, "", 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,253 @@
+package certify
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// tridiag builds the n-point [−1 2 −1] Laplacian: weakly dominant in the
+// interior, strictly dominant at the two boundary rows, irreducible.
+func tridiag(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i+1 < n {
+			c.AddSym(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestCertifyStrictDominant(t *testing.T) {
+	c := sparse.NewCOO(8, 8)
+	for i := 0; i < 8; i++ {
+		c.Add(i, i, 5)
+		if i+1 < 8 {
+			c.AddSym(i, i+1, -1)
+		}
+	}
+	cert, err := Certify(c.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Class != ClassStrictDiagDominant {
+		t.Fatalf("class = %v, want strict diagonal dominance (cert: %v)", cert.Class, cert)
+	}
+	if cert.Verdict != VerdictConverges {
+		t.Fatalf("verdict = %v, want converges", cert.Verdict)
+	}
+	if cert.PredictedIters <= 0 || cert.PredictedIters > 200 {
+		t.Errorf("predicted iters %d implausible for dominance %g", cert.PredictedIters, cert.Dominance)
+	}
+	if cert.RhoUpper <= 0 || cert.RhoUpper >= 1 {
+		t.Errorf("rho upper bound %g, want in (0,1)", cert.RhoUpper)
+	}
+}
+
+func TestCertifyIrreducibleDominant(t *testing.T) {
+	cert, err := Certify(tridiag(40), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Class != ClassIrreducibleDiagDominant {
+		t.Fatalf("class = %v, want irreducible diagonal dominance (cert: %v)", cert.Class, cert)
+	}
+	if cert.Verdict != VerdictConverges {
+		t.Fatalf("verdict = %v, want converges", cert.Verdict)
+	}
+	if cert.PredictedIters <= 0 {
+		t.Errorf("predicted iters %d, want positive", cert.PredictedIters)
+	}
+}
+
+func TestCertifyReducibleWeakDominanceIsNotIrreducibleClass(t *testing.T) {
+	// Two disconnected tridiagonal components: weak dominance with strict
+	// rows, but the graph is not strongly connected, so the irreducible
+	// class must not be claimed (ρ(|B|) < 1 still holds and may certify
+	// convergence on the spectral path — the class is what is asserted).
+	c := sparse.NewCOO(8, 8)
+	for b := 0; b < 2; b++ {
+		off := 4 * b
+		for i := 0; i < 4; i++ {
+			c.Add(off+i, off+i, 2)
+			if i+1 < 4 {
+				c.AddSym(off+i, off+i+1, -1)
+			}
+		}
+	}
+	cert, err := Certify(c.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Class == ClassIrreducibleDiagDominant || cert.Class == ClassStrictDiagDominant {
+		t.Fatalf("class = %v for a reducible weakly dominant matrix", cert.Class)
+	}
+	if cert.Verdict == VerdictDiverges {
+		t.Fatalf("verdict = diverges for a convergent block-diagonal Laplacian (cert: %v)", cert)
+	}
+}
+
+func TestCertifyMMatrixWithoutDominance(t *testing.T) {
+	// Z-pattern, row 0 violates weak dominance (1 < 0.5+0.7), yet
+	// ρ(|B|) < 1: a nonsingular M-matrix only the spectral test can admit.
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, -0.5)
+	c.Add(0, 2, -0.7)
+	c.Add(1, 0, -0.3)
+	c.Add(1, 1, 1)
+	c.Add(1, 2, -0.2)
+	c.Add(2, 0, -0.1)
+	c.Add(2, 1, -0.1)
+	c.Add(2, 2, 1)
+	cert, err := Certify(c.ToCSR(), Options{BoundSweeps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Class != ClassMMatrix {
+		t.Fatalf("class = %v, want m-matrix (cert: %v)", cert.Class, cert)
+	}
+	if cert.Verdict != VerdictConverges {
+		t.Fatalf("verdict = %v, want converges", cert.Verdict)
+	}
+}
+
+func TestCertifyS1RMT3M1Diverges(t *testing.T) {
+	cert, err := Certify(mats.S1RMT3M1(200), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict != VerdictDiverges {
+		t.Fatalf("verdict = %v, want diverges (cert: %v)", cert.Verdict, cert)
+	}
+	if cert.RhoJacobi <= 1 {
+		t.Errorf("rho(B) evidence %g, want > 1", cert.RhoJacobi)
+	}
+	if cert.PredictedIters != 0 {
+		t.Errorf("predicted iters %d on a diverges verdict, want 0", cert.PredictedIters)
+	}
+}
+
+func TestCertifyZeroDiagonal(t *testing.T) {
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 2)
+	c.Add(1, 2, 1) // row 1 has no diagonal entry
+	c.Add(2, 2, 2)
+	cert, err := Certify(c.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Class != ClassZeroDiagonal || cert.Verdict != VerdictDiverges {
+		t.Fatalf("got class=%v verdict=%v, want zero-diagonal/diverges", cert.Class, cert.Verdict)
+	}
+}
+
+func TestCertifyNonFiniteEntries(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, math.NaN())
+	c.Add(1, 1, 1)
+	cert, err := Certify(c.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict == VerdictConverges {
+		t.Fatalf("NaN entry certified converges: %v", cert)
+	}
+	if cert.Class != ClassUnknown {
+		t.Errorf("class = %v, want unknown", cert.Class)
+	}
+}
+
+func TestCertifyDegenerateShapes(t *testing.T) {
+	one := sparse.NewCOO(1, 1)
+	one.Add(0, 0, 5)
+	cert, err := Certify(one.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict != VerdictConverges {
+		t.Fatalf("1x1 nonzero system: verdict %v, want converges", cert.Verdict)
+	}
+
+	empty := &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	cert, err = Certify(empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict != VerdictConverges {
+		t.Fatalf("empty system: verdict %v, want converges", cert.Verdict)
+	}
+
+	rect := sparse.NewCOO(2, 3)
+	if _, err := Certify(rect.ToCSR(), Options{}); err == nil {
+		t.Fatal("non-square matrix did not error")
+	}
+	if _, err := Certify(nil, Options{}); err == nil {
+		t.Fatal("nil matrix did not error")
+	}
+}
+
+func TestCertifyDeterministic(t *testing.T) {
+	a := mats.S1RMT3M1(120)
+	c1, err := Certify(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Certify(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("certification not deterministic:\n%+v\n%+v", c1, c2)
+	}
+}
+
+func TestCertificateJSONRoundTrip(t *testing.T) {
+	cert, err := Certify(tridiag(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Certificate
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Class != cert.Class || back.Verdict != cert.Verdict || back.PredictedIters != cert.PredictedIters {
+		t.Fatalf("round trip changed certificate:\n%+v\n%+v", cert, back)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"": ModeOff, "off": ModeOff, "warn": ModeWarn, "enforce": ModeEnforce,
+		"ENFORCE": ModeEnforce, " warn ": ModeWarn,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("always"); err == nil {
+		t.Error("ParseMode(always) did not error")
+	}
+}
+
+func TestPredictIters(t *testing.T) {
+	if got := predictIters(0.5, 6); got != 20 {
+		t.Errorf("predictIters(0.5, 6) = %d, want 20", got)
+	}
+	if got := predictIters(0, 6); got != 1 {
+		t.Errorf("predictIters(0, 6) = %d, want 1", got)
+	}
+	if got := predictIters(1, 6); got != maxPredicted {
+		t.Errorf("predictIters(1, 6) = %d, want cap", got)
+	}
+}

@@ -1,0 +1,44 @@
+// Package certify is the admission-time convergence certifier: it decides,
+// in bounded work, whether a block-asynchronous relaxation of Ax = b is
+// provably convergent, provably divergent, or undecided — before a single
+// solve iteration runs.
+//
+// The paper's s1rmt3m1 experiment is the cautionary tale: asynchronous
+// relaxation diverges outright on systems that synchronous Krylov methods
+// still handle, and at fleet scale a worker burning its iteration cap on a
+// doomed job is pure waste. The theory that prevents it is classical:
+//
+//   - Strict diagonal dominance gives ‖B‖∞ = max_i Σ_{j≠i}|a_ij|/|a_ii| < 1
+//     for the Jacobi iteration matrix B = I − D⁻¹A, hence convergence of
+//     every admissible asynchronous schedule (Chazan–Miranker; Vigna's
+//     step-asynchronous SOR bounds are the same mechanism with rates).
+//   - Irreducible diagonal dominance (weak dominance everywhere, strict in
+//     at least one row, strongly connected sparsity graph) forces
+//     ρ(|B|) < 1 by Perron–Frobenius.
+//   - For Z-matrices (positive diagonal, nonpositive off-diagonals) B is
+//     elementwise nonnegative, so ρ(B) = ρ(|B|) and A is a nonsingular
+//     M-matrix iff ρ(B) < 1 — the class Vigna's guarantees are stated for.
+//   - In general, Strikwerda's condition ρ(|B|) < 1 is sufficient for
+//     asynchronous convergence, and ρ(B) > 1 is sufficient for divergence
+//     of the underlying stationary iteration. Both are estimated with the
+//     bounded-work power iteration and the rigorous Collatz–Wielandt
+//     bounds from internal/spectral (deterministically seeded, capped, so
+//     admission latency is bounded even for defective spectra).
+//
+// Certify classifies A into the first matching Class, derives a Verdict
+// (Converges / Diverges / Unknown — Unknown never blocks admission, it
+// only disables the guarantee), and prices a Converges verdict with
+// PredictedIters: the iteration count for TargetDigits orders of residual
+// reduction from the contraction rate ρ, ceil(d·ln10 / −ln ρ). The
+// prediction is an order-of-magnitude budget, not a promise; the
+// documented contract (docs/CERTIFY.md, enforced by the property tests) is
+// that observed global iterations stay within PredictedFactor× of it on
+// the certified classes.
+//
+// internal/service caches certificates by matrix fingerprint next to the
+// plan and tuning caches and exposes the "certify" request field
+// ("off" | "warn" | "enforce"); enforce answers provably-doomed
+// submissions with a structured 422 carrying the certificate (or reroutes
+// them to the GMRES fallback) in certificate time — milliseconds — instead
+// of iteration-cap time.
+package certify

@@ -1,0 +1,66 @@
+package certify
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// FuzzCertify drives the classifier over arbitrary small CSR matrices —
+// degenerate rows, zero and missing diagonals, non-finite values, 1×1 and
+// entry-free systems — and asserts the admission contract: Certify never
+// panics, always returns a verdict in bounded work, and never certifies
+// Converges for a system with a zero (or missing) diagonal entry, where
+// the Jacobi splitting does not exist.
+func FuzzCertify(f *testing.F) {
+	f.Add(uint8(1), []byte{})                                      // 1×1 with no entries
+	f.Add(uint8(3), []byte{0, 0, 0, 0, 0, 0, 0, 0})                // zero-valued entries
+	f.Add(uint8(4), []byte{1, 1, 10, 0, 2, 2, 20, 0, 3, 3, 30, 0}) // partial diagonal
+	f.Add(uint8(2), []byte{0, 0, 255, 255, 1, 1, 1, 0, 0, 1, 7, 3})
+	f.Add(uint8(5), []byte{0, 0, 1, 100, 1, 1, 1, 100, 2, 2, 1, 100, 3, 3, 1, 100, 4, 4, 1, 100, 0, 4, 3, 7})
+
+	f.Fuzz(func(t *testing.T, dim uint8, data []byte) {
+		n := int(dim%16) + 1 // 1..16 rows
+		c := sparse.NewCOO(n, n)
+		// Each 4-byte chunk encodes one entry: row, col, and a value whose
+		// byte patterns also produce zeros, negatives, huge magnitudes and
+		// non-finite floats.
+		for len(data) >= 4 {
+			i, j := int(data[0])%n, int(data[1])%n
+			raw := uint16(binary.LittleEndian.Uint16(data[2:4]))
+			v := float64(int16(raw)) / 16
+			switch raw {
+			case 0xFFFF:
+				v = math.Inf(1)
+			case 0xFFFE:
+				v = math.NaN()
+			case 0xFFFD:
+				v = math.MaxFloat64
+			}
+			c.Add(i, j, v)
+			data = data[4:]
+		}
+		a := c.ToCSR()
+
+		// Tight work bounds: certification of any input must stay cheap.
+		cert, err := Certify(a, Options{MaxPowerIters: 64, BoundSweeps: 4})
+		if err != nil {
+			t.Fatalf("square %dx%d input errored: %v", n, n, err)
+		}
+		if cert.Verdict == VerdictConverges {
+			for i, d := range a.Diagonal() {
+				if d == 0 {
+					t.Fatalf("Converges verdict with zero diagonal at row %d (cert: %v)", i, cert)
+				}
+			}
+		}
+		// Verdicts must be deterministic: admission decisions are cached
+		// and compared across fleet nodes.
+		cert2, err := Certify(a, Options{MaxPowerIters: 64, BoundSweeps: 4})
+		if err != nil || cert2 != cert {
+			t.Fatalf("re-certification changed: %v vs %v (err %v)", cert, cert2, err)
+		}
+	})
+}

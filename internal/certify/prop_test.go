@@ -1,0 +1,280 @@
+// Property tests for the certifier contract (external test package: it
+// drives repro/internal/core, which in turn imports certify — the reverse
+// import would cycle).
+//
+// The contract under test is the one docs/CERTIFY.md documents:
+//
+//  1. Soundness of Converges: every matrix the certifier admits with
+//     VerdictConverges actually converges under asynchronous relaxation —
+//     not on one lucky schedule but on many, and each recorded schedule
+//     replays to the identical converged state.
+//  2. The price is honest: observed global iterations to TargetDigits
+//     orders of residual reduction stay within PredictedFactor ×
+//     PredictedIters.
+//  3. Soundness of Diverges: matrices built to violate the Strikwerda
+//     condition with a Z sign pattern are certified Diverges, never
+//     Converges.
+package certify_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// genClass is one generator family with a known ground truth.
+type genClass struct {
+	name string
+	// build returns a matrix of the class for this rng draw.
+	build func(rng *rand.Rand) *sparse.CSR
+	// wantConverges: the construction guarantees ρ(|B|) < 1, so the
+	// certifier must admit it; otherwise the construction guarantees
+	// ρ(B) = ρ(|B|) > 1 and the certifier must never admit it.
+	wantConverges bool
+}
+
+// randSym builds a random symmetric matrix on a connected ring-plus-chords
+// graph. Off-diagonal magnitudes are in (0.1, 1.1); mm forces the M-matrix
+// sign pattern, otherwise signs are random. The diagonal is set per-row to
+// rowSum·scale(i), so dominance is controlled exactly.
+func randSym(rng *rand.Rand, n int, mm bool, scale func(i int, rowSum float64) float64) *sparse.CSR {
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	var edges []edge
+	rowSum := make([]float64, n)
+	add := func(i, j int, w float64) {
+		edges = append(edges, edge{i, j, w})
+		rowSum[i] += math.Abs(w)
+		rowSum[j] += math.Abs(w)
+	}
+	for i := 0; i < n-1; i++ {
+		add(i, i+1, 0.1+rng.Float64())
+	}
+	for k := 0; k < n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		add(i, j, 0.1+rng.Float64())
+	}
+	c := sparse.NewCOO(n, n)
+	for _, e := range edges {
+		w := -e.w
+		if !mm && rng.Intn(2) == 0 {
+			w = e.w
+		}
+		c.Add(e.i, e.j, w)
+		c.Add(e.j, e.i, w)
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, scale(i, rowSum[i]))
+	}
+	return c.ToCSR()
+}
+
+// weakIrreducible builds a random-weight tridiagonal system: interior rows
+// exactly weakly dominant, boundary rows strictly dominant, path graph —
+// the irreducible-dominance class with ρ(|B|) just below 1.
+func weakIrreducible(rng *rand.Rand, n int) *sparse.CSR {
+	w := make([]float64, n-1)
+	for i := range w {
+		w[i] = 0.2 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			w[i] = -w[i]
+		}
+	}
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		if i > 0 {
+			c.Add(i, i-1, w[i-1])
+			sum += math.Abs(w[i-1])
+		}
+		if i < n-1 {
+			c.Add(i, i+1, w[i])
+			sum += math.Abs(w[i])
+		}
+		if i == 0 || i == n-1 {
+			sum *= 1.1 // strict at the boundary
+		}
+		c.Add(i, i, sum)
+	}
+	return c.ToCSR()
+}
+
+// mMatrixNonDominant builds a genuine nonsingular M-matrix with rows that
+// violate weak diagonal dominance: A = D − N with N ≥ 0 and D chosen so
+// that Ax > 0 for a strongly varying positive x. Rows where x_i is small
+// get dominance < 1, yet ρ(D⁻¹N) ≤ 1/(1+δ) < 1 by Collatz–Wielandt.
+func mMatrixNonDominant(rng *rand.Rand, n int) *sparse.CSR {
+	const delta = 0.25
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Exp(2 * (rng.Float64() - 0.5)) // spread ~e² keeps dominance mixed
+	}
+	nx := make([]float64, n) // (Nx)_i accumulated as entries are drawn
+	c := sparse.NewCOO(n, n)
+	add := func(i, j int, w float64) {
+		c.Add(i, j, -w)
+		nx[i] += w * x[j]
+	}
+	for i := 0; i < n-1; i++ {
+		w := 0.1 + rng.Float64()
+		add(i, i+1, w)
+		add(i+1, i, w)
+	}
+	for k := 0; k < n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			add(i, j, 0.1+rng.Float64())
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, (1+delta)*nx[i]/x[i])
+	}
+	return c.ToCSR()
+}
+
+func onesRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// TestPropertyCertifierContract generates matrices per class and holds
+// every Converges verdict to the replay + iteration-budget contract, and
+// every doomed construction to "never Converges".
+func TestPropertyCertifierContract(t *testing.T) {
+	classes := []genClass{
+		{
+			name: "strict-mixed-sign",
+			build: func(rng *rand.Rand) *sparse.CSR {
+				f := 1.2 + 1.3*rng.Float64()
+				return randSym(rng, 8+rng.Intn(25), false, func(_ int, s float64) float64 { return f * s })
+			},
+			wantConverges: true,
+		},
+		{
+			name: "mmatrix-nondominant",
+			build: func(rng *rand.Rand) *sparse.CSR {
+				return mMatrixNonDominant(rng, 8+rng.Intn(25))
+			},
+			wantConverges: true,
+		},
+		{
+			name: "weak-irreducible",
+			build: func(rng *rand.Rand) *sparse.CSR {
+				return weakIrreducible(rng, 8+rng.Intn(9))
+			},
+			wantConverges: true,
+		},
+		{
+			name: "doomed-z-pattern",
+			build: func(rng *rand.Rand) *sparse.CSR {
+				// Z sign pattern with every |B| row sum = 1.5: ρ(B) = 1.5.
+				return randSym(rng, 8+rng.Intn(25), true, func(_ int, s float64) float64 { return s / 1.5 })
+			},
+			wantConverges: false,
+		},
+	}
+
+	matrices, schedules := 200, 20
+	if testing.Short() {
+		matrices, schedules = 25, 4
+	}
+	for _, cl := range classes {
+		t.Run(cl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(cl.name)) * 9176))
+			admitted := 0
+			for m := 0; m < matrices; m++ {
+				a := cl.build(rng)
+				cert, err := certify.Certify(a, certify.Options{})
+				if err != nil {
+					t.Fatalf("matrix %d: %v", m, err)
+				}
+				if !cl.wantConverges {
+					if cert.Verdict != certify.VerdictDiverges {
+						t.Fatalf("matrix %d: doomed construction certified %v (cert: %v)", m, cert.Verdict, cert)
+					}
+					continue
+				}
+				if cert.Verdict != certify.VerdictConverges {
+					t.Fatalf("matrix %d: %s construction certified %v, want converges (cert: %v)",
+						m, cl.name, cert.Verdict, cert)
+				}
+				admitted++
+				if cert.PredictedIters <= 0 {
+					t.Fatalf("matrix %d: Converges with PredictedIters = %d", m, cert.PredictedIters)
+				}
+				verifyAdmitted(t, a, cert, rng, schedules)
+			}
+			if cl.wantConverges && admitted == 0 {
+				t.Fatal("generator produced no admitted matrices — test is vacuous")
+			}
+		})
+	}
+}
+
+// verifyAdmitted replays `schedules` recorded async runs of a certified
+// matrix and asserts convergence inside the priced budget every time.
+func verifyAdmitted(t *testing.T, a *sparse.CSR, cert certify.Certificate, rng *rand.Rand, schedules int) {
+	t.Helper()
+	b := onesRHS(a.Rows)
+	// TargetDigits orders of reduction from the zero initial guess.
+	tol := math.Pow(10, -cert.TargetDigits) * norm2(b)
+	budget := cert.PredictedIters
+	if budget > (1<<30)/certify.PredictedFactor {
+		budget = (1 << 30) / certify.PredictedFactor
+	}
+	budget *= certify.PredictedFactor
+	for s := 0; s < schedules; s++ {
+		seed := rng.Int63()
+		rec := sched.NewRecorder(0)
+		opt := core.Options{
+			BlockSize: 8, LocalIters: 2, MaxGlobalIters: budget,
+			Tolerance: tol, Seed: seed, StaleProb: 0.2, Record: rec,
+		}
+		res, err := core.Solve(a, b, opt)
+		if err != nil {
+			t.Fatalf("seed %d: certified-converges solve errored: %v (cert: %v)", seed, err, cert)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: certified Converges but no convergence in %d = %d×PredictedIters iters (residual %g, cert: %v)",
+				seed, budget, certify.PredictedFactor, res.Residual, cert)
+		}
+		cap := rec.Schedule()
+		rres, err := core.Solve(a, b, core.Options{
+			BlockSize: 8, LocalIters: 2, MaxGlobalIters: budget,
+			Tolerance: tol, Replay: cap,
+		})
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !rres.Converged || rres.GlobalIterations != res.GlobalIterations {
+			t.Fatalf("seed %d: replay diverged from recording (converged %v, iters %d vs %d)",
+				seed, rres.Converged, rres.GlobalIterations, res.GlobalIterations)
+		}
+		for i := range res.X {
+			if res.X[i] != rres.X[i] {
+				t.Fatalf("seed %d: replayed solution differs at component %d", seed, i)
+			}
+		}
+	}
+}
+
+func norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/certify"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 )
@@ -142,6 +143,17 @@ type Options struct {
 	// exposes it behind a debug flag.
 	Chaos *ChaosHooks
 
+	// Certify selects the admission-time convergence pre-flight
+	// (certify.ModeOff, the default, skips it). ModeWarn certifies the
+	// matrix before the first iteration and attaches the certificate to
+	// Result.Certificate; ModeEnforce additionally refuses a Diverges
+	// verdict with an error wrapping certify.ErrDivergent — the solve
+	// then never iterates (Result still carries the certificate).
+	Certify certify.Mode
+	// CertifyOptions tunes the certifier work bounds; the zero value uses
+	// the certifier defaults. Ignored when Certify is ModeOff.
+	CertifyOptions certify.Options
+
 	// Metrics, if non-nil, receives per-engine counters (global iterations,
 	// block sweeps, stale reads, chaos injections, replay events) and the
 	// per-iteration residual into its bounded ring. Setting Metrics makes
@@ -230,6 +242,9 @@ type Result struct {
 	History          []float64 // per-global-iteration residuals if requested
 	Trace            *Trace    // Chazan–Miranker statistics if requested
 	NumBlocks        int
+	// Certificate is the admission pre-flight output when Options.Certify
+	// is ModeWarn or ModeEnforce; nil when certification was off.
+	Certificate *certify.Certificate
 }
 
 // Sentinel errors. All error returns of this package that describe one of

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/mats"
+)
+
+// TestCertifyGateEnforceRejectsS1RMT3M1 is the divergence regression the
+// certifier exists for: on the paper's s1rmt3m1-analog (SPD-violating,
+// non-dominant, ρ(B) ≈ 2.66) ModeEnforce must refuse admission before a
+// single iteration, with the certificate attached; ModeWarn must let the
+// solve run and merely attach the same verdict.
+func TestCertifyGateEnforceRejectsS1RMT3M1(t *testing.T) {
+	a := mats.S1RMT3M1(160)
+	b := onesRHS(a)
+
+	res, err := Solve(a, b, Options{
+		BlockSize: 16, LocalIters: 1, MaxGlobalIters: 40,
+		Tolerance: 1e-8, Seed: 3, Certify: certify.ModeEnforce,
+	})
+	if !errors.Is(err, certify.ErrDivergent) {
+		t.Fatalf("enforce: err = %v, want wrapped certify.ErrDivergent", err)
+	}
+	if res.Certificate == nil || res.Certificate.Verdict != certify.VerdictDiverges {
+		t.Fatalf("enforce: rejection did not carry a diverges certificate: %+v", res.Certificate)
+	}
+	if res.GlobalIterations != 0 {
+		t.Fatalf("enforce: %d iterations ran on a refused admission", res.GlobalIterations)
+	}
+
+	res, err = Solve(a, b, Options{
+		BlockSize: 16, LocalIters: 1, MaxGlobalIters: 40,
+		Tolerance: 1e-8, Seed: 3, Certify: certify.ModeWarn,
+	})
+	if err != nil && !errors.Is(err, ErrDiverged) {
+		t.Fatalf("warn: err = %v, want nil or wrapped ErrDiverged", err)
+	}
+	if res.Converged {
+		t.Fatal("warn: s1rmt3m1-analog converged — matrix generator broken")
+	}
+	if res.Certificate == nil || res.Certificate.Verdict != certify.VerdictDiverges {
+		t.Fatalf("warn: certificate missing or wrong verdict: %+v", res.Certificate)
+	}
+}
+
+// TestCertifyGateEnforceAdmitsConvergent: enforce must be invisible on a
+// healthy system — the solve runs, converges, and echoes its certificate.
+func TestCertifyGateEnforceAdmitsConvergent(t *testing.T) {
+	a := mats.Poisson2D(12, 8)
+	b := onesRHS(a)
+	res, err := Solve(a, b, Options{
+		BlockSize: 16, LocalIters: 2, MaxGlobalIters: 50000,
+		Tolerance: 1e-8, Seed: 3, Certify: certify.ModeEnforce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("enforce blocked or broke a convergent solve (residual %g)", res.Residual)
+	}
+	if res.Certificate == nil || res.Certificate.Verdict != certify.VerdictConverges {
+		t.Fatalf("certificate missing or wrong verdict: %+v", res.Certificate)
+	}
+	if res.Certificate.PredictedIters <= 0 {
+		t.Fatalf("converges certificate without a predicted budget: %+v", res.Certificate)
+	}
+	off, err := Solve(a, b, Options{
+		BlockSize: 16, LocalIters: 2, MaxGlobalIters: 50000,
+		Tolerance: 1e-8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Certificate != nil {
+		t.Fatal("ModeOff solve attached a certificate")
+	}
+	if off.GlobalIterations != res.GlobalIterations {
+		t.Fatalf("certification changed the iteration path: %d vs %d iters",
+			res.GlobalIterations, off.GlobalIterations)
+	}
+}

@@ -3,9 +3,20 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/certify"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
 )
+
+// Certify runs the admission-time convergence certifier on A: it
+// classifies the matrix, derives a Converges/Diverges/Unknown verdict
+// with its spectral evidence, and prices a Converges verdict with the
+// predicted iterations-to-tolerance. Options zero value uses the
+// certifier defaults. See package repro/internal/certify for the theory
+// and Options.Certify for the in-solve enforcement hook.
+func Certify(a *sparse.CSR, opt certify.Options) (certify.Certificate, error) {
+	return certify.Certify(a, opt)
+}
 
 // ConvergenceReport is the paper's pre-flight analysis (§2.2, §3.1) as a
 // typed result: which convergence guarantees hold for a given system.

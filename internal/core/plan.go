@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/sparse"
 )
 
@@ -180,19 +181,34 @@ func SolveWithPlan(p *Plan, b []float64, opt Options) (Result, error) {
 	if err := opt.validate(p.a, b); err != nil {
 		return Result{}, err
 	}
+	var cert *certify.Certificate
+	if opt.Certify != certify.ModeOff {
+		c, err := certify.Certify(p.a, opt.CertifyOptions)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: admission certification: %w", err)
+		}
+		cert = &c
+		if opt.Certify == certify.ModeEnforce && c.Verdict == certify.VerdictDiverges {
+			return Result{Certificate: cert}, fmt.Errorf("core: admission refused (%s): %w", c.Reason, certify.ErrDivergent)
+		}
+	}
 	if opt.Metrics != nil {
 		defer func(start time.Time) {
 			opt.Metrics.observeSolve(opt.Engine.String(), time.Since(start))
 		}(time.Now())
 	}
-	switch opt.Engine {
-	case EngineSimulated:
-		return solveSimulated(p, b, opt)
-	case EngineGoroutine:
-		return solveGoroutine(p, b, opt)
-	default:
-		return Result{}, fmt.Errorf("core: unknown engine %v", opt.Engine)
-	}
+	res, err := func() (Result, error) {
+		switch opt.Engine {
+		case EngineSimulated:
+			return solveSimulated(p, b, opt)
+		case EngineGoroutine:
+			return solveGoroutine(p, b, opt)
+		default:
+			return Result{}, fmt.Errorf("core: unknown engine %v", opt.Engine)
+		}
+	}()
+	res.Certificate = cert
+	return res, err
 }
 
 // ctxErr reports a wrapped ErrCanceled when ctx is done; engines call it

@@ -54,3 +54,39 @@ func BuildCorpus(size, minN, maxN int) []CorpusEntry {
 	}
 	return out
 }
+
+// BuildDoomedCorpus generates size distinct provably-Jacobi-divergent
+// systems (s1rmt3m1 analogs, ρ(B) ≈ 2.66) with dimensions spread over
+// [minN, maxN]. An enforce-mode admission must answer each with a 422 and
+// its certificate; running one instead burns the full iteration budget.
+// Deterministic, like BuildCorpus.
+func BuildDoomedCorpus(size, minN, maxN int) []CorpusEntry {
+	if size <= 0 {
+		panic(fmt.Sprintf("fleet: doomed corpus size must be positive, have %d", size))
+	}
+	if minN < 8 || maxN < minN {
+		panic(fmt.Sprintf("fleet: doomed corpus dimensions [%d, %d] invalid (want 8 <= minN <= maxN)", minN, maxN))
+	}
+	out := make([]CorpusEntry, 0, size)
+	for i := 0; i < size; i++ {
+		n := minN
+		if size > 1 {
+			n += i * (maxN - minN) / (size - 1)
+		}
+		// The generator is parameterized by dimension only, so distinct i
+		// must give a distinct n for a distinct fingerprint.
+		n += i % 7
+		a := mats.S1RMT3M1(n)
+		var sb strings.Builder
+		if err := sparse.WriteMatrixMarket(&sb, a); err != nil {
+			panic(fmt.Sprintf("fleet: serializing doomed corpus entry %d: %v", i, err))
+		}
+		out = append(out, CorpusEntry{
+			Name:         fmt.Sprintf("doomed-%04d", n),
+			N:            n,
+			MatrixMarket: sb.String(),
+			Fingerprint:  service.Fingerprint(a),
+		})
+	}
+	return out
+}

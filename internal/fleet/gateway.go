@@ -70,6 +70,7 @@ type Gateway struct {
 	failovers    *metrics.Counter
 	submitOK     *metrics.Counter
 	submit429    *metrics.Counter
+	submit422    *metrics.Counter
 	badRequests  *metrics.Counter
 	forwardHist  *metrics.Histogram
 	routeCounter func(node string) *metrics.Counter
@@ -106,6 +107,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	g.failovers = reg.Counter("gateway_failovers_total", "Solves retried on a successor owner after the preferred node failed.")
 	g.submitOK = reg.Counter("gateway_submits_total", "Solves accepted by a node (202).")
 	g.submit429 = reg.Counter("gateway_node_429_total", "Node 429s propagated upstream with their Retry-After.")
+	g.submit422 = reg.Counter("gateway_cert_rejects_total", "Certified-divergent 422s relayed verbatim (never failed over).")
 	g.badRequests = reg.Counter("gateway_bad_requests_total", "Solve submissions rejected before routing (body or matrix).")
 	g.forwardHist = reg.Histogram("gateway_forward_seconds", "Latency of forwarded solve submissions.", nil)
 	g.routeCounter = func(node string) *metrics.Counter {
@@ -147,6 +149,7 @@ type gatewayStats struct {
 	Failovers    uint64     `json:"failovers"`
 	Submits      uint64     `json:"submits"`
 	Node429      uint64     `json:"node_429"`
+	CertRejects  uint64     `json:"cert_rejects"`
 }
 
 // registerRequest is the POST /v1/nodes body.
@@ -218,6 +221,7 @@ func (g *Gateway) Handler() http.Handler {
 			Failovers:    g.failovers.Value(),
 			Submits:      g.submitOK.Value(),
 			Node429:      g.submit429.Value(),
+			CertRejects:  g.submit422.Value(),
 		})
 	})
 	mux.Handle("GET /metricsz", g.reg.Handler())
@@ -329,6 +333,14 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				w.Header().Set("Retry-After", ra)
 			}
+			relay(w, resp, respBody)
+			return
+		case resp.StatusCode == http.StatusUnprocessableEntity:
+			// A certified-divergent refusal (422 + certificate body) is
+			// deterministic: every replica computes the same verdict from
+			// the same matrix, so failing over to a successor owner only
+			// wastes a node. Relay the certificate verbatim.
+			g.submit422.Inc()
 			relay(w, resp, respBody)
 			return
 		case resp.StatusCode == http.StatusServiceUnavailable:

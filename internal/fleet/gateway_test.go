@@ -9,12 +9,16 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/certify"
+	"repro/internal/mats"
 	"repro/internal/service"
+	"repro/internal/sparse"
 )
 
 // fleetNode is a real solver service behind a kill switch: while down,
@@ -256,6 +260,105 @@ func TestGatewayNode429NeverFailsOver(t *testing.T) {
 	}
 	if n := otherHits.Load(); n != 0 {
 		t.Errorf("429 spilled to the successor owner (%d hits) — cache affinity violated", n)
+	}
+}
+
+// TestGatewayCertify422NeverFailsOver: a certified-divergent refusal is
+// deterministic — every replica computes the same verdict — so the gateway
+// must relay the 422 (certificate body included) and never retry the
+// successor owner.
+func TestGatewayCertify422NeverFailsOver(t *testing.T) {
+	e := BuildCorpus(1, 32, 32)[0]
+	var otherHits atomic.Int32
+	var mu sync.Mutex
+	behavior := map[string]http.HandlerFunc{}
+	handlers := map[string]http.HandlerFunc{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		handlers[name] = func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			h := behavior[name]
+			mu.Unlock()
+			h(w, r)
+		}
+	}
+	g, ts, _ := stubFleet(t, GatewayConfig{FailoverTries: 2}, handlers)
+	owner, _ := g.Membership().Ring().Owner(e.Fingerprint)
+	other := "a"
+	if owner == "a" {
+		other = "b"
+	}
+	const certBody = `{"error":"certified divergent","certificate":{"verdict":"diverges","rho_jacobi":2.66}}`
+	mu.Lock()
+	behavior[owner] = func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, certBody)
+	}
+	behavior[other] = func(w http.ResponseWriter, r *http.Request) {
+		otherHits.Add(1)
+		accept202(other)(w, r)
+	}
+	mu.Unlock()
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveEntry(e))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	if string(body) != certBody {
+		t.Errorf("422 body not relayed verbatim: %s", body)
+	}
+	if n := otherHits.Load(); n != 0 {
+		t.Errorf("certified 422 failed over to the successor (%d hits) — the verdict is deterministic", n)
+	}
+	st := scrapeStats(t, ts.URL)
+	if st.CertRejects != 1 {
+		t.Errorf("cert_rejects = %d, want 1", st.CertRejects)
+	}
+	if st.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0", st.Failovers)
+	}
+}
+
+// TestGatewayCertify422EndToEnd: real solver nodes behind the gateway; an
+// enforce-mode submission of a provably divergent matrix answers 422 with
+// the admission certificate in the body and is never counted as a failover.
+func TestGatewayCertify422EndToEnd(t *testing.T) {
+	_, ts, _ := startFleet(t, 3, GatewayConfig{}, service.Config{Workers: 1, QueueDepth: 8})
+
+	a := mats.S1RMT3M1(200)
+	var sb strings.Builder
+	if err := sparse.WriteMatrixMarket(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	req := service.SolveRequest{
+		MatrixMarket:   sb.String(),
+		BlockSize:      32,
+		LocalIters:     1,
+		MaxGlobalIters: 50,
+		Tolerance:      1e-8,
+		Certify:        "enforce",
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Error       string              `json:"error"`
+		Certificate certify.Certificate `json:"certificate"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding relayed 422 body: %v", err)
+	}
+	if out.Error == "" || out.Certificate.Verdict != certify.VerdictDiverges {
+		t.Fatalf("relayed 422 body = %+v, want error + diverges certificate", out)
+	}
+	st := scrapeStats(t, ts.URL)
+	if st.CertRejects != 1 {
+		t.Errorf("cert_rejects = %d, want 1", st.CertRejects)
+	}
+	if st.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0 — 422 must not be retried", st.Failovers)
 	}
 }
 

@@ -20,11 +20,14 @@ import (
 // Blend is the request mix of a load run, as relative weights (they are
 // normalized; all-zero means solve-only). "Tune" submissions set
 // "tune": "auto" (exercising the node-side tuning cache), "Devices"
-// submissions route onto the live multi-device executor.
+// submissions route onto the live multi-device executor, and "Doomed"
+// submissions post certified-divergent matrices with "certify": "enforce"
+// — the fleet must answer each with a fast 422, never silently burn it.
 type Blend struct {
 	Solve   float64 `json:"solve"`
 	Tune    float64 `json:"tune"`
 	Devices float64 `json:"devices"`
+	Doomed  float64 `json:"doomed"`
 }
 
 // LoadConfig configures one open-loop load run against a gateway or a
@@ -43,6 +46,9 @@ type LoadConfig struct {
 	Duration time.Duration
 	// Corpus is the matrix population (required).
 	Corpus []CorpusEntry
+	// DoomedCorpus is the population of "doomed" blend submissions
+	// (default: a small BuildDoomedCorpus when Blend.Doomed > 0).
+	DoomedCorpus []CorpusEntry
 	// ZipfS is the Zipf popularity exponent over the corpus: entry i
 	// carries weight 1/(i+1)^ZipfS (default 1.1 — a few hot matrices, a
 	// long tail).
@@ -92,8 +98,11 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.ZipfS <= 0 {
 		c.ZipfS = 1.1
 	}
-	if c.Blend.Solve <= 0 && c.Blend.Tune <= 0 && c.Blend.Devices <= 0 {
+	if c.Blend.Solve <= 0 && c.Blend.Tune <= 0 && c.Blend.Devices <= 0 && c.Blend.Doomed <= 0 {
 		c.Blend = Blend{Solve: 1}
+	}
+	if c.Blend.Doomed > 0 && len(c.DoomedCorpus) == 0 {
+		c.DoomedCorpus = BuildDoomedCorpus(4, 96, 160)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -137,6 +146,12 @@ type LoadReport struct {
 	Completed  int `json:"completed"`
 	FailedJobs int `json:"failed_jobs"`
 	TimedOut   int `json:"timed_out"`
+	// CertRejected counts doomed submissions answered with the expected
+	// 422 + certificate; DoomedAdmitted counts doomed submissions a node
+	// accepted (202) instead of refusing — the silent-burn failure mode
+	// -strict gates to zero.
+	CertRejected   int `json:"cert_rejected"`
+	DoomedAdmitted int `json:"doomed_admitted"`
 
 	DurationSeconds float64 `json:"duration_seconds"` // arrival window
 	WallSeconds     float64 `json:"wall_seconds"`     // window + drain
@@ -153,6 +168,11 @@ type LoadReport struct {
 	E2EP50     float64 `json:"e2e_p50_seconds"`
 	E2EP99     float64 `json:"e2e_p99_seconds"`
 	E2EP999    float64 `json:"e2e_p999_seconds"`
+	// Reject latencies cover doomed submissions' POST round trips ending
+	// in 422 — the milliseconds the certificate answers in, against the
+	// seconds a burned solve would take.
+	RejectP50 float64 `json:"reject_p50_seconds,omitempty"`
+	RejectP99 float64 `json:"reject_p99_seconds,omitempty"`
 
 	ShedRate float64 `json:"shed_rate"` // shed / offered
 
@@ -205,6 +225,7 @@ type loadState struct {
 	rep        LoadReport
 	submitLats []float64
 	e2eLats    []float64
+	rejectLats []float64
 	nodeByFP   map[string]string
 	errSeen    map[string]bool
 }
@@ -219,7 +240,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x10adc0de))
 	zipf := newZipfPicker(len(cfg.Corpus), cfg.ZipfS)
-	blendTotal := cfg.Blend.Solve + cfg.Blend.Tune + cfg.Blend.Devices
+	blendTotal := cfg.Blend.Solve + cfg.Blend.Tune + cfg.Blend.Devices + cfg.Blend.Doomed
 
 	st := &loadState{
 		nodeByFP: make(map[string]string),
@@ -248,6 +269,9 @@ arrivals:
 			kind = "tune"
 		case u < cfg.Blend.Tune+cfg.Blend.Devices:
 			kind = "devices"
+		case u < cfg.Blend.Tune+cfg.Blend.Devices+cfg.Blend.Doomed:
+			kind = "doomed"
+			entry = &cfg.DoomedCorpus[rng.IntN(len(cfg.DoomedCorpus))]
 		}
 		st.mu.Lock()
 		st.rep.Offered++
@@ -293,6 +317,8 @@ arrivals:
 	rep.E2EP50 = percentile(st.e2eLats, 0.50)
 	rep.E2EP99 = percentile(st.e2eLats, 0.99)
 	rep.E2EP999 = percentile(st.e2eLats, 0.999)
+	rep.RejectP50 = percentile(st.rejectLats, 0.50)
+	rep.RejectP99 = percentile(st.rejectLats, 0.99)
 	return &rep, nil
 }
 
@@ -308,6 +334,12 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 	switch kind {
 	case "tune":
 		body["tune"] = "auto"
+	case "doomed":
+		// Enforce-mode admission of a certified-divergent matrix: the
+		// expected answer is a fast 422, not a burned iteration budget.
+		body["certify"] = "enforce"
+		body["block_size"] = cfg.BlockSize
+		body["local_iters"] = cfg.LocalIters
 	case "devices":
 		// The multi-device engine needs at least one block per device, so
 		// cap the block size at N/devices for small corpus entries.
@@ -352,7 +384,26 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 
 	switch resp.StatusCode {
 	case http.StatusAccepted:
+		if kind == "doomed" {
+			// A node silently admitted a certified-divergent matrix: the
+			// burn -strict exists to catch. Counted, never polled.
+			st.mu.Lock()
+			st.rep.DoomedAdmitted++
+			st.mu.Unlock()
+			return
+		}
 		// fall through to polling below
+	case http.StatusUnprocessableEntity:
+		if kind == "doomed" {
+			st.mu.Lock()
+			st.rep.CertRejected++
+			st.submitLats = append(st.submitLats, submitLat)
+			st.rejectLats = append(st.rejectLats, submitLat)
+			st.mu.Unlock()
+			return
+		}
+		st.recordError(fmt.Sprintf("submit status 422: %s", truncate(string(respBody), 160)))
+		return
 	case http.StatusTooManyRequests:
 		st.mu.Lock()
 		st.rep.Shed++

@@ -150,6 +150,48 @@ func TestRunLoadBlend(t *testing.T) {
 	}
 }
 
+// TestRunLoadDoomedBlend drives a doomed-heavy blend against a real node:
+// every doomed arrival must come back as a 422 certificate rejection (or a
+// 429 shed), never as a silent admission, and the rejections must be fast.
+func TestRunLoadDoomedBlend(t *testing.T) {
+	_, ts, _ := startFleet(t, 1, GatewayConfig{}, service.Config{Workers: 2, QueueDepth: 64})
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:        ts.URL,
+		Rate:           60,
+		Duration:       400 * time.Millisecond,
+		Corpus:         BuildCorpus(3, 24, 32),
+		DoomedCorpus:   BuildDoomedCorpus(2, 96, 128),
+		Blend:          Blend{Solve: 1, Doomed: 2},
+		BlockSize:      8,
+		LocalIters:     2,
+		MaxGlobalIters: 200,
+		Tolerance:      1e-6,
+		PollInterval:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("doomed blend errors: %v", rep.ErrorSamples)
+	}
+	if rep.ByKind["doomed"] == 0 {
+		t.Fatalf("no doomed arrival generated (by_kind=%v)", rep.ByKind)
+	}
+	if rep.DoomedAdmitted != 0 {
+		t.Errorf("%d doomed submissions silently admitted — enforce must refuse them", rep.DoomedAdmitted)
+	}
+	if rep.CertRejected == 0 {
+		t.Error("no doomed submission was certificate-rejected")
+	}
+	if rep.CertRejected+rep.Shed < rep.ByKind["doomed"] {
+		t.Errorf("doomed accounting: %d rejected + %d shed < %d offered",
+			rep.CertRejected, rep.Shed, rep.ByKind["doomed"])
+	}
+	if rep.RejectP99 > 2.0 {
+		t.Errorf("reject p99 = %.3fs, want certificate-cache-fast (< 2s)", rep.RejectP99)
+	}
+}
+
 // TestScrapeMetrics round-trips the gateway's own /metricsz.
 func TestScrapeMetrics(t *testing.T) {
 	_, ts, _ := startFleet(t, 1, GatewayConfig{}, service.Config{Workers: 1, QueueDepth: 4})

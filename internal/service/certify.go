@@ -1,0 +1,207 @@
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/certify"
+	"repro/internal/sparse"
+)
+
+// CertificateError is the admission refusal of a certify=enforce request:
+// the matrix was certified divergent and the job never entered the queue.
+// It wraps certify.ErrDivergent (for errors.Is) and carries the full
+// certificate so the HTTP layer can return a structured 422 body — the
+// verdict is deterministic, so the client must change the request (or the
+// matrix), not retry it elsewhere.
+type CertificateError struct {
+	Certificate certify.Certificate
+}
+
+// Error implements the error interface.
+func (e *CertificateError) Error() string {
+	return fmt.Sprintf("service: admission refused, matrix certified divergent: %s", e.Certificate.Reason)
+}
+
+// Unwrap lets errors.Is(err, certify.ErrDivergent) dispatch on refusals.
+func (e *CertificateError) Unwrap() error { return certify.ErrDivergent }
+
+// CertifyStats is a point-in-time snapshot of the certificate cache.
+type CertifyStats struct {
+	// Checks counts full certifications executed (cache misses).
+	Checks uint64 `json:"checks"`
+	// Hits counts lookups served from the resident cache.
+	Hits uint64 `json:"hits"`
+	// Coalesced counts lookups that joined an in-flight certification
+	// instead of running their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts certificates dropped to respect the entry bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the number of resident certificates.
+	Entries int `json:"entries"`
+}
+
+// certEntry is one cached certificate keyed by matrix fingerprint.
+type certEntry struct {
+	fp   string
+	cert certify.Certificate
+}
+
+// certCheck coalesces concurrent certifications of one fingerprint.
+type certCheck struct {
+	done chan struct{}
+	cert certify.Certificate
+	err  error
+}
+
+// certCache caches admission certificates by matrix fingerprint. A
+// certificate is a pure function of the matrix (the certifier is
+// deterministic for fixed options), so the fingerprint alone keys it —
+// like the tuning cache, but LRU-bounded alongside the plan cache: the
+// certificate population tracks the same working set of matrices.
+type certCache struct {
+	mu       sync.Mutex
+	ll       *list.List // of *certEntry; front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*certCheck
+	max      int
+	checks   uint64
+	hits     uint64
+	coalesce uint64
+	evicted  uint64
+}
+
+func newCertCache(maxEntries int) *certCache {
+	return &certCache{
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*certCheck),
+		max:      maxEntries,
+	}
+}
+
+// GetOrCertify returns the certificate for the matrix fingerprint, running
+// the certifier on a miss. Concurrent calls for the same missing
+// fingerprint coalesce into a single certification. hit reports whether
+// the caller reused resident or in-flight work.
+func (c *PlanCache) GetOrCertify(a *sparse.CSR, fp string, opt certify.Options) (certify.Certificate, bool, error) {
+	cc := c.cert
+	cc.mu.Lock()
+	if el, ok := cc.items[fp]; ok {
+		cc.ll.MoveToFront(el)
+		cc.hits++
+		cert := el.Value.(*certEntry).cert
+		cc.mu.Unlock()
+		return cert, true, nil
+	}
+	if chk, ok := cc.inflight[fp]; ok {
+		cc.coalesce++
+		cc.mu.Unlock()
+		<-chk.done
+		return chk.cert, true, chk.err
+	}
+	cc.checks++
+	chk := &certCheck{done: make(chan struct{})}
+	cc.inflight[fp] = chk
+	cc.mu.Unlock()
+
+	chk.cert, chk.err = certify.Certify(a, opt)
+
+	cc.mu.Lock()
+	delete(cc.inflight, fp)
+	if chk.err == nil {
+		cc.insertLocked(fp, chk.cert)
+	}
+	cc.mu.Unlock()
+	close(chk.done)
+	return chk.cert, false, chk.err
+}
+
+// insertLocked adds a certificate and evicts from the LRU tail while over
+// the entry bound. Callers hold cc.mu.
+func (cc *certCache) insertLocked(fp string, cert certify.Certificate) {
+	if el, ok := cc.items[fp]; ok {
+		cc.ll.MoveToFront(el)
+		return
+	}
+	cc.items[fp] = cc.ll.PushFront(&certEntry{fp: fp, cert: cert})
+	for cc.max > 0 && cc.ll.Len() > cc.max {
+		back := cc.ll.Back()
+		victim := back.Value.(*certEntry)
+		cc.ll.Remove(back)
+		delete(cc.items, victim.fp)
+		cc.evicted++
+	}
+}
+
+// CertifyStats snapshots the certificate-cache counters.
+func (c *PlanCache) CertifyStats() CertifyStats {
+	cc := c.cert
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return CertifyStats{
+		Checks:    cc.checks,
+		Hits:      cc.hits,
+		Coalesced: cc.coalesce,
+		Evictions: cc.evicted,
+		Entries:   cc.ll.Len(),
+	}
+}
+
+// certifyMode parses the request's certify field ("" means off).
+func (r SolveRequest) certifyMode() (certify.Mode, error) {
+	m, err := certify.ParseMode(r.Certify)
+	if err != nil {
+		return certify.ModeOff, fmt.Errorf("service: %w", err)
+	}
+	return m, nil
+}
+
+// fallbackGMRES parses the request's fallback field.
+func (r SolveRequest) fallbackGMRES() (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(r.Fallback)) {
+	case "":
+		return false, nil
+	case "gmres":
+		return true, nil
+	default:
+		return false, fmt.Errorf("service: unknown fallback %q (want \"gmres\" or empty)", r.Fallback)
+	}
+}
+
+// admitCertified runs the admission pre-flight for a validated request:
+// certify the matrix (through the fingerprint cache), refuse enforce-mode
+// divergent verdicts without a fallback, and return the certificate plus
+// whether the job must run the GMRES fallback instead of relaxation.
+func (s *Service) admitCertified(req SolveRequest, a *sparse.CSR, fp string) (*certify.Certificate, bool, error) {
+	mode, err := req.certifyMode()
+	if err != nil || mode == certify.ModeOff {
+		return nil, false, err
+	}
+	cert, _, err := s.cache.GetOrCertify(a, fp, certify.Options{Seed: s.cache.cfg.Seed})
+	if err != nil {
+		return nil, false, fmt.Errorf("service: admission certification: %w", err)
+	}
+	if mode == certify.ModeEnforce && cert.Verdict == certify.VerdictDiverges {
+		if gmres, _ := req.fallbackGMRES(); gmres {
+			s.certFallbacks.Add(1)
+			return &cert, true, nil
+		}
+		s.certRejected.Add(1)
+		return &cert, false, &CertificateError{Certificate: cert}
+	}
+	return &cert, false, nil
+}
+
+// errCertificate extracts a CertificateError from an error chain, nil when
+// absent. The HTTP layer uses it to emit the structured 422 body.
+func errCertificate(err error) *CertificateError {
+	var ce *CertificateError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 )
 
@@ -24,7 +25,8 @@ import (
 //	                     Prometheus text exposition format
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes
-// (400 invalid request, 404 unknown job, 429 queue full, 503 shutdown).
+// (400 invalid request, 404 unknown job, 422 certified divergent — the
+// body then also carries the certificate — 429 queue full, 503 shutdown).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
@@ -51,6 +53,16 @@ func NewHandler(s *Service) http.Handler {
 		}
 		j, err := s.Submit(req)
 		if err != nil {
+			if ce := errCertificate(err); ce != nil {
+				// A certified-divergent refusal is not a generic 400: the
+				// 422 body carries the certificate so the client (and the
+				// gateway, which never fails these over) can see the proof.
+				writeJSON(w, http.StatusUnprocessableEntity, certErrorResponse{
+					Error:       err.Error(),
+					Certificate: ce.Certificate,
+				})
+				return
+			}
 			status := submitStatus(err)
 			if status == http.StatusTooManyRequests {
 				// Price the 429 from the live backlog and the observed
@@ -127,6 +139,12 @@ type jobListResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// certErrorResponse is the structured 422 body of an admission refusal.
+type certErrorResponse struct {
+	Error       string              `json:"error"`
+	Certificate certify.Certificate `json:"certificate"`
 }
 
 // submitStatus maps Submit errors to HTTP status codes.

@@ -79,6 +79,21 @@ func (s *Service) instrument() {
 		func() uint64 { return s.cache.TuneStats().Hits })
 	reg.CounterFunc("service_tune_probe_solves_total", "Short probe solves run by auto-tune searches.",
 		func() uint64 { return s.cache.TuneStats().ProbeSolves })
+
+	reg.CounterFunc("service_certify_checks_total", "Full admission certifications executed (certificate-cache misses).",
+		func() uint64 { return s.cache.CertifyStats().Checks })
+	reg.CounterFunc("service_certify_cache_hits_total", "Admission lookups served from the resident certificate cache.",
+		func() uint64 { return s.cache.CertifyStats().Hits })
+	reg.CounterFunc("service_certify_coalesced_total", "Admission lookups that joined an in-flight certification.",
+		func() uint64 { return s.cache.CertifyStats().Coalesced })
+	reg.CounterFunc("service_certify_cache_evictions_total", "Certificates evicted to respect the cache entry bound.",
+		func() uint64 { return s.cache.CertifyStats().Evictions })
+	reg.GaugeFunc("service_certify_cache_entries", "Certificates resident in the cache.",
+		func() float64 { return float64(s.cache.CertifyStats().Entries) })
+	reg.CounterFunc("service_certify_rejections_total", "Enforce-mode submissions refused with a divergent certificate (422).",
+		s.certRejected.Load)
+	reg.CounterFunc("service_certify_fallbacks_total", "Enforce-mode divergent verdicts rerouted to the GMRES fallback.",
+		s.certFallbacks.Load)
 }
 
 // Metrics returns the service's metrics registry (the /metricsz source).

@@ -139,6 +139,10 @@ type PlanCache struct {
 	// it has its own lock so a long parameter search never blocks plan
 	// lookups.
 	tune *tuningCache
+	// cert caches admission certificates by matrix fingerprint (see
+	// certify.go); like tune it has its own lock, and its LRU entry bound
+	// mirrors the plan cache's MaxEntries.
+	cert *certCache
 }
 
 // planBuild coalesces concurrent builds of one key.
@@ -150,12 +154,14 @@ type planBuild struct {
 
 // NewPlanCache creates an empty cache.
 func NewPlanCache(cfg CacheConfig) *PlanCache {
+	cfg = cfg.withDefaults()
 	return &PlanCache{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		ll:       list.New(),
 		items:    make(map[PlanKey]*list.Element),
 		inflight: make(map[PlanKey]*planBuild),
 		tune:     newTuningCache(),
+		cert:     newCertCache(cfg.MaxEntries),
 	}
 }
 

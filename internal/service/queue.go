@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/certify"
 )
 
 // Sentinel errors of the job queue.
@@ -105,6 +107,17 @@ type JobResult struct {
 	// Tuned reports the auto-tuned parameters of a "tune": "auto" job
 	// (nil for explicitly configured jobs).
 	Tuned *TunedParams `json:"tuned,omitempty"`
+	// Certificate echoes the admission certificate of a certify=warn or
+	// certify=enforce job (nil when certification was off).
+	Certificate *certify.Certificate `json:"certificate,omitempty"`
+	// PredictedVsActual is GlobalIterations / Certificate.PredictedIters —
+	// how the certifier's priced budget compared to the solve it admitted.
+	// 0 when no prediction applied (certify off, no Converges verdict, or
+	// a fallback run).
+	PredictedVsActual float64 `json:"predicted_vs_actual,omitempty"`
+	// Fallback is "gmres" when an enforce-mode divergent verdict rerouted
+	// the job to the synchronous GMRES solver; empty otherwise.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // JobView is an immutable snapshot of a job, safe to serialize.
@@ -141,6 +154,12 @@ type Job struct {
 
 	done     chan struct{}
 	doneOnce sync.Once
+
+	// cert and gmresFallback are the admission pre-flight outcome, set in
+	// Submit before the job enters the queue (the channel send orders them
+	// before any worker read) and immutable afterwards.
+	cert          *certify.Certificate
+	gmresFallback bool
 }
 
 func newJob(id string, req SolveRequest) *Job {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gpusim"
@@ -68,6 +69,19 @@ type SolveRequest struct {
 	// Chaos perturbs the solve's schedule (requires Config.EnableChaos).
 	// HTTP clients can also set it via the X-Chaos header.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+
+	// Certify selects the admission-time convergence pre-flight: "" or
+	// "off" (skip), "warn" (certify and echo the certificate in the job
+	// result), or "enforce" (additionally refuse matrices certified
+	// divergent with a structured 422 at submission — before the job ever
+	// queues — unless Fallback reroutes them). Certificates are cached by
+	// matrix fingerprint, so a warm daemon answers in cache-lookup time.
+	Certify string `json:"certify,omitempty"`
+	// Fallback is "" or "gmres": with certify=enforce, a divergent-verdict
+	// matrix is rerouted to the synchronous GMRES solver instead of being
+	// rejected — the job then reports `"fallback": "gmres"` in its result.
+	// Requires certify=enforce; incompatible with tune/devices.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // tuneAuto parses the request's tune mode.
@@ -190,6 +204,12 @@ type Stats struct {
 	PlanCache     CacheStats `json:"plan_cache"`
 	PlanHitRate   float64    `json:"plan_hit_rate"`
 	TuneCache     TuneStats  `json:"tune_cache"`
+	// CertCache is the admission-certificate cache; CertRejected and
+	// CertFallbacks count enforce-mode divergent verdicts answered with a
+	// 422 and rerouted to GMRES, respectively.
+	CertCache     CertifyStats `json:"cert_cache"`
+	CertRejected  uint64       `json:"cert_rejected"`
+	CertFallbacks uint64       `json:"cert_fallbacks"`
 	// DeviceSolves counts multi-device solve attempts per communication
 	// strategy (same atomics /metricsz exposes as
 	// service_device_solves_total).
@@ -215,6 +235,10 @@ type Service struct {
 	cancels  atomic.Uint64
 	rejected atomic.Uint64
 	retries  atomic.Uint64
+	// certRejected / certFallbacks count enforce-mode divergent verdicts
+	// refused with a CertificateError and rerouted to GMRES.
+	certRejected  atomic.Uint64
+	certFallbacks atomic.Uint64
 	// deviceSolves counts multi-device solve attempts per communication
 	// strategy, indexed by multigpu.Strategy.
 	deviceSolves [3]atomic.Uint64
@@ -263,7 +287,18 @@ func (s *Service) Submit(req SolveRequest) (*Job, error) {
 		s.rejected.Add(1)
 		return nil, err
 	}
-	if _, _, err := s.resolveMatrix(req); err != nil {
+	a, fp, err := s.resolveMatrix(req)
+	if err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+	// The admission pre-flight runs synchronously in Submit so an
+	// enforce-mode refusal answers the POST itself (422 with the
+	// certificate) instead of surfacing later as a failed job. The
+	// certificate — whatever the verdict — rides on the job for the
+	// result echo.
+	cert, gmres, err := s.admitCertified(req, a, fp)
+	if err != nil {
 		s.rejected.Add(1)
 		return nil, err
 	}
@@ -275,6 +310,7 @@ func (s *Service) Submit(req SolveRequest) (*Job, error) {
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	j := newJob(id, req)
+	j.cert, j.gmresFallback = cert, gmres
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -346,6 +382,25 @@ func (s *Service) validate(req SolveRequest) error {
 		}
 		if _, err := fault.NewChaos(req.Chaos.config(1)); err != nil {
 			return err
+		}
+	}
+	mode, err := req.certifyMode()
+	if err != nil {
+		return err
+	}
+	gmres, err := req.fallbackGMRES()
+	if err != nil {
+		return err
+	}
+	if gmres {
+		if mode != certify.ModeEnforce {
+			return errors.New("service: fallback requires certify=enforce (the fallback only triggers on an enforced divergent verdict)")
+		}
+		if tuning {
+			return errors.New("service: fallback is incompatible with tune=auto (the tuner probes the asynchronous engines)")
+		}
+		if req.Devices > 0 {
+			return errors.New("service: fallback is incompatible with devices (GMRES runs on the synchronous single-device solver)")
 		}
 	}
 	return nil
@@ -443,6 +498,9 @@ func (s *Service) Stats() Stats {
 		PlanCache:     cs,
 		PlanHitRate:   cs.HitRate(),
 		TuneCache:     s.cache.TuneStats(),
+		CertCache:     s.cache.CertifyStats(),
+		CertRejected:  s.certRejected.Load(),
+		CertFallbacks: s.certFallbacks.Load(),
 		DeviceSolves: map[string]uint64{
 			multigpu.AMC.String(): s.deviceSolves[multigpu.AMC].Load(),
 			multigpu.DC.String():  s.deviceSolves[multigpu.DC].Load(),
@@ -627,6 +685,10 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		return nil, fmt.Errorf("service: rhs length %d does not match dimension %d", len(b), a.Rows)
 	}
 
+	if j.gmresFallback {
+		return s.runGMRESFallback(j, a, fp, b)
+	}
+
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
@@ -736,12 +798,59 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 	if plan.HasReport {
 		result.Analysis = plan.Report.String()
 	}
+	if j.cert != nil {
+		result.Certificate = j.cert
+		if j.cert.PredictedIters > 0 {
+			result.PredictedVsActual = float64(res.GlobalIterations) / float64(j.cert.PredictedIters)
+		}
+	}
 	if err == nil && req.Tolerance > 0 && !res.Converged {
 		err = fmt.Errorf("service: %w after %d global iterations (residual %.3e, tolerance %.3e)",
 			core.ErrNotConverged, res.GlobalIterations, res.Residual, req.Tolerance)
 	}
 	return result, err
 }
+
+// runGMRESFallback executes the synchronous GMRES reroute of an
+// enforce-mode divergent verdict: restarted GMRES(30) with the Jacobi
+// preconditioner, the same iteration budget and tolerance the relaxation
+// would have used. The certificate that triggered the reroute is echoed
+// on the result.
+func (s *Service) runGMRESFallback(j *Job, a *sparse.CSR, fp string, b []float64) (*JobResult, error) {
+	req := j.req
+	prec, err := solver.NewJacobiPreconditioner(a)
+	if err != nil {
+		return nil, fmt.Errorf("service: gmres fallback: %w", err)
+	}
+	res, err := solver.GMRES(a, b, gmresFallbackRestart, prec, solver.Options{
+		MaxIterations: req.MaxGlobalIters,
+		Tolerance:     req.Tolerance,
+		RecordHistory: req.RecordHistory,
+	})
+	result := &JobResult{
+		Converged:        res.Converged,
+		GlobalIterations: res.Iterations,
+		Residual:         res.Residual,
+		Fingerprint:      fp,
+		Certificate:      j.cert,
+		Fallback:         "gmres",
+	}
+	if req.RecordHistory {
+		result.History = res.History
+	}
+	if req.IncludeSolution {
+		result.X = res.X
+	}
+	if err == nil && req.Tolerance > 0 && !res.Converged {
+		err = fmt.Errorf("service: %w after %d GMRES iterations (residual %.3e, tolerance %.3e)",
+			core.ErrNotConverged, res.Iterations, res.Residual, req.Tolerance)
+	}
+	return result, err
+}
+
+// gmresFallbackRestart is the Krylov restart length of the fallback
+// solver — the paper's baseline GMRES(30) configuration.
+const gmresFallbackRestart = 30
 
 // finishJob records the terminal state and bumps the outcome counters.
 func (s *Service) finishJob(j *Job, result *JobResult, err error) {

@@ -81,32 +81,129 @@ func JacobiSpectralRadius(a *sparse.CSR, seed int64) (float64, error) {
 // AbsJacobiSpectralRadius estimates ρ(|B|): the Strikwerda asynchronous
 // convergence bound.
 func AbsJacobiSpectralRadius(a *sparse.CSR, seed int64) (float64, error) {
+	r, err := AbsJacobiRadius(a, 20000, 1e-9, seed)
+	return r.Radius, err
+}
+
+// AbsJacobiRadius is the bounded-work form of AbsJacobiSpectralRadius:
+// power iteration on |B| with a caller-controlled iteration cap and a
+// stagnation exit. Admission-time callers (internal/certify) use it so a
+// defective or slowly-mixing spectrum costs at most maxIter multiplies —
+// the result's Converged flag tells them to downgrade to an "Unknown"
+// verdict instead of hanging. The returned Radius is always the best
+// estimate so far, ErrNoConvergence accompanies an unconverged result.
+func AbsJacobiRadius(a *sparse.CSR, maxIter int, tol float64, seed int64) (PowerMethodResult, error) {
 	b, err := a.JacobiIterationMatrix()
 	if err != nil {
-		return 0, err
+		return PowerMethodResult{}, err
 	}
-	// |B| is nonnegative, so the power method converges cleanly from a
-	// positive start vector (Perron-Frobenius).
-	abs := b.Abs()
-	n := abs.Rows
+	return NonNegativeRadius(b.Abs(), maxIter, tol)
+}
+
+// NonNegativeRadius estimates ρ(M) of an elementwise-nonnegative matrix by
+// power iteration from the all-ones vector (Perron–Frobenius: the dominant
+// eigenvector is nonnegative, so a positive start never loses it). The
+// iteration stops at maxIter, at the relative-change tolerance tol, or at
+// stagnation: when the estimate's drift over a trailing window is orders of
+// magnitude below the drift tol asks for, more multiplies cannot help
+// (slowly-mixing near-ties drift by O(λ₂/λ₁)^k forever). Stagnated and
+// capped exits report Converged=false with ErrNoConvergence.
+func NonNegativeRadius(m *sparse.CSR, maxIter int, tol float64) (PowerMethodResult, error) {
+	if m.Rows != m.Cols {
+		return PowerMethodResult{}, fmt.Errorf("spectral: NonNegativeRadius requires square matrix, have %dx%d", m.Rows, m.Cols)
+	}
+	if m.Rows == 0 {
+		return PowerMethodResult{Radius: 0, Converged: true}, nil
+	}
+	// Stagnation window: if over stagWindow successive iterations the
+	// estimate moved by less than stagFactor·tol relative in total, treat
+	// the estimate as resolved-as-far-as-it-will-be and stop early.
+	const (
+		stagWindow = 32
+		stagFactor = 1e-3
+	)
+	n := m.Rows
 	x := vecmath.Ones(n)
 	normalize(x)
 	y := make([]float64, n)
 	var est, prev float64
-	for k := 1; k <= 20000; k++ {
-		abs.MulVec(y, x)
+	windowStart, windowBase := 0, math.Inf(1)
+	for k := 1; k <= maxIter; k++ {
+		m.MulVec(y, x)
 		est = vecmath.Nrm2(y)
 		if est == 0 {
-			return 0, nil
+			return PowerMethodResult{Radius: 0, Iterations: k, Converged: true}, nil
 		}
 		vecmath.Copy(x, y)
 		vecmath.Scale(1/est, x)
-		if k > 1 && math.Abs(est-prev) <= 1e-9*est {
-			return est, nil
+		if k > 1 && math.Abs(est-prev) <= tol*est {
+			return PowerMethodResult{Radius: est, Iterations: k, Converged: true}, nil
+		}
+		if k-windowStart >= stagWindow {
+			if math.Abs(est-windowBase) <= stagFactor*tol*est {
+				return PowerMethodResult{Radius: est, Iterations: k}, ErrNoConvergence
+			}
+			windowStart, windowBase = k, est
 		}
 		prev = est
 	}
-	return est, ErrNoConvergence
+	return PowerMethodResult{Radius: est, Iterations: maxIter}, ErrNoConvergence
+}
+
+// NonNegativeRadiusBounds returns rigorous Collatz–Wielandt bounds on the
+// spectral radius of an elementwise-nonnegative matrix M: for any strictly
+// positive x, min_i (Mx)_i/x_i ≤ ρ(M) ≤ max_i (Mx)_i/x_i. The bounds are
+// tightened over sweeps multiplications (x ← Mx, kept strictly positive),
+// and unlike a power-method estimate they are proofs — an upper bound < 1
+// certifies asynchronous convergence, a lower bound > 1 certifies that the
+// iteration matrix is expanding, after as little as one multiply.
+func NonNegativeRadiusBounds(m *sparse.CSR, sweeps int) (lo, hi float64, err error) {
+	if m.Rows != m.Cols {
+		return 0, 0, fmt.Errorf("spectral: NonNegativeRadiusBounds requires square matrix, have %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	if n == 0 {
+		return 0, 0, nil
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	x := vecmath.Ones(n)
+	y := make([]float64, n)
+	lo, hi = 0, math.Inf(1)
+	for s := 0; s < sweeps; s++ {
+		m.MulVec(y, x)
+		slo, shi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			r := y[i] / x[i]
+			if r < slo {
+				slo = r
+			}
+			if r > shi {
+				shi = r
+			}
+		}
+		// Each sweep's bounds are individually valid; keep the tightest.
+		if slo > lo {
+			lo = slo
+		}
+		if shi < hi {
+			hi = shi
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+		// Renormalize and clamp to keep x strictly positive (the bounds
+		// require x > 0; a zero row would otherwise zero components out).
+		vecmath.Copy(x, y)
+		normalize(x)
+		for i := range x {
+			if x[i] < 1e-12 {
+				x[i] = 1e-12
+			}
+		}
+	}
+	return lo, hi, nil
 }
 
 // powerMethodSquared estimates ρ(A) as sqrt(ρ(A²)) by applying A twice per

@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -231,5 +232,86 @@ func TestOperatorRadiusZeroOperator(t *testing.T) {
 	r, err := OperatorRadius(apply, 5, 10, 1e-6, 1)
 	if err != nil || r.Radius != 0 {
 		t.Errorf("zero operator: %+v %v", r, err)
+	}
+}
+
+func TestAbsJacobiRadiusBoundedWork(t *testing.T) {
+	a := tridiag(64)
+	// Generous budget: converges, matches the analytic ρ(|B|) = cos(π/65).
+	r, err := AbsJacobiRadius(a, 20000, 1e-9, 1)
+	if err != nil || !r.Converged {
+		t.Fatalf("AbsJacobiRadius did not converge: %v (res %+v)", err, r)
+	}
+	want := math.Cos(math.Pi / 65)
+	if math.Abs(r.Radius-want) > 1e-6 {
+		t.Errorf("rho = %g, want %g", r.Radius, want)
+	}
+	// Starved budget: must return the best estimate with Converged=false
+	// and ErrNoConvergence instead of looping on — the admission-time
+	// contract the certifier downgrades to Unknown on.
+	r2, err2 := AbsJacobiRadius(a, 3, 1e-14, 1)
+	if r2.Converged {
+		t.Fatalf("3-iteration budget reported Converged: %+v", r2)
+	}
+	if err2 == nil || !errors.Is(err2, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err2)
+	}
+	if r2.Iterations > 3 {
+		t.Errorf("ran %d iterations, budget was 3", r2.Iterations)
+	}
+	if r2.Radius <= 0 || r2.Radius > 1.5 {
+		t.Errorf("best-effort estimate %g out of range", r2.Radius)
+	}
+}
+
+func TestNonNegativeRadiusStagnationExit(t *testing.T) {
+	// A ±√2 dominant pair: [[0,2],[1,0]] is nonnegative but its power
+	// estimates oscillate with period 2 forever, never meeting any
+	// tolerance. The stagnation window must exit long before the
+	// 1e6-iteration cap instead of burning the whole budget.
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 1)
+	m := c.ToCSR()
+	r, err := NonNegativeRadius(m, 1_000_000, 1e-14)
+	if err == nil || r.Converged {
+		t.Fatalf("expected stagnation exit, got Converged=%v err=%v", r.Converged, err)
+	}
+	if r.Iterations >= 1_000_000 {
+		t.Fatalf("stagnation exit never fired: ran %d iterations", r.Iterations)
+	}
+	if r.Radius < 1.2 || r.Radius > 1.6 {
+		t.Errorf("stagnated estimate %g, want within [1.2, 1.6] around rho=sqrt(2)", r.Radius)
+	}
+}
+
+func TestNonNegativeRadiusBoundsTridiagAbsB(t *testing.T) {
+	a := tridiag(40)
+	b, err := a.JacobiIterationMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := NonNegativeRadiusBounds(b.Abs(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := math.Cos(math.Pi / 41)
+	if lo > rho+1e-12 || hi < rho-1e-12 {
+		t.Errorf("bounds [%g, %g] exclude true rho %g", lo, hi, rho)
+	}
+	if hi >= 1 {
+		t.Errorf("upper bound %g should certify rho < 1 after 50 sweeps", hi)
+	}
+	// The s1rmt3m1 analog must certify expansion (lower bound > 1).
+	bb, err := mats.S1RMT3M1(400).JacobiIterationMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, _, err := NonNegativeRadiusBounds(bb.Abs(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo2 <= 1 {
+		t.Errorf("s1rmt3m1 lower bound %g, want > 1 (rho ~ 2.65)", lo2)
 	}
 }

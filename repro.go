@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/certify"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -276,6 +277,59 @@ var (
 	NewChaos           = fault.NewChaos
 	NewAnomalyDetector = fault.NewDetector
 )
+
+// Admission-time convergence certification (internal/certify): classify a
+// matrix, prove or refute asynchronous convergence in bounded work, and
+// price an admitted solve with a predicted iteration budget.
+type (
+	// Certificate is the certifier's output: class, verdict, spectral
+	// evidence, and — on a Converges verdict — PredictedIters.
+	Certificate = certify.Certificate
+	// CertifyOptions bounds the certifier's work (zero value: defaults).
+	CertifyOptions = certify.Options
+	// CertifyMode selects the in-solve admission gate for
+	// AsyncOptions.Certify: CertifyOff, CertifyWarn or CertifyEnforce.
+	CertifyMode = certify.Mode
+	// CertClass is the certified matrix class (dominance / M-matrix /
+	// spectral).
+	CertClass = certify.Class
+	// CertVerdict is the certified outcome: converges, diverges, unknown.
+	CertVerdict = certify.Verdict
+)
+
+// Admission-gate modes for AsyncOptions.Certify.
+const (
+	// CertifyOff skips the pre-flight entirely (the default).
+	CertifyOff = certify.ModeOff
+	// CertifyWarn certifies and attaches the certificate to the result
+	// without ever blocking the solve.
+	CertifyWarn = certify.ModeWarn
+	// CertifyEnforce refuses matrices certified divergent with an error
+	// wrapping ErrCertifiedDivergent before the first iteration.
+	CertifyEnforce = certify.ModeEnforce
+)
+
+// Certified outcomes (the CertVerdict values).
+const (
+	// CertUnknown: neither convergence nor divergence proven within the
+	// certifier's work bound; never blocks admission.
+	CertUnknown = certify.VerdictUnknown
+	// CertConverges: every admissible asynchronous schedule converges.
+	CertConverges = certify.VerdictConverges
+	// CertDiverges: the stationary iteration provably expands.
+	CertDiverges = certify.VerdictDiverges
+)
+
+// ErrCertifiedDivergent marks an admission refused by CertifyEnforce.
+var ErrCertifiedDivergent = certify.ErrDivergent
+
+// Certify runs the admission-time convergence certifier on A.
+func Certify(a *CSR, opt CertifyOptions) (Certificate, error) {
+	return certify.Certify(a, opt)
+}
+
+// ParseCertifyMode parses "off" | "warn" | "enforce" (empty means off).
+func ParseCertifyMode(s string) (CertifyMode, error) { return certify.ParseMode(s) }
 
 // ConvergenceReport carries the paper's §2.2/§3.1 pre-flight analysis.
 type ConvergenceReport = core.ConvergenceReport

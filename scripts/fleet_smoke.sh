@@ -7,8 +7,15 @@
 # routes around) before restarting it (the gateway re-admits it and the
 # ring returns to its original placement).
 #
+# The blend carries a doomed fraction: certified-divergent matrices
+# submitted with certify=enforce, which every node must refuse with a
+# fast 422 (silently admitting one burns a provably divergent budget).
+#
 # Failure conditions:
-#   - loadgen -strict exits nonzero (any non-202/429 response or failed job)
+#   - loadgen -strict exits nonzero (any non-202/429 response, failed job,
+#     silently admitted doomed matrix, or slow 422s)
+#   - no doomed submission was certificate-rejected (the certify step
+#     never exercised enforcement)
 #   - "panic:" appears in any process log
 #   - the ring does not return to 3 healthy nodes after the restart
 #
@@ -72,13 +79,15 @@ wait_url http://127.0.0.1:19090/readyz "gateway"
 echo "fleet-smoke: fleet is up (3 nodes + gateway)"
 
 # Open-loop burst through the gateway: 20s at 40 req/s over a 24-matrix
-# Zipf corpus with a solve-heavy blend. -strict makes loadgen exit
-# nonzero on any non-202/429 response or failed job — shedding is
-# allowed under churn, erroring is not.
+# Zipf corpus with a solve-heavy blend plus a doomed fraction (enforce-
+# mode divergent matrices). -strict makes loadgen exit nonzero on any
+# non-202/429 response, failed job, silently admitted doomed matrix, or
+# slow 422s — shedding is allowed under churn, erroring and burning are
+# not.
 "$BIN/loadgen" -target http://127.0.0.1:19090 \
     -rate 40 -duration 20s \
     -corpus 24 -min-n 32 -max-n 96 -max-iters 400 \
-    -blend 8:1:1 -strict \
+    -blend 8:1:1:2 -strict \
     -out "$ART/loadgen-report.json" \
     >"$ART/loadgen.log" 2>&1 &
 LG=$!
@@ -118,6 +127,17 @@ if [ "$RESTORED" != 1 ]; then
     FAIL=1
 else
     echo "fleet-smoke: ring restored to 3 healthy nodes"
+fi
+
+# The certify step must actually have fired: the doomed blend fraction
+# guarantees doomed arrivals, and every one that wasn't shed must appear
+# as a 422 certificate rejection in the report.
+REJECTED=$(grep -o '"cert_rejected": *[0-9]*' "$ART/loadgen-report.json" | grep -o '[0-9]*$' || echo 0)
+if [ "${REJECTED:-0}" -lt 1 ]; then
+    echo "fleet-smoke: FAIL: no doomed submission was certificate-rejected (cert_rejected=$REJECTED)" >&2
+    FAIL=1
+else
+    echo "fleet-smoke: certify enforcement rejected $REJECTED doomed submissions"
 fi
 
 if grep -l "panic:" "$ART"/*.log >/dev/null 2>&1; then
