@@ -12,7 +12,11 @@
 // certifier rows: certification latency, the predicted-vs-actual iteration
 // ratios of the paper matrices (inside the PredictedFactor band of
 // docs/CERTIFY.md), and the doomed-matrix row where a cached certificate
-// rejection must beat the divergent solve by ≥100× (see certify.go).
+// rejection must beat the divergent solve by ≥100× (see certify.go) — and
+// the session rows: the deterministic warm-vs-cold comparison (a k-step
+// session must out-iterate k cold solves of the same slowly-varying
+// sequence) and the batch-vs-sequential wall-time speedup, enforced on
+// ≥4-core machines (see session.go).
 //
 // The paper's claims are performance claims — convergence per second, not
 // just per iteration — so the repo's trajectory needs a measured baseline
@@ -102,6 +106,8 @@ func run(args []string, out io.Writer) int {
 	report.Fleet = fleetRows
 	certifyRows, certifyProblems := runCertifySuite(*quick, out)
 	report.Certify = certifyRows
+	sessionRows, sessionProblems := runSessionSuite(*quick, out)
+	report.Sessions = sessionRows
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -114,13 +120,13 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
-		if figProblems+fleetProblems+certifyProblems > 0 {
+		if figProblems+fleetProblems+certifyProblems+sessionProblems > 0 {
 			return 1
 		}
 		return 0
 	}
 	code := verdict(*base, basePath, report, limits, out)
-	if figProblems+fleetProblems+certifyProblems > 0 && code == 0 {
+	if figProblems+fleetProblems+certifyProblems+sessionProblems > 0 && code == 0 {
 		code = 1
 	}
 	return code

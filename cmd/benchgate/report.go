@@ -30,6 +30,11 @@ type Report struct {
 	// doomed-matrix rejection speedup (additive field; older baselines
 	// simply lack it and gate nothing there).
 	Certify []CertifyScenario `json:"certify,omitempty"`
+	// Sessions holds the streaming-session and batch rows: the
+	// deterministic warm-vs-cold iteration comparison and the
+	// batch-vs-sequential wall-time speedup (additive field; older
+	// baselines simply lack it and gate nothing there).
+	Sessions []SessionScenario `json:"sessions,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -224,5 +229,6 @@ func Compare(base, current Report, lim Limits) []Problem {
 	}
 	out = append(out, compareFleet(base, current, lim)...)
 	out = append(out, compareCertify(base, current, lim)...)
+	out = append(out, compareSessions(base, current, lim)...)
 	return out
 }

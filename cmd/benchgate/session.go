@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mats"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// SessionScenario is one streaming-session / batch benchmark row of the
+// snapshot. The warm-vs-cold row is fully deterministic (seeded simulated
+// engine) and gates the point of sessions: a k-step session over a
+// slowly-varying right-hand-side sequence must spend strictly fewer total
+// iterations than k cold solves of the same sequence. The batch row
+// measures what one batched submission buys over the sequential loop a
+// caller would otherwise write; its wall-time speedup gates only on
+// machines with enough cores for the comparison to mean anything.
+type SessionScenario struct {
+	Name   string `json:"name"`
+	Matrix string `json:"matrix"`
+	N      int    `json:"n"`
+	// Steps / WarmIters / ColdIters describe the warm-vs-cold row: total
+	// global iterations of the k-step session against the k chained cold
+	// solves. WarmSavings is 1 - warm/cold.
+	Steps       int     `json:"steps,omitempty"`
+	WarmIters   int     `json:"warm_iters,omitempty"`
+	ColdIters   int     `json:"cold_iters,omitempty"`
+	WarmSavings float64 `json:"warm_savings,omitempty"`
+	// Systems / Workers / BatchSeconds / SequentialSeconds describe the
+	// batch row: wall time of one SolveBatch call against the equivalent
+	// sequential per-system loop (identical seeds, so identical work).
+	// BatchSpeedup is sequential/batch; SpeedupGated records whether the
+	// machine had enough cores for the speedup to be enforced.
+	Systems           int     `json:"systems,omitempty"`
+	Workers           int     `json:"workers,omitempty"`
+	BatchSeconds      float64 `json:"batch_seconds,omitempty"`
+	SequentialSeconds float64 `json:"sequential_seconds,omitempty"`
+	BatchSpeedup      float64 `json:"batch_speedup,omitempty"`
+	SpeedupGated      bool    `json:"speedup_gated,omitempty"`
+}
+
+// batchSpeedupFloor is the enforced batch-vs-sequential wall-time ratio on
+// gated (≥4 core) machines: with 4 cross-system workers on independent
+// small systems, anything under this means the batch path serialized.
+const batchSpeedupFloor = 1.3
+
+// runSessionSuite measures the session and batch rows and returns them
+// with the count of gate violations.
+func runSessionSuite(quick bool, out io.Writer) ([]SessionScenario, int) {
+	var rows []SessionScenario
+	problems := 0
+
+	row, probs := runWarmVsCold(quick, out)
+	rows = append(rows, row)
+	problems += probs
+
+	row, probs = runBatchVsSequential(quick, out)
+	rows = append(rows, row)
+	problems += probs
+	return rows, problems
+}
+
+// stepRHS builds the k-th right-hand side of the slowly-varying sequence:
+// b_k = A·x_k for a target drifting 2% per step, the parameter-sweep
+// shape sessions exist for (each step's solution is close to the last).
+func stepRHS(a *sparse.CSR, k int) []float64 {
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + 0.02*float64(k)*float64(i%3)
+	}
+	b := make([]float64, a.Rows)
+	a.MulVec(b, x)
+	return b
+}
+
+// runWarmVsCold runs the same K-step right-hand-side sequence twice on
+// one plan — through a warm-starting session, and as K independent cold
+// solves — on the seeded simulated engine, so both iteration totals are
+// exact. The session must win strictly: that saving is the entire reason
+// the /v1/sessions API exists, and it holds deterministically, so it is
+// gated on every machine.
+func runWarmVsCold(quick bool, out io.Writer) (SessionScenario, int) {
+	const steps = 4
+	a := mats.Trefethen(2000)
+	row := SessionScenario{
+		Name: "session/warm-vs-cold", Matrix: "Trefethen_2000", N: a.Rows, Steps: steps,
+	}
+	opt := core.Options{
+		BlockSize: 128, LocalIters: 5, MaxGlobalIters: 400,
+		Tolerance: 1e-6, Engine: core.EngineSimulated, Seed: 1,
+	}
+	plan, err := core.NewPlan(a, opt.BlockSize, false)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: plan: %v\n", row.Name, err)
+		return row, 1
+	}
+
+	sess := core.NewSession(plan)
+	for k := 1; k <= steps; k++ {
+		r, err := sess.Step(stepRHS(a, k), opt)
+		if err != nil || !r.Converged {
+			fmt.Fprintf(out, "benchgate: REGRESSION %s: warm step %d converged=%v err=%v\n",
+				row.Name, k, r.Converged, err)
+			return row, 1
+		}
+		row.WarmIters += r.GlobalIterations
+	}
+	for k := 1; k <= steps; k++ {
+		r, err := core.SolveWithPlan(plan, stepRHS(a, k), opt)
+		if err != nil || !r.Converged {
+			fmt.Fprintf(out, "benchgate: REGRESSION %s: cold solve %d converged=%v err=%v\n",
+				row.Name, k, r.Converged, err)
+			return row, 1
+		}
+		row.ColdIters += r.GlobalIterations
+	}
+	row.WarmSavings = 1 - float64(row.WarmIters)/float64(row.ColdIters)
+	fmt.Fprintf(out, "benchgate: %s  %d steps  warm %d iters  cold %d iters  saving %.0f%%\n",
+		row.Name, steps, row.WarmIters, row.ColdIters, 100*row.WarmSavings)
+	if row.WarmIters >= row.ColdIters {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: session spent %d iters, cold chain %d — warm start must win\n",
+			row.Name, row.WarmIters, row.ColdIters)
+		return row, 1
+	}
+	return row, 0
+}
+
+// runBatchVsSequential times one SolveBatch call with cross-system
+// workers against the sequential per-system loop it replaces, seeded
+// identically (BatchSeed per system), best of 3 repetitions each. The
+// wall-time speedup is recorded always and enforced only on ≥4-core
+// machines, where the 4 workers actually have somewhere to run.
+func runBatchVsSequential(quick bool, out io.Writer) (SessionScenario, int) {
+	systems := 16
+	if quick {
+		systems = 8
+	}
+	a := mats.FV(40, 40, 1.368)
+	row := SessionScenario{
+		Name: "batch/vs-sequential", Matrix: "fv_40x40", N: a.Rows,
+		Systems: systems, Workers: 4,
+	}
+	opt := core.Options{
+		BlockSize: 128, LocalIters: 5, MaxGlobalIters: 2000,
+		Tolerance: 1e-6, Seed: 1,
+	}
+	plan, err := core.NewPlan(a, opt.BlockSize, false)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: plan: %v\n", row.Name, err)
+		return row, 1
+	}
+	rhs := make([][]float64, systems)
+	for j := range rhs {
+		rhs[j] = make([]float64, a.Rows)
+		a.MulVec(rhs[j], vecmath.Ones(a.Cols))
+		for i := range rhs[j] {
+			rhs[j][i] *= 1 + 0.01*float64(j)
+		}
+	}
+
+	const reps = 3
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		br, err := core.SolveBatch(plan, rhs, opt, core.BatchOptions{Workers: row.Workers})
+		elapsed := time.Since(start).Seconds()
+		if err != nil || br.Converged != systems {
+			fmt.Fprintf(out, "benchgate: REGRESSION %s: batch converged %d/%d err=%v\n",
+				row.Name, br.Converged, systems, err)
+			return row, 1
+		}
+		if rep == 0 || elapsed < row.BatchSeconds {
+			row.BatchSeconds = elapsed
+		}
+	}
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for j := range rhs {
+			o := opt
+			o.Seed = core.BatchSeed(opt.Seed, j)
+			r, err := core.SolveWithPlan(plan, rhs[j], o)
+			if err != nil || !r.Converged {
+				fmt.Fprintf(out, "benchgate: REGRESSION %s: sequential system %d converged=%v err=%v\n",
+					row.Name, j, r.Converged, err)
+				return row, 1
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if rep == 0 || elapsed < row.SequentialSeconds {
+			row.SequentialSeconds = elapsed
+		}
+	}
+	if row.BatchSeconds > 0 {
+		row.BatchSpeedup = row.SequentialSeconds / row.BatchSeconds
+	}
+	row.SpeedupGated = runtime.NumCPU() >= 4
+	gateNote := "gated"
+	if !row.SpeedupGated {
+		gateNote = fmt.Sprintf("not gated: %d cores", runtime.NumCPU())
+	}
+	fmt.Fprintf(out, "benchgate: %s  %d systems  batch %.1fms  sequential %.1fms  speedup ×%.2f (%s)\n",
+		row.Name, systems, 1e3*row.BatchSeconds, 1e3*row.SequentialSeconds, row.BatchSpeedup, gateNote)
+	if row.SpeedupGated && row.BatchSpeedup < batchSpeedupFloor {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: batch only ×%.2f over sequential (floor ×%.1f on %d cores)\n",
+			row.Name, row.BatchSpeedup, batchSpeedupFloor, runtime.NumCPU())
+		return row, 1
+	}
+	return row, 0
+}
+
+// compareSessions gates the session rows against the baseline: every
+// baseline row must still run, the deterministic warm-iteration total
+// gates exactly like other deterministic iteration counts, and the batch
+// wall times gate with the wall-time allowance.
+func compareSessions(base, current Report, lim Limits) []Problem {
+	if len(base.Sessions) == 0 {
+		return nil
+	}
+	now := make(map[string]SessionScenario, len(current.Sessions))
+	for _, r := range current.Sessions {
+		now[r.Name] = r
+	}
+	var out []Problem
+	sameMode := base.Quick == current.Quick
+	for _, b := range base.Sessions {
+		c, ok := now[b.Name]
+		if !ok {
+			if sameMode {
+				out = append(out, Problem{Case: b.Name, Metric: "coverage (session row missing from current run)"})
+			}
+			continue
+		}
+		if b.WarmIters > 0 && float64(c.WarmIters) > float64(b.WarmIters)*(1+lim.MaxIterRegress) {
+			out = append(out, Problem{Case: b.Name, Metric: "warm_iters",
+				Base: float64(b.WarmIters), Now: float64(c.WarmIters), Limit: lim.MaxIterRegress})
+		}
+		if sameMode && b.BatchSeconds > 0 && c.BatchSeconds > b.BatchSeconds*(1+lim.MaxTimeRegress) {
+			out = append(out, Problem{Case: b.Name, Metric: "batch_seconds",
+				Base: b.BatchSeconds, Now: c.BatchSeconds, Limit: lim.MaxTimeRegress})
+		}
+	}
+	return out
+}

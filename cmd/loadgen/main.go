@@ -5,27 +5,36 @@
 // distribution over a generated corpus, so a few hot matrices dominate
 // and exercise the fleet's cache affinity while a long tail churns it.
 //
-// The request mix is controlled by -blend solve:tune:devices[:doomed]
-// weights. "Doomed" submissions post certified-divergent matrices with
-// "certify": "enforce" — the fleet must answer each with a fast 422
-// carrying the certificate. Each accepted job is polled to a terminal
-// state; the run reports accepted/shed/error counts, p50/p99/p999 submit
-// and end-to-end latencies, 422 rejection latencies, completed-jobs-per-
-// second throughput, per-node routing counts and cache-affinity
-// violations, as JSON on stdout (or -out).
+// The request mix is controlled by -blend
+// solve:tune:devices[:doomed[:session[:batch]]] weights. "Doomed"
+// submissions post certified-divergent matrices with "certify": "enforce"
+// — the fleet must answer each with a fast 422 carrying the certificate.
+// "Session" arrivals create a solve session, drive -session-steps
+// warm-started steps through its sticky owner and close it; a 410
+// "session-lost" answer is counted, not errored (it is the honest
+// response across node churn). "Batch" arrivals pack -batch-systems
+// right-hand sides into one submission occupying one queue slot. Each
+// accepted job is polled to a terminal state; the run reports
+// accepted/shed/error counts, p50/p99/p999 submit and end-to-end
+// latencies, 422 rejection latencies, session step latencies,
+// completed-jobs-per-second throughput, per-node routing counts and
+// cache-affinity violations, as JSON on stdout (or -out).
 //
 // With -strict the exit code is nonzero if any request failed with a
-// status other than 202/429 (or 422 for doomed submissions), any accepted
-// job failed, any doomed submission was silently admitted, or doomed
-// rejections were slower than 2s at p99 — the CI smoke gate's contract:
-// under overload and node churn the fleet may shed, but it must not error,
-// and certified-divergent work must be refused in milliseconds, never
-// burned.
+// status other than 202/429 (or 422 for doomed submissions, 410 for
+// session traffic), any accepted job failed, any doomed submission was
+// silently admitted, or doomed rejections were slower than 2s at p99 —
+// the CI smoke gate's contract: under overload and node churn the fleet
+// may shed, but it must not error, and certified-divergent work must be
+// refused in milliseconds, never burned. -fail-on-session-lost
+// additionally gates sessions_lost to zero — the assertion for a no-kill
+// phase, where a lost session means the fleet dropped state without any
+// node dying.
 //
 // Usage:
 //
 //	loadgen -target http://127.0.0.1:9090 -rate 200 -duration 10s \
-//	        -corpus 64 -zipf 1.1 -blend 8:1:1:2 -strict
+//	        -corpus 64 -zipf 1.1 -blend 8:1:1:2:2:1 -strict
 package main
 
 import (
@@ -46,10 +55,10 @@ import (
 
 func parseBlend(s string) (fleet.Blend, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 && len(parts) != 4 {
-		return fleet.Blend{}, fmt.Errorf("want solve:tune:devices[:doomed], have %q", s)
+	if len(parts) < 3 || len(parts) > 6 {
+		return fleet.Blend{}, fmt.Errorf("want solve:tune:devices[:doomed[:session[:batch]]], have %q", s)
 	}
-	vals := make([]float64, 4)
+	vals := make([]float64, 6)
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || v < 0 {
@@ -57,7 +66,10 @@ func parseBlend(s string) (fleet.Blend, error) {
 		}
 		vals[i] = v
 	}
-	return fleet.Blend{Solve: vals[0], Tune: vals[1], Devices: vals[2], Doomed: vals[3]}, nil
+	return fleet.Blend{
+		Solve: vals[0], Tune: vals[1], Devices: vals[2],
+		Doomed: vals[3], Session: vals[4], Batch: vals[5],
+	}, nil
 }
 
 func main() {
@@ -69,15 +81,18 @@ func main() {
 		minN       = flag.Int("min-n", 64, "smallest corpus matrix dimension")
 		maxN       = flag.Int("max-n", 256, "largest corpus matrix dimension")
 		zipfS      = flag.Float64("zipf", 1.1, "Zipf popularity exponent over the corpus")
-		blendStr   = flag.String("blend", "1:0:0", "request mix as solve:tune:devices[:doomed] weights")
+		blendStr   = flag.String("blend", "1:0:0", "request mix as solve:tune:devices[:doomed[:session[:batch]]] weights")
 		seed       = flag.Int64("seed", 1, "arrival-sequence seed")
 		blockSize  = flag.Int("block-size", 64, "solver block size per submission")
 		localIters = flag.Int("local-iters", 4, "local sweeps per submission")
 		maxIters   = flag.Int("max-iters", 1000, "global iteration budget per submission")
 		tolerance  = flag.Float64("tolerance", 1e-6, "convergence tolerance per submission")
+		sessSteps  = flag.Int("session-steps", 3, "warm-started steps per session blend arrival")
+		batchSys   = flag.Int("batch-systems", 4, "right-hand sides per batch blend arrival")
 		out        = flag.String("out", "", "write the JSON report here instead of stdout")
 		scrape     = flag.Bool("scrape", true, "attach the target's /metricsz snapshot to the report")
 		strict     = flag.Bool("strict", false, "exit nonzero on any error (non-202/429 response or failed job)")
+		failOnLost = flag.Bool("fail-on-session-lost", false, "exit nonzero if any session was lost (no-kill phase assertion)")
 	)
 	flag.Parse()
 
@@ -106,6 +121,8 @@ func main() {
 		LocalIters:     *localIters,
 		MaxGlobalIters: *maxIters,
 		Tolerance:      *tolerance,
+		SessionSteps:   *sessSteps,
+		BatchSystems:   *batchSys,
 	})
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
@@ -137,6 +154,17 @@ func main() {
 		log.Printf("loadgen: doomed: %d offered, %d rejected (422), %d admitted, reject p50 %.1fms p99 %.1fms",
 			rep.ByKind["doomed"], rep.CertRejected, rep.DoomedAdmitted, 1e3*rep.RejectP50, 1e3*rep.RejectP99)
 	}
+	if rep.ByKind["session"] > 0 {
+		log.Printf("loadgen: sessions: %d created, %d steps, %d lost, step p50 %.1fms p99 %.1fms",
+			rep.Sessions, rep.SessionSteps, rep.SessionsLost, 1e3*rep.StepP50, 1e3*rep.StepP99)
+	}
+	if rep.ByKind["batch"] > 0 {
+		log.Printf("loadgen: batches: %d accepted, %d system failures", rep.BatchJobs, rep.BatchSystemFailures)
+	}
+	if *failOnLost && rep.SessionsLost > 0 {
+		log.Printf("loadgen: -fail-on-session-lost: %d sessions lost with no node killed", rep.SessionsLost)
+		os.Exit(1)
+	}
 	if *strict {
 		// A doomed submission may be shed (429) under overload, but a node
 		// that admits one burns a provably divergent iteration budget, and a
@@ -144,9 +172,9 @@ func main() {
 		// cache.
 		const rejectBudget = 2.0
 		slowReject := rep.CertRejected > 0 && rep.RejectP99 > rejectBudget
-		if rep.Errors > 0 || rep.FailedJobs > 0 || rep.DoomedAdmitted > 0 || slowReject {
-			log.Printf("loadgen: strict mode: %d errors, %d failed jobs, %d doomed admitted, reject p99 %.3fs (budget %.1fs)",
-				rep.Errors, rep.FailedJobs, rep.DoomedAdmitted, rep.RejectP99, rejectBudget)
+		if rep.Errors > 0 || rep.FailedJobs > 0 || rep.DoomedAdmitted > 0 || rep.BatchSystemFailures > 0 || slowReject {
+			log.Printf("loadgen: strict mode: %d errors, %d failed jobs, %d doomed admitted, %d batch system failures, reject p99 %.3fs (budget %.1fs)",
+				rep.Errors, rep.FailedJobs, rep.DoomedAdmitted, rep.BatchSystemFailures, rep.RejectP99, rejectBudget)
 			for _, s := range rep.ErrorSamples {
 				log.Printf("loadgen:   %s", s)
 			}

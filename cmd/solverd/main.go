@@ -10,9 +10,22 @@
 //	                     "devices" + "strategy" (amc|dc|dk) route the job onto
 //	                     the live multi-device executor, validated against the
 //	                     modeled topology at submit time
+//	POST   /v1/batch     submit N right-hand sides sharing one matrix as a
+//	                     single job occupying one queue slot, solved with
+//	                     bounded cross-system parallelism and per-system
+//	                     convergence reporting (see service.BatchRequest)
 //	GET    /v1/jobs      list jobs
 //	GET    /v1/jobs/{id} job status / progress / result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
+//	POST   /v1/sessions  create a streaming solve session: one plan +
+//	                     tuning + certificate resolved once, then each
+//	                     POST /v1/sessions/{id}/step solves a new
+//	                     right-hand side warm-started from the previous
+//	                     iterate ("stream": "sse" or "json" streams live
+//	                     residual progress); idle sessions expire after
+//	                     -session-ttl (see docs/SESSIONS.md)
+//	GET    /v1/sessions  list sessions; GET/DELETE /v1/sessions/{id}
+//	                     inspect / close one
 //	GET    /healthz      liveness
 //	GET    /readyz       readiness: 503 the moment a drain begins, so a
 //	                     fleet gateway stops routing here while in-flight
@@ -62,17 +75,25 @@ func main() {
 		retryMax     = flag.Duration("retry-max", 5*time.Second, "backoff cap")
 		chaos        = flag.Bool("chaos", false, "admit chaos-injection requests (X-Chaos header / chaos JSON block)")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		sessionTTL   = flag.Duration("session-ttl", 5*time.Minute, "idle lifetime of a solve session before the reaper expires it")
+		maxSessions  = flag.Int("max-sessions", 256, "bound on concurrently active solve sessions")
+		maxBatchSys  = flag.Int("max-batch-systems", 1024, "bound on right-hand sides per batch request")
+		maxBatchWork = flag.Int("max-batch-workers", 8, "cap on per-batch cross-system solver parallelism")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		DefaultTimeout: *jobTimeout,
-		MaxAttempts:    *maxAttempts,
-		RetryBaseDelay: *retryBase,
-		RetryMaxDelay:  *retryMax,
-		EnableChaos:    *chaos,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		DefaultTimeout:  *jobTimeout,
+		MaxAttempts:     *maxAttempts,
+		RetryBaseDelay:  *retryBase,
+		RetryMaxDelay:   *retryMax,
+		EnableChaos:     *chaos,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
+		MaxBatchSystems: *maxBatchSys,
+		MaxBatchWorkers: *maxBatchWork,
 		Cache: service.CacheConfig{
 			MaxEntries:      *cacheEntries,
 			MaxBytes:        *cacheBytes,

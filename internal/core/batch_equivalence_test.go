@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sched"
+)
+
+// batchRHS builds N distinct right-hand sides for one structure.
+func batchRHS(n, count int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rhs := make([][]float64, count)
+	for j := range rhs {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 1 + rng.Float64()
+		}
+		rhs[j] = b
+	}
+	return rhs
+}
+
+// TestBatchEquivalentToPerSystemSolves is the batch conformance anchor:
+// at Workers=1 the batched run must be bitwise identical to the loop a
+// caller would write by hand — one SolveWithPlan per system at goroutine
+// Workers=1, seeded with the system's BatchSeed. (The batch executor runs
+// each system down the sharded substrate's sequential one-shard path,
+// whose bit-identity to the one-worker goroutine engine is the substrate's
+// own anchor property; this test closes the loop across the batch layer.)
+func TestBatchEquivalentToPerSystemSolves(t *testing.T) {
+	a := mats.Trefethen(200)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = int64(42)
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     3,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-9,
+		Seed:           base,
+	}
+	rhs := batchRHS(a.Rows, 7, 3)
+
+	got, err := SolveBatch(p, rhs, opt, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Converged != len(rhs) || got.Failed != 0 {
+		t.Fatalf("batch: %d converged, %d failed of %d", got.Converged, got.Failed, len(rhs))
+	}
+	for j := range rhs {
+		so := opt
+		so.Engine = EngineGoroutine
+		so.Workers = 1
+		so.Seed = BatchSeed(base, j)
+		want, err := SolveWithPlan(p, rhs[j], so)
+		if err != nil {
+			t.Fatalf("per-system solve %d: %v", j, err)
+		}
+		sys := got.Systems[j]
+		if sys.GlobalIterations != want.GlobalIterations {
+			t.Fatalf("system %d: batch took %d iterations, standalone %d",
+				j, sys.GlobalIterations, want.GlobalIterations)
+		}
+		if sys.Residual != want.Residual {
+			t.Fatalf("system %d: batch residual %v, standalone %v", j, sys.Residual, want.Residual)
+		}
+		for i := range want.X {
+			if sys.X[i] != want.X[i] {
+				t.Fatalf("system %d: X[%d] = %v, want bit-identical %v", j, i, sys.X[i], want.X[i])
+			}
+		}
+	}
+}
+
+// TestBatchConcurrentMatchesSequential: every system's execution is
+// deterministic in its derived seed regardless of which worker runs it,
+// so a Workers=4 batch must reproduce the Workers=1 batch bit for bit.
+// Under -race this doubles as the batch executor's data-race stress.
+func TestBatchConcurrentMatchesSequential(t *testing.T) {
+	a := mats.Poisson2D(12, 12)
+	p, err := NewPlan(a, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      24,
+		LocalIters:     2,
+		MaxGlobalIters: 2000,
+		Tolerance:      1e-8,
+		Seed:           7,
+	}
+	rhs := batchRHS(a.Rows, 12, 5)
+
+	seq, err := SolveBatch(p, rhs, opt, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveBatch(p, rhs, opt, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rhs {
+		if par.Systems[j].GlobalIterations != seq.Systems[j].GlobalIterations {
+			t.Fatalf("system %d: %d iterations concurrent, %d sequential",
+				j, par.Systems[j].GlobalIterations, seq.Systems[j].GlobalIterations)
+		}
+		for i := range seq.Systems[j].X {
+			if par.Systems[j].X[i] != seq.Systems[j].X[i] {
+				t.Fatalf("system %d: X[%d] differs between Workers=4 and Workers=1", j, i)
+			}
+		}
+	}
+}
+
+// TestBatchPartialFailure: one poisoned system (NaN in its RHS, detected
+// as a diverged residual) must fail alone; its neighbours complete and
+// converge, and the batch-level error stays nil.
+func TestBatchPartialFailure(t *testing.T) {
+	a := mats.Trefethen(150)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-8,
+		Seed:           9,
+	}
+	rhs := batchRHS(a.Rows, 5, 1)
+	rhs[2][0] = math.NaN()
+
+	res, err := SolveBatch(p, rhs, opt, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("batch-level error for a per-system failure: %v", err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", res.Failed)
+	}
+	if res.Converged != 4 {
+		t.Fatalf("Converged = %d, want 4", res.Converged)
+	}
+	if !errors.Is(res.Systems[2].Err, ErrDiverged) {
+		t.Fatalf("system 2 error = %v, want ErrDiverged", res.Systems[2].Err)
+	}
+	for _, j := range []int{0, 1, 3, 4} {
+		if res.Systems[j].Err != nil || !res.Systems[j].Converged {
+			t.Fatalf("system %d: err=%v converged=%v, want clean convergence",
+				j, res.Systems[j].Err, res.Systems[j].Converged)
+		}
+	}
+}
+
+// TestBatchIterateViews: the per-system X slices are views into the one
+// contiguous backing array, not copies.
+func TestBatchIterateViews(t *testing.T) {
+	a := mats.Trefethen(100)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := batchRHS(a.Rows, 3, 2)
+	res, err := SolveBatch(p, rhs, Options{
+		BlockSize: 25, LocalIters: 2, MaxGlobalIters: 200, Tolerance: 1e-8, Seed: 3,
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	if len(res.Iterates) != 3*n {
+		t.Fatalf("Iterates length %d, want %d", len(res.Iterates), 3*n)
+	}
+	for j, sys := range res.Systems {
+		if &sys.X[0] != &res.Iterates[j*n] {
+			t.Fatalf("system %d: X is not a view into Iterates", j)
+		}
+	}
+}
+
+// TestBatchCancellation: a context canceled mid-batch yields a batch-level
+// ErrCanceled with the already-finished systems intact and the rest marked
+// canceled per-system.
+func TestBatchCancellation(t *testing.T) {
+	a := mats.Trefethen(150)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := Options{
+		BlockSize: 25, LocalIters: 2, MaxGlobalIters: 400, Tolerance: 1e-10,
+		Seed: 4, Ctx: ctx,
+		AfterIteration: func(iter int, x VectorAccess) {
+			if iter == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := SolveBatch(p, batchRHS(a.Rows, 6, 7), opt, BatchOptions{Workers: 1})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("batch error = %v, want ErrCanceled", err)
+	}
+	canceled := 0
+	for _, sys := range res.Systems {
+		if errors.Is(sys.Err, ErrCanceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no system recorded the cancellation")
+	}
+}
+
+// TestBatchValidation pins the structural error surface: zero systems,
+// a mismatched RHS length, a caller InitialGuess, and schedule capture
+// are all refused up front.
+func TestBatchValidation(t *testing.T) {
+	a := mats.Trefethen(100)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{BlockSize: 25, LocalIters: 2, MaxGlobalIters: 10, Seed: 1}
+	good := batchRHS(a.Rows, 2, 1)
+
+	if _, err := SolveBatch(p, nil, opt, BatchOptions{}); err == nil {
+		t.Error("zero-system batch accepted")
+	}
+	short := [][]float64{good[0], make([]float64, a.Rows-1)}
+	if _, err := SolveBatch(p, short, opt, BatchOptions{}); err == nil || !strings.Contains(err.Error(), "system 1") {
+		t.Errorf("mismatched RHS length: err = %v, want a system-1 length error", err)
+	}
+	guess := opt
+	guess.InitialGuess = make([]float64, a.Rows)
+	if _, err := SolveBatch(p, good, guess, BatchOptions{}); err == nil {
+		t.Error("InitialGuess accepted")
+	}
+	rec := opt
+	rec.Record = sched.NewRecorder(0)
+	if _, err := SolveBatch(p, good, rec, BatchOptions{}); err == nil {
+		t.Error("Record accepted")
+	}
+	if _, err := SolveBatch(p, good, opt, BatchOptions{Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}
+
+// TestBatchSeedProperties: derived seeds are never zero (zero means
+// "derive a fresh stream", which would break reproducibility) and distinct
+// across a realistic batch width.
+func TestBatchSeedProperties(t *testing.T) {
+	seen := make(map[int64]int)
+	for _, base := range []int64{1, 42, -7, math.MaxInt64} {
+		for j := 0; j < 4096; j++ {
+			s := BatchSeed(base, j)
+			if s == 0 {
+				t.Fatalf("BatchSeed(%d, %d) = 0", base, j)
+			}
+			seen[s]++
+		}
+	}
+	for s, c := range seen {
+		if c > 1 {
+			t.Fatalf("seed %d derived %d times across bases/systems", s, c)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// Session is the warm-start entry point for streaming solve workloads:
+// one plan, many right-hand sides, each step seeded with the previous
+// step's iterate. It is the core-side state behind the service's
+// POST /v1/sessions API — a time-stepping PDE client streams one RHS per
+// time step and the asynchronous iteration only has to correct the
+// *change* since the last step, which is the regime where the paper's
+// cheap local sweeps pay off hardest (Lee & Bhattacharya's asynchronous
+// 1D heat equation runs exactly this loop).
+//
+// A Session is NOT safe for concurrent use: steps are ordered by
+// definition (step i+1 starts from step i's iterate), so the caller must
+// serialize Step calls. internal/service holds one mutex per session for
+// exactly this.
+type Session struct {
+	p     *Plan
+	warm  []float64 // last adopted iterate; nil until the first success
+	steps int
+}
+
+// NewSession wraps a prepared plan in fresh session state. The first Step
+// is a cold solve (zero initial guess); every later Step warm-starts from
+// the previous step's result.
+func NewSession(p *Plan) *Session {
+	return &Session{p: p}
+}
+
+// Step solves the session's system for the next right-hand side. The
+// session injects its retained iterate as Options.InitialGuess — callers
+// must leave InitialGuess nil (a caller-supplied guess would silently
+// defeat the warm-start contract, so it is rejected loudly instead).
+//
+// On success the step's solution becomes the warm start of the next Step.
+// On error — including ErrNotConverged and cancellation — the previous
+// warm iterate is kept, so a failed or abandoned step never poisons the
+// session state: retrying the same RHS starts from the same place.
+func (s *Session) Step(b []float64, opt Options) (Result, error) {
+	if opt.InitialGuess != nil {
+		return Result{}, fmt.Errorf("core: Session.Step manages InitialGuess itself; leave Options.InitialGuess nil")
+	}
+	if s.warm != nil {
+		opt.InitialGuess = s.warm
+	}
+	res, err := SolveWithPlan(s.p, b, opt)
+	if err != nil {
+		return res, err
+	}
+	// Adopt, don't copy: SolveWithPlan returns a freshly allocated iterate,
+	// and the engines never write through Options.InitialGuess.
+	s.warm = res.X
+	s.steps++
+	return res, nil
+}
+
+// Reset drops the warm iterate and step count; the next Step is cold.
+func (s *Session) Reset() {
+	s.warm = nil
+	s.steps = 0
+}
+
+// Warm returns the iterate the next Step will start from (nil before the
+// first successful step). The slice is the live session state — callers
+// must not modify it.
+func (s *Session) Warm() []float64 { return s.warm }
+
+// Steps returns the number of successful steps taken since creation (or
+// the last Reset).
+func (s *Session) Steps() int { return s.steps }
+
+// Plan returns the plan the session iterates with.
+func (s *Session) Plan() *Plan { return s.p }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sched"
+)
+
+// stepRHS builds the k-th right-hand side of a synthetic time-stepping
+// sequence: the base RHS plus a small seeded per-step drift, the regime a
+// streaming session exists for.
+func stepRHS(base []float64, k int, eps float64) []float64 {
+	rng := rand.New(rand.NewSource(int64(1000 + k)))
+	b := make([]float64, len(base))
+	for i := range b {
+		b[i] = base[i] * (1 + eps*float64(k)*(2*rng.Float64()-1))
+	}
+	return b
+}
+
+// TestSessionMatchesChainedColdSolves is the metamorphic conformance
+// anchor: a k-step session must equal k solves chained by hand — each
+// seeded with the previous result via Options.InitialGuess — bit for bit,
+// step by step, on the deterministic simulated engine with per-step seeds.
+func TestSessionMatchesChainedColdSolves(t *testing.T) {
+	a := mats.Trefethen(300)
+	base := onesRHS(a)
+	p, err := NewPlan(a, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      32,
+		LocalIters:     3,
+		MaxGlobalIters: 400,
+		Tolerance:      1e-10,
+		Engine:         EngineSimulated,
+	}
+
+	const steps = 6
+	sess := NewSession(p)
+	var chained []float64 // the hand-managed warm iterate
+	for k := 0; k < steps; k++ {
+		b := stepRHS(base, k, 1e-3)
+		so := opt
+		so.Seed = int64(100 + k) // same schedule stream down both paths
+
+		got, err := sess.Step(b, so)
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+
+		ho := so
+		ho.InitialGuess = chained
+		want, err := SolveWithPlan(p, b, ho)
+		if err != nil {
+			t.Fatalf("hand-chained solve %d: %v", k, err)
+		}
+		chained = want.X
+
+		if got.GlobalIterations != want.GlobalIterations {
+			t.Fatalf("step %d: session took %d iterations, hand chain %d",
+				k, got.GlobalIterations, want.GlobalIterations)
+		}
+		if got.Residual != want.Residual {
+			t.Fatalf("step %d: session residual %v, hand chain %v", k, got.Residual, want.Residual)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("step %d: X[%d] = %v, want bit-identical %v", k, i, got.X[i], want.X[i])
+			}
+		}
+	}
+	if sess.Steps() != steps {
+		t.Fatalf("session counted %d steps, want %d", sess.Steps(), steps)
+	}
+}
+
+// TestSessionReplayConformance runs the metamorphic test through the
+// concurrent engine: each live session step's schedule is captured with
+// internal/sched, then both a fresh session and a hand-managed chain of
+// cold solves replay the same schedules — the replays are canonical
+// deterministic executions of the recorded block sequences, so the two
+// paths must agree bit for bit.
+func TestSessionReplayConformance(t *testing.T) {
+	a := mats.Poisson2D(16, 16)
+	base := onesRHS(a)
+	p, err := NewPlan(a, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      32,
+		LocalIters:     2,
+		MaxGlobalIters: 2000,
+		Tolerance:      1e-9,
+		Engine:         EngineGoroutine,
+		Workers:        4,
+	}
+
+	const steps = 4
+	// Live pass: a real concurrent session, one recorded schedule per step.
+	schedules := make([]*sched.Schedule, steps)
+	live := NewSession(p)
+	for k := 0; k < steps; k++ {
+		rec := sched.NewRecorder(0)
+		so := opt
+		so.Record = rec
+		if _, err := live.Step(stepRHS(base, k, 1e-3), so); err != nil {
+			t.Fatalf("live step %d: %v", k, err)
+		}
+		schedules[k] = rec.Schedule()
+	}
+
+	// Replay pass A: a fresh session driven along the captured schedules.
+	// Replay pass B: hand-chained SolveWithPlan along the same schedules.
+	replay := NewSession(p)
+	var chained []float64
+	for k := 0; k < steps; k++ {
+		b := stepRHS(base, k, 1e-3)
+		so := opt
+		so.Replay = schedules[k]
+
+		got, err := replay.Step(b, so)
+		if err != nil {
+			t.Fatalf("replayed step %d: %v", k, err)
+		}
+		ho := so
+		ho.InitialGuess = chained
+		want, err := SolveWithPlan(p, b, ho)
+		if err != nil {
+			t.Fatalf("replayed hand chain %d: %v", k, err)
+		}
+		chained = want.X
+
+		if got.GlobalIterations != want.GlobalIterations {
+			t.Fatalf("step %d: session replay took %d iterations, hand chain %d",
+				k, got.GlobalIterations, want.GlobalIterations)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("step %d: X[%d] = %v, want bit-identical %v", k, i, got.X[i], want.X[i])
+			}
+		}
+	}
+}
+
+// TestSessionWarmSurvivesFailedStep pins the error contract: a step that
+// fails (here: an already-canceled context) must leave the previous warm
+// iterate and the step count untouched, so a retry starts from the same
+// state as the failed attempt did.
+func TestSessionWarmSurvivesFailedStep(t *testing.T) {
+	a := mats.Trefethen(150)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-8,
+		Seed:           5,
+	}
+	sess := NewSession(p)
+	if _, err := sess.Step(b, opt); err != nil {
+		t.Fatal(err)
+	}
+	warm := append([]float64(nil), sess.Warm()...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bad := opt
+	bad.Ctx = ctx
+	if _, err := sess.Step(b, bad); err == nil {
+		t.Fatal("canceled step reported success")
+	}
+	if sess.Steps() != 1 {
+		t.Fatalf("failed step advanced the step count to %d", sess.Steps())
+	}
+	for i, v := range sess.Warm() {
+		if v != warm[i] {
+			t.Fatalf("failed step modified warm[%d]: %v != %v", i, v, warm[i])
+		}
+	}
+
+	// A successful retry proceeds from exactly that warm iterate.
+	retry, err := sess.Step(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho := opt
+	ho.InitialGuess = warm
+	want, err := SolveWithPlan(p, b, ho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.X {
+		if retry.X[i] != want.X[i] {
+			t.Fatalf("retry X[%d] = %v, want %v", i, retry.X[i], want.X[i])
+		}
+	}
+}
+
+// TestSessionRejectsCallerGuess: a caller-supplied InitialGuess would
+// silently defeat the warm-start contract, so Step refuses it.
+func TestSessionRejectsCallerGuess(t *testing.T) {
+	a := mats.Trefethen(100)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(p)
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 50,
+		InitialGuess:   make([]float64, a.Rows),
+	}
+	if _, err := sess.Step(onesRHS(a), opt); err == nil {
+		t.Fatal("Step accepted a caller-supplied InitialGuess")
+	}
+}
+
+// TestSessionReset: after Reset the next step is cold — identical to a
+// fresh session's first step under the same seed.
+func TestSessionReset(t *testing.T) {
+	a := mats.Trefethen(150)
+	b := onesRHS(a)
+	p, err := NewPlan(a, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		BlockSize:      25,
+		LocalIters:     2,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-8,
+		Seed:           11,
+	}
+	sess := NewSession(p)
+	first, err := sess.Step(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(b, opt); err != nil {
+		t.Fatal(err)
+	}
+	sess.Reset()
+	if sess.Warm() != nil || sess.Steps() != 0 {
+		t.Fatalf("Reset left state behind: warm=%v steps=%d", sess.Warm(), sess.Steps())
+	}
+	again, err := sess.Step(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.GlobalIterations != first.GlobalIterations {
+		t.Fatalf("post-Reset step took %d iterations, first cold step %d",
+			again.GlobalIterations, first.GlobalIterations)
+	}
+	for i := range first.X {
+		if again.X[i] != first.X[i] {
+			t.Fatalf("post-Reset X[%d] = %v, want %v", i, again.X[i], first.X[i])
+		}
+	}
+}

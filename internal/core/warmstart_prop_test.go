@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// TestWarmStartBeatsColdProperty is the session layer's property test:
+// over generated SPD time-stepping sequences — each step's RHS a small
+// drift of the previous one, the implicit-Euler regime ROADMAP item 4
+// targets — a warm-started step never needs more global iterations than
+// the cold solve of the identical system under the identical schedule
+// seed, and needs strictly fewer on at least 80% of the steps. Runs on
+// the deterministic simulated engine so the comparison is exact, and
+// under -race in CI like the rest of the package.
+func TestWarmStartBeatsColdProperty(t *testing.T) {
+	type system struct {
+		name string
+		a    *sparse.CSR
+	}
+	systems := []system{
+		{"diagdominant-200", mats.DiagDominant(200, 3, 1.6)},
+		{"diagdominant-350", mats.DiagDominant(350, 5, 2.5)},
+		{"trefethen-250", mats.Trefethen(250)},
+		{"poisson2d-14x14", mats.Poisson2D(14, 14)},
+	}
+
+	const (
+		steps       = 10
+		eps         = 5e-4 // per-step relative RHS drift
+		strictFloor = 0.8
+	)
+	totalSteps, strictWins := 0, 0
+	for si, sys := range systems {
+		p, err := NewPlan(sys.a, 32, false)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.name, err)
+		}
+		opt := Options{
+			BlockSize:      32,
+			LocalIters:     3,
+			MaxGlobalIters: 5000,
+			Tolerance:      1e-10,
+			Engine:         EngineSimulated,
+		}
+		rng := rand.New(rand.NewSource(int64(7000 + si)))
+		b := make([]float64, sys.a.Rows)
+		for i := range b {
+			b[i] = 1 + rng.Float64()
+		}
+
+		sess := NewSession(p)
+		for k := 0; k < steps; k++ {
+			// Drift the RHS: the solution moves a little, the structure not
+			// at all — one time step of an implicit scheme.
+			if k > 0 {
+				for i := range b {
+					b[i] *= 1 + eps*(2*rng.Float64()-1)
+				}
+			}
+			so := opt
+			so.Seed = int64(500*si + k + 1) // identical schedule for both runs
+
+			warm, err := sess.Step(b, so)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", sys.name, k, err)
+			}
+			cold, err := SolveWithPlan(p, b, so)
+			if err != nil {
+				t.Fatalf("%s cold %d: %v", sys.name, k, err)
+			}
+			if !warm.Converged || !cold.Converged {
+				t.Fatalf("%s step %d: warm converged=%v cold converged=%v",
+					sys.name, k, warm.Converged, cold.Converged)
+			}
+			if k == 0 {
+				// The first step has no warm state; both runs are the same
+				// cold solve and must agree exactly. Not scored.
+				if warm.GlobalIterations != cold.GlobalIterations {
+					t.Fatalf("%s step 0: session cold step took %d iterations, plain solve %d",
+						sys.name, warm.GlobalIterations, cold.GlobalIterations)
+				}
+				continue
+			}
+			if warm.GlobalIterations > cold.GlobalIterations {
+				t.Errorf("%s step %d: warm start took %d iterations, cold solve %d — warm must never be worse",
+					sys.name, k, warm.GlobalIterations, cold.GlobalIterations)
+			}
+			totalSteps++
+			if warm.GlobalIterations < cold.GlobalIterations {
+				strictWins++
+			}
+		}
+	}
+	if frac := float64(strictWins) / float64(totalSteps); frac < strictFloor {
+		t.Errorf("warm start strictly beat cold on %d/%d steps (%.0f%%), want ≥ %.0f%%",
+			strictWins, totalSteps, 100*frac, 100*strictFloor)
+	} else {
+		t.Logf("warm start strictly beat cold on %d/%d steps (%.0f%%)", strictWins, totalSteps, 100*frac)
+	}
+}

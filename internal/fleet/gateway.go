@@ -36,6 +36,11 @@ type GatewayConfig struct {
 	// InlineKeyCache bounds the payload-hash → fingerprint routing cache
 	// (default 4096 entries).
 	InlineKeyCache int
+	// SessionRegistry bounds the gateway's session-tracking map (namespaced
+	// ID → owning node + fingerprint; default 16384 entries). Tracking is
+	// what turns a dead owner into an explicit 410 "session-lost" instead of
+	// a bare 404.
+	SessionRegistry int
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -61,20 +66,25 @@ type Gateway struct {
 	members  *Membership
 	reg      *metrics.Registry
 	resolver *keyResolver
+	sessions *sessionRegistry
 	client   *http.Client
 
 	inflight atomic.Int64
 
-	shed         *metrics.Counter
-	noNodes      *metrics.Counter
-	failovers    *metrics.Counter
-	submitOK     *metrics.Counter
-	submit429    *metrics.Counter
-	submit422    *metrics.Counter
-	badRequests  *metrics.Counter
-	forwardHist  *metrics.Histogram
-	routeCounter func(node string) *metrics.Counter
-	failCounter  func(node string) *metrics.Counter
+	shed            *metrics.Counter
+	noNodes         *metrics.Counter
+	failovers       *metrics.Counter
+	submitOK        *metrics.Counter
+	submit429       *metrics.Counter
+	submit422       *metrics.Counter
+	badRequests     *metrics.Counter
+	sessionsCreated *metrics.Counter
+	sessionSteps    *metrics.Counter
+	sessionLost     *metrics.Counter
+	batchSubmits    *metrics.Counter
+	forwardHist     *metrics.Histogram
+	routeCounter    func(node string) *metrics.Counter
+	failCounter     func(node string) *metrics.Counter
 }
 
 // NewGateway creates a gateway with an empty membership. Register nodes,
@@ -87,6 +97,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		members:  NewMembership(cfg.Membership, reg),
 		reg:      reg,
 		resolver: newKeyResolver(cfg.InlineKeyCache),
+		sessions: newSessionRegistry(cfg.SessionRegistry),
 		client:   cfg.Client,
 	}
 	if g.client == nil {
@@ -109,6 +120,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	g.submit429 = reg.Counter("gateway_node_429_total", "Node 429s propagated upstream with their Retry-After.")
 	g.submit422 = reg.Counter("gateway_cert_rejects_total", "Certified-divergent 422s relayed verbatim (never failed over).")
 	g.badRequests = reg.Counter("gateway_bad_requests_total", "Solve submissions rejected before routing (body or matrix).")
+	g.sessionsCreated = reg.Counter("gateway_sessions_created_total", "Solve sessions created through the gateway (201).")
+	g.sessionSteps = reg.Counter("gateway_session_steps_total", "Session steps forwarded to their pinned owner.")
+	g.sessionLost = reg.Counter("gateway_session_lost_total", "Session operations answered 410 session-lost (owner dead or state gone).")
+	g.batchSubmits = reg.Counter("gateway_batch_submits_total", "Batched solves accepted by a node (202).")
 	g.forwardHist = reg.Histogram("gateway_forward_seconds", "Latency of forwarded solve submissions.", nil)
 	g.routeCounter = func(node string) *metrics.Counter {
 		return reg.Counter("gateway_node_requests_total", "Requests forwarded per node.", "node", node)
@@ -124,6 +139,8 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		func() float64 { return float64(len(g.members.Nodes())) })
 	reg.GaugeFunc("gateway_healthy_nodes", "Nodes currently in the ring.",
 		func() float64 { return float64(g.members.HealthyCount()) })
+	reg.GaugeFunc("gateway_tracked_sessions", "Sessions in the gateway's routing registry.",
+		func() float64 { return float64(g.sessions.len()) })
 	return g
 }
 
@@ -150,6 +167,13 @@ type gatewayStats struct {
 	Submits      uint64     `json:"submits"`
 	Node429      uint64     `json:"node_429"`
 	CertRejects  uint64     `json:"cert_rejects"`
+	// Sessions/SessionSteps/SessionsLost/Batches mirror the gateway's
+	// session and batch counters (same atomics as /metricsz).
+	Sessions        uint64 `json:"sessions_created"`
+	SessionSteps    uint64 `json:"session_steps"`
+	SessionsLost    uint64 `json:"sessions_lost"`
+	TrackedSessions int    `json:"tracked_sessions"`
+	Batches         uint64 `json:"batches"`
 }
 
 // registerRequest is the POST /v1/nodes body.
@@ -162,6 +186,15 @@ type registerRequest struct {
 //
 //	POST   /v1/solve        route a solve to its ring owner (202; job IDs
 //	                        come back namespaced "node~id")
+//	POST   /v1/batch        route a batched solve the same way (one job)
+//	POST   /v1/sessions     route a session to its fingerprint's owner and
+//	                        pin it there (201; session IDs namespaced
+//	                        "node~id")
+//	GET    /v1/sessions     the gateway's tracked-session inventory
+//	GET    /v1/sessions/{id}     proxy to the pinned owner (410
+//	DELETE /v1/sessions/{id}     session-lost when the owner died)
+//	POST   /v1/sessions/{id}/step  forward a step, relaying SSE/chunked
+//	                        progress as it streams; never failed over
 //	GET    /v1/jobs/{id}    proxy a namespaced job status to its node
 //	DELETE /v1/jobs/{id}    proxy a cancellation
 //	GET    /v1/nodes        membership with health state
@@ -174,6 +207,12 @@ type registerRequest struct {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", g.handleSolve)
+	mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	mux.HandleFunc("POST /v1/sessions", g.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", g.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", g.handleSessionProxy)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleSessionProxy)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", g.handleSessionStep)
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJob)
 	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +261,12 @@ func (g *Gateway) Handler() http.Handler {
 			Submits:      g.submitOK.Value(),
 			Node429:      g.submit429.Value(),
 			CertRejects:  g.submit422.Value(),
+
+			Sessions:        g.sessionsCreated.Value(),
+			SessionSteps:    g.sessionSteps.Value(),
+			SessionsLost:    g.sessionLost.Value(),
+			TrackedSessions: g.sessions.len(),
+			Batches:         g.batchSubmits.Value(),
 		})
 	})
 	mux.Handle("GET /metricsz", g.reg.Handler())

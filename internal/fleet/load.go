@@ -23,11 +23,23 @@ import (
 // submissions route onto the live multi-device executor, and "Doomed"
 // submissions post certified-divergent matrices with "certify": "enforce"
 // — the fleet must answer each with a fast 422, never silently burn it.
+// "Session" arrivals create a solve session, stream SessionSteps
+// warm-started steps through it and close it — exercising the sticky
+// session routing path; any 410 "session-lost" is counted, not errored
+// (it is the honest answer across node churn, and the -strict no-kill
+// contract gates it to zero). "Batch" arrivals post a many-small-systems
+// batch occupying one queue slot.
 type Blend struct {
 	Solve   float64 `json:"solve"`
 	Tune    float64 `json:"tune"`
 	Devices float64 `json:"devices"`
 	Doomed  float64 `json:"doomed"`
+	Session float64 `json:"session"`
+	Batch   float64 `json:"batch"`
+}
+
+func (b Blend) total() float64 {
+	return b.Solve + b.Tune + b.Devices + b.Doomed + b.Session + b.Batch
 }
 
 // LoadConfig configures one open-loop load run against a gateway or a
@@ -65,6 +77,12 @@ type LoadConfig struct {
 	// Devices is the device count of "devices" blend submissions
 	// (default 2).
 	Devices int
+	// SessionSteps is how many warm-started steps each "session" blend
+	// arrival drives before closing its session (default 3).
+	SessionSteps int
+	// BatchSystems is how many right-hand sides each "batch" blend
+	// arrival packs into one submission (default 4).
+	BatchSystems int
 	// PollInterval is the job-status poll period (default 10ms).
 	PollInterval time.Duration
 	// CompletionTimeout bounds how long one accepted job is polled after
@@ -98,7 +116,7 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.ZipfS <= 0 {
 		c.ZipfS = 1.1
 	}
-	if c.Blend.Solve <= 0 && c.Blend.Tune <= 0 && c.Blend.Devices <= 0 && c.Blend.Doomed <= 0 {
+	if c.Blend.total() <= 0 {
 		c.Blend = Blend{Solve: 1}
 	}
 	if c.Blend.Doomed > 0 && len(c.DoomedCorpus) == 0 {
@@ -121,6 +139,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Devices <= 0 {
 		c.Devices = 2
+	}
+	if c.SessionSteps <= 0 {
+		c.SessionSteps = 3
+	}
+	if c.BatchSystems <= 0 {
+		c.BatchSystems = 4
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 10 * time.Millisecond
@@ -153,6 +177,22 @@ type LoadReport struct {
 	CertRejected   int `json:"cert_rejected"`
 	DoomedAdmitted int `json:"doomed_admitted"`
 
+	// Sessions / SessionSteps / SessionsLost account the "session" blend
+	// arrivals separately from the job counters: sessions created (201),
+	// successful warm-started steps across all of them, and steps answered
+	// with a 410 "session-lost" (the structured loss the gateway reports
+	// when a session's owning node died — expected across kills, gated to
+	// zero by -fail-on-session-lost in a no-kill run).
+	Sessions     int `json:"sessions,omitempty"`
+	SessionSteps int `json:"session_steps,omitempty"`
+	SessionsLost int `json:"sessions_lost"`
+	// BatchJobs counts accepted "batch" blend submissions (each is a
+	// regular job, so it also counts into Accepted / Completed);
+	// BatchSystemFailures sums per-system failures across completed
+	// batches — a batch job can be "done" with individual systems failed.
+	BatchJobs           int `json:"batch_jobs,omitempty"`
+	BatchSystemFailures int `json:"batch_system_failures"`
+
 	DurationSeconds float64 `json:"duration_seconds"` // arrival window
 	WallSeconds     float64 `json:"wall_seconds"`     // window + drain
 	// Throughput is completed jobs per second of the arrival window — the
@@ -173,6 +213,10 @@ type LoadReport struct {
 	// seconds a burned solve would take.
 	RejectP50 float64 `json:"reject_p50_seconds,omitempty"`
 	RejectP99 float64 `json:"reject_p99_seconds,omitempty"`
+	// Step latencies cover session step round trips (the solve runs
+	// inline in the response, warm-started from the previous iterate).
+	StepP50 float64 `json:"step_p50_seconds,omitempty"`
+	StepP99 float64 `json:"step_p99_seconds,omitempty"`
 
 	ShedRate float64 `json:"shed_rate"` // shed / offered
 
@@ -226,6 +270,7 @@ type loadState struct {
 	submitLats []float64
 	e2eLats    []float64
 	rejectLats []float64
+	stepLats   []float64
 	nodeByFP   map[string]string
 	errSeen    map[string]bool
 }
@@ -240,7 +285,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x10adc0de))
 	zipf := newZipfPicker(len(cfg.Corpus), cfg.ZipfS)
-	blendTotal := cfg.Blend.Solve + cfg.Blend.Tune + cfg.Blend.Devices + cfg.Blend.Doomed
+	blendTotal := cfg.Blend.total()
 
 	st := &loadState{
 		nodeByFP: make(map[string]string),
@@ -264,14 +309,19 @@ arrivals:
 		}
 		entry := &cfg.Corpus[zipf.pick(rng.Float64())]
 		kind := "solve"
+		b := cfg.Blend
 		switch u := rng.Float64() * blendTotal; {
-		case u < cfg.Blend.Tune:
+		case u < b.Tune:
 			kind = "tune"
-		case u < cfg.Blend.Tune+cfg.Blend.Devices:
+		case u < b.Tune+b.Devices:
 			kind = "devices"
-		case u < cfg.Blend.Tune+cfg.Blend.Devices+cfg.Blend.Doomed:
+		case u < b.Tune+b.Devices+b.Doomed:
 			kind = "doomed"
 			entry = &cfg.DoomedCorpus[rng.IntN(len(cfg.DoomedCorpus))]
+		case u < b.Tune+b.Devices+b.Doomed+b.Session:
+			kind = "session"
+		case u < b.Tune+b.Devices+b.Doomed+b.Session+b.Batch:
+			kind = "batch"
 		}
 		st.mu.Lock()
 		st.rep.Offered++
@@ -281,6 +331,10 @@ arrivals:
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if kind == "session" {
+				oneSession(ctx, cfg, entry, st)
+				return
+			}
 			oneRequest(ctx, cfg, entry, kind, st)
 		}()
 
@@ -319,6 +373,8 @@ arrivals:
 	rep.E2EP999 = percentile(st.e2eLats, 0.999)
 	rep.RejectP50 = percentile(st.rejectLats, 0.50)
 	rep.RejectP99 = percentile(st.rejectLats, 0.99)
+	rep.StepP50 = percentile(st.stepLats, 0.50)
+	rep.StepP99 = percentile(st.stepLats, 0.99)
 	return &rep, nil
 }
 
@@ -353,6 +409,16 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 		body["block_size"] = bs
 		body["local_iters"] = cfg.LocalIters
 		body["devices"] = cfg.Devices
+	case "batch":
+		// One submission, BatchSystems small systems sharing the entry's
+		// structural plan — one queue slot for all of them.
+		rhs := make([][]float64, cfg.BatchSystems)
+		for j := range rhs {
+			rhs[j] = loadRHS(entry.N, j+1)
+		}
+		body["rhs"] = rhs
+		body["block_size"] = cfg.BlockSize
+		body["local_iters"] = cfg.LocalIters
 	default:
 		body["block_size"] = cfg.BlockSize
 		body["local_iters"] = cfg.LocalIters
@@ -362,9 +428,13 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 		st.recordError(fmt.Sprintf("marshal: %v", err))
 		return
 	}
+	endpoint := cfg.BaseURL + "/v1/solve"
+	if kind == "batch" {
+		endpoint = cfg.BaseURL + "/v1/batch"
+	}
 
 	submitStart := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/solve", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(payload))
 	if err != nil {
 		st.recordError(fmt.Sprintf("request: %v", err))
 		return
@@ -422,6 +492,9 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 	}
 	st.mu.Lock()
 	st.rep.Accepted++
+	if kind == "batch" {
+		st.rep.BatchJobs++
+	}
 	st.submitLats = append(st.submitLats, submitLat)
 	if sv.Node != "" {
 		st.rep.ByNode[sv.Node]++
@@ -434,7 +507,7 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 	}
 	st.mu.Unlock()
 
-	state, err := pollJob(ctx, cfg, sv.StatusURL)
+	state, batchFailed, err := pollJob(ctx, cfg, sv.StatusURL)
 	e2e := time.Since(submitStart).Seconds()
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -443,35 +516,171 @@ func oneRequest(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, kind st
 		st.rep.TimedOut++
 	case state == "done":
 		st.rep.Completed++
+		st.rep.BatchSystemFailures += batchFailed
 		st.e2eLats = append(st.e2eLats, e2e)
 	default:
 		st.rep.FailedJobs++
 	}
 }
 
+// loadRHS builds the j-th deterministic right-hand side for an n-system.
+func loadRHS(n, j int) []float64 {
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1 + 0.01*float64(j)*float64(i%5)
+	}
+	return rhs
+}
+
+// oneSession drives one "session" blend arrival: create a session for the
+// entry, run SessionSteps warm-started steps, close it. A 410 on any step
+// or on the close is counted as a session loss — the structured answer
+// the gateway gives when the owning node died — and ends the session; any
+// other non-200 is an error.
+func oneSession(ctx context.Context, cfg LoadConfig, entry *CorpusEntry, st *loadState) {
+	create := map[string]any{
+		"matrix_market":    entry.MatrixMarket,
+		"block_size":       cfg.BlockSize,
+		"local_iters":      cfg.LocalIters,
+		"max_global_iters": cfg.MaxGlobalIters,
+		"tolerance":        cfg.Tolerance,
+		"seed":             1,
+	}
+	submitStart := time.Now()
+	status, respBody, err := postLoadJSON(ctx, cfg, "/v1/sessions", create)
+	if err != nil {
+		st.recordError(fmt.Sprintf("session create: %v", err))
+		return
+	}
+	submitLat := time.Since(submitStart).Seconds()
+	switch status {
+	case http.StatusCreated:
+	case http.StatusTooManyRequests:
+		st.mu.Lock()
+		st.rep.Shed++
+		st.submitLats = append(st.submitLats, submitLat)
+		st.mu.Unlock()
+		return
+	default:
+		st.recordError(fmt.Sprintf("session create status %d: %s", status, truncate(string(respBody), 160)))
+		return
+	}
+	var view struct {
+		ID   string `json:"id"`
+		Node string `json:"node"`
+	}
+	if err := json.Unmarshal(respBody, &view); err != nil || view.ID == "" {
+		st.recordError(fmt.Sprintf("session create response: %v", err))
+		return
+	}
+	st.mu.Lock()
+	st.rep.Sessions++
+	st.submitLats = append(st.submitLats, submitLat)
+	if view.Node != "" {
+		st.rep.ByNode[view.Node]++
+	}
+	st.mu.Unlock()
+
+	stepPath := "/v1/sessions/" + view.ID + "/step"
+	for k := 1; k <= cfg.SessionSteps; k++ {
+		stepStart := time.Now()
+		status, respBody, err := postLoadJSON(ctx, cfg, stepPath, map[string]any{"rhs": loadRHS(entry.N, k)})
+		if err != nil {
+			st.recordError(fmt.Sprintf("session step: %v", err))
+			return
+		}
+		switch status {
+		case http.StatusOK:
+			st.mu.Lock()
+			st.rep.SessionSteps++
+			st.stepLats = append(st.stepLats, time.Since(stepStart).Seconds())
+			st.mu.Unlock()
+		case http.StatusGone:
+			st.mu.Lock()
+			st.rep.SessionsLost++
+			st.mu.Unlock()
+			return
+		default:
+			st.recordError(fmt.Sprintf("session step status %d: %s", status, truncate(string(respBody), 160)))
+			return
+		}
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cfg.BaseURL+"/v1/sessions/"+view.ID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		st.recordError(fmt.Sprintf("session close: %v", err))
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		st.mu.Lock()
+		st.rep.SessionsLost++
+		st.mu.Unlock()
+	} else if resp.StatusCode != http.StatusOK {
+		st.recordError(fmt.Sprintf("session close status %d", resp.StatusCode))
+	}
+}
+
+// postLoadJSON posts one JSON body and returns the status and (bounded)
+// response body.
+func postLoadJSON(ctx context.Context, cfg LoadConfig, path string, body any) (int, []byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return resp.StatusCode, respBody, nil
+}
+
 // pollJob polls a status URL until the job is terminal or the completion
-// timeout expires.
-func pollJob(ctx context.Context, cfg LoadConfig, statusURL string) (string, error) {
+// timeout expires. For batch jobs the terminal view carries a per-system
+// summary; its failure count is returned alongside the state (a batch can
+// be "done" with individual systems failed).
+func pollJob(ctx context.Context, cfg LoadConfig, statusURL string) (string, int, error) {
 	deadline := time.Now().Add(cfg.CompletionTimeout)
 	for {
 		if time.Now().After(deadline) {
-			return "", fmt.Errorf("fleet: job not terminal within %s", cfg.CompletionTimeout)
+			return "", 0, fmt.Errorf("fleet: job not terminal within %s", cfg.CompletionTimeout)
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+statusURL, nil)
 		if err != nil {
-			return "", err
+			return "", 0, err
 		}
 		resp, err := cfg.Client.Do(req)
 		if err == nil && resp.StatusCode == http.StatusOK {
 			var view struct {
-				State string `json:"state"`
+				State  string `json:"state"`
+				Result *struct {
+					Batch *struct {
+						Failed int `json:"failed"`
+					} `json:"batch"`
+				} `json:"result"`
 			}
 			err = json.NewDecoder(resp.Body).Decode(&view)
 			resp.Body.Close()
 			if err == nil {
 				switch view.State {
 				case "done", "failed", "canceled":
-					return view.State, nil
+					failed := 0
+					if view.Result != nil && view.Result.Batch != nil {
+						failed = view.Result.Batch.Failed
+					}
+					return view.State, failed, nil
 				}
 			}
 		} else if resp != nil {
@@ -479,7 +688,7 @@ func pollJob(ctx context.Context, cfg LoadConfig, statusURL string) (string, err
 		}
 		select {
 		case <-ctx.Done():
-			return "", ctx.Err()
+			return "", 0, ctx.Err()
 		case <-time.After(cfg.PollInterval):
 		}
 	}

@@ -192,6 +192,57 @@ func TestRunLoadDoomedBlend(t *testing.T) {
 	}
 }
 
+// TestRunLoadSessionBatchBlend drives session and batch arrivals through
+// a real gateway: sessions create + step + close against their sticky
+// owner (zero losses in a steady fleet), batches flow through the job
+// counters with zero per-system failures.
+func TestRunLoadSessionBatchBlend(t *testing.T) {
+	_, ts, _ := startFleet(t, 2, GatewayConfig{}, service.Config{Workers: 2, QueueDepth: 64})
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:        ts.URL,
+		Rate:           40,
+		Duration:       500 * time.Millisecond,
+		Corpus:         BuildCorpus(3, 24, 32),
+		Blend:          Blend{Solve: 1, Session: 2, Batch: 2},
+		BlockSize:      8,
+		LocalIters:     2,
+		MaxGlobalIters: 300,
+		Tolerance:      1e-6,
+		SessionSteps:   2,
+		BatchSystems:   3,
+		PollInterval:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("session/batch blend errors: %v", rep.ErrorSamples)
+	}
+	if rep.ByKind["session"] == 0 || rep.ByKind["batch"] == 0 {
+		t.Fatalf("blend generated no session or batch arrivals (by_kind=%v)", rep.ByKind)
+	}
+	// Steady fleet, no kills: every created session must step fully and
+	// close without a single loss.
+	if rep.SessionsLost != 0 {
+		t.Errorf("%d sessions lost in a steady fleet", rep.SessionsLost)
+	}
+	if rep.Sessions == 0 || rep.SessionSteps != rep.Sessions*2 {
+		t.Errorf("sessions %d stepped %d times, want %d", rep.Sessions, rep.SessionSteps, rep.Sessions*2)
+	}
+	if rep.Sessions > 0 && rep.StepP50 <= 0 {
+		t.Errorf("no step latency recorded for %d sessions", rep.Sessions)
+	}
+	if rep.BatchJobs == 0 {
+		t.Error("no batch job accepted")
+	}
+	if rep.BatchSystemFailures != 0 {
+		t.Errorf("%d batch system failures on well-posed systems", rep.BatchSystemFailures)
+	}
+	if rep.Completed == 0 {
+		t.Error("no job completed")
+	}
+}
+
 // TestScrapeMetrics round-trips the gateway's own /metricsz.
 func TestScrapeMetrics(t *testing.T) {
 	_, ts, _ := startFleet(t, 1, GatewayConfig{}, service.Config{Workers: 1, QueueDepth: 4})

@@ -120,6 +120,8 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.Handle("GET /metricsz", s.Metrics().Handler())
+	registerSessionRoutes(mux, s)
+	registerBatchRoutes(mux, s)
 	return mux
 }
 

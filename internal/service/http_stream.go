@@ -1,0 +1,160 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// streamStep runs one session step and streams its live residual to the
+// client — "sse" frames the payloads as Server-Sent Events, "json" as
+// chunked JSON lines; both carry the same three payload shapes (progress
+// samples, then exactly one result or error).
+//
+// The status line commits before the solve starts, so step failures after
+// that point arrive as in-stream error payloads, not HTTP statuses. To keep
+// the common failures on the status line anyway, the session is looked up
+// (404/410) before streaming begins; the in-stream error then only covers
+// solve-time failures and the lookup/solve race.
+func streamStep(w http.ResponseWriter, s *Service, id string, req StepRequest, enc streamEncoder) {
+	ss, err := s.sessions.get(id)
+	if err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	if ss.view().State != SessionActive.String() {
+		// Tombstones answer the status-line 410; the in-stream error frame
+		// only covers a session dying between this check and the step.
+		writeSessionError(w, ss.gone())
+		return
+	}
+	if len(req.RHS) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: step rhs must be non-empty"))
+		return
+	}
+
+	w.Header().Set("Content-Type", enc.contentType())
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	every := req.ProgressEvery
+	if every <= 0 {
+		every = 1
+	}
+	samples := 0
+	progress := func(p StepProgress) {
+		samples++
+		if samples%every != 0 {
+			return
+		}
+		enc.progress(w, p)
+		flush()
+	}
+
+	res, err := s.StepSession(id, req, progress)
+	if err != nil {
+		enc.errorEvent(w, err)
+	} else {
+		enc.result(w, res)
+	}
+	flush()
+}
+
+// streamError is the in-stream error payload. Code carries the session-gone
+// vocabulary ("session-expired", "session-closed") when it applies, so a
+// streaming client can distinguish a dead session from a failed solve
+// without re-parsing the message.
+type streamError struct {
+	Error       string `json:"error"`
+	Code        string `json:"code,omitempty"`
+	SessionID   string `json:"session_id,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+func newStreamError(err error) streamError {
+	e := streamError{Error: err.Error()}
+	var gone *SessionGoneError
+	if errors.As(err, &gone) {
+		e.Code = "session-" + gone.State.String()
+		e.SessionID = gone.ID
+		e.Fingerprint = gone.Fingerprint
+	}
+	return e
+}
+
+// streamEncoder frames the three step-stream payloads for one wire format.
+type streamEncoder interface {
+	contentType() string
+	progress(w io.Writer, p StepProgress)
+	result(w io.Writer, r StepResult)
+	errorEvent(w io.Writer, err error)
+}
+
+// sseEncoder frames payloads as Server-Sent Events: named `progress`,
+// `result` and `error` events with a JSON data line each.
+type sseEncoder struct{}
+
+func (sseEncoder) contentType() string { return "text/event-stream" }
+
+func (sseEncoder) progress(w io.Writer, p StepProgress) { sseEvent(w, "progress", p) }
+func (sseEncoder) result(w io.Writer, r StepResult)     { sseEvent(w, "result", r) }
+func (sseEncoder) errorEvent(w io.Writer, err error)    { sseEvent(w, "error", newStreamError(err)) }
+
+func sseEvent(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data) // client gone: solve finishes regardless
+}
+
+// jsonLineEncoder frames payloads as chunked JSON lines, one object per
+// line, keyed by kind: {"progress":…}, {"result":…}, {"error":…}.
+type jsonLineEncoder struct{}
+
+func (jsonLineEncoder) contentType() string { return "application/json" }
+
+func (jsonLineEncoder) progress(w io.Writer, p StepProgress) {
+	jsonLine(w, struct {
+		Progress StepProgress `json:"progress"`
+	}{p})
+}
+
+func (jsonLineEncoder) result(w io.Writer, r StepResult) {
+	jsonLine(w, struct {
+		Result StepResult `json:"result"`
+	}{r})
+}
+
+func (jsonLineEncoder) errorEvent(w io.Writer, err error) {
+	jsonLine(w, struct {
+		Error streamError `json:"error"`
+	}{newStreamError(err)})
+}
+
+func jsonLine(w io.Writer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":{"error":%q}}`, err.Error()))
+	}
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// isSolveFailure reports whether a step error is the solve's own outcome
+// (divergence or missed tolerance) rather than a request problem — the
+// 422 class.
+func isSolveFailure(err error) bool {
+	return errors.Is(err, core.ErrDiverged) || errors.Is(err, core.ErrNotConverged)
+}

@@ -94,6 +94,28 @@ func (s *Service) instrument() {
 		s.certRejected.Load)
 	reg.CounterFunc("service_certify_fallbacks_total", "Enforce-mode divergent verdicts rerouted to the GMRES fallback.",
 		s.certFallbacks.Load)
+
+	reg.GaugeFunc("service_session_active", "Solve sessions currently accepting steps.",
+		func() float64 { return float64(s.sessions.activeCount()) })
+	reg.CounterFunc("service_sessions_created_total", "Solve sessions created.",
+		s.sessions.created.Load)
+	reg.CounterFunc("service_sessions_expired_total", "Sessions reaped by the idle-TTL sweep.",
+		s.sessions.expired.Load)
+	reg.CounterFunc("service_sessions_closed_total", "Sessions closed by the client.",
+		s.sessions.closed.Load)
+	reg.CounterFunc("service_session_steps_total", "Session steps finished successfully.",
+		s.sessions.steps.Load)
+	reg.CounterFunc("service_session_step_failures_total", "Session steps finished with an error.",
+		s.sessions.stepFails.Load)
+	reg.GaugeFunc("service_session_inflight_steps", "Session steps currently executing.",
+		func() float64 { return float64(s.sessions.inflight.Load()) })
+
+	reg.CounterFunc("service_batch_jobs_total", "Batched solve jobs accepted (one queue slot each).",
+		s.batchSubmits.Load)
+	reg.CounterFunc("service_batch_systems_total", "Systems carried by accepted batch jobs.",
+		s.batchSystems.Load)
+	reg.CounterFunc("service_batch_system_failures_total", "Per-system failures inside finished batch jobs.",
+		s.batchSystemFails.Load)
 }
 
 // Metrics returns the service's metrics registry (the /metricsz source).

@@ -118,6 +118,9 @@ type JobResult struct {
 	// Fallback is "gmres" when an enforce-mode divergent verdict rerouted
 	// the job to the synchronous GMRES solver; empty otherwise.
 	Fallback string `json:"fallback,omitempty"`
+	// Batch carries the per-system outcomes of a batched job (POST
+	// /v1/batch); nil for single-system jobs.
+	Batch *BatchSummary `json:"batch,omitempty"`
 }
 
 // JobView is an immutable snapshot of a job, safe to serialize.
@@ -160,6 +163,10 @@ type Job struct {
 	// before any worker read) and immutable afterwards.
 	cert          *certify.Certificate
 	gmresFallback bool
+	// batch marks a batched job (SubmitBatch): the worker fans out over its
+	// systems via core.SolveBatch instead of running one solve. Set before
+	// the queue send, immutable afterwards.
+	batch *BatchRequest
 }
 
 func newJob(id string, req SolveRequest) *Job {

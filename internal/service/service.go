@@ -149,6 +149,22 @@ type Config struct {
 	// EnableChaos admits requests carrying a ChaosSpec. Off by default:
 	// chaos injection is a debugging feature, not for production traffic.
 	EnableChaos bool
+
+	// SessionTTL is the idle lifetime of a solve session: a session with no
+	// in-flight step and no step activity for this long is reaped (default
+	// 5m; negative disables the reaper).
+	SessionTTL time.Duration
+	// SessionReapInterval is the reaper's scan period (default 1s).
+	SessionReapInterval time.Duration
+	// MaxSessions bounds concurrently active sessions (default 256).
+	MaxSessions int
+	// MaxBatchSystems bounds the number of systems one batch request may
+	// carry (default 1024).
+	MaxBatchSystems int
+	// MaxBatchWorkers caps the per-batch cross-system solver parallelism a
+	// request may ask for (default 8; requests beyond it are clamped, not
+	// rejected).
+	MaxBatchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +185,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryMaxDelay <= 0 {
 		c.RetryMaxDelay = 5 * time.Second
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SessionReapInterval <= 0 {
+		c.SessionReapInterval = time.Second
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxBatchSystems == 0 {
+		c.MaxBatchSystems = 1024
+	}
+	if c.MaxBatchWorkers == 0 {
+		c.MaxBatchWorkers = 8
 	}
 	return c
 }
@@ -214,6 +245,10 @@ type Stats struct {
 	// strategy (same atomics /metricsz exposes as
 	// service_device_solves_total).
 	DeviceSolves map[string]uint64 `json:"device_solves"`
+	// Sessions is the streaming solve-session store (see sessions.go).
+	Sessions SessionStats `json:"sessions"`
+	// Batch is the batched-solve accounting (see batch.go).
+	Batch BatchStats `json:"batch"`
 }
 
 // Service is the long-running solver: a plan cache, a bounded job queue
@@ -239,6 +274,13 @@ type Service struct {
 	// refused with a CertificateError and rerouted to GMRES.
 	certRejected  atomic.Uint64
 	certFallbacks atomic.Uint64
+	// sessions is the streaming solve-session store (see sessions.go).
+	sessions *sessionStore
+	// Batch accounting (see batch.go): accepted batch jobs, systems they
+	// carried, and per-system failures inside finished batches.
+	batchSubmits     atomic.Uint64
+	batchSystems     atomic.Uint64
+	batchSystemFails atomic.Uint64
 	// deviceSolves counts multi-device solve attempts per communication
 	// strategy, indexed by multigpu.Strategy.
 	deviceSolves [3]atomic.Uint64
@@ -272,6 +314,8 @@ func New(cfg Config) *Service {
 		mats:  make(map[string]*namedMatrix),
 	}
 	s.queue = NewQueue(cfg.QueueDepth, cfg.Workers, s.runJob)
+	s.sessions = newSessionStore(cfg)
+	s.sessions.startReaper()
 	s.instrument()
 	return s
 }
@@ -506,6 +550,12 @@ func (s *Service) Stats() Stats {
 			multigpu.DC.String():  s.deviceSolves[multigpu.DC].Load(),
 			multigpu.DK.String():  s.deviceSolves[multigpu.DK].Load(),
 		},
+		Sessions: s.sessions.stats(),
+		Batch: BatchStats{
+			Submitted:      s.batchSubmits.Load(),
+			Systems:        s.batchSystems.Load(),
+			SystemFailures: s.batchSystemFails.Load(),
+		},
 	}
 }
 
@@ -561,6 +611,7 @@ func (s *Service) RetryAfterSeconds() int {
 // returns ctx's error once they unwind.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	s.sessions.stopReaper()
 
 	drained := make(chan struct{})
 	go func() {
@@ -666,6 +717,9 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // build the plan (the cache hit is what a warm daemon buys), then
 // iterate with the job's context threaded into the engine.
 func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResult, error) {
+	if j.batch != nil {
+		return s.runBatchAttempt(ctx, j)
+	}
 	req := j.req
 
 	a, fp, err := s.resolveMatrix(req)

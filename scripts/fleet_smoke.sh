@@ -7,15 +7,26 @@
 # routes around) before restarting it (the gateway re-admits it and the
 # ring returns to its original placement).
 #
-# The blend carries a doomed fraction: certified-divergent matrices
+# The blend carries a doomed fraction (certified-divergent matrices
 # submitted with certify=enforce, which every node must refuse with a
-# fast 422 (silently admitting one burns a provably divergent budget).
+# fast 422 — silently admitting one burns a provably divergent budget), a
+# session fraction (create + warm-started steps + close through the
+# gateway's sticky session routing; steps answered 410 "session-lost"
+# while the owner drains are counted, not errored) and a batch fraction
+# (many small systems per submission, one queue slot).
+#
+# After the ring is restored, a second, no-kill strict phase reruns a
+# session/batch-heavy blend with -fail-on-session-lost: in a steady fleet
+# a lost session means state was dropped with no node dying — gated to
+# zero.
 #
 # Failure conditions:
-#   - loadgen -strict exits nonzero (any non-202/429 response, failed job,
-#     silently admitted doomed matrix, or slow 422s)
-#   - no doomed submission was certificate-rejected (the certify step
-#     never exercised enforcement)
+#   - loadgen -strict exits nonzero in either phase (any non-202/429
+#     response, failed job, silently admitted doomed matrix, batch system
+#     failure, or slow 422s)
+#   - any session lost in the no-kill phase (-fail-on-session-lost)
+#   - no doomed submission was certificate-rejected, or no session
+#     stepped (a blend kind never exercised)
 #   - "panic:" appears in any process log
 #   - the ring does not return to 3 healthy nodes after the restart
 #
@@ -79,15 +90,16 @@ wait_url http://127.0.0.1:19090/readyz "gateway"
 echo "fleet-smoke: fleet is up (3 nodes + gateway)"
 
 # Open-loop burst through the gateway: 20s at 40 req/s over a 24-matrix
-# Zipf corpus with a solve-heavy blend plus a doomed fraction (enforce-
-# mode divergent matrices). -strict makes loadgen exit nonzero on any
-# non-202/429 response, failed job, silently admitted doomed matrix, or
-# slow 422s — shedding is allowed under churn, erroring and burning are
-# not.
+# Zipf corpus with a solve-heavy blend plus doomed, session and batch
+# fractions. -strict makes loadgen exit nonzero on any non-202/429
+# response, failed job, silently admitted doomed matrix, batch system
+# failure, or slow 422s — shedding is allowed under churn, and sessions
+# owned by the SIGTERMed node may come back 410 session-lost (counted in
+# the report, honest by design), but erroring and burning are not.
 "$BIN/loadgen" -target http://127.0.0.1:19090 \
     -rate 40 -duration 20s \
     -corpus 24 -min-n 32 -max-n 96 -max-iters 400 \
-    -blend 8:1:1:2 -strict \
+    -blend 8:1:1:2:3:2 -session-steps 3 -batch-systems 3 -strict \
     -out "$ART/loadgen-report.json" \
     >"$ART/loadgen.log" 2>&1 &
 LG=$!
@@ -138,6 +150,38 @@ if [ "${REJECTED:-0}" -lt 1 ]; then
     FAIL=1
 else
     echo "fleet-smoke: certify enforcement rejected $REJECTED doomed submissions"
+fi
+
+# Sessions must actually have flowed: the session blend fraction
+# guarantees arrivals, and the steady majority of the fleet must have
+# stepped them (losses from the killed node are fine; zero steps means
+# the session path never worked).
+STEPPED=$(grep -o '"session_steps": *[0-9]*' "$ART/loadgen-report.json" | grep -o '[0-9]*$' || echo 0)
+LOST=$(grep -o '"sessions_lost": *[0-9]*' "$ART/loadgen-report.json" | grep -o '[0-9]*$' || echo 0)
+if [ "${STEPPED:-0}" -lt 1 ]; then
+    echo "fleet-smoke: FAIL: no session step succeeded (session_steps=$STEPPED)" >&2
+    FAIL=1
+else
+    echo "fleet-smoke: sessions stepped $STEPPED times across the kill ($LOST lost to the drain)"
+fi
+
+# Phase 2: steady fleet, session/batch-heavy, no kills. Every session
+# must live its full create/step/close life — -fail-on-session-lost
+# turns a single lost session into a nonzero exit, because with no node
+# dying there is no honest way to lose one.
+echo "fleet-smoke: no-kill strict phase (sessions must not be lost)"
+if ! "$BIN/loadgen" -target http://127.0.0.1:19090 \
+    -rate 30 -duration 8s \
+    -corpus 16 -min-n 32 -max-n 96 -max-iters 400 \
+    -blend 4:0:0:0:4:2 -session-steps 3 -batch-systems 3 \
+    -strict -fail-on-session-lost \
+    -out "$ART/loadgen-nokill-report.json" \
+    >"$ART/loadgen-nokill.log" 2>&1; then
+    echo "fleet-smoke: FAIL: no-kill strict phase exited nonzero" >&2
+    tail -n 5 "$ART/loadgen-nokill.log" >&2 || true
+    FAIL=1
+else
+    tail -n 2 "$ART/loadgen-nokill.log" || true
 fi
 
 if grep -l "panic:" "$ART"/*.log >/dev/null 2>&1; then
