@@ -16,7 +16,10 @@
 // the session rows: the deterministic warm-vs-cold comparison (a k-step
 // session must out-iterate k cold solves of the same slowly-varying
 // sequence) and the batch-vs-sequential wall-time speedup, enforced on
-// ≥4-core machines (see session.go).
+// ≥4-core machines (see session.go) — and the sweep-kernel rows: the
+// matrix-free stencil and sliced-ELL kernels against the packed-CSR
+// baseline on fixed-sweep solves, with enforced speedup floors (stencil
+// ≥1.5×, SELL ≥1.1×; see kernel.go and docs/KERNELS.md).
 //
 // The paper's claims are performance claims — convergence per second, not
 // just per iteration — so the repo's trajectory needs a measured baseline
@@ -108,6 +111,8 @@ func run(args []string, out io.Writer) int {
 	report.Certify = certifyRows
 	sessionRows, sessionProblems := runSessionSuite(*quick, out)
 	report.Sessions = sessionRows
+	kernelRows, kernelProblems := runKernelSuite(*quick, out)
+	report.Kernels = kernelRows
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -120,13 +125,13 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
-		if figProblems+fleetProblems+certifyProblems+sessionProblems > 0 {
+		if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems > 0 {
 			return 1
 		}
 		return 0
 	}
 	code := verdict(*base, basePath, report, limits, out)
-	if figProblems+fleetProblems+certifyProblems+sessionProblems > 0 && code == 0 {
+	if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems > 0 && code == 0 {
 		code = 1
 	}
 	return code

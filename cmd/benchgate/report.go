@@ -35,6 +35,11 @@ type Report struct {
 	// batch-vs-sequential wall-time speedup (additive field; older
 	// baselines simply lack it and gate nothing there).
 	Sessions []SessionScenario `json:"sessions,omitempty"`
+	// Kernels holds the sweep-kernel speedup rows: stencil and SELL wall
+	// time against the packed-CSR baseline on fixed-sweep solves, with
+	// enforced speedup floors (additive field; older baselines simply lack
+	// it and gate nothing there).
+	Kernels []KernelScenario `json:"kernels,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -230,5 +235,6 @@ func Compare(base, current Report, lim Limits) []Problem {
 	out = append(out, compareFleet(base, current, lim)...)
 	out = append(out, compareCertify(base, current, lim)...)
 	out = append(out, compareSessions(base, current, lim)...)
+	out = append(out, compareKernels(base, current, lim)...)
 	return out
 }

@@ -52,6 +52,7 @@ type config struct {
 	gor, history, tuned    bool
 	devices                int
 	strategy               string
+	kernel, precision      string
 	set                    map[string]bool
 }
 
@@ -71,6 +72,8 @@ func main() {
 	flag.BoolVar(&cfg.tuned, "tune", false, "auto-tune block size, local sweeps and ω before solving (async only)")
 	flag.IntVar(&cfg.devices, "devices", 0, "run on the live multi-GPU executor with this many devices (async only)")
 	flag.StringVar(&cfg.strategy, "strategy", "amc", "inter-GPU communication strategy: amc | dc | dk (requires -devices)")
+	flag.StringVar(&cfg.kernel, "kernel", "auto", "sweep-kernel dispatch: auto | csr | stencil | sell (async and freerun)")
+	flag.StringVar(&cfg.precision, "precision", "f64", "iterate storage precision: f64 | f32 (async and freerun)")
 	flag.Parse()
 
 	cfg.set = make(map[string]bool)
@@ -112,6 +115,18 @@ func (c config) check() error {
 		return fmt.Errorf("-omega only applies to -method async or sor, have %q", c.method)
 	case isSet("goroutines") && !async:
 		return fmt.Errorf("-goroutines only applies to -method async, have %q", c.method)
+	case isSet("kernel") && !async && c.method != "freerun":
+		return fmt.Errorf("-kernel only applies to -method async or freerun, have %q", c.method)
+	case isSet("precision") && !async && c.method != "freerun":
+		return fmt.Errorf("-precision only applies to -method async or freerun, have %q", c.method)
+	}
+	if _, err := core.ParseKernel(c.kernel); err != nil {
+		return err
+	}
+	switch c.precision {
+	case "", core.PrecF64, core.PrecF32:
+	default:
+		return fmt.Errorf("unknown precision %q (want f64 or f32)", c.precision)
 	}
 	if c.devices > 0 {
 		if _, err := parseStrategy(c.strategy); err != nil {
@@ -184,15 +199,19 @@ func run(c config) error {
 				c.block, c.local, asyncOmega, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
 		}
 		opt := core.Options{
-			BlockSize: c.block, LocalIters: c.local, Omega: asyncOmega,
+			BlockSize: c.block, LocalIters: c.local, Omega: asyncOmega, Precision: c.precision,
 			MaxGlobalIters: c.iters, Tolerance: c.tol, RecordHistory: c.history, Seed: c.seed,
+		}
+		plan, err := buildPlan(a, c.block, c.kernel)
+		if err != nil {
+			return err
 		}
 		if c.devices > 0 {
 			strat, err := parseStrategy(c.strategy)
 			if err != nil {
 				return err
 			}
-			res, err := multigpu.Solve(a, b, opt, model, multigpu.Supermicro(), strat, c.devices)
+			res, err := multigpu.SolveWithPlan(plan, b, opt, model, multigpu.Supermicro(), strat, c.devices)
 			if err != nil && !errors.Is(err, core.ErrDiverged) {
 				return err
 			}
@@ -208,7 +227,7 @@ func run(c config) error {
 		if c.gor {
 			opt.Engine = core.EngineGoroutine
 		}
-		res, err := core.Solve(a, b, opt)
+		res, err := core.SolveWithPlan(plan, b, opt)
 		if err != nil && !errors.Is(err, core.ErrDiverged) {
 			return err
 		}
@@ -218,8 +237,12 @@ func run(c config) error {
 		fmt.Printf("modeled GPU time: %.4f s (%d blocks, engine %s)\n", modelT, res.NumBlocks, opt.Engine)
 
 	case "freerun":
-		res, err := core.SolveFreeRunning(a, b, core.FreeRunningOptions{
-			BlockSize: c.block, LocalIters: c.local,
+		plan, err := buildPlan(a, c.block, c.kernel)
+		if err != nil {
+			return err
+		}
+		res, err := core.SolveFreeRunningWithPlan(plan, b, core.FreeRunningOptions{
+			BlockSize: c.block, LocalIters: c.local, Precision: c.precision,
 			MaxBlockUpdates: int64(c.iters) * int64((a.Rows+c.block-1)/c.block),
 			Tolerance:       c.tol,
 		})
@@ -264,6 +287,30 @@ func run(c config) error {
 		return fmt.Errorf("unknown method %q", c.method)
 	}
 	return nil
+}
+
+// buildPlan resolves the -kernel dispatch into a solve plan and prints
+// what it resolved to (under auto, the detector's decision).
+func buildPlan(a *sparse.CSR, block int, kernel string) (*core.Plan, error) {
+	kk, err := core.ParseKernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPlanWithConfig(a, block, false, core.PlanConfig{Kernel: kk})
+	if err != nil {
+		return nil, err
+	}
+	switch p.Kernel() {
+	case core.KernelStencil:
+		si := p.StencilInfo()
+		fmt.Printf("kernel: stencil (%d-point, offsets %v, %d interior / %d boundary rows)\n",
+			len(si.Spec.Offsets), si.Spec.Offsets, si.InteriorRows, si.BoundaryRows)
+	case core.KernelSELL:
+		fmt.Printf("kernel: sell (slot ratio %.3f)\n", p.SELLSlotRatio())
+	default:
+		fmt.Println("kernel: csr")
+	}
+	return p, nil
 }
 
 func report(converged bool, iters int, residual float64, err error) {

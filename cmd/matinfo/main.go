@@ -10,6 +10,11 @@
 // plot; -certify prints each system's admission certificate (convergence
 // class, ρ(|B|) evidence, verdict, predicted iterations — see
 // docs/CERTIFY.md); -short skips Trefethen_20000.
+//
+// Every report also states the detected sweep-kernel structure: for
+// constant-coefficient stencil matrices the offset set, coefficient count
+// and interior/boundary row split that the matrix-free fast path uses (see
+// docs/KERNELS.md), or "none" when the general sliced-ELL/CSR path applies.
 package main
 
 import (
@@ -46,6 +51,9 @@ func run(short, spy, cert bool, lanczos int, matrix string, seed int64) error {
 		}
 		fmt.Printf("%s (%s)\n  n=%d nnz=%d\n  cond(A)=%.3e cond(D^-1 A)=%.4g\n  rho(M)=%.4f rho(|M|)=%.4f\n",
 			p.Name, p.Description, p.N, p.NNZ, p.CondA, p.CondDA, p.RhoM, p.RhoAbsM)
+		if err := stencilOne(matrix, "  "); err != nil {
+			return err
+		}
 		if cert {
 			if err := certifyOne(matrix, seed); err != nil {
 				return err
@@ -63,6 +71,16 @@ func run(short, spy, cert bool, lanczos int, matrix string, seed int64) error {
 	}
 	if err := tab.Render(os.Stdout); err != nil {
 		return err
+	}
+	fmt.Println("\nStencil structure (sparse.DetectStencil; docs/KERNELS.md):")
+	for _, name := range mats.Names {
+		if short && name == "Trefethen_20000" {
+			continue
+		}
+		fmt.Printf("  %-16s", name)
+		if err := stencilOne(name, " "); err != nil {
+			return err
+		}
 	}
 	if cert {
 		fmt.Printf("\nAdmission certificates (certify.Certify, seed %d):\n", seed)
@@ -84,6 +102,24 @@ func run(short, spy, cert bool, lanczos int, matrix string, seed int64) error {
 			}
 		}
 	}
+	return nil
+}
+
+// stencilOne reports whether a system has the constant-coefficient stencil
+// structure the matrix-free kernel dispatches on, and if so its shape.
+func stencilOne(name, indent string) error {
+	tm, err := experiments.Matrix(name)
+	if err != nil {
+		return err
+	}
+	si, ok := sparse.DetectStencil(tm.A)
+	if !ok {
+		fmt.Printf("%sstencil: none (general sliced-ELL/CSR path)\n", indent)
+		return nil
+	}
+	fmt.Printf("%sstencil: %d-point, offsets %v, %d coeffs, %d interior / %d boundary rows (%.1f%% interior)\n",
+		indent, len(si.Spec.Offsets), si.Spec.Offsets, len(si.Spec.Coeffs),
+		si.InteriorRows, si.BoundaryRows, 100*si.InteriorFraction())
 	return nil
 }
 

@@ -88,6 +88,12 @@ type Options struct {
 
 	// Engine selects the execution engine (default EngineSimulated).
 	Engine EngineKind
+	// Precision selects the iterate storage precision: "" or PrecF64 for
+	// exact double precision, PrecF32 for float32 iterate storage with
+	// float64 accumulation and float64 residual checks (see precision.go).
+	// Valid for all engines; purely a storage choice, the matrix and
+	// right-hand side stay float64.
+	Precision string
 	// Seed drives the chaotic scheduler. Runs with equal non-zero seeds
 	// are identical under EngineSimulated; under EngineGoroutine the seed
 	// only shapes dispatch order, not the race outcomes. Seed 0 (the zero
@@ -229,6 +235,9 @@ func (o Options) validate(a *sparse.CSR, b []float64) error {
 	}
 	if o.ResidualEvery < 0 {
 		return fmt.Errorf("core: ResidualEvery must be nonnegative, have %d", o.ResidualEvery)
+	}
+	if err := validatePrecision(o.Precision); err != nil {
+		return err
 	}
 	return nil
 }

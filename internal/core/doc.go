@@ -30,10 +30,19 @@
 //   - EngineFreeRunning: an extension with no global barrier at all; see
 //     SolveFreeRunning.
 //
-// All engines run their inner sweeps through a single fused block-row
-// kernel (kernel.go) that reads packed per-block CSR views staged once in
-// NewPlan — the host-side analogue of the paper's shared-memory blocking —
-// and Plan carries reusable per-solve scratch so a warm solve allocates
-// nothing in steady state (enforced by alloc_test.go). DESIGN.md §2
-// records the layout rationale.
+// All engines run their inner sweeps through a fused block-row kernel
+// staged once in NewPlan — the host-side analogue of the paper's
+// shared-memory blocking — and Plan carries reusable per-solve scratch so
+// a warm solve allocates nothing in steady state (enforced by
+// alloc_test.go). The kernel itself is dispatched per matrix structure
+// (kernel_dispatch.go, docs/KERNELS.md): packed per-block CSR views by
+// default, a matrix-free constant-coefficient stencil kernel for matrices
+// that declare or detect stencil structure (interior rows load no column
+// indices; boundary rows fall back to packed CSR), or a sliced-ELL
+// (SELL-8) layout for general matrices. Every kernel preserves the
+// reference floating-point operation order and IterateView.Load order, so
+// float64 iterates are bit-identical across kernels and the dispatch is
+// purely a performance decision. Options.Precision selects float32
+// iterate storage with float64 accumulation and float64 residual checks
+// (precision.go). DESIGN.md §2 records the layout rationale.
 package core

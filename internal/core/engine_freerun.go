@@ -33,6 +33,10 @@ type FreeRunningOptions struct {
 	Tolerance float64
 	// Workers defaults to 14 (Fermi multiprocessor count).
 	Workers int
+	// Precision selects the iterate storage precision — "" / PrecF64 for
+	// exact doubles, PrecF32 for float32 iterate storage with float64
+	// accumulation and residual checks (see precision.go).
+	Precision string
 	// CheckEvery is the number of block updates between monitor residual
 	// checks; default max(numBlocks, 64).
 	CheckEvery   int64
@@ -101,6 +105,9 @@ func (o FreeRunningOptions) validate(a *sparse.CSR, b []float64) error {
 		// A live free-running solve needs a stopping rule; a replay is
 		// bounded by its schedule, so the tolerance is optional there.
 		return fmt.Errorf("core: free-running solve requires a positive Tolerance")
+	}
+	if err := validatePrecision(o.Precision); err != nil {
+		return err
 	}
 	return validateGuess(a.Rows, o.InitialGuess)
 }
@@ -172,7 +179,9 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 	if opt.InitialGuess != nil {
 		copy(start, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, start)
 	x := NewAtomicVector(start)
+	writer := iterateWriter(opt.Precision, valueWriter(x))
 	kern := plan.kernelFor(opt.referenceKernel)
 	em := opt.Metrics.engine("freerunning")
 
@@ -220,7 +229,7 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 						return
 					}
 					opt.Chaos.delay(em, round, bi)
-					kern(a, sp, b, &views[bi], opt.LocalIters, 1, x, x, x, scr)
+					kern(a, sp, b, &views[bi], opt.LocalIters, 1, x, x, writer, scr)
 					em.addBlockSweep()
 					if opt.Record != nil {
 						opt.Record.Append(sched.Event{
@@ -325,7 +334,9 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 	if opt.InitialGuess != nil {
 		copy(start, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, start)
 	x := NewAtomicVector(start)
+	writer := iterateWriter(opt.Precision, valueWriter(x))
 	kern := plan.kernelFor(opt.referenceKernel)
 	em := opt.Metrics.engine("freerunning")
 	gate := sched.NewGate(s)
@@ -367,7 +378,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 				if sweeps <= 0 {
 					sweeps = opt.LocalIters
 				}
-				kern(a, sp, b, &views[int(e.Block)], sweeps, 1, x, x, x, scr)
+				kern(a, sp, b, &views[int(e.Block)], sweeps, 1, x, x, writer, scr)
 				em.addBlockSweep()
 				em.addReplayEvent()
 				if opt.Record != nil {

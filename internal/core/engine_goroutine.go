@@ -54,7 +54,9 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		copy(start, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, start)
 	x := NewAtomicVector(start)
+	writer := iterateWriter(opt.Precision, valueWriter(x))
 	nb := part.NumBlocks()
 	res := Result{NumBlocks: nb}
 
@@ -132,9 +134,9 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 					// A singular block would have failed at factorization;
 					// Solve only errors on dimension mismatch, which the
 					// construction rules out.
-					_ = runBlockExact(a, b, &views[t.block], factors.lu[t.block], x, x, scr)
+					_ = runBlockExact(a, b, &views[t.block], factors.lu[t.block], x, writer, scr)
 				} else {
-					iterDelta.add(kern(a, sp, b, &views[t.block], t.sweeps, omega, x, x, x, scr))
+					iterDelta.add(kern(a, sp, b, &views[t.block], t.sweeps, omega, x, x, writer, scr))
 				}
 				em.addBlockSweep()
 				if opt.Replay != nil {
@@ -214,7 +216,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		em.addIteration()
 
 		if opt.AfterIteration != nil {
-			opt.AfterIteration(iter, atomicAccess{x})
+			opt.AfterIteration(iter, iterateAccess(opt.Precision, atomicAccess{x}))
 		}
 		delta2 := iterDelta.load()
 		if rs.skip(iter, maxIters, delta2) {

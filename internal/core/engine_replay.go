@@ -68,6 +68,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		copy(x, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, x)
 	is := p.getIterScratch()
 	defer p.putIterScratch(is)
 	iterSnap := is.snap
@@ -83,7 +84,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	res := Result{NumBlocks: nb}
 	em := opt.Metrics.engine("simulated")
 	var (
-		writer     valueWriter = sliceWriter(x)
+		writer     valueWriter = iterateWriter(opt.Precision, sliceWriter(x))
 		liveReader valueReader = sliceReader(x)
 		snapReader valueReader = sliceReader(iterSnap)
 	)
@@ -153,7 +154,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 		em.addIteration()
 		if opt.AfterIteration != nil {
-			opt.AfterIteration(iter, sliceAccess(x))
+			opt.AfterIteration(iter, iterateAccess(opt.Precision, sliceAccess(x)))
 		}
 		stop, err := checkResidual(a, b, x, opt, &res, iter, 0, rs)
 		if err != nil {

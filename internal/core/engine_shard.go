@@ -160,7 +160,9 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 	if opt.InitialGuess != nil {
 		copy(start, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, start)
 	x := NewAtomicVector(start)
+	writer := iterateWriter(opt.Precision, valueWriter(x))
 	nb := part.NumBlocks()
 	ns := so.Shards
 	shards := makeShards(part, ns)
@@ -226,9 +228,9 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 		if sweeps == 0 {
 			// A singular block would have failed at factorization; see the
 			// goroutine engine.
-			_ = runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, x, scr)
+			_ = runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, writer, scr)
 		} else {
-			iterDelta.add(kern(a, sp, b, &views[bi], sweeps, omega, offRead, x, x, scr))
+			iterDelta.add(kern(a, sp, b, &views[bi], sweeps, omega, offRead, x, writer, scr))
 		}
 		em.addBlockSweep()
 		if opt.Record != nil {
@@ -362,7 +364,7 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 		em.addIteration()
 
 		if opt.AfterIteration != nil {
-			opt.AfterIteration(iter, atomicAccess{x})
+			opt.AfterIteration(iter, iterateAccess(opt.Precision, atomicAccess{x}))
 		}
 		delta2 := iterDelta.load()
 		if rs.skip(iter, maxIters, delta2) {

@@ -46,6 +46,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		copy(x, opt.InitialGuess)
 	}
+	roundIterate(opt.Precision, x)
 	is := p.getIterScratch()
 	defer p.putIterScratch(is)
 	nb := part.NumBlocks()
@@ -74,8 +75,9 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	em := opt.Metrics.engine("simulated")
 	ws := newWaveScheduler(opt, em, nb, x, is)
 	// Interface conversion hoisted out of the block loop: boxing a slice
-	// into valueWriter allocates, and the loop is the hot path.
-	var writer valueWriter = sliceWriter(x)
+	// into valueWriter allocates, and the loop is the hot path. Under f32
+	// storage the writer additionally rounds every published component.
+	writer := iterateWriter(opt.Precision, sliceWriter(x))
 
 	for iter := 1; iter <= opt.MaxGlobalIters; iter++ {
 		if err := ctxErr(opt.Ctx, iter-1); err != nil {
@@ -127,7 +129,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 			trace.GlobalIterations = iter
 		}
 		if opt.AfterIteration != nil {
-			opt.AfterIteration(iter, sliceAccess(x))
+			opt.AfterIteration(iter, iterateAccess(opt.Precision, sliceAccess(x)))
 		}
 		if rs.skip(iter, opt.MaxGlobalIters, delta2) {
 			res.GlobalIterations = iter

@@ -39,6 +39,17 @@ type blockView struct {
 	locPtr  []int32
 	locCols []int32 // block-local column indices
 	locVal  []float64
+
+	// sell holds the same local entries in sliced-ELLPACK layout; non-nil
+	// only on plans built with KernelSELL (see kernel_dispatch.go).
+	sell *sellBlock
+
+	// stSpans lists the maximal runs of rows the stencil kernel's
+	// branch-free fast loop covers (interior rows whose whole stencil span
+	// lies inside the block); non-empty only on stencil plans. Precomputing
+	// the runs moves every per-row class test out of the sweep loops (see
+	// buildStencilSpans).
+	stSpans []rowSpan
 }
 
 // memoryBytes estimates the resident size of the view (plan accounting).
@@ -47,6 +58,10 @@ func (v *blockView) memoryBytes() int64 {
 	sz := 2*w*int64(len(v.inLo)) + 6*w // inLo+inHi plus the fixed fields
 	sz += w32 * int64(len(v.offPtr)+len(v.offCols)+len(v.locPtr)+len(v.locCols))
 	sz += w * int64(len(v.offVal)+len(v.locVal))
+	if v.sell != nil {
+		sz += v.sell.memoryBytes()
+	}
+	sz += w * int64(len(v.stSpans))
 	return sz
 }
 

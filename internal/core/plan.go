@@ -33,6 +33,12 @@ type Plan struct {
 	maxBlock   int  // rows of the largest block (kernel scratch sizing)
 	staged     bool // packed kernel staging built (see buildBlockViews)
 
+	// kernel is the resolved sweep-kernel dispatch (see kernel_dispatch.go);
+	// stencil carries the matrix-free kernel's data when kernel is
+	// KernelStencil, and the SELL layout hangs off each blockView.
+	kernel  KernelKind
+	stencil *stencilData
+
 	// Scratch pools: solves borrow their kernel and per-iteration buffers
 	// here instead of allocating, so a warm plan runs its steady-state
 	// global iterations with zero heap allocations (test-enforced in
@@ -64,13 +70,21 @@ func (p *Plan) getIterScratch() *iterScratch {
 
 func (p *Plan) putIterScratch(s *iterScratch) { p.iterPool.Put(s) }
 
-// kernelFor selects the block kernel implementation: the fused/staged hot
-// path when the plan carries packed views, the reference two-step path
-// otherwise (or when a test pins it via Options.referenceKernel). The two
-// produce bit-identical iterates.
+// kernelFor selects the block kernel implementation: the plan's resolved
+// dispatch (matrix-free stencil, SELL-C, or the fused packed-CSR hot path)
+// when the plan carries packed views, the reference two-step path otherwise
+// (or when a test pins it via Options.referenceKernel). All of them produce
+// bit-identical iterates, so every engine, replay and shard path runs any
+// dispatch unchanged.
 func (p *Plan) kernelFor(reference bool) kernelFunc {
 	if !p.staged || reference {
 		return runBlockKernelReference
+	}
+	switch p.kernel {
+	case KernelStencil:
+		return p.runBlockKernelStencil
+	case KernelSELL:
+		return runBlockKernelSELL
 	}
 	return runBlockKernel
 }
@@ -78,7 +92,17 @@ func (p *Plan) kernelFor(reference bool) kernelFunc {
 // NewPlan precomputes the per-matrix artifacts for the given block size.
 // When exactLocal is set the subdomain LU factors for Options.ExactLocal
 // are also built (the dominant setup cost, O(numBlocks·blockSize³)).
+// The sweep kernel is auto-dispatched: constant-coefficient stencil
+// structure, when detected, takes the matrix-free fast path; use
+// NewPlanWithConfig to pin a kernel or declare the stencil.
 func NewPlan(a *sparse.CSR, blockSize int, exactLocal bool) (*Plan, error) {
+	return NewPlanWithConfig(a, blockSize, exactLocal, PlanConfig{})
+}
+
+// NewPlanWithConfig is NewPlan with an explicit kernel selection (see
+// PlanConfig). Plans differing only in kernel produce bit-identical
+// iterates; the config is purely a performance choice.
+func NewPlanWithConfig(a *sparse.CSR, blockSize int, exactLocal bool, cfg PlanConfig) (*Plan, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: matrix must be square, have %dx%d", a.Rows, a.Cols)
 	}
@@ -109,6 +133,9 @@ func NewPlan(a *sparse.CSR, blockSize int, exactLocal bool) (*Plan, error) {
 		if p.factors, err = buildBlockFactors(a, part, views); err != nil {
 			return nil, err
 		}
+	}
+	if err := p.resolveKernel(cfg); err != nil {
+		return nil, err
 	}
 	maxBlock, rows, nb := p.maxBlock, a.Rows, part.NumBlocks()
 	p.kernelPool.New = func() any { return newKernelScratch(maxBlock) }
@@ -149,6 +176,9 @@ func (p *Plan) MemoryBytes() int64 {
 	sz := w * int64(len(p.a.RowPtr)+len(p.a.ColIdx)+len(p.a.Val)) // CSR
 	sz += 2 * w * n                                               // Splitting: InvDiag + Diag
 	sz += w * int64(len(p.part.Starts))
+	if p.stencil != nil {
+		sz += p.stencil.memoryBytes()
+	}
 	for _, v := range p.views {
 		sz += v.memoryBytes()
 	}

@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// Precision names accepted by Options.Precision and
+// FreeRunningOptions.Precision.
+//
+// PrecF32 emulates the paper-era mixed-precision GPU kernels: the iterate
+// is *stored* in float32 — every published component, including the
+// initial guess, is rounded through float32 — while all sweep accumulation
+// runs in float64 registers and every residual check is a float64
+// computation over the (float32-valued) iterate. Asynchronous relaxation
+// tolerates stale reads; a rounded read is just a small perturbation of
+// the same kind, so convergence is unaffected down to the f32 resolution
+// floor (see docs/KERNELS.md for the tolerance argument). The empty string
+// and PrecF64 are the exact double-precision default.
+const (
+	PrecF64 = "f64"
+	PrecF32 = "f32"
+)
+
+// validatePrecision accepts "", "f64" and "f32".
+func validatePrecision(s string) error {
+	switch s {
+	case "", PrecF64, PrecF32:
+		return nil
+	}
+	return fmt.Errorf(`core: unknown precision %q (want "f64" or "f32")`, s)
+}
+
+// f32Writer rounds every component through float32 on its way into the
+// iterate storage — the write half of the storage-precision emulation.
+type f32Writer struct{ w valueWriter }
+
+func (w f32Writer) Store(i int, v float64) { w.w.Store(i, float64(float32(v))) }
+
+// iterateWriter wraps the engine's iterate writer for the requested
+// precision; the default returns w unchanged.
+func iterateWriter(precision string, w valueWriter) valueWriter {
+	if precision == PrecF32 {
+		return f32Writer{w}
+	}
+	return w
+}
+
+// roundIterate rounds x in place under f32 storage — the initial guess
+// enters the iterate exactly the way every published value does. Under f64
+// it is a no-op.
+func roundIterate(precision string, x []float64) {
+	if precision != PrecF32 {
+		return
+	}
+	for i := range x {
+		x[i] = float64(float32(x[i]))
+	}
+}
+
+// f32Access keeps AfterIteration hooks from smuggling full-precision
+// values into f32 iterate storage: Set rounds like the kernels' writes do.
+type f32Access struct{ a VectorAccess }
+
+func (f f32Access) Len() int             { return f.a.Len() }
+func (f f32Access) Get(i int) float64    { return f.a.Get(i) }
+func (f f32Access) Set(i int, v float64) { f.a.Set(i, float64(float32(v))) }
+
+// iterateAccess wraps the AfterIteration access for the requested
+// precision; the default returns a unchanged.
+func iterateAccess(precision string, a VectorAccess) VectorAccess {
+	if precision == PrecF32 {
+		return f32Access{a}
+	}
+	return a
+}

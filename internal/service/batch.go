@@ -29,6 +29,10 @@ type BatchRequest struct {
 	Omega          float64 `json:"omega,omitempty"`
 	MaxGlobalIters int     `json:"max_global_iters"`
 	Tolerance      float64 `json:"tolerance,omitempty"`
+	// Kernel and Precision have the SolveRequest semantics: the sweep-kernel
+	// dispatch and iterate storage precision shared by every system.
+	Kernel    string `json:"kernel,omitempty"`
+	Precision string `json:"precision,omitempty"`
 	// Seed is the batch's base scheduler seed; system j derives
 	// core.BatchSeed(seed, j). 0 selects a per-run stream.
 	Seed int64 `json:"seed,omitempty"`
@@ -58,6 +62,8 @@ func (r BatchRequest) solveRequest() SolveRequest {
 		Omega:          r.Omega,
 		MaxGlobalIters: r.MaxGlobalIters,
 		Tolerance:      r.Tolerance,
+		Kernel:         r.Kernel,
+		Precision:      r.Precision,
 		Seed:           r.Seed,
 		Certify:        r.Certify,
 		TimeoutSeconds: r.TimeoutSeconds,
@@ -178,12 +184,22 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 		return nil, err
 	}
 
+	kernel, err := sreq.kernelKind()
+	if err != nil {
+		return nil, err
+	}
+	precision, err := sreq.precisionKind()
+	if err != nil {
+		return nil, err
+	}
+
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
 		Omega:          req.Omega,
 		MaxGlobalIters: req.MaxGlobalIters,
 		Tolerance:      req.Tolerance,
+		Precision:      precision,
 		Seed:           req.Seed,
 		Ctx:            ctx,
 		Metrics:        s.solveMetrics,
@@ -213,10 +229,11 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 		}
 	}
 
-	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
+	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
 	if err != nil {
 		return nil, err
 	}
+	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
 	nb := plan.Prepared.NumBlocks()
 	j.setProgress(Progress{NumBlocks: nb, PlanHit: hit})
 
@@ -266,6 +283,8 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 		PlanHit:          hit,
 		Fingerprint:      fp,
 		Tuned:            tuned,
+		Kernel:           plan.Prepared.Kernel().String(),
+		Precision:        precision,
 		Batch:            summary,
 	}
 	if j.cert != nil {

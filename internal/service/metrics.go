@@ -63,6 +63,13 @@ func (s *Service) instrument() {
 			s.deviceSolves[strat].Load, "strategy", strat.String())
 	}
 
+	for _, kern := range []core.KernelKind{core.KernelCSR, core.KernelStencil, core.KernelSELL} {
+		kern := kern
+		reg.CounterFunc("service_kernel_solves_total",
+			"Solve attempts by resolved sweep kernel.",
+			s.kernelSolves[kern].Load, "kernel", kern.String())
+	}
+
 	s.wallHist = reg.Histogram("service_job_wall_seconds",
 		"Wall time of finished jobs, attempts and backoff included.", nil)
 	reg.GaugeFunc("service_draining", "1 once BeginDrain/Shutdown stopped admissions, else 0.",

@@ -48,12 +48,17 @@ type PlanKey struct {
 	LocalIters  int
 	ExactLocal  bool
 	Omega       float64
+	// Kernel is the requested sweep-kernel dispatch. KernelAuto and an
+	// explicit kind are distinct keys even when auto-detection resolves to
+	// the same kernel — the key records what was asked, the plan what was
+	// built.
+	Kernel core.KernelKind
 }
 
 // String renders the key compactly for logs.
 func (k PlanKey) String() string {
-	return fmt.Sprintf("%s/bs%d/k%d/exact=%t/omega=%g",
-		k.Fingerprint, k.BlockSize, k.LocalIters, k.ExactLocal, k.Omega)
+	return fmt.Sprintf("%s/bs%d/k%d/exact=%t/omega=%g/kernel=%s",
+		k.Fingerprint, k.BlockSize, k.LocalIters, k.ExactLocal, k.Omega, k.Kernel)
 }
 
 // Plan is one cached entry: the core solve plan plus the pre-flight
@@ -165,14 +170,19 @@ func NewPlanCache(cfg CacheConfig) *PlanCache {
 	}
 }
 
-// KeyFor derives the PlanKey of a matrix/option pair, normalizing the
-// option fields the same way the solver does (Omega 0 means 1; LocalIters
-// is irrelevant under ExactLocal).
+// KeyFor derives the PlanKey of a matrix/option pair with the automatic
+// kernel dispatch, normalizing the option fields the same way the solver
+// does (Omega 0 means 1; LocalIters is irrelevant under ExactLocal).
 func KeyFor(a *sparse.CSR, opt core.Options) PlanKey {
-	return keyWithFingerprint(Fingerprint(a), opt)
+	return KeyForKernel(a, opt, core.KernelAuto)
 }
 
-func keyWithFingerprint(fp string, opt core.Options) PlanKey {
+// KeyForKernel is KeyFor with an explicit sweep-kernel dispatch.
+func KeyForKernel(a *sparse.CSR, opt core.Options, kernel core.KernelKind) PlanKey {
+	return keyWithFingerprint(Fingerprint(a), opt, kernel)
+}
+
+func keyWithFingerprint(fp string, opt core.Options, kernel core.KernelKind) PlanKey {
 	omega := opt.Omega
 	if omega == 0 {
 		omega = 1
@@ -187,6 +197,7 @@ func keyWithFingerprint(fp string, opt core.Options) PlanKey {
 		LocalIters:  localIters,
 		ExactLocal:  opt.ExactLocal,
 		Omega:       omega,
+		Kernel:      kernel,
 	}
 }
 
@@ -256,7 +267,7 @@ func (c *PlanCache) Stats() CacheStats {
 
 // build constructs the plan outside the cache lock.
 func (c *PlanCache) build(a *sparse.CSR, key PlanKey) (*Plan, error) {
-	prepared, err := core.NewPlan(a, key.BlockSize, key.ExactLocal)
+	prepared, err := core.NewPlanWithConfig(a, key.BlockSize, key.ExactLocal, core.PlanConfig{Kernel: key.Kernel})
 	if err != nil {
 		return nil, fmt.Errorf("service: building plan %v: %w", key, err)
 	}

@@ -51,6 +51,15 @@ type SolveRequest struct {
 	// Engine is "simulated" (default) or "goroutine". Incompatible with
 	// Devices (a multi-device job runs on the sharded executor).
 	Engine string `json:"engine,omitempty"`
+	// Kernel selects the sweep-kernel dispatch: "" or "auto" (detect
+	// stencil structure and fall back to packed CSR), "csr", "stencil" or
+	// "sell". An explicit "stencil" on a matrix without constant-coefficient
+	// structure fails the solve at plan build. Kernel dispatch is
+	// bit-transparent: every choice produces the identical iterate.
+	Kernel string `json:"kernel,omitempty"`
+	// Precision is "" or "f64" (exact doubles) or "f32" (float32 iterate
+	// storage with float64 accumulation and residual checks).
+	Precision string `json:"precision,omitempty"`
 	// Devices > 0 routes the job to the live multi-device executor with
 	// that many GPUs (bounded by the modeled topology's maximum) and
 	// reports the modeled wall time in the result. 0 (default) solves on
@@ -105,6 +114,28 @@ func (r SolveRequest) engineKind() (core.EngineKind, error) {
 		return core.EngineGoroutine, nil
 	default:
 		return 0, fmt.Errorf("service: unknown engine %q (want \"simulated\" or \"goroutine\")", r.Engine)
+	}
+}
+
+// kernelKind parses the request's sweep-kernel dispatch name.
+func (r SolveRequest) kernelKind() (core.KernelKind, error) {
+	k, err := core.ParseKernel(strings.ToLower(strings.TrimSpace(r.Kernel)))
+	if err != nil {
+		return 0, fmt.Errorf("service: %w", err)
+	}
+	return k, nil
+}
+
+// precisionKind parses the request's iterate storage precision, returning
+// the normalized name ("" maps to f64).
+func (r SolveRequest) precisionKind() (string, error) {
+	switch strings.ToLower(strings.TrimSpace(r.Precision)) {
+	case "", core.PrecF64:
+		return core.PrecF64, nil
+	case core.PrecF32:
+		return core.PrecF32, nil
+	default:
+		return "", fmt.Errorf("service: unknown precision %q (want \"f64\" or \"f32\")", r.Precision)
 	}
 }
 
@@ -245,6 +276,9 @@ type Stats struct {
 	// strategy (same atomics /metricsz exposes as
 	// service_device_solves_total).
 	DeviceSolves map[string]uint64 `json:"device_solves"`
+	// KernelSolves counts solve attempts per resolved sweep kernel (same
+	// atomics /metricsz exposes as service_kernel_solves_total).
+	KernelSolves map[string]uint64 `json:"kernel_solves"`
 	// Sessions is the streaming solve-session store (see sessions.go).
 	Sessions SessionStats `json:"sessions"`
 	// Batch is the batched-solve accounting (see batch.go).
@@ -284,6 +318,10 @@ type Service struct {
 	// deviceSolves counts multi-device solve attempts per communication
 	// strategy, indexed by multigpu.Strategy.
 	deviceSolves [3]atomic.Uint64
+	// kernelSolves counts solve attempts per resolved sweep kernel,
+	// indexed by core.KernelKind (the Auto slot stays 0 — attempts are
+	// counted under the kernel the plan actually resolved to).
+	kernelSolves [4]atomic.Uint64
 
 	// Observability (see metrics.go): the registry behind GET /metricsz,
 	// the solver-level sink attached to every solve, and the modeled
@@ -395,6 +433,12 @@ func (s *Service) validate(req SolveRequest) error {
 		return fmt.Errorf("service: timeout_seconds must be nonnegative, have %g", req.TimeoutSeconds)
 	}
 	if _, err := req.engineKind(); err != nil {
+		return err
+	}
+	if _, err := req.kernelKind(); err != nil {
+		return err
+	}
+	if _, err := req.precisionKind(); err != nil {
 		return err
 	}
 	strat, err := req.strategyKind()
@@ -549,6 +593,11 @@ func (s *Service) Stats() Stats {
 			multigpu.AMC.String(): s.deviceSolves[multigpu.AMC].Load(),
 			multigpu.DC.String():  s.deviceSolves[multigpu.DC].Load(),
 			multigpu.DK.String():  s.deviceSolves[multigpu.DK].Load(),
+		},
+		KernelSolves: map[string]uint64{
+			core.KernelCSR.String():     s.kernelSolves[core.KernelCSR].Load(),
+			core.KernelStencil.String(): s.kernelSolves[core.KernelStencil].Load(),
+			core.KernelSELL.String():    s.kernelSolves[core.KernelSELL].Load(),
 		},
 		Sessions: s.sessions.stats(),
 		Batch: BatchStats{
@@ -730,6 +779,14 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 	if err != nil {
 		return nil, err
 	}
+	kernel, err := req.kernelKind()
+	if err != nil {
+		return nil, err
+	}
+	precision, err := req.precisionKind()
+	if err != nil {
+		return nil, err
+	}
 
 	b := req.RHS
 	if b == nil {
@@ -752,6 +809,7 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Tolerance:      req.Tolerance,
 		RecordHistory:  req.RecordHistory,
 		Engine:         engine,
+		Precision:      precision,
 		Seed:           req.Seed,
 		Ctx:            ctx,
 		Metrics:        s.solveMetrics,
@@ -792,10 +850,11 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		}
 	}
 
-	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
+	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
 	if err != nil {
 		return nil, err
 	}
+	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
 
 	nb := plan.Prepared.NumBlocks()
 	s.perf.SetOccupancy(s.occupancy, nb)
@@ -838,6 +897,8 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Devices:          req.Devices,
 		ModeledSeconds:   modeled,
 		Tuned:            tuned,
+		Kernel:           plan.Prepared.Kernel().String(),
+		Precision:        precision,
 	}
 	if req.Devices > 0 {
 		strat, _ := req.strategyKind()

@@ -336,3 +336,85 @@ func TestServiceNamedMatrixCachedFingerprint(t *testing.T) {
 		t.Fatal("named matrix should be generated and fingerprinted once")
 	}
 }
+
+// TestServiceKernelAndPrecision exercises the kernel/precision request
+// surface end to end: the resolved kernel and the precision are echoed on
+// the job result, the per-kernel counter lands in /metricsz, the plan cache
+// keys kernels separately, and bad values are rejected at submission.
+func TestServiceKernelAndPrecision(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+
+	// Poisson2D detects as a 5-point stencil, so kernel auto resolves to it.
+	req := quickRequest(t)
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	res := j.Result()
+	if res == nil || res.Kernel != "stencil" {
+		t.Fatalf("auto kernel on Poisson: result %+v, want kernel \"stencil\"", res)
+	}
+	if res.Precision != core.PrecF64 {
+		t.Errorf("default precision echoed as %q, want f64", res.Precision)
+	}
+
+	// An explicit CSR request must key a distinct plan and echo "csr".
+	req.Kernel = "csr"
+	req.Precision = "f32"
+	j, err = s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	res = j.Result()
+	if res == nil || res.Kernel != "csr" || res.Precision != "f32" {
+		t.Fatalf("explicit csr/f32: result kernel=%q precision=%q", res.Kernel, res.Precision)
+	}
+	if res.PlanHit {
+		t.Error("explicit csr reused the auto plan; kernels must key separately")
+	}
+	if !res.Converged {
+		t.Errorf("f32 solve did not converge: residual %g", res.Residual)
+	}
+
+	st := s.Stats()
+	if st.KernelSolves["stencil"] != 1 || st.KernelSolves["csr"] != 1 {
+		t.Errorf("kernel solve counters = %v", st.KernelSolves)
+	}
+	var sb strings.Builder
+	if err := s.Metrics().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `service_kernel_solves_total{kernel="stencil"} 1`) {
+		t.Error("/metricsz missing service_kernel_solves_total{kernel=\"stencil\"} 1")
+	}
+
+	// An explicit stencil kernel on a non-stencil matrix fails the job at
+	// plan build (the matrix shape is only known then), not at submission.
+	bad := quickRequest(t)
+	bad.MatrixMarket = mmPayload(t, mats.Trefethen(64))
+	bad.BlockSize = 16
+	bad.Kernel = "stencil"
+	j, err = s.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != JobFailed {
+		t.Errorf("explicit stencil on Trefethen: state %v, want failed", j.State())
+	}
+
+	// Unknown kernel / precision names are rejected at submission.
+	for _, tweak := range []func(*SolveRequest){
+		func(r *SolveRequest) { r.Kernel = "ellpack" },
+		func(r *SolveRequest) { r.Precision = "f16" },
+	} {
+		r := quickRequest(t)
+		tweak(&r)
+		if _, err := s.Submit(r); err == nil {
+			t.Errorf("bad request %+v accepted", r)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/mats"
 )
 
@@ -160,6 +161,11 @@ func TestSessionWarmStartReporting(t *testing.T) {
 	}
 	if v.WarmStart {
 		t.Fatal("fresh session cannot report a warm start")
+	}
+	// Poisson2D detects as a stencil; the view reports the resolved kernel
+	// and the normalized precision like a job result does.
+	if v.Kernel != "stencil" || v.Precision != core.PrecF64 {
+		t.Fatalf("view kernel=%q precision=%q, want stencil/f64", v.Kernel, v.Precision)
 	}
 	for k := 1; k <= 3; k++ {
 		res, err := s.StepSession(v.ID, StepRequest{RHS: sessionRHS(256, k), IncludeSolution: true}, nil)

@@ -89,6 +89,11 @@ type SessionRequest struct {
 	Tolerance      float64 `json:"tolerance,omitempty"`
 	// Engine is "simulated" (default) or "goroutine".
 	Engine string `json:"engine,omitempty"`
+	// Kernel and Precision have the SolveRequest semantics: the sweep-kernel
+	// dispatch ("", "auto", "csr", "stencil", "sell") and the iterate
+	// storage precision ("", "f64", "f32") every step of the session uses.
+	Kernel    string `json:"kernel,omitempty"`
+	Precision string `json:"precision,omitempty"`
 	// Seed is the default scheduler seed of every step (0: per-run stream);
 	// a step request may override it.
 	Seed int64 `json:"seed,omitempty"`
@@ -116,6 +121,8 @@ func (r SessionRequest) solveRequest() SolveRequest {
 		MaxGlobalIters: r.MaxGlobalIters,
 		Tolerance:      r.Tolerance,
 		Engine:         r.Engine,
+		Kernel:         r.Kernel,
+		Precision:      r.Precision,
 		Seed:           r.Seed,
 		Certify:        r.Certify,
 	}
@@ -178,6 +185,10 @@ type SessionView struct {
 	LocalIters int                  `json:"local_iters"`
 	Omega      float64              `json:"omega"`
 	Engine     string               `json:"engine"`
+	// Kernel is the resolved sweep kernel every step runs (what a "kernel":
+	// "auto" request dispatched to); Precision the iterate storage precision.
+	Kernel    string `json:"kernel,omitempty"`
+	Precision string `json:"precision,omitempty"`
 	Tuned      *TunedParams         `json:"tuned,omitempty"`
 	Certificate *certify.Certificate `json:"certificate,omitempty"`
 	TTLSeconds float64              `json:"ttl_seconds"`
@@ -207,10 +218,11 @@ type session struct {
 	ttl time.Duration
 
 	// Immutable after creation.
-	a     *sparse.CSR
-	opt   core.Options // per-step option template (no Seed/Ctx/hooks)
-	tuned *TunedParams
-	cert  *certify.Certificate
+	a      *sparse.CSR
+	opt    core.Options // per-step option template (no Seed/Ctx/hooks)
+	tuned  *TunedParams
+	cert   *certify.Certificate
+	kernel string // resolved sweep kernel (survives the plan drop)
 
 	stepMu sync.Mutex // serializes step execution
 
@@ -241,6 +253,8 @@ func (ss *session) view() SessionView {
 		LocalIters:    ss.opt.LocalIters,
 		Omega:         ss.opt.Omega,
 		Engine:        ss.opt.Engine.String(),
+		Kernel:        ss.kernel,
+		Precision:     string(ss.opt.Precision),
 		Tuned:         ss.tuned,
 		Certificate:   ss.cert,
 		TTLSeconds:    ss.ttl.Seconds(),
@@ -463,6 +477,16 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 		s.rejected.Add(1)
 		return SessionView{}, err
 	}
+	kernel, err := sreq.kernelKind()
+	if err != nil {
+		s.rejected.Add(1)
+		return SessionView{}, err
+	}
+	precision, err := sreq.precisionKind()
+	if err != nil {
+		s.rejected.Add(1)
+		return SessionView{}, err
+	}
 
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
@@ -471,6 +495,7 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 		MaxGlobalIters: req.MaxGlobalIters,
 		Tolerance:      req.Tolerance,
 		Engine:         engine,
+		Precision:      precision,
 		Metrics:        s.solveMetrics,
 	}
 	var tuned *TunedParams
@@ -499,11 +524,12 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 			CacheHit:        tuneHit,
 		}
 	}
-	plan, _, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt))
+	plan, _, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
 	if err != nil {
 		s.rejected.Add(1)
 		return SessionView{}, err
 	}
+	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
 
 	ttl := s.cfg.SessionTTL
 	if req.TTLSeconds > 0 {
@@ -540,6 +566,7 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 		tuned:    tuned,
 		cert:     cert,
 		state:    SessionActive,
+		kernel:   plan.Prepared.Kernel().String(),
 		core:     core.NewSession(plan.Prepared),
 		plan:     plan,
 		created:  now,

@@ -3,6 +3,14 @@
 // products, Jacobi splittings, block extraction, Matrix Market I/O, and
 // sparsity visualization.
 //
+// It also recognizes constant-coefficient stencil structure
+// (stencil.go): a StencilSpec names a fixed set of diagonal offsets and
+// coefficients, MatchStencil classifies each row as an exact (bitwise)
+// match or not, and DetectStencil searches a matrix for the best such
+// spec, accepting when at least a quarter of the rows match. The core
+// package's kernel dispatch builds its matrix-free stencil fast path on
+// these results (docs/KERNELS.md).
+//
 // The package is deliberately self-contained (stdlib only) and holds the
 // structural operations every solver in this repository builds on.
 package sparse

@@ -1,0 +1,188 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StencilSpec declares a constant-coefficient stencil: row i of the matrix
+// couples to columns i+Offsets[p] with the fixed coefficients Coeffs[p],
+// independent of i. The fv and Poisson generators in internal/mats produce
+// exactly this structure (a 9-point and a 5-point stencil), s1rmt3m1 is a
+// 1-D band stencil; for such operators a sweep kernel can keep the whole
+// stencil in registers and never load a column index (see internal/core and
+// docs/KERNELS.md).
+//
+// Offsets must be strictly ascending and include 0 (the diagonal); Coeffs
+// is parallel to Offsets and the diagonal coefficient must be nonzero.
+type StencilSpec struct {
+	Offsets []int
+	Coeffs  []float64
+}
+
+// Validate checks the structural invariants of the spec.
+func (s StencilSpec) Validate() error {
+	if len(s.Offsets) == 0 {
+		return fmt.Errorf("sparse: empty stencil spec")
+	}
+	if len(s.Offsets) != len(s.Coeffs) {
+		return fmt.Errorf("sparse: stencil spec has %d offsets but %d coefficients",
+			len(s.Offsets), len(s.Coeffs))
+	}
+	hasDiag := false
+	for p, d := range s.Offsets {
+		if p > 0 && s.Offsets[p-1] >= d {
+			return fmt.Errorf("sparse: stencil offsets must be strictly ascending, have %v", s.Offsets)
+		}
+		if d == 0 {
+			hasDiag = true
+			if s.Coeffs[p] == 0 {
+				return fmt.Errorf("sparse: stencil diagonal coefficient must be nonzero")
+			}
+		}
+	}
+	if !hasDiag {
+		return fmt.Errorf("sparse: stencil spec must include offset 0 (the diagonal), have %v", s.Offsets)
+	}
+	return nil
+}
+
+// DiagIndex returns the position of offset 0 in the spec. The spec must be
+// valid.
+func (s StencilSpec) DiagIndex() int {
+	return sort.SearchInts(s.Offsets, 0)
+}
+
+// Clone returns a deep copy of the spec.
+func (s StencilSpec) Clone() StencilSpec {
+	return StencilSpec{
+		Offsets: append([]int(nil), s.Offsets...),
+		Coeffs:  append([]float64(nil), s.Coeffs...),
+	}
+}
+
+// StencilInfo is the result of matching a matrix against a StencilSpec:
+// the per-row classification into interior rows — rows that are exactly the
+// stencil, bitwise, with every offset in range — and boundary rows
+// (everything else: truncated stencils at the domain edge, perturbed
+// coefficients, different sparsity). Interior rows are eligible for the
+// matrix-free fast path; boundary rows fall back to CSR.
+type StencilInfo struct {
+	Spec StencilSpec
+	// Interior[i] reports whether row i matches the stencil exactly.
+	Interior []bool
+	// InteriorRows and BoundaryRows count the two classes.
+	InteriorRows, BoundaryRows int
+}
+
+// InteriorFraction returns the share of rows on the fast path.
+func (si *StencilInfo) InteriorFraction() float64 {
+	n := si.InteriorRows + si.BoundaryRows
+	if n == 0 {
+		return 0
+	}
+	return float64(si.InteriorRows) / float64(n)
+}
+
+// MatchStencil classifies every row of a against the declared spec. A row
+// is interior iff its stored entries are exactly (i+Offsets[p], Coeffs[p])
+// for all p — positional comparison (CSR columns are sorted), coefficients
+// compared bitwise so the classification never conflates values that would
+// round differently. The error reports an invalid spec or a non-square
+// matrix; a spec that matches zero rows is not an error (the info says so).
+func MatchStencil(a *CSR, spec StencilSpec) (*StencilInfo, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: stencil matching needs a square matrix, have %dx%d", a.Rows, a.Cols)
+	}
+	si := &StencilInfo{Spec: spec.Clone(), Interior: make([]bool, a.Rows)}
+	q := len(spec.Offsets)
+	for i := 0; i < a.Rows; i++ {
+		rs, re := a.RowPtr[i], a.RowPtr[i+1]
+		if re-rs != q {
+			si.BoundaryRows++
+			continue
+		}
+		ok := true
+		for p := 0; p < q; p++ {
+			if a.ColIdx[rs+p] != i+spec.Offsets[p] ||
+				math.Float64bits(a.Val[rs+p]) != math.Float64bits(spec.Coeffs[p]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			si.Interior[i] = true
+			si.InteriorRows++
+		} else {
+			si.BoundaryRows++
+		}
+	}
+	return si, nil
+}
+
+// DetectStencil infers a constant-coefficient stencil from the matrix
+// itself: rows of maximal length propose candidate (offset, coefficient)
+// patterns — the first, a middle and the last such row, so one locally
+// perturbed row cannot poison detection — and the matrix accepts the best
+// candidate when at least a quarter of the rows, and at least one, match it
+// exactly. Grid operators from internal/mats (FV row-major, Poisson2D,
+// S1RMT3M1) detect in full; FVTiled detects partially (tile-interior rows
+// keep constant offsets under the tile permutation, tile-edge rows demote
+// to boundary); matrices with row-varying coefficients (Trefethen,
+// Chem97ZtZ) do not detect. The quarter threshold keeps the fast path
+// worthwhile: below it the boundary fallback dominates and packed CSR is
+// the better kernel.
+func DetectStencil(a *CSR) (*StencilInfo, bool) {
+	if a.Rows == 0 || a.Rows != a.Cols {
+		return nil, false
+	}
+	width := 0
+	for i := 0; i < a.Rows; i++ {
+		if w := a.RowPtr[i+1] - a.RowPtr[i]; w > width {
+			width = w
+		}
+	}
+	if width == 0 {
+		return nil, false // all rows empty
+	}
+	var maxRows []int
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i+1]-a.RowPtr[i] == width {
+			maxRows = append(maxRows, i)
+		}
+	}
+	cands := []int{maxRows[0], maxRows[len(maxRows)/2], maxRows[len(maxRows)-1]}
+	var best *StencilInfo
+	for ci, cand := range cands {
+		if ci > 0 && cand == cands[ci-1] {
+			continue
+		}
+		rs := a.RowPtr[cand]
+		spec := StencilSpec{
+			Offsets: make([]int, width),
+			Coeffs:  make([]float64, width),
+		}
+		for p := 0; p < width; p++ {
+			spec.Offsets[p] = a.ColIdx[rs+p] - cand
+			spec.Coeffs[p] = a.Val[rs+p]
+		}
+		if spec.Validate() != nil {
+			continue // no diagonal, or a zero diagonal coefficient
+		}
+		si, err := MatchStencil(a, spec)
+		if err != nil {
+			continue
+		}
+		if best == nil || si.InteriorRows > best.InteriorRows {
+			best = si
+		}
+	}
+	if best == nil || best.InteriorRows < 1 || 4*best.InteriorRows < a.Rows {
+		return nil, false
+	}
+	return best, true
+}

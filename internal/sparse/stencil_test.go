@@ -1,0 +1,206 @@
+package sparse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mats"
+	"repro/internal/sparse"
+)
+
+// anisoPoisson builds a 2-D anisotropic 5-point operator on a w×h grid:
+// −eps ∂²/∂x² − ∂²/∂y² discretized row-major, so the x-neighbors carry −eps
+// and the y-neighbors −1 with diagonal 2+2·eps.
+func anisoPoisson(w, h int, eps float64) *sparse.CSR {
+	n := w * h
+	m := &sparse.CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	diag := 2 + 2*eps
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			add := func(j int, v float64) {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+			}
+			if y > 0 {
+				add(i-w, -1)
+			}
+			if x > 0 {
+				add(i-1, -eps)
+			}
+			add(i, diag)
+			if x < w-1 {
+				add(i+1, -eps)
+			}
+			if y < h-1 {
+				add(i+w, -1)
+			}
+			m.RowPtr[i+1] = len(m.ColIdx)
+		}
+	}
+	return m
+}
+
+func TestDetectStencilGridOperators(t *testing.T) {
+	cases := []struct {
+		name     string
+		a        *sparse.CSR
+		width    int // stencil points
+		interior int // exact interior-row count
+	}{
+		{"fv_12x10", mats.FV(12, 10, 1.368), 9, 10 * 8},
+		{"poisson_9x7", mats.Poisson2D(9, 7), 5, 7 * 5},
+		{"s1rmt3m1_60", mats.S1RMT3M1(60), 9, 60 - 8},
+	}
+	for _, c := range cases {
+		si, ok := sparse.DetectStencil(c.a)
+		if !ok {
+			t.Fatalf("%s: stencil not detected", c.name)
+		}
+		if len(si.Spec.Offsets) != c.width {
+			t.Fatalf("%s: want %d-point stencil, got offsets %v", c.name, c.width, si.Spec.Offsets)
+		}
+		if si.InteriorRows != c.interior {
+			t.Errorf("%s: interior rows = %d, want %d (boundary %d)",
+				c.name, si.InteriorRows, c.interior, si.BoundaryRows)
+		}
+		if si.InteriorRows+si.BoundaryRows != c.a.Rows {
+			t.Errorf("%s: classes don't partition the rows", c.name)
+		}
+	}
+}
+
+func TestDetectStencilOneByOne(t *testing.T) {
+	a := mats.Poisson2D(1, 1)
+	si, ok := sparse.DetectStencil(a)
+	if !ok {
+		t.Fatal("1x1 grid: stencil not detected")
+	}
+	if len(si.Spec.Offsets) != 1 || si.Spec.Offsets[0] != 0 {
+		t.Fatalf("1x1 grid: offsets = %v, want [0]", si.Spec.Offsets)
+	}
+	if si.InteriorRows != 1 || si.BoundaryRows != 0 {
+		t.Fatalf("1x1 grid: interior/boundary = %d/%d, want 1/0", si.InteriorRows, si.BoundaryRows)
+	}
+}
+
+func TestDetectStencilAnisotropic(t *testing.T) {
+	a := anisoPoisson(11, 9, 0.01)
+	si, ok := sparse.DetectStencil(a)
+	if !ok {
+		t.Fatal("anisotropic 5-point: stencil not detected")
+	}
+	wantOff := []int{-11, -1, 0, 1, 11}
+	wantCoef := []float64{-1, -0.01, 2.02, -0.01, -1}
+	for p := range wantOff {
+		if si.Spec.Offsets[p] != wantOff[p] {
+			t.Fatalf("offsets = %v, want %v", si.Spec.Offsets, wantOff)
+		}
+		if math.Float64bits(si.Spec.Coeffs[p]) != math.Float64bits(wantCoef[p]) {
+			t.Fatalf("coeffs = %v, want %v (bitwise)", si.Spec.Coeffs, wantCoef)
+		}
+	}
+	if si.InteriorRows != 9*7 {
+		t.Fatalf("interior rows = %d, want %d", si.InteriorRows, 9*7)
+	}
+}
+
+func TestDetectStencilRejectsVaryingCoefficients(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"trefethen_80", mats.Trefethen(80)},
+		{"chem97ztz_60", mats.Chem97ZtZ(60)},
+	} {
+		if si, ok := sparse.DetectStencil(c.a); ok {
+			t.Errorf("%s: detected a stencil (interior %d/%d) but coefficients vary per row",
+				c.name, si.InteriorRows, c.a.Rows)
+		}
+	}
+}
+
+// TestStencilPerturbedRowDemotes is the almost-a-stencil property test: for
+// random grids and a random single perturbed coefficient, detection must
+// still succeed (the remaining rows carry it) while the perturbed row —
+// and only that row — demotes from interior to boundary, where the solve
+// kernels fall back to CSR.
+func TestStencilPerturbedRowDemotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		w := 5 + rng.Intn(8)
+		h := 5 + rng.Intn(8)
+		a := mats.Poisson2D(w, h)
+		clean, ok := sparse.DetectStencil(a)
+		if !ok {
+			t.Fatalf("trial %d: clean %dx%d Poisson grid must detect", trial, w, h)
+		}
+
+		// Perturb one stored coefficient of one random interior row.
+		var interior []int
+		for i, in := range clean.Interior {
+			if in {
+				interior = append(interior, i)
+			}
+		}
+		row := interior[rng.Intn(len(interior))]
+		p := a.RowPtr[row] + rng.Intn(a.RowPtr[row+1]-a.RowPtr[row])
+		a.Val[p] += 1e-9 + rng.Float64()
+
+		si, ok := sparse.DetectStencil(a)
+		if !ok {
+			t.Fatalf("trial %d: one perturbed row (%d) must not defeat detection on %dx%d",
+				trial, row, w, h)
+		}
+		if si.Interior[row] {
+			t.Fatalf("trial %d: perturbed row %d still classified interior", trial, row)
+		}
+		if si.InteriorRows != clean.InteriorRows-1 {
+			t.Fatalf("trial %d: interior rows %d, want %d (exactly the perturbed row demoted)",
+				trial, si.InteriorRows, clean.InteriorRows-1)
+		}
+		for i := range si.Interior {
+			if i != row && si.Interior[i] != clean.Interior[i] {
+				t.Fatalf("trial %d: row %d changed class but was not perturbed", trial, i)
+			}
+		}
+	}
+}
+
+func TestMatchStencilDeclaredSpec(t *testing.T) {
+	a := mats.Poisson2D(6, 6)
+	spec := sparse.StencilSpec{Offsets: []int{-6, -1, 0, 1, 6}, Coeffs: []float64{-1, -1, 4, -1, -1}}
+	si, err := sparse.MatchStencil(a, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.InteriorRows != 4*4 {
+		t.Fatalf("interior rows = %d, want 16", si.InteriorRows)
+	}
+
+	// A spec that matches nothing is not an error; the info reports it.
+	off := sparse.StencilSpec{Offsets: []int{-1, 0, 1}, Coeffs: []float64{-2, 5, -2}}
+	si, err = sparse.MatchStencil(a, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.InteriorRows != 0 {
+		t.Fatalf("mismatched spec matched %d rows", si.InteriorRows)
+	}
+
+	// Invalid specs are errors.
+	for _, bad := range []sparse.StencilSpec{
+		{},
+		{Offsets: []int{-1, 1}, Coeffs: []float64{1, 1}},          // no diagonal
+		{Offsets: []int{0, 0}, Coeffs: []float64{1, 1}},           // not ascending
+		{Offsets: []int{0}, Coeffs: []float64{0}},                 // zero diagonal
+		{Offsets: []int{0, 1}, Coeffs: []float64{1}},              // length mismatch
+		{Offsets: []int{1, 0}, Coeffs: []float64{1, 1}},           // descending
+		{Offsets: []int{-1, 0, 1}, Coeffs: []float64{1, 1, 1, 1}}, // length mismatch
+	} {
+		if _, err := sparse.MatchStencil(a, bad); err == nil {
+			t.Errorf("spec %+v: want error", bad)
+		}
+	}
+}

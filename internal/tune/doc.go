@@ -23,6 +23,14 @@
 //     internal/gpusim, so a configuration that iterates faster but
 //     converges slower is priced honestly (the paper's Figure 8 trade-off).
 //
+// After the (block, k, ω) search, a kernel/precision stage re-prices the
+// winning plan under each available sweep kernel (matrix-free stencil,
+// sliced-ELL, packed CSR). Because the kernels are bit-transparent, the
+// measured contraction rate transfers and the float64 candidates cost
+// zero extra probe solves — only the modeled memory traffic differs;
+// a float32 candidate (Config.Precisions) re-probes the winner once.
+// See docs/KERNELS.md for the dispatch and traffic model.
+//
 // A Result is a plain value; internal/service caches one per matrix
 // fingerprint so repeated solves of a known matrix skip the search
 // entirely. See docs/TUNING.md for a worked walkthrough.

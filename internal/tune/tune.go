@@ -33,6 +33,18 @@ type Config struct {
 	// deterministic one — probes should measure the configuration, not the
 	// scheduler's mood).
 	Engine core.EngineKind
+	// Kernels are the candidate sweep-kernel dispatches for the post-grid
+	// kernel stage. Default: core.KernelCSR and core.KernelSELL, plus
+	// core.KernelStencil when the matrix detects stencil structure. The
+	// stage needs no extra probe solves in f64 — kernel dispatch is
+	// bit-transparent (see internal/core), so the grid winner's measured
+	// rate applies to every kernel and only the modeled traffic differs.
+	Kernels []core.KernelKind
+	// Precisions are the candidate iterate storage precisions (default
+	// {core.PrecF64}). Adding core.PrecF32 lets the stage weigh the reduced
+	// iterate traffic against the rounding's effect on the contraction
+	// rate, which it measures with one extra probe solve.
+	Precisions []string
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpectralSteps <= 0 {
 		c.SpectralSteps = 32
+	}
+	if len(c.Precisions) == 0 {
+		c.Precisions = []string{core.PrecF64}
 	}
 	return c
 }
@@ -82,6 +97,14 @@ type Result struct {
 	// estimate (as opposed to the fixed fallback bracket).
 	OmegaBracket      [2]float64
 	OmegaFromSpectral bool
+	// Kernel and Precision are the kernel stage's winners: the sweep-kernel
+	// dispatch and iterate storage precision with the lowest modeled time
+	// per digit at the winning (block size, k, ω). KernelTraffic is the
+	// winner's modeled per-nonzero traffic factor relative to packed CSR
+	// (see gpusim.AsyncIterTimeKernel).
+	Kernel        core.KernelKind
+	Precision     string
+	KernelTraffic float64
 }
 
 // Tune searches (block size, local iterations, ω) for the given system and
@@ -121,7 +144,7 @@ func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
 		}
 		for _, k := range cfg.LocalIters {
 			best.Probed++
-			rate, perDigit, ok := cfg.probe(plan, b, k, 1, &best)
+			rate, perDigit, ok := cfg.probe(plan, b, k, 1, core.PrecF64, &best)
 			if !ok {
 				best.Skipped++
 				continue
@@ -141,7 +164,98 @@ func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
 	if cfg.OmegaProbes > 0 {
 		cfg.refineOmega(a, b, bestPlan, &best)
 	}
+	cfg.kernelStage(a, b, bestPlan, &best)
 	return best, nil
+}
+
+// Modeled per-nonzero traffic of the non-CSR execution paths, relative to
+// the packed-CSR sweep (value + column index per nonzero). An interior
+// stencil row loads no column indices and keeps its coefficients in
+// registers, leaving roughly the iterate gather; a SELL slice trades
+// aligned contiguous loads against its padding slots; a float32 iterate
+// halves the vector traffic while the matrix values stay float64. The
+// constants mirror the byte ratios the docs/KERNELS.md walkthrough derives.
+const (
+	stencilTraffic = 0.55
+	sellTraffic    = 0.9
+	f32Traffic     = 0.8
+)
+
+// kernelTraffic models a plan's per-nonzero traffic factor from its own
+// statistics: the stencil kernel only accelerates the detected interior
+// rows (boundary rows still run packed CSR), and a SELL layout pays for
+// every padded slot it stores.
+func kernelTraffic(p *core.Plan) float64 {
+	switch p.Kernel() {
+	case core.KernelStencil:
+		f := p.StencilInfo().InteriorFraction()
+		return f*stencilTraffic + (1 - f)
+	case core.KernelSELL:
+		return sellTraffic * p.SELLSlotRatio()
+	default:
+		return 1
+	}
+}
+
+// kernelStage joins the kernel × precision grid at the winning
+// (block size, k, ω). In f64 the grid winner's measured rate transfers to
+// every kernel verbatim (dispatch is bit-transparent), so the stage is pure
+// pricing: build each candidate plan, read its traffic statistics, and keep
+// the cheapest modeled time per digit. A float32 candidate changes the
+// trajectory, so its rate is measured once by a probe on the winning plan —
+// f32 rounding is also kernel-transparent, making that single probe valid
+// for every kernel candidate.
+func (cfg Config) kernelStage(a *sparse.CSR, b []float64, bestPlan *core.Plan, best *Result) {
+	kernels := cfg.Kernels
+	if len(kernels) == 0 {
+		kernels = []core.KernelKind{core.KernelCSR, core.KernelSELL}
+		if _, ok := sparse.DetectStencil(a); ok {
+			kernels = append(kernels, core.KernelStencil)
+		}
+	}
+	rates := make(map[string]float64, len(cfg.Precisions))
+	for _, prec := range cfg.Precisions {
+		if prec == "" || prec == core.PrecF64 {
+			rates[core.PrecF64] = best.Rate
+			continue
+		}
+		if rate, _, ok := cfg.probe(bestPlan, b, best.LocalIters, best.Omega, prec, best); ok {
+			rates[prec] = rate
+		}
+	}
+	best.Kernel = core.KernelCSR
+	best.Precision = core.PrecF64
+	best.KernelTraffic = 1
+	m := bestPlan.Matrix()
+	for _, k := range kernels {
+		traffic := 1.0
+		if k != core.KernelCSR { // CSR is the traffic baseline; no plan needed
+			plan := bestPlan
+			if k != bestPlan.Kernel() {
+				p, err := core.NewPlanWithConfig(a, best.BlockSize, false, core.PlanConfig{Kernel: k})
+				if err != nil {
+					continue // e.g. no stencil structure for an explicit stencil candidate
+				}
+				plan = p
+			}
+			traffic = kernelTraffic(plan)
+		}
+		for prec, rate := range rates {
+			pt := traffic
+			if prec == core.PrecF32 {
+				pt *= f32Traffic
+			}
+			iterTime := cfg.Model.AsyncIterTimeKernel(m.Rows, m.NNZ(), best.LocalIters, pt)
+			perDigit := iterTime * math.Ln10 / -math.Log(rate)
+			if perDigit < best.SecondsPerDigit {
+				best.Kernel = k
+				best.Precision = prec
+				best.KernelTraffic = pt
+				best.Rate = rate
+				best.SecondsPerDigit = perDigit
+			}
+		}
+	}
 }
 
 // refineOmega runs the golden-section stage on the winning (block size, k):
@@ -165,7 +279,7 @@ func (cfg Config) refineOmega(a *sparse.CSR, b []float64, plan *core.Plan, best 
 	best.OmegaBracket = [2]float64{lo, hi}
 	k := best.LocalIters
 	GoldenSection(func(w float64) float64 {
-		rate, perDigit, ok := cfg.probe(plan, b, k, w, best)
+		rate, perDigit, ok := cfg.probe(plan, b, k, w, core.PrecF64, best)
 		if !ok {
 			return math.Inf(1)
 		}
@@ -182,12 +296,13 @@ func (cfg Config) refineOmega(a *sparse.CSR, b []float64, plan *core.Plan, best 
 // geometric-mean contraction rate over the recorded history, priced by the
 // model's per-iteration cost as seconds per decimal digit. ok is false
 // when the probe fails to contract (divergence, stagnation, exact zero).
-func (cfg Config) probe(p *core.Plan, b []float64, k int, omega float64, r *Result) (rate, perDigit float64, ok bool) {
+func (cfg Config) probe(p *core.Plan, b []float64, k int, omega float64, precision string, r *Result) (rate, perDigit float64, ok bool) {
 	r.ProbeSolves++
 	res, err := core.SolveWithPlan(p, b, core.Options{
 		BlockSize:      p.BlockSize(),
 		LocalIters:     k,
 		Omega:          omega,
+		Precision:      precision,
 		MaxGlobalIters: cfg.ProbeIters,
 		RecordHistory:  true,
 		Seed:           cfg.Seed,

@@ -179,3 +179,84 @@ func TestTuneProbeUsesWarmPlan(t *testing.T) {
 		t.Errorf("tuned configuration (bs=%d k=%d ω=%g) failed to converge", res.BlockSize, res.LocalIters, res.Omega)
 	}
 }
+
+// TestTuneKernelStagePicksStencilOnFV: the fv grid operator detects as a
+// 9-point stencil, whose matrix-free sweep is modeled strictly cheaper per
+// nonzero, so the default kernel stage must select it — without any extra
+// probe solves, since kernel dispatch is bit-transparent in f64.
+func TestTuneKernelStagePicksStencilOnFV(t *testing.T) {
+	a := mats.FV(30, 30, 1.368)
+	b := onesRHS(a)
+	csrOnly, err := Tune(a, b, Config{Seed: 1, Kernels: []core.KernelKind{core.KernelCSR}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csrOnly.Kernel != core.KernelCSR || csrOnly.KernelTraffic != 1 {
+		t.Fatalf("CSR-only stage: kernel %v traffic %g", csrOnly.Kernel, csrOnly.KernelTraffic)
+	}
+	res, err := Tune(a, b, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != core.KernelStencil {
+		t.Errorf("kernel stage picked %v on a stencil operator, want stencil", res.Kernel)
+	}
+	if res.Precision != core.PrecF64 {
+		t.Errorf("default precision grid produced %q, want f64", res.Precision)
+	}
+	if !(res.KernelTraffic > 0 && res.KernelTraffic < 1) {
+		t.Errorf("stencil traffic factor %g, want in (0,1)", res.KernelTraffic)
+	}
+	if res.SecondsPerDigit >= csrOnly.SecondsPerDigit {
+		t.Errorf("stencil kernel did not improve the modeled score: %g >= %g",
+			res.SecondsPerDigit, csrOnly.SecondsPerDigit)
+	}
+	if res.ProbeSolves != csrOnly.ProbeSolves {
+		t.Errorf("f64 kernel stage ran extra probes: %d vs %d", res.ProbeSolves, csrOnly.ProbeSolves)
+	}
+}
+
+// TestTuneKernelStageF32 checks the precision half of the join: adding f32
+// to the grid costs exactly one extra probe solve (the rate re-measure on
+// the winning plan) and yields a well-formed winner either way.
+func TestTuneKernelStageF32(t *testing.T) {
+	a := mats.FV(30, 30, 1.368)
+	b := onesRHS(a)
+	f64only, err := Tune(a, b, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(a, b, Config{Seed: 1, Precisions: []string{core.PrecF64, core.PrecF32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ProbeSolves - f64only.ProbeSolves; got != 1 {
+		t.Errorf("f32 candidate cost %d extra probe solves, want exactly 1", got)
+	}
+	if res.Precision != core.PrecF64 && res.Precision != core.PrecF32 {
+		t.Errorf("winner precision %q", res.Precision)
+	}
+	if res.SecondsPerDigit > f64only.SecondsPerDigit {
+		t.Errorf("wider grid regressed the score: %g > %g", res.SecondsPerDigit, f64only.SecondsPerDigit)
+	}
+	if !(res.Rate > 0 && res.Rate < 1) {
+		t.Errorf("winner rate %g not contracting", res.Rate)
+	}
+}
+
+// TestTuneKernelStageTrefethen: no stencil structure, so the stage decides
+// between CSR and SELL purely on the slice padding ratio.
+func TestTuneKernelStageTrefethen(t *testing.T) {
+	a := mats.Trefethen(300)
+	b := onesRHS(a)
+	res, err := Tune(a, b, Config{Seed: 3, BlockSizes: []int{64}, LocalIters: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel == core.KernelStencil {
+		t.Error("kernel stage picked stencil on a matrix with row-varying coefficients")
+	}
+	if res.KernelTraffic <= 0 {
+		t.Errorf("traffic factor %g", res.KernelTraffic)
+	}
+}
