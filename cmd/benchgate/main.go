@@ -19,7 +19,14 @@
 // ≥4-core machines (see session.go) — and the sweep-kernel rows: the
 // matrix-free stencil and sliced-ELL kernels against the packed-CSR
 // baseline on fixed-sweep solves, with enforced speedup floors (stencil
-// ≥1.5×, SELL ≥1.1×; see kernel.go and docs/KERNELS.md).
+// ≥1.5×, SELL ≥1.1×; see kernel.go and docs/KERNELS.md) — and the
+// update-rule rows: second-order Richardson (momentum) against damped
+// Jacobi in iterations to tolerance on the paper matrices (richardson2
+// must win on ≥2 of 3), async-smoothed multigrid against single-level
+// damped Jacobi in modeled seconds per residual digit (multigrid must be
+// cheaper), and the bounded-delay ring's tick counts per rule at
+// MaxDelay ∈ {0, 2, 4} (momentum must converge wherever jacobi does; see
+// method.go and docs/METHODS.md).
 //
 // The paper's claims are performance claims — convergence per second, not
 // just per iteration — so the repo's trajectory needs a measured baseline
@@ -113,6 +120,8 @@ func run(args []string, out io.Writer) int {
 	report.Sessions = sessionRows
 	kernelRows, kernelProblems := runKernelSuite(*quick, out)
 	report.Kernels = kernelRows
+	methodRows, methodProblems := runMethodSuite(*quick, out)
+	report.Methods = methodRows
 
 	if !*noWrite {
 		path := filepath.Join(*dir, "BENCH_"+report.Date+".json")
@@ -125,13 +134,13 @@ func run(args []string, out io.Writer) int {
 
 	if base == nil {
 		fmt.Fprintf(out, "benchgate: no baseline found; snapshot becomes the baseline\n")
-		if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems > 0 {
+		if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems+methodProblems > 0 {
 			return 1
 		}
 		return 0
 	}
 	code := verdict(*base, basePath, report, limits, out)
-	if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems > 0 && code == 0 {
+	if figProblems+fleetProblems+certifyProblems+sessionProblems+kernelProblems+methodProblems > 0 && code == 0 {
 		code = 1
 	}
 	return code

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/mats"
+	"repro/internal/multigrid"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// MethodScenario is one update-rule row of the snapshot, covering the
+// three method claims the seam has to keep honest:
+//
+//   - momentum rows ("momentum"): iterations to tolerance of the
+//     second-order Richardson rule against plain damped Jacobi on a paper
+//     matrix, seeded simulated engine (deterministic, so the counts are
+//     exact). The gate is collective: richardson2 must win on at least 2
+//     of the 3 paper matrices (fv3's σ = 0.5·10⁻⁸ keeps both rules from
+//     converging, so it is not a momentum row).
+//   - the multigrid row ("multigrid"): modeled seconds per residual digit
+//     of async-smoothed V-cycles against single-level damped Jacobi on
+//     the five-point Poisson operator, costing every level of the
+//     hierarchy with the calibrated per-iteration GPU model. Gated:
+//     multigrid must be cheaper per digit.
+//   - the delay row ("delay"): cluster.DelaySweep ticks to tolerance for
+//     both rules at MaxDelay ∈ {0, 2, 4} on the bounded-delay ring.
+//     Gated loosely: wherever jacobi converges, momentum must too —
+//     bounded staleness may slow the momentum term but must not break it.
+type MethodScenario struct {
+	Name   string `json:"name"`
+	Matrix string `json:"matrix"`
+	Kind   string `json:"kind"` // momentum | multigrid | delay
+	N      int    `json:"n"`
+
+	// Momentum rows.
+	Beta          float64 `json:"beta,omitempty"`
+	JacobiIters   int     `json:"jacobi_iters,omitempty"`
+	MomentumIters int     `json:"momentum_iters,omitempty"`
+	MomentumWins  bool    `json:"momentum_wins,omitempty"`
+
+	// Multigrid row (modeled seconds per residual digit; Cycles is the
+	// V-cycle count to tolerance).
+	Cycles            int     `json:"cycles,omitempty"`
+	JacobiSecPerDigit float64 `json:"jacobi_sec_per_digit,omitempty"`
+	MGSecPerDigit     float64 `json:"multigrid_sec_per_digit,omitempty"`
+
+	// Delay row: ticks to tolerance per MaxDelay entry (0 = not reached).
+	Delays        []int `json:"delays,omitempty"`
+	JacobiTicks   []int `json:"jacobi_ticks,omitempty"`
+	MomentumTicks []int `json:"momentum_ticks,omitempty"`
+}
+
+// momentumCase declares one richardson2-vs-jacobi row. The β values are
+// the service default (0.3) — the gate measures the rule users get, not a
+// per-matrix oracle.
+type momentumCase struct {
+	matrix string
+	beta   float64
+}
+
+func momentumCases() []momentumCase {
+	return []momentumCase{
+		{"Chem97ZtZ", 0.3},
+		{"fv1", 0.3},
+		{"Trefethen_2000", 0.3},
+	}
+}
+
+// runMethodSuite measures the update-rule rows and returns them with the
+// count of gate violations.
+func runMethodSuite(quick bool, out io.Writer) ([]MethodScenario, int) {
+	var rows []MethodScenario
+	problems := 0
+
+	wins := 0
+	momRows := 0
+	for _, mc := range momentumCases() {
+		row, err := measureMomentumCase(mc)
+		if err != nil {
+			fmt.Fprintf(out, "benchgate: REGRESSION method/momentum-%s: %v\n", mc.matrix, err)
+			problems++
+			continue
+		}
+		momRows++
+		if row.MomentumWins {
+			wins++
+		}
+		verdict := "jacobi wins"
+		if row.MomentumWins {
+			verdict = "momentum wins"
+		}
+		fmt.Fprintf(out, "benchgate: %s  jacobi %d iters  richardson2(β=%.1f) %d iters  (%s)\n",
+			row.Name, row.JacobiIters, row.Beta, row.MomentumIters, verdict)
+		rows = append(rows, row)
+	}
+	if momRows > 0 && wins < 2 {
+		fmt.Fprintf(out, "benchgate: REGRESSION method/momentum: richardson2 wins on %d/%d paper matrices (need ≥2)\n",
+			wins, momRows)
+		problems++
+	}
+
+	mgWidth := 63
+	if quick {
+		mgWidth = 31
+	}
+	mgRow, err := measureMultigridCase(mgWidth)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: %v\n", mgRow.Name, err)
+		problems++
+	} else {
+		fmt.Fprintf(out, "benchgate: %s  %d cycles  mg %.4fs/digit  jacobi %.4fs/digit (modeled)\n",
+			mgRow.Name, mgRow.Cycles, mgRow.MGSecPerDigit, mgRow.JacobiSecPerDigit)
+		if !(mgRow.MGSecPerDigit < mgRow.JacobiSecPerDigit) {
+			fmt.Fprintf(out, "benchgate: REGRESSION %s: multigrid (%.4fs/digit) must beat damped Jacobi (%.4fs/digit)\n",
+				mgRow.Name, mgRow.MGSecPerDigit, mgRow.JacobiSecPerDigit)
+			problems++
+		}
+		rows = append(rows, mgRow)
+	}
+
+	delayRow, err := measureDelayCase()
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: REGRESSION %s: %v\n", delayRow.Name, err)
+		problems++
+	} else {
+		fmt.Fprintf(out, "benchgate: %s  delays %v  jacobi ticks %v  richardson2 ticks %v\n",
+			delayRow.Name, delayRow.Delays, delayRow.JacobiTicks, delayRow.MomentumTicks)
+		for i := range delayRow.Delays {
+			if delayRow.JacobiTicks[i] > 0 && delayRow.MomentumTicks[i] == 0 {
+				fmt.Fprintf(out, "benchgate: REGRESSION %s: momentum failed at MaxDelay=%d where jacobi converged\n",
+					delayRow.Name, delayRow.Delays[i])
+				problems++
+			}
+		}
+		rows = append(rows, delayRow)
+	}
+
+	return rows, problems
+}
+
+// methodRHS is the suite's b = A·1 right-hand side: the exact solution is
+// the ones vector on every system, so iteration counts compare like for
+// like across rules and matrices.
+func methodRHS(a *sparse.CSR) []float64 {
+	b := make([]float64, a.Rows)
+	a.MulVec(b, vecmath.Ones(a.Cols))
+	return b
+}
+
+// measureMomentumCase solves one paper matrix to 1e-10 under both rules on
+// the seeded simulated engine and compares iteration counts.
+func measureMomentumCase(mc momentumCase) (MethodScenario, error) {
+	a := mats.MustGenerate(mc.matrix).A
+	row := MethodScenario{
+		Name: "method/momentum-" + mc.matrix, Matrix: mc.matrix,
+		Kind: "momentum", N: a.Rows, Beta: mc.beta,
+	}
+	b := methodRHS(a)
+	opt := core.Options{
+		BlockSize: 448, LocalIters: 5, MaxGlobalIters: 2000,
+		Tolerance: 1e-10, Seed: 7,
+	}
+	jac, err := core.Solve(a, b, opt)
+	if err != nil {
+		return row, fmt.Errorf("jacobi: %w", err)
+	}
+	opt.Method, opt.Beta = core.RuleRichardson2, mc.beta
+	mom, err := core.Solve(a, b, opt)
+	if err != nil {
+		return row, fmt.Errorf("richardson2: %w", err)
+	}
+	if !jac.Converged || !mom.Converged {
+		return row, fmt.Errorf("convergence: jacobi %v, richardson2 %v (both must reach 1e-10)",
+			jac.Converged, mom.Converged)
+	}
+	row.JacobiIters = jac.GlobalIterations
+	row.MomentumIters = mom.GlobalIterations
+	row.MomentumWins = mom.GlobalIterations < jac.GlobalIterations
+	return row, nil
+}
+
+// measureMultigridCase compares async-smoothed V-cycles against
+// single-level damped Jacobi on Poisson2D(w,w), in modeled GPU seconds per
+// residual digit. The multigrid cost model charges every level of the
+// hierarchy its pre- and post-smoothing applications at the calibrated
+// per-iteration rate (the coarse direct solve is negligible and charged
+// nothing, which only flatters the single-level baseline).
+func measureMultigridCase(w int) (MethodScenario, error) {
+	row := MethodScenario{
+		Name:   fmt.Sprintf("method/multigrid-poisson2d_%d", w),
+		Matrix: fmt.Sprintf("poisson2d_%d", w), Kind: "multigrid", N: w * w,
+	}
+	a := mats.Poisson2D(w, w)
+	b := methodRHS(a)
+	model := gpusim.CalibratedModel()
+	const tol = 1e-8
+	r0 := vecmath.Nrm2(b) // x₀ = 0, so the initial residual is ‖b‖
+
+	jres, err := core.Solve(a, b, core.Options{
+		BlockSize: 448, LocalIters: 5, MaxGlobalIters: 20000,
+		Tolerance: tol, Seed: 7,
+	})
+	if err != nil {
+		return row, fmt.Errorf("single-level jacobi: %w", err)
+	}
+	jDigits := math.Log10(r0 / jres.Residual)
+	if !jres.Converged || jDigits <= 0 {
+		return row, fmt.Errorf("single-level jacobi did not converge (%d iters, residual %.3e)",
+			jres.GlobalIterations, jres.Residual)
+	}
+	jTime := model.AsyncIterTime(a.Rows, a.NNZ(), 5) * float64(jres.GlobalIterations)
+	row.JacobiSecPerDigit = jTime / jDigits
+
+	// ω = 0.8 is the classical smoothing weight for the five-point
+	// stencil; one async-(2) global iteration per application keeps the
+	// per-cycle cost minimal while the cycle count stays mesh-independent.
+	const smGlobal, smLocal = 1, 2
+	sm := &multigrid.AsyncSmoother{BlockSize: 448, LocalIters: smLocal, GlobalIters: smGlobal, Omega: 0.8}
+	mg, err := multigrid.New(multigrid.Options{Width: w, Height: w, Smoother: sm})
+	if err != nil {
+		return row, err
+	}
+	mres, err := mg.Solve(b, tol, 200)
+	if err != nil {
+		return row, fmt.Errorf("multigrid: %w", err)
+	}
+	mDigits := math.Log10(r0 / mres.Residual)
+	if !mres.Converged || mDigits <= 0 {
+		return row, fmt.Errorf("multigrid did not converge (%d cycles, residual %.3e)",
+			mres.Cycles, mres.Residual)
+	}
+	var perCycle float64
+	for l := 0; l < mg.NumLevels(); l++ {
+		n, nnz := mg.LevelShape(l)
+		// Pre- and post-smoothing, each smGlobal global iterations.
+		perCycle += 2 * smGlobal * model.AsyncIterTime(n, nnz, smLocal)
+	}
+	row.Cycles = mres.Cycles
+	row.MGSecPerDigit = perCycle * float64(mres.Cycles) / mDigits
+	return row, nil
+}
+
+// measureDelayCase sweeps the bounded-delay ring over MaxDelay ∈ {0, 2, 4}
+// for both rules on Trefethen_2000. Every sweep point is deterministic
+// (seeded network, seeded dispatch), so the tick counts gate exactly.
+func measureDelayCase() (MethodScenario, error) {
+	a := mats.Trefethen(2000)
+	row := MethodScenario{
+		Name: "method/delay-Trefethen_2000", Matrix: "Trefethen_2000",
+		Kind: "delay", N: a.Rows, Beta: 0.3,
+		Delays: []int{0, 2, 4},
+	}
+	b := methodRHS(a)
+	base := cluster.Options{
+		Nodes: 8, LocalIters: 2, MaxTicks: 4000, Seed: 3,
+	}
+	jTicks, err := cluster.DelaySweep(a, b, base, row.Delays, 1e-8)
+	if err != nil {
+		return row, fmt.Errorf("jacobi sweep: %w", err)
+	}
+	mBase := base
+	mBase.Method, mBase.Beta = core.RuleRichardson2, row.Beta
+	mTicks, err := cluster.DelaySweep(a, b, mBase, row.Delays, 1e-8)
+	if err != nil {
+		return row, fmt.Errorf("richardson2 sweep: %w", err)
+	}
+	row.JacobiTicks, row.MomentumTicks = jTicks, mTicks
+	return row, nil
+}
+
+// compareMethods gates the method rows against the baseline: every
+// baseline row must still run, and the deterministic iteration-family
+// counts (momentum iterations, V-cycles, delay ticks) gate with the
+// iteration allowance in same-mode comparisons. The method-vs-method
+// verdicts themselves are enforced at measurement time, baseline or not.
+func compareMethods(base, current Report, lim Limits) []Problem {
+	if len(base.Methods) == 0 {
+		return nil
+	}
+	now := make(map[string]MethodScenario, len(current.Methods))
+	for _, r := range current.Methods {
+		now[r.Name] = r
+	}
+	var out []Problem
+	sameMode := base.Quick == current.Quick
+	for _, b := range base.Methods {
+		c, ok := now[b.Name]
+		if !ok {
+			if sameMode {
+				out = append(out, Problem{Case: b.Name, Metric: "coverage (method row missing from current run)"})
+			}
+			continue
+		}
+		if !sameMode {
+			continue
+		}
+		check := func(metric string, baseV, nowV float64) {
+			if baseV > 0 && nowV > baseV*(1+lim.MaxIterRegress) {
+				out = append(out, Problem{Case: b.Name, Metric: metric,
+					Base: baseV, Now: nowV, Limit: lim.MaxIterRegress})
+			}
+		}
+		check("momentum_iters", float64(b.MomentumIters), float64(c.MomentumIters))
+		check("cycles", float64(b.Cycles), float64(c.Cycles))
+		for i := range b.JacobiTicks {
+			if i < len(c.JacobiTicks) {
+				check(fmt.Sprintf("jacobi_ticks[delay=%d]", b.Delays[i]),
+					float64(b.JacobiTicks[i]), float64(c.JacobiTicks[i]))
+			}
+			if i < len(c.MomentumTicks) {
+				check(fmt.Sprintf("momentum_ticks[delay=%d]", b.Delays[i]),
+					float64(b.MomentumTicks[i]), float64(c.MomentumTicks[i]))
+			}
+		}
+	}
+	return out
+}

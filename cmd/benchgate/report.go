@@ -40,6 +40,12 @@ type Report struct {
 	// enforced speedup floors (additive field; older baselines simply lack
 	// it and gate nothing there).
 	Kernels []KernelScenario `json:"kernels,omitempty"`
+	// Methods holds the update-rule rows: momentum-vs-jacobi iteration
+	// counts on the paper matrices, the multigrid-vs-damped-Jacobi modeled
+	// seconds per digit, and the bounded-delay ring's per-rule tick counts
+	// (additive field; older baselines simply lack it and gate nothing
+	// there).
+	Methods []MethodScenario `json:"methods,omitempty"`
 }
 
 // CaseResult is one benchmark case's measurements. Iteration counts of
@@ -236,5 +242,6 @@ func Compare(base, current Report, lim Limits) []Problem {
 	out = append(out, compareCertify(base, current, lim)...)
 	out = append(out, compareSessions(base, current, lim)...)
 	out = append(out, compareKernels(base, current, lim)...)
+	out = append(out, compareMethods(base, current, lim)...)
 	return out
 }

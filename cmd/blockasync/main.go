@@ -6,9 +6,11 @@
 //
 //	blockasync [-matrix name | -mm file.mtx] [-method m] [flags]
 //
-// Methods: async (default), jacobi, scaled-jacobi, gauss-seidel, sor, cg,
-// freerun. The right-hand side is b = A·1 (exact solution: ones), the
-// paper's convention.
+// Methods: async (default), richardson2 (async with second-order momentum,
+// see -beta), multigrid (async-smoothed V-cycles; five-point Poisson
+// operators only), jacobi, scaled-jacobi, gauss-seidel, sor, cg, freerun.
+// The right-hand side is b = A·1 (exact solution: ones), the paper's
+// convention.
 //
 // With -devices N (async only) the solve runs on the live multi-device
 // executor: one shard per GPU of the modeled topology, exchanging boundary
@@ -26,13 +28,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
+	"repro/internal/mats"
 	"repro/internal/multigpu"
+	"repro/internal/multigrid"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
@@ -47,7 +52,7 @@ import (
 type config struct {
 	matrix, mmfile, method string
 	block, local, iters    int
-	tol, omega             float64
+	tol, omega, beta       float64
 	seed                   int64
 	gor, history, tuned    bool
 	devices                int
@@ -60,12 +65,13 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.matrix, "matrix", "Trefethen_2000", "generated test matrix name")
 	flag.StringVar(&cfg.mmfile, "mm", "", "read the system matrix from a Matrix Market file instead")
-	flag.StringVar(&cfg.method, "method", "async", "solver: async | jacobi | scaled-jacobi | gauss-seidel | sor | cg | freerun")
+	flag.StringVar(&cfg.method, "method", "async", "solver: async | richardson2 | multigrid | jacobi | scaled-jacobi | gauss-seidel | sor | cg | freerun")
 	flag.IntVar(&cfg.block, "block", 448, "block (subdomain) size for async methods")
 	flag.IntVar(&cfg.local, "local", 5, "local Jacobi sweeps per block (k in async-(k))")
 	flag.IntVar(&cfg.iters, "iters", 1000, "maximum (global) iterations")
 	flag.Float64Var(&cfg.tol, "tol", 1e-10, "absolute l2 residual tolerance")
-	flag.Float64Var(&cfg.omega, "omega", 1.5, "relaxation factor (sor; async when set explicitly)")
+	flag.Float64Var(&cfg.omega, "omega", 1.5, "relaxation factor (sor; async methods when set explicitly)")
+	flag.Float64Var(&cfg.beta, "beta", 0.3, "momentum coefficient β in [0,1) (method richardson2)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "chaos seed for the async engines")
 	flag.BoolVar(&cfg.gor, "goroutines", false, "use the truly asynchronous goroutine engine")
 	flag.BoolVar(&cfg.history, "history", false, "print the residual after every iteration")
@@ -93,12 +99,13 @@ func main() {
 // or ignore another.
 func (c config) check() error {
 	isSet := func(name string) bool { return c.set[name] }
-	async := c.method == "async"
+	async := c.method == "async" || c.method == "richardson2"
+	mgrid := c.method == "multigrid"
 	switch {
 	case isSet("matrix") && isSet("mm"):
 		return errors.New("-matrix and -mm both select the system; pass exactly one")
-	case c.tuned && !async:
-		return fmt.Errorf("-tune only applies to -method async, have %q", c.method)
+	case c.tuned && !async && !mgrid:
+		return fmt.Errorf("-tune only applies to -method async, richardson2 or multigrid, have %q", c.method)
 	case c.tuned && (isSet("block") || isSet("local") || isSet("omega")):
 		return errors.New("-tune computes block size, local sweeps and ω itself; drop the explicit -block/-local/-omega overrides")
 	case c.tuned && c.devices > 0:
@@ -106,19 +113,23 @@ func (c config) check() error {
 	case c.devices < 0:
 		return fmt.Errorf("-devices must be nonnegative, have %d", c.devices)
 	case c.devices > 0 && !async:
-		return fmt.Errorf("-devices only applies to -method async, have %q", c.method)
+		return fmt.Errorf("-devices only applies to -method async or richardson2, have %q", c.method)
 	case c.devices > 0 && c.gor:
 		return errors.New("-devices runs on the sharded executor; it cannot be combined with -goroutines")
 	case isSet("strategy") && c.devices == 0:
 		return errors.New("-strategy requires -devices")
-	case isSet("omega") && !async && c.method != "sor":
-		return fmt.Errorf("-omega only applies to -method async or sor, have %q", c.method)
+	case isSet("omega") && !async && !mgrid && c.method != "sor":
+		return fmt.Errorf("-omega only applies to the async methods or sor, have %q", c.method)
+	case isSet("beta") && c.method != "richardson2":
+		return fmt.Errorf("-beta only applies to -method richardson2, have %q", c.method)
+	case c.beta < 0 || c.beta >= 1:
+		return fmt.Errorf("-beta must lie in [0,1), have %g", c.beta)
 	case isSet("goroutines") && !async:
-		return fmt.Errorf("-goroutines only applies to -method async, have %q", c.method)
+		return fmt.Errorf("-goroutines only applies to -method async or richardson2, have %q", c.method)
 	case isSet("kernel") && !async && c.method != "freerun":
-		return fmt.Errorf("-kernel only applies to -method async or freerun, have %q", c.method)
+		return fmt.Errorf("-kernel only applies to -method async, richardson2 or freerun, have %q", c.method)
 	case isSet("precision") && !async && c.method != "freerun":
-		return fmt.Errorf("-precision only applies to -method async or freerun, have %q", c.method)
+		return fmt.Errorf("-precision only applies to -method async, richardson2 or freerun, have %q", c.method)
 	}
 	if _, err := core.ParseKernel(c.kernel); err != nil {
 		return err
@@ -184,10 +195,14 @@ func run(c config) error {
 	model := gpusim.CalibratedModel()
 
 	switch c.method {
-	case "async":
+	case "async", "richardson2":
 		var asyncOmega float64
 		if c.set["omega"] {
 			asyncOmega = c.omega
+		}
+		method, beta := core.RuleJacobi, 0.0
+		if c.method == "richardson2" {
+			method, beta = core.RuleRichardson2, c.beta
 		}
 		if c.tuned {
 			tr, err := tune.Tune(a, b, tune.Config{Seed: c.seed})
@@ -195,11 +210,17 @@ func run(c config) error {
 				return fmt.Errorf("auto-tune: %w", err)
 			}
 			c.block, c.local, asyncOmega = tr.BlockSize, tr.LocalIters, tr.Omega
-			fmt.Printf("tuned: block=%d local=%d omega=%.3f  (rate %.4f/iter, modeled %.5f s/digit, %d probe solves)\n",
-				c.block, c.local, asyncOmega, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
+			if c.method == "async" {
+				// -method async lets the tuner's method stage pick the rule;
+				// -method richardson2 pins it (with the -beta coefficient).
+				method, beta = tr.Method, tr.Beta
+			}
+			fmt.Printf("tuned: block=%d local=%d omega=%.3f method=%s beta=%.2f  (rate %.4f/iter, modeled %.5f s/digit, %d probe solves)\n",
+				c.block, c.local, asyncOmega, method, beta, tr.Rate, tr.SecondsPerDigit, tr.ProbeSolves)
 		}
 		opt := core.Options{
 			BlockSize: c.block, LocalIters: c.local, Omega: asyncOmega, Precision: c.precision,
+			Method: method, Beta: beta,
 			MaxGlobalIters: c.iters, Tolerance: c.tol, RecordHistory: c.history, Seed: c.seed,
 		}
 		plan, err := buildPlan(a, c.block, c.kernel)
@@ -251,6 +272,42 @@ func run(c config) error {
 		}
 		report(res.Converged, int(res.EquivalentGlobalIters), res.Residual, err)
 		fmt.Printf("block updates: %d\n", res.BlockUpdates)
+
+	case "multigrid":
+		w := int(math.Round(math.Sqrt(float64(a.Rows))))
+		if w*w != a.Rows || w < 5 || w%2 == 0 {
+			return fmt.Errorf("-method multigrid needs an odd square grid (n = W×W, odd W ≥ 5), have n=%d", a.Rows)
+		}
+		if !sameCSR(a, mats.Poisson2D(w, w)) {
+			return fmt.Errorf("-method multigrid supports the five-point Poisson operator on the %dx%d grid; the selected matrix differs", w, w)
+		}
+		var sm *multigrid.AsyncSmoother
+		if c.tuned {
+			tuned, tr, err := multigrid.TunedAsyncSmoother(a, b, 2, tune.Config{Seed: c.seed})
+			if err != nil {
+				return fmt.Errorf("auto-tune: %w", err)
+			}
+			sm = tuned
+			fmt.Printf("tuned smoother: block=%d local=%d omega=%.3f method=%s beta=%.2f  (%d probe solves)\n",
+				sm.BlockSize, sm.LocalIters, sm.Omega, sm.Method, sm.Beta, tr.ProbeSolves)
+		} else {
+			var asyncOmega float64
+			if c.set["omega"] {
+				asyncOmega = c.omega
+			}
+			sm = &multigrid.AsyncSmoother{BlockSize: c.block, LocalIters: c.local, GlobalIters: 2, Omega: asyncOmega}
+		}
+		mg, err := multigrid.New(multigrid.Options{Width: w, Height: w, Smoother: sm})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hierarchy: %d levels, smoother %s\n", mg.NumLevels(), mg.SmootherName())
+		res, err := mg.Solve(b, c.tol, c.iters)
+		if err != nil && !errors.Is(err, multigrid.ErrDiverged) {
+			return err
+		}
+		printHistory(res.History)
+		report(res.Converged, res.Cycles, res.Residual, err)
 
 	case "jacobi", "gauss-seidel", "sor", "cg", "scaled-jacobi":
 		opt := solver.Options{MaxIterations: c.iters, Tolerance: c.tol, RecordHistory: c.history}
@@ -311,6 +368,26 @@ func buildPlan(a *sparse.CSR, block int, kernel string) (*core.Plan, error) {
 		fmt.Println("kernel: csr")
 	}
 	return p, nil
+}
+
+// sameCSR reports structural and numerical equality of two CSR matrices —
+// the multigrid admission check (the hierarchy rediscretizes the Poisson
+// family, so the finest operator must actually be that operator).
+func sameCSR(a, b *sparse.CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Val {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func report(converged bool, iters int, residual float64, err error) {

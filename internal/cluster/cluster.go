@@ -16,6 +16,16 @@ type Options struct {
 	Nodes int
 	// LocalIters is k in async-(k) applied inside each node per tick.
 	LocalIters int
+	// Omega is the relaxation weight of the nodes' local sweeps (0 means
+	// the core default ω = 1).
+	Omega float64
+	// Method selects the nodes' update rule (core.RuleJacobi or
+	// core.RuleRichardson2); Beta is the momentum coefficient of the
+	// second-order rule. Both follow the core.Options contract, so a
+	// DelaySweep over a richardson2 configuration measures exactly how the
+	// momentum term tolerates bounded staleness.
+	Method core.RuleKind
+	Beta   float64
 	// MaxDelay is the largest link delay in ticks. With MaxDelay ≥ 1 each
 	// directed link gets a fixed delay drawn uniformly from [1, MaxDelay],
 	// seeded, and the nodes execute concurrently — the delay ring makes
@@ -150,6 +160,9 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	inner, err := core.SolveSharded(p, b, core.Options{
 		BlockSize:      blockSize,
 		LocalIters:     opt.LocalIters,
+		Omega:          opt.Omega,
+		Method:         opt.Method,
+		Beta:           opt.Beta,
 		MaxGlobalIters: opt.MaxTicks,
 		Tolerance:      opt.Tolerance,
 		RecordHistory:  opt.RecordHistory,

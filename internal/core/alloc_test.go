@@ -88,12 +88,13 @@ func TestKernelZeroAllocs(t *testing.T) {
 		read  valueReader = sliceReader(x)
 		write valueWriter = sliceWriter(x)
 	)
+	rule := &updateRule{omega: 1}
 	for name, kern := range map[string]kernelFunc{
 		"fused":     runBlockKernel,
 		"reference": runBlockKernelReference,
 	} {
 		if n := testing.AllocsPerRun(100, func() {
-			kern(a, sp, b, &views[1], 5, 1, read, read, write, scr)
+			kern(a, sp, b, &views[1], 5, rule, read, read, write, scr)
 		}); n != 0 {
 			t.Errorf("%s kernel allocates %v objects per run", name, n)
 		}

@@ -103,6 +103,9 @@ func SolveBatch(p *Plan, rhs [][]float64, opt Options, bo BatchOptions) (BatchRe
 	if opt.InitialGuess != nil {
 		return BatchResult{}, fmt.Errorf("core: SolveBatch does not accept InitialGuess (systems share structure, not state)")
 	}
+	if opt.MomentumGuess != nil {
+		return BatchResult{}, fmt.Errorf("core: SolveBatch does not accept MomentumGuess (systems share structure, not state)")
+	}
 	if opt.Record != nil || opt.Replay != nil {
 		return BatchResult{}, fmt.Errorf("core: SolveBatch does not record or replay schedules; use SolveWithPlan with the system's BatchSeed")
 	}

@@ -55,6 +55,24 @@ type Options struct {
 	// iteration converges on SPD systems with ρ(B) > 1, extending the
 	// paper's §4.2 scaled-Jacobi remark to the asynchronous method.
 	Omega float64
+	// Method selects the update rule of the block sweeps (see RuleKind).
+	// The zero value RuleJacobi is the paper's first-order weighted Jacobi;
+	// RuleRichardson2 adds the heavy-ball momentum term β(x_k − x_{k−1}).
+	// A RuleRichardson2 solve with Beta 0 runs the literal Jacobi code path
+	// and is bit-identical to a RuleJacobi solve — the seam's equivalence
+	// contract, enforced by the method-equivalence tests.
+	Method RuleKind
+	// Beta is the momentum coefficient of RuleRichardson2, in [0, 1).
+	// Zero (the default) disables momentum entirely: no trail is allocated
+	// and the kernels take the first-order path. Non-zero Beta requires
+	// Method == RuleRichardson2 and is incompatible with ExactLocal (the
+	// direct subdomain solves have no sweep recurrence to accelerate).
+	Beta float64
+	// MomentumGuess seeds the momentum trail x_{k−1} (a Session carrying
+	// its trail across warm-started steps). Requires non-zero Beta and the
+	// system dimension; nil starts the trail at the initial iterate, so the
+	// first sweep's momentum term vanishes. Not modified by the solve.
+	MomentumGuess []float64
 	// MaxGlobalIters bounds the number of global iterations. Required > 0.
 	MaxGlobalIters int
 	// Tolerance is the absolute l2 residual target; 0 disables the
@@ -233,6 +251,26 @@ func (o Options) validate(a *sparse.CSR, b []float64) error {
 	if o.Omega < 0 || o.Omega >= 2 {
 		return fmt.Errorf("core: Omega must lie in (0,2), have %g", o.Omega)
 	}
+	if o.Method != RuleJacobi && o.Method != RuleRichardson2 {
+		return fmt.Errorf("core: unknown update rule %v", o.Method)
+	}
+	if o.Beta < 0 || o.Beta >= 1 {
+		return fmt.Errorf("core: Beta must lie in [0,1), have %g", o.Beta)
+	}
+	if o.Beta != 0 && o.Method != RuleRichardson2 {
+		return fmt.Errorf("core: Beta %g requires Method RuleRichardson2, have %s", o.Beta, o.Method)
+	}
+	if o.Beta != 0 && o.ExactLocal {
+		return fmt.Errorf("core: momentum (Beta %g) is incompatible with ExactLocal: the exact subdomain solves have no sweep recurrence", o.Beta)
+	}
+	if o.MomentumGuess != nil {
+		if o.Beta == 0 {
+			return fmt.Errorf("core: MomentumGuess requires a non-zero Beta")
+		}
+		if len(o.MomentumGuess) != a.Rows {
+			return fmt.Errorf("core: MomentumGuess length %d does not match dimension %d", len(o.MomentumGuess), a.Rows)
+		}
+	}
 	if o.ResidualEvery < 0 {
 		return fmt.Errorf("core: ResidualEvery must be nonnegative, have %d", o.ResidualEvery)
 	}
@@ -251,6 +289,11 @@ type Result struct {
 	History          []float64 // per-global-iteration residuals if requested
 	Trace            *Trace    // Chazan–Miranker statistics if requested
 	NumBlocks        int
+	// Momentum is the final momentum trail x_{k−1} of a RuleRichardson2
+	// solve with non-zero Beta — hand it to the next solve's MomentumGuess
+	// to continue the second-order recurrence (Session does this
+	// automatically). Nil on the first-order path.
+	Momentum []float64
 	// Certificate is the admission pre-flight output when Options.Certify
 	// is ModeWarn or ModeEnforce; nil when certification was off.
 	Certificate *certify.Certificate

@@ -37,6 +37,12 @@ type FreeRunningOptions struct {
 	// exact doubles, PrecF32 for float32 iterate storage with float64
 	// accumulation and residual checks (see precision.go).
 	Precision string
+	// Method and Beta select the update rule, with the Options semantics:
+	// RuleRichardson2 with non-zero Beta adds the heavy-ball momentum term
+	// to every sweep (the free-running ω stays the paper's literal 1). A
+	// zero Beta runs the first-order path bit-identically to RuleJacobi.
+	Method RuleKind
+	Beta   float64
 	// CheckEvery is the number of block updates between monitor residual
 	// checks; default max(numBlocks, 64).
 	CheckEvery   int64
@@ -84,6 +90,9 @@ type FreeRunningResult struct {
 	// EquivalentGlobalIters is BlockUpdates divided by the block count —
 	// the comparable unit to Result.GlobalIterations.
 	EquivalentGlobalIters float64
+	// Momentum is the final momentum trail of a non-zero-Beta run (see
+	// Result.Momentum); nil on the first-order path.
+	Momentum []float64
 }
 
 // validate checks a free-running configuration against the system; the one
@@ -108,6 +117,15 @@ func (o FreeRunningOptions) validate(a *sparse.CSR, b []float64) error {
 	}
 	if err := validatePrecision(o.Precision); err != nil {
 		return err
+	}
+	if o.Method != RuleJacobi && o.Method != RuleRichardson2 {
+		return fmt.Errorf("core: unknown update rule %v", o.Method)
+	}
+	if o.Beta < 0 || o.Beta >= 1 {
+		return fmt.Errorf("core: Beta must lie in [0,1), have %g", o.Beta)
+	}
+	if o.Beta != 0 && o.Method != RuleRichardson2 {
+		return fmt.Errorf("core: Beta %g requires Method RuleRichardson2, have %s", o.Beta, o.Method)
 	}
 	return validateGuess(a.Rows, o.InitialGuess)
 }
@@ -164,6 +182,8 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 			Workers:    workers,
 			Omega:      1,
 			LocalIters: opt.LocalIters,
+			Method:     opt.Method.String(),
+			Beta:       opt.Beta,
 		})
 	}
 	checkEvery := opt.CheckEvery
@@ -183,6 +203,7 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 	x := NewAtomicVector(start)
 	writer := iterateWriter(opt.Precision, valueWriter(x))
 	kern := plan.kernelFor(opt.referenceKernel)
+	rule := newUpdateRule(opt.Method, 1, opt.Beta, opt.Precision, start, nil)
 	em := opt.Metrics.engine("freerunning")
 
 	var (
@@ -229,7 +250,7 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 						return
 					}
 					opt.Chaos.delay(em, round, bi)
-					kern(a, sp, b, &views[bi], opt.LocalIters, 1, x, x, writer, scr)
+					kern(a, sp, b, &views[bi], opt.LocalIters, rule, x, x, writer, scr)
 					em.addBlockSweep()
 					if opt.Record != nil {
 						opt.Record.Append(sched.Event{
@@ -291,6 +312,7 @@ func SolveFreeRunningWithPlan(plan *Plan, b []float64, opt FreeRunningOptions) (
 	res := FreeRunningResult{
 		X:            xs,
 		BlockUpdates: atomic.LoadInt64(&updates),
+		Momentum:     rule.prev,
 	}
 	res.EquivalentGlobalIters = float64(res.BlockUpdates) / float64(nb)
 	res.Residual = residual(a, b, xs)
@@ -338,6 +360,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 	x := NewAtomicVector(start)
 	writer := iterateWriter(opt.Precision, valueWriter(x))
 	kern := plan.kernelFor(opt.referenceKernel)
+	rule := newUpdateRule(opt.Method, 1, replayBeta(s.Meta, opt.Beta), opt.Precision, start, nil)
 	em := opt.Metrics.engine("freerunning")
 	gate := sched.NewGate(s)
 	owns := func(e sched.Event, w int) bool { return int(e.Worker) == w }
@@ -378,7 +401,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 				if sweeps <= 0 {
 					sweeps = opt.LocalIters
 				}
-				kern(a, sp, b, &views[int(e.Block)], sweeps, 1, x, x, writer, scr)
+				kern(a, sp, b, &views[int(e.Block)], sweeps, rule, x, x, writer, scr)
 				em.addBlockSweep()
 				em.addReplayEvent()
 				if opt.Record != nil {
@@ -395,6 +418,7 @@ func replayFreeRunning(plan *Plan, b []float64, opt FreeRunningOptions) (FreeRun
 	res := FreeRunningResult{
 		X:            xs,
 		BlockUpdates: int64(len(s.Events)),
+		Momentum:     rule.prev,
 	}
 	res.EquivalentGlobalIters = float64(res.BlockUpdates) / float64(nb)
 	res.Residual = residual(a, b, xs)

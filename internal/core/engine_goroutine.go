@@ -61,6 +61,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	res := Result{NumBlocks: nb}
 
 	omega := opt.Omega
+	beta := opt.Beta
 	factors := p.factors
 	workers := opt.Workers
 	if workers > nb {
@@ -88,6 +89,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 		if s.Meta.Omega != 0 {
 			omega = s.Meta.Omega
 		}
+		beta = replayBeta(s.Meta, opt.Beta)
 		for i := 0; i < len(s.Events); {
 			epoch := s.Events[i].Epoch
 			j := i
@@ -104,6 +106,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 
 	em := opt.Metrics.engine("goroutine")
 	kern := p.kernelFor(opt.referenceKernel)
+	rule := newUpdateRule(opt.Method, omega, beta, opt.Precision, start, opt.MomentumGuess)
 	var iterDelta atomicFloat // Σ‖Δx_J‖₂² of the current global iteration
 	// Persistent worker pool fed one global iteration at a time. In replay
 	// mode the same pool is fed one *event* at a time.
@@ -136,7 +139,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 					// construction rules out.
 					_ = runBlockExact(a, b, &views[t.block], factors.lu[t.block], x, writer, scr)
 				} else {
-					iterDelta.add(kern(a, sp, b, &views[t.block], t.sweeps, omega, x, x, writer, scr))
+					iterDelta.add(kern(a, sp, b, &views[t.block], t.sweeps, rule, x, x, writer, scr))
 				}
 				em.addBlockSweep()
 				if opt.Replay != nil {
@@ -235,6 +238,7 @@ func solveGoroutine(p *Plan, b []float64, opt Options) (Result, error) {
 	}
 	x.CopyInto(xHost)
 	res.X = xHost
+	res.Momentum = rule.prev
 	if !opt.RecordHistory && opt.Tolerance == 0 {
 		res.Residual = residualInto(is.resid, a, b, xHost)
 	}

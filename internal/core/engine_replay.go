@@ -62,6 +62,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	if omega == 0 {
 		omega = opt.Omega
 	}
+	beta := replayBeta(s.Meta, opt.Beta)
 
 	n := a.Rows
 	x := make([]float64, n)
@@ -77,6 +78,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	scr := p.getKernelScratch()
 	defer p.putKernelScratch(scr)
 	kern := p.kernelFor(opt.referenceKernel)
+	rule := newUpdateRule(opt.Method, omega, beta, opt.Precision, x, opt.MomentumGuess)
 	// Replays keep the exact per-iteration residual (ResidualEvery is a
 	// live-solve optimization; a replayed history must be bit-faithful).
 	rs := &residualState{scratch: is.resid}
@@ -144,7 +146,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 					return res, err
 				}
 			} else {
-				kern(a, sp, b, &views[bi], int(e.Sweeps), omega, offRead, offRead, writer, scr)
+				kern(a, sp, b, &views[bi], int(e.Sweeps), rule, offRead, offRead, writer, scr)
 			}
 			em.addBlockSweep()
 			em.addReplayEvent()
@@ -166,6 +168,7 @@ func replaySimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 	}
 	res.X = x
+	res.Momentum = rule.prev
 	if !opt.RecordHistory && opt.Tolerance == 0 {
 		res.Residual = residualInto(is.resid, a, b, x)
 	}

@@ -183,7 +183,7 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 
 	kern := p.kernelFor(opt.referenceKernel)
 	factors := p.factors
-	omega := opt.Omega
+	rule := newUpdateRule(opt.Method, opt.Omega, opt.Beta, opt.Precision, start, opt.MomentumGuess)
 	sweeps := opt.LocalIters
 	if opt.ExactLocal {
 		sweeps = 0
@@ -230,7 +230,7 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 			// goroutine engine.
 			_ = runBlockExact(a, b, &views[bi], factors.lu[bi], offRead, writer, scr)
 		} else {
-			iterDelta.add(kern(a, sp, b, &views[bi], sweeps, omega, offRead, x, writer, scr))
+			iterDelta.add(kern(a, sp, b, &views[bi], sweeps, rule, offRead, x, writer, scr))
 		}
 		em.addBlockSweep()
 		if opt.Record != nil {
@@ -383,6 +383,7 @@ func solveSharded(p *Plan, b []float64, opt Options, so ShardOptions) (Result, e
 	}
 	x.CopyInto(xHost)
 	res.X = xHost
+	res.Momentum = rule.prev
 	if !opt.RecordHistory && opt.Tolerance == 0 {
 		res.Residual = residualInto(is.resid, a, b, xHost)
 	}

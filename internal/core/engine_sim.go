@@ -70,6 +70,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 	scr := p.getKernelScratch()
 	defer p.putKernelScratch(scr)
 	kern := p.kernelFor(opt.referenceKernel)
+	rule := newUpdateRule(opt.Method, opt.Omega, opt.Beta, opt.Precision, x, opt.MomentumGuess)
 	rs := newResidualState(opt, p.factors != nil, is.resid)
 	factors := p.factors
 	em := opt.Metrics.engine("simulated")
@@ -113,7 +114,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 					return res, err
 				}
 			} else {
-				delta2 += kern(a, sp, b, &views[bi], opt.LocalIters, opt.Omega, offRead, offRead, writer, scr)
+				delta2 += kern(a, sp, b, &views[bi], opt.LocalIters, rule, offRead, offRead, writer, scr)
 			}
 			blockVersion[bi] = iter
 			em.addBlockSweep()
@@ -145,6 +146,7 @@ func solveSimulated(p *Plan, b []float64, opt Options) (Result, error) {
 		}
 	}
 	res.X = x
+	res.Momentum = rule.prev
 	if !opt.RecordHistory && opt.Tolerance == 0 {
 		res.Residual = residualInto(is.resid, a, b, x)
 	}

@@ -146,24 +146,30 @@ func (s sliceWriter) Store(i int, v float64) { s[i] = v }
 // reuse warm buffers instead of allocating per solve.
 type kernelScratch struct {
 	s, xloc, xnew, x0 []float64
+	// xprev holds the momentum trail x_{k−1} during a momentum-rule block
+	// execution; unused (but kept warm in the pool) on the first-order path.
+	xprev []float64
 }
 
 func newKernelScratch(maxBlock int) *kernelScratch {
 	return &kernelScratch{
-		s:    make([]float64, maxBlock),
-		xloc: make([]float64, maxBlock),
-		xnew: make([]float64, maxBlock),
-		x0:   make([]float64, maxBlock),
+		s:     make([]float64, maxBlock),
+		xloc:  make([]float64, maxBlock),
+		xnew:  make([]float64, maxBlock),
+		x0:    make([]float64, maxBlock),
+		xprev: make([]float64, maxBlock),
 	}
 }
 
-// kernelFunc is the signature shared by the fused kernel and the reference
-// kernel. The return value is the squared l2 norm of the block's iterate
-// update, ‖x_J^new − x_J^old‖₂² — computed nearly for free in the publish
-// loop and consumed by the incremental residual estimate
-// (Options.ResidualEvery).
+// kernelFunc is the signature shared by all block-sweep kernels. rule is
+// the solve's update rule (relaxation weight, momentum state); the kernels
+// read its scalars and, on the momentum path, its shared prev trail — each
+// block touching only its own components. The return value is the squared
+// l2 norm of the block's iterate update, ‖x_J^new − x_J^old‖₂² — computed
+// nearly for free in the publish loop and consumed by the incremental
+// residual estimate (Options.ResidualEvery).
 type kernelFunc func(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64
+	k int, rule *updateRule, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64
 
 // runBlockKernel executes one thread block of the paper's Algorithm 1,
 // generalized with the relaxation weight ω:
@@ -187,8 +193,9 @@ type kernelFunc func(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockV
 // offRead and locRead may observe a live, concurrently-updated iterate —
 // that is the asynchronous part; the kernel itself is oblivious to it.
 func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
+	k int, rule *updateRule, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
 
+	omega := rule.omega
 	bs := v.hi - v.lo
 	s := scr.s[:bs]
 	xloc := scr.xloc[:bs]
@@ -210,17 +217,39 @@ func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockVi
 		x0[r] = xv
 	}
 
-	// k synchronous Jacobi sweeps streaming the packed local sub-CSR
-	// (diagonal structurally excluded, columns block-local).
-	for sweep := 0; sweep < k; sweep++ {
-		for r := 0; r < bs; r++ {
-			acc := s[r]
-			for p := v.locPtr[r]; p < v.locPtr[r+1]; p++ {
-				acc -= v.locVal[p] * xloc[v.locCols[p]]
+	if rule.beta != 0 && rule.prev != nil {
+		// Second-order (momentum) sweeps: each sweep adds β(x_k − x_{k−1})
+		// to the first-order update and rotates the three buffers so x_k
+		// becomes the next sweep's x_{k−1}. The trail persists across block
+		// executions through rule.prev, written back after the last sweep.
+		beta := rule.beta
+		xprev := scr.xprev[:bs]
+		prev := rule.prev[v.lo:v.hi]
+		copy(xprev, prev)
+		for sweep := 0; sweep < k; sweep++ {
+			for r := 0; r < bs; r++ {
+				acc := s[r]
+				for p := v.locPtr[r]; p < v.locPtr[r+1]; p++ {
+					acc -= v.locVal[p] * xloc[v.locCols[p]]
+				}
+				xnew[r] = (1-omega)*xloc[r] + omega*acc*invd[r] + beta*(xloc[r]-xprev[r])
 			}
-			xnew[r] = (1-omega)*xloc[r] + omega*acc*invd[r]
+			xprev, xloc, xnew = xloc, xnew, xprev
 		}
-		xloc, xnew = xnew, xloc
+		storeMomentum(prev, xprev, rule.f32)
+	} else {
+		// k synchronous Jacobi sweeps streaming the packed local sub-CSR
+		// (diagonal structurally excluded, columns block-local).
+		for sweep := 0; sweep < k; sweep++ {
+			for r := 0; r < bs; r++ {
+				acc := s[r]
+				for p := v.locPtr[r]; p < v.locPtr[r+1]; p++ {
+					acc -= v.locVal[p] * xloc[v.locCols[p]]
+				}
+				xnew[r] = (1-omega)*xloc[r] + omega*acc*invd[r]
+			}
+			xloc, xnew = xnew, xloc
+		}
 	}
 
 	// Publish the block's components to global memory, accumulating the
@@ -242,8 +271,9 @@ func runBlockKernel(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockVi
 // fused kernel is property-tested against (bit-identical iterates), and as
 // the fallback for matrices whose column indices exceed int32.
 func runBlockKernelReference(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
+	k int, rule *updateRule, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
 
+	omega := rule.omega
 	bs := v.hi - v.lo
 	s := scr.s[:bs]
 	xloc := scr.xloc[:bs]
@@ -266,20 +296,43 @@ func runBlockKernelReference(a *sparse.CSR, sp *sparse.Splitting, b []float64, v
 		x0[r] = xv
 	}
 
-	// k synchronous Jacobi sweeps on the subdomain.
-	for sweep := 0; sweep < k; sweep++ {
-		for i := v.lo; i < v.hi; i++ {
-			r := i - v.lo
-			acc := s[r]
-			for p := v.inLo[r]; p < v.inHi[r]; p++ {
-				j := a.ColIdx[p]
-				if j != i {
-					acc -= a.Val[p] * xloc[j-v.lo]
+	if rule.beta != 0 && rule.prev != nil {
+		// Momentum sweeps, mirroring runBlockKernel's rotation exactly.
+		beta := rule.beta
+		xprev := scr.xprev[:bs]
+		prev := rule.prev[v.lo:v.hi]
+		copy(xprev, prev)
+		for sweep := 0; sweep < k; sweep++ {
+			for i := v.lo; i < v.hi; i++ {
+				r := i - v.lo
+				acc := s[r]
+				for p := v.inLo[r]; p < v.inHi[r]; p++ {
+					j := a.ColIdx[p]
+					if j != i {
+						acc -= a.Val[p] * xloc[j-v.lo]
+					}
 				}
+				xnew[r] = (1-omega)*xloc[r] + omega*acc*sp.InvDiag[i] + beta*(xloc[r]-xprev[r])
 			}
-			xnew[r] = (1-omega)*xloc[r] + omega*acc*sp.InvDiag[i]
+			xprev, xloc, xnew = xloc, xnew, xprev
 		}
-		xloc, xnew = xnew, xloc
+		storeMomentum(prev, xprev, rule.f32)
+	} else {
+		// k synchronous Jacobi sweeps on the subdomain.
+		for sweep := 0; sweep < k; sweep++ {
+			for i := v.lo; i < v.hi; i++ {
+				r := i - v.lo
+				acc := s[r]
+				for p := v.inLo[r]; p < v.inHi[r]; p++ {
+					j := a.ColIdx[p]
+					if j != i {
+						acc -= a.Val[p] * xloc[j-v.lo]
+					}
+				}
+				xnew[r] = (1-omega)*xloc[r] + omega*acc*sp.InvDiag[i]
+			}
+			xloc, xnew = xnew, xloc
+		}
 	}
 
 	// Publish the block's components to global memory.

@@ -214,7 +214,7 @@ func TestKernelDeltaMatchesUpdateNorm(t *testing.T) {
 	scr := newKernelScratch(part.Size(0))
 	for bi := 0; bi < part.NumBlocks(); bi++ {
 		before := append([]float64(nil), x...)
-		d2 := runBlockKernel(a, sp, b, &views[bi], 3, 1, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
+		d2 := runBlockKernel(a, sp, b, &views[bi], 3, &updateRule{omega: 1}, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
 		var want float64
 		lo, hi := part.Bounds(bi)
 		for i := lo; i < hi; i++ {
@@ -224,7 +224,7 @@ func TestKernelDeltaMatchesUpdateNorm(t *testing.T) {
 		if math.Abs(d2-want) > 1e-12*(1+want) {
 			t.Fatalf("block %d: delta² %v, recomputed %v", bi, d2, want)
 		}
-		ref := runBlockKernelReference(a, sp, b, &views[bi], 3, 1, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
+		ref := runBlockKernelReference(a, sp, b, &views[bi], 3, &updateRule{omega: 1}, sliceReader(before), sliceReader(before), sliceWriter(x), scr)
 		if math.Float64bits(ref) != math.Float64bits(d2) {
 			t.Fatalf("block %d: fused delta² %v != reference delta² %v", bi, d2, ref)
 		}

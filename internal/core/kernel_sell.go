@@ -13,8 +13,10 @@ import (
 // so the per-row floating-point sequence is the CSR kernels' ascending-
 // column order and the iterates stay bit-identical.
 func runBlockKernelSELL(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
+	k int, rule *updateRule, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
 
+	omega := rule.omega
+	momentum := rule.beta != 0 && rule.prev != nil
 	sb := v.sell
 	bs := v.hi - v.lo
 	s := scr.s[:bs]
@@ -22,6 +24,12 @@ func runBlockKernelSELL(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blo
 	xnew := scr.xnew[:bs]
 	x0 := scr.x0[:bs]
 	invd := sp.InvDiag[v.lo:v.hi]
+	var xprev, prev []float64
+	if momentum {
+		xprev = scr.xprev[:bs]
+		prev = rule.prev[v.lo:v.hi]
+		copy(xprev, prev)
+	}
 
 	// Fused gather, identical to runBlockKernel.
 	for r := 0; r < bs; r++ {
@@ -98,7 +106,19 @@ func runBlockKernelSELL(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blo
 				xnew[r] = (1-omega)*xloc[r] + omega*acc[l]*invd[r]
 			}
 		}
-		xloc, xnew = xnew, xloc
+		if momentum {
+			// β post-pass and three-way rotation (see kernel_stencil.go for
+			// the floating-point-identity argument).
+			for r := 0; r < bs; r++ {
+				xnew[r] += rule.beta * (xloc[r] - xprev[r])
+			}
+			xprev, xloc, xnew = xloc, xnew, xprev
+		} else {
+			xloc, xnew = xnew, xloc
+		}
+	}
+	if momentum {
+		storeMomentum(prev, xprev, rule.f32)
 	}
 
 	// Publish, identical to runBlockKernel.

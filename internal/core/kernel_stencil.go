@@ -25,8 +25,9 @@ import (
 // unchanged (the simulated engine's racing reader draws the same RNG
 // sequence) — property-tested in kernel_dispatch_test.go.
 func (p *Plan) runBlockKernelStencil(a *sparse.CSR, sp *sparse.Splitting, b []float64, v *blockView,
-	k int, omega float64, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
+	k int, rule *updateRule, offRead, locRead valueReader, write valueWriter, scr *kernelScratch) float64 {
 
+	omega := rule.omega
 	sd := p.stencil
 	bs := v.hi - v.lo
 	s := scr.s[:bs]
@@ -50,17 +51,43 @@ func (p *Plan) runBlockKernelStencil(a *sparse.CSR, sp *sparse.Splitting, b []fl
 		x0[r] = xv
 	}
 
-	// k local sweeps over the fast spans.
-	for sweep := 0; sweep < k; sweep++ {
-		switch len(sd.offs) {
-		case 4:
-			stencilSweep4(sd, v, s, xloc, xnew, invd, omega, bs)
-		case 8:
-			stencilSweep8(sd, v, s, xloc, xnew, invd, omega, bs)
-		default:
-			stencilSweepN(sd, v, s, xloc, xnew, invd, omega, bs)
+	if rule.beta != 0 && rule.prev != nil {
+		// Momentum: the first-order sweep helper fills xnew, the β-term is
+		// applied as a post-pass — floating-point-identical to the CSR
+		// kernels' inline form, fl(fl(first-order) + fl(β·Δ)) — and the
+		// three buffers rotate so x_k becomes the next sweep's x_{k−1}.
+		beta := rule.beta
+		xprev := scr.xprev[:bs]
+		prev := rule.prev[v.lo:v.hi]
+		copy(xprev, prev)
+		for sweep := 0; sweep < k; sweep++ {
+			switch len(sd.offs) {
+			case 4:
+				stencilSweep4(sd, v, s, xloc, xnew, invd, omega, bs)
+			case 8:
+				stencilSweep8(sd, v, s, xloc, xnew, invd, omega, bs)
+			default:
+				stencilSweepN(sd, v, s, xloc, xnew, invd, omega, bs)
+			}
+			for r := 0; r < bs; r++ {
+				xnew[r] += beta * (xloc[r] - xprev[r])
+			}
+			xprev, xloc, xnew = xloc, xnew, xprev
 		}
-		xloc, xnew = xnew, xloc
+		storeMomentum(prev, xprev, rule.f32)
+	} else {
+		// k local sweeps over the fast spans.
+		for sweep := 0; sweep < k; sweep++ {
+			switch len(sd.offs) {
+			case 4:
+				stencilSweep4(sd, v, s, xloc, xnew, invd, omega, bs)
+			case 8:
+				stencilSweep8(sd, v, s, xloc, xnew, invd, omega, bs)
+			default:
+				stencilSweepN(sd, v, s, xloc, xnew, invd, omega, bs)
+			}
+			xloc, xnew = xnew, xloc
+		}
 	}
 
 	// Publish, identical to runBlockKernel.

@@ -16,9 +16,13 @@ import "fmt"
 // serialize Step calls. internal/service holds one mutex per session for
 // exactly this.
 type Session struct {
-	p     *Plan
-	warm  []float64 // last adopted iterate; nil until the first success
-	steps int
+	p    *Plan
+	warm []float64 // last adopted iterate; nil until the first success
+	// momentum is the last adopted momentum trail of a RuleRichardson2
+	// session; re-injected as MomentumGuess so the second-order recurrence
+	// continues seamlessly across steps. Nil for first-order sessions.
+	momentum []float64
+	steps    int
 }
 
 // NewSession wraps a prepared plan in fresh session state. The first Step
@@ -41,23 +45,33 @@ func (s *Session) Step(b []float64, opt Options) (Result, error) {
 	if opt.InitialGuess != nil {
 		return Result{}, fmt.Errorf("core: Session.Step manages InitialGuess itself; leave Options.InitialGuess nil")
 	}
+	if opt.MomentumGuess != nil {
+		return Result{}, fmt.Errorf("core: Session.Step manages MomentumGuess itself; leave Options.MomentumGuess nil")
+	}
 	if s.warm != nil {
 		opt.InitialGuess = s.warm
+	}
+	if s.momentum != nil && opt.Beta != 0 {
+		opt.MomentumGuess = s.momentum
 	}
 	res, err := SolveWithPlan(s.p, b, opt)
 	if err != nil {
 		return res, err
 	}
-	// Adopt, don't copy: SolveWithPlan returns a freshly allocated iterate,
-	// and the engines never write through Options.InitialGuess.
+	// Adopt, don't copy: SolveWithPlan returns a freshly allocated iterate
+	// (and momentum trail), and the engines never write through
+	// Options.InitialGuess or Options.MomentumGuess.
 	s.warm = res.X
+	s.momentum = res.Momentum
 	s.steps++
 	return res, nil
 }
 
-// Reset drops the warm iterate and step count; the next Step is cold.
+// Reset drops the warm iterate, momentum trail and step count; the next
+// Step is cold.
 func (s *Session) Reset() {
 	s.warm = nil
+	s.momentum = nil
 	s.steps = 0
 }
 

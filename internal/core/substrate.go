@@ -172,5 +172,7 @@ func barrierMeta(engine string, nb, workers int, opt Options) sched.Meta {
 		LocalIters: opt.LocalIters,
 		Recurrence: opt.Recurrence,
 		StaleProb:  opt.StaleProb,
+		Method:     opt.Method.String(),
+		Beta:       opt.Beta,
 	}
 }

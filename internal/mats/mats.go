@@ -19,8 +19,10 @@ var Names = []string{
 	"Chem97ZtZ", "fv1", "fv2", "fv3", "s1rmt3m1", "Trefethen_2000", "Trefethen_20000",
 }
 
-// Generate returns the named test matrix. Unknown names return an error
-// listing the available set.
+// Generate returns the named test matrix. Beyond the paper set, the
+// parametric name "poisson2d_W" (odd W ≥ 5) generates the five-point
+// Poisson operator on the W×W grid — the operator family the multigrid
+// route admits. Unknown names return an error listing the available set.
 func Generate(name string) (TestMatrix, error) {
 	switch name {
 	case "Chem97ZtZ":
@@ -38,8 +40,23 @@ func Generate(name string) (TestMatrix, error) {
 	case "Trefethen_20000":
 		return TestMatrix{name, "combinatorial problem (exact)", Trefethen(20000)}, nil
 	default:
-		return TestMatrix{}, fmt.Errorf("mats: unknown matrix %q (have %v)", name, Names)
+		if w, ok := poissonName(name); ok {
+			return TestMatrix{name, "five-point 2-D Poisson (generated)", Poisson2D(w, w)}, nil
+		}
+		return TestMatrix{}, fmt.Errorf("mats: unknown matrix %q (have %v and poisson2d_W for odd W ≥ 5)", name, Names)
 	}
+}
+
+// poissonName parses the parametric "poisson2d_W" name.
+func poissonName(name string) (int, bool) {
+	var w int
+	if _, err := fmt.Sscanf(name, "poisson2d_%d", &w); err != nil {
+		return 0, false
+	}
+	if fmt.Sprintf("poisson2d_%d", w) != name || w < 5 || w%2 == 0 {
+		return 0, false
+	}
+	return w, true
 }
 
 // MustGenerate is Generate for known-good names; it panics on error.

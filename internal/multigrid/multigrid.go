@@ -1,6 +1,7 @@
 package multigrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,24 +70,56 @@ func (s GaussSeidelSmoother) Name() string { return fmt.Sprintf("gauss-seidel×%
 // block-asynchronous relaxation — the paper's method as a smoother. The
 // seed advances on every application so each smoothing step sees a fresh
 // chaotic schedule, like a real GPU run would.
+//
+// The smoother is parameterized by the core update-rule seam: Omega sets
+// the sweeps' relaxation weight, and Method/Beta select the rule —
+// RuleRichardson2 with β > 0 runs the second-order recurrence inside every
+// smoothing application. The momentum trail is per-application (each
+// Smooth call starts a fresh recurrence): multigrid hands the smoother
+// residual equations with unrelated right-hand sides, so a trail carried
+// across calls would couple unrelated solves.
+//
+// A smoother runs on every level of the hierarchy many times per V-cycle,
+// so it caches one warm core.Plan per distinct operator and reuses it
+// across applications — the plan-build cost (partition, splitting, kernel
+// staging) amortizes over the whole multigrid solve instead of being paid
+// per sweep.
 type AsyncSmoother struct {
 	BlockSize   int
 	LocalIters  int
 	GlobalIters int
-	Engine      core.EngineKind
-	seed        int64
+	// Omega is the relaxation weight (0 means the core default ω = 1).
+	Omega float64
+	// Method and Beta select the update rule per the core.Options contract.
+	Method core.RuleKind
+	Beta   float64
+	Engine core.EngineKind
+	// Ctx, when non-nil, threads cancellation into every smoothing solve
+	// (a canceled context surfaces as the Smooth error and aborts the
+	// V-cycle within one smoothing application).
+	Ctx   context.Context
+	seed  int64
+	plans map[*sparse.CSR]*core.Plan
 }
 
 // Smooth implements Smoother.
 func (s *AsyncSmoother) Smooth(a *sparse.CSR, b, x []float64) error {
 	s.seed++
-	res, err := core.Solve(a, b, core.Options{
-		BlockSize:      s.BlockSize,
+	p, err := s.plan(a)
+	if err != nil {
+		return err
+	}
+	res, err := core.SolveWithPlan(p, b, core.Options{
+		BlockSize:      p.BlockSize(),
 		LocalIters:     s.LocalIters,
+		Omega:          s.Omega,
+		Method:         s.Method,
+		Beta:           s.Beta,
 		MaxGlobalIters: s.GlobalIters,
 		InitialGuess:   x,
 		Engine:         s.Engine,
 		Seed:           s.seed,
+		Ctx:            s.Ctx,
 	})
 	if err != nil {
 		return err
@@ -95,8 +128,33 @@ func (s *AsyncSmoother) Smooth(a *sparse.CSR, b, x []float64) error {
 	return nil
 }
 
+// plan returns the cached plan for the operator, building it on first use.
+// Multigrid levels hold stable *sparse.CSR values for the lifetime of the
+// hierarchy, so pointer identity is the right cache key.
+func (s *AsyncSmoother) plan(a *sparse.CSR) (*core.Plan, error) {
+	if p, ok := s.plans[a]; ok {
+		return p, nil
+	}
+	bs := s.BlockSize
+	if bs > a.Rows {
+		bs = a.Rows // coarse levels shrink below the configured block size
+	}
+	p, err := core.NewPlan(a, bs, false)
+	if err != nil {
+		return nil, err
+	}
+	if s.plans == nil {
+		s.plans = make(map[*sparse.CSR]*core.Plan)
+	}
+	s.plans[a] = p
+	return p, nil
+}
+
 // Name implements Smoother.
 func (s *AsyncSmoother) Name() string {
+	if s.Method == core.RuleRichardson2 {
+		return fmt.Sprintf("async-%s(%d)×%d/bs%d(β=%.2f)", s.Method, s.LocalIters, s.GlobalIters, s.BlockSize, s.Beta)
+	}
 	return fmt.Sprintf("async-(%d)×%d/bs%d", s.LocalIters, s.GlobalIters, s.BlockSize)
 }
 
@@ -207,6 +265,14 @@ func New(opt Options) (*Solver, error) {
 
 // NumLevels returns the hierarchy depth.
 func (s *Solver) NumLevels() int { return len(s.levels) }
+
+// LevelShape reports level l's problem size — unknowns and stored
+// nonzeros — the inputs a performance model needs to cost the smoothing
+// work done on that level (level 0 is the finest grid).
+func (s *Solver) LevelShape(l int) (n, nnz int) {
+	lv := s.levels[l]
+	return lv.a.Rows, lv.a.NNZ()
+}
 
 // SmootherName reports the configured smoother.
 func (s *Solver) SmootherName() string { return s.smoother.Name() }

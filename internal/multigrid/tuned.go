@@ -1,0 +1,35 @@
+package multigrid
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/tune"
+)
+
+// TunedAsyncSmoother runs the tuner on the operator and returns an
+// AsyncSmoother carrying the winning block size, local-iteration count,
+// relaxation weight and update rule — including the method stage's
+// second-order Richardson choice when momentum beats the first-order rule
+// on modeled time per digit. globalIters is the smoother's per-application
+// global-iteration budget (default 2, the classical pre/post-smoothing
+// count); the tuner's rhs should be the finest-level right-hand side so
+// the probes see the solve's actual spectrum.
+//
+// The returned tune.Result lets callers report what the search decided
+// (the service's multigrid route echoes it into the job result).
+func TunedAsyncSmoother(a *sparse.CSR, b []float64, globalIters int, cfg tune.Config) (*AsyncSmoother, tune.Result, error) {
+	tr, err := tune.Tune(a, b, cfg)
+	if err != nil {
+		return nil, tr, err
+	}
+	if globalIters <= 0 {
+		globalIters = 2
+	}
+	return &AsyncSmoother{
+		BlockSize:   tr.BlockSize,
+		LocalIters:  tr.LocalIters,
+		GlobalIters: globalIters,
+		Omega:       tr.Omega,
+		Method:      tr.Method,
+		Beta:        tr.Beta,
+	}, tr, nil
+}

@@ -54,6 +54,14 @@ type Meta struct {
 	LocalIters int     `json:"local_iters"`
 	Recurrence float64 `json:"recurrence"`
 	StaleProb  float64 `json:"stale_prob"`
+	// Method names the capturing run's update rule ("jacobi",
+	// "richardson2"); Beta is its momentum coefficient. A non-empty Method
+	// makes the recorded Beta authoritative on replay — zero included, so
+	// replaying a jacobi capture never invents momentum. Captures from
+	// before the update-rule seam leave Method empty and replay defers to
+	// the caller's options, as with Omega == 0.
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
 }
 
 // Schedule is a captured event stream plus its metadata.

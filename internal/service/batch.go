@@ -33,6 +33,13 @@ type BatchRequest struct {
 	// dispatch and iterate storage precision shared by every system.
 	Kernel    string `json:"kernel,omitempty"`
 	Precision string `json:"precision,omitempty"`
+	// Method and Beta select the update rule every system runs with, with
+	// the SolveRequest semantics — except "multigrid", which is solve-only.
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
+	// Stencil declares the matrix's stencil structure (SolveRequest
+	// semantics); the declaration shapes the one plan all systems share.
+	Stencil *StencilDecl `json:"stencil,omitempty"`
 	// Seed is the batch's base scheduler seed; system j derives
 	// core.BatchSeed(seed, j). 0 selects a per-run stream.
 	Seed int64 `json:"seed,omitempty"`
@@ -64,6 +71,9 @@ func (r BatchRequest) solveRequest() SolveRequest {
 		Tolerance:      r.Tolerance,
 		Kernel:         r.Kernel,
 		Precision:      r.Precision,
+		Method:         r.Method,
+		Beta:           r.Beta,
+		Stencil:        r.Stencil,
 		Seed:           r.Seed,
 		Certify:        r.Certify,
 		TimeoutSeconds: r.TimeoutSeconds,
@@ -111,6 +121,10 @@ func (s *Service) SubmitBatch(req BatchRequest) (*Job, error) {
 	if err := s.validate(sreq); err != nil {
 		s.rejected.Add(1)
 		return nil, err
+	}
+	if _, mgrid, _ := sreq.methodKind(); mgrid {
+		s.rejected.Add(1)
+		return nil, errors.New("service: batch solves run the core engines; method=multigrid is solve-only")
 	}
 	if len(req.RHS) == 0 {
 		s.rejected.Add(1)
@@ -192,11 +206,17 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 	if err != nil {
 		return nil, err
 	}
+	rule, _, err := sreq.methodKind()
+	if err != nil {
+		return nil, err
+	}
 
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
 		Omega:          req.Omega,
+		Method:         rule,
+		Beta:           sreq.resolvedBeta(rule),
 		MaxGlobalIters: req.MaxGlobalIters,
 		Tolerance:      req.Tolerance,
 		Precision:      precision,
@@ -220,20 +240,26 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 		if opt.Omega == 0 {
 			opt.Omega = tr.Omega
 		}
+		if req.Method == "" && req.Beta == 0 {
+			opt.Method, opt.Beta = tr.Method, tr.Beta
+		}
 		tuned = &TunedParams{
 			BlockSize:       opt.BlockSize,
 			LocalIters:      opt.LocalIters,
 			Omega:           opt.Omega,
+			Method:          opt.Method.String(),
+			Beta:            opt.Beta,
 			SecondsPerDigit: tr.SecondsPerDigit,
 			CacheHit:        tuneHit,
 		}
 	}
 
-	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
+	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel, req.Stencil.spec()))
 	if err != nil {
 		return nil, err
 	}
 	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
+	s.methodSolves[opt.Method].Add(1)
 	nb := plan.Prepared.NumBlocks()
 	j.setProgress(Progress{NumBlocks: nb, PlanHit: hit})
 
@@ -285,6 +311,8 @@ func (s *Service) runBatchAttempt(ctx context.Context, j *Job) (*JobResult, erro
 		Tuned:            tuned,
 		Kernel:           plan.Prepared.Kernel().String(),
 		Precision:        precision,
+		Method:           opt.Method.String(),
+		Beta:             opt.Beta,
 		Batch:            summary,
 	}
 	if j.cert != nil {

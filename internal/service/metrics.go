@@ -70,6 +70,16 @@ func (s *Service) instrument() {
 			s.kernelSolves[kern].Load, "kernel", kern.String())
 	}
 
+	for _, rule := range []core.RuleKind{core.RuleJacobi, core.RuleRichardson2} {
+		rule := rule
+		reg.CounterFunc("service_method_solves_total",
+			"Solve attempts by resolved update method.",
+			s.methodSolves[rule].Load, "method", rule.String())
+	}
+	reg.CounterFunc("service_method_solves_total",
+		"Solve attempts by resolved update method.",
+		s.methodSolves[methodIdxMultigrid].Load, "method", methodMultigrid)
+
 	s.wallHist = reg.Histogram("service_job_wall_seconds",
 		"Wall time of finished jobs, attempts and backoff included.", nil)
 	reg.GaugeFunc("service_draining", "1 once BeginDrain/Shutdown stopped admissions, else 0.",

@@ -7,6 +7,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -48,17 +50,73 @@ type PlanKey struct {
 	LocalIters  int
 	ExactLocal  bool
 	Omega       float64
+	// Method and Beta identify the update rule the configuration solves
+	// with. Like LocalIters and Omega they do not change the precomputed
+	// artifacts, but a cached entry corresponds to one solver configuration.
+	Method core.RuleKind
+	Beta   float64
 	// Kernel is the requested sweep-kernel dispatch. KernelAuto and an
 	// explicit kind are distinct keys even when auto-detection resolves to
 	// the same kernel — the key records what was asked, the plan what was
 	// built.
 	Kernel core.KernelKind
+	// Stencil is the canonical rendering of a request-declared stencil spec
+	// ("" when none declared). Declared specs shape the plan's kernel data,
+	// so they are part of plan identity — and the canonical string keeps the
+	// key comparable while letting build reconstruct the spec.
+	Stencil string
 }
 
 // String renders the key compactly for logs.
 func (k PlanKey) String() string {
-	return fmt.Sprintf("%s/bs%d/k%d/exact=%t/omega=%g/kernel=%s",
-		k.Fingerprint, k.BlockSize, k.LocalIters, k.ExactLocal, k.Omega, k.Kernel)
+	s := fmt.Sprintf("%s/bs%d/k%d/exact=%t/omega=%g/method=%s/beta=%g/kernel=%s",
+		k.Fingerprint, k.BlockSize, k.LocalIters, k.ExactLocal, k.Omega, k.Method, k.Beta, k.Kernel)
+	if k.Stencil != "" {
+		s += "/stencil=" + k.Stencil
+	}
+	return s
+}
+
+// stencilKey canonically encodes a declared stencil spec for plan identity:
+// "offset:coeff" pairs joined by commas, coefficients in Go's shortest
+// exactly-round-tripping decimal form. parseStencilKey inverts it.
+func stencilKey(sp *sparse.StencilSpec) string {
+	if sp == nil {
+		return ""
+	}
+	var b strings.Builder
+	for p, d := range sp.Offsets {
+		if p > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%s", d, strconv.FormatFloat(sp.Coeffs[p], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// parseStencilKey reconstructs the spec a stencilKey encoded ("" → nil).
+func parseStencilKey(s string) (*sparse.StencilSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sp sparse.StencilSpec
+	for _, pair := range strings.Split(s, ",") {
+		off, coeff, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("service: malformed stencil key entry %q", pair)
+		}
+		d, err := strconv.Atoi(off)
+		if err != nil {
+			return nil, fmt.Errorf("service: malformed stencil key offset %q: %w", off, err)
+		}
+		v, err := strconv.ParseFloat(coeff, 64)
+		if err != nil {
+			return nil, fmt.Errorf("service: malformed stencil key coefficient %q: %w", coeff, err)
+		}
+		sp.Offsets = append(sp.Offsets, d)
+		sp.Coeffs = append(sp.Coeffs, v)
+	}
+	return &sp, nil
 }
 
 // Plan is one cached entry: the core solve plan plus the pre-flight
@@ -179,10 +237,10 @@ func KeyFor(a *sparse.CSR, opt core.Options) PlanKey {
 
 // KeyForKernel is KeyFor with an explicit sweep-kernel dispatch.
 func KeyForKernel(a *sparse.CSR, opt core.Options, kernel core.KernelKind) PlanKey {
-	return keyWithFingerprint(Fingerprint(a), opt, kernel)
+	return keyWithFingerprint(Fingerprint(a), opt, kernel, nil)
 }
 
-func keyWithFingerprint(fp string, opt core.Options, kernel core.KernelKind) PlanKey {
+func keyWithFingerprint(fp string, opt core.Options, kernel core.KernelKind, stencil *sparse.StencilSpec) PlanKey {
 	omega := opt.Omega
 	if omega == 0 {
 		omega = 1
@@ -197,7 +255,10 @@ func keyWithFingerprint(fp string, opt core.Options, kernel core.KernelKind) Pla
 		LocalIters:  localIters,
 		ExactLocal:  opt.ExactLocal,
 		Omega:       omega,
+		Method:      opt.Method,
+		Beta:        opt.Beta,
 		Kernel:      kernel,
+		Stencil:     stencilKey(stencil),
 	}
 }
 
@@ -267,7 +328,11 @@ func (c *PlanCache) Stats() CacheStats {
 
 // build constructs the plan outside the cache lock.
 func (c *PlanCache) build(a *sparse.CSR, key PlanKey) (*Plan, error) {
-	prepared, err := core.NewPlanWithConfig(a, key.BlockSize, key.ExactLocal, core.PlanConfig{Kernel: key.Kernel})
+	spec, err := parseStencilKey(key.Stencil)
+	if err != nil {
+		return nil, err
+	}
+	prepared, err := core.NewPlanWithConfig(a, key.BlockSize, key.ExactLocal, core.PlanConfig{Kernel: key.Kernel, Stencil: spec})
 	if err != nil {
 		return nil, fmt.Errorf("service: building plan %v: %w", key, err)
 	}

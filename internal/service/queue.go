@@ -122,6 +122,11 @@ type JobResult struct {
 	// fallback runs, which bypass the block-asynchronous kernels.
 	Kernel    string `json:"kernel,omitempty"`
 	Precision string `json:"precision,omitempty"`
+	// Method echoes the solver method the attempt ran with ("jacobi",
+	// "richardson2" or "multigrid"); Beta the resolved momentum coefficient
+	// (0 outside richardson2). Empty/zero for fallback runs.
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
 	// Fallback is "gmres" when an enforce-mode divergent verdict rerouted
 	// the job to the synchronous GMRES solver; empty otherwise.
 	Fallback string `json:"fallback,omitempty"`

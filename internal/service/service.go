@@ -41,13 +41,29 @@ type SolveRequest struct {
 	// Incompatible with ExactLocal (the tuner searches Jacobi sweeps).
 	Tune string `json:"tune,omitempty"`
 
-	// BlockSize may be 0 only with Tune: "auto".
+	// BlockSize may be 0 only with Tune: "auto" or Method: "multigrid".
 	BlockSize      int     `json:"block_size,omitempty"`
 	LocalIters     int     `json:"local_iters,omitempty"`
 	ExactLocal     bool    `json:"exact_local,omitempty"`
 	Omega          float64 `json:"omega,omitempty"`
 	MaxGlobalIters int     `json:"max_global_iters"`
 	Tolerance      float64 `json:"tolerance,omitempty"`
+	// Method selects the solver method: "" or "jacobi" (the paper's damped
+	// block-Jacobi update), "richardson2" (second-order Richardson — the
+	// same block sweeps plus a momentum term β(x_k − x_{k−1})), or
+	// "multigrid" (geometric V-cycles with an auto-tuned asynchronous
+	// smoother; solve-only, restricted to the five-point Poisson operator
+	// on odd square grids). Beta is richardson2's momentum coefficient in
+	// [0, 1); 0 selects the service default 0.3.
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
+	// Stencil declares the stencil structure of the submitted matrix —
+	// offsets and coefficients the caller knows exactly (typically for
+	// uploaded Matrix Market operators the detector would otherwise have to
+	// rediscover, or boundary-heavy ones it would reject). A declared
+	// stencil implies the stencil kernel under kernel "auto" and fails the
+	// solve if no row of the matrix matches it.
+	Stencil *StencilDecl `json:"stencil,omitempty"`
 	// Engine is "simulated" (default) or "goroutine". Incompatible with
 	// Devices (a multi-device job runs on the sharded executor).
 	Engine string `json:"engine,omitempty"`
@@ -91,6 +107,64 @@ type SolveRequest struct {
 	// rejected — the job then reports `"fallback": "gmres"` in its result.
 	// Requires certify=enforce; incompatible with tune/devices.
 	Fallback string `json:"fallback,omitempty"`
+}
+
+// StencilDecl is the request-level stencil declaration: parallel offset and
+// coefficient arrays with the sparse.StencilSpec contract (strictly
+// ascending offsets including 0, nonzero diagonal coefficient).
+type StencilDecl struct {
+	Offsets []int     `json:"offsets"`
+	Coeffs  []float64 `json:"coeffs"`
+}
+
+// spec converts the declaration to the sparse package's spec (nil-safe).
+func (d *StencilDecl) spec() *sparse.StencilSpec {
+	if d == nil {
+		return nil
+	}
+	return &sparse.StencilSpec{Offsets: d.Offsets, Coeffs: d.Coeffs}
+}
+
+// defaultBeta is the momentum coefficient of richardson2 requests that
+// leave beta unset — the middle of the tuner's probe grid, a conservative
+// heavy-ball weight that accelerates the paper matrices without risking
+// the β → 1 divergence edge.
+const defaultBeta = 0.3
+
+// methodMultigrid is the method name of the V-cycle route, which runs
+// outside the core engines (so it is not a core.RuleKind);
+// methodIdxMultigrid is its methodSolves slot, after the two rule kinds.
+const (
+	methodMultigrid    = "multigrid"
+	methodIdxMultigrid = 2
+)
+
+// methodKind parses the request's solver method. multigrid reports true
+// for the V-cycle route; otherwise the rule is the core update rule the
+// engines run with.
+func (r SolveRequest) methodKind() (rule core.RuleKind, multigrid bool, err error) {
+	m := strings.ToLower(strings.TrimSpace(r.Method))
+	if m == methodMultigrid {
+		return core.RuleJacobi, true, nil
+	}
+	k, err := core.ParseRule(m)
+	if err != nil {
+		return 0, false, fmt.Errorf(`service: unknown method %q (want "jacobi", "richardson2" or "multigrid")`, r.Method)
+	}
+	return k, false, nil
+}
+
+// resolvedBeta returns the momentum coefficient the solve runs with: the
+// request's beta, or defaultBeta for richardson2 requests that leave it
+// unset. Callers must have validated the method first.
+func (r SolveRequest) resolvedBeta(rule core.RuleKind) float64 {
+	if r.Beta != 0 {
+		return r.Beta
+	}
+	if rule == core.RuleRichardson2 {
+		return defaultBeta
+	}
+	return 0
 }
 
 // tuneAuto parses the request's tune mode.
@@ -279,6 +353,10 @@ type Stats struct {
 	// KernelSolves counts solve attempts per resolved sweep kernel (same
 	// atomics /metricsz exposes as service_kernel_solves_total).
 	KernelSolves map[string]uint64 `json:"kernel_solves"`
+	// MethodSolves counts solve attempts per resolved method — "jacobi",
+	// "richardson2" and "multigrid" (same atomics /metricsz exposes as
+	// service_method_solves_total).
+	MethodSolves map[string]uint64 `json:"method_solves"`
 	// Sessions is the streaming solve-session store (see sessions.go).
 	Sessions SessionStats `json:"sessions"`
 	// Batch is the batched-solve accounting (see batch.go).
@@ -322,6 +400,11 @@ type Service struct {
 	// indexed by core.KernelKind (the Auto slot stays 0 — attempts are
 	// counted under the kernel the plan actually resolved to).
 	kernelSolves [4]atomic.Uint64
+	// methodSolves counts solve attempts per resolved method: slots 0 and 1
+	// are core.RuleJacobi / core.RuleRichardson2 (counted after tuning, so
+	// a tuned richardson2 pick lands in its own slot), slot 2 the multigrid
+	// route.
+	methodSolves [3]atomic.Uint64
 
 	// Observability (see metrics.go): the registry behind GET /metricsz,
 	// the solver-level sink attached to every solve, and the modeled
@@ -420,13 +503,55 @@ func (s *Service) validate(req SolveRequest) error {
 	if tuning && req.ExactLocal {
 		return errors.New("service: tune=auto is incompatible with exact_local (the tuner searches Jacobi sweep counts)")
 	}
-	if req.BlockSize < 0 || (req.BlockSize == 0 && !tuning) {
+	rule, mgrid, err := req.methodKind()
+	if err != nil {
+		return err
+	}
+	if req.Beta < 0 || req.Beta >= 1 {
+		return fmt.Errorf("service: beta must be in [0, 1), have %g", req.Beta)
+	}
+	if req.Beta != 0 && rule != core.RuleRichardson2 {
+		return errors.New("service: beta requires method=richardson2 (the momentum term belongs to the second-order rule)")
+	}
+	if mgrid {
+		switch {
+		case req.ExactLocal:
+			return errors.New("service: method=multigrid is incompatible with exact_local (the smoother runs Jacobi sweeps)")
+		case tuning:
+			return errors.New("service: method=multigrid auto-tunes its smoother; leave tune unset")
+		case req.Engine != "":
+			return errors.New("service: method=multigrid selects its own execution (engine must be empty)")
+		case req.Kernel != "":
+			return errors.New("service: method=multigrid resolves its smoother kernels itself (kernel must be empty)")
+		case req.Precision != "":
+			return errors.New("service: method=multigrid runs f64 V-cycles (precision must be empty)")
+		case req.Devices > 0:
+			return errors.New("service: method=multigrid is incompatible with devices")
+		case req.Chaos != nil:
+			return errors.New("service: method=multigrid does not accept chaos injection")
+		case req.Fallback != "":
+			return errors.New("service: method=multigrid is incompatible with fallback")
+		case req.Stencil != nil:
+			return errors.New("service: method=multigrid infers the operator itself (stencil must be empty)")
+		}
+	}
+	if req.Stencil != nil {
+		if err := req.Stencil.spec().Validate(); err != nil {
+			return fmt.Errorf("service: stencil declaration: %w", err)
+		}
+		switch strings.ToLower(strings.TrimSpace(req.Kernel)) {
+		case "", "auto", "stencil":
+		default:
+			return fmt.Errorf("service: stencil declaration requires kernel auto or stencil, have %q", req.Kernel)
+		}
+	}
+	if req.BlockSize < 0 || (req.BlockSize == 0 && !tuning && !mgrid) {
 		return fmt.Errorf("service: block_size must be positive (or set tune=auto), have %d", req.BlockSize)
 	}
 	if req.MaxGlobalIters <= 0 {
 		return fmt.Errorf("service: max_global_iters must be positive, have %d", req.MaxGlobalIters)
 	}
-	if req.LocalIters < 0 || (req.LocalIters == 0 && !req.ExactLocal && !tuning) {
+	if req.LocalIters < 0 || (req.LocalIters == 0 && !req.ExactLocal && !tuning && !mgrid) {
 		return fmt.Errorf("service: local_iters must be positive (or set exact_local or tune=auto), have %d", req.LocalIters)
 	}
 	if req.TimeoutSeconds < 0 {
@@ -598,6 +723,11 @@ func (s *Service) Stats() Stats {
 			core.KernelCSR.String():     s.kernelSolves[core.KernelCSR].Load(),
 			core.KernelStencil.String(): s.kernelSolves[core.KernelStencil].Load(),
 			core.KernelSELL.String():    s.kernelSolves[core.KernelSELL].Load(),
+		},
+		MethodSolves: map[string]uint64{
+			core.RuleJacobi.String():      s.methodSolves[core.RuleJacobi].Load(),
+			core.RuleRichardson2.String(): s.methodSolves[core.RuleRichardson2].Load(),
+			methodMultigrid:               s.methodSolves[methodIdxMultigrid].Load(),
 		},
 		Sessions: s.sessions.stats(),
 		Batch: BatchStats{
@@ -788,6 +918,11 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		return nil, err
 	}
 
+	rule, mgrid, err := req.methodKind()
+	if err != nil {
+		return nil, err
+	}
+
 	b := req.RHS
 	if b == nil {
 		b = make([]float64, a.Rows)
@@ -799,12 +934,17 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 	if j.gmresFallback {
 		return s.runGMRESFallback(j, a, fp, b)
 	}
+	if mgrid {
+		return s.runMultigridAttempt(ctx, j, a, fp, b)
+	}
 
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
 		ExactLocal:     req.ExactLocal,
 		Omega:          req.Omega,
+		Method:         rule,
+		Beta:           req.resolvedBeta(rule),
 		MaxGlobalIters: req.MaxGlobalIters,
 		Tolerance:      req.Tolerance,
 		RecordHistory:  req.RecordHistory,
@@ -841,20 +981,28 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		if opt.Omega == 0 {
 			opt.Omega = tr.Omega
 		}
+		if req.Method == "" && req.Beta == 0 {
+			// The method stage's pick applies only when the request left the
+			// rule entirely to the tuner.
+			opt.Method, opt.Beta = tr.Method, tr.Beta
+		}
 		tuned = &TunedParams{
 			BlockSize:       opt.BlockSize,
 			LocalIters:      opt.LocalIters,
 			Omega:           opt.Omega,
+			Method:          opt.Method.String(),
+			Beta:            opt.Beta,
 			SecondsPerDigit: tr.SecondsPerDigit,
 			CacheHit:        tuneHit,
 		}
 	}
 
-	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
+	plan, hit, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel, req.Stencil.spec()))
 	if err != nil {
 		return nil, err
 	}
 	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
+	s.methodSolves[opt.Method].Add(1)
 
 	nb := plan.Prepared.NumBlocks()
 	s.perf.SetOccupancy(s.occupancy, nb)
@@ -899,6 +1047,8 @@ func (s *Service) runAttempt(ctx context.Context, j *Job, attempt int) (*JobResu
 		Tuned:            tuned,
 		Kernel:           plan.Prepared.Kernel().String(),
 		Precision:        precision,
+		Method:           opt.Method.String(),
+		Beta:             opt.Beta,
 	}
 	if req.Devices > 0 {
 		strat, _ := req.strategyKind()

@@ -94,6 +94,15 @@ type SessionRequest struct {
 	// storage precision ("", "f64", "f32") every step of the session uses.
 	Kernel    string `json:"kernel,omitempty"`
 	Precision string `json:"precision,omitempty"`
+	// Method and Beta have the SolveRequest semantics ("", "jacobi",
+	// "richardson2"); sessions run the core engines, so "multigrid" is
+	// rejected here. The momentum trail carries across steps with the warm
+	// iterate.
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
+	// Stencil has the SolveRequest semantics: declared structure for an
+	// uploaded Matrix Market operator, enabling the stencil kernel.
+	Stencil *StencilDecl `json:"stencil,omitempty"`
 	// Seed is the default scheduler seed of every step (0: per-run stream);
 	// a step request may override it.
 	Seed int64 `json:"seed,omitempty"`
@@ -123,6 +132,9 @@ func (r SessionRequest) solveRequest() SolveRequest {
 		Engine:         r.Engine,
 		Kernel:         r.Kernel,
 		Precision:      r.Precision,
+		Method:         r.Method,
+		Beta:           r.Beta,
+		Stencil:        r.Stencil,
 		Seed:           r.Seed,
 		Certify:        r.Certify,
 	}
@@ -189,6 +201,10 @@ type SessionView struct {
 	// "auto" request dispatched to); Precision the iterate storage precision.
 	Kernel    string `json:"kernel,omitempty"`
 	Precision string `json:"precision,omitempty"`
+	// Method is the update rule every step runs; Beta its momentum
+	// coefficient (0 for jacobi).
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
 	Tuned      *TunedParams         `json:"tuned,omitempty"`
 	Certificate *certify.Certificate `json:"certificate,omitempty"`
 	TTLSeconds float64              `json:"ttl_seconds"`
@@ -255,6 +271,8 @@ func (ss *session) view() SessionView {
 		Engine:        ss.opt.Engine.String(),
 		Kernel:        ss.kernel,
 		Precision:     string(ss.opt.Precision),
+		Method:        ss.opt.Method.String(),
+		Beta:          ss.opt.Beta,
 		Tuned:         ss.tuned,
 		Certificate:   ss.cert,
 		TTLSeconds:    ss.ttl.Seconds(),
@@ -487,11 +505,22 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 		s.rejected.Add(1)
 		return SessionView{}, err
 	}
+	rule, mgrid, err := sreq.methodKind()
+	if err != nil {
+		s.rejected.Add(1)
+		return SessionView{}, err
+	}
+	if mgrid {
+		s.rejected.Add(1)
+		return SessionView{}, errors.New("service: sessions run the core engines; method=multigrid is solve-only")
+	}
 
 	opt := core.Options{
 		BlockSize:      req.BlockSize,
 		LocalIters:     req.LocalIters,
 		Omega:          req.Omega,
+		Method:         rule,
+		Beta:           sreq.resolvedBeta(rule),
 		MaxGlobalIters: req.MaxGlobalIters,
 		Tolerance:      req.Tolerance,
 		Engine:         engine,
@@ -516,20 +545,26 @@ func (s *Service) CreateSession(req SessionRequest) (SessionView, error) {
 		if opt.Omega == 0 {
 			opt.Omega = tr.Omega
 		}
+		if req.Method == "" && req.Beta == 0 {
+			opt.Method, opt.Beta = tr.Method, tr.Beta
+		}
 		tuned = &TunedParams{
 			BlockSize:       opt.BlockSize,
 			LocalIters:      opt.LocalIters,
 			Omega:           opt.Omega,
+			Method:          opt.Method.String(),
+			Beta:            opt.Beta,
 			SecondsPerDigit: tr.SecondsPerDigit,
 			CacheHit:        tuneHit,
 		}
 	}
-	plan, _, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel))
+	plan, _, err := s.cache.GetOrBuild(a, keyWithFingerprint(fp, opt, kernel, req.Stencil.spec()))
 	if err != nil {
 		s.rejected.Add(1)
 		return SessionView{}, err
 	}
 	s.kernelSolves[plan.Prepared.Kernel()].Add(1)
+	s.methodSolves[opt.Method].Add(1)
 
 	ttl := s.cfg.SessionTTL
 	if req.TTLSeconds > 0 {

@@ -12,6 +12,11 @@ type TunedParams struct {
 	BlockSize  int     `json:"block_size"`
 	LocalIters int     `json:"local_iters"`
 	Omega      float64 `json:"omega"`
+	// Method and Beta report the update rule the job solved with after the
+	// tuner's method stage ("jacobi" with beta 0 when the first-order rule
+	// won or the request pinned the method itself).
+	Method string  `json:"method,omitempty"`
+	Beta   float64 `json:"beta,omitempty"`
 	// SecondsPerDigit is the tuner's modeled score of the winning
 	// configuration (see tune.Result).
 	SecondsPerDigit float64 `json:"seconds_per_digit"`

@@ -45,6 +45,13 @@ type Config struct {
 	// iterate traffic against the rounding's effect on the contraction
 	// rate, which it measures with one extra probe solve.
 	Precisions []string
+	// Betas are the candidate momentum coefficients of the method stage,
+	// which probes the second-order Richardson rule (core.RuleRichardson2)
+	// at the winning (block size, k, ω) and keeps it when it beats the
+	// first-order rule on modeled time per digit. Default {0.1, 0.3, 0.5};
+	// MethodProbes < 0 disables the stage entirely (mirroring OmegaProbes).
+	Betas        []float64
+	MethodProbes int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Precisions) == 0 {
 		c.Precisions = []string{core.PrecF64}
+	}
+	if len(c.Betas) == 0 {
+		c.Betas = []float64{0.1, 0.3, 0.5}
 	}
 	return c
 }
@@ -97,6 +107,12 @@ type Result struct {
 	// estimate (as opposed to the fixed fallback bracket).
 	OmegaBracket      [2]float64
 	OmegaFromSpectral bool
+	// Method and Beta are the method stage's winners: the update rule with
+	// the lowest modeled time per digit at the winning (block size, k, ω).
+	// Method core.RuleJacobi (the zero value) with Beta 0 means the
+	// first-order rule won (or the stage was disabled).
+	Method core.RuleKind
+	Beta   float64
 	// Kernel and Precision are the kernel stage's winners: the sweep-kernel
 	// dispatch and iterate storage precision with the lowest modeled time
 	// per digit at the winning (block size, k, ω). KernelTraffic is the
@@ -144,7 +160,7 @@ func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
 		}
 		for _, k := range cfg.LocalIters {
 			best.Probed++
-			rate, perDigit, ok := cfg.probe(plan, b, k, 1, core.PrecF64, &best)
+			rate, perDigit, ok := cfg.probe(plan, b, k, 1, core.RuleJacobi, 0, core.PrecF64, &best)
 			if !ok {
 				best.Skipped++
 				continue
@@ -164,8 +180,32 @@ func Tune(a *sparse.CSR, b []float64, cfg Config) (Result, error) {
 	if cfg.OmegaProbes > 0 {
 		cfg.refineOmega(a, b, bestPlan, &best)
 	}
+	if cfg.MethodProbes >= 0 {
+		cfg.methodStage(b, bestPlan, &best)
+	}
 	cfg.kernelStage(a, b, bestPlan, &best)
 	return best, nil
+}
+
+// methodStage probes the second-order Richardson rule at the winning
+// (block size, k, ω) across the candidate β grid and keeps the rule when it
+// beats the first-order winner on modeled time per digit. A β probe costs
+// the same per-iteration time as the first-order rule at this granularity
+// (one extra fused multiply-add and the trail's vector traffic are below
+// the model's resolution), so the comparison is rate against rate.
+func (cfg Config) methodStage(b []float64, plan *core.Plan, best *Result) {
+	for _, beta := range cfg.Betas {
+		rate, perDigit, ok := cfg.probe(plan, b, best.LocalIters, best.Omega, core.RuleRichardson2, beta, core.PrecF64, best)
+		if !ok {
+			continue // diverged or stagnated: momentum loses by default
+		}
+		if perDigit < best.SecondsPerDigit {
+			best.Method = core.RuleRichardson2
+			best.Beta = beta
+			best.Rate = rate
+			best.SecondsPerDigit = perDigit
+		}
+	}
 }
 
 // Modeled per-nonzero traffic of the non-CSR execution paths, relative to
@@ -219,7 +259,7 @@ func (cfg Config) kernelStage(a *sparse.CSR, b []float64, bestPlan *core.Plan, b
 			rates[core.PrecF64] = best.Rate
 			continue
 		}
-		if rate, _, ok := cfg.probe(bestPlan, b, best.LocalIters, best.Omega, prec, best); ok {
+		if rate, _, ok := cfg.probe(bestPlan, b, best.LocalIters, best.Omega, best.Method, best.Beta, prec, best); ok {
 			rates[prec] = rate
 		}
 	}
@@ -279,7 +319,7 @@ func (cfg Config) refineOmega(a *sparse.CSR, b []float64, plan *core.Plan, best 
 	best.OmegaBracket = [2]float64{lo, hi}
 	k := best.LocalIters
 	GoldenSection(func(w float64) float64 {
-		rate, perDigit, ok := cfg.probe(plan, b, k, w, core.PrecF64, best)
+		rate, perDigit, ok := cfg.probe(plan, b, k, w, core.RuleJacobi, 0, core.PrecF64, best)
 		if !ok {
 			return math.Inf(1)
 		}
@@ -296,12 +336,14 @@ func (cfg Config) refineOmega(a *sparse.CSR, b []float64, plan *core.Plan, best 
 // geometric-mean contraction rate over the recorded history, priced by the
 // model's per-iteration cost as seconds per decimal digit. ok is false
 // when the probe fails to contract (divergence, stagnation, exact zero).
-func (cfg Config) probe(p *core.Plan, b []float64, k int, omega float64, precision string, r *Result) (rate, perDigit float64, ok bool) {
+func (cfg Config) probe(p *core.Plan, b []float64, k int, omega float64, method core.RuleKind, beta float64, precision string, r *Result) (rate, perDigit float64, ok bool) {
 	r.ProbeSolves++
 	res, err := core.SolveWithPlan(p, b, core.Options{
 		BlockSize:      p.BlockSize(),
 		LocalIters:     k,
 		Omega:          omega,
+		Method:         method,
+		Beta:           beta,
 		Precision:      precision,
 		MaxGlobalIters: cfg.ProbeIters,
 		RecordHistory:  true,
